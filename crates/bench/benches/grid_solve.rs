@@ -1,0 +1,48 @@
+//! Performance of the finite-volume simulator: steady-state solve time vs
+//! grid size, and one transient step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use liquamod::bridge;
+use liquamod::floorplan::FluxGrid;
+use liquamod::grid_sim::{CavityWidths, TransientOptions};
+use liquamod::prelude::*;
+
+fn stack_for(nx: usize, nz: usize) -> liquamod::grid_sim::Stack {
+    let params = ModelParams::date2012();
+    let grid = FluxGrid::from_fn(
+        nx,
+        nz,
+        params.pitch * nx as f64,
+        Length::from_centimeters(1.0),
+        |_, _| 50.0e4,
+    );
+    bridge::two_die_stack(&params, &grid, &grid, CavityWidths::Uniform(params.w_max))
+        .expect("stack builds")
+}
+
+fn bench_steady(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid_solve/steady");
+    group.sample_size(10);
+    for (nx, nz) in [(10usize, 20usize), (20, 40), (50, 55)] {
+        let stack = stack_for(nx, nz);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nx}x{nz}")),
+            &stack,
+            |b, s| {
+                b.iter(|| s.solve_steady().expect("solves"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_transient(c: &mut Criterion) {
+    let stack = stack_for(10, 20);
+    c.bench_function("grid_solve/transient_5steps", |b| {
+        let opts = TransientOptions { dt_seconds: 1e-3, steps: 5, ..Default::default() };
+        b.iter(|| stack.solve_transient(&opts).expect("steps"));
+    });
+}
+
+criterion_group!(benches, bench_steady, bench_transient);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Optimizer performance: cost of a full Test-A design run vs control
+//! resolution (segment count), and the per-gradient finite-difference cost
+//! with and without threading.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use liquamod::prelude::*;
+use liquamod::optimal_control::{gradient, Objective};
+
+fn bench_design_run(c: &mut Criterion) {
+    let params = ModelParams::date2012();
+    let mut group = c.benchmark_group("optimizer/test_a_design");
+    group.sample_size(10);
+    for segments in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(segments), &segments, |b, &k| {
+            let config = OptimizationConfig {
+                segments: k,
+                mesh_intervals: 48,
+                ..OptimizationConfig::fast()
+            };
+            b.iter(|| experiments::test_a(&params, &config).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+struct BvpCost {
+    model: Model,
+    solve: SolveOptions,
+    dim: usize,
+}
+
+impl Objective for BvpCost {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn value(&self, x: &[f64]) -> f64 {
+        let widths: Vec<Length> = x
+            .iter()
+            .map(|t| Length::from_micrometers(10.0 + t.clamp(0.0, 1.0) * 40.0))
+            .collect();
+        let mut m = self.model.clone();
+        m.set_width_profile(0, WidthProfile::piecewise_constant(widths))
+            .expect("valid widths");
+        m.solve(&self.solve).expect("solves").cost_gradient_squared()
+    }
+}
+
+fn bench_fd_gradient(c: &mut Criterion) {
+    let params = ModelParams::date2012();
+    let col = ChannelColumn::new(WidthProfile::uniform(params.w_max))
+        .with_heat_top(HeatProfile::uniform(LinearHeatFlux::from_w_per_m(50.0)))
+        .with_heat_bottom(HeatProfile::uniform(LinearHeatFlux::from_w_per_m(50.0)));
+    let model =
+        Model::new(params, Length::from_centimeters(1.0), vec![col]).expect("model builds");
+    let obj = BvpCost { model, solve: SolveOptions::with_mesh_intervals(96), dim: 8 };
+    let x = vec![0.7; 8];
+    let f0 = obj.value(&x);
+
+    let mut group = c.benchmark_group("optimizer/fd_gradient_dim8");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let mut grad = vec![0.0; 8];
+            b.iter(|| {
+                gradient::forward_diff_parallel(&obj, &x, f0, 1e-6, &mut grad, t);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_design_run, bench_fd_gradient);
+criterion_main!(benches);

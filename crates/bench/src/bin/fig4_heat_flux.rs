@@ -1,0 +1,44 @@
+//! Fig. 4 — the heat-flux distributions of the two single-channel case
+//! studies: Test A (uniform 50 W/cm² per layer) and Test B (random
+//! 50–250 W/cm² segments, deterministic seed).
+//!
+//! Run with: `cargo run --release -p liquamod-bench --bin fig4_heat_flux`
+
+use liquamod::floorplan::testcase;
+use liquamod_bench::{banner, print_table};
+
+fn print_load(load: &testcase::StripLoad) {
+    let n = load.top_w_cm2.len();
+    let mut t = liquamod::CsvTable::new(vec![
+        "segment",
+        "z range [cm]",
+        "top flux [W/cm^2]",
+        "bottom flux [W/cm^2]",
+    ]);
+    for k in 0..n {
+        t.push_row(vec![
+            format!("{k}"),
+            format!("{:.2}..{:.2}", k as f64 / n as f64, (k + 1) as f64 / n as f64),
+            format!("{:.1}", load.top_w_cm2[k]),
+            format!("{:.1}", load.bottom_w_cm2[k]),
+        ]);
+    }
+    print_table(&t);
+    println!(
+        "flux span: {:.1} .. {:.1} W/cm^2 (paper range: [50, 250])\n",
+        load.min_flux(),
+        load.max_flux()
+    );
+}
+
+fn main() {
+    banner("Fig. 4(a): Test A - uniform heat flux");
+    print_load(&testcase::test_a());
+
+    banner(&format!(
+        "Fig. 4(b): Test B - random segment fluxes (seed 0x{:X}, {} segments)",
+        testcase::TEST_B_DEFAULT_SEED,
+        testcase::TEST_B_SEGMENTS
+    ));
+    print_load(&testcase::test_b());
+}

@@ -1,0 +1,88 @@
+//! Fig. 5 — temperature change from inlet to outlet for Tests A and B,
+//! with optimally-modulated, uniformly-minimum and uniformly-maximum
+//! channel widths.
+//!
+//! Paper anchors: gradients ≈ 28 °C (Test A) and 72 °C (Test B) for *both*
+//! uniform widths; optimal modulation reduces them to ≈ 19 °C / 48 °C
+//! (−32 %).
+//!
+//! Run with: `cargo run --release -p liquamod-bench --bin fig5_temperature_profiles`
+
+use liquamod::prelude::*;
+use liquamod_bench::{banner, comparison_table, config_from_env, print_table};
+
+fn profile_csv(cmp: &DesignComparison) -> liquamod::CsvTable {
+    // Sample the three cases' top-layer temperatures on a common z grid.
+    let mut t = liquamod::CsvTable::new(vec![
+        "z [cm]",
+        "T_min-width [degC]",
+        "T_max-width [degC]",
+        "T_optimal [degC]",
+    ]);
+    let n = 24;
+    let min_s = &cmp.minimum_solution;
+    let max_s = &cmp.maximum_solution;
+    let opt_s = &cmp.outcome.solution;
+    let d = *min_s.z_meters().last().expect("non-empty mesh");
+    for k in 0..=n {
+        let z = Length::from_meters(d * k as f64 / n as f64);
+        let at = |s: &Solution| {
+            let j = s.nearest_node(z);
+            s.column(0).t_top(j).as_celsius()
+        };
+        t.push_row(vec![
+            format!("{:.3}", z.as_centimeters()),
+            format!("{:.2}", at(min_s)),
+            format!("{:.2}", at(max_s)),
+            format!("{:.2}", at(opt_s)),
+        ]);
+    }
+    t
+}
+
+fn profile_chart(cmp: &DesignComparison) -> String {
+    let series_of = |s: &Solution, label: &str, glyph: char| {
+        let pts: Vec<(f64, f64)> = s
+            .z_meters()
+            .iter()
+            .enumerate()
+            .map(|(j, &z)| (z * 100.0, s.column(0).t_top(j).as_celsius()))
+            .collect();
+        liquamod::chart::Series::new(label, pts, glyph)
+    };
+    liquamod::chart::line_chart(
+        &[
+            series_of(&cmp.minimum_solution, "min width", 'm'),
+            series_of(&cmp.maximum_solution, "max width", 'M'),
+            series_of(&cmp.outcome.solution, "optimal", 'o'),
+        ],
+        72,
+        18,
+    )
+}
+
+fn run(name: &str, cmp: &DesignComparison, paper_uniform: f64, paper_optimal: f64) {
+    banner(&format!("Fig. 5 ({name}): inlet->outlet temperature profiles"));
+    println!("{}", profile_chart(cmp));
+    print_table(&profile_csv(cmp));
+    print_table(&comparison_table(cmp));
+    println!(
+        "measured: uniform ~{:.1}/{:.1} K, optimal {:.1} K ({:.1}% reduction)",
+        cmp.minimum.gradient_k,
+        cmp.maximum.gradient_k,
+        cmp.optimal.gradient_k,
+        100.0 * cmp.gradient_reduction()
+    );
+    println!(
+        "paper:    uniform ~{paper_uniform:.0} K both, optimal ~{paper_optimal:.0} K (32% reduction)"
+    );
+}
+
+fn main() {
+    let params = ModelParams::date2012();
+    let config = config_from_env();
+    let a = experiments::test_a(&params, &config).expect("test A runs");
+    run("Test A", &a, 28.0, 19.0);
+    let b = experiments::test_b(&params, &config).expect("test B runs");
+    run("Test B", &b, 72.0, 48.0);
+}

@@ -1,0 +1,42 @@
+//! Runs the full reproduction suite in paper order, each section delegating
+//! to the same code paths as the per-figure binaries.
+//!
+//! Run with: `cargo run --release -p liquamod-bench --bin repro_all`
+//! (set `LIQUAMOD_FAST=1` to finish in a few minutes on a laptop)
+
+use std::process::Command;
+
+fn run(bin: &str) {
+    println!("\n################################################################");
+    println!("## {bin}");
+    println!("################################################################");
+    // Re-exec the sibling binary so each figure stays independently runnable
+    // and this driver cannot drift from them.
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("exe directory");
+    let status = Command::new(dir.join(bin))
+        .status()
+        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+    assert!(status.success(), "{bin} exited with {status}");
+}
+
+fn main() {
+    println!(
+        "liquamod reproduction suite (mode: {})",
+        if liquamod_bench::fast_mode() { "FAST" } else { "full" }
+    );
+    for bin in [
+        "table1",
+        "fig1_thermal_maps",
+        "fig4_heat_flux",
+        "fig7_floorplans",
+        "validate_model",
+        "fig5_temperature_profiles",
+        "fig6_width_profiles",
+        "fig8_mpsoc_gradients",
+        "fig9_thermal_maps",
+    ] {
+        run(bin);
+    }
+    println!("\nreproduction suite complete.");
+}

@@ -1,0 +1,152 @@
+//! Conversions between the analytical-model world and the finite-volume
+//! simulator: flux grids → power maps, width profiles → per-cell widths,
+//! and a one-call builder for the paper's two-die stacks.
+
+use crate::Result;
+use liquamod_floorplan::FluxGrid;
+use liquamod_grid_sim::{CavitySpec, CavityWidths, PowerMap, Stack, StackBuilder};
+use liquamod_thermal_model::{ModelParams, WidthProfile};
+use liquamod_units::{Length, Power};
+
+/// Converts a rasterized flux grid into a grid-sim power map (same grid).
+pub fn power_map_from_grid(grid: &FluxGrid) -> PowerMap {
+    let (nx, nz) = grid.dims();
+    let mut map = PowerMap::zeros(nx, nz);
+    let watts = grid.cell_watts();
+    for j in 0..nz {
+        for i in 0..nx {
+            map.set_cell(i, j, Power::from_watts(watts[j * nx + i]));
+        }
+    }
+    map
+}
+
+/// Samples per-column width profiles at `nz` cell centres, expanding
+/// grouped columns so that every physical channel gets its group's profile.
+///
+/// `profiles[g]` applies to `group_size` adjacent channels; the result has
+/// `profiles.len() × group_size` columns of `nz` samples each.
+pub fn cavity_widths_from_profiles(
+    profiles: &[WidthProfile],
+    group_size: usize,
+    channel_length: Length,
+    nz: usize,
+) -> CavityWidths {
+    let mut columns = Vec::with_capacity(profiles.len() * group_size);
+    for profile in profiles {
+        let samples: Vec<Length> = (0..nz)
+            .map(|j| {
+                let z = Length::from_meters(
+                    (j as f64 + 0.5) * channel_length.si() / nz as f64,
+                );
+                profile.width_at(z, channel_length)
+            })
+            .collect();
+        for _ in 0..group_size {
+            columns.push(samples.clone());
+        }
+    }
+    CavityWidths::PerColumn(columns)
+}
+
+/// Builds the paper's two-die stack (active silicon / cavity / active
+/// silicon) for the finite-volume simulator:
+///
+/// * die extents from the flux grids;
+/// * both dies as `H_Si`-thick silicon layers carrying the grids' power;
+/// * one cavity at `H_C` with the given widths and the model's coolant,
+///   flow rate and inlet temperature.
+///
+/// The paper's convention maps the *top* die onto the analytical model's
+/// top layer: grid-sim layers are listed bottom→top.
+///
+/// # Errors
+///
+/// Propagates stack-validation failures (mismatched grids, bad widths).
+pub fn two_die_stack(
+    params: &ModelParams,
+    top_grid: &FluxGrid,
+    bottom_grid: &FluxGrid,
+    widths: CavityWidths,
+) -> Result<Stack> {
+    let (nx, nz) = top_grid.dims();
+    let stack = StackBuilder::new(top_grid.die_width(), top_grid.die_length(), nx, nz)
+        .inlet_temperature(params.inlet_temperature)
+        .silicon_layer("bottom-die", params.h_si)
+        .powered_by(power_map_from_grid(bottom_grid))
+        .microchannel_cavity_with(CavitySpec {
+            height: params.h_c,
+            coolant: params.coolant.clone(),
+            flow_rate_per_channel: params.flow_rate_per_channel,
+            nusselt: params.nusselt,
+            wall_material: liquamod_grid_sim::Material::silicon(),
+            widths,
+        })
+        .silicon_layer("top-die", params.h_si)
+        .powered_by(power_map_from_grid(top_grid))
+        .build()?;
+    Ok(stack)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liquamod_floorplan::{arch, PowerLevel};
+
+    #[test]
+    fn power_map_conserves_power() {
+        let grid = arch::arch1().top_die().rasterize(20, 22, PowerLevel::Peak);
+        let map = power_map_from_grid(&grid);
+        assert!(
+            (map.total().as_watts() - grid.total_power().as_watts()).abs() < 1e-9,
+            "map {} W vs grid {} W",
+            map.total().as_watts(),
+            grid.total_power().as_watts()
+        );
+    }
+
+    #[test]
+    fn width_sampling_expands_groups() {
+        let d = Length::from_centimeters(1.0);
+        let profiles = vec![
+            WidthProfile::uniform(Length::from_micrometers(20.0)),
+            WidthProfile::piecewise_constant(vec![
+                Length::from_micrometers(50.0),
+                Length::from_micrometers(10.0),
+            ]),
+        ];
+        let widths = cavity_widths_from_profiles(&profiles, 3, d, 4);
+        match widths {
+            CavityWidths::PerColumn(cols) => {
+                assert_eq!(cols.len(), 6);
+                assert_eq!(cols[0].len(), 4);
+                // First group uniform.
+                assert!(cols[1].iter().all(|w| (w.as_micrometers() - 20.0).abs() < 1e-9));
+                // Second group steps 50 → 10 at half length.
+                assert!((cols[3][0].as_micrometers() - 50.0).abs() < 1e-9);
+                assert!((cols[3][3].as_micrometers() - 10.0).abs() < 1e-9);
+            }
+            other => panic!("expected per-column widths, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_die_stack_builds_and_solves() {
+        let params = liquamod_thermal_model::ModelParams::date2012();
+        let a1 = arch::arch1();
+        // Tiny grid for speed: 10 channels, 11 z-cells.
+        let top = a1.top_die().rasterize(10, 11, PowerLevel::Peak);
+        let bottom = a1.bottom_die().rasterize(10, 11, PowerLevel::Peak);
+        let stack = two_die_stack(
+            &params,
+            &top,
+            &bottom,
+            CavityWidths::Uniform(Length::from_micrometers(50.0)),
+        )
+        .unwrap();
+        assert_eq!(stack.n_layers(), 3);
+        let field = stack.solve_steady().unwrap();
+        assert!(field.peak_temperature().as_kelvin() > 300.0);
+        assert!(field.energy_balance_residual() < 1e-6);
+    }
+}

@@ -1,0 +1,149 @@
+//! Minimal ASCII line charts for profile series (temperature vs z, width
+//! vs z) — the terminal rendition of the paper's Fig. 5/6 plots.
+
+/// A single series of `(x, y)` samples with a glyph to draw it with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Sample points (x ascending is not required but renders best).
+    pub points: Vec<(f64, f64)>,
+    /// Glyph used for this series.
+    pub glyph: char,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>, glyph: char) -> Self {
+        Self { label: label.into(), points, glyph }
+    }
+}
+
+/// Renders one or more series into a fixed-size character grid with a
+/// y-axis legend. Later series overdraw earlier ones where they collide.
+///
+/// Returns an empty string when no series has any points.
+pub fn line_chart(series: &[Series], width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(4);
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.is_empty() {
+        return String::new();
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    let x_span = (x_max - x_min).max(1e-30);
+    let y_span = (y_max - y_min).max(1e-30);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        // Dense sampling along segments so lines stay connected.
+        for pair in s.points.windows(2) {
+            let (x0, y0) = pair[0];
+            let (x1, y1) = pair[1];
+            let steps = width * 2;
+            for k in 0..=steps {
+                let t = k as f64 / steps as f64;
+                let x = x0 + t * (x1 - x0);
+                let y = y0 + t * (y1 - y0);
+                let col = (((x - x_min) / x_span) * (width - 1) as f64).round() as usize;
+                let row = (((y_max - y) / y_span) * (height - 1) as f64).round() as usize;
+                grid[row.min(height - 1)][col.min(width - 1)] = s.glyph;
+            }
+        }
+        if s.points.len() == 1 {
+            let (x, y) = s.points[0];
+            let col = (((x - x_min) / x_span) * (width - 1) as f64).round() as usize;
+            let row = (((y_max - y) / y_span) * (height - 1) as f64).round() as usize;
+            grid[row.min(height - 1)][col.min(width - 1)] = s.glyph;
+        }
+    }
+
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let y_here = y_max - y_span * r as f64 / (height - 1) as f64;
+        out.push_str(&format!("{y_here:>10.2} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>10}  x: [{:.3} .. {:.3}]   ",
+        "", x_min, x_max
+    ));
+    for s in series {
+        out.push_str(&format!("{} {}   ", s.glyph, s.label));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_series_render_nothing() {
+        assert_eq!(line_chart(&[], 40, 10), "");
+        assert_eq!(
+            line_chart(&[Series::new("e", vec![], '*')], 40, 10),
+            ""
+        );
+    }
+
+    #[test]
+    fn renders_grid_with_legend() {
+        let s = Series::new(
+            "ramp",
+            (0..10).map(|i| (i as f64, i as f64 * 2.0)).collect(),
+            '*',
+        );
+        let chart = line_chart(&[s], 40, 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        // 10 grid rows + axis + legend.
+        assert_eq!(lines.len(), 12);
+        assert!(chart.contains("* ramp"));
+        assert!(chart.contains("x: [0.000 .. 9.000]"));
+        // A rising ramp puts the glyph at top-right and bottom-left.
+        assert!(lines[0].trim_end().ends_with('*'));
+    }
+
+    #[test]
+    fn two_series_overdraw() {
+        let a = Series::new("low", vec![(0.0, 0.0), (1.0, 0.0)], 'a');
+        let b = Series::new("high", vec![(0.0, 1.0), (1.0, 1.0)], 'b');
+        let chart = line_chart(&[a, b], 30, 6);
+        assert!(chart.contains('a'));
+        assert!(chart.contains('b'));
+    }
+
+    #[test]
+    fn single_point_series_is_plotted() {
+        let s = Series::new("dot", vec![(0.5, 0.5)], 'o');
+        let chart = line_chart(&[s], 20, 5);
+        assert!(chart.contains('o'));
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_panic() {
+        let s = Series::new("flat", vec![(1.0, 3.0), (1.0, 3.0)], '#');
+        let chart = line_chart(&[s], 20, 5);
+        assert!(chart.contains('#'));
+    }
+
+    #[test]
+    fn minimum_dimensions_are_enforced() {
+        let s = Series::new("tiny", vec![(0.0, 0.0), (1.0, 1.0)], '*');
+        let chart = line_chart(&[s], 1, 1);
+        assert!(!chart.is_empty());
+        // Clamped to at least 16 columns wide inside the border.
+        let first = chart.lines().next().unwrap();
+        assert!(first.len() >= 16);
+    }
+}

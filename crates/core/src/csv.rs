@@ -1,0 +1,139 @@
+//! Tiny CSV/table formatting for the bench harness output.
+
+use std::fmt::Write as _;
+
+/// A header plus rows of string cells, rendered as CSV or an aligned text
+/// table. The bench binaries print both so results are simultaneously
+/// human-readable and machine-parsable.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CsvTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// Creates a table with the given column header.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width — a malformed
+    /// report is a bug in the experiment code, caught at the source.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width must match header");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as CSV (comma-separated; cells containing commas or quotes
+    /// are quoted and inner quotes doubled).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let write_line = |cells: &[String], out: &mut String| {
+            let line: Vec<String> = cells.iter().map(|c| escape(c)).collect();
+            let _ = writeln!(out, "{}", line.join(","));
+        };
+        write_line(&self.header, &mut out);
+        for row in &self.rows {
+            write_line(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders as an aligned, pipe-separated text table.
+    pub fn to_aligned(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_line = |cells: &[String], out: &mut String| {
+            let padded: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+                .collect();
+            let _ = writeln!(out, "| {} |", padded.join(" | "));
+        };
+        write_line(&self.header, &mut out);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "|-{}-|", sep.join("-|-"));
+        for row in &self.rows {
+            write_line(row, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_rendering_and_escaping() {
+        let mut t = CsvTable::new(vec!["name", "value"]);
+        t.push_row(vec!["plain", "1.5"]);
+        t.push_row(vec!["with,comma", "quote\"inside"]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,value");
+        assert_eq!(lines[1], "plain,1.5");
+        assert_eq!(lines[2], "\"with,comma\",\"quote\"\"inside\"");
+    }
+
+    #[test]
+    fn aligned_rendering() {
+        let mut t = CsvTable::new(vec!["case", "gradient"]);
+        t.push_row(vec!["minimum", "23.1"]);
+        t.push_row(vec!["optimal", "16.0"]);
+        let s = t.to_aligned();
+        assert!(s.contains("| minimum | "));
+        assert!(s.lines().count() == 4);
+        // Columns align: all lines equal length.
+        let lens: Vec<usize> = s.lines().map(|l| l.len()).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = CsvTable::new(vec!["a"]);
+        assert!(t.is_empty());
+        t.push_row(vec!["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = CsvTable::new(vec!["a", "b"]);
+        t.push_row(vec!["only one"]);
+    }
+}

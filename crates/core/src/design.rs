@@ -1,0 +1,614 @@
+//! The optimal channel-modulation design flow (paper §IV).
+//!
+//! Decision variables are the per-segment channel widths of every column,
+//! normalized to `[0, 1]` over the manufacturable range `[w_min, w_max]`
+//! (normalization keeps the finite-difference steps and the box geometry
+//! well-conditioned; raw widths are ~1e-5 m). Each objective evaluation
+//! applies the candidate widths, solves the §III boundary-value problem and
+//! integrates the paper's Eq. (7) cost. Pressure bounds (Eq. 9) and the
+//! equal-pressure coupling (Eq. 10) enter as augmented-Lagrangian
+//! constraints; pressure evaluations are closed-form integrals, so the
+//! constraint side costs nothing compared to the thermal solves.
+
+use crate::{CoreError, Result};
+use liquamod_optimal_control::{
+    augmented_lagrangian, nelder_mead, projected_gradient, AugLagOptions, AugLagResult, Bounds,
+    ConstrainedObjective, LbfgsOptions, NelderMeadOptions, ProjGradOptions,
+};
+use liquamod_thermal_model::{Model, Solution, SolveOptions, WidthProfile};
+use liquamod_units::{Length, Pressure};
+
+/// Which cost integral to minimize (the paper notes the two are equivalent
+/// through the conduction law `dT/dz = −q/ĝ_l`; both are provided for the
+/// ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ObjectiveKind {
+    /// `∫ ‖dT/dz‖² dz` — the paper's Eq. (7).
+    #[default]
+    GradientSquared,
+    /// `∫ ‖q‖² dz` — the heat-flow form suggested in §IV-A.
+    HeatflowSquared,
+}
+
+/// Which NLP solver drives the (inner) minimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverKind {
+    /// Projected L-BFGS inside an augmented Lagrangian (default).
+    #[default]
+    LbfgsB,
+    /// Projected gradient descent (ablation baseline; pressure constraints
+    /// are ignored apart from the width box, so use only for studies).
+    ProjGrad,
+    /// Nelder–Mead simplex (derivative-free ablation baseline; pressure
+    /// constraints are ignored apart from the width box).
+    NelderMead,
+}
+
+/// Configuration of one design-flow run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizationConfig {
+    /// Piecewise-constant segments per column (the control resolution `K`).
+    pub segments: usize,
+    /// Base mesh intervals for each BVP solve.
+    pub mesh_intervals: usize,
+    /// Cost integral to minimize.
+    pub objective: ObjectiveKind,
+    /// Enforce the paper's Eq. (10) equal-pressure coupling across columns.
+    pub equal_pressure: bool,
+    /// NLP solver choice.
+    pub solver: SolverKind,
+    /// Outer/inner constrained-solver options.
+    pub auglag: AugLagOptions,
+    /// Worker threads for finite-difference gradients.
+    pub fd_threads: usize,
+}
+
+impl Default for OptimizationConfig {
+    fn default() -> Self {
+        Self {
+            segments: 16,
+            mesh_intervals: 384,
+            objective: ObjectiveKind::default(),
+            equal_pressure: true,
+            solver: SolverKind::default(),
+            auglag: AugLagOptions {
+                max_outer_iterations: 8,
+                violation_tol: 1e-4,
+                initial_penalty: 10.0,
+                inner: LbfgsOptions {
+                    max_iterations: 60,
+                    stationarity_tol: 1e-7,
+                    improvement_tol: 1e-8,
+                    ..LbfgsOptions::default()
+                },
+                ..AugLagOptions::default()
+            },
+            fd_threads: default_threads(),
+        }
+    }
+}
+
+impl OptimizationConfig {
+    /// A coarse, fast configuration for tests and doc examples: fewer
+    /// segments, a coarse mesh and tight iteration caps. Accuracy is
+    /// enough to demonstrate every qualitative result.
+    pub fn fast() -> Self {
+        Self {
+            segments: 8,
+            mesh_intervals: 96,
+            auglag: AugLagOptions {
+                max_outer_iterations: 4,
+                violation_tol: 1e-3,
+                initial_penalty: 10.0,
+                inner: LbfgsOptions {
+                    max_iterations: 25,
+                    stationarity_tol: 1e-6,
+                    improvement_tol: 1e-7,
+                    ..LbfgsOptions::default()
+                },
+                ..AugLagOptions::default()
+            },
+            ..Self::default()
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.segments == 0 {
+            return Err(CoreError::InvalidConfig { what: "segments must be ≥ 1".into() });
+        }
+        if self.mesh_intervals == 0 {
+            return Err(CoreError::InvalidConfig { what: "mesh_intervals must be ≥ 1".into() });
+        }
+        Ok(())
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get()).min(16)
+}
+
+/// Outcome of an optimal channel-modulation run.
+#[derive(Debug, Clone)]
+pub struct DesignOutcome {
+    /// The model with the optimal width profiles applied.
+    pub model: Model,
+    /// Thermal solution at the optimum.
+    pub solution: Solution,
+    /// Optimal per-column width profiles.
+    pub widths: Vec<WidthProfile>,
+    /// Per-column (per physical channel) pressure drops at the optimum.
+    pub pressure_drops: Vec<Pressure>,
+    /// Final objective value.
+    pub objective: f64,
+    /// Total BVP/objective evaluations spent.
+    pub evaluations: usize,
+    /// Whether pressure constraints were met (within the solver tolerance).
+    pub feasible: bool,
+}
+
+struct WidthProblem<'a> {
+    base: &'a Model,
+    config: &'a OptimizationConfig,
+    n_cols: usize,
+    w_min: f64,
+    w_max: f64,
+    dp_max: f64,
+    solve: SolveOptions,
+    /// Objective normalization: the cost at the starting point. The raw
+    /// Eq. (7) integral is O(1e4–1e6) while the normalized pressure
+    /// constraints are O(1); without this scaling the augmented-Lagrangian
+    /// penalties would be invisible next to the objective.
+    j_scale: f64,
+}
+
+impl WidthProblem<'_> {
+    fn widths_from_x(&self, x: &[f64]) -> Vec<WidthProfile> {
+        let k = self.config.segments;
+        (0..self.n_cols)
+            .map(|c| {
+                let widths = x[c * k..(c + 1) * k]
+                    .iter()
+                    .map(|t| {
+                        // Deliberately NOT clamped to [0, 1]: finite-difference
+                        // probes step just outside the box at active bounds,
+                        // and clamping them would zero the gradient there
+                        // (the optimizer's box keeps actual iterates inside).
+                        // The wide guard only protects duct validity.
+                        let t = t.clamp(-0.1, 1.1);
+                        Length::from_meters(self.w_min + t * (self.w_max - self.w_min))
+                    })
+                    .collect();
+                WidthProfile::piecewise_constant(widths)
+            })
+            .collect()
+    }
+
+    fn model_with(&self, x: &[f64]) -> Model {
+        let mut model = self.base.clone();
+        for (c, w) in self.widths_from_x(x).into_iter().enumerate() {
+            model
+                .set_width_profile(c, w)
+                .expect("normalized widths stay inside (0, pitch)");
+        }
+        model
+    }
+
+    fn pressure_drops(&self, x: &[f64]) -> Vec<f64> {
+        let model = self.model_with(x);
+        self.widths_from_x(x)
+            .iter()
+            .map(|w| {
+                model
+                    .column_pressure_drop(w)
+                    .expect("normalized widths are valid ducts")
+                    .as_pascals()
+            })
+            .collect()
+    }
+
+    fn raw_objective(&self, x: &[f64]) -> f64 {
+        let model = self.model_with(x);
+        match model.solve(&self.solve) {
+            Ok(solution) => match self.config.objective {
+                ObjectiveKind::GradientSquared => solution.cost_gradient_squared(),
+                ObjectiveKind::HeatflowSquared => solution.cost_heatflow_squared(),
+            },
+            // Infinite cost steers the line search away from pathological
+            // candidates instead of aborting the whole run.
+            Err(_) => f64::INFINITY,
+        }
+    }
+}
+
+impl ConstrainedObjective for WidthProblem<'_> {
+    fn dim(&self) -> usize {
+        self.n_cols * self.config.segments
+    }
+
+    fn objective(&self, x: &[f64]) -> f64 {
+        self.raw_objective(x) / self.j_scale
+    }
+
+    fn inequality(&self, x: &[f64]) -> Vec<f64> {
+        // ΔPᵢ/ΔP_max − 1 ≤ 0 (paper Eq. 9).
+        self.pressure_drops(x)
+            .iter()
+            .map(|dp| dp / self.dp_max - 1.0)
+            .collect()
+    }
+
+    fn equality(&self, x: &[f64]) -> Vec<f64> {
+        // (ΔPᵢ − mean)/ΔP_max = 0 (paper Eq. 10), only with several columns.
+        if !self.config.equal_pressure || self.n_cols < 2 {
+            return Vec::new();
+        }
+        let drops = self.pressure_drops(x);
+        let mean = drops.iter().sum::<f64>() / drops.len() as f64;
+        drops.iter().map(|dp| (dp - mean) / self.dp_max).collect()
+    }
+}
+
+/// Runs the optimal channel-modulation flow on `model` (whose current width
+/// profiles are ignored; the optimizer starts from uniformly maximal
+/// widths, the paper's common baseline).
+///
+/// # Errors
+///
+/// [`CoreError::InvalidConfig`] for empty segment/mesh settings, and
+/// propagated model errors if the optimized design cannot be re-solved.
+pub fn optimize(model: &Model, config: &OptimizationConfig) -> Result<DesignOutcome> {
+    config.validate()?;
+    let params = model.params();
+    let mut problem = WidthProblem {
+        base: model,
+        config,
+        n_cols: model.columns().len(),
+        w_min: params.w_min.si(),
+        w_max: params.w_max.si(),
+        dp_max: params.dp_max.si(),
+        solve: SolveOptions::with_mesh_intervals(config.mesh_intervals),
+        j_scale: 1.0,
+    };
+    let dim = ConstrainedObjective::dim(&problem);
+    let bounds = Bounds::uniform(dim, 0.0, 1.0)?;
+    let x0 = vec![1.0; dim]; // uniformly w_max
+    let j0 = problem.raw_objective(&x0);
+    if !(j0.is_finite() && j0 > 0.0) {
+        return Err(CoreError::InvalidConfig {
+            what: format!("cost at the starting point is unusable ({j0})"),
+        });
+    }
+    problem.j_scale = j0;
+
+    let (x_opt, objective, evaluations, feasible) = match config.solver {
+        SolverKind::LbfgsB => {
+            let mut auglag = config.auglag.clone();
+            auglag.inner.fd_threads = config.fd_threads;
+            let AugLagResult { x, objective, evaluations, feasible, .. } =
+                augmented_lagrangian(&problem, &bounds, &x0, &auglag);
+            (x, objective, evaluations, feasible)
+        }
+        SolverKind::ProjGrad => {
+            let opts = ProjGradOptions {
+                max_iterations: config.auglag.inner.max_iterations,
+                fd_threads: config.fd_threads,
+                ..ProjGradOptions::default()
+            };
+            let r = projected_gradient(&ObjOnly(&problem), &bounds, &x0, &opts);
+            (r.x, r.objective, r.evaluations, true)
+        }
+        SolverKind::NelderMead => {
+            let opts = NelderMeadOptions {
+                max_iterations: 40 * dim,
+                ..NelderMeadOptions::default()
+            };
+            let r = nelder_mead(&ObjOnly(&problem), &bounds, &x0, &opts);
+            (r.x, r.objective, r.evaluations, true)
+        }
+    };
+
+    let widths = problem.widths_from_x(&x_opt);
+    let optimized = problem.model_with(&x_opt);
+    let solution = optimized.solve(&problem.solve)?;
+    let pressure_drops = optimized.pressure_drops()?;
+    // Report the raw Eq. (7) cost, not the normalized solver value.
+    let objective = objective * problem.j_scale;
+    Ok(DesignOutcome {
+        model: optimized,
+        solution,
+        widths,
+        pressure_drops,
+        objective,
+        evaluations,
+        feasible,
+    })
+}
+
+/// Adapter presenting only the objective of a [`ConstrainedObjective`] to
+/// the unconstrained solvers (ablation paths).
+struct ObjOnly<'a>(&'a WidthProblem<'a>);
+
+impl liquamod_optimal_control::Objective for ObjOnly<'_> {
+    fn dim(&self) -> usize {
+        ConstrainedObjective::dim(self.0)
+    }
+    fn value(&self, x: &[f64]) -> f64 {
+        self.0.objective(x)
+    }
+}
+
+/// The paper's §IV-B dual formulation: minimize the pumping effort with an
+/// upper bound on the thermal cost. ("Note that the optimal design problem
+/// can alternatively be stated as minimizing the pumping effort, with an
+/// upper bound for the temperature gradient.")
+///
+/// The objective is the mean per-channel pressure drop normalized by
+/// `ΔP_max`; constraints are `J(x) ≤ cost_bound` (thermal) plus the usual
+/// `ΔPᵢ ≤ ΔP_max` and optional equal-pressure coupling.
+///
+/// # Errors
+///
+/// Same as [`optimize`]; additionally rejects a non-positive `cost_bound`.
+pub fn optimize_min_pumping(
+    model: &Model,
+    config: &OptimizationConfig,
+    cost_bound: f64,
+) -> Result<DesignOutcome> {
+    config.validate()?;
+    if !(cost_bound.is_finite() && cost_bound > 0.0) {
+        return Err(CoreError::InvalidConfig {
+            what: format!("cost_bound must be positive, got {cost_bound}"),
+        });
+    }
+    let params = model.params();
+    let mut thermal = WidthProblem {
+        base: model,
+        config,
+        n_cols: model.columns().len(),
+        w_min: params.w_min.si(),
+        w_max: params.w_max.si(),
+        dp_max: params.dp_max.si(),
+        solve: SolveOptions::with_mesh_intervals(config.mesh_intervals),
+        j_scale: 1.0,
+    };
+    let dim = ConstrainedObjective::dim(&thermal);
+    let bounds = Bounds::uniform(dim, 0.0, 1.0)?;
+    let x0 = vec![1.0; dim];
+    let j0 = thermal.raw_objective(&x0);
+    if !(j0.is_finite() && j0 > 0.0) {
+        return Err(CoreError::InvalidConfig {
+            what: format!("cost at the starting point is unusable ({j0})"),
+        });
+    }
+    thermal.j_scale = j0;
+
+    struct MinPumping<'a> {
+        inner: &'a WidthProblem<'a>,
+        cost_bound: f64,
+    }
+    impl ConstrainedObjective for MinPumping<'_> {
+        fn dim(&self) -> usize {
+            ConstrainedObjective::dim(self.inner)
+        }
+        fn objective(&self, x: &[f64]) -> f64 {
+            let drops = self.inner.pressure_drops(x);
+            drops.iter().sum::<f64>() / drops.len() as f64 / self.inner.dp_max
+        }
+        fn inequality(&self, x: &[f64]) -> Vec<f64> {
+            // Thermal bound first, then the per-column pressure caps.
+            let mut g = vec![self.inner.raw_objective(x) / self.cost_bound - 1.0];
+            g.extend(self.inner.inequality(x));
+            g
+        }
+        fn equality(&self, x: &[f64]) -> Vec<f64> {
+            self.inner.equality(x)
+        }
+    }
+
+    let dual = MinPumping { inner: &thermal, cost_bound };
+    let mut auglag = config.auglag.clone();
+    auglag.inner.fd_threads = config.fd_threads;
+    let AugLagResult { x, evaluations, feasible, .. } =
+        augmented_lagrangian(&dual, &bounds, &x0, &auglag);
+
+    let widths = thermal.widths_from_x(&x);
+    let optimized = thermal.model_with(&x);
+    let solution = optimized.solve(&thermal.solve)?;
+    let pressure_drops = optimized.pressure_drops()?;
+    let objective = match config.objective {
+        ObjectiveKind::GradientSquared => solution.cost_gradient_squared(),
+        ObjectiveKind::HeatflowSquared => solution.cost_heatflow_squared(),
+    };
+    Ok(DesignOutcome {
+        model: optimized,
+        solution,
+        widths,
+        pressure_drops,
+        objective,
+        evaluations,
+        feasible,
+    })
+}
+
+/// Convenience used by comparisons and benches: solve `model` with every
+/// column forced to one uniform width.
+///
+/// # Errors
+///
+/// Propagates model solve errors.
+pub(crate) fn solve_uniform(
+    model: &Model,
+    width: Length,
+    mesh_intervals: usize,
+) -> Result<(Model, Solution)> {
+    let mut m = model.clone();
+    for c in 0..m.columns().len() {
+        m.set_width_profile(c, WidthProfile::uniform(width))?;
+    }
+    let solution = m.solve(&SolveOptions::with_mesh_intervals(mesh_intervals))?;
+    Ok((m, solution))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liquamod_thermal_model::{ChannelColumn, HeatProfile, ModelParams};
+    use liquamod_units::LinearHeatFlux;
+
+    fn strip(params: &ModelParams) -> Model {
+        let col = ChannelColumn::new(WidthProfile::uniform(params.w_max))
+            .with_heat_top(HeatProfile::uniform(LinearHeatFlux::from_w_per_m(50.0)))
+            .with_heat_bottom(HeatProfile::uniform(LinearHeatFlux::from_w_per_m(50.0)));
+        Model::new(params.clone(), Length::from_centimeters(1.0), vec![col]).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        let model = strip(&ModelParams::date2012());
+        let bad = OptimizationConfig { segments: 0, ..OptimizationConfig::fast() };
+        assert!(matches!(optimize(&model, &bad), Err(CoreError::InvalidConfig { .. })));
+        let bad = OptimizationConfig { mesh_intervals: 0, ..OptimizationConfig::fast() };
+        assert!(matches!(optimize(&model, &bad), Err(CoreError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn width_mapping_roundtrip() {
+        let params = ModelParams::date2012();
+        let model = strip(&params);
+        let config = OptimizationConfig { segments: 4, ..OptimizationConfig::fast() };
+        let problem = WidthProblem {
+            base: &model,
+            config: &config,
+            n_cols: 1,
+            w_min: params.w_min.si(),
+            w_max: params.w_max.si(),
+            dp_max: params.dp_max.si(),
+            solve: SolveOptions::with_mesh_intervals(64),
+            j_scale: 1.0,
+        };
+        let widths = problem.widths_from_x(&[0.0, 1.0, 0.5, 2.0]);
+        match &widths[0] {
+            WidthProfile::PiecewiseConstant { widths } => {
+                assert!((widths[0].as_micrometers() - 10.0).abs() < 1e-9);
+                assert!((widths[1].as_micrometers() - 50.0).abs() < 1e-9);
+                assert!((widths[2].as_micrometers() - 30.0).abs() < 1e-9);
+                // Far out-of-box inputs clamp to the FD guard band
+                // (t = 1.1 → 54 µm), still safely inside the pitch.
+                assert!((widths[3].as_micrometers() - 54.0).abs() < 1e-9);
+            }
+            other => panic!("expected piecewise profile, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pressure_constraints_signal_violations() {
+        let params = ModelParams::date2012();
+        let model = strip(&params);
+        let config = OptimizationConfig { segments: 2, ..OptimizationConfig::fast() };
+        let problem = WidthProblem {
+            base: &model,
+            config: &config,
+            n_cols: 1,
+            w_min: params.w_min.si(),
+            w_max: params.w_max.si(),
+            dp_max: params.dp_max.si(),
+            solve: SolveOptions::with_mesh_intervals(64),
+            j_scale: 1.0,
+        };
+        // All-minimum widths exceed ΔP_max at the calibrated flow → g > 0.
+        let g_min = problem.inequality(&[0.0, 0.0]);
+        assert!(g_min[0] > 0.0, "min width should violate: g = {}", g_min[0]);
+        // All-maximum widths sit well below ΔP_max → g < 0.
+        let g_max = problem.inequality(&[1.0, 1.0]);
+        assert!(g_max[0] < 0.0, "max width should satisfy: g = {}", g_max[0]);
+    }
+
+    #[test]
+    fn equality_constraints_only_with_multiple_columns() {
+        let params = ModelParams::date2012();
+        let model = strip(&params);
+        let config = OptimizationConfig::fast();
+        let problem = WidthProblem {
+            base: &model,
+            config: &config,
+            n_cols: 1,
+            w_min: params.w_min.si(),
+            w_max: params.w_max.si(),
+            dp_max: params.dp_max.si(),
+            solve: SolveOptions::with_mesh_intervals(64),
+            j_scale: 1.0,
+        };
+        assert!(problem.equality(&vec![1.0; config.segments]).is_empty());
+    }
+
+    #[test]
+    fn min_pumping_dual_meets_thermal_bound_at_lower_pressure() {
+        // §IV-B dual: minimize pumping with a bound on the thermal cost.
+        // The bound is set between the uniform-max cost and the primal
+        // optimum, so the dual must spend *some* pressure — but less than
+        // the gradient-optimal design does.
+        let params = ModelParams::date2012();
+        let model = strip(&params);
+        let config = OptimizationConfig::fast();
+        let primal = optimize(&model, &config).unwrap();
+        let (_, uniform) = solve_uniform(&model, params.w_max, config.mesh_intervals).unwrap();
+        let j_uniform = uniform.cost_gradient_squared();
+        let bound = 0.5 * (primal.objective + j_uniform);
+        let dual = optimize_min_pumping(&model, &config, bound).unwrap();
+
+        // Thermal bound honored (within the solver's constraint tolerance).
+        assert!(
+            dual.objective <= bound * 1.05,
+            "thermal cost {} exceeds bound {}",
+            dual.objective,
+            bound
+        );
+        // And the relaxed target is bought with less pressure than the
+        // primal optimum needed.
+        let max_dp = |drops: &[Pressure]| {
+            drops.iter().map(|p| p.as_pascals()).fold(0.0, f64::max)
+        };
+        assert!(
+            max_dp(&dual.pressure_drops) < max_dp(&primal.pressure_drops),
+            "dual dp {} should undercut primal dp {}",
+            max_dp(&dual.pressure_drops),
+            max_dp(&primal.pressure_drops)
+        );
+        // Rejects nonsense bounds.
+        assert!(optimize_min_pumping(&model, &config, 0.0).is_err());
+        assert!(optimize_min_pumping(&model, &config, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn optimize_strip_reduces_cost_and_meets_pressure() {
+        let params = ModelParams::date2012();
+        let model = strip(&params);
+        let config = OptimizationConfig::fast();
+        let outcome = optimize(&model, &config).unwrap();
+        // The optimum must beat the uniform-max starting point…
+        let (_, uniform) = solve_uniform(&model, params.w_max, config.mesh_intervals).unwrap();
+        assert!(
+            outcome.solution.thermal_gradient().as_kelvin()
+                < uniform.thermal_gradient().as_kelvin(),
+            "optimal {} K vs uniform {} K",
+            outcome.solution.thermal_gradient().as_kelvin(),
+            uniform.thermal_gradient().as_kelvin()
+        );
+        // …and stay inside the pressure budget.
+        assert!(outcome.feasible);
+        for dp in &outcome.pressure_drops {
+            assert!(dp.as_pascals() <= params.dp_max.as_pascals() * 1.01, "dp = {dp}");
+        }
+        // The optimal profile narrows toward the outlet (paper Fig. 6a).
+        match &outcome.widths[0] {
+            WidthProfile::PiecewiseConstant { widths } => {
+                assert!(
+                    widths.last().unwrap().si() < widths.first().unwrap().si(),
+                    "outlet should be narrower than inlet: {widths:?}"
+                );
+            }
+            other => panic!("expected piecewise profile, got {other:?}"),
+        }
+        assert!(outcome.evaluations > 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Error type for the core design flow.
+
+use liquamod_floorplan::FloorplanError;
+use liquamod_grid_sim::GridSimError;
+use liquamod_microfluidics::MicrofluidicsError;
+use liquamod_optimal_control::OptimalControlError;
+use liquamod_thermal_model::ThermalModelError;
+use std::fmt;
+
+/// Error returned by the channel-modulation design flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A thermal-model operation failed.
+    ThermalModel(ThermalModelError),
+    /// A fluid-side computation failed.
+    Microfluidics(MicrofluidicsError),
+    /// A grid-simulation operation failed.
+    GridSim(GridSimError),
+    /// A floorplan/workload construction failed.
+    Floorplan(FloorplanError),
+    /// An optimizer configuration failed.
+    OptimalControl(OptimalControlError),
+    /// A design-flow configuration is invalid.
+    InvalidConfig {
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ThermalModel(e) => write!(f, "thermal model: {e}"),
+            CoreError::Microfluidics(e) => write!(f, "microfluidics: {e}"),
+            CoreError::GridSim(e) => write!(f, "grid simulation: {e}"),
+            CoreError::Floorplan(e) => write!(f, "floorplan: {e}"),
+            CoreError::OptimalControl(e) => write!(f, "optimizer: {e}"),
+            CoreError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::ThermalModel(e) => Some(e),
+            CoreError::Microfluidics(e) => Some(e),
+            CoreError::GridSim(e) => Some(e),
+            CoreError::Floorplan(e) => Some(e),
+            CoreError::OptimalControl(e) => Some(e),
+            CoreError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<ThermalModelError> for CoreError {
+    fn from(e: ThermalModelError) -> Self {
+        CoreError::ThermalModel(e)
+    }
+}
+
+impl From<MicrofluidicsError> for CoreError {
+    fn from(e: MicrofluidicsError) -> Self {
+        CoreError::Microfluidics(e)
+    }
+}
+
+impl From<GridSimError> for CoreError {
+    fn from(e: GridSimError) -> Self {
+        CoreError::GridSim(e)
+    }
+}
+
+impl From<FloorplanError> for CoreError {
+    fn from(e: FloorplanError) -> Self {
+        CoreError::Floorplan(e)
+    }
+}
+
+impl From<OptimalControlError> for CoreError {
+    fn from(e: OptimalControlError) -> Self {
+        CoreError::OptimalControl(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CoreError::InvalidConfig { what: "zero segments".into() };
+        assert!(e.to_string().contains("zero segments"));
+        assert!(e.source().is_none());
+        let e = CoreError::ThermalModel(ThermalModelError::NoColumns);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("thermal model"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<CoreError>();
+    }
+}

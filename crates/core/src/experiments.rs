@@ -1,0 +1,238 @@
+//! Canned experiment definitions — one per figure of the paper's §V.
+//!
+//! These are the single entry points the bench harness, the integration
+//! tests and the examples all share, so every reported number comes from
+//! the same code path.
+
+use crate::compare::DesignComparison;
+use crate::design::OptimizationConfig;
+use crate::scenario::{mpsoc_model, strip_model, MpsocScenario};
+use crate::Result;
+use liquamod_floorplan::{arch, testcase, PowerLevel};
+use liquamod_thermal_model::ModelParams;
+
+/// Default number of grouped channel columns used for the MPSoC scenarios
+/// (100 physical channels reduced to 10 nodes, per §III's model reduction).
+pub const MPSOC_GROUPS: usize = 10;
+
+/// Fig. 5a/6a — Test A (uniform 50 W/cm² per layer) on the single-channel
+/// strip: three-way comparison.
+///
+/// # Errors
+///
+/// Propagates model and optimizer failures.
+pub fn test_a(params: &ModelParams, config: &OptimizationConfig) -> Result<DesignComparison> {
+    let model = strip_model(&testcase::test_a(), params)?;
+    DesignComparison::run(&model, config)
+}
+
+/// Fig. 5b/6b — Test B (random 50–250 W/cm² segments, deterministic seed)
+/// on the single-channel strip: three-way comparison.
+///
+/// # Errors
+///
+/// Propagates model and optimizer failures.
+pub fn test_b(params: &ModelParams, config: &OptimizationConfig) -> Result<DesignComparison> {
+    let model = strip_model(&testcase::test_b(), params)?;
+    DesignComparison::run(&model, config)
+}
+
+/// Test B with an explicit seed (robustness sweeps).
+///
+/// # Errors
+///
+/// Propagates model and optimizer failures.
+pub fn test_b_seeded(
+    params: &ModelParams,
+    config: &OptimizationConfig,
+    seed: u64,
+) -> Result<DesignComparison> {
+    let load = testcase::test_b_seeded(seed, testcase::TEST_B_SEGMENTS);
+    let model = strip_model(&load, params)?;
+    DesignComparison::run(&model, config)
+}
+
+/// One Fig. 8 bar group: the named architecture at the given power level,
+/// compared across minimum/maximum/optimal widths. Returns the scenario
+/// too, so callers can reuse the flux grids (Fig. 9 maps).
+///
+/// `arch_index` is 1-based like the paper ("Arch. 1" … "Arch. 3").
+///
+/// # Errors
+///
+/// [`crate::CoreError::InvalidConfig`] for an unknown architecture index;
+/// model and optimizer failures are propagated.
+pub fn mpsoc(
+    arch_index: usize,
+    level: PowerLevel,
+    params: &ModelParams,
+    config: &OptimizationConfig,
+) -> Result<(MpsocScenario, DesignComparison)> {
+    let architecture = match arch_index {
+        1 => arch::arch1(),
+        2 => arch::arch2(),
+        3 => arch::arch3(),
+        other => {
+            return Err(crate::CoreError::InvalidConfig {
+                what: format!("architecture index {other} (paper defines 1..=3)"),
+            })
+        }
+    };
+    let scenario = mpsoc_model(&architecture, level, params, MPSOC_GROUPS)?;
+    let comparison = DesignComparison::run(&scenario.model, config)?;
+    Ok((scenario, comparison))
+}
+
+/// A deliberately small two-group MPSoC-style scenario (a 2 mm-wide slice
+/// of Arch. 1) for fast integration testing of the multi-column paths —
+/// notably the Eq. (10) equal-pressure coupling. Not a paper figure.
+///
+/// # Errors
+///
+/// Propagates model and optimizer failures.
+pub fn mpsoc_small_for_tests(
+    params: &ModelParams,
+    config: &OptimizationConfig,
+) -> Result<(MpsocScenario, crate::DesignComparison)> {
+    use liquamod_floorplan::{arch::Architecture, Block, Floorplan};
+    use liquamod_units::Length;
+
+    // A 2 mm-wide vertical slice of the Niagara die: one core column over
+    // the full depth on the left half, low-power filler on the right.
+    let full = liquamod_floorplan::niagara::floorplan();
+    let slice_width = Length::from_millimeters(2.0);
+    let depth = full.depth();
+    let hot = Block::new(
+        "slice-core",
+        liquamod_floorplan::BlockKind::SparcCore,
+        liquamod_units::Rect::from_mm(0.0, 0.0, 1.0, depth.as_millimeters())
+            .expect("valid slice"),
+        liquamod_units::Power::from_watts(4.0),
+        liquamod_units::Power::from_watts(2.2),
+    )?;
+    let cool = Block::new(
+        "slice-filler",
+        liquamod_floorplan::BlockKind::Other,
+        liquamod_units::Rect::from_mm(1.0, 0.0, 1.0, depth.as_millimeters())
+            .expect("valid slice"),
+        liquamod_units::Power::from_watts(0.8),
+        liquamod_units::Power::from_watts(0.5),
+    )?;
+    let die = Floorplan::new("slice", slice_width, depth, vec![hot, cool])?;
+    let architecture = Architecture::new("slice-arch", "test slice", die.clone(), die);
+    let scenario = mpsoc_model(&architecture, PowerLevel::Peak, params, 2)?;
+    let comparison = crate::DesignComparison::run(&scenario.model, config)?;
+    Ok((scenario, comparison))
+}
+
+/// The full Fig. 8 sweep: all three architectures × {peak, average}.
+/// Returns `(arch_index, level, comparison)` triples in paper order.
+///
+/// Note the paper's §V-B protocol: the widths are optimized at *peak* power
+/// (design time), and the same geometry is then evaluated at average power.
+/// This function follows that protocol: for `PowerLevel::Average` entries
+/// the widths come from the peak optimization and only the loads change.
+///
+/// # Errors
+///
+/// Propagates model and optimizer failures.
+pub fn fig8_sweep(
+    params: &ModelParams,
+    config: &OptimizationConfig,
+) -> Result<Vec<(usize, PowerLevel, DesignComparison)>> {
+    let mut out = Vec::with_capacity(6);
+    for arch_index in 1..=3 {
+        let (_, peak_cmp) = mpsoc(arch_index, PowerLevel::Peak, params, config)?;
+        // Re-evaluate the peak-optimized geometry under average loads.
+        let avg_cmp = reevaluate_at_level(arch_index, PowerLevel::Average, params, config, &peak_cmp)?;
+        out.push((arch_index, PowerLevel::Peak, peak_cmp));
+        out.push((arch_index, PowerLevel::Average, avg_cmp));
+    }
+    Ok(out)
+}
+
+/// Applies a peak-optimized design's width profiles to the same
+/// architecture at another power level and recomputes all three cases
+/// (the optimal case keeps the *peak* widths, per the paper's protocol).
+fn reevaluate_at_level(
+    arch_index: usize,
+    level: PowerLevel,
+    params: &ModelParams,
+    config: &OptimizationConfig,
+    peak: &DesignComparison,
+) -> Result<DesignComparison> {
+    use crate::compare::CaseResult;
+    use liquamod_thermal_model::SolveOptions;
+
+    let architecture = match arch_index {
+        1 => arch::arch1(),
+        2 => arch::arch2(),
+        _ => arch::arch3(),
+    };
+    let scenario = mpsoc_model(&architecture, level, params, MPSOC_GROUPS)?;
+    let solve = SolveOptions::with_mesh_intervals(config.mesh_intervals);
+
+    let with_widths = |widths: &[liquamod_thermal_model::WidthProfile]| -> Result<_> {
+        let mut m = scenario.model.clone();
+        for (c, w) in widths.iter().enumerate() {
+            m.set_width_profile(c, w.clone())?;
+        }
+        let s = m.solve(&solve)?;
+        Ok((m, s))
+    };
+
+    let uniform = |w: liquamod_units::Length| -> Result<_> {
+        let widths: Vec<_> = (0..scenario.model.columns().len())
+            .map(|_| liquamod_thermal_model::WidthProfile::uniform(w))
+            .collect();
+        with_widths(&widths)
+    };
+
+    let (min_m, min_s) = uniform(params.w_min)?;
+    let (max_m, max_s) = uniform(params.w_max)?;
+    let (opt_m, opt_s) = with_widths(&peak.outcome.widths)?;
+
+    let evaluate = |label: &str,
+                    m: &liquamod_thermal_model::Model,
+                    s: &liquamod_thermal_model::Solution|
+     -> Result<CaseResult> {
+        let drops = m.pressure_drops()?;
+        Ok(CaseResult {
+            label: label.to_string(),
+            gradient_k: s.thermal_gradient().as_kelvin(),
+            peak_celsius: s.peak_temperature().as_celsius(),
+            max_pressure_bar: drops.iter().map(|p| p.as_bar()).fold(0.0, f64::max),
+            pump_power_w: m.pump_power()?.as_watts(),
+            cost_gradient_squared: s.cost_gradient_squared(),
+        })
+    };
+
+    let mut outcome = peak.outcome.clone();
+    outcome.model = opt_m.clone();
+    outcome.solution = opt_s.clone();
+    Ok(DesignComparison {
+        minimum: evaluate("minimum", &min_m, &min_s)?,
+        maximum: evaluate("maximum", &max_m, &max_s)?,
+        optimal: evaluate("optimal", &opt_m, &opt_s)?,
+        outcome,
+        minimum_solution: min_s,
+        maximum_solution: max_s,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_architecture_is_rejected() {
+        let params = ModelParams::date2012();
+        let config = OptimizationConfig::fast();
+        assert!(mpsoc(0, PowerLevel::Peak, &params, &config).is_err());
+        assert!(mpsoc(4, PowerLevel::Peak, &params, &config).is_err());
+    }
+
+    // The heavier experiment paths are exercised by the integration tests
+    // and the bench harness; here we only verify the wiring stays cheap to
+    // misuse-check.
+}

@@ -1,0 +1,208 @@
+//! Scenario builders: workloads → thermal models.
+//!
+//! Two shapes cover the paper's whole evaluation:
+//!
+//! * [`strip_model`] — the Fig. 2 test structure (one channel between two
+//!   active strips), loaded by a [`StripLoad`] (Tests A/B);
+//! * [`mpsoc_model`] — a two-die 3D-MPSoC over one microchannel cavity,
+//!   loaded by a Fig. 7 [`Architecture`] rasterized at a chosen power level
+//!   and reduced to grouped channel columns (the §III model-reduction).
+
+use crate::Result;
+use liquamod_floorplan::{arch::Architecture, testcase::StripLoad, FluxGrid, PowerLevel};
+use liquamod_thermal_model::{ChannelColumn, HeatProfile, Model, ModelParams, WidthProfile};
+use liquamod_units::{Length, LinearHeatFlux};
+
+/// Builds the single-channel strip model of the paper's Fig. 2 for a Test
+/// A/B load: channel length 1 cm, both layers carrying the load's segment
+/// fluxes over one pitch.
+///
+/// # Errors
+///
+/// Propagates model-construction failures (invalid parameters).
+pub fn strip_model(load: &StripLoad, params: &ModelParams) -> Result<Model> {
+    let d = Length::from_centimeters(1.0);
+    let to_profile = |fluxes: &[f64]| {
+        let q: Vec<LinearHeatFlux> = StripLoad::layer_w_per_m(fluxes, params.pitch.si())
+            .into_iter()
+            .map(LinearHeatFlux::from_w_per_m)
+            .collect();
+        HeatProfile::equal_segments(&q, d)
+    };
+    let column = ChannelColumn::new(WidthProfile::uniform(params.w_max))
+        .with_heat_top(to_profile(&load.top_w_cm2))
+        .with_heat_bottom(to_profile(&load.bottom_w_cm2));
+    Ok(Model::new(params.clone(), d, vec![column])?)
+}
+
+/// A prepared 3D-MPSoC scenario: the reduced-order thermal model plus the
+/// rasterized flux grids it was built from (needed again for the
+/// finite-volume thermal maps).
+#[derive(Debug, Clone)]
+pub struct MpsocScenario {
+    /// The grouped-column thermal model.
+    pub model: Model,
+    /// Top-die flux grid at the scenario's power level.
+    pub top_grid: FluxGrid,
+    /// Bottom-die flux grid at the scenario's power level.
+    pub bottom_grid: FluxGrid,
+    /// Physical channels per column group.
+    pub group_size: usize,
+    /// Power level the grids were rasterized at.
+    pub level: PowerLevel,
+}
+
+/// Builds the reduced-order model of a two-die 3D-MPSoC (paper §V-B).
+///
+/// The die width defines `die_width/pitch` physical channels; they are
+/// grouped into `n_groups` columns of equal size (the paper's model
+/// reduction: "combine two or more channels under a single set of top and
+/// bottom nodes"). Heat from each die is rasterized at channel resolution
+/// and aggregated per group. The top die heats the columns' top layer, the
+/// bottom die the bottom layer; coolant flows along the die depth.
+///
+/// # Errors
+///
+/// [`crate::CoreError::InvalidConfig`] when `n_groups` does not divide the
+/// channel count; model errors are propagated.
+pub fn mpsoc_model(
+    arch: &Architecture,
+    level: PowerLevel,
+    params: &ModelParams,
+    n_groups: usize,
+) -> Result<MpsocScenario> {
+    let die_width = arch.top_die().width();
+    let die_depth = arch.top_die().depth();
+    let n_channels = (die_width.si() / params.pitch.si()).round() as usize;
+    if n_groups == 0 || n_channels % n_groups != 0 {
+        return Err(crate::CoreError::InvalidConfig {
+            what: format!("{n_groups} groups must evenly divide {n_channels} channels"),
+        });
+    }
+    let group_size = n_channels / n_groups;
+    // Rasterize at physical-channel resolution across the flow and a
+    // comfortable resolution along it (one cell per 100 µm like the pitch).
+    let nz = (die_depth.si() / params.pitch.si()).round() as usize;
+    let top_grid = arch.top_die().rasterize(n_channels, nz, level);
+    let bottom_grid = arch.bottom_die().rasterize(n_channels, nz, level);
+
+    let mut columns = Vec::with_capacity(n_groups);
+    for g in 0..n_groups {
+        let aggregate = |grid: &FluxGrid| -> HeatProfile {
+            let mut profile = HeatProfile::zero();
+            for i in g * group_size..(g + 1) * group_size {
+                let steps = grid
+                    .column_steps(i)
+                    .into_iter()
+                    .map(|(z, q)| {
+                        (Length::from_meters(z), LinearHeatFlux::from_w_per_m(q))
+                    })
+                    .collect();
+                profile = profile.add(&HeatProfile::from_steps(steps));
+            }
+            profile
+        };
+        columns.push(
+            ChannelColumn::new(WidthProfile::uniform(params.w_max))
+                .with_group_size(group_size)
+                .with_heat_top(aggregate(&top_grid))
+                .with_heat_bottom(aggregate(&bottom_grid)),
+        );
+    }
+    let model = Model::new(params.clone(), die_depth, columns)?;
+    Ok(MpsocScenario { model, top_grid, bottom_grid, group_size, level })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liquamod_floorplan::{arch, testcase};
+
+    #[test]
+    fn strip_test_a_total_power() {
+        let params = ModelParams::date2012();
+        let model = strip_model(&testcase::test_a(), &params).unwrap();
+        // 50 W/cm² × 100 µm pitch × 1 cm × 2 layers = 1 W.
+        let total = model.columns()[0].heat_top().total_power(model.length()).as_watts()
+            + model.columns()[0].heat_bottom().total_power(model.length()).as_watts();
+        assert!((total - 1.0).abs() < 1e-9, "total = {total}");
+    }
+
+    #[test]
+    fn strip_test_b_has_segments() {
+        let params = ModelParams::date2012();
+        let model = strip_model(&testcase::test_b(), &params).unwrap();
+        let bps = model.columns()[0].heat_top().breakpoints();
+        assert_eq!(bps.len(), testcase::TEST_B_SEGMENTS - 1);
+    }
+
+    #[test]
+    fn mpsoc_group_arithmetic() {
+        let params = ModelParams::date2012();
+        // 10 mm die / 100 µm pitch = 100 channels.
+        let s = mpsoc_model(&arch::arch1(), PowerLevel::Peak, &params, 10).unwrap();
+        assert_eq!(s.model.columns().len(), 10);
+        assert_eq!(s.group_size, 10);
+        assert_eq!(s.model.n_physical_channels(), 100);
+        // Invalid split is rejected.
+        assert!(mpsoc_model(&arch::arch1(), PowerLevel::Peak, &params, 7).is_err());
+        assert!(mpsoc_model(&arch::arch1(), PowerLevel::Peak, &params, 0).is_err());
+    }
+
+    #[test]
+    fn mpsoc_conserves_die_power() {
+        let params = ModelParams::date2012();
+        let a1 = arch::arch1();
+        let s = mpsoc_model(&a1, PowerLevel::Peak, &params, 10).unwrap();
+        let model_power: f64 = s
+            .model
+            .columns()
+            .iter()
+            .map(|c| {
+                c.heat_top().total_power(s.model.length()).as_watts()
+                    + c.heat_bottom().total_power(s.model.length()).as_watts()
+            })
+            .sum();
+        let die_power = a1.top_die().total_power(PowerLevel::Peak).as_watts()
+            + a1.bottom_die().total_power(PowerLevel::Peak).as_watts();
+        assert!(
+            (model_power - die_power).abs() / die_power < 1e-9,
+            "model {model_power} W vs dies {die_power} W"
+        );
+    }
+
+    #[test]
+    fn average_level_draws_less_power() {
+        let params = ModelParams::date2012();
+        let a1 = arch::arch1();
+        let peak = mpsoc_model(&a1, PowerLevel::Peak, &params, 10).unwrap();
+        let avg = mpsoc_model(&a1, PowerLevel::Average, &params, 10).unwrap();
+        let sum = |s: &MpsocScenario| -> f64 {
+            s.model
+                .columns()
+                .iter()
+                .map(|c| {
+                    c.heat_top().total_power(s.model.length()).as_watts()
+                        + c.heat_bottom().total_power(s.model.length()).as_watts()
+                })
+                .sum()
+        };
+        assert!(sum(&avg) < 0.8 * sum(&peak));
+    }
+
+    #[test]
+    fn arch2_staggering_shifts_heat_between_layers() {
+        let params = ModelParams::date2012();
+        let s = mpsoc_model(&arch::arch2(), PowerLevel::Peak, &params, 10).unwrap();
+        // For Arch. 2 the bottom die is mirrored: near the inlet the TOP die
+        // has hot cores while the BOTTOM die has its coolest band there.
+        let col = &s.model.columns()[0];
+        let inlet = Length::from_millimeters(1.0);
+        let top_q = col.heat_top().value_at(inlet).si();
+        let bottom_q = col.heat_bottom().value_at(inlet).si();
+        assert!(
+            top_q > bottom_q,
+            "top die cores at the inlet should dominate: {top_q} vs {bottom_q}"
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! The three two-die 3D-MPSoC arrangements of the paper's Fig. 7.
+//!
+//! Fig. 7 shows three "different configurations of the 90 nm UltraSPARC T1"
+//! as two-die stacks; the exact block shuffles are only sketched in the
+//! figure, so this module defines three documented reconstructions spanning
+//! the same design-space axis — how strongly the two dies' hotspots align
+//! with each other and with the coolant flow:
+//!
+//! * **Arch. 1 — aligned**: both dies carry the Niagara-1 floorplan in the
+//!   same orientation. Core rows stack on core rows: the worst thermal
+//!   coupling, and hotspots at both the inlet and outlet ends.
+//! * **Arch. 2 — staggered**: the bottom die is mirrored along the flow, so
+//!   each die's core rows face the other die's cache rows; total power is
+//!   unchanged but vertical hotspot stacking is broken.
+//! * **Arch. 3 — logic + cache**: the bottom die is replaced by an all-cache
+//!   die (the classic processor-over-memory stack); the top die keeps the
+//!   full Niagara-1 layout.
+
+use crate::{niagara, Floorplan};
+
+/// A named two-die stack: the workloads for the Fig. 8 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Architecture {
+    name: String,
+    description: String,
+    top: Floorplan,
+    bottom: Floorplan,
+}
+
+impl Architecture {
+    /// Builds an architecture from two dies.
+    pub fn new(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        top: Floorplan,
+        bottom: Floorplan,
+    ) -> Self {
+        Self { name: name.into(), description: description.into(), top, bottom }
+    }
+
+    /// Architecture name ("Arch. 1" …).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// One-line description of the arrangement.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Floorplan of the top die (the paper's Fig. 9 view).
+    pub fn top_die(&self) -> &Floorplan {
+        &self.top
+    }
+
+    /// Floorplan of the bottom die.
+    pub fn bottom_die(&self) -> &Floorplan {
+        &self.bottom
+    }
+}
+
+/// Arch. 1 — both dies identical and aligned (stacked hotspots).
+pub fn arch1() -> Architecture {
+    Architecture::new(
+        "Arch. 1",
+        "two Niagara-1 dies, aligned: core rows stack on core rows",
+        niagara::floorplan(),
+        niagara::floorplan(),
+    )
+}
+
+/// Arch. 2 — bottom die uses the inverted block arrangement (core rows in
+/// the inner bands, caches at the edges), so each die's core rows face the
+/// other die's cache rows: staggered hotspots.
+pub fn arch2() -> Architecture {
+    Architecture::new(
+        "Arch. 2",
+        "Niagara-1 over its inverted-layout variant: core rows face cache rows",
+        niagara::floorplan(),
+        niagara::floorplan_inverted(),
+    )
+}
+
+/// Arch. 3 — Niagara-1 logic die over a uniform cache die.
+pub fn arch3() -> Architecture {
+    Architecture::new(
+        "Arch. 3",
+        "Niagara-1 logic die stacked over an all-cache die",
+        niagara::floorplan(),
+        niagara::cache_die(),
+    )
+}
+
+/// All three architectures in paper order.
+pub fn all() -> Vec<Architecture> {
+    vec![arch1(), arch2(), arch3()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PowerLevel;
+
+    #[test]
+    fn three_architectures() {
+        let archs = all();
+        assert_eq!(archs.len(), 3);
+        assert_eq!(archs[0].name(), "Arch. 1");
+        assert_eq!(archs[2].name(), "Arch. 3");
+    }
+
+    #[test]
+    fn arch1_dies_are_identical() {
+        let a = arch1();
+        assert_eq!(a.top_die(), a.bottom_die());
+    }
+
+    #[test]
+    fn arch2_preserves_power_but_moves_blocks() {
+        let a = arch2();
+        assert_ne!(a.top_die(), a.bottom_die());
+        let pt = a.top_die().total_power(PowerLevel::Peak).as_watts();
+        let pb = a.bottom_die().total_power(PowerLevel::Peak).as_watts();
+        assert!((pt - pb).abs() < 1e-9, "mirroring must preserve power");
+    }
+
+    #[test]
+    fn arch2_staggers_hotspots() {
+        // In Arch. 2 the dies' core rows must not overlap in z: the top die
+        // has cores at the ends, the bottom die in the inner bands.
+        let a = arch2();
+        let core_rows = |fp: &crate::Floorplan| -> Vec<(f64, f64)> {
+            fp.blocks()
+                .iter()
+                .filter(|b| b.kind() == crate::BlockKind::SparcCore)
+                .map(|b| (b.outline().z_min().as_millimeters(), b.outline().z_max().as_millimeters()))
+                .collect()
+        };
+        for (t0, t1) in core_rows(a.top_die()) {
+            for (b0, b1) in core_rows(a.bottom_die()) {
+                let overlap = (t1.min(b1) - t0.max(b0)).max(0.0);
+                assert!(overlap < 1e-9, "core rows overlap: [{t0},{t1}] vs [{b0},{b1}]");
+            }
+        }
+    }
+
+    #[test]
+    fn arch3_bottom_die_is_cooler() {
+        let a = arch3();
+        let pt = a.top_die().total_power(PowerLevel::Peak).as_watts();
+        let pb = a.bottom_die().total_power(PowerLevel::Peak).as_watts();
+        assert!(pb < 0.5 * pt, "cache die draws much less than the logic die");
+    }
+
+    #[test]
+    fn descriptions_are_informative() {
+        for a in all() {
+            assert!(!a.description().is_empty());
+        }
+    }
+}

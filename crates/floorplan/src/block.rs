@@ -1,0 +1,167 @@
+//! Floorplan blocks: a placed rectangle with peak and average power.
+
+use crate::FloorplanError;
+use liquamod_units::{HeatFlux, Power, Rect};
+
+/// Functional category of a block, matching the Fig. 7 legend (SPARC core,
+/// L2 cache, crossbar, other).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockKind {
+    /// A SPARC processor core.
+    SparcCore,
+    /// An L2 cache bank (data or tag).
+    L2Cache,
+    /// The CPU–cache crossbar (CCX).
+    Crossbar,
+    /// Everything else (FPU, IO, DRAM controllers, misc logic).
+    Other,
+}
+
+impl BlockKind {
+    /// Single-character tag used by layout printers.
+    pub fn tag(&self) -> char {
+        match self {
+            BlockKind::SparcCore => 'C',
+            BlockKind::L2Cache => 'L',
+            BlockKind::Crossbar => 'X',
+            BlockKind::Other => '.',
+        }
+    }
+}
+
+/// A placed functional block with its two power operating points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    name: String,
+    kind: BlockKind,
+    outline: Rect,
+    power_peak: Power,
+    power_average: Power,
+}
+
+impl Block {
+    /// Creates a block.
+    ///
+    /// # Errors
+    ///
+    /// [`FloorplanError::InvalidPower`] if either power is negative,
+    /// non-finite, or average exceeds peak.
+    pub fn new(
+        name: impl Into<String>,
+        kind: BlockKind,
+        outline: Rect,
+        power_peak: Power,
+        power_average: Power,
+    ) -> crate::Result<Self> {
+        let name = name.into();
+        for p in [power_peak, power_average] {
+            if !p.is_finite() || p.si() < 0.0 {
+                return Err(FloorplanError::InvalidPower { block: name, value: p.si() });
+            }
+        }
+        if power_average.si() > power_peak.si() {
+            return Err(FloorplanError::InvalidPower {
+                block: name,
+                value: power_average.si(),
+            });
+        }
+        Ok(Self { name, kind, outline, power_peak, power_average })
+    }
+
+    /// Block name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Functional category.
+    pub fn kind(&self) -> BlockKind {
+        self.kind
+    }
+
+    /// Placed outline.
+    pub fn outline(&self) -> &Rect {
+        &self.outline
+    }
+
+    /// Peak (worst-case) power.
+    pub fn power_peak(&self) -> Power {
+        self.power_peak
+    }
+
+    /// Average (typical workload) power.
+    pub fn power_average(&self) -> Power {
+        self.power_average
+    }
+
+    /// Areal heat flux at peak power.
+    pub fn flux_peak(&self) -> HeatFlux {
+        self.power_peak / self.outline.area()
+    }
+
+    /// Areal heat flux at average power.
+    pub fn flux_average(&self) -> HeatFlux {
+        self.power_average / self.outline.area()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect() -> Rect {
+        Rect::from_mm(0.0, 0.0, 2.0, 2.0).unwrap()
+    }
+
+    #[test]
+    fn block_flux() {
+        let b = Block::new(
+            "core0",
+            BlockKind::SparcCore,
+            rect(),
+            Power::from_watts(2.4),
+            Power::from_watts(1.2),
+        )
+        .unwrap();
+        // 2.4 W over 4 mm² = 0.04 cm² → 60 W/cm².
+        assert!((b.flux_peak().as_w_per_cm2() - 60.0).abs() < 1e-9);
+        assert!((b.flux_average().as_w_per_cm2() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_negative_power() {
+        assert!(Block::new(
+            "x",
+            BlockKind::Other,
+            rect(),
+            Power::from_watts(-1.0),
+            Power::from_watts(0.0)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_average_above_peak() {
+        assert!(Block::new(
+            "x",
+            BlockKind::Other,
+            rect(),
+            Power::from_watts(1.0),
+            Power::from_watts(2.0)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn kind_tags_are_distinct() {
+        let tags = [
+            BlockKind::SparcCore.tag(),
+            BlockKind::L2Cache.tag(),
+            BlockKind::Crossbar.tag(),
+            BlockKind::Other.tag(),
+        ];
+        let mut dedup = tags.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 4);
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type for floorplan construction.
+
+use std::fmt;
+
+/// Error returned by floorplan validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FloorplanError {
+    /// A block extends beyond the die outline.
+    BlockOutOfBounds {
+        /// Name of the offending block.
+        block: String,
+    },
+    /// Two blocks overlap.
+    BlocksOverlap {
+        /// First block name.
+        a: String,
+        /// Second block name.
+        b: String,
+    },
+    /// A power value is negative or non-finite.
+    InvalidPower {
+        /// Name of the offending block.
+        block: String,
+        /// Rejected value in watts.
+        value: f64,
+    },
+    /// The die outline is degenerate.
+    InvalidDie {
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl fmt::Display for FloorplanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FloorplanError::BlockOutOfBounds { block } => {
+                write!(f, "block '{block}' extends beyond the die outline")
+            }
+            FloorplanError::BlocksOverlap { a, b } => {
+                write!(f, "blocks '{a}' and '{b}' overlap")
+            }
+            FloorplanError::InvalidPower { block, value } => {
+                write!(f, "block '{block}' has invalid power {value} W")
+            }
+            FloorplanError::InvalidDie { what } => write!(f, "invalid die: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FloorplanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(FloorplanError::BlockOutOfBounds { block: "core0".into() }
+            .to_string()
+            .contains("core0"));
+        assert!(FloorplanError::BlocksOverlap { a: "a".into(), b: "b".into() }
+            .to_string()
+            .contains("overlap"));
+        assert!(FloorplanError::InvalidPower { block: "x".into(), value: -1.0 }
+            .to_string()
+            .contains("-1"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<FloorplanError>();
+    }
+}

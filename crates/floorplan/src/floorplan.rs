@@ -1,0 +1,328 @@
+//! Die floorplans: a validated set of non-overlapping placed blocks.
+
+use crate::{Block, FloorplanError, FluxGrid, Result};
+use liquamod_units::{HeatFlux, Length, Point2, Power};
+
+/// Which power operating point to evaluate (the paper's Fig. 8 reports both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PowerLevel {
+    /// Worst-case (peak) dissipation — the paper's design-time input.
+    Peak,
+    /// Typical (average) dissipation.
+    Average,
+}
+
+/// A die floorplan: outline plus placed blocks.
+///
+/// Coordinates follow the crate convention: `x` across the coolant flow,
+/// `z` along it (inlet at `z = 0`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Floorplan {
+    name: String,
+    width: Length,
+    depth: Length,
+    blocks: Vec<Block>,
+}
+
+impl Floorplan {
+    /// Creates a floorplan and validates it: every block inside the outline,
+    /// no two blocks overlapping.
+    ///
+    /// # Errors
+    ///
+    /// [`FloorplanError::InvalidDie`], [`FloorplanError::BlockOutOfBounds`]
+    /// or [`FloorplanError::BlocksOverlap`].
+    pub fn new(
+        name: impl Into<String>,
+        width: Length,
+        depth: Length,
+        blocks: Vec<Block>,
+    ) -> Result<Self> {
+        if !(width.si() > 0.0 && depth.si() > 0.0) {
+            return Err(FloorplanError::InvalidDie {
+                what: "die extents must be positive".to_string(),
+            });
+        }
+        let eps = 1e-9;
+        for b in &blocks {
+            let o = b.outline();
+            if o.x_min().si() < -eps
+                || o.z_min().si() < -eps
+                || o.x_max().si() > width.si() + eps
+                || o.z_max().si() > depth.si() + eps
+            {
+                return Err(FloorplanError::BlockOutOfBounds { block: b.name().to_string() });
+            }
+        }
+        for (i, a) in blocks.iter().enumerate() {
+            for b in blocks.iter().skip(i + 1) {
+                // Tolerate sliver overlaps from mm-rounded coordinates.
+                let overlap = a.outline().intersection_area(b.outline()).si();
+                if overlap > 1e-12 {
+                    return Err(FloorplanError::BlocksOverlap {
+                        a: a.name().to_string(),
+                        b: b.name().to_string(),
+                    });
+                }
+            }
+        }
+        Ok(Self { name: name.into(), width, depth, blocks })
+    }
+
+    /// Floorplan name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Die extent across the flow.
+    pub fn width(&self) -> Length {
+        self.width
+    }
+
+    /// Die extent along the flow.
+    pub fn depth(&self) -> Length {
+        self.depth
+    }
+
+    /// Placed blocks.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Block power at the requested level.
+    pub fn block_power(block: &Block, level: PowerLevel) -> Power {
+        match level {
+            PowerLevel::Peak => block.power_peak(),
+            PowerLevel::Average => block.power_average(),
+        }
+    }
+
+    /// Total die power at the requested level.
+    pub fn total_power(&self, level: PowerLevel) -> Power {
+        self.blocks.iter().map(|b| Self::block_power(b, level)).sum()
+    }
+
+    /// Areal heat flux at a point (zero between blocks).
+    pub fn flux_at(&self, p: Point2, level: PowerLevel) -> HeatFlux {
+        for b in &self.blocks {
+            if b.outline().contains(p) {
+                return match level {
+                    PowerLevel::Peak => b.flux_peak(),
+                    PowerLevel::Average => b.flux_average(),
+                };
+            }
+        }
+        HeatFlux::ZERO
+    }
+
+    /// Rasterizes the floorplan onto an `nx × nz` cell grid by exact
+    /// area-weighted averaging of block fluxes (see [`FluxGrid`]).
+    pub fn rasterize(&self, nx: usize, nz: usize, level: PowerLevel) -> FluxGrid {
+        FluxGrid::from_floorplan(self, nx, nz, level)
+    }
+
+    /// Returns a copy mirrored along the flow direction (`z → depth − z`):
+    /// the block that sat at the inlet moves to the outlet. Used to build
+    /// the staggered-die architectures of Fig. 7.
+    pub fn mirrored_z(&self, new_name: impl Into<String>) -> Self {
+        let blocks = self
+            .blocks
+            .iter()
+            .map(|b| {
+                let o = b.outline();
+                let new_zmin = self.depth.si() - o.z_max().si();
+                let outline = liquamod_units::Rect::new(
+                    Point2::new(o.x_min(), Length::from_meters(new_zmin)),
+                    o.width(),
+                    o.depth(),
+                )
+                .expect("mirroring preserves validity");
+                Block::new(b.name(), b.kind(), outline, b.power_peak(), b.power_average())
+                    .expect("mirroring preserves validity")
+            })
+            .collect();
+        Self {
+            name: new_name.into(),
+            width: self.width,
+            depth: self.depth,
+            blocks,
+        }
+    }
+
+    /// Returns a copy mirrored across the flow (`x → width − x`).
+    pub fn mirrored_x(&self, new_name: impl Into<String>) -> Self {
+        let blocks = self
+            .blocks
+            .iter()
+            .map(|b| {
+                let o = b.outline();
+                let new_xmin = self.width.si() - o.x_max().si();
+                let outline = liquamod_units::Rect::new(
+                    Point2::new(Length::from_meters(new_xmin), o.z_min()),
+                    o.width(),
+                    o.depth(),
+                )
+                .expect("mirroring preserves validity");
+                Block::new(b.name(), b.kind(), outline, b.power_peak(), b.power_average())
+                    .expect("mirroring preserves validity")
+            })
+            .collect();
+        Self {
+            name: new_name.into(),
+            width: self.width,
+            depth: self.depth,
+            blocks,
+        }
+    }
+
+    /// Renders the block layout as ASCII art (rows along `z`, flow upward,
+    /// like the paper's figures), tagging cells by block kind.
+    pub fn layout_ascii(&self, nx: usize, nz: usize) -> String {
+        let mut out = String::new();
+        for jz in (0..nz).rev() {
+            out.push('|');
+            for ix in 0..nx {
+                let p = Point2::new(
+                    Length::from_meters((ix as f64 + 0.5) * self.width.si() / nx as f64),
+                    Length::from_meters((jz as f64 + 0.5) * self.depth.si() / nz as f64),
+                );
+                let tag = self
+                    .blocks
+                    .iter()
+                    .find(|b| b.outline().contains(p))
+                    .map_or(' ', |b| b.kind().tag());
+                out.push(tag);
+            }
+            out.push_str("|\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BlockKind;
+    use liquamod_units::Rect;
+
+    fn block(name: &str, x: f64, z: f64, w: f64, d: f64, peak: f64) -> Block {
+        Block::new(
+            name,
+            BlockKind::SparcCore,
+            Rect::from_mm(x, z, w, d).unwrap(),
+            Power::from_watts(peak),
+            Power::from_watts(peak / 2.0),
+        )
+        .unwrap()
+    }
+
+    fn mm(v: f64) -> Length {
+        Length::from_millimeters(v)
+    }
+
+    #[test]
+    fn validates_bounds() {
+        let err = Floorplan::new(
+            "f",
+            mm(5.0),
+            mm(5.0),
+            vec![block("a", 4.0, 0.0, 2.0, 1.0, 1.0)],
+        );
+        assert!(matches!(err, Err(FloorplanError::BlockOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn validates_overlap() {
+        let err = Floorplan::new(
+            "f",
+            mm(5.0),
+            mm(5.0),
+            vec![
+                block("a", 0.0, 0.0, 2.0, 2.0, 1.0),
+                block("b", 1.0, 1.0, 2.0, 2.0, 1.0),
+            ],
+        );
+        assert!(matches!(err, Err(FloorplanError::BlocksOverlap { .. })));
+    }
+
+    #[test]
+    fn adjacent_blocks_are_fine() {
+        let fp = Floorplan::new(
+            "f",
+            mm(4.0),
+            mm(2.0),
+            vec![
+                block("a", 0.0, 0.0, 2.0, 2.0, 1.0),
+                block("b", 2.0, 0.0, 2.0, 2.0, 1.0),
+            ],
+        );
+        assert!(fp.is_ok());
+    }
+
+    #[test]
+    fn flux_lookup_and_total() {
+        let fp = Floorplan::new(
+            "f",
+            mm(4.0),
+            mm(2.0),
+            vec![block("a", 0.0, 0.0, 2.0, 2.0, 2.0)],
+        )
+        .unwrap();
+        let inside = Point2::new(mm(1.0), mm(1.0));
+        let outside = Point2::new(mm(3.0), mm(1.0));
+        // 2 W over 4 mm² = 50 W/cm².
+        assert!((fp.flux_at(inside, PowerLevel::Peak).as_w_per_cm2() - 50.0).abs() < 1e-9);
+        assert_eq!(fp.flux_at(outside, PowerLevel::Peak), HeatFlux::ZERO);
+        assert!((fp.total_power(PowerLevel::Peak).as_watts() - 2.0).abs() < 1e-12);
+        assert!((fp.total_power(PowerLevel::Average).as_watts() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mirrored_z_moves_blocks() {
+        let fp = Floorplan::new(
+            "f",
+            mm(4.0),
+            mm(10.0),
+            vec![block("a", 0.0, 0.0, 4.0, 2.0, 2.0)],
+        )
+        .unwrap();
+        let m = fp.mirrored_z("f-mirrored");
+        let o = m.blocks()[0].outline();
+        assert!((o.z_min().as_millimeters() - 8.0).abs() < 1e-9);
+        assert!((o.z_max().as_millimeters() - 10.0).abs() < 1e-9);
+        assert_eq!(m.name(), "f-mirrored");
+        // Power preserved.
+        assert_eq!(m.total_power(PowerLevel::Peak), fp.total_power(PowerLevel::Peak));
+    }
+
+    #[test]
+    fn mirrored_x_moves_blocks() {
+        let fp = Floorplan::new(
+            "f",
+            mm(10.0),
+            mm(4.0),
+            vec![block("a", 0.0, 0.0, 2.0, 4.0, 2.0)],
+        )
+        .unwrap();
+        let m = fp.mirrored_x("fx");
+        let o = m.blocks()[0].outline();
+        assert!((o.x_min().as_millimeters() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ascii_layout_tags_blocks() {
+        let fp = Floorplan::new(
+            "f",
+            mm(4.0),
+            mm(4.0),
+            vec![block("a", 0.0, 0.0, 4.0, 2.0, 2.0)],
+        )
+        .unwrap();
+        let art = fp.layout_ascii(4, 4);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Flow renders upward: block at z∈[0,2) appears in the BOTTOM rows.
+        assert!(lines[3].contains('C'));
+        assert!(!lines[0].contains('C'));
+    }
+}

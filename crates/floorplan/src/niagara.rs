@@ -1,0 +1,392 @@
+//! A reconstruction of the 90 nm UltraSPARC T1 (Niagara-1) die for the
+//! paper's 3D-MPSoC experiments.
+//!
+//! The authors used measured per-block powers and the floorplans of their
+//! refs. [4, 5, 7]; neither the exact floorplan coordinates nor the measured
+//! traces are public, so this module reconstructs the die from the publicly
+//! documented block structure of Niagara-1 — eight SPARC cores, eight L2
+//! banks, a central crossbar, FPU and IO/DRAM support logic — scaled onto
+//! the paper's 1 cm × 1.1 cm die and with power densities chosen to match
+//! the stated range of **8–64 W/cm²** at peak. Average powers follow typical
+//! activity derating (cores idle more than caches).
+//!
+//! Layout sketch (flow direction `z` upward, die 10 mm wide × 11 mm deep):
+//!
+//! ```text
+//!   z=11.0 ┌──────────────────────────────┐
+//!          │ core4 │ core5 │ core6 │ core7 │   2.2 mm   (SPARC cores)
+//!    z=8.8 ├──────────────────────────────┤
+//!          │  l2d2   │  l2d3  │ l2t2│ l2t3 │   2.2 mm   (L2 banks)
+//!    z=6.6 ├──────────────────────────────┤
+//!          │ fpu │ iob │  crossbar  │ dram │   2.2 mm   (centre band)
+//!    z=4.4 ├──────────────────────────────┤
+//!          │  l2d0   │  l2d1  │ l2t0│ l2t1 │   2.2 mm   (L2 banks)
+//!    z=2.2 ├──────────────────────────────┤
+//!          │ core0 │ core1 │ core2 │ core3 │   2.2 mm   (SPARC cores)
+//!    z=0.0 └──────────────────────────────┘
+//!           x=0                       x=10
+//! ```
+
+use crate::{Block, BlockKind, Floorplan};
+use liquamod_units::{Length, Power, Rect};
+
+/// Die extent across the coolant flow (1 cm).
+pub const DIE_WIDTH_MM: f64 = 10.0;
+/// Die extent along the coolant flow (1.1 cm).
+pub const DIE_DEPTH_MM: f64 = 11.0;
+
+/// Peak heat-flux targets per block kind (W/cm²), inside the paper's
+/// 8–64 W/cm² band.
+const CORE_FLUX: f64 = 60.0;
+const L2_FLUX: f64 = 16.0;
+const XBAR_FLUX: f64 = 40.0;
+const FPU_FLUX: f64 = 30.0;
+const IOB_FLUX: f64 = 12.0;
+const DRAM_FLUX: f64 = 8.0;
+
+/// Activity derating from peak to average power per block kind.
+const CORE_DERATE: f64 = 0.55;
+const L2_DERATE: f64 = 0.70;
+const XBAR_DERATE: f64 = 0.60;
+const OTHER_DERATE: f64 = 0.65;
+
+fn block(
+    name: &str,
+    kind: BlockKind,
+    x: f64,
+    z: f64,
+    w: f64,
+    d: f64,
+    flux_w_cm2: f64,
+    derate: f64,
+) -> Block {
+    let outline = Rect::from_mm(x, z, w, d).expect("niagara block geometry is valid");
+    let area_cm2 = outline.area().as_cm2();
+    let peak = Power::from_watts(flux_w_cm2 * area_cm2);
+    let avg = peak * derate;
+    Block::new(name, kind, outline, peak, avg).expect("niagara block powers are valid")
+}
+
+/// The reconstructed Niagara-1 floorplan (see the module docs).
+pub fn floorplan() -> Floorplan {
+    let mut blocks = Vec::new();
+    // Bottom row of cores (inlet side) and top row (outlet side).
+    for c in 0..4 {
+        let x = c as f64 * 2.5;
+        blocks.push(block(
+            &format!("core{c}"),
+            BlockKind::SparcCore,
+            x,
+            0.0,
+            2.5,
+            2.2,
+            CORE_FLUX,
+            CORE_DERATE,
+        ));
+        blocks.push(block(
+            &format!("core{}", c + 4),
+            BlockKind::SparcCore,
+            x,
+            8.8,
+            2.5,
+            2.2,
+            CORE_FLUX,
+            CORE_DERATE,
+        ));
+    }
+    // L2 bands: two data banks (3 mm) + two tag banks (2 mm) per band.
+    for (band, z) in [(0, 2.2), (1, 6.6)] {
+        blocks.push(block(
+            &format!("l2d{}", band * 2),
+            BlockKind::L2Cache,
+            0.0,
+            z,
+            3.0,
+            2.2,
+            L2_FLUX,
+            L2_DERATE,
+        ));
+        blocks.push(block(
+            &format!("l2d{}", band * 2 + 1),
+            BlockKind::L2Cache,
+            3.0,
+            z,
+            3.0,
+            2.2,
+            L2_FLUX,
+            L2_DERATE,
+        ));
+        blocks.push(block(
+            &format!("l2t{}", band * 2),
+            BlockKind::L2Cache,
+            6.0,
+            z,
+            2.0,
+            2.2,
+            L2_FLUX,
+            L2_DERATE,
+        ));
+        blocks.push(block(
+            &format!("l2t{}", band * 2 + 1),
+            BlockKind::L2Cache,
+            8.0,
+            z,
+            2.0,
+            2.2,
+            L2_FLUX,
+            L2_DERATE,
+        ));
+    }
+    // Centre band: FPU, IO bridge, crossbar, DRAM controllers.
+    blocks.push(block("fpu", BlockKind::Other, 0.0, 4.4, 1.5, 2.2, FPU_FLUX, OTHER_DERATE));
+    blocks.push(block("iob", BlockKind::Other, 1.5, 4.4, 1.0, 2.2, IOB_FLUX, OTHER_DERATE));
+    blocks.push(block(
+        "ccx",
+        BlockKind::Crossbar,
+        2.5,
+        4.4,
+        5.0,
+        2.2,
+        XBAR_FLUX,
+        XBAR_DERATE,
+    ));
+    blocks.push(block(
+        "dram",
+        BlockKind::Other,
+        7.5,
+        4.4,
+        2.5,
+        2.2,
+        DRAM_FLUX,
+        OTHER_DERATE,
+    ));
+    Floorplan::new(
+        "niagara-1",
+        Length::from_millimeters(DIE_WIDTH_MM),
+        Length::from_millimeters(DIE_DEPTH_MM),
+        blocks,
+    )
+    .expect("niagara floorplan is valid")
+}
+
+/// An alternative arrangement of the same blocks with the core rows moved
+/// into the bands adjacent to the centre and the L2 rows pushed to the die
+/// edges — the kind of block shuffle the paper's Fig. 7 sketches. Stacking
+/// this variant under the standard layout staggers the two dies' core rows
+/// along the flow direction instead of piling them up.
+///
+/// ```text
+///   z=11.0 ┌──────────────────────────────┐
+///          │  l2d2   │  l2d3  │ l2t2│ l2t3 │   2.2 mm   (L2 banks)
+///    z=8.8 ├──────────────────────────────┤
+///          │ core4 │ core5 │ core6 │ core7 │   2.2 mm   (SPARC cores)
+///    z=6.6 ├──────────────────────────────┤
+///          │ fpu │ iob │  crossbar  │ dram │   2.2 mm   (centre band)
+///    z=4.4 ├──────────────────────────────┤
+///          │ core0 │ core1 │ core2 │ core3 │   2.2 mm   (SPARC cores)
+///    z=2.2 ├──────────────────────────────┤
+///          │  l2d0   │  l2d1  │ l2t0│ l2t1 │   2.2 mm   (L2 banks)
+///    z=0.0 └──────────────────────────────┘
+/// ```
+pub fn floorplan_inverted() -> Floorplan {
+    let mut blocks = Vec::new();
+    // Core rows in the second and fourth bands.
+    for c in 0..4 {
+        let x = c as f64 * 2.5;
+        blocks.push(block(
+            &format!("core{c}"),
+            BlockKind::SparcCore,
+            x,
+            2.2,
+            2.5,
+            2.2,
+            CORE_FLUX,
+            CORE_DERATE,
+        ));
+        blocks.push(block(
+            &format!("core{}", c + 4),
+            BlockKind::SparcCore,
+            x,
+            6.6,
+            2.5,
+            2.2,
+            CORE_FLUX,
+            CORE_DERATE,
+        ));
+    }
+    // L2 bands at the die edges.
+    for (band, z) in [(0, 0.0), (1, 8.8)] {
+        blocks.push(block(
+            &format!("l2d{}", band * 2),
+            BlockKind::L2Cache,
+            0.0,
+            z,
+            3.0,
+            2.2,
+            L2_FLUX,
+            L2_DERATE,
+        ));
+        blocks.push(block(
+            &format!("l2d{}", band * 2 + 1),
+            BlockKind::L2Cache,
+            3.0,
+            z,
+            3.0,
+            2.2,
+            L2_FLUX,
+            L2_DERATE,
+        ));
+        blocks.push(block(
+            &format!("l2t{}", band * 2),
+            BlockKind::L2Cache,
+            6.0,
+            z,
+            2.0,
+            2.2,
+            L2_FLUX,
+            L2_DERATE,
+        ));
+        blocks.push(block(
+            &format!("l2t{}", band * 2 + 1),
+            BlockKind::L2Cache,
+            8.0,
+            z,
+            2.0,
+            2.2,
+            L2_FLUX,
+            L2_DERATE,
+        ));
+    }
+    // Centre band unchanged.
+    blocks.push(block("fpu", BlockKind::Other, 0.0, 4.4, 1.5, 2.2, FPU_FLUX, OTHER_DERATE));
+    blocks.push(block("iob", BlockKind::Other, 1.5, 4.4, 1.0, 2.2, IOB_FLUX, OTHER_DERATE));
+    blocks.push(block(
+        "ccx",
+        BlockKind::Crossbar,
+        2.5,
+        4.4,
+        5.0,
+        2.2,
+        XBAR_FLUX,
+        XBAR_DERATE,
+    ));
+    blocks.push(block(
+        "dram",
+        BlockKind::Other,
+        7.5,
+        4.4,
+        2.5,
+        2.2,
+        DRAM_FLUX,
+        OTHER_DERATE,
+    ));
+    Floorplan::new(
+        "niagara-1-inverted",
+        Length::from_millimeters(DIE_WIDTH_MM),
+        Length::from_millimeters(DIE_DEPTH_MM),
+        blocks,
+    )
+    .expect("inverted niagara floorplan is valid")
+}
+
+/// A cache-die companion: the same outline filled entirely with L2 banks —
+/// the classic "logic die + memory die" 3D stacking arrangement used as the
+/// third architecture variant.
+pub fn cache_die() -> Floorplan {
+    let mut blocks = Vec::new();
+    for row in 0..5 {
+        for col in 0..4 {
+            blocks.push(block(
+                &format!("l3_{row}_{col}"),
+                BlockKind::L2Cache,
+                col as f64 * 2.5,
+                row as f64 * 2.2,
+                2.5,
+                2.2,
+                L2_FLUX * 0.75,
+                L2_DERATE,
+            ));
+        }
+    }
+    Floorplan::new(
+        "cache-die",
+        Length::from_millimeters(DIE_WIDTH_MM),
+        Length::from_millimeters(DIE_DEPTH_MM),
+        blocks,
+    )
+    .expect("cache die floorplan is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PowerLevel;
+
+    #[test]
+    fn floorplan_is_valid_and_covers_die() {
+        let fp = floorplan();
+        assert_eq!(fp.blocks().len(), 8 + 8 + 4);
+        // Full tiling: block areas sum to the die area.
+        let total: f64 = fp.blocks().iter().map(|b| b.outline().area().as_cm2()).sum();
+        assert!((total - 1.1).abs() < 1e-9, "covered {total} cm² of 1.1");
+    }
+
+    #[test]
+    fn flux_range_matches_paper() {
+        let fp = floorplan();
+        let max = fp
+            .blocks()
+            .iter()
+            .map(|b| b.flux_peak().as_w_per_cm2())
+            .fold(f64::NEG_INFINITY, f64::max);
+        let min = fp
+            .blocks()
+            .iter()
+            .map(|b| b.flux_peak().as_w_per_cm2())
+            .fold(f64::INFINITY, f64::min);
+        assert!((8.0..=64.0).contains(&max), "max flux {max}");
+        assert!((8.0..=64.0).contains(&min), "min flux {min}");
+        assert!(max > 55.0, "cores should approach the 64 W/cm² end");
+    }
+
+    #[test]
+    fn total_power_is_plausible() {
+        let fp = floorplan();
+        let peak = fp.total_power(PowerLevel::Peak).as_watts();
+        let avg = fp.total_power(PowerLevel::Average).as_watts();
+        // ~38 W per die at peak for this flux assignment.
+        assert!(peak > 25.0 && peak < 50.0, "peak {peak} W");
+        assert!(avg < peak && avg > 0.5 * peak, "avg {avg} W");
+    }
+
+    #[test]
+    fn cores_sit_at_inlet_and_outlet_edges() {
+        let fp = floorplan();
+        let core0 = fp.blocks().iter().find(|b| b.name() == "core0").unwrap();
+        let core7 = fp.blocks().iter().find(|b| b.name() == "core7").unwrap();
+        assert_eq!(core0.outline().z_min().si(), 0.0);
+        assert!((core7.outline().z_max().as_millimeters() - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_die_is_uniformly_cool() {
+        let fp = cache_die();
+        assert_eq!(fp.blocks().len(), 20);
+        let max = fp
+            .blocks()
+            .iter()
+            .map(|b| b.flux_peak().as_w_per_cm2())
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(max < 16.0, "cache die stays low-flux, got {max}");
+    }
+
+    #[test]
+    fn layout_ascii_shows_structure() {
+        let art = floorplan().layout_ascii(20, 11);
+        // Core rows at both ends, cache rows between.
+        assert!(art.lines().next().unwrap().contains('C'));
+        assert!(art.lines().last().unwrap().contains('C'));
+        assert!(art.contains('L'));
+        assert!(art.contains('X'));
+    }
+}

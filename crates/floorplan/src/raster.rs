@@ -1,0 +1,245 @@
+//! Rasterization of floorplans onto channel-aligned cell grids.
+//!
+//! The analytical model wants *per-channel heat profiles* `q̂(z)` (W/m along
+//! the flow); the finite-volume simulator wants *per-cell powers*. Both are
+//! derived from one exact area-weighted rasterization: cell flux =
+//! Σ_blocks flux·overlap / cell area.
+
+use crate::{Floorplan, PowerLevel};
+use liquamod_units::{Length, Point2, Power, Rect};
+
+/// Areal heat flux sampled on an `nx × nz` grid over a die.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FluxGrid {
+    nx: usize,
+    nz: usize,
+    die_width: f64,
+    die_length: f64,
+    /// Row-major `[j][i]` W/m².
+    flux: Vec<f64>,
+}
+
+impl FluxGrid {
+    /// Rasterizes a floorplan by exact block/cell overlap integration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either grid dimension is zero.
+    pub fn from_floorplan(fp: &Floorplan, nx: usize, nz: usize, level: PowerLevel) -> Self {
+        assert!(nx > 0 && nz > 0, "flux grid needs a non-empty grid");
+        let dx = fp.width().si() / nx as f64;
+        let dz = fp.depth().si() / nz as f64;
+        let cell_area = dx * dz;
+        let mut flux = vec![0.0; nx * nz];
+        for b in fp.blocks() {
+            let f = match level {
+                PowerLevel::Peak => b.flux_peak().si(),
+                PowerLevel::Average => b.flux_average().si(),
+            };
+            let o = b.outline();
+            // Only the cells the block's bounding box touches.
+            let i0 = ((o.x_min().si() / dx).floor().max(0.0)) as usize;
+            let i1 = ((o.x_max().si() / dx).ceil() as usize).min(nx);
+            let j0 = ((o.z_min().si() / dz).floor().max(0.0)) as usize;
+            let j1 = ((o.z_max().si() / dz).ceil() as usize).min(nz);
+            for j in j0..j1 {
+                for i in i0..i1 {
+                    let cell = Rect::new(
+                        Point2::new(
+                            Length::from_meters(i as f64 * dx),
+                            Length::from_meters(j as f64 * dz),
+                        ),
+                        Length::from_meters(dx),
+                        Length::from_meters(dz),
+                    )
+                    .expect("grid cells are non-degenerate");
+                    let overlap = cell.intersection_area(o).si();
+                    if overlap > 0.0 {
+                        flux[j * nx + i] += f * overlap / cell_area;
+                    }
+                }
+            }
+        }
+        Self { nx, nz, die_width: fp.width().si(), die_length: fp.depth().si(), flux }
+    }
+
+    /// Builds a grid directly from a flux function sampled at cell centres
+    /// (test workloads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either grid dimension is zero.
+    pub fn from_fn(
+        nx: usize,
+        nz: usize,
+        die_width: Length,
+        die_length: Length,
+        f: impl Fn(Length, Length) -> f64,
+    ) -> Self {
+        assert!(nx > 0 && nz > 0, "flux grid needs a non-empty grid");
+        let dx = die_width.si() / nx as f64;
+        let dz = die_length.si() / nz as f64;
+        let mut flux = vec![0.0; nx * nz];
+        for j in 0..nz {
+            for i in 0..nx {
+                let x = Length::from_meters((i as f64 + 0.5) * dx);
+                let z = Length::from_meters((j as f64 + 0.5) * dz);
+                flux[j * nx + i] = f(x, z);
+            }
+        }
+        Self { nx, nz, die_width: die_width.si(), die_length: die_length.si(), flux }
+    }
+
+    /// Grid dimensions `(nx, nz)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.nx, self.nz)
+    }
+
+    /// Die extent across the flow.
+    pub fn die_width(&self) -> Length {
+        Length::from_meters(self.die_width)
+    }
+
+    /// Die extent along the flow.
+    pub fn die_length(&self) -> Length {
+        Length::from_meters(self.die_length)
+    }
+
+    /// Flux of cell `(i, j)` in W/m².
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn flux_w_per_m2(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.nx && j < self.nz, "cell index out of range");
+        self.flux[j * self.nx + i]
+    }
+
+    /// Largest cell flux, in W/cm².
+    pub fn max_flux_w_per_cm2(&self) -> f64 {
+        self.flux.iter().copied().fold(f64::NEG_INFINITY, f64::max) * 1e-4
+    }
+
+    /// Smallest cell flux, in W/cm².
+    pub fn min_flux_w_per_cm2(&self) -> f64 {
+        self.flux.iter().copied().fold(f64::INFINITY, f64::min) * 1e-4
+    }
+
+    /// Total power over the grid.
+    pub fn total_power(&self) -> Power {
+        let cell = self.die_width / self.nx as f64 * self.die_length / self.nz as f64;
+        Power::from_watts(self.flux.iter().sum::<f64>() * cell)
+    }
+
+    /// Per-channel heat steps for column `i`: `(z_start_m, q̂ W/m)` pairs,
+    /// one per `z` cell, where `q̂ = flux × pitch` aggregates the column's
+    /// share of the die width. This is the exchange format the analytical
+    /// model's heat profiles consume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn column_steps(&self, i: usize) -> Vec<(f64, f64)> {
+        assert!(i < self.nx, "column index out of range");
+        let pitch = self.die_width / self.nx as f64;
+        let dz = self.die_length / self.nz as f64;
+        (0..self.nz)
+            .map(|j| (j as f64 * dz, self.flux[j * self.nx + i] * pitch))
+            .collect()
+    }
+
+    /// Per-cell power in watts (row-major), for power-map construction.
+    pub fn cell_watts(&self) -> Vec<f64> {
+        let cell = self.die_width / self.nx as f64 * self.die_length / self.nz as f64;
+        self.flux.iter().map(|f| f * cell).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Block, BlockKind};
+
+    fn mm(v: f64) -> Length {
+        Length::from_millimeters(v)
+    }
+
+    fn one_block_plan() -> Floorplan {
+        // One 2×2 mm block at 50 W/cm² peak in a 4×4 mm die corner.
+        let b = Block::new(
+            "a",
+            BlockKind::SparcCore,
+            Rect::from_mm(0.0, 0.0, 2.0, 2.0).unwrap(),
+            Power::from_watts(2.0),
+            Power::from_watts(1.0),
+        )
+        .unwrap();
+        Floorplan::new("f", mm(4.0), mm(4.0), vec![b]).unwrap()
+    }
+
+    #[test]
+    fn aligned_raster_is_exact() {
+        let g = one_block_plan().rasterize(4, 4, PowerLevel::Peak);
+        // Block covers cells (0..2, 0..2) exactly: 50 W/cm² = 5e5 W/m².
+        assert!((g.flux_w_per_m2(0, 0) - 5e5).abs() < 1e-6);
+        assert!((g.flux_w_per_m2(1, 1) - 5e5).abs() < 1e-6);
+        assert_eq!(g.flux_w_per_m2(2, 2), 0.0);
+        assert!((g.total_power().as_watts() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn misaligned_raster_conserves_power() {
+        // 3×3 grid over a 4×4 die: cells cut the block at 2/1.333 boundaries.
+        let g = one_block_plan().rasterize(3, 3, PowerLevel::Peak);
+        assert!((g.total_power().as_watts() - 2.0).abs() < 1e-9);
+        // Partially covered cell carries partial flux.
+        let f_partial = g.flux_w_per_m2(1, 0);
+        assert!(f_partial > 0.0 && f_partial < 5e5);
+    }
+
+    #[test]
+    fn average_level_uses_average_power() {
+        let g = one_block_plan().rasterize(4, 4, PowerLevel::Average);
+        assert!((g.total_power().as_watts() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn column_steps_scale_by_pitch() {
+        let g = one_block_plan().rasterize(4, 4, PowerLevel::Peak);
+        let steps = g.column_steps(0);
+        assert_eq!(steps.len(), 4);
+        // q̂ = 5e5 W/m² × 1 mm pitch = 500 W/m in the powered half.
+        assert!((steps[0].1 - 500.0).abs() < 1e-6);
+        assert!((steps[1].1 - 500.0).abs() < 1e-6);
+        assert_eq!(steps[2].1, 0.0);
+        // Step positions are cell starts.
+        assert!((steps[1].0 - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_watts_sum_to_total() {
+        let g = one_block_plan().rasterize(5, 7, PowerLevel::Peak);
+        let sum: f64 = g.cell_watts().iter().sum();
+        assert!((sum - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_fn_samples_centres() {
+        let g = FluxGrid::from_fn(2, 2, mm(2.0), mm(2.0), |x, _| {
+            if x.si() < 1e-3 {
+                1000.0
+            } else {
+                0.0
+            }
+        });
+        assert_eq!(g.flux_w_per_m2(0, 0), 1000.0);
+        assert_eq!(g.flux_w_per_m2(1, 0), 0.0);
+    }
+
+    #[test]
+    fn min_max_flux() {
+        let g = one_block_plan().rasterize(4, 4, PowerLevel::Peak);
+        assert!((g.max_flux_w_per_cm2() - 50.0).abs() < 1e-9);
+        assert_eq!(g.min_flux_w_per_cm2(), 0.0);
+    }
+}

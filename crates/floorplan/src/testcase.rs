@@ -1,0 +1,146 @@
+//! The single-channel test-strip workloads of the paper's Fig. 4.
+//!
+//! * **Test A**: a uniform 50 W/cm² heat flux applied to both the top and
+//!   bottom active layers of a 1 cm strip (one channel pitch wide).
+//! * **Test B**: the strip divided into equal segments; each segment of each
+//!   layer draws an independent random flux in `[50, 250]` W/cm² — "the
+//!   range of power densities typically used to model the non-uniform heat
+//!   dissipation of ICs" (§V-A). The paper does not publish its random
+//!   draw, so the reproduction fixes a seed and documents it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seed used for the published Test-B reproduction numbers.
+pub const TEST_B_DEFAULT_SEED: u64 = 0xDA7E_2012;
+
+/// Number of segments per layer in Test B (matching the granularity of the
+/// paper's Fig. 4b strip).
+pub const TEST_B_SEGMENTS: usize = 10;
+
+/// Test A flux (per layer), W/cm².
+pub const TEST_A_FLUX_W_CM2: f64 = 50.0;
+
+/// Test B flux range (per segment, per layer), W/cm².
+pub const TEST_B_FLUX_RANGE_W_CM2: (f64, f64) = (50.0, 250.0);
+
+/// A two-layer strip load: per-layer heat flux as equal-length segments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StripLoad {
+    /// Human-readable name ("Test A" / "Test B").
+    pub name: String,
+    /// Segment fluxes on the top layer, inlet → outlet, W/cm².
+    pub top_w_cm2: Vec<f64>,
+    /// Segment fluxes on the bottom layer, inlet → outlet, W/cm².
+    pub bottom_w_cm2: Vec<f64>,
+}
+
+impl StripLoad {
+    /// Converts a layer's segment fluxes to per-unit-length heat inputs
+    /// (`q̂`, W/m) for a channel of the given pitch: `q̂ = flux · pitch`.
+    pub fn layer_w_per_m(fluxes_w_cm2: &[f64], pitch_m: f64) -> Vec<f64> {
+        fluxes_w_cm2.iter().map(|f| f * 1e4 * pitch_m).collect()
+    }
+
+    /// Largest flux anywhere on the strip, W/cm².
+    pub fn max_flux(&self) -> f64 {
+        self.top_w_cm2
+            .iter()
+            .chain(self.bottom_w_cm2.iter())
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Smallest flux anywhere on the strip, W/cm².
+    pub fn min_flux(&self) -> f64 {
+        self.top_w_cm2
+            .iter()
+            .chain(self.bottom_w_cm2.iter())
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Test A: uniform 50 W/cm² on both layers (a single segment per layer).
+pub fn test_a() -> StripLoad {
+    StripLoad {
+        name: "Test A".to_string(),
+        top_w_cm2: vec![TEST_A_FLUX_W_CM2],
+        bottom_w_cm2: vec![TEST_A_FLUX_W_CM2],
+    }
+}
+
+/// Test B with the default seed and segment count.
+pub fn test_b() -> StripLoad {
+    test_b_seeded(TEST_B_DEFAULT_SEED, TEST_B_SEGMENTS)
+}
+
+/// Test B with an explicit seed and segment count: each segment of each
+/// layer draws uniformly from `[50, 250]` W/cm².
+///
+/// # Panics
+///
+/// Panics if `segments` is zero.
+pub fn test_b_seeded(seed: u64, segments: usize) -> StripLoad {
+    assert!(segments > 0, "test B needs at least one segment");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (lo, hi) = TEST_B_FLUX_RANGE_W_CM2;
+    let mut draw = |_: usize| rng.gen_range(lo..=hi);
+    let top: Vec<f64> = (0..segments).map(&mut draw).collect();
+    let bottom: Vec<f64> = (0..segments).map(&mut draw).collect();
+    StripLoad { name: "Test B".to_string(), top_w_cm2: top, bottom_w_cm2: bottom }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_a_is_uniform_50() {
+        let a = test_a();
+        assert_eq!(a.top_w_cm2, vec![50.0]);
+        assert_eq!(a.bottom_w_cm2, vec![50.0]);
+        assert_eq!(a.max_flux(), 50.0);
+        assert_eq!(a.min_flux(), 50.0);
+    }
+
+    #[test]
+    fn test_b_is_deterministic() {
+        let b1 = test_b();
+        let b2 = test_b();
+        assert_eq!(b1, b2, "same seed must give the same workload");
+    }
+
+    #[test]
+    fn test_b_respects_range_and_shape() {
+        let b = test_b();
+        assert_eq!(b.top_w_cm2.len(), TEST_B_SEGMENTS);
+        assert_eq!(b.bottom_w_cm2.len(), TEST_B_SEGMENTS);
+        assert!(b.min_flux() >= 50.0);
+        assert!(b.max_flux() <= 250.0);
+        // A random draw over [50,250] with 20 samples will essentially
+        // always span a wide sub-range; guard the workload is non-trivial.
+        assert!(b.max_flux() - b.min_flux() > 50.0);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let b1 = test_b_seeded(1, 10);
+        let b2 = test_b_seeded(2, 10);
+        assert_ne!(b1, b2);
+    }
+
+    #[test]
+    fn layer_conversion_to_w_per_m() {
+        // 50 W/cm² × 100 µm pitch = 50 W/m.
+        let q = StripLoad::layer_w_per_m(&[50.0, 250.0], 100e-6);
+        assert!((q[0] - 50.0).abs() < 1e-9);
+        assert!((q[1] - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn zero_segments_panics() {
+        let _ = test_b_seeded(0, 0);
+    }
+}

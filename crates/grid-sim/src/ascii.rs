@@ -1,0 +1,145 @@
+//! Terminal-friendly rendering of thermal maps.
+//!
+//! The paper's Fig. 1 and Fig. 9 are colour thermal maps; in a terminal
+//! reproduction we render the same data as a shade ramp (cold → hot), plus a
+//! numeric scale, so the map *shape* (inlet-to-outlet ramp, hotspot blobs)
+//! is visible in CI logs and bench output.
+
+use crate::LayerField;
+use liquamod_units::Temperature;
+
+/// Shade ramp from cold to hot.
+const RAMP: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// Renders one layer as an ASCII heat map. Rows run inlet (top) to outlet
+/// (bottom) unless `flow_up` is set, in which case the flow direction points
+/// up the page like the paper's figures.
+///
+/// The temperature scale is fixed by `t_min`/`t_max` so that several maps
+/// (e.g. Fig. 9's min/optimal/max triplet) can share one scale.
+pub fn render_layer(
+    layer: &LayerField,
+    t_min: Temperature,
+    t_max: Temperature,
+    flow_up: bool,
+) -> String {
+    let (nx, nz) = layer.dims();
+    let lo = t_min.as_kelvin();
+    let hi = t_max.as_kelvin();
+    let span = (hi - lo).max(1e-9);
+    let mut out = String::with_capacity((nx + 3) * nz);
+    let rows: Vec<usize> = if flow_up {
+        (0..nz).rev().collect()
+    } else {
+        (0..nz).collect()
+    };
+    for j in rows {
+        out.push('|');
+        for i in 0..nx {
+            let t = layer.cell(i, j).as_kelvin();
+            let f = ((t - lo) / span).clamp(0.0, 1.0);
+            let idx = ((f * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx]);
+        }
+        out.push('|');
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a layer together with a numeric legend:
+/// the scale bounds and the layer's own extremes.
+pub fn render_layer_with_legend(
+    layer: &LayerField,
+    t_min: Temperature,
+    t_max: Temperature,
+    flow_up: bool,
+) -> String {
+    let map = render_layer(layer, t_min, t_max, flow_up);
+    format!(
+        "{}scale [{:.1} .. {:.1}] degC   layer '{}' range [{:.1} .. {:.1}] degC{}\n",
+        map,
+        t_min.as_celsius(),
+        t_max.as_celsius(),
+        layer.name(),
+        layer.min().as_celsius(),
+        layer.max().as_celsius(),
+        if flow_up { "   (flow: bottom -> top)" } else { "   (flow: top -> bottom)" },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::{CavityWidths, StackBuilder};
+    use crate::PowerMap;
+    use liquamod_units::{HeatFlux, Length};
+
+    fn field_layer() -> LayerField {
+        let mm = Length::from_millimeters;
+        let um = Length::from_micrometers;
+        let p = PowerMap::uniform_flux(HeatFlux::from_w_per_cm2(50.0), 4, 6, mm(0.4), mm(0.6));
+        let stack = StackBuilder::new(mm(0.4), mm(0.6), 4, 6)
+            .silicon_layer("bottom", um(50.0))
+            .powered_by(p.clone())
+            .microchannel_cavity(CavityWidths::Uniform(um(50.0)))
+            .silicon_layer("top", um(50.0))
+            .powered_by(p)
+            .build()
+            .unwrap();
+        stack.solve_steady().unwrap().layer_by_name("top").unwrap().clone()
+    }
+
+    #[test]
+    fn renders_expected_shape() {
+        let layer = field_layer();
+        let s = render_layer(&layer, layer.min(), layer.max(), false);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert!(lines.iter().all(|l| l.len() == 6 && l.starts_with('|') && l.ends_with('|')));
+    }
+
+    #[test]
+    fn hot_outlet_renders_denser_glyphs() {
+        let layer = field_layer();
+        let s = render_layer(&layer, layer.min(), layer.max(), false);
+        let lines: Vec<&str> = s.lines().collect();
+        let glyph_rank = |c: char| RAMP.iter().position(|&r| r == c).unwrap_or(0);
+        let first: usize = lines[0].chars().map(glyph_rank).sum();
+        let last: usize = lines[5].chars().map(glyph_rank).sum();
+        assert!(last > first, "outlet row should render hotter than inlet row");
+    }
+
+    #[test]
+    fn flow_up_flips_rows() {
+        let layer = field_layer();
+        let down = render_layer(&layer, layer.min(), layer.max(), false);
+        let up = render_layer(&layer, layer.min(), layer.max(), true);
+        let down_lines: Vec<&str> = down.lines().collect();
+        let up_lines: Vec<&str> = up.lines().collect();
+        assert_eq!(down_lines.first(), up_lines.last());
+        assert_eq!(down_lines.last(), up_lines.first());
+    }
+
+    #[test]
+    fn legend_mentions_scale_and_name() {
+        let layer = field_layer();
+        let s = render_layer_with_legend(
+            &layer,
+            Temperature::from_celsius(30.0),
+            Temperature::from_celsius(55.0),
+            true,
+        );
+        assert!(s.contains("30.0 .. 55.0"));
+        assert!(s.contains("top"));
+        assert!(s.contains("bottom -> top"));
+    }
+
+    #[test]
+    fn degenerate_scale_does_not_panic() {
+        let layer = field_layer();
+        let t = Temperature::from_kelvin(300.0);
+        let s = render_layer(&layer, t, t, false);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,280 @@
+//! Finite-volume assembly of the conductance matrix, power vector and
+//! capacitance vector.
+//!
+//! Node layout: every layer (solid or cavity) contributes an `nx × nz` grid
+//! of nodes; global index = `layer_offset + j·nx + i` with `i` across the
+//! flow and `j` along it. Cavity nodes are bulk-coolant temperatures.
+//!
+//! Couplings:
+//!
+//! * solid in-plane: `k·(face area)/(centre distance)` between neighbours;
+//! * solid–solid vertical: half-cell resistances in series;
+//! * solid–coolant: half-cell conduction over the full pitch in series with
+//!   the convective film `h·(w_C + H_C)·Δz` (one layer's share of the wetted
+//!   perimeter — identical to the analytical model's `ĥ`);
+//! * solid–solid through the cavity's side walls: `(pitch − w_C)·Δz` cross
+//!   section over the path `t_lo/2 + H_C + t_hi/2`;
+//! * coolant advection: upwind transport `c_v·V̇` along `+z`, with the inlet
+//!   cell fed from the reservoir at the stack inlet temperature.
+
+use crate::sparse::{CsrMatrix, TripletMatrix};
+use crate::stack::{CavitySpec, Layer, Stack};
+use liquamod_microfluidics::{nusselt, RectDuct};
+
+/// Assembled steady-state system `A·T = p` plus the lumped capacitances
+/// needed by the transient stepper.
+#[derive(Debug, Clone)]
+pub(crate) struct Assembly {
+    pub matrix: CsrMatrix,
+    pub rhs: Vec<f64>,
+    /// Per-node lumped heat capacity (J/K).
+    pub capacitance: Vec<f64>,
+    /// Node count per layer.
+    pub nodes_per_layer: usize,
+}
+
+impl Stack {
+    pub(crate) fn assemble(&self) -> Assembly {
+        let nx = self.nx;
+        let nz = self.nz;
+        let npl = nx * nz;
+        let n = self.layers.len() * npl;
+        let mut m = TripletMatrix::new(n);
+        let mut rhs = vec![0.0; n];
+        let mut cap = vec![0.0; n];
+
+        let dx = self.pitch().si();
+        let dz = self.dz().si();
+        let idx = |l: usize, i: usize, j: usize| l * npl + j * nx + i;
+
+        for (l, layer) in self.layers.iter().enumerate() {
+            match layer {
+                Layer::Solid { material, thickness, power, .. } => {
+                    let k = material.thermal_conductivity().si();
+                    let t = thickness.si();
+                    for j in 0..nz {
+                        for i in 0..nx {
+                            let me = idx(l, i, j);
+                            // In-plane x.
+                            if i + 1 < nx {
+                                let g = k * dz * t / dx;
+                                couple(&mut m, me, idx(l, i + 1, j), g);
+                            }
+                            // In-plane z.
+                            if j + 1 < nz {
+                                let g = k * dx * t / dz;
+                                couple(&mut m, me, idx(l, i, j + 1), g);
+                            }
+                            // Vertical to the layer above, when solid–solid.
+                            if l + 1 < self.layers.len() {
+                                if let Layer::Solid {
+                                    material: m_hi,
+                                    thickness: t_hi,
+                                    ..
+                                } = &self.layers[l + 1]
+                                {
+                                    let a = dx * dz;
+                                    let r = 0.5 * t / (k * a)
+                                        + 0.5 * t_hi.si()
+                                            / (m_hi.thermal_conductivity().si() * a);
+                                    couple(&mut m, me, idx(l + 1, i, j), 1.0 / r);
+                                }
+                            }
+                            // Power injection and capacitance.
+                            if let Some(p) = power {
+                                rhs[me] += p.cell(i, j).as_watts();
+                            }
+                            cap[me] = material.volumetric_heat_capacity().si() * dx * dz * t;
+                        }
+                    }
+                }
+                Layer::Cavity(spec) => {
+                    // Validated at build time: cavities always sit between
+                    // two solid layers.
+                    let (k_lo, t_lo) = solid_props(&self.layers[l - 1]);
+                    let (k_hi, t_hi) = solid_props(&self.layers[l + 1]);
+                    let k_wall = spec.wall_material.thermal_conductivity().si();
+                    let hc = spec.height.si();
+                    let cv_flow = spec.coolant.volumetric_heat_capacity().si()
+                        * spec.flow_rate_per_channel.si();
+                    for j in 0..nz {
+                        for i in 0..nx {
+                            let me = idx(l, i, j);
+                            let w = spec.widths.at(i, j).si();
+                            let h_film = film_coefficient(spec, i, j);
+                            // Convective paths to the two solid neighbours:
+                            // half-cell conduction over the full pitch in
+                            // series with the film over (w + H_C)·dz.
+                            let g_film = h_film * (w + hc) * dz;
+                            let a_pitch = dx * dz;
+                            let g_lo =
+                                series(k_lo * a_pitch / (0.5 * t_lo), g_film);
+                            let g_hi =
+                                series(k_hi * a_pitch / (0.5 * t_hi), g_film);
+                            couple(&mut m, me, idx(l - 1, i, j), g_lo);
+                            couple(&mut m, me, idx(l + 1, i, j), g_hi);
+                            // Side-wall conduction bypassing the coolant.
+                            let a_wall = (dx - w).max(0.0) * dz;
+                            if a_wall > 0.0 {
+                                let r_wall = 0.5 * t_lo / (k_lo * a_wall)
+                                    + hc / (k_wall * a_wall)
+                                    + 0.5 * t_hi / (k_hi * a_wall);
+                                couple(
+                                    &mut m,
+                                    idx(l - 1, i, j),
+                                    idx(l + 1, i, j),
+                                    1.0 / r_wall,
+                                );
+                            }
+                            // Upwind advection along +z.
+                            m.add(me, me, cv_flow);
+                            if j == 0 {
+                                rhs[me] += cv_flow * self.inlet.si();
+                            } else {
+                                m.add(me, idx(l, i, j - 1), -cv_flow);
+                            }
+                            cap[me] =
+                                spec.coolant.volumetric_heat_capacity().si() * w * hc * dz;
+                        }
+                    }
+                }
+            }
+        }
+
+        Assembly { matrix: m.to_csr(), rhs, capacitance: cap, nodes_per_layer: npl }
+    }
+}
+
+/// Adds a symmetric conduction coupling of conductance `g` between two nodes.
+fn couple(m: &mut TripletMatrix, a: usize, b: usize, g: f64) {
+    m.add(a, a, g);
+    m.add(b, b, g);
+    m.add(a, b, -g);
+    m.add(b, a, -g);
+}
+
+fn series(g1: f64, g2: f64) -> f64 {
+    if g1 <= 0.0 || g2 <= 0.0 {
+        0.0
+    } else {
+        1.0 / (1.0 / g1 + 1.0 / g2)
+    }
+}
+
+fn solid_props(layer: &Layer) -> (f64, f64) {
+    match layer {
+        Layer::Solid { material, thickness, .. } => {
+            (material.thermal_conductivity().si(), thickness.si())
+        }
+        Layer::Cavity(_) => unreachable!("cavity adjacency validated at build time"),
+    }
+}
+
+fn film_coefficient(spec: &CavitySpec, i: usize, j: usize) -> f64 {
+    let duct = RectDuct::new(spec.widths.at(i, j), spec.height)
+        .expect("cavity widths validated at build time");
+    nusselt::heat_transfer_coefficient(spec.nusselt, &duct, &spec.coolant).si()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::stack::{CavityWidths, StackBuilder};
+    use crate::PowerMap;
+    use liquamod_units::{HeatFlux, Length};
+
+    fn mm(v: f64) -> Length {
+        Length::from_millimeters(v)
+    }
+
+    fn um(v: f64) -> Length {
+        Length::from_micrometers(v)
+    }
+
+    #[test]
+    fn assembly_dimensions() {
+        let stack = StackBuilder::new(mm(0.4), mm(0.6), 4, 6)
+            .silicon_layer("a", um(50.0))
+            .microchannel_cavity(CavityWidths::Uniform(um(50.0)))
+            .silicon_layer("b", um(50.0))
+            .build()
+            .unwrap();
+        let asm = stack.assemble();
+        assert_eq!(asm.matrix.size(), 3 * 24);
+        assert_eq!(asm.rhs.len(), 72);
+        assert_eq!(asm.nodes_per_layer, 24);
+        assert!(asm.capacitance.iter().all(|&c| c > 0.0));
+    }
+
+    #[test]
+    fn conduction_rows_sum_to_zero_without_advection() {
+        // A purely solid stack: every row of the conductance matrix must sum
+        // to zero (heat flows only between nodes).
+        let stack = StackBuilder::new(mm(0.4), mm(0.4), 4, 4)
+            .silicon_layer("a", um(50.0))
+            .silicon_layer("b", um(100.0))
+            .build()
+            .unwrap();
+        let asm = stack.assemble();
+        let ones = vec![1.0; asm.matrix.size()];
+        let sums = asm.matrix.mul(&ones);
+        for (r, s) in sums.iter().enumerate() {
+            assert!(s.abs() < 1e-9, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn rhs_carries_power_and_inlet() {
+        let p = PowerMap::uniform_flux(HeatFlux::from_w_per_cm2(10.0), 4, 4, mm(0.4), mm(0.4));
+        let stack = StackBuilder::new(mm(0.4), mm(0.4), 4, 4)
+            .silicon_layer("a", um(50.0))
+            .powered_by(p)
+            .microchannel_cavity(CavityWidths::Uniform(um(50.0)))
+            .silicon_layer("b", um(50.0))
+            .build()
+            .unwrap();
+        let asm = stack.assemble();
+        // Power rows: bottom layer nodes each get flux·cell = 10·1e4·1e-8 W.
+        let per_cell = 10.0 * 1e4 * (1e-4 * 1e-4);
+        for j in 0..4 {
+            for i in 0..4 {
+                let r = j * 4 + i;
+                let expected =
+                    per_cell + if false { 0.0 } else { 0.0 };
+                assert!((asm.rhs[r] - expected).abs() < 1e-12);
+            }
+        }
+        // Inlet rows: cavity layer j = 0 cells carry cv·V̇·T_in.
+        let cv_flow = 4.17e6 * (0.5e-6 / 60.0);
+        for i in 0..4 {
+            let r = 16 + i;
+            assert!((asm.rhs[r] - cv_flow * 300.0).abs() < 1e-6);
+        }
+        // Downstream cavity rows carry no source.
+        for i in 0..4 {
+            let r = 16 + 4 + i;
+            assert!(asm.rhs[r].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn advection_is_upwind() {
+        let stack = StackBuilder::new(mm(0.2), mm(0.4), 2, 4)
+            .silicon_layer("a", um(50.0))
+            .microchannel_cavity(CavityWidths::Uniform(um(50.0)))
+            .silicon_layer("b", um(50.0))
+            .build()
+            .unwrap();
+        let asm = stack.assemble();
+        let npl = 8;
+        let cv_flow = 4.17e6 * (0.5e-6 / 60.0);
+        // Coolant node (0, j=1) couples to (0, j=0) with −cv·V̇ and not the
+        // other way round.
+        let c_prev = npl + 0;
+        let c_here = npl + 2;
+        assert!((asm.matrix.get(c_here, c_prev) + cv_flow).abs() < 1e-9);
+        assert!(
+            asm.matrix.get(c_prev, c_here).abs() < cv_flow * 1e-9,
+            "no downstream-to-upstream advection"
+        );
+    }
+}

@@ -1,0 +1,331 @@
+//! Solved temperature fields and their metrics.
+
+use crate::assemble::Assembly;
+use crate::solver::{self, SolverOptions};
+use crate::stack::{Layer, Stack};
+use crate::Result;
+#[allow(unused_imports)]
+use crate::GridSimError;
+use liquamod_units::{Power, Temperature, TemperatureDifference};
+
+/// Kind of a layer in a [`ThermalField`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerKind {
+    /// A solid (silicon, oxide…) layer.
+    Solid,
+    /// A microchannel cavity (temperatures are bulk coolant).
+    Cavity,
+}
+
+/// The temperature grid of one layer.
+#[derive(Debug, Clone)]
+pub struct LayerField {
+    name: String,
+    kind: LayerKind,
+    nx: usize,
+    nz: usize,
+    temps: Vec<f64>,
+}
+
+impl LayerField {
+    /// Layer name (cavities are `"<cavity>"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the layer is solid or a coolant cavity.
+    pub fn kind(&self) -> LayerKind {
+        self.kind
+    }
+
+    /// Grid dimensions `(nx, nz)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.nx, self.nz)
+    }
+
+    /// Temperature of cell `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn cell(&self, i: usize, j: usize) -> Temperature {
+        assert!(i < self.nx && j < self.nz, "cell index out of range");
+        Temperature::from_kelvin(self.temps[j * self.nx + i])
+    }
+
+    /// Raw row-major kelvin samples.
+    pub fn as_kelvin(&self) -> &[f64] {
+        &self.temps
+    }
+
+    /// Maximum temperature in this layer.
+    pub fn max(&self) -> Temperature {
+        Temperature::from_kelvin(self.temps.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+    }
+
+    /// Minimum temperature in this layer.
+    pub fn min(&self) -> Temperature {
+        Temperature::from_kelvin(self.temps.iter().copied().fold(f64::INFINITY, f64::min))
+    }
+
+    /// Mean temperature over one flow-wise row of cells at index `j`
+    /// (averaged across the flow) — inlet→outlet profile extraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn row_mean(&self, j: usize) -> Temperature {
+        assert!(j < self.nz, "row index out of range");
+        let s: f64 = (0..self.nx).map(|i| self.temps[j * self.nx + i]).sum();
+        Temperature::from_kelvin(s / self.nx as f64)
+    }
+}
+
+/// The full solved field: one [`LayerField`] per stack layer.
+#[derive(Debug, Clone)]
+pub struct ThermalField {
+    layers: Vec<LayerField>,
+    total_power: f64,
+    advected_power: f64,
+}
+
+impl ThermalField {
+    /// All layers, bottom to top.
+    pub fn layers(&self) -> &[LayerField] {
+        &self.layers
+    }
+
+    /// Layer by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn layer(&self, l: usize) -> &LayerField {
+        &self.layers[l]
+    }
+
+    /// First layer with the given name, if any.
+    pub fn layer_by_name(&self, name: &str) -> Option<&LayerField> {
+        self.layers.iter().find(|l| l.name == name)
+    }
+
+    /// Peak temperature over *solid* layers (the IC metric; coolant nodes are
+    /// excluded).
+    pub fn peak_temperature(&self) -> Temperature {
+        Temperature::from_kelvin(
+            self.solid_temps().fold(f64::NEG_INFINITY, f64::max),
+        )
+    }
+
+    /// Minimum temperature over solid layers.
+    pub fn min_temperature(&self) -> Temperature {
+        Temperature::from_kelvin(self.solid_temps().fold(f64::INFINITY, f64::min))
+    }
+
+    /// The paper's thermal-gradient metric: max − min silicon temperature.
+    pub fn thermal_gradient(&self) -> TemperatureDifference {
+        self.peak_temperature() - self.min_temperature()
+    }
+
+    fn solid_temps(&self) -> impl Iterator<Item = f64> + '_ {
+        self.layers
+            .iter()
+            .filter(|l| l.kind == LayerKind::Solid)
+            .flat_map(|l| l.temps.iter().copied())
+    }
+
+    /// Total power injected into the stack.
+    pub fn total_power(&self) -> Power {
+        Power::from_watts(self.total_power)
+    }
+
+    /// Heat advected out by all cavities (outlet enthalpy flux minus inlet).
+    pub fn advected_power(&self) -> Power {
+        Power::from_watts(self.advected_power)
+    }
+
+    /// Relative energy-balance residual `|Q_in − Q_advected|/Q_in` (or the
+    /// absolute advected power when no heat is injected). Since coolant
+    /// advection is the only heat exit, this residual measures solver
+    /// convergence quality.
+    pub fn energy_balance_residual(&self) -> f64 {
+        if self.total_power.abs() < 1e-30 {
+            self.advected_power.abs()
+        } else {
+            ((self.total_power - self.advected_power) / self.total_power).abs()
+        }
+    }
+}
+
+impl Stack {
+    /// Solves the steady-state temperature field with default solver
+    /// settings.
+    ///
+    /// # Errors
+    ///
+    /// [`GridSimError::NoConvergence`] if BiCGSTAB stalls (see
+    /// [`Stack::solve_steady_with`] to loosen the controls).
+    pub fn solve_steady(&self) -> Result<ThermalField> {
+        self.solve_steady_with(&SolverOptions::default())
+    }
+
+    /// Solves the steady-state temperature field with explicit solver
+    /// controls.
+    ///
+    /// # Errors
+    ///
+    /// [`GridSimError::NoConvergence`] if the iterative solver fails.
+    pub fn solve_steady_with(&self, options: &SolverOptions) -> Result<ThermalField> {
+        let asm = self.assemble();
+        let x0 = vec![self.inlet.si(); asm.matrix.size()];
+        let (x, _stats) = solver::bicgstab(&asm.matrix, &asm.rhs, &x0, options)?;
+        Ok(self.field_from_solution(&asm, &x))
+    }
+
+    pub(crate) fn field_from_solution(&self, asm: &Assembly, x: &[f64]) -> ThermalField {
+        let npl = asm.nodes_per_layer;
+        let mut layers = Vec::with_capacity(self.layers.len());
+        let mut advected = 0.0;
+        for (l, layer) in self.layers.iter().enumerate() {
+            let temps = x[l * npl..(l + 1) * npl].to_vec();
+            let (name, kind) = match layer {
+                Layer::Solid { name, .. } => (name.clone(), LayerKind::Solid),
+                Layer::Cavity(spec) => {
+                    let cv_flow = spec.coolant.volumetric_heat_capacity().si()
+                        * spec.flow_rate_per_channel.si();
+                    // Outlet row is the last z row; sum over channels.
+                    for i in 0..self.nx {
+                        let t_out = temps[(self.nz - 1) * self.nx + i];
+                        advected += cv_flow * (t_out - self.inlet.si());
+                    }
+                    ("<cavity>".to_string(), LayerKind::Cavity)
+                }
+            };
+            layers.push(LayerField { name, kind, nx: self.nx, nz: self.nz, temps });
+        }
+        ThermalField {
+            layers,
+            total_power: self.total_power().as_watts(),
+            advected_power: advected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::{CavityWidths, StackBuilder};
+    use crate::PowerMap;
+    use liquamod_units::{HeatFlux, Length};
+
+    fn mm(v: f64) -> Length {
+        Length::from_millimeters(v)
+    }
+
+    fn um(v: f64) -> Length {
+        Length::from_micrometers(v)
+    }
+
+    fn powered_stack(flux_w_cm2: f64, nx: usize, nz: usize) -> Stack {
+        let p = PowerMap::uniform_flux(
+            HeatFlux::from_w_per_cm2(flux_w_cm2),
+            nx,
+            nz,
+            mm(nx as f64 * 0.1),
+            mm(nz as f64 * 0.1),
+        );
+        StackBuilder::new(mm(nx as f64 * 0.1), mm(nz as f64 * 0.1), nx, nz)
+            .silicon_layer("bottom", um(50.0))
+            .powered_by(p.clone())
+            .microchannel_cavity(CavityWidths::Uniform(um(50.0)))
+            .silicon_layer("top", um(50.0))
+            .powered_by(p)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn unpowered_stack_is_isothermal_at_inlet() {
+        let stack = StackBuilder::new(mm(0.5), mm(1.0), 5, 10)
+            .silicon_layer("bottom", um(50.0))
+            .microchannel_cavity(CavityWidths::Uniform(um(50.0)))
+            .silicon_layer("top", um(50.0))
+            .build()
+            .unwrap();
+        let field = stack.solve_steady().unwrap();
+        assert!((field.peak_temperature().as_kelvin() - 300.0).abs() < 1e-6);
+        assert!((field.min_temperature().as_kelvin() - 300.0).abs() < 1e-6);
+        assert!(field.thermal_gradient().as_kelvin().abs() < 1e-6);
+    }
+
+    #[test]
+    fn powered_stack_conserves_energy() {
+        let stack = powered_stack(50.0, 6, 12);
+        let field = stack.solve_steady().unwrap();
+        assert!(
+            field.energy_balance_residual() < 1e-6,
+            "residual = {}",
+            field.energy_balance_residual()
+        );
+        assert!(field.peak_temperature().as_kelvin() > 300.0);
+    }
+
+    #[test]
+    fn temperature_rises_downstream() {
+        let stack = powered_stack(50.0, 4, 16);
+        let field = stack.solve_steady().unwrap();
+        let top = field.layer_by_name("top").unwrap();
+        // Row means increase monotonically from inlet to outlet.
+        for j in 1..16 {
+            assert!(
+                top.row_mean(j).as_kelvin() >= top.row_mean(j - 1).as_kelvin() - 1e-9,
+                "row {j}"
+            );
+        }
+        // Cavity outlet is warmer than inlet.
+        let cavity = field.layer(1);
+        assert!(cavity.row_mean(15).as_kelvin() > cavity.row_mean(0).as_kelvin());
+    }
+
+    #[test]
+    fn hotter_flux_hotter_chip() {
+        let low = powered_stack(20.0, 4, 8).solve_steady().unwrap();
+        let high = powered_stack(80.0, 4, 8).solve_steady().unwrap();
+        assert!(high.peak_temperature() > low.peak_temperature());
+        assert!(high.thermal_gradient().as_kelvin() > low.thermal_gradient().as_kelvin());
+    }
+
+    #[test]
+    fn narrow_channels_cool_better_at_fixed_flow() {
+        // Same stack, channel width 10 µm vs 50 µm: narrower channels have a
+        // higher film coefficient, so the silicon sits closer to the coolant.
+        let p = PowerMap::uniform_flux(HeatFlux::from_w_per_cm2(100.0), 4, 8, mm(0.4), mm(0.8));
+        let build = |w: f64| {
+            StackBuilder::new(mm(0.4), mm(0.8), 4, 8)
+                .silicon_layer("bottom", um(50.0))
+                .powered_by(p.clone())
+                .microchannel_cavity(CavityWidths::Uniform(um(w)))
+                .silicon_layer("top", um(50.0))
+                .powered_by(p.clone())
+                .build()
+                .unwrap()
+        };
+        let wide = build(50.0).solve_steady().unwrap();
+        let narrow = build(10.0).solve_steady().unwrap();
+        assert!(narrow.peak_temperature() < wide.peak_temperature());
+    }
+
+    #[test]
+    fn field_accessors() {
+        let stack = powered_stack(50.0, 4, 8);
+        let field = stack.solve_steady().unwrap();
+        assert_eq!(field.layers().len(), 3);
+        assert_eq!(field.layer(0).dims(), (4, 8));
+        assert_eq!(field.layer(1).kind(), LayerKind::Cavity);
+        assert!(field.layer_by_name("missing").is_none());
+        let top = field.layer_by_name("top").unwrap();
+        assert!(top.cell(0, 0).as_kelvin() >= 300.0);
+        assert_eq!(top.as_kelvin().len(), 32);
+        assert!(top.max() >= top.min());
+    }
+}

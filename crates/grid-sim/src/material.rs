@@ -1,0 +1,109 @@
+//! Solid material properties.
+
+use liquamod_units::{ThermalConductivity, VolumetricHeatCapacity};
+
+/// A solid material in the 3D stack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Material {
+    name: String,
+    thermal_conductivity: ThermalConductivity,
+    volumetric_heat_capacity: VolumetricHeatCapacity,
+}
+
+impl Material {
+    /// Creates a material from its properties.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either property is not strictly positive and finite — the
+    /// built-in presets are the expected construction path; custom materials
+    /// are a deliberate, validated act.
+    pub fn new(
+        name: impl Into<String>,
+        thermal_conductivity: ThermalConductivity,
+        volumetric_heat_capacity: VolumetricHeatCapacity,
+    ) -> Self {
+        let k = thermal_conductivity.si();
+        let c = volumetric_heat_capacity.si();
+        assert!(k.is_finite() && k > 0.0, "thermal conductivity must be positive");
+        assert!(c.is_finite() && c > 0.0, "volumetric heat capacity must be positive");
+        Self { name: name.into(), thermal_conductivity, volumetric_heat_capacity }
+    }
+
+    /// Bulk silicon at the paper's value `k = 130 W/(m·K)`;
+    /// `c = 1.66 MJ/(m³·K)`.
+    pub fn silicon() -> Self {
+        Self::new(
+            "silicon",
+            ThermalConductivity::from_w_per_m_k(130.0),
+            VolumetricHeatCapacity::from_j_per_m3_k(1.66e6),
+        )
+    }
+
+    /// Silicon dioxide (BEOL dielectric proxy): `k = 1.4 W/(m·K)`,
+    /// `c = 1.54 MJ/(m³·K)`.
+    pub fn silicon_dioxide() -> Self {
+        Self::new(
+            "silicon dioxide",
+            ThermalConductivity::from_w_per_m_k(1.4),
+            VolumetricHeatCapacity::from_j_per_m3_k(1.54e6),
+        )
+    }
+
+    /// Copper (TSV/interconnect proxy): `k = 400 W/(m·K)`,
+    /// `c = 3.43 MJ/(m³·K)`.
+    pub fn copper() -> Self {
+        Self::new(
+            "copper",
+            ThermalConductivity::from_w_per_m_k(400.0),
+            VolumetricHeatCapacity::from_j_per_m3_k(3.43e6),
+        )
+    }
+
+    /// Material name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Thermal conductivity.
+    pub fn thermal_conductivity(&self) -> ThermalConductivity {
+        self.thermal_conductivity
+    }
+
+    /// Volumetric heat capacity (used by transient simulation).
+    pub fn volumetric_heat_capacity(&self) -> VolumetricHeatCapacity {
+        self.volumetric_heat_capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert_eq!(Material::silicon().thermal_conductivity().si(), 130.0);
+        assert_eq!(Material::copper().name(), "copper");
+        assert!(Material::silicon_dioxide().thermal_conductivity().si() < 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "thermal conductivity")]
+    fn rejects_zero_conductivity() {
+        let _ = Material::new(
+            "bad",
+            ThermalConductivity::from_w_per_m_k(0.0),
+            VolumetricHeatCapacity::from_j_per_m3_k(1.0e6),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "heat capacity")]
+    fn rejects_nan_capacity() {
+        let _ = Material::new(
+            "bad",
+            ThermalConductivity::from_w_per_m_k(1.0),
+            VolumetricHeatCapacity::from_j_per_m3_k(f64::NAN),
+        );
+    }
+}

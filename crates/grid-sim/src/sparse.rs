@@ -1,0 +1,257 @@
+//! Minimal sparse-matrix support: triplet assembly into CSR.
+
+/// Coordinate-format accumulator used during assembly; duplicate entries sum.
+#[derive(Debug, Clone, Default)]
+pub struct TripletMatrix {
+    n: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl TripletMatrix {
+    /// Creates an empty `n × n` accumulator.
+    pub fn new(n: usize) -> Self {
+        Self { n, entries: Vec::new() }
+    }
+
+    /// Matrix dimension.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Adds `v` at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn add(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.n && j < self.n, "triplet index out of range");
+        if v != 0.0 {
+            self.entries.push((i, j, v));
+        }
+    }
+
+    /// Compresses into CSR form, summing duplicates.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let n = self.n;
+        let mut sorted = self.entries.clone();
+        sorted.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut values = Vec::with_capacity(sorted.len());
+        row_ptr.push(0);
+        let mut row = 0usize;
+        for (i, j, v) in sorted {
+            while row < i {
+                row_ptr.push(col_idx.len());
+                row += 1;
+            }
+            if let (Some(&last_j), Some(last_v)) = (col_idx.last(), values.last_mut()) {
+                if col_idx.len() > row_ptr[row] && last_j == j {
+                    *last_v += v;
+                    continue;
+                }
+            }
+            col_idx.push(j);
+            values.push(v);
+        }
+        while row < n {
+            row_ptr.push(col_idx.len());
+            row += 1;
+        }
+        CsrMatrix { n, row_ptr, col_idx, values }
+    }
+}
+
+/// Compressed-sparse-row matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Matrix dimension.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` or `y.len()` differ from the matrix size.
+    pub fn mul_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        for i in 0..self.n {
+            let mut s = 0.0;
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                s += self.values[k] * x[self.col_idx[k]];
+            }
+            y[i] = s;
+        }
+    }
+
+    /// `A·x` as a fresh vector.
+    pub fn mul(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n];
+        self.mul_into(x, &mut y);
+        y
+    }
+
+    /// Diagonal entries (zero when absent) — the Jacobi preconditioner.
+    pub fn diagonal(&self) -> Vec<f64> {
+        let mut d = vec![0.0; self.n];
+        for i in 0..self.n {
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                if self.col_idx[k] == i {
+                    d[i] = self.values[k];
+                }
+            }
+        }
+        d
+    }
+
+    /// Index range of row `i`'s stored entries, for use with
+    /// [`CsrMatrix::col_at`] / [`CsrMatrix::value_at`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row_range(&self, i: usize) -> std::ops::Range<usize> {
+        assert!(i < self.n, "row out of range");
+        self.row_ptr[i]..self.row_ptr[i + 1]
+    }
+
+    /// Column index of stored entry `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn col_at(&self, k: usize) -> usize {
+        self.col_idx[k]
+    }
+
+    /// Value of stored entry `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn value_at(&self, k: usize) -> f64 {
+        self.values[k]
+    }
+
+    /// Reads `A[i, j]` (zero when not stored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of range");
+        for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+            if self.col_idx[k] == j {
+                return self.values[k];
+            }
+        }
+        0.0
+    }
+
+    /// Returns a copy with `scale·D` added to the diagonal, where `D` is the
+    /// supplied per-row values (backward-Euler system construction:
+    /// `A + C/Δt`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d.len()` differs from the matrix size.
+    pub fn plus_diagonal(&self, d: &[f64], scale: f64) -> CsrMatrix {
+        assert_eq!(d.len(), self.n);
+        let mut t = TripletMatrix::new(self.n);
+        for i in 0..self.n {
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                t.add(i, self.col_idx[k], self.values[k]);
+            }
+            t.add(i, i, d[i] * scale);
+        }
+        t.to_csr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_sum_duplicates() {
+        let mut t = TripletMatrix::new(3);
+        t.add(0, 0, 1.0);
+        t.add(0, 0, 2.0);
+        t.add(2, 1, -1.0);
+        let m = t.to_csr();
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.get(2, 1), -1.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn empty_rows_are_handled() {
+        let mut t = TripletMatrix::new(4);
+        t.add(3, 0, 5.0);
+        let m = t.to_csr();
+        assert_eq!(m.get(3, 0), 5.0);
+        assert_eq!(m.mul(&[1.0, 0.0, 0.0, 0.0]), vec![0.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn mat_vec() {
+        let mut t = TripletMatrix::new(2);
+        t.add(0, 0, 2.0);
+        t.add(0, 1, 1.0);
+        t.add(1, 0, -1.0);
+        t.add(1, 1, 3.0);
+        let m = t.to_csr();
+        assert_eq!(m.mul(&[1.0, 2.0]), vec![4.0, 5.0]);
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let mut t = TripletMatrix::new(3);
+        t.add(0, 0, 2.0);
+        t.add(1, 2, 1.0);
+        t.add(2, 2, 7.0);
+        let m = t.to_csr();
+        assert_eq!(m.diagonal(), vec![2.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn zero_entries_are_dropped() {
+        let mut t = TripletMatrix::new(2);
+        t.add(0, 1, 0.0);
+        assert_eq!(t.to_csr().nnz(), 0);
+    }
+
+    #[test]
+    fn plus_diagonal() {
+        let mut t = TripletMatrix::new(2);
+        t.add(0, 0, 1.0);
+        t.add(1, 0, 2.0);
+        let m = t.to_csr().plus_diagonal(&[10.0, 20.0], 0.5);
+        assert_eq!(m.get(0, 0), 6.0);
+        assert_eq!(m.get(1, 1), 10.0);
+        assert_eq!(m.get(1, 0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn triplet_bounds_checked() {
+        let mut t = TripletMatrix::new(2);
+        t.add(2, 0, 1.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Transient simulation by backward Euler.
+//!
+//! The lumped energy balance `C·dT/dt + A·T = p` is stepped implicitly:
+//! `(A + C/Δt)·T_{n+1} = p + (C/Δt)·T_n`. Backward Euler is
+//! unconditionally stable, which matters here because coolant cells have
+//! tiny capacitances compared to the advection rates (sub-millisecond
+//! thermal constants) while silicon responds over milliseconds.
+
+use crate::solver::{self, SolverOptions};
+use crate::stack::Stack;
+use crate::{GridSimError, Result, ThermalField};
+use liquamod_units::Temperature;
+
+/// Controls for a transient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientOptions {
+    /// Time step (seconds).
+    pub dt_seconds: f64,
+    /// Number of steps to take.
+    pub steps: usize,
+    /// Initial uniform temperature (defaults to the stack inlet).
+    pub initial: Option<Temperature>,
+    /// Linear-solver controls for each implicit step.
+    pub solver: SolverOptions,
+}
+
+impl Default for TransientOptions {
+    fn default() -> Self {
+        Self {
+            dt_seconds: 1e-3,
+            steps: 100,
+            initial: None,
+            solver: SolverOptions::default(),
+        }
+    }
+}
+
+/// A captured instant of a transient run.
+#[derive(Debug, Clone)]
+pub struct TransientSample {
+    /// Simulation time (seconds).
+    pub time_seconds: f64,
+    /// Field at this instant.
+    pub field: ThermalField,
+}
+
+impl Stack {
+    /// Runs a transient simulation from a uniform initial temperature and
+    /// returns one sample per step (including the final state).
+    ///
+    /// # Errors
+    ///
+    /// * [`GridSimError::InvalidTransient`] for non-positive `dt` or zero
+    ///   steps;
+    /// * [`GridSimError::NoConvergence`] if an implicit step fails to solve.
+    pub fn solve_transient(&self, options: &TransientOptions) -> Result<Vec<TransientSample>> {
+        if !(options.dt_seconds.is_finite() && options.dt_seconds > 0.0) {
+            return Err(GridSimError::InvalidTransient {
+                what: format!("dt must be positive, got {}", options.dt_seconds),
+            });
+        }
+        if options.steps == 0 {
+            return Err(GridSimError::InvalidTransient { what: "steps must be > 0".into() });
+        }
+        let asm = self.assemble();
+        let n = asm.matrix.size();
+        let inv_dt = 1.0 / options.dt_seconds;
+        let system = asm.matrix.plus_diagonal(&asm.capacitance, inv_dt);
+        let t0 = options.initial.unwrap_or(self.inlet).si();
+        let mut temps = vec![t0; n];
+        let mut samples = Vec::with_capacity(options.steps);
+        for step in 1..=options.steps {
+            let rhs: Vec<f64> = (0..n)
+                .map(|i| asm.rhs[i] + asm.capacitance[i] * inv_dt * temps[i])
+                .collect();
+            let (next, _stats) = solver::bicgstab(&system, &rhs, &temps, &options.solver)?;
+            temps = next;
+            samples.push(TransientSample {
+                time_seconds: step as f64 * options.dt_seconds,
+                field: self.field_from_solution(&asm, &temps),
+            });
+        }
+        Ok(samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::{CavityWidths, StackBuilder};
+    use crate::PowerMap;
+    use liquamod_units::{HeatFlux, Length};
+
+    fn mm(v: f64) -> Length {
+        Length::from_millimeters(v)
+    }
+
+    fn um(v: f64) -> Length {
+        Length::from_micrometers(v)
+    }
+
+    fn stack() -> Stack {
+        let p = PowerMap::uniform_flux(HeatFlux::from_w_per_cm2(50.0), 4, 8, mm(0.4), mm(0.8));
+        StackBuilder::new(mm(0.4), mm(0.8), 4, 8)
+            .silicon_layer("bottom", um(50.0))
+            .powered_by(p.clone())
+            .microchannel_cavity(CavityWidths::Uniform(um(50.0)))
+            .silicon_layer("top", um(50.0))
+            .powered_by(p)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn transient_heats_monotonically_toward_steady() {
+        let s = stack();
+        let steady = s.solve_steady().unwrap();
+        let samples = s
+            .solve_transient(&TransientOptions { dt_seconds: 2e-3, steps: 60, ..Default::default() })
+            .unwrap();
+        // Peak temperature rises monotonically (pure step response)…
+        for w in samples.windows(2) {
+            assert!(
+                w[1].field.peak_temperature().as_kelvin()
+                    >= w[0].field.peak_temperature().as_kelvin() - 1e-9
+            );
+        }
+        // …and approaches the steady state from below.
+        let last = samples.last().unwrap();
+        let gap = steady.peak_temperature().as_kelvin()
+            - last.field.peak_temperature().as_kelvin();
+        assert!(gap >= -1e-6, "transient overshot steady state by {gap}");
+        assert!(
+            gap < 0.05 * (steady.peak_temperature().as_kelvin() - 300.0),
+            "not converged: gap {gap}"
+        );
+    }
+
+    #[test]
+    fn zero_power_transient_stays_at_initial() {
+        let s = StackBuilder::new(mm(0.4), mm(0.8), 4, 8)
+            .silicon_layer("bottom", um(50.0))
+            .microchannel_cavity(CavityWidths::Uniform(um(50.0)))
+            .silicon_layer("top", um(50.0))
+            .build()
+            .unwrap();
+        let samples = s
+            .solve_transient(&TransientOptions { dt_seconds: 1e-3, steps: 5, ..Default::default() })
+            .unwrap();
+        for sample in &samples {
+            assert!((sample.field.peak_temperature().as_kelvin() - 300.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn hot_start_cools_toward_steady() {
+        let s = stack();
+        let samples = s
+            .solve_transient(&TransientOptions {
+                dt_seconds: 2e-3,
+                steps: 50,
+                initial: Some(Temperature::from_kelvin(400.0)),
+                ..Default::default()
+            })
+            .unwrap();
+        let first = samples.first().unwrap().field.peak_temperature().as_kelvin();
+        let last = samples.last().unwrap().field.peak_temperature().as_kelvin();
+        assert!(last < first, "overheated stack must cool ({first} → {last})");
+        let steady = s.solve_steady().unwrap().peak_temperature().as_kelvin();
+        assert!((last - steady).abs() < 0.05 * (400.0 - steady));
+    }
+
+    #[test]
+    fn rejects_bad_options() {
+        let s = stack();
+        assert!(matches!(
+            s.solve_transient(&TransientOptions { dt_seconds: 0.0, ..Default::default() }),
+            Err(GridSimError::InvalidTransient { .. })
+        ));
+        assert!(matches!(
+            s.solve_transient(&TransientOptions { steps: 0, ..Default::default() }),
+            Err(GridSimError::InvalidTransient { .. })
+        ));
+    }
+
+    #[test]
+    fn sample_times_are_uniform() {
+        let s = stack();
+        let samples = s
+            .solve_transient(&TransientOptions { dt_seconds: 1e-3, steps: 3, ..Default::default() })
+            .unwrap();
+        assert_eq!(samples.len(), 3);
+        assert!((samples[0].time_seconds - 1e-3).abs() < 1e-15);
+        assert!((samples[2].time_seconds - 3e-3).abs() < 1e-15);
+    }
+}

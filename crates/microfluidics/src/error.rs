@@ -1,0 +1,68 @@
+//! Error type for the microfluidics crate.
+
+use std::fmt;
+
+/// Error returned by fallible microfluidic constructors and computations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MicrofluidicsError {
+    /// A duct dimension was not strictly positive.
+    InvalidDuct {
+        /// Channel width in metres.
+        width: f64,
+        /// Channel height in metres.
+        height: f64,
+    },
+    /// A coolant property was not strictly positive.
+    InvalidCoolant {
+        /// Name of the offending property.
+        property: &'static str,
+        /// Rejected value in SI units.
+        value: f64,
+    },
+    /// A flow parameter (flow rate, length…) was invalid.
+    InvalidFlow {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// Rejected value in SI units.
+        value: f64,
+    },
+}
+
+impl fmt::Display for MicrofluidicsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MicrofluidicsError::InvalidDuct { width, height } => {
+                write!(f, "duct dimensions must be strictly positive, got {width} x {height} m")
+            }
+            MicrofluidicsError::InvalidCoolant { property, value } => {
+                write!(f, "coolant {property} must be strictly positive, got {value}")
+            }
+            MicrofluidicsError::InvalidFlow { parameter, value } => {
+                write!(f, "flow {parameter} must be strictly positive and finite, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MicrofluidicsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let d = MicrofluidicsError::InvalidDuct { width: 0.0, height: 1e-4 };
+        assert!(d.to_string().contains("duct dimensions"));
+        let c = MicrofluidicsError::InvalidCoolant { property: "viscosity", value: -1.0 };
+        assert!(c.to_string().contains("viscosity"));
+        let q = MicrofluidicsError::InvalidFlow { parameter: "flow rate", value: 0.0 };
+        assert!(q.to_string().contains("flow rate"));
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<MicrofluidicsError>();
+    }
+}

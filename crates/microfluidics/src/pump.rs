@@ -1,0 +1,90 @@
+//! Hydraulic pumping effort.
+//!
+//! The paper's design constraints bound the per-channel pressure drop
+//! (Eq. 9–10) because, at constant volumetric flow rate, pressure drop is a
+//! direct proxy for pumping effort. This module makes the proxy explicit:
+//! hydraulic pump power for one channel is `P = ΔP · V̇`, and a multi-channel
+//! cavity fed from a shared reservoir consumes the sum over channels.
+
+use liquamod_units::{Power, Pressure, VolumetricFlowRate};
+
+/// Hydraulic power to push flow `V̇` through one channel with drop `ΔP`.
+pub fn channel_pump_power(pressure_drop: Pressure, flow_rate: VolumetricFlowRate) -> Power {
+    pressure_drop * flow_rate
+}
+
+/// Hydraulic power for a cavity of channels fed in parallel from one
+/// reservoir: `Σᵢ ΔPᵢ·V̇ᵢ`. The slices are zipped; any length mismatch is a
+/// caller bug and the shorter length wins (documented rather than panicking,
+/// so sweep drivers can pass partially filled buffers).
+pub fn cavity_pump_power(
+    pressure_drops: &[Pressure],
+    flow_rates: &[VolumetricFlowRate],
+) -> Power {
+    pressure_drops
+        .iter()
+        .zip(flow_rates.iter())
+        .map(|(&dp, &v)| dp * v)
+        .sum()
+}
+
+/// Pump power for `n` identical channels at a common drop and flow rate —
+/// the equal-pressure situation the paper's Eq. (10) enforces.
+pub fn uniform_cavity_pump_power(
+    pressure_drop: Pressure,
+    flow_rate: VolumetricFlowRate,
+    n_channels: usize,
+) -> Power {
+    channel_pump_power(pressure_drop, flow_rate) * n_channels as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_channel_power() {
+        // 1 bar at 0.3 mL/min = 1e5 Pa * 5e-9 m³/s = 0.5 mW.
+        let p = channel_pump_power(
+            Pressure::from_bar(1.0),
+            VolumetricFlowRate::from_ml_per_min(0.3),
+        );
+        assert!((p.as_milliwatts() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cavity_sums_channels() {
+        let drops = [Pressure::from_bar(1.0), Pressure::from_bar(2.0)];
+        let flows = [
+            VolumetricFlowRate::from_ml_per_min(0.3),
+            VolumetricFlowRate::from_ml_per_min(0.3),
+        ];
+        let p = cavity_pump_power(&drops, &flows);
+        assert!((p.as_milliwatts() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_cavity_scales_with_channel_count() {
+        let one = channel_pump_power(
+            Pressure::from_bar(5.0),
+            VolumetricFlowRate::from_ml_per_min(0.3),
+        );
+        let cavity = uniform_cavity_pump_power(
+            Pressure::from_bar(5.0),
+            VolumetricFlowRate::from_ml_per_min(0.3),
+            100,
+        );
+        assert!((cavity.as_watts() - 100.0 * one.as_watts()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_lengths_use_shorter() {
+        let drops = [Pressure::from_bar(1.0)];
+        let flows = [
+            VolumetricFlowRate::from_ml_per_min(0.3),
+            VolumetricFlowRate::from_ml_per_min(0.3),
+        ];
+        let p = cavity_pump_power(&drops, &flows);
+        assert!((p.as_milliwatts() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,151 @@
+//! Box constraints with projection.
+
+use crate::OptimalControlError;
+
+/// Component-wise bounds `lower ≤ x ≤ upper`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bounds {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl Bounds {
+    /// Creates bounds from two vectors of equal length.
+    ///
+    /// # Errors
+    ///
+    /// [`OptimalControlError::InvalidBounds`] if lengths differ, any pair is
+    /// inverted, or any bound is NaN.
+    pub fn new(lower: Vec<f64>, upper: Vec<f64>) -> crate::Result<Self> {
+        if lower.len() != upper.len() {
+            return Err(OptimalControlError::InvalidBounds {
+                what: format!("lower has {} entries, upper {}", lower.len(), upper.len()),
+            });
+        }
+        for (i, (lo, hi)) in lower.iter().zip(&upper).enumerate() {
+            if lo.is_nan() || hi.is_nan() || lo > hi {
+                return Err(OptimalControlError::InvalidBounds {
+                    what: format!("component {i}: [{lo}, {hi}]"),
+                });
+            }
+        }
+        Ok(Self { lower, upper })
+    }
+
+    /// Uniform bounds `[lo, hi]` in every one of `dim` components.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Bounds::new`].
+    pub fn uniform(dim: usize, lo: f64, hi: f64) -> crate::Result<Self> {
+        Self::new(vec![lo; dim], vec![hi; dim])
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// Lower bounds.
+    pub fn lower(&self) -> &[f64] {
+        &self.lower
+    }
+
+    /// Upper bounds.
+    pub fn upper(&self) -> &[f64] {
+        &self.upper
+    }
+
+    /// Projects `x` onto the box, in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the bound dimension.
+    pub fn project(&self, x: &mut [f64]) {
+        assert_eq!(x.len(), self.dim(), "dimension mismatch in projection");
+        for ((v, lo), hi) in x.iter_mut().zip(&self.lower).zip(&self.upper) {
+            *v = v.clamp(*lo, *hi);
+        }
+    }
+
+    /// Returns a projected copy of `x`.
+    pub fn projected(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = x.to_vec();
+        self.project(&mut y);
+        y
+    }
+
+    /// `true` when `x` lies inside the box (within `tol`).
+    pub fn contains(&self, x: &[f64], tol: f64) -> bool {
+        x.len() == self.dim()
+            && x.iter()
+                .zip(&self.lower)
+                .zip(&self.upper)
+                .all(|((v, lo), hi)| *v >= lo - tol && *v <= hi + tol)
+    }
+
+    /// The projected-gradient stationarity measure
+    /// `‖P(x − g) − x‖∞` — zero at a KKT point of the box-constrained
+    /// problem.
+    pub fn stationarity(&self, x: &[f64], grad: &[f64]) -> f64 {
+        let mut step: Vec<f64> = x.iter().zip(grad).map(|(xi, gi)| xi - gi).collect();
+        self.project(&mut step);
+        step.iter()
+            .zip(x)
+            .map(|(s, xi)| (s - xi).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Midpoint of the box (a neutral default start).
+    pub fn midpoint(&self) -> Vec<f64> {
+        self.lower
+            .iter()
+            .zip(&self.upper)
+            .map(|(lo, hi)| 0.5 * (lo + hi))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates() {
+        assert!(Bounds::new(vec![0.0], vec![1.0, 2.0]).is_err());
+        assert!(Bounds::new(vec![2.0], vec![1.0]).is_err());
+        assert!(Bounds::new(vec![f64::NAN], vec![1.0]).is_err());
+        assert!(Bounds::new(vec![1.0], vec![1.0]).is_ok(), "degenerate box is legal");
+    }
+
+    #[test]
+    fn projection_clamps() {
+        let b = Bounds::uniform(3, -1.0, 1.0).unwrap();
+        let p = b.projected(&[-3.0, 0.5, 7.0]);
+        assert_eq!(p, vec![-1.0, 0.5, 1.0]);
+        assert!(b.contains(&p, 0.0));
+        assert!(!b.contains(&[2.0, 0.0, 0.0], 1e-9));
+    }
+
+    #[test]
+    fn stationarity_zero_at_interior_critical_point() {
+        let b = Bounds::uniform(2, -1.0, 1.0).unwrap();
+        assert_eq!(b.stationarity(&[0.2, -0.3], &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn stationarity_zero_at_active_bound_with_inward_gradient() {
+        let b = Bounds::uniform(1, 0.0, 1.0).unwrap();
+        // At x = 0 with positive gradient (pushing below the bound), the
+        // projected step stays at 0 → stationary.
+        assert_eq!(b.stationarity(&[0.0], &[5.0]), 0.0);
+        // Negative gradient pulls into the interior → not stationary.
+        assert!(b.stationarity(&[0.0], &[-0.5]) > 0.0);
+    }
+
+    #[test]
+    fn midpoint() {
+        let b = Bounds::new(vec![0.0, -2.0], vec![1.0, 0.0]).unwrap();
+        assert_eq!(b.midpoint(), vec![0.5, -1.0]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for the optimal-control crate.
+
+use std::fmt;
+
+/// Error returned by solver configuration and problem validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimalControlError {
+    /// Bounds vectors disagree in length or are inverted.
+    InvalidBounds {
+        /// Human-readable description.
+        what: String,
+    },
+    /// A solver option is out of range.
+    InvalidOptions {
+        /// Human-readable description.
+        what: String,
+    },
+    /// The starting point has the wrong dimension.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Provided dimension.
+        got: usize,
+    },
+    /// The objective returned a non-finite value at the starting point.
+    NonFiniteObjective,
+}
+
+impl fmt::Display for OptimalControlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimalControlError::InvalidBounds { what } => write!(f, "invalid bounds: {what}"),
+            OptimalControlError::InvalidOptions { what } => write!(f, "invalid options: {what}"),
+            OptimalControlError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            OptimalControlError::NonFiniteObjective => {
+                write!(f, "objective is not finite at the starting point")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptimalControlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(OptimalControlError::InvalidBounds { what: "len".into() }
+            .to_string()
+            .contains("len"));
+        assert!(OptimalControlError::DimensionMismatch { expected: 3, got: 2 }
+            .to_string()
+            .contains("expected 3"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<OptimalControlError>();
+    }
+}

@@ -1,0 +1,110 @@
+//! Problem contracts: objectives and constrained objectives.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// An objective function over `R^dim`.
+///
+/// Implementations must be `Sync` so finite-difference gradients can be
+/// evaluated from worker threads (cost evaluations in this stack integrate a
+/// boundary-value problem and dominate the optimizer's runtime).
+pub trait Objective: Sync {
+    /// Number of decision variables.
+    fn dim(&self) -> usize;
+
+    /// Objective value at `x` (`x.len() == self.dim()`).
+    fn value(&self, x: &[f64]) -> f64;
+}
+
+/// A constrained objective: `min f(x)` subject to `g(x) ≤ 0`, `h(x) = 0`
+/// (component-wise) and box bounds handled separately by the inner solver.
+pub trait ConstrainedObjective: Sync {
+    /// Number of decision variables.
+    fn dim(&self) -> usize;
+
+    /// Objective value at `x`.
+    fn objective(&self, x: &[f64]) -> f64;
+
+    /// Inequality constraint values `g(x)` (feasible when every component is
+    /// ≤ 0). The default is unconstrained.
+    fn inequality(&self, _x: &[f64]) -> Vec<f64> {
+        Vec::new()
+    }
+
+    /// Equality constraint values `h(x)` (feasible when every component is
+    /// 0). The default is unconstrained.
+    fn equality(&self, _x: &[f64]) -> Vec<f64> {
+        Vec::new()
+    }
+}
+
+/// Wraps an [`Objective`] and counts evaluations (thread-safe).
+///
+/// Every solver in this crate reports evaluation counts through this type so
+/// that the expensive-BVP use case can be budgeted.
+pub struct CountingObjective<'a, O: Objective + ?Sized> {
+    inner: &'a O,
+    count: AtomicUsize,
+}
+
+impl<'a, O: Objective + ?Sized> CountingObjective<'a, O> {
+    /// Wraps an objective.
+    pub fn new(inner: &'a O) -> Self {
+        Self { inner, count: AtomicUsize::new(0) }
+    }
+
+    /// Evaluations made so far.
+    pub fn count(&self) -> usize {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+impl<O: Objective + ?Sized> Objective for CountingObjective<'_, O> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.value(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Sphere;
+    impl Objective for Sphere {
+        fn dim(&self) -> usize {
+            3
+        }
+        fn value(&self, x: &[f64]) -> f64 {
+            x.iter().map(|v| v * v).sum()
+        }
+    }
+
+    #[test]
+    fn counting_wrapper_counts() {
+        let c = CountingObjective::new(&Sphere);
+        assert_eq!(c.count(), 0);
+        let _ = c.value(&[1.0, 2.0, 3.0]);
+        let _ = c.value(&[0.0, 0.0, 0.0]);
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.dim(), 3);
+    }
+
+    #[test]
+    fn default_constraints_are_empty() {
+        struct Free;
+        impl ConstrainedObjective for Free {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn objective(&self, x: &[f64]) -> f64 {
+                x[0]
+            }
+        }
+        assert!(Free.inequality(&[0.0]).is_empty());
+        assert!(Free.equality(&[0.0]).is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type for fallible quantity and geometry constructors.
+
+use std::fmt;
+
+/// Error returned when a quantity or geometric primitive is constructed from
+/// an invalid value (negative length, non-finite temperature, empty rectangle…).
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnitsError {
+    /// The value must be strictly positive but was not.
+    NotPositive {
+        /// Human-readable name of the offending quantity.
+        what: &'static str,
+        /// The rejected value, in base SI units.
+        value: f64,
+    },
+    /// The value must be finite (no NaN/inf) but was not.
+    NotFinite {
+        /// Human-readable name of the offending quantity.
+        what: &'static str,
+    },
+    /// A rectangle was constructed with non-positive extent.
+    EmptyRect {
+        /// Width in metres.
+        width: f64,
+        /// Height in metres.
+        height: f64,
+    },
+}
+
+impl fmt::Display for UnitsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnitsError::NotPositive { what, value } => {
+                write!(f, "{what} must be strictly positive, got {value}")
+            }
+            UnitsError::NotFinite { what } => write!(f, "{what} must be finite"),
+            UnitsError::EmptyRect { width, height } => {
+                write!(f, "rectangle extent must be positive, got {width} x {height} m")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UnitsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_not_positive() {
+        let e = UnitsError::NotPositive { what: "channel width", value: -1.0 };
+        assert_eq!(e.to_string(), "channel width must be strictly positive, got -1");
+    }
+
+    #[test]
+    fn display_not_finite() {
+        let e = UnitsError::NotFinite { what: "temperature" };
+        assert_eq!(e.to_string(), "temperature must be finite");
+    }
+
+    #[test]
+    fn display_empty_rect() {
+        let e = UnitsError::EmptyRect { width: 0.0, height: 1.0 };
+        assert!(e.to_string().contains("rectangle extent"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<UnitsError>();
+    }
+}

@@ -1,0 +1,198 @@
+//! Minimal 2D geometry used by floorplans and thermal maps.
+
+use crate::{Area, Length, UnitsError};
+
+/// A point in the die plane. `x` runs across the die (perpendicular to the
+/// coolant flow), `z` runs along the coolant flow from inlet to outlet —
+/// matching the paper's coordinate convention (Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point2 {
+    /// Coordinate perpendicular to the coolant flow.
+    pub x: Length,
+    /// Coordinate along the coolant flow (0 at the inlet).
+    pub z: Length,
+}
+
+impl Point2 {
+    /// Constructs a point from its two coordinates.
+    pub const fn new(x: Length, z: Length) -> Self {
+        Self { x, z }
+    }
+}
+
+/// An axis-aligned rectangle in the die plane (used for floorplan blocks).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    origin: Point2,
+    width: Length,
+    depth: Length,
+}
+
+impl Rect {
+    /// Creates a rectangle from its lower-left corner (minimum `x`, minimum
+    /// `z`), width (extent in `x`) and depth (extent in `z`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitsError::EmptyRect`] if either extent is not strictly
+    /// positive, and [`UnitsError::NotFinite`] if any coordinate is NaN/inf.
+    pub fn new(origin: Point2, width: Length, depth: Length) -> Result<Self, UnitsError> {
+        if !(origin.x.is_finite() && origin.z.is_finite() && width.is_finite() && depth.is_finite())
+        {
+            return Err(UnitsError::NotFinite { what: "rectangle coordinates" });
+        }
+        if width.si() <= 0.0 || depth.si() <= 0.0 {
+            return Err(UnitsError::EmptyRect { width: width.si(), height: depth.si() });
+        }
+        Ok(Self { origin, width, depth })
+    }
+
+    /// Creates a rectangle from millimetre coordinates `(x, z, width, depth)`,
+    /// the format used for the floorplan tables.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Rect::new`].
+    pub fn from_mm(x: f64, z: f64, width: f64, depth: f64) -> Result<Self, UnitsError> {
+        Self::new(
+            Point2::new(Length::from_millimeters(x), Length::from_millimeters(z)),
+            Length::from_millimeters(width),
+            Length::from_millimeters(depth),
+        )
+    }
+
+    /// Lower-left corner.
+    pub const fn origin(&self) -> Point2 {
+        self.origin
+    }
+
+    /// Extent in `x` (across the flow).
+    pub const fn width(&self) -> Length {
+        self.width
+    }
+
+    /// Extent in `z` (along the flow).
+    pub const fn depth(&self) -> Length {
+        self.depth
+    }
+
+    /// Minimum `x` coordinate.
+    pub fn x_min(&self) -> Length {
+        self.origin.x
+    }
+
+    /// Maximum `x` coordinate.
+    pub fn x_max(&self) -> Length {
+        self.origin.x + self.width
+    }
+
+    /// Minimum `z` coordinate.
+    pub fn z_min(&self) -> Length {
+        self.origin.z
+    }
+
+    /// Maximum `z` coordinate.
+    pub fn z_max(&self) -> Length {
+        self.origin.z + self.depth
+    }
+
+    /// Surface area of the rectangle.
+    pub fn area(&self) -> Area {
+        self.width * self.depth
+    }
+
+    /// `true` if the point lies inside the rectangle (inclusive of the lower
+    /// edges, exclusive of the upper edges, so adjacent blocks tile cleanly).
+    pub fn contains(&self, p: Point2) -> bool {
+        p.x.si() >= self.x_min().si()
+            && p.x.si() < self.x_max().si()
+            && p.z.si() >= self.z_min().si()
+            && p.z.si() < self.z_max().si()
+    }
+
+    /// Area of the intersection with `other` (zero when disjoint).
+    pub fn intersection_area(&self, other: &Rect) -> Area {
+        let dx = self.x_max().si().min(other.x_max().si()) - self.x_min().si().max(other.x_min().si());
+        let dz = self.z_max().si().min(other.z_max().si()) - self.z_min().si().max(other.z_min().si());
+        if dx > 0.0 && dz > 0.0 {
+            Area::from_si(dx * dz)
+        } else {
+            Area::ZERO
+        }
+    }
+
+    /// Fraction of `self` covered by `other` (in `[0, 1]`).
+    pub fn overlap_fraction(&self, other: &Rect) -> f64 {
+        self.intersection_area(other).si() / self.area().si()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect(x: f64, z: f64, w: f64, d: f64) -> Rect {
+        Rect::from_mm(x, z, w, d).expect("valid rect")
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(Rect::from_mm(0.0, 0.0, 0.0, 1.0).is_err());
+        assert!(Rect::from_mm(0.0, 0.0, 1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn rejects_nan() {
+        assert!(Rect::from_mm(f64::NAN, 0.0, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn extents_and_area() {
+        let r = rect(1.0, 2.0, 3.0, 4.0);
+        assert!((r.x_min().as_millimeters() - 1.0).abs() < 1e-12);
+        assert!((r.x_max().as_millimeters() - 4.0).abs() < 1e-12);
+        assert!((r.z_min().as_millimeters() - 2.0).abs() < 1e-12);
+        assert!((r.z_max().as_millimeters() - 6.0).abs() < 1e-12);
+        assert!((r.area().as_mm2() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contains_half_open() {
+        let r = rect(0.0, 0.0, 1.0, 1.0);
+        let inside = Point2::new(Length::from_millimeters(0.5), Length::from_millimeters(0.5));
+        let lower = Point2::new(Length::ZERO, Length::ZERO);
+        let upper = Point2::new(Length::from_millimeters(1.0), Length::from_millimeters(1.0));
+        assert!(r.contains(inside));
+        assert!(r.contains(lower));
+        assert!(!r.contains(upper));
+    }
+
+    #[test]
+    fn intersection_disjoint_is_zero() {
+        let a = rect(0.0, 0.0, 1.0, 1.0);
+        let b = rect(2.0, 2.0, 1.0, 1.0);
+        assert_eq!(a.intersection_area(&b), Area::ZERO);
+        assert_eq!(a.overlap_fraction(&b), 0.0);
+    }
+
+    #[test]
+    fn intersection_partial() {
+        let a = rect(0.0, 0.0, 2.0, 2.0);
+        let b = rect(1.0, 1.0, 2.0, 2.0);
+        assert!((a.intersection_area(&b).as_mm2() - 1.0).abs() < 1e-9);
+        assert!((a.overlap_fraction(&b) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_is_symmetric() {
+        let a = rect(0.0, 0.0, 2.0, 3.0);
+        let b = rect(1.0, 1.0, 4.0, 1.0);
+        assert!((a.intersection_area(&b).si() - b.intersection_area(&a).si()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn self_overlap_is_one() {
+        let a = rect(0.5, 0.25, 2.0, 3.0);
+        assert!((a.overlap_fraction(&a) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,51 @@
+//! SI quantity newtypes and geometry primitives for the `liquamod` stack.
+//!
+//! Thermal design code mixes metres, micrometres, watts per square centimetre,
+//! millilitres per minute and pascals in the same expressions; silent unit slips
+//! are the classic failure mode of such codebases. This crate provides thin,
+//! zero-cost newtypes over `f64` for every physical quantity the stack handles,
+//! with explicit, named constructors and accessors for the unit conventions the
+//! DATE'12 paper uses (µm, W/cm², mL/min, bar).
+//!
+//! # Design
+//!
+//! * Each quantity is a `#[repr(transparent)]` wrapper over an `f64` stored in
+//!   base SI units.
+//! * Constructors are named after the unit (`Length::from_micrometers(50.0)`),
+//!   accessors likewise (`len.as_micrometers()`); the raw SI value is always
+//!   available via `.si()`.
+//! * Arithmetic is implemented only where it is dimensionally meaningful
+//!   (e.g. `Length * Length = Area`, `Power / Area = HeatFlux`). Everything
+//!   else must go through `.si()` explicitly, which keeps accidental
+//!   dimensional nonsense out of the downstream crates.
+//!
+//! # Example
+//!
+//! ```
+//! use liquamod_units::{Length, VolumetricFlowRate, Pressure};
+//!
+//! let w = Length::from_micrometers(50.0);
+//! let flow = VolumetricFlowRate::from_ml_per_min(0.3);
+//! let dp = Pressure::from_bar(10.0);
+//! assert!((w.as_meters() - 5.0e-5).abs() < 1e-18);
+//! assert!((flow.as_m3_per_s() - 5.0e-9).abs() < 1e-15);
+//! assert!((dp.as_pascals() - 1.0e6).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod geometry;
+mod quantity;
+
+pub use error::UnitsError;
+pub use geometry::{Point2, Rect};
+pub use quantity::{
+    Area, Conductance, HeatFlux, HeatTransferCoefficient, Length, LinearHeatFlux,
+    LinearThermalConductance, Power, Pressure, Temperature, TemperatureDifference,
+    ThermalConductivity, Velocity, Viscosity, VolumetricFlowRate, VolumetricHeatCapacity,
+};
+
+/// Convenient result alias for fallible constructors in this crate.
+pub type Result<T> = std::result::Result<T, UnitsError>;

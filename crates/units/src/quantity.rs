@@ -1,0 +1,896 @@
+//! Zero-cost `f64` newtypes for the physical quantities used across the stack.
+//!
+//! All values are stored in base SI units. Unit-specific constructors and
+//! accessors cover the conventions of the DATE'12 paper (µm, W/cm², mL/min,
+//! bar, °C).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Generates the shared core of a quantity newtype: construction from the
+/// base SI unit, raw access, ordering helpers and `Display`.
+macro_rules! quantity_core {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $si_unit:literal
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        #[repr(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Zero value.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Constructs from a value expressed in the base SI unit
+            #[doc = concat!("(", $si_unit, ").")]
+            #[inline]
+            pub const fn from_si(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the value in the base SI unit
+            #[doc = concat!("(", $si_unit, ").")]
+            #[inline]
+            pub const fn si(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the smaller of two values.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of two values.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamps the value into `[lo, hi]`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// `true` when the underlying value is finite (not NaN/inf).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $si_unit)
+            }
+        }
+    };
+}
+
+/// Generates a full *linear* quantity newtype: the core plus arithmetic with
+/// itself (add/sub/neg/sum) and scaling by `f64`. Affine quantities such as
+/// [`Temperature`] use only [`quantity_core!`] and define their own arithmetic.
+macro_rules! quantity {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $si_unit:literal
+    ) => {
+        quantity_core!(
+            $(#[$meta])*
+            $name, $si_unit
+        );
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+quantity!(
+    /// A length, stored in metres.
+    Length,
+    "m"
+);
+
+quantity!(
+    /// An area, stored in square metres.
+    Area,
+    "m^2"
+);
+
+quantity_core!(
+    /// An absolute temperature, stored in kelvin.
+    ///
+    /// Absolute temperature is an *affine* quantity: adding two absolute
+    /// temperatures is meaningless, so this type deliberately lacks `Add`
+    /// with itself. Subtraction yields a [`TemperatureDifference`].
+    Temperature,
+    "K"
+);
+
+quantity!(
+    /// A temperature difference, stored in kelvin.
+    ///
+    /// Kept distinct from [`Temperature`] so that gradients and offsets cannot
+    /// be confused with absolute temperatures.
+    TemperatureDifference,
+    "K"
+);
+
+quantity!(
+    /// A power, stored in watts.
+    Power,
+    "W"
+);
+
+quantity!(
+    /// An areal heat flux, stored in W/m².
+    HeatFlux,
+    "W/m^2"
+);
+
+quantity!(
+    /// Heat input per unit channel length, stored in W/m (the paper's `q̂`).
+    LinearHeatFlux,
+    "W/m"
+);
+
+quantity!(
+    /// A pressure (or pressure drop), stored in pascals.
+    Pressure,
+    "Pa"
+);
+
+quantity!(
+    /// A volumetric flow rate, stored in m³/s.
+    VolumetricFlowRate,
+    "m^3/s"
+);
+
+quantity!(
+    /// Thermal conductivity, stored in W/(m·K).
+    ThermalConductivity,
+    "W/(m.K)"
+);
+
+quantity!(
+    /// Volumetric heat capacity, stored in J/(m³·K).
+    VolumetricHeatCapacity,
+    "J/(m^3.K)"
+);
+
+quantity!(
+    /// Dynamic viscosity, stored in Pa·s.
+    Viscosity,
+    "Pa.s"
+);
+
+quantity!(
+    /// Convective heat transfer coefficient, stored in W/(m²·K).
+    HeatTransferCoefficient,
+    "W/(m^2.K)"
+);
+
+quantity!(
+    /// Per-unit-length thermal conductance, stored in W/(m·K) — the paper's
+    /// `ĝ_w`, `ĝ_v,Si`, `ĥ`, `ĝ_v` circuit parameters.
+    LinearThermalConductance,
+    "W/(m.K)"
+);
+
+quantity!(
+    /// Absolute thermal conductance, stored in W/K (finite-volume RC links).
+    Conductance,
+    "W/K"
+);
+
+quantity!(
+    /// Flow velocity, stored in m/s.
+    Velocity,
+    "m/s"
+);
+
+// ---------------------------------------------------------------------------
+// Unit-specific constructors / accessors
+// ---------------------------------------------------------------------------
+
+impl Length {
+    /// Constructs from metres (alias of [`Length::from_si`]).
+    #[inline]
+    pub const fn from_meters(m: f64) -> Self {
+        Self(m)
+    }
+
+    /// Constructs from millimetres.
+    #[inline]
+    pub fn from_millimeters(mm: f64) -> Self {
+        Self(mm * 1e-3)
+    }
+
+    /// Constructs from micrometres.
+    #[inline]
+    pub fn from_micrometers(um: f64) -> Self {
+        Self(um * 1e-6)
+    }
+
+    /// Constructs from centimetres.
+    #[inline]
+    pub fn from_centimeters(cm: f64) -> Self {
+        Self(cm * 1e-2)
+    }
+
+    /// Value in metres.
+    #[inline]
+    pub const fn as_meters(self) -> f64 {
+        self.0
+    }
+
+    /// Value in millimetres.
+    #[inline]
+    pub fn as_millimeters(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Value in micrometres.
+    #[inline]
+    pub fn as_micrometers(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Value in centimetres.
+    #[inline]
+    pub fn as_centimeters(self) -> f64 {
+        self.0 * 1e2
+    }
+}
+
+impl Mul<Length> for Length {
+    type Output = Area;
+    #[inline]
+    fn mul(self, rhs: Length) -> Area {
+        Area::from_si(self.0 * rhs.0)
+    }
+}
+
+impl Area {
+    /// Constructs from square centimetres.
+    #[inline]
+    pub fn from_cm2(cm2: f64) -> Self {
+        Self(cm2 * 1e-4)
+    }
+
+    /// Value in square metres.
+    #[inline]
+    pub const fn as_m2(self) -> f64 {
+        self.0
+    }
+
+    /// Value in square centimetres.
+    #[inline]
+    pub fn as_cm2(self) -> f64 {
+        self.0 * 1e4
+    }
+
+    /// Value in square millimetres.
+    #[inline]
+    pub fn as_mm2(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl Temperature {
+    /// Constructs from kelvin (alias of [`Temperature::from_si`]).
+    #[inline]
+    pub const fn from_kelvin(k: f64) -> Self {
+        Self(k)
+    }
+
+    /// Constructs from degrees Celsius.
+    #[inline]
+    pub fn from_celsius(c: f64) -> Self {
+        Self(c + 273.15)
+    }
+
+    /// Value in kelvin.
+    #[inline]
+    pub const fn as_kelvin(self) -> f64 {
+        self.0
+    }
+
+    /// Value in degrees Celsius.
+    #[inline]
+    pub fn as_celsius(self) -> f64 {
+        self.0 - 273.15
+    }
+}
+
+impl Sub<Temperature> for Temperature {
+    type Output = TemperatureDifference;
+    #[inline]
+    fn sub(self, rhs: Temperature) -> TemperatureDifference {
+        TemperatureDifference::from_si(self.0 - rhs.0)
+    }
+}
+
+impl Add<TemperatureDifference> for Temperature {
+    type Output = Temperature;
+    #[inline]
+    fn add(self, rhs: TemperatureDifference) -> Temperature {
+        Temperature(self.0 + rhs.0)
+    }
+}
+
+impl Sub<TemperatureDifference> for Temperature {
+    type Output = Temperature;
+    #[inline]
+    fn sub(self, rhs: TemperatureDifference) -> Temperature {
+        Temperature(self.0 - rhs.0)
+    }
+}
+
+impl TemperatureDifference {
+    /// Constructs from kelvin (identical magnitude in °C).
+    #[inline]
+    pub const fn from_kelvin(k: f64) -> Self {
+        Self(k)
+    }
+
+    /// Value in kelvin (identical magnitude in °C).
+    #[inline]
+    pub const fn as_kelvin(self) -> f64 {
+        self.0
+    }
+}
+
+impl Power {
+    /// Constructs from watts (alias of [`Power::from_si`]).
+    #[inline]
+    pub const fn from_watts(w: f64) -> Self {
+        Self(w)
+    }
+
+    /// Value in watts.
+    #[inline]
+    pub const fn as_watts(self) -> f64 {
+        self.0
+    }
+
+    /// Value in milliwatts.
+    #[inline]
+    pub fn as_milliwatts(self) -> f64 {
+        self.0 * 1e3
+    }
+}
+
+impl Div<Area> for Power {
+    type Output = HeatFlux;
+    #[inline]
+    fn div(self, rhs: Area) -> HeatFlux {
+        HeatFlux::from_si(self.0 / rhs.0)
+    }
+}
+
+impl HeatFlux {
+    /// Constructs from W/cm² (the paper's unit of choice).
+    #[inline]
+    pub fn from_w_per_cm2(q: f64) -> Self {
+        Self(q * 1e4)
+    }
+
+    /// Value in W/m².
+    #[inline]
+    pub const fn as_w_per_m2(self) -> f64 {
+        self.0
+    }
+
+    /// Value in W/cm².
+    #[inline]
+    pub fn as_w_per_cm2(self) -> f64 {
+        self.0 * 1e-4
+    }
+}
+
+impl Mul<Area> for HeatFlux {
+    type Output = Power;
+    #[inline]
+    fn mul(self, rhs: Area) -> Power {
+        Power::from_watts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Length> for HeatFlux {
+    /// Areal flux integrated across a pitch gives heat per unit channel length.
+    type Output = LinearHeatFlux;
+    #[inline]
+    fn mul(self, rhs: Length) -> LinearHeatFlux {
+        LinearHeatFlux::from_si(self.0 * rhs.0)
+    }
+}
+
+impl LinearHeatFlux {
+    /// Constructs from W/m (alias of [`LinearHeatFlux::from_si`]).
+    #[inline]
+    pub const fn from_w_per_m(q: f64) -> Self {
+        Self(q)
+    }
+
+    /// Value in W/m.
+    #[inline]
+    pub const fn as_w_per_m(self) -> f64 {
+        self.0
+    }
+}
+
+impl Mul<Length> for LinearHeatFlux {
+    /// Linear flux integrated over a length gives power.
+    type Output = Power;
+    #[inline]
+    fn mul(self, rhs: Length) -> Power {
+        Power::from_watts(self.0 * rhs.0)
+    }
+}
+
+impl Pressure {
+    /// Constructs from pascals (alias of [`Pressure::from_si`]).
+    #[inline]
+    pub const fn from_pascals(pa: f64) -> Self {
+        Self(pa)
+    }
+
+    /// Constructs from bar (10⁵ Pa).
+    #[inline]
+    pub fn from_bar(bar: f64) -> Self {
+        Self(bar * 1e5)
+    }
+
+    /// Constructs from kilopascals.
+    #[inline]
+    pub fn from_kilopascals(kpa: f64) -> Self {
+        Self(kpa * 1e3)
+    }
+
+    /// Value in pascals.
+    #[inline]
+    pub const fn as_pascals(self) -> f64 {
+        self.0
+    }
+
+    /// Value in bar.
+    #[inline]
+    pub fn as_bar(self) -> f64 {
+        self.0 * 1e-5
+    }
+
+    /// Value in kilopascals.
+    #[inline]
+    pub fn as_kilopascals(self) -> f64 {
+        self.0 * 1e-3
+    }
+}
+
+impl Mul<VolumetricFlowRate> for Pressure {
+    /// Hydraulic pump power `P = ΔP · V̇`.
+    type Output = Power;
+    #[inline]
+    fn mul(self, rhs: VolumetricFlowRate) -> Power {
+        Power::from_watts(self.0 * rhs.0)
+    }
+}
+
+impl VolumetricFlowRate {
+    /// Constructs from m³/s (alias of [`VolumetricFlowRate::from_si`]).
+    #[inline]
+    pub const fn from_m3_per_s(v: f64) -> Self {
+        Self(v)
+    }
+
+    /// Constructs from millilitres per minute (the paper's unit).
+    #[inline]
+    pub fn from_ml_per_min(ml_min: f64) -> Self {
+        Self(ml_min * 1e-6 / 60.0)
+    }
+
+    /// Value in m³/s.
+    #[inline]
+    pub const fn as_m3_per_s(self) -> f64 {
+        self.0
+    }
+
+    /// Value in mL/min.
+    #[inline]
+    pub fn as_ml_per_min(self) -> f64 {
+        self.0 * 60.0 * 1e6
+    }
+}
+
+impl Div<Area> for VolumetricFlowRate {
+    /// Mean flow velocity `u = V̇ / A`.
+    type Output = Velocity;
+    #[inline]
+    fn div(self, rhs: Area) -> Velocity {
+        Velocity::from_si(self.0 / rhs.0)
+    }
+}
+
+impl ThermalConductivity {
+    /// Constructs from W/(m·K) (alias of [`ThermalConductivity::from_si`]).
+    #[inline]
+    pub const fn from_w_per_m_k(k: f64) -> Self {
+        Self(k)
+    }
+
+    /// Value in W/(m·K).
+    #[inline]
+    pub const fn as_w_per_m_k(self) -> f64 {
+        self.0
+    }
+}
+
+impl VolumetricHeatCapacity {
+    /// Constructs from J/(m³·K) (alias of [`VolumetricHeatCapacity::from_si`]).
+    #[inline]
+    pub const fn from_j_per_m3_k(cv: f64) -> Self {
+        Self(cv)
+    }
+
+    /// Value in J/(m³·K).
+    #[inline]
+    pub const fn as_j_per_m3_k(self) -> f64 {
+        self.0
+    }
+}
+
+impl Viscosity {
+    /// Constructs from Pa·s (alias of [`Viscosity::from_si`]).
+    #[inline]
+    pub const fn from_pa_s(mu: f64) -> Self {
+        Self(mu)
+    }
+
+    /// Value in Pa·s.
+    #[inline]
+    pub const fn as_pa_s(self) -> f64 {
+        self.0
+    }
+}
+
+impl HeatTransferCoefficient {
+    /// Constructs from W/(m²·K) (alias of [`HeatTransferCoefficient::from_si`]).
+    #[inline]
+    pub const fn from_w_per_m2_k(h: f64) -> Self {
+        Self(h)
+    }
+
+    /// Value in W/(m²·K).
+    #[inline]
+    pub const fn as_w_per_m2_k(self) -> f64 {
+        self.0
+    }
+}
+
+impl Mul<Length> for HeatTransferCoefficient {
+    /// Areal coefficient times a wetted-perimeter length gives a
+    /// per-unit-channel-length conductance.
+    type Output = LinearThermalConductance;
+    #[inline]
+    fn mul(self, rhs: Length) -> LinearThermalConductance {
+        LinearThermalConductance::from_si(self.0 * rhs.0)
+    }
+}
+
+impl LinearThermalConductance {
+    /// Constructs from W/(m·K) (alias of [`LinearThermalConductance::from_si`]).
+    #[inline]
+    pub const fn from_w_per_m_k(g: f64) -> Self {
+        Self(g)
+    }
+
+    /// Value in W/(m·K).
+    #[inline]
+    pub const fn as_w_per_m_k(self) -> f64 {
+        self.0
+    }
+
+    /// Series combination `(g₁⁻¹ + g₂⁻¹)⁻¹` — the paper's Eq. (2) `ĝ_v`.
+    ///
+    /// Returns zero if either operand is zero (an open circuit dominates).
+    pub fn series(self, other: Self) -> Self {
+        if self.0 == 0.0 || other.0 == 0.0 {
+            Self(0.0)
+        } else {
+            Self(1.0 / (1.0 / self.0 + 1.0 / other.0))
+        }
+    }
+
+    /// Parallel combination `g₁ + g₂`.
+    #[inline]
+    pub fn parallel(self, other: Self) -> Self {
+        Self(self.0 + other.0)
+    }
+}
+
+impl Conductance {
+    /// Constructs from W/K (alias of [`Conductance::from_si`]).
+    #[inline]
+    pub const fn from_w_per_k(g: f64) -> Self {
+        Self(g)
+    }
+
+    /// Value in W/K.
+    #[inline]
+    pub const fn as_w_per_k(self) -> f64 {
+        self.0
+    }
+
+    /// Series combination `(g₁⁻¹ + g₂⁻¹)⁻¹`.
+    ///
+    /// Returns zero if either operand is zero (an open circuit dominates).
+    pub fn series(self, other: Self) -> Self {
+        if self.0 == 0.0 || other.0 == 0.0 {
+            Self(0.0)
+        } else {
+            Self(1.0 / (1.0 / self.0 + 1.0 / other.0))
+        }
+    }
+
+    /// Parallel combination `g₁ + g₂`.
+    #[inline]
+    pub fn parallel(self, other: Self) -> Self {
+        Self(self.0 + other.0)
+    }
+}
+
+impl Velocity {
+    /// Value in m/s.
+    #[inline]
+    pub const fn as_m_per_s(self) -> f64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn length_conversions_roundtrip() {
+        let l = Length::from_micrometers(50.0);
+        assert!((l.as_meters() - 5.0e-5).abs() < EPS);
+        assert!((l.as_micrometers() - 50.0).abs() < EPS);
+        assert!((l.as_millimeters() - 0.05).abs() < EPS);
+        assert!((l.as_centimeters() - 0.005).abs() < EPS);
+        assert!((Length::from_centimeters(1.0).as_meters() - 0.01).abs() < EPS);
+        assert!((Length::from_millimeters(15.0).as_meters() - 0.015).abs() < EPS);
+    }
+
+    #[test]
+    fn temperature_celsius_kelvin() {
+        let t = Temperature::from_celsius(27.0);
+        assert!((t.as_kelvin() - 300.15).abs() < EPS);
+        assert!((Temperature::from_kelvin(300.0).as_celsius() - 26.85).abs() < EPS);
+    }
+
+    #[test]
+    fn temperature_difference_arithmetic() {
+        let a = Temperature::from_kelvin(350.0);
+        let b = Temperature::from_kelvin(300.0);
+        let d = a - b;
+        assert!((d.as_kelvin() - 50.0).abs() < EPS);
+        let back = b + d;
+        assert!((back.as_kelvin() - 350.0).abs() < EPS);
+        let down = a - d;
+        assert!((down.as_kelvin() - 300.0).abs() < EPS);
+    }
+
+    #[test]
+    fn heat_flux_paper_units() {
+        // 50 W/cm² (paper Fig. 1a) is 5e5 W/m².
+        let q = HeatFlux::from_w_per_cm2(50.0);
+        assert!((q.as_w_per_m2() - 5.0e5).abs() < EPS);
+        assert!((q.as_w_per_cm2() - 50.0).abs() < EPS);
+    }
+
+    #[test]
+    fn heat_flux_times_pitch_is_linear_flux() {
+        // 50 W/cm² over a 100 µm pitch → 50 W/m per layer.
+        let q = HeatFlux::from_w_per_cm2(50.0) * Length::from_micrometers(100.0);
+        assert!((q.as_w_per_m() - 50.0).abs() < EPS);
+    }
+
+    #[test]
+    fn linear_flux_times_length_is_power() {
+        let p = LinearHeatFlux::from_w_per_m(50.0) * Length::from_centimeters(1.0);
+        assert!((p.as_watts() - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn flow_rate_paper_units() {
+        // Table I: 4.8 mL/min = 8e-8 m³/s.
+        let v = VolumetricFlowRate::from_ml_per_min(4.8);
+        assert!((v.as_m3_per_s() - 8.0e-8).abs() < 1e-20);
+        assert!((v.as_ml_per_min() - 4.8).abs() < EPS);
+    }
+
+    #[test]
+    fn pressure_paper_units() {
+        // Table I: ΔP_max = 10e5 Pa = 10 bar.
+        let p = Pressure::from_bar(10.0);
+        assert!((p.as_pascals() - 1.0e6).abs() < EPS);
+        assert!((p.as_kilopascals() - 1000.0).abs() < EPS);
+        assert!((Pressure::from_kilopascals(100.0).as_bar() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn pump_power_product() {
+        let p = Pressure::from_bar(1.0) * VolumetricFlowRate::from_ml_per_min(60.0);
+        // 1e5 Pa * 1e-6 m³/s = 0.1 W
+        assert!((p.as_watts() - 0.1).abs() < EPS);
+    }
+
+    #[test]
+    fn area_and_velocity() {
+        let a = Length::from_micrometers(100.0) * Length::from_micrometers(50.0);
+        assert!((a.as_m2() - 5.0e-9).abs() < 1e-22);
+        let u = VolumetricFlowRate::from_m3_per_s(5.0e-9) / a;
+        assert!((u.as_m_per_s() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn power_over_area_is_flux() {
+        let f = Power::from_watts(1.0) / Area::from_cm2(1.0);
+        assert!((f.as_w_per_cm2() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn series_parallel_conductance() {
+        let a = LinearThermalConductance::from_w_per_m_k(2.0);
+        let b = LinearThermalConductance::from_w_per_m_k(2.0);
+        assert!((a.series(b).as_w_per_m_k() - 1.0).abs() < EPS);
+        assert!((a.parallel(b).as_w_per_m_k() - 4.0).abs() < EPS);
+        // Open circuit dominates a series chain.
+        let z = LinearThermalConductance::ZERO;
+        assert_eq!(a.series(z), LinearThermalConductance::ZERO);
+    }
+
+    #[test]
+    fn conductance_series_parallel() {
+        let a = Conductance::from_w_per_k(3.0);
+        let b = Conductance::from_w_per_k(6.0);
+        assert!((a.series(b).as_w_per_k() - 2.0).abs() < EPS);
+        assert!((a.parallel(b).as_w_per_k() - 9.0).abs() < EPS);
+    }
+
+    #[test]
+    fn scalar_arithmetic() {
+        let l = Length::from_meters(2.0);
+        assert!(((l * 3.0).as_meters() - 6.0).abs() < EPS);
+        assert!(((3.0 * l).as_meters() - 6.0).abs() < EPS);
+        assert!(((l / 2.0).as_meters() - 1.0).abs() < EPS);
+        assert!((l / Length::from_meters(4.0) - 0.5).abs() < EPS);
+        assert!(((-l).as_meters() + 2.0).abs() < EPS);
+        let mut m = l;
+        m += Length::from_meters(1.0);
+        m -= Length::from_meters(0.5);
+        assert!((m.as_meters() - 2.5).abs() < EPS);
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        let a = Length::from_meters(1.0);
+        let b = Length::from_meters(2.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(Length::from_meters(5.0).clamp(a, b), b);
+        assert_eq!(Length::from_meters(0.0).clamp(a, b), a);
+    }
+
+    #[test]
+    fn sum_iterates() {
+        let total: Power = (1..=4).map(|i| Power::from_watts(i as f64)).sum();
+        assert!((total.as_watts() - 10.0).abs() < EPS);
+    }
+
+    #[test]
+    fn display_shows_unit() {
+        assert_eq!(Length::from_meters(1.5).to_string(), "1.5 m");
+        assert_eq!(Pressure::from_pascals(10.0).to_string(), "10 Pa");
+    }
+
+    #[test]
+    fn htc_times_perimeter_is_linear_conductance() {
+        let h = HeatTransferCoefficient::from_w_per_m2_k(1.0e4);
+        let g = h * Length::from_micrometers(150.0);
+        assert!((g.as_w_per_m_k() - 1.5).abs() < EPS);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Length::default(), Length::ZERO);
+        assert_eq!(Power::default(), Power::ZERO);
+    }
+}

@@ -1,0 +1,105 @@
+//! Wiring tests for the canned experiment definitions: determinism,
+//! cross-architecture consistency and the Fig. 8 protocol.
+
+use liquamod::prelude::*;
+
+fn tiny_config() -> OptimizationConfig {
+    OptimizationConfig {
+        segments: 4,
+        mesh_intervals: 48,
+        ..OptimizationConfig::fast()
+    }
+}
+
+#[test]
+fn test_b_is_deterministic_end_to_end() {
+    let params = ModelParams::date2012();
+    let config = tiny_config();
+    let a = experiments::test_b(&params, &config).expect("runs");
+    let b = experiments::test_b(&params, &config).expect("runs");
+    assert_eq!(a.optimal.gradient_k, b.optimal.gradient_k, "same seed, same outcome");
+    assert_eq!(a.minimum.gradient_k, b.minimum.gradient_k);
+}
+
+#[test]
+fn test_b_seeds_change_the_workload() {
+    let params = ModelParams::date2012();
+    // Give the control enough resolution to react to the 10-segment
+    // random workload, otherwise the optimizer has little to work with.
+    let config = OptimizationConfig {
+        segments: 10,
+        mesh_intervals: 48,
+        ..OptimizationConfig::fast()
+    };
+    let a = experiments::test_b_seeded(&params, &config, 11).expect("runs");
+    let b = experiments::test_b_seeded(&params, &config, 12).expect("runs");
+    assert!(
+        (a.maximum.gradient_k - b.maximum.gradient_k).abs() > 1e-6,
+        "different seeds must give different gradients"
+    );
+    // But the qualitative conclusion is seed-independent.
+    assert!(a.gradient_reduction() > 0.03, "seed 11: {:.3}", a.gradient_reduction());
+    assert!(b.gradient_reduction() > 0.03, "seed 12: {:.3}", b.gradient_reduction());
+}
+
+#[test]
+fn mpsoc_architectures_differ_in_baseline_gradient() {
+    let params = ModelParams::date2012();
+    // Cheap: evaluate only the uniform-max baseline of each architecture
+    // (no optimization) through the scenario builder.
+    let mut gradients = Vec::new();
+    for arch_index in 1..=3 {
+        let architecture = match arch_index {
+            1 => arch::arch1(),
+            2 => arch::arch2(),
+            _ => arch::arch3(),
+        };
+        let scenario =
+            mpsoc_model(&architecture, PowerLevel::Peak, &params, 10).expect("builds");
+        let solution = scenario
+            .model
+            .solve(&SolveOptions::with_mesh_intervals(96))
+            .expect("solves");
+        gradients.push(solution.thermal_gradient().as_kelvin());
+    }
+    // Arch. 3 (logic + cache) carries much less total power than the
+    // dual-logic stacks, so its gradient must be the smallest.
+    assert!(
+        gradients[2] < gradients[0] && gradients[2] < gradients[1],
+        "arch gradients: {gradients:?}"
+    );
+    // And the three must not be identical (different workloads).
+    assert!((gradients[0] - gradients[1]).abs() > 1e-3, "arch1 vs arch2: {gradients:?}");
+}
+
+#[test]
+fn average_level_gradients_are_smaller_than_peak() {
+    let params = ModelParams::date2012();
+    for arch_index in 1..=3 {
+        let architecture = match arch_index {
+            1 => arch::arch1(),
+            2 => arch::arch2(),
+            _ => arch::arch3(),
+        };
+        let grad_at = |level: PowerLevel| {
+            mpsoc_model(&architecture, level, &params, 10)
+                .expect("builds")
+                .model
+                .solve(&SolveOptions::with_mesh_intervals(64))
+                .expect("solves")
+                .thermal_gradient()
+                .as_kelvin()
+        };
+        assert!(
+            grad_at(PowerLevel::Average) < grad_at(PowerLevel::Peak),
+            "arch {arch_index}"
+        );
+    }
+}
+
+#[test]
+fn unknown_architecture_index_is_reported() {
+    let params = ModelParams::date2012();
+    let err = experiments::mpsoc(9, PowerLevel::Peak, &params, &tiny_config());
+    assert!(matches!(err, Err(CoreError::InvalidConfig { .. })));
+}

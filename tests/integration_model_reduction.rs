@@ -1,0 +1,100 @@
+//! Model-reduction studies: the §III channel-grouping approximation must
+//! converge as the grouping gets finer, and the reduced models must
+//! preserve the quantities the design flow depends on.
+
+use liquamod::prelude::*;
+
+fn gradient_with_groups(n_groups: usize) -> f64 {
+    let params = ModelParams::date2012();
+    let scenario = mpsoc_model(&arch::arch1(), PowerLevel::Peak, &params, n_groups)
+        .expect("scenario builds");
+    scenario
+        .model
+        .solve(&SolveOptions::with_mesh_intervals(96))
+        .expect("solves")
+        .thermal_gradient()
+        .as_kelvin()
+}
+
+#[test]
+fn grouping_resolution_converges() {
+    // 100 physical channels grouped into 2, 10, 25 columns: the gradient
+    // estimate settles as the lateral resolution refines (measured values:
+    // 21.4 K at 2 groups, 22.41 at 10, 22.49 at 25, 22.49 at 50).
+    let g2 = gradient_with_groups(2);
+    let g10 = gradient_with_groups(10);
+    let g25 = gradient_with_groups(25);
+    // The refinement step from 10 to 25 groups is far smaller than the
+    // coarse step from 2 to 10.
+    let coarse_step = (g10 - g2).abs();
+    let fine_step = (g25 - g10).abs();
+    assert!(
+        fine_step < 0.5 * coarse_step,
+        "refinement should settle: |g10-g2|={coarse_step:.3}, |g25-g10|={fine_step:.3}"
+    );
+    // Even the very coarse estimate is within 15% of the finest one.
+    assert!(
+        (g2 - g25).abs() / g25 < 0.15,
+        "2-group estimate too far from 25-group: {g2:.2} vs {g25:.2}"
+    );
+    // The default 10-group reduction used by the experiments is within 1%.
+    assert!(
+        (g10 - g25).abs() / g25 < 0.01,
+        "10-group estimate should be near-converged: {g10:.3} vs {g25:.3}"
+    );
+}
+
+#[test]
+fn total_power_is_invariant_under_grouping() {
+    let params = ModelParams::date2012();
+    let total = |n_groups: usize| -> f64 {
+        let s = mpsoc_model(&arch::arch2(), PowerLevel::Peak, &params, n_groups)
+            .expect("builds");
+        s.model
+            .columns()
+            .iter()
+            .map(|c| {
+                c.heat_top().total_power(s.model.length()).as_watts()
+                    + c.heat_bottom().total_power(s.model.length()).as_watts()
+            })
+            .sum()
+    };
+    let p4 = total(4);
+    let p20 = total(20);
+    assert!((p4 - p20).abs() / p20 < 1e-9, "grouping must conserve power: {p4} vs {p20}");
+}
+
+#[test]
+fn pressure_drops_are_grouping_independent_for_uniform_widths() {
+    // ΔP is a per-physical-channel quantity; the grouping factor must not
+    // leak into it.
+    let params = ModelParams::date2012();
+    let dp = |n_groups: usize| -> f64 {
+        let s = mpsoc_model(&arch::arch1(), PowerLevel::Peak, &params, n_groups)
+            .expect("builds");
+        s.model.pressure_drops().expect("pressure")[0].as_pascals()
+    };
+    assert!((dp(4) - dp(20)).abs() < 1e-9);
+}
+
+#[test]
+fn finer_grouping_resolves_hotter_peaks() {
+    // Coarse grouping averages the lateral power variation away, so the
+    // peak temperature can only stay equal or rise as groups refine.
+    let params = ModelParams::date2012();
+    let peak = |n_groups: usize| -> f64 {
+        mpsoc_model(&arch::arch1(), PowerLevel::Peak, &params, n_groups)
+            .expect("builds")
+            .model
+            .solve(&SolveOptions::with_mesh_intervals(96))
+            .expect("solves")
+            .peak_temperature()
+            .as_kelvin()
+    };
+    let p2 = peak(2);
+    let p20 = peak(20);
+    assert!(
+        p20 >= p2 - 0.2,
+        "finer grouping should not cool the peak: {p2:.2} vs {p20:.2}"
+    );
+}

@@ -1,0 +1,172 @@
+//! Cross-crate validation: the analytical state-space model (1D collocation)
+//! against the finite-volume simulator (3D upwind network) on matched
+//! structures — the role the paper assigns to its 3D-ICE comparison (§III).
+
+use liquamod::bridge;
+use liquamod::floorplan::FluxGrid;
+use liquamod::grid_sim::CavityWidths;
+use liquamod::prelude::*;
+
+/// Solves the same single-channel strip with both models and returns
+/// `(analytical top-layer temps, finite-volume top-layer temps, rise)`.
+fn both_models(
+    width_um: f64,
+    top_flux: impl Fn(f64) -> f64 + Copy,
+    bottom_flux: impl Fn(f64) -> f64 + Copy,
+    nz: usize,
+) -> (Vec<f64>, Vec<f64>, f64) {
+    let params = ModelParams::date2012();
+    let d = Length::from_centimeters(1.0);
+    let width = Length::from_micrometers(width_um);
+
+    let steps = |f: &dyn Fn(f64) -> f64| {
+        let values: Vec<LinearHeatFlux> = (0..nz)
+            .map(|j| {
+                let z = (j as f64 + 0.5) * d.si() / nz as f64;
+                LinearHeatFlux::from_w_per_m(f(z) * params.pitch.si())
+            })
+            .collect();
+        HeatProfile::equal_segments(&values, d)
+    };
+    let column = ChannelColumn::new(WidthProfile::uniform(width))
+        .with_heat_top(steps(&top_flux))
+        .with_heat_bottom(steps(&bottom_flux));
+    let model = Model::new(params.clone(), d, vec![column]).expect("model builds");
+    let analytical = model
+        .solve(&SolveOptions::with_mesh_intervals(400))
+        .expect("analytical solve");
+
+    let top_grid = FluxGrid::from_fn(1, nz, params.pitch, d, |_, z| top_flux(z.si()));
+    let bottom_grid = FluxGrid::from_fn(1, nz, params.pitch, d, |_, z| bottom_flux(z.si()));
+    let stack =
+        bridge::two_die_stack(&params, &top_grid, &bottom_grid, CavityWidths::Uniform(width))
+            .expect("stack builds");
+    let field = stack.solve_steady().expect("fv solve");
+    let fv_layer = field.layer_by_name("top-die").expect("layer");
+
+    let mut an = Vec::with_capacity(nz);
+    let mut fv = Vec::with_capacity(nz);
+    for j in 0..nz {
+        let z = Length::from_meters((j as f64 + 0.5) * d.si() / nz as f64);
+        an.push(analytical.column(0).t_top(analytical.nearest_node(z)).as_kelvin());
+        fv.push(fv_layer.cell(0, j).as_kelvin());
+    }
+    let rise = analytical.peak_temperature().as_kelvin() - 300.0;
+    (an, fv, rise)
+}
+
+fn max_rel_err(an: &[f64], fv: &[f64], rise: f64) -> f64 {
+    an.iter()
+        .zip(fv)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max)
+        / rise
+}
+
+#[test]
+fn uniform_load_agrees_within_one_percent() {
+    let (an, fv, rise) = both_models(50.0, |_| 50.0e4, |_| 50.0e4, 100);
+    let err = max_rel_err(&an, &fv, rise);
+    assert!(err < 0.01, "max relative error {err:.4} (rise {rise:.1} K)");
+}
+
+#[test]
+fn narrow_channel_agrees_within_one_percent() {
+    let (an, fv, rise) = both_models(10.0, |_| 50.0e4, |_| 50.0e4, 100);
+    let err = max_rel_err(&an, &fv, rise);
+    assert!(err < 0.01, "max relative error {err:.4}");
+}
+
+#[test]
+fn hotspot_load_agrees_within_two_percent() {
+    // A sharp step stresses both discretizations near the jump.
+    let hot = |z: f64| if (0.004..0.006).contains(&z) { 250.0e4 } else { 50.0e4 };
+    let (an, fv, rise) = both_models(30.0, hot, |_| 50.0e4, 100);
+    let err = max_rel_err(&an, &fv, rise);
+    assert!(err < 0.02, "max relative error {err:.4}");
+}
+
+#[test]
+fn both_models_agree_on_gradient_ranking_of_designs() {
+    // The decision the optimizer relies on — tapered beats uniform — must
+    // hold in the independent simulator too.
+    let params = ModelParams::date2012();
+    let d = Length::from_centimeters(1.0);
+    let nz = 80;
+    let flux = 50.0e4;
+
+    let top_grid = FluxGrid::from_fn(1, nz, params.pitch, d, |_, _| flux);
+    let taper = WidthProfile::piecewise_linear(vec![params.w_max, params.w_min]);
+    let tapered_widths = bridge::cavity_widths_from_profiles(&[taper], 1, d, nz);
+
+    let g_uniform = bridge::two_die_stack(
+        &params,
+        &top_grid,
+        &top_grid,
+        CavityWidths::Uniform(params.w_max),
+    )
+    .unwrap()
+    .solve_steady()
+    .unwrap()
+    .thermal_gradient()
+    .as_kelvin();
+    let g_tapered = bridge::two_die_stack(&params, &top_grid, &top_grid, tapered_widths)
+        .unwrap()
+        .solve_steady()
+        .unwrap()
+        .thermal_gradient()
+        .as_kelvin();
+    assert!(
+        g_tapered < g_uniform,
+        "finite-volume: tapered {g_tapered:.2} K must beat uniform {g_uniform:.2} K"
+    );
+}
+
+#[test]
+fn multi_column_lateral_coupling_matches_fv_trend() {
+    // Two columns, one hot one cold: both models must show the cold column
+    // warming through lateral silicon conduction, by comparable amounts.
+    let params = ModelParams::date2012();
+    let d = Length::from_centimeters(1.0);
+    let nz = 60;
+
+    // Analytical: 2 columns.
+    let hot = ChannelColumn::new(WidthProfile::uniform(params.w_max))
+        .with_heat_top(HeatProfile::uniform(LinearHeatFlux::from_w_per_m(100.0)))
+        .with_heat_bottom(HeatProfile::uniform(LinearHeatFlux::from_w_per_m(100.0)));
+    let cold = ChannelColumn::new(WidthProfile::uniform(params.w_max));
+    let model = Model::new(params.clone(), d, vec![hot, cold]).unwrap();
+    let analytical = model.solve(&SolveOptions::with_mesh_intervals(300)).unwrap();
+    let an_cold_peak = analytical
+        .column(1)
+        .t_top_kelvin()
+        .iter()
+        .fold(f64::NEG_INFINITY, |m, &v| m.max(v));
+
+    // Finite volume: 2 channels wide.
+    let top_grid = FluxGrid::from_fn(2, nz, params.pitch * 2.0, d, |x, _| {
+        if x.si() < params.pitch.si() {
+            100.0 / params.pitch.si() // same 100 W/m over the hot pitch
+        } else {
+            0.0
+        }
+    });
+    let field = bridge::two_die_stack(
+        &params,
+        &top_grid,
+        &top_grid,
+        CavityWidths::Uniform(params.w_max),
+    )
+    .unwrap()
+    .solve_steady()
+    .unwrap();
+    let fv_layer = field.layer_by_name("top-die").unwrap();
+    let fv_cold_peak = (0..nz)
+        .map(|j| fv_layer.cell(1, j).as_kelvin())
+        .fold(f64::NEG_INFINITY, f64::max);
+
+    assert!(an_cold_peak > 300.5, "analytical cold column warms: {an_cold_peak}");
+    assert!(fv_cold_peak > 300.5, "fv cold column warms: {fv_cold_peak}");
+    let rel = (an_cold_peak - fv_cold_peak).abs() / (an_cold_peak - 300.0);
+    assert!(rel < 0.35, "cold-column peaks diverge: {an_cold_peak} vs {fv_cold_peak}");
+}
