@@ -78,12 +78,21 @@ fn bench_objective(c: &mut Criterion) {
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
             let params = ModelParams::date2012();
-            let config = OptimizationConfig { objective, ..tiny() };
+            let config = OptimizationConfig {
+                objective,
+                ..tiny()
+            };
             b.iter(|| experiments::test_a(&params, &config).expect("runs"));
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_nusselt, bench_friction, bench_solver, bench_objective);
+criterion_group!(
+    benches,
+    bench_nusselt,
+    bench_friction,
+    bench_solver,
+    bench_objective
+);
 criterion_main!(benches);

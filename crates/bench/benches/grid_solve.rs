@@ -39,7 +39,11 @@ fn bench_steady(c: &mut Criterion) {
 fn bench_transient(c: &mut Criterion) {
     let stack = stack_for(10, 20);
     c.bench_function("grid_solve/transient_5steps", |b| {
-        let opts = TransientOptions { dt_seconds: 1e-3, steps: 5, ..Default::default() };
+        let opts = TransientOptions {
+            dt_seconds: 1e-3,
+            steps: 5,
+            ..Default::default()
+        };
         b.iter(|| stack.solve_transient(&opts).expect("steps"));
     });
 }

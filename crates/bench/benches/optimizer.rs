@@ -3,8 +3,8 @@
 //! with and without threading.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use liquamod::prelude::*;
 use liquamod::optimal_control::{gradient, Objective};
+use liquamod::prelude::*;
 
 fn bench_design_run(c: &mut Criterion) {
     let params = ModelParams::date2012();
@@ -41,7 +41,9 @@ impl Objective for BvpCost {
         let mut m = self.model.clone();
         m.set_width_profile(0, WidthProfile::piecewise_constant(widths))
             .expect("valid widths");
-        m.solve(&self.solve).expect("solves").cost_gradient_squared()
+        m.solve(&self.solve)
+            .expect("solves")
+            .cost_gradient_squared()
     }
 }
 
@@ -50,9 +52,12 @@ fn bench_fd_gradient(c: &mut Criterion) {
     let col = ChannelColumn::new(WidthProfile::uniform(params.w_max))
         .with_heat_top(HeatProfile::uniform(LinearHeatFlux::from_w_per_m(50.0)))
         .with_heat_bottom(HeatProfile::uniform(LinearHeatFlux::from_w_per_m(50.0)));
-    let model =
-        Model::new(params, Length::from_centimeters(1.0), vec![col]).expect("model builds");
-    let obj = BvpCost { model, solve: SolveOptions::with_mesh_intervals(96), dim: 8 };
+    let model = Model::new(params, Length::from_centimeters(1.0), vec![col]).expect("model builds");
+    let obj = BvpCost {
+        model,
+        solve: SolveOptions::with_mesh_intervals(96),
+        dim: 8,
+    };
     let x = vec![0.7; 8];
     let f0 = obj.value(&x);
 

@@ -8,7 +8,7 @@
 //! qualitative observations: the inlet→outlet coolant ramp under uniform
 //! load, and the hotspot aggravation under the MPSoC power map.
 //!
-//! Run with: `cargo run --release -p liquamod-bench --bin fig1_thermal_maps`
+//! Run with: `cargo run --release -p bench --bin fig1_thermal_maps`
 
 use liquamod::bridge;
 use liquamod::floorplan::FluxGrid;
@@ -18,13 +18,16 @@ use liquamod_bench::banner;
 
 fn main() {
     let params = ModelParams::date2012();
-    let (nx, nz) = if liquamod_bench::fast_mode() { (25, 28) } else { (50, 55) };
+    let (nx, nz) = if liquamod_bench::fast_mode() {
+        (25, 28)
+    } else {
+        (50, 55)
+    };
 
     banner("Fig. 1(a): uniform combined flux of 50 W/cm^2 (25 W/cm^2 per die)");
     let die_w = Length::from_millimeters(10.0);
     let die_d = Length::from_millimeters(11.0);
-    let uniform_grid =
-        FluxGrid::from_fn(nx, nz, die_w, die_d, |_, _| 25.0 * 1e4);
+    let uniform_grid = FluxGrid::from_fn(nx, nz, die_w, die_d, |_, _| 25.0 * 1e4);
     let stack = bridge::two_die_stack(
         &params,
         &uniform_grid,
@@ -36,7 +39,12 @@ fn main() {
     let top = field.layer_by_name("top-die").expect("top layer");
     println!(
         "{}",
-        ascii::render_layer_with_legend(top, field.min_temperature(), field.peak_temperature(), true)
+        ascii::render_layer_with_legend(
+            top,
+            field.min_temperature(),
+            field.peak_temperature(),
+            true
+        )
     );
     println!(
         "gradient {:.2} K   peak {:.2} degC   energy residual {:.1e}\n",

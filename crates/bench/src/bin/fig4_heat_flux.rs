@@ -2,7 +2,7 @@
 //! studies: Test A (uniform 50 W/cm² per layer) and Test B (random
 //! 50–250 W/cm² segments, deterministic seed).
 //!
-//! Run with: `cargo run --release -p liquamod-bench --bin fig4_heat_flux`
+//! Run with: `cargo run --release -p bench --bin fig4_heat_flux`
 
 use liquamod::floorplan::testcase;
 use liquamod_bench::{banner, print_table};
@@ -18,7 +18,11 @@ fn print_load(load: &testcase::StripLoad) {
     for k in 0..n {
         t.push_row(vec![
             format!("{k}"),
-            format!("{:.2}..{:.2}", k as f64 / n as f64, (k + 1) as f64 / n as f64),
+            format!(
+                "{:.2}..{:.2}",
+                k as f64 / n as f64,
+                (k + 1) as f64 / n as f64
+            ),
             format!("{:.1}", load.top_w_cm2[k]),
             format!("{:.1}", load.bottom_w_cm2[k]),
         ]);

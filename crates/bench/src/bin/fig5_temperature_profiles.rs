@@ -6,7 +6,7 @@
 //! uniform widths; optimal modulation reduces them to ≈ 19 °C / 48 °C
 //! (−32 %).
 //!
-//! Run with: `cargo run --release -p liquamod-bench --bin fig5_temperature_profiles`
+//! Run with: `cargo run --release -p bench --bin fig5_temperature_profiles`
 
 use liquamod::prelude::*;
 use liquamod_bench::{banner, comparison_table, config_from_env, print_table};
@@ -62,7 +62,9 @@ fn profile_chart(cmp: &DesignComparison) -> String {
 }
 
 fn run(name: &str, cmp: &DesignComparison, paper_uniform: f64, paper_optimal: f64) {
-    banner(&format!("Fig. 5 ({name}): inlet->outlet temperature profiles"));
+    banner(&format!(
+        "Fig. 5 ({name}): inlet->outlet temperature profiles"
+    ));
     println!("{}", profile_chart(cmp));
     print_table(&profile_csv(cmp));
     print_table(&comparison_table(cmp));

@@ -5,7 +5,7 @@
 //! toward the outlet; (b) under non-uniform flux the taper is additionally
 //! pinched over local hotspots.
 //!
-//! Run with: `cargo run --release -p liquamod-bench --bin fig6_width_profiles`
+//! Run with: `cargo run --release -p bench --bin fig6_width_profiles`
 
 use liquamod::floorplan::testcase;
 use liquamod::prelude::*;

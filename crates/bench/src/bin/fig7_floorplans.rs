@@ -1,7 +1,7 @@
 //! Fig. 7 — the layouts of the three two-die 3D-MPSoC arrangements used in
 //! the §V-B experiments (reconstructed; see DESIGN.md §6).
 //!
-//! Run with: `cargo run --release -p liquamod-bench --bin fig7_floorplans`
+//! Run with: `cargo run --release -p bench --bin fig7_floorplans`
 
 use liquamod::floorplan::{arch, PowerLevel};
 use liquamod_bench::{banner, print_table};

@@ -7,7 +7,7 @@
 //! the widths optimized at peak (design-time decision). The optimal design's
 //! peak temperature matches the minimum-width case's peak.
 //!
-//! Run with: `cargo run --release -p liquamod-bench --bin fig8_mpsoc_gradients`
+//! Run with: `cargo run --release -p bench --bin fig8_mpsoc_gradients`
 //! (use LIQUAMOD_FAST=1 for a quicker, coarser sweep)
 
 use liquamod::prelude::*;

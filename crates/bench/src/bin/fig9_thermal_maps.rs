@@ -7,7 +7,7 @@
 //! maps are produced by the independent finite-volume simulator, so this
 //! figure also cross-checks the analytical optimization on a second model.
 //!
-//! Run with: `cargo run --release -p liquamod-bench --bin fig9_thermal_maps`
+//! Run with: `cargo run --release -p bench --bin fig9_thermal_maps`
 
 use liquamod::bridge;
 use liquamod::grid_sim::{ascii, CavityWidths};
@@ -45,7 +45,9 @@ fn main() {
 
     // Shared scale across the three maps, paper-style.
     let t_lo = Temperature::from_celsius(30.0);
-    let t_hi = field_max.peak_temperature().max(field_min.peak_temperature());
+    let t_hi = field_max
+        .peak_temperature()
+        .max(field_min.peak_temperature());
 
     for (name, field) in [
         ("(a) minimum widths", &field_min),
@@ -54,7 +56,10 @@ fn main() {
     ] {
         println!("--- {name} ---");
         let layer = field.layer_by_name("top-die").expect("top layer");
-        println!("{}", ascii::render_layer_with_legend(layer, t_lo, t_hi, true));
+        println!(
+            "{}",
+            ascii::render_layer_with_legend(layer, t_lo, t_hi, true)
+        );
         println!(
             "gradient {:.2} K   peak {:.2} degC\n",
             field.thermal_gradient().as_kelvin(),

@@ -1,7 +1,7 @@
 //! Runs the full reproduction suite in paper order, each section delegating
 //! to the same code paths as the per-figure binaries.
 //!
-//! Run with: `cargo run --release -p liquamod-bench --bin repro_all`
+//! Run with: `cargo run --release -p bench --bin repro_all`
 //! (set `LIQUAMOD_FAST=1` to finish in a few minutes on a laptop)
 
 use std::process::Command;
@@ -23,7 +23,11 @@ fn run(bin: &str) {
 fn main() {
     println!(
         "liquamod reproduction suite (mode: {})",
-        if liquamod_bench::fast_mode() { "FAST" } else { "full" }
+        if liquamod_bench::fast_mode() {
+            "FAST"
+        } else {
+            "full"
+        }
     );
     for bin in [
         "table1",

@@ -1,0 +1,149 @@
+//! Parallel design-space sweep over scenario variants.
+//!
+//! Expands a grid of workloads × heat-flux scales × coolant-flow scales,
+//! evaluates the full minimum/maximum/optimal comparison for every variant
+//! and prints one comparable report — the throughput-oriented counterpart
+//! to the per-figure reproduction binaries.
+//!
+//! Run with: `cargo run --release -p bench --bin sweep`
+//!
+//! Options:
+//!
+//! * `--serial` — run the sweep on one thread only (no speedup baseline);
+//! * `--workers N` — override the parallel worker count;
+//! * `--no-baseline` — skip the serial reference run (faster, but no
+//!   speedup figure);
+//! * `LIQUAMOD_FAST=1` — coarse optimizer settings (CI).
+//!
+//! By default the grid is the 16-variant paper neighborhood, evaluated in
+//! parallel *and* serially; the tail of the output reports wall times,
+//! effective throughput and the parallel speedup.
+
+use liquamod::sweep::{run_sweep, ExecutionMode, SweepGrid, SweepOptions, SweepReport};
+use liquamod_bench::{banner, print_table};
+use std::num::NonZeroUsize;
+use std::process::ExitCode;
+
+struct Args {
+    serial: bool,
+    workers: Option<NonZeroUsize>,
+    baseline: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        serial: false,
+        workers: None,
+        baseline: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--serial" => args.serial = true,
+            "--no-baseline" => args.baseline = false,
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad worker count: {v}"))?;
+                args.workers = Some(NonZeroUsize::new(n).ok_or("worker count must be positive")?);
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument: {other} (try --serial, --workers N, --no-baseline)"
+                ))
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn report_stats(label: &str, report: &SweepReport) {
+    println!(
+        "{label}: {} variants in {:.2} s on {} worker(s) — {:.2} variants/s",
+        report.rows.len(),
+        report.wall.as_secs_f64(),
+        report.workers,
+        report.throughput_per_second(),
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    banner("scenario sweep: workload x flux-scale x flow-scale grid");
+    let grid = SweepGrid::paper_neighborhood();
+    let config = liquamod_bench::config_from_env();
+    let available = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    println!(
+        "grid: {} variants ({} loads x {} flux scales x {} flow scales); {available} core(s) available",
+        grid.len(),
+        grid.loads.len(),
+        grid.flux_scales.len(),
+        grid.flow_scales.len(),
+    );
+
+    let mode = if args.serial {
+        ExecutionMode::Serial
+    } else {
+        // Always exercise >1 worker: even on a single-core box the dynamic
+        // scheduler interleaves two workers correctly (and the report below
+        // is honest about the cores actually available).
+        let workers = args.workers.or_else(|| NonZeroUsize::new(available.max(2)));
+        ExecutionMode::Parallel { workers }
+    };
+    let options = SweepOptions {
+        config,
+        ..SweepOptions::fast(mode)
+    };
+
+    let report = match run_sweep(&grid, &options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_table(&report.to_table());
+    if let Some(best) = report.best_by_gradient() {
+        println!(
+            "best variant: {} — optimal gradient {:.3} K ({:.1}% below its best uniform baseline)\n",
+            best.variant.label(),
+            best.gradient_opt_k,
+            best.gradient_reduction * 100.0,
+        );
+    }
+
+    let main_label = if args.serial { "serial" } else { "parallel" };
+    report_stats(main_label, &report);
+
+    if !args.serial && args.baseline {
+        let serial_options = SweepOptions {
+            mode: ExecutionMode::Serial,
+            ..options.clone()
+        };
+        let serial = match run_sweep(&grid, &serial_options) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("serial baseline failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        report_stats("serial baseline (--serial)", &serial);
+        if serial.rows != report.rows {
+            eprintln!("error: parallel and serial reports disagree — determinism bug");
+            return ExitCode::FAILURE;
+        }
+        println!("parallel and serial reports are bitwise identical");
+        let speedup = serial.wall.as_secs_f64() / report.wall.as_secs_f64().max(1e-12);
+        println!(
+            "parallel speedup over --serial: {speedup:.2}x with {} workers on {available} core(s)",
+            report.workers,
+        );
+    }
+    ExitCode::SUCCESS
+}

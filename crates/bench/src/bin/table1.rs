@@ -1,7 +1,7 @@
 //! Table I — system parameters, plus the derived hydro-thermal quantities
 //! the rest of the reproduction rests on.
 //!
-//! Run with: `cargo run --release -p liquamod-bench --bin table1`
+//! Run with: `cargo run --release -p bench --bin table1`
 
 use liquamod::microfluidics::{friction, nusselt, reynolds_number, RectDuct};
 use liquamod::prelude::*;
@@ -11,7 +11,10 @@ fn main() {
     banner("Table I: values of the system parameters");
 
     for (label, params) in [
-        ("calibrated default (see DESIGN.md §6)", ModelParams::date2012()),
+        (
+            "calibrated default (see DESIGN.md §6)",
+            ModelParams::date2012(),
+        ),
         ("Table I verbatim", ModelParams::table1_verbatim()),
     ] {
         println!("--- parameter set: {label} ---\n");
@@ -39,7 +42,10 @@ fn main() {
         t.push_row(vec![
             "c_v".to_string(),
             "coolant volumetric heat capacity".to_string(),
-            format!("{:.2e} J/(m^3.K)", params.coolant.volumetric_heat_capacity().si()),
+            format!(
+                "{:.2e} J/(m^3.K)",
+                params.coolant.volumetric_heat_capacity().si()
+            ),
         ]);
         t.push_row(vec![
             "V_dot".to_string(),
@@ -85,10 +91,7 @@ fn main() {
             let nu = nusselt::nusselt(params.nusselt, &duct);
             let h = nusselt::heat_transfer_coefficient(params.nusselt, &duct, &params.coolant);
             let re = reynolds_number(&duct, &params.coolant, params.flow_rate_per_channel);
-            let fre = friction::f_times_re(
-                friction::FrictionModel::ShahLondonRect,
-                &duct,
-            );
+            let fre = friction::f_times_re(friction::FrictionModel::ShahLondonRect, &duct);
             let dp = liquamod::microfluidics::pressure::uniform_channel_pressure_drop(
                 params.friction,
                 &duct,

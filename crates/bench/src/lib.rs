@@ -26,7 +26,7 @@ pub fn config_from_env() -> OptimizationConfig {
 
 /// `true` when `LIQUAMOD_FAST` requests the coarse configuration.
 pub fn fast_mode() -> bool {
-    std::env::var("LIQUAMOD_FAST").map_or(false, |v| v == "1" || v.eq_ignore_ascii_case("true"))
+    std::env::var("LIQUAMOD_FAST").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
 }
 
 /// Prints a prominent section banner.

@@ -1,0 +1,203 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API surface this workspace's benches use —
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion::benchmark_group`],
+//! `bench_function`/`bench_with_input` and [`Bencher::iter`] — and reports
+//! the mean wall time per iteration on stdout. No statistics, plots,
+//! baselines or HTML reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Default measured iterations per benchmark (overridable per group via
+/// [`BenchmarkGroup::sample_size`]).
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// The top-level benchmark driver (upstream: `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, DEFAULT_SAMPLE_SIZE, |b| f(b));
+        self
+    }
+}
+
+/// A parameterized benchmark identifier (upstream: `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id carrying only the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An id with a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// A named set of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measured iteration count for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_bench(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream finalizes reports here; the shim is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure to time its hot loop.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: usize,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `iterations` times after one warm-up
+    /// call. The routine's output is returned by value and dropped, which
+    /// is enough to keep the computation observable for these workloads.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let _warmup = routine();
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            let _keep = routine();
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F>(label: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        iterations: sample_size,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let mean = bencher.elapsed.as_secs_f64() / bencher.iterations.max(1) as f64;
+    println!(
+        "bench {label:<48} {:>12.3} ms/iter ({} iters)",
+        mean * 1e3,
+        bencher.iterations
+    );
+}
+
+/// Collects benchmark functions into one runnable group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_routine() {
+        let mut c = Criterion::default();
+        let mut calls = 0usize;
+        c.bench_function("smoke", |b| {
+            b.iter(|| calls += 1);
+        });
+        // One warm-up + DEFAULT_SAMPLE_SIZE measured iterations.
+        assert_eq!(calls, DEFAULT_SAMPLE_SIZE + 1);
+    }
+
+    #[test]
+    fn group_sample_size_applies() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut calls = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &7usize, |b, &x| {
+            b.iter(|| calls += x);
+        });
+        group.finish();
+        assert_eq!(calls, 7 * 4);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::from_parameter(64).id, "64");
+        assert_eq!(BenchmarkId::new("f", 2).id, "f/2");
+    }
+}

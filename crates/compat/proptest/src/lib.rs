@@ -1,0 +1,213 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro wrapping `#[test] fn name(arg in strategy, …)`
+//!   items, with an optional `#![proptest_config(…)]` inner attribute;
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * range strategies over `f64`/`usize` and [`collection::vec`].
+//!
+//! Unlike upstream there is **no shrinking**: a failing case panics with
+//! the generated inputs printed, which is enough to reproduce (generation
+//! is deterministic per test name).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::ops::Range;
+
+pub use rand::Rng;
+
+/// Per-test configuration (upstream: `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 32 }
+    }
+}
+
+/// The deterministic RNG driving a test's case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds the RNG from the test's name so every test gets an
+    /// independent, reproducible stream.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the name; any stable hash works.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Self(StdRng::seed_from_u64(h))
+    }
+
+    /// Draws one value from `strategy`.
+    pub fn draw<S: Strategy>(&mut self, strategy: &S) -> S::Value {
+        strategy.generate(&mut self.0)
+    }
+}
+
+/// A generator of random values (upstream: `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: std::fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rand::Rng::gen_range(rng, self.clone())
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+    fn generate(&self, rng: &mut StdRng) -> usize {
+        rand::Rng::gen_range(rng, self.clone())
+    }
+}
+
+/// Collection strategies (upstream: `proptest::collection`).
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rand::Rng::gen_range(rng, self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The usual glob import (upstream: `proptest::prelude`).
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestRng};
+}
+
+/// Asserts a condition inside a property test, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(, $($fmt:tt)*)?) => { assert_eq!($a, $b $(, $($fmt)*)?) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(, $($fmt:tt)*)?) => { assert_ne!($a, $b $(, $($fmt)*)?) };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, …) { … }` becomes
+/// a `#[test]` running `cases` random cases with deterministic seeding.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strategy:expr ),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::for_test(stringify!($name));
+            for __case in 0..config.cases {
+                $( let $arg = rng.draw(&$strategy); )*
+                let inputs = format!(
+                    concat!("case ", "{}", $( ", ", stringify!($arg), " = {:?}" ),*),
+                    __case $(, $arg)*
+                );
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || $body
+                ));
+                if let Err(panic) = result {
+                    eprintln!("proptest case failed [{inputs}]");
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_respected(x in 0.0f64..10.0, n in 1usize..5) {
+            prop_assert!((0.0..10.0).contains(&x));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in crate::collection::vec(0.0f64..1.0, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let mut a = TestRng::for_test("t");
+        let mut b = TestRng::for_test("t");
+        let s = 0.0f64..1.0;
+        for _ in 0..8 {
+            assert_eq!(a.draw(&s), b.draw(&s));
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Minimal offline stand-in for the `rand` crate.
+//!
+//! Implements only the surface this workspace uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`] and [`Rng::gen_range`] over float and
+//! integer ranges. The generator is xoshiro256** seeded through SplitMix64
+//! — high-quality and deterministic, but **not** the same stream as
+//! upstream `rand`'s ChaCha12-based `StdRng`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Construction of RNGs from seeds (upstream: `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds an RNG from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Random-value generation (upstream: `rand::Rng`).
+pub trait Rng {
+    /// The raw 64-bit output of the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform draw from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+/// Ranges that can be sampled uniformly (upstream: `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample_from<G: Rng>(self, rng: &mut G) -> T;
+}
+
+/// Uniform f64 in `[0, 1)` from the top 53 bits of one output word.
+fn unit_f64<G: Rng>(rng: &mut G) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<G: Rng>(self, rng: &mut G) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + unit_f64(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<G: Rng>(self, rng: &mut G) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        lo + unit_f64(rng) * (hi - lo)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<G: Rng>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                // Multiply-shift bounded draw (Lemire); bias is < 2^-64·span,
+                // negligible for the small spans used here.
+                let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start + draw as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<G: Rng>(self, rng: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = (hi - lo) as u64 + 1;
+                let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                lo + draw as $t
+            }
+        }
+    )*};
+}
+int_sample_range!(u64, usize, u32, i64, i32);
+
+/// Named RNGs (upstream: `rand::rngs`).
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard RNG: xoshiro256** seeded via SplitMix64.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the seeding scheme xoshiro recommends.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(50.0..=250.0);
+            assert!((50.0..=250.0).contains(&x));
+            let y = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds_and_span() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            let k: usize = rng.gen_range(0..6);
+            seen[k] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets reachable: {seen:?}");
+    }
+
+    #[test]
+    fn floats_are_spread_over_the_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let draws: Vec<f64> = (0..64).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let lo = draws.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = draws.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            hi - lo > 0.5,
+            "64 draws should span most of [0,1): [{lo}, {hi}]"
+        );
+    }
+}

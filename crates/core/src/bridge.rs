@@ -36,9 +36,7 @@ pub fn cavity_widths_from_profiles(
     for profile in profiles {
         let samples: Vec<Length> = (0..nz)
             .map(|j| {
-                let z = Length::from_meters(
-                    (j as f64 + 0.5) * channel_length.si() / nz as f64,
-                );
+                let z = Length::from_meters((j as f64 + 0.5) * channel_length.si() / nz as f64);
                 profile.width_at(z, channel_length)
             })
             .collect();
@@ -121,7 +119,9 @@ mod tests {
                 assert_eq!(cols.len(), 6);
                 assert_eq!(cols[0].len(), 4);
                 // First group uniform.
-                assert!(cols[1].iter().all(|w| (w.as_micrometers() - 20.0).abs() < 1e-9));
+                assert!(cols[1]
+                    .iter()
+                    .all(|w| (w.as_micrometers() - 20.0).abs() < 1e-9));
                 // Second group steps 50 → 10 at half length.
                 assert!((cols[3][0].as_micrometers() - 50.0).abs() < 1e-9);
                 assert!((cols[3][3].as_micrometers() - 10.0).abs() < 1e-9);

@@ -15,7 +15,11 @@ pub struct Series {
 impl Series {
     /// Creates a series.
     pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>, glyph: char) -> Self {
-        Self { label: label.into(), points, glyph }
+        Self {
+            label: label.into(),
+            points,
+            glyph,
+        }
     }
 }
 
@@ -26,7 +30,10 @@ impl Series {
 pub fn line_chart(series: &[Series], width: usize, height: usize) -> String {
     let width = width.max(16);
     let height = height.max(4);
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if all.is_empty() {
         return String::new();
     }
@@ -73,10 +80,7 @@ pub fn line_chart(series: &[Series], width: usize, height: usize) -> String {
         out.push('\n');
     }
     out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(width)));
-    out.push_str(&format!(
-        "{:>10}  x: [{:.3} .. {:.3}]   ",
-        "", x_min, x_max
-    ));
+    out.push_str(&format!("{:>10}  x: [{:.3} .. {:.3}]   ", "", x_min, x_max));
     for s in series {
         out.push_str(&format!("{} {}   ", s.glyph, s.label));
     }
@@ -91,10 +95,7 @@ mod tests {
     #[test]
     fn empty_series_render_nothing() {
         assert_eq!(line_chart(&[], 40, 10), "");
-        assert_eq!(
-            line_chart(&[Series::new("e", vec![], '*')], 40, 10),
-            ""
-        );
+        assert_eq!(line_chart(&[Series::new("e", vec![], '*')], 40, 10), "");
     }
 
     #[test]

@@ -63,10 +63,8 @@ impl DesignComparison {
     /// Propagates solver and configuration failures.
     pub fn run(model: &Model, config: &OptimizationConfig) -> Result<Self> {
         let params = model.params().clone();
-        let (min_model, min_solution) =
-            solve_uniform(model, params.w_min, config.mesh_intervals)?;
-        let (max_model, max_solution) =
-            solve_uniform(model, params.w_max, config.mesh_intervals)?;
+        let (min_model, min_solution) = solve_uniform(model, params.w_min, config.mesh_intervals)?;
+        let (max_model, max_solution) = solve_uniform(model, params.w_max, config.mesh_intervals)?;
         let outcome = optimize(model, config)?;
         Ok(Self {
             minimum: CaseResult::evaluate("minimum", &min_model, &min_solution)?,
@@ -142,10 +140,17 @@ mod tests {
         let cmp = DesignComparison::run(&model, &OptimizationConfig::fast()).unwrap();
         // Fig. 5a shape: the two uniform baselines nearly tie; the optimal
         // modulation beats both.
-        let rel_uniform_gap = (cmp.minimum.gradient_k - cmp.maximum.gradient_k).abs()
-            / cmp.maximum.gradient_k;
-        assert!(rel_uniform_gap < 0.2, "uniform baselines should be close: {rel_uniform_gap}");
-        assert!(cmp.gradient_reduction() > 0.05, "reduction = {}", cmp.gradient_reduction());
+        let rel_uniform_gap =
+            (cmp.minimum.gradient_k - cmp.maximum.gradient_k).abs() / cmp.maximum.gradient_k;
+        assert!(
+            rel_uniform_gap < 0.2,
+            "uniform baselines should be close: {rel_uniform_gap}"
+        );
+        assert!(
+            cmp.gradient_reduction() > 0.05,
+            "reduction = {}",
+            cmp.gradient_reduction()
+        );
         // §V-B: optimal peak ≈ min-width peak ≤ max-width peak.
         assert!(cmp.peak_tracks_minimum_width(1.0));
         // Pressure ordering: narrow uniform ≫ optimal ≥ wide uniform.

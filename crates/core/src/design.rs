@@ -114,17 +114,23 @@ impl OptimizationConfig {
 
     fn validate(&self) -> Result<()> {
         if self.segments == 0 {
-            return Err(CoreError::InvalidConfig { what: "segments must be ≥ 1".into() });
+            return Err(CoreError::InvalidConfig {
+                what: "segments must be ≥ 1".into(),
+            });
         }
         if self.mesh_intervals == 0 {
-            return Err(CoreError::InvalidConfig { what: "mesh_intervals must be ≥ 1".into() });
+            return Err(CoreError::InvalidConfig {
+                what: "mesh_intervals must be ≥ 1".into(),
+            });
         }
         Ok(())
     }
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get()).min(16)
+    std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(16)
 }
 
 /// Outcome of an optimal channel-modulation run.
@@ -284,8 +290,13 @@ pub fn optimize(model: &Model, config: &OptimizationConfig) -> Result<DesignOutc
         SolverKind::LbfgsB => {
             let mut auglag = config.auglag.clone();
             auglag.inner.fd_threads = config.fd_threads;
-            let AugLagResult { x, objective, evaluations, feasible, .. } =
-                augmented_lagrangian(&problem, &bounds, &x0, &auglag);
+            let AugLagResult {
+                x,
+                objective,
+                evaluations,
+                feasible,
+                ..
+            } = augmented_lagrangian(&problem, &bounds, &x0, &auglag);
             (x, objective, evaluations, feasible)
         }
         SolverKind::ProjGrad => {
@@ -405,11 +416,18 @@ pub fn optimize_min_pumping(
         }
     }
 
-    let dual = MinPumping { inner: &thermal, cost_bound };
+    let dual = MinPumping {
+        inner: &thermal,
+        cost_bound,
+    };
     let mut auglag = config.auglag.clone();
     auglag.inner.fd_threads = config.fd_threads;
-    let AugLagResult { x, evaluations, feasible, .. } =
-        augmented_lagrangian(&dual, &bounds, &x0, &auglag);
+    let AugLagResult {
+        x,
+        evaluations,
+        feasible,
+        ..
+    } = augmented_lagrangian(&dual, &bounds, &x0, &auglag);
 
     let widths = thermal.widths_from_x(&x);
     let optimized = thermal.model_with(&x);
@@ -465,17 +483,32 @@ mod tests {
     #[test]
     fn config_validation() {
         let model = strip(&ModelParams::date2012());
-        let bad = OptimizationConfig { segments: 0, ..OptimizationConfig::fast() };
-        assert!(matches!(optimize(&model, &bad), Err(CoreError::InvalidConfig { .. })));
-        let bad = OptimizationConfig { mesh_intervals: 0, ..OptimizationConfig::fast() };
-        assert!(matches!(optimize(&model, &bad), Err(CoreError::InvalidConfig { .. })));
+        let bad = OptimizationConfig {
+            segments: 0,
+            ..OptimizationConfig::fast()
+        };
+        assert!(matches!(
+            optimize(&model, &bad),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+        let bad = OptimizationConfig {
+            mesh_intervals: 0,
+            ..OptimizationConfig::fast()
+        };
+        assert!(matches!(
+            optimize(&model, &bad),
+            Err(CoreError::InvalidConfig { .. })
+        ));
     }
 
     #[test]
     fn width_mapping_roundtrip() {
         let params = ModelParams::date2012();
         let model = strip(&params);
-        let config = OptimizationConfig { segments: 4, ..OptimizationConfig::fast() };
+        let config = OptimizationConfig {
+            segments: 4,
+            ..OptimizationConfig::fast()
+        };
         let problem = WidthProblem {
             base: &model,
             config: &config,
@@ -504,7 +537,10 @@ mod tests {
     fn pressure_constraints_signal_violations() {
         let params = ModelParams::date2012();
         let model = strip(&params);
-        let config = OptimizationConfig { segments: 2, ..OptimizationConfig::fast() };
+        let config = OptimizationConfig {
+            segments: 2,
+            ..OptimizationConfig::fast()
+        };
         let problem = WidthProblem {
             base: &model,
             config: &config,
@@ -565,9 +601,7 @@ mod tests {
         );
         // And the relaxed target is bought with less pressure than the
         // primal optimum needed.
-        let max_dp = |drops: &[Pressure]| {
-            drops.iter().map(|p| p.as_pascals()).fold(0.0, f64::max)
-        };
+        let max_dp = |drops: &[Pressure]| drops.iter().map(|p| p.as_pascals()).fold(0.0, f64::max);
         assert!(
             max_dp(&dual.pressure_drops) < max_dp(&primal.pressure_drops),
             "dual dp {} should undercut primal dp {}",
@@ -597,7 +631,10 @@ mod tests {
         // …and stay inside the pressure budget.
         assert!(outcome.feasible);
         for dp in &outcome.pressure_drops {
-            assert!(dp.as_pascals() <= params.dp_max.as_pascals() * 1.01, "dp = {dp}");
+            assert!(
+                dp.as_pascals() <= params.dp_max.as_pascals() * 1.01,
+                "dp = {dp}"
+            );
         }
         // The optimal profile narrows toward the outlet (paper Fig. 6a).
         match &outcome.widths[0] {

@@ -90,7 +90,9 @@ mod tests {
     #[test]
     fn display_and_source() {
         use std::error::Error;
-        let e = CoreError::InvalidConfig { what: "zero segments".into() };
+        let e = CoreError::InvalidConfig {
+            what: "zero segments".into(),
+        };
         assert!(e.to_string().contains("zero segments"));
         assert!(e.source().is_none());
         let e = CoreError::ThermalModel(ThermalModelError::NoColumns);

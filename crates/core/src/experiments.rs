@@ -105,16 +105,14 @@ pub fn mpsoc_small_for_tests(
     let hot = Block::new(
         "slice-core",
         liquamod_floorplan::BlockKind::SparcCore,
-        liquamod_units::Rect::from_mm(0.0, 0.0, 1.0, depth.as_millimeters())
-            .expect("valid slice"),
+        liquamod_units::Rect::from_mm(0.0, 0.0, 1.0, depth.as_millimeters()).expect("valid slice"),
         liquamod_units::Power::from_watts(4.0),
         liquamod_units::Power::from_watts(2.2),
     )?;
     let cool = Block::new(
         "slice-filler",
         liquamod_floorplan::BlockKind::Other,
-        liquamod_units::Rect::from_mm(1.0, 0.0, 1.0, depth.as_millimeters())
-            .expect("valid slice"),
+        liquamod_units::Rect::from_mm(1.0, 0.0, 1.0, depth.as_millimeters()).expect("valid slice"),
         liquamod_units::Power::from_watts(0.8),
         liquamod_units::Power::from_watts(0.5),
     )?;
@@ -144,7 +142,8 @@ pub fn fig8_sweep(
     for arch_index in 1..=3 {
         let (_, peak_cmp) = mpsoc(arch_index, PowerLevel::Peak, params, config)?;
         // Re-evaluate the peak-optimized geometry under average loads.
-        let avg_cmp = reevaluate_at_level(arch_index, PowerLevel::Average, params, config, &peak_cmp)?;
+        let avg_cmp =
+            reevaluate_at_level(arch_index, PowerLevel::Average, params, config, &peak_cmp)?;
         out.push((arch_index, PowerLevel::Peak, peak_cmp));
         out.push((arch_index, PowerLevel::Average, avg_cmp));
     }

@@ -21,8 +21,9 @@
 //! * [`liquamod_optimal_control`] — the NLP layer (projected L-BFGS,
 //!   augmented Lagrangian…);
 //! * **this crate** — the §IV optimal channel-modulation flow, the
-//!   min/max/optimal comparison methodology of §V, and canned experiment
-//!   definitions for every figure of the paper.
+//!   min/max/optimal comparison methodology of §V, canned experiment
+//!   definitions for every figure of the paper, and the [`sweep`] engine
+//!   that fans grids of scenario variants out across worker threads.
 //!
 //! # Quickstart
 //!
@@ -48,6 +49,7 @@ mod design;
 mod error;
 pub mod experiments;
 mod scenario;
+pub mod sweep;
 
 pub use compare::{CaseResult, DesignComparison};
 pub use csv::CsvTable;
@@ -56,6 +58,10 @@ pub use design::{
 };
 pub use error::CoreError;
 pub use scenario::{mpsoc_model, strip_model, MpsocScenario};
+pub use sweep::{
+    run_sweep, ExecutionMode, LoadSpec, SweepGrid, SweepOptions, SweepReport, SweepRow,
+    SweepVariant,
+};
 
 pub use liquamod_floorplan as floorplan;
 pub use liquamod_grid_sim as grid_sim;
@@ -77,7 +83,7 @@ pub mod prelude {
     };
     pub use liquamod_floorplan::{arch, niagara, testcase, PowerLevel};
     pub use liquamod_thermal_model::{
-        ChannelColumn, HeatProfile, Model, ModelParams, SolveOptions, Solution, WidthProfile,
+        ChannelColumn, HeatProfile, Model, ModelParams, Solution, SolveOptions, WidthProfile,
     };
     pub use liquamod_units::{
         Length, LinearHeatFlux, Power, Pressure, Temperature, TemperatureDifference,

@@ -74,7 +74,7 @@ pub fn mpsoc_model(
     let die_width = arch.top_die().width();
     let die_depth = arch.top_die().depth();
     let n_channels = (die_width.si() / params.pitch.si()).round() as usize;
-    if n_groups == 0 || n_channels % n_groups != 0 {
+    if n_groups == 0 || !n_channels.is_multiple_of(n_groups) {
         return Err(crate::CoreError::InvalidConfig {
             what: format!("{n_groups} groups must evenly divide {n_channels} channels"),
         });
@@ -94,9 +94,7 @@ pub fn mpsoc_model(
                 let steps = grid
                     .column_steps(i)
                     .into_iter()
-                    .map(|(z, q)| {
-                        (Length::from_meters(z), LinearHeatFlux::from_w_per_m(q))
-                    })
+                    .map(|(z, q)| (Length::from_meters(z), LinearHeatFlux::from_w_per_m(q)))
                     .collect();
                 profile = profile.add(&HeatProfile::from_steps(steps));
             }
@@ -110,7 +108,13 @@ pub fn mpsoc_model(
         );
     }
     let model = Model::new(params.clone(), die_depth, columns)?;
-    Ok(MpsocScenario { model, top_grid, bottom_grid, group_size, level })
+    Ok(MpsocScenario {
+        model,
+        top_grid,
+        bottom_grid,
+        group_size,
+        level,
+    })
 }
 
 #[cfg(test)]
@@ -123,8 +127,14 @@ mod tests {
         let params = ModelParams::date2012();
         let model = strip_model(&testcase::test_a(), &params).unwrap();
         // 50 W/cm² × 100 µm pitch × 1 cm × 2 layers = 1 W.
-        let total = model.columns()[0].heat_top().total_power(model.length()).as_watts()
-            + model.columns()[0].heat_bottom().total_power(model.length()).as_watts();
+        let total = model.columns()[0]
+            .heat_top()
+            .total_power(model.length())
+            .as_watts()
+            + model.columns()[0]
+                .heat_bottom()
+                .total_power(model.length())
+                .as_watts();
         assert!((total - 1.0).abs() < 1e-9, "total = {total}");
     }
 

@@ -35,7 +35,12 @@ impl Architecture {
         top: Floorplan,
         bottom: Floorplan,
     ) -> Self {
-        Self { name: name.into(), description: description.into(), top, bottom }
+        Self {
+            name: name.into(),
+            description: description.into(),
+            top,
+            bottom,
+        }
     }
 
     /// Architecture name ("Arch. 1" …).
@@ -133,13 +138,21 @@ mod tests {
             fp.blocks()
                 .iter()
                 .filter(|b| b.kind() == crate::BlockKind::SparcCore)
-                .map(|b| (b.outline().z_min().as_millimeters(), b.outline().z_max().as_millimeters()))
+                .map(|b| {
+                    (
+                        b.outline().z_min().as_millimeters(),
+                        b.outline().z_max().as_millimeters(),
+                    )
+                })
                 .collect()
         };
         for (t0, t1) in core_rows(a.top_die()) {
             for (b0, b1) in core_rows(a.bottom_die()) {
                 let overlap = (t1.min(b1) - t0.max(b0)).max(0.0);
-                assert!(overlap < 1e-9, "core rows overlap: [{t0},{t1}] vs [{b0},{b1}]");
+                assert!(
+                    overlap < 1e-9,
+                    "core rows overlap: [{t0},{t1}] vs [{b0},{b1}]"
+                );
             }
         }
     }
@@ -149,7 +162,10 @@ mod tests {
         let a = arch3();
         let pt = a.top_die().total_power(PowerLevel::Peak).as_watts();
         let pb = a.bottom_die().total_power(PowerLevel::Peak).as_watts();
-        assert!(pb < 0.5 * pt, "cache die draws much less than the logic die");
+        assert!(
+            pb < 0.5 * pt,
+            "cache die draws much less than the logic die"
+        );
     }
 
     #[test]

@@ -56,7 +56,10 @@ impl Block {
         let name = name.into();
         for p in [power_peak, power_average] {
             if !p.is_finite() || p.si() < 0.0 {
-                return Err(FloorplanError::InvalidPower { block: name, value: p.si() });
+                return Err(FloorplanError::InvalidPower {
+                    block: name,
+                    value: p.si(),
+                });
             }
         }
         if power_average.si() > power_peak.si() {
@@ -65,7 +68,13 @@ impl Block {
                 value: power_average.si(),
             });
         }
-        Ok(Self { name, kind, outline, power_peak, power_average })
+        Ok(Self {
+            name,
+            kind,
+            outline,
+            power_peak,
+            power_average,
+        })
     }
 
     /// Block name.

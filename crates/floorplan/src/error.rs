@@ -56,15 +56,23 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert!(FloorplanError::BlockOutOfBounds { block: "core0".into() }
-            .to_string()
-            .contains("core0"));
-        assert!(FloorplanError::BlocksOverlap { a: "a".into(), b: "b".into() }
-            .to_string()
-            .contains("overlap"));
-        assert!(FloorplanError::InvalidPower { block: "x".into(), value: -1.0 }
-            .to_string()
-            .contains("-1"));
+        assert!(FloorplanError::BlockOutOfBounds {
+            block: "core0".into()
+        }
+        .to_string()
+        .contains("core0"));
+        assert!(FloorplanError::BlocksOverlap {
+            a: "a".into(),
+            b: "b".into()
+        }
+        .to_string()
+        .contains("overlap"));
+        assert!(FloorplanError::InvalidPower {
+            block: "x".into(),
+            value: -1.0
+        }
+        .to_string()
+        .contains("-1"));
     }
 
     #[test]

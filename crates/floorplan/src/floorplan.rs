@@ -51,7 +51,9 @@ impl Floorplan {
                 || o.x_max().si() > width.si() + eps
                 || o.z_max().si() > depth.si() + eps
             {
-                return Err(FloorplanError::BlockOutOfBounds { block: b.name().to_string() });
+                return Err(FloorplanError::BlockOutOfBounds {
+                    block: b.name().to_string(),
+                });
             }
         }
         for (i, a) in blocks.iter().enumerate() {
@@ -66,7 +68,12 @@ impl Floorplan {
                 }
             }
         }
-        Ok(Self { name: name.into(), width, depth, blocks })
+        Ok(Self {
+            name: name.into(),
+            width,
+            depth,
+            blocks,
+        })
     }
 
     /// Floorplan name.
@@ -99,7 +106,10 @@ impl Floorplan {
 
     /// Total die power at the requested level.
     pub fn total_power(&self, level: PowerLevel) -> Power {
-        self.blocks.iter().map(|b| Self::block_power(b, level)).sum()
+        self.blocks
+            .iter()
+            .map(|b| Self::block_power(b, level))
+            .sum()
     }
 
     /// Areal heat flux at a point (zero between blocks).
@@ -137,8 +147,14 @@ impl Floorplan {
                     o.depth(),
                 )
                 .expect("mirroring preserves validity");
-                Block::new(b.name(), b.kind(), outline, b.power_peak(), b.power_average())
-                    .expect("mirroring preserves validity")
+                Block::new(
+                    b.name(),
+                    b.kind(),
+                    outline,
+                    b.power_peak(),
+                    b.power_average(),
+                )
+                .expect("mirroring preserves validity")
             })
             .collect();
         Self {
@@ -163,8 +179,14 @@ impl Floorplan {
                     o.depth(),
                 )
                 .expect("mirroring preserves validity");
-                Block::new(b.name(), b.kind(), outline, b.power_peak(), b.power_average())
-                    .expect("mirroring preserves validity")
+                Block::new(
+                    b.name(),
+                    b.kind(),
+                    outline,
+                    b.power_peak(),
+                    b.power_average(),
+                )
+                .expect("mirroring preserves validity")
             })
             .collect();
         Self {
@@ -292,7 +314,10 @@ mod tests {
         assert!((o.z_max().as_millimeters() - 10.0).abs() < 1e-9);
         assert_eq!(m.name(), "f-mirrored");
         // Power preserved.
-        assert_eq!(m.total_power(PowerLevel::Peak), fp.total_power(PowerLevel::Peak));
+        assert_eq!(
+            m.total_power(PowerLevel::Peak),
+            fp.total_power(PowerLevel::Peak)
+        );
     }
 
     #[test]

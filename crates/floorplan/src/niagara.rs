@@ -50,6 +50,9 @@ const L2_DERATE: f64 = 0.70;
 const XBAR_DERATE: f64 = 0.60;
 const OTHER_DERATE: f64 = 0.65;
 
+// Eight positional arguments mirror the floorplan table row this helper
+// transcribes (geometry then power); grouping them would only obscure it.
+#[allow(clippy::too_many_arguments)]
 fn block(
     name: &str,
     kind: BlockKind,
@@ -138,8 +141,26 @@ pub fn floorplan() -> Floorplan {
         ));
     }
     // Centre band: FPU, IO bridge, crossbar, DRAM controllers.
-    blocks.push(block("fpu", BlockKind::Other, 0.0, 4.4, 1.5, 2.2, FPU_FLUX, OTHER_DERATE));
-    blocks.push(block("iob", BlockKind::Other, 1.5, 4.4, 1.0, 2.2, IOB_FLUX, OTHER_DERATE));
+    blocks.push(block(
+        "fpu",
+        BlockKind::Other,
+        0.0,
+        4.4,
+        1.5,
+        2.2,
+        FPU_FLUX,
+        OTHER_DERATE,
+    ));
+    blocks.push(block(
+        "iob",
+        BlockKind::Other,
+        1.5,
+        4.4,
+        1.0,
+        2.2,
+        IOB_FLUX,
+        OTHER_DERATE,
+    ));
     blocks.push(block(
         "ccx",
         BlockKind::Crossbar,
@@ -258,8 +279,26 @@ pub fn floorplan_inverted() -> Floorplan {
         ));
     }
     // Centre band unchanged.
-    blocks.push(block("fpu", BlockKind::Other, 0.0, 4.4, 1.5, 2.2, FPU_FLUX, OTHER_DERATE));
-    blocks.push(block("iob", BlockKind::Other, 1.5, 4.4, 1.0, 2.2, IOB_FLUX, OTHER_DERATE));
+    blocks.push(block(
+        "fpu",
+        BlockKind::Other,
+        0.0,
+        4.4,
+        1.5,
+        2.2,
+        FPU_FLUX,
+        OTHER_DERATE,
+    ));
+    blocks.push(block(
+        "iob",
+        BlockKind::Other,
+        1.5,
+        4.4,
+        1.0,
+        2.2,
+        IOB_FLUX,
+        OTHER_DERATE,
+    ));
     blocks.push(block(
         "ccx",
         BlockKind::Crossbar,
@@ -327,7 +366,11 @@ mod tests {
         let fp = floorplan();
         assert_eq!(fp.blocks().len(), 8 + 8 + 4);
         // Full tiling: block areas sum to the die area.
-        let total: f64 = fp.blocks().iter().map(|b| b.outline().area().as_cm2()).sum();
+        let total: f64 = fp
+            .blocks()
+            .iter()
+            .map(|b| b.outline().area().as_cm2())
+            .sum();
         assert!((total - 1.1).abs() < 1e-9, "covered {total} cm² of 1.1");
     }
 

@@ -60,7 +60,13 @@ impl FluxGrid {
                 }
             }
         }
-        Self { nx, nz, die_width: fp.width().si(), die_length: fp.depth().si(), flux }
+        Self {
+            nx,
+            nz,
+            die_width: fp.width().si(),
+            die_length: fp.depth().si(),
+            flux,
+        }
     }
 
     /// Builds a grid directly from a flux function sampled at cell centres
@@ -87,7 +93,13 @@ impl FluxGrid {
                 flux[j * nx + i] = f(x, z);
             }
         }
-        Self { nx, nz, die_width: die_width.si(), die_length: die_length.si(), flux }
+        Self {
+            nx,
+            nz,
+            die_width: die_width.si(),
+            die_length: die_length.si(),
+            flux,
+        }
     }
 
     /// Grid dimensions `(nx, nz)`.

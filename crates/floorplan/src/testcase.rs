@@ -88,7 +88,11 @@ pub fn test_b_seeded(seed: u64, segments: usize) -> StripLoad {
     let mut draw = |_: usize| rng.gen_range(lo..=hi);
     let top: Vec<f64> = (0..segments).map(&mut draw).collect();
     let bottom: Vec<f64> = (0..segments).map(&mut draw).collect();
-    StripLoad { name: "Test B".to_string(), top_w_cm2: top, bottom_w_cm2: bottom }
+    StripLoad {
+        name: "Test B".to_string(),
+        top_w_cm2: top,
+        bottom_w_cm2: bottom,
+    }
 }
 
 #[cfg(test)]

@@ -64,7 +64,11 @@ pub fn render_layer_with_legend(
         layer.name(),
         layer.min().as_celsius(),
         layer.max().as_celsius(),
-        if flow_up { "   (flow: bottom -> top)" } else { "   (flow: top -> bottom)" },
+        if flow_up {
+            "   (flow: bottom -> top)"
+        } else {
+            "   (flow: top -> bottom)"
+        },
     )
 }
 
@@ -87,7 +91,12 @@ mod tests {
             .powered_by(p)
             .build()
             .unwrap();
-        stack.solve_steady().unwrap().layer_by_name("top").unwrap().clone()
+        stack
+            .solve_steady()
+            .unwrap()
+            .layer_by_name("top")
+            .unwrap()
+            .clone()
     }
 
     #[test]
@@ -96,7 +105,9 @@ mod tests {
         let s = render_layer(&layer, layer.min(), layer.max(), false);
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 6);
-        assert!(lines.iter().all(|l| l.len() == 6 && l.starts_with('|') && l.ends_with('|')));
+        assert!(lines
+            .iter()
+            .all(|l| l.len() == 6 && l.starts_with('|') && l.ends_with('|')));
     }
 
     #[test]
@@ -107,7 +118,10 @@ mod tests {
         let glyph_rank = |c: char| RAMP.iter().position(|&r| r == c).unwrap_or(0);
         let first: usize = lines[0].chars().map(glyph_rank).sum();
         let last: usize = lines[5].chars().map(glyph_rank).sum();
-        assert!(last > first, "outlet row should render hotter than inlet row");
+        assert!(
+            last > first,
+            "outlet row should render hotter than inlet row"
+        );
     }
 
     #[test]

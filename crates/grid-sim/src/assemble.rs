@@ -49,7 +49,12 @@ impl Stack {
 
         for (l, layer) in self.layers.iter().enumerate() {
             match layer {
-                Layer::Solid { material, thickness, power, .. } => {
+                Layer::Solid {
+                    material,
+                    thickness,
+                    power,
+                    ..
+                } => {
                     let k = material.thermal_conductivity().si();
                     let t = thickness.si();
                     for j in 0..nz {
@@ -75,8 +80,7 @@ impl Stack {
                                 {
                                     let a = dx * dz;
                                     let r = 0.5 * t / (k * a)
-                                        + 0.5 * t_hi.si()
-                                            / (m_hi.thermal_conductivity().si() * a);
+                                        + 0.5 * t_hi.si() / (m_hi.thermal_conductivity().si() * a);
                                     couple(&mut m, me, idx(l + 1, i, j), 1.0 / r);
                                 }
                             }
@@ -107,10 +111,8 @@ impl Stack {
                             // series with the film over (w + H_C)·dz.
                             let g_film = h_film * (w + hc) * dz;
                             let a_pitch = dx * dz;
-                            let g_lo =
-                                series(k_lo * a_pitch / (0.5 * t_lo), g_film);
-                            let g_hi =
-                                series(k_hi * a_pitch / (0.5 * t_hi), g_film);
+                            let g_lo = series(k_lo * a_pitch / (0.5 * t_lo), g_film);
+                            let g_hi = series(k_hi * a_pitch / (0.5 * t_hi), g_film);
                             couple(&mut m, me, idx(l - 1, i, j), g_lo);
                             couple(&mut m, me, idx(l + 1, i, j), g_hi);
                             // Side-wall conduction bypassing the coolant.
@@ -119,12 +121,7 @@ impl Stack {
                                 let r_wall = 0.5 * t_lo / (k_lo * a_wall)
                                     + hc / (k_wall * a_wall)
                                     + 0.5 * t_hi / (k_hi * a_wall);
-                                couple(
-                                    &mut m,
-                                    idx(l - 1, i, j),
-                                    idx(l + 1, i, j),
-                                    1.0 / r_wall,
-                                );
+                                couple(&mut m, idx(l - 1, i, j), idx(l + 1, i, j), 1.0 / r_wall);
                             }
                             // Upwind advection along +z.
                             m.add(me, me, cv_flow);
@@ -133,15 +130,19 @@ impl Stack {
                             } else {
                                 m.add(me, idx(l, i, j - 1), -cv_flow);
                             }
-                            cap[me] =
-                                spec.coolant.volumetric_heat_capacity().si() * w * hc * dz;
+                            cap[me] = spec.coolant.volumetric_heat_capacity().si() * w * hc * dz;
                         }
                     }
                 }
             }
         }
 
-        Assembly { matrix: m.to_csr(), rhs, capacitance: cap, nodes_per_layer: npl }
+        Assembly {
+            matrix: m.to_csr(),
+            rhs,
+            capacitance: cap,
+            nodes_per_layer: npl,
+        }
     }
 }
 
@@ -163,9 +164,11 @@ fn series(g1: f64, g2: f64) -> f64 {
 
 fn solid_props(layer: &Layer) -> (f64, f64) {
     match layer {
-        Layer::Solid { material, thickness, .. } => {
-            (material.thermal_conductivity().si(), thickness.si())
-        }
+        Layer::Solid {
+            material,
+            thickness,
+            ..
+        } => (material.thermal_conductivity().si(), thickness.si()),
         Layer::Cavity(_) => unreachable!("cavity adjacency validated at build time"),
     }
 }
@@ -238,9 +241,7 @@ mod tests {
         for j in 0..4 {
             for i in 0..4 {
                 let r = j * 4 + i;
-                let expected =
-                    per_cell + if false { 0.0 } else { 0.0 };
-                assert!((asm.rhs[r] - expected).abs() < 1e-12);
+                assert!((asm.rhs[r] - per_cell).abs() < 1e-12);
             }
         }
         // Inlet rows: cavity layer j = 0 cells carry cv·V̇·T_in.
@@ -269,7 +270,7 @@ mod tests {
         let cv_flow = 4.17e6 * (0.5e-6 / 60.0);
         // Coolant node (0, j=1) couples to (0, j=0) with −cv·V̇ and not the
         // other way round.
-        let c_prev = npl + 0;
+        let c_prev = npl;
         let c_here = npl + 2;
         assert!((asm.matrix.get(c_here, c_prev) + cv_flow).abs() < 1e-9);
         assert!(

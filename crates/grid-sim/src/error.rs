@@ -57,15 +57,23 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert!(GridSimError::InvalidStack { what: "no layers".into() }
-            .to_string()
-            .contains("no layers"));
-        assert!(GridSimError::PowerMapMismatch { expected: (10, 20), got: (5, 5) }
-            .to_string()
-            .contains("5x5"));
-        assert!(GridSimError::NoConvergence { iterations: 100, residual: 1e-3 }
-            .to_string()
-            .contains("100"));
+        assert!(GridSimError::InvalidStack {
+            what: "no layers".into()
+        }
+        .to_string()
+        .contains("no layers"));
+        assert!(GridSimError::PowerMapMismatch {
+            expected: (10, 20),
+            got: (5, 5)
+        }
+        .to_string()
+        .contains("5x5"));
+        assert!(GridSimError::NoConvergence {
+            iterations: 100,
+            residual: 1e-3
+        }
+        .to_string()
+        .contains("100"));
     }
 
     #[test]

@@ -3,9 +3,9 @@
 use crate::assemble::Assembly;
 use crate::solver::{self, SolverOptions};
 use crate::stack::{Layer, Stack};
-use crate::Result;
 #[allow(unused_imports)]
 use crate::GridSimError;
+use crate::Result;
 use liquamod_units::{Power, Temperature, TemperatureDifference};
 
 /// Kind of a layer in a [`ThermalField`].
@@ -112,9 +112,7 @@ impl ThermalField {
     /// Peak temperature over *solid* layers (the IC metric; coolant nodes are
     /// excluded).
     pub fn peak_temperature(&self) -> Temperature {
-        Temperature::from_kelvin(
-            self.solid_temps().fold(f64::NEG_INFINITY, f64::max),
-        )
+        Temperature::from_kelvin(self.solid_temps().fold(f64::NEG_INFINITY, f64::max))
     }
 
     /// Minimum temperature over solid layers.
@@ -201,7 +199,13 @@ impl Stack {
                     ("<cavity>".to_string(), LayerKind::Cavity)
                 }
             };
-            layers.push(LayerField { name, kind, nx: self.nx, nz: self.nz, temps });
+            layers.push(LayerField {
+                name,
+                kind,
+                nx: self.nx,
+                nz: self.nz,
+                temps,
+            });
         }
         ThermalField {
             layers,

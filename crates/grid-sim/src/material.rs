@@ -25,9 +25,19 @@ impl Material {
     ) -> Self {
         let k = thermal_conductivity.si();
         let c = volumetric_heat_capacity.si();
-        assert!(k.is_finite() && k > 0.0, "thermal conductivity must be positive");
-        assert!(c.is_finite() && c > 0.0, "volumetric heat capacity must be positive");
-        Self { name: name.into(), thermal_conductivity, volumetric_heat_capacity }
+        assert!(
+            k.is_finite() && k > 0.0,
+            "thermal conductivity must be positive"
+        );
+        assert!(
+            c.is_finite() && c > 0.0,
+            "volumetric heat capacity must be positive"
+        );
+        Self {
+            name: name.into(),
+            thermal_conductivity,
+            volumetric_heat_capacity,
+        }
     }
 
     /// Bulk silicon at the paper's value `k = 130 W/(m·K)`;

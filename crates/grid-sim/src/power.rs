@@ -21,7 +21,11 @@ impl PowerMap {
     /// Panics if either dimension is zero.
     pub fn zeros(nx: usize, nz: usize) -> Self {
         assert!(nx > 0 && nz > 0, "power map needs a non-empty grid");
-        Self { nx, nz, watts: vec![0.0; nx * nz] }
+        Self {
+            nx,
+            nz,
+            watts: vec![0.0; nx * nz],
+        }
     }
 
     /// Creates a map with a uniform areal heat flux over a die of the given
@@ -129,7 +133,10 @@ impl PowerMap {
         if (self.nx, self.nz) == (nx, nz) {
             Ok(())
         } else {
-            Err(GridSimError::PowerMapMismatch { expected: (nx, nz), got: (self.nx, self.nz) })
+            Err(GridSimError::PowerMapMismatch {
+                expected: (nx, nz),
+                got: (self.nx, self.nz),
+            })
         }
     }
 

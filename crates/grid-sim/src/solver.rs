@@ -19,7 +19,10 @@ pub struct SolverOptions {
 
 impl Default for SolverOptions {
     fn default() -> Self {
-        Self { tolerance: 1e-10, max_iterations: 20_000 }
+        Self {
+            tolerance: 1e-10,
+            max_iterations: 20_000,
+        }
     }
 }
 
@@ -85,13 +88,22 @@ pub fn bicgstab(
     let mut p = vec![0.0; n];
     let mut residual = norm(&r) / b_norm;
     if residual <= options.tolerance {
-        return Ok((x, SolveStats { iterations: 0, residual }));
+        return Ok((
+            x,
+            SolveStats {
+                iterations: 0,
+                residual,
+            },
+        ));
     }
 
     for it in 1..=options.max_iterations {
         let rho_next = dot(&r0, &r);
         if rho_next.abs() < 1e-300 {
-            return Err(GridSimError::NoConvergence { iterations: it, residual });
+            return Err(GridSimError::NoConvergence {
+                iterations: it,
+                residual,
+            });
         }
         let beta = (rho_next / rho) * (alpha / omega);
         rho = rho_next;
@@ -108,13 +120,22 @@ pub fn bicgstab(
                 x[i] += alpha * p_hat[i];
             }
             let final_res = norm(&s) / b_norm;
-            return Ok((x, SolveStats { iterations: it, residual: final_res }));
+            return Ok((
+                x,
+                SolveStats {
+                    iterations: it,
+                    residual: final_res,
+                },
+            ));
         }
         let s_hat: Vec<f64> = s.iter().zip(&inv_diag).map(|(si, di)| si * di).collect();
         let t = a.mul(&s_hat);
         let tt = dot(&t, &t);
         if tt.abs() < 1e-300 {
-            return Err(GridSimError::NoConvergence { iterations: it, residual });
+            return Err(GridSimError::NoConvergence {
+                iterations: it,
+                residual,
+            });
         }
         omega = dot(&t, &s) / tt;
         for i in 0..n {
@@ -123,13 +144,25 @@ pub fn bicgstab(
         }
         residual = norm(&r) / b_norm;
         if residual <= options.tolerance {
-            return Ok((x, SolveStats { iterations: it, residual }));
+            return Ok((
+                x,
+                SolveStats {
+                    iterations: it,
+                    residual,
+                },
+            ));
         }
         if omega.abs() < 1e-300 {
-            return Err(GridSimError::NoConvergence { iterations: it, residual });
+            return Err(GridSimError::NoConvergence {
+                iterations: it,
+                residual,
+            });
         }
     }
-    Err(GridSimError::NoConvergence { iterations: options.max_iterations, residual })
+    Err(GridSimError::NoConvergence {
+        iterations: options.max_iterations,
+        residual,
+    })
 }
 
 /// Solves `A·x = b` by Gauss–Seidel sweeps. Slow but simple; retained as an
@@ -154,8 +187,10 @@ pub fn gauss_seidel(
     assert_eq!(b.len(), n);
     assert_eq!(x0.len(), n);
     let diag = a.diagonal();
-    if diag.iter().any(|&d| d == 0.0) {
-        return Err(GridSimError::InvalidStack { what: "zero diagonal in system matrix".into() });
+    if diag.contains(&0.0) {
+        return Err(GridSimError::InvalidStack {
+            what: "zero diagonal in system matrix".into(),
+        });
     }
     let b_norm = norm(b).max(f64::MIN_POSITIVE);
     let mut x = x0.to_vec();
@@ -177,12 +212,21 @@ pub fn gauss_seidel(
         let ax = a.mul(&x);
         let res: f64 = (0..n).map(|i| (b[i] - ax[i]).powi(2)).sum::<f64>().sqrt() / b_norm;
         if res <= options.tolerance {
-            return Ok((x, SolveStats { iterations: it, residual: res }));
+            return Ok((
+                x,
+                SolveStats {
+                    iterations: it,
+                    residual: res,
+                },
+            ));
         }
     }
     let ax = a.mul(&x);
     let res: f64 = (0..n).map(|i| (b[i] - ax[i]).powi(2)).sum::<f64>().sqrt() / b_norm;
-    Err(GridSimError::NoConvergence { iterations: options.max_iterations, residual: res })
+    Err(GridSimError::NoConvergence {
+        iterations: options.max_iterations,
+        residual: res,
+    })
 }
 
 #[cfg(test)]
@@ -239,15 +283,19 @@ mod tests {
         let b = a.mul(&x_true);
         let (x, _) = bicgstab(&a, &b, &vec![0.0; 80], &SolverOptions::default()).unwrap();
         for i in 0..80 {
-            assert!((x[i] - x_true[i]).abs() < 1e-6, "x[{i}] = {} vs {}", x[i], x_true[i]);
+            assert!(
+                (x[i] - x_true[i]).abs() < 1e-6,
+                "x[{i}] = {} vs {}",
+                x[i],
+                x_true[i]
+            );
         }
     }
 
     #[test]
     fn bicgstab_zero_rhs_is_immediate() {
         let a = poisson(10);
-        let (x, stats) = bicgstab(&a, &vec![0.0; 10], &vec![0.0; 10], &SolverOptions::default())
-            .unwrap();
+        let (x, stats) = bicgstab(&a, &[0.0; 10], &[0.0; 10], &SolverOptions::default()).unwrap();
         assert!(x.iter().all(|&v| v == 0.0));
         assert_eq!(stats.iterations, 0);
     }
@@ -260,7 +308,10 @@ mod tests {
             &a,
             &b,
             &vec![0.0; 100],
-            &SolverOptions { tolerance: 1e-14, max_iterations: 2 },
+            &SolverOptions {
+                tolerance: 1e-14,
+                max_iterations: 2,
+            },
         );
         assert!(matches!(err, Err(GridSimError::NoConvergence { .. })));
     }
@@ -270,7 +321,10 @@ mod tests {
         let a = advective(40);
         let x_true: Vec<f64> = (0..40).map(|i| (i as f64 * 0.11).cos()).collect();
         let b = a.mul(&x_true);
-        let opts = SolverOptions { tolerance: 1e-11, max_iterations: 100_000 };
+        let opts = SolverOptions {
+            tolerance: 1e-11,
+            max_iterations: 100_000,
+        };
         let (xg, _) = gauss_seidel(&a, &b, &vec![0.0; 40], &opts).unwrap();
         let (xb, _) = bicgstab(&a, &b, &vec![0.0; 40], &opts).unwrap();
         for i in 0..40 {

@@ -10,7 +10,10 @@ pub struct TripletMatrix {
 impl TripletMatrix {
     /// Creates an empty `n × n` accumulator.
     pub fn new(n: usize) -> Self {
-        Self { n, entries: Vec::new() }
+        Self {
+            n,
+            entries: Vec::new(),
+        }
     }
 
     /// Matrix dimension.
@@ -34,7 +37,7 @@ impl TripletMatrix {
     pub fn to_csr(&self) -> CsrMatrix {
         let n = self.n;
         let mut sorted = self.entries.clone();
-        sorted.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        sorted.sort_by_key(|a| (a.0, a.1));
         let mut row_ptr = Vec::with_capacity(n + 1);
         let mut col_idx = Vec::with_capacity(sorted.len());
         let mut values = Vec::with_capacity(sorted.len());
@@ -58,7 +61,12 @@ impl TripletMatrix {
             row_ptr.push(col_idx.len());
             row += 1;
         }
-        CsrMatrix { n, row_ptr, col_idx, values }
+        CsrMatrix {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 }
 
@@ -90,12 +98,12 @@ impl CsrMatrix {
     pub fn mul_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
-        for i in 0..self.n {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut s = 0.0;
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
                 s += self.values[k] * x[self.col_idx[k]];
             }
-            y[i] = s;
+            *yi = s;
         }
     }
 
@@ -109,10 +117,10 @@ impl CsrMatrix {
     /// Diagonal entries (zero when absent) — the Jacobi preconditioner.
     pub fn diagonal(&self) -> Vec<f64> {
         let mut d = vec![0.0; self.n];
-        for i in 0..self.n {
+        for (i, di) in d.iter_mut().enumerate() {
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
                 if self.col_idx[k] == i {
-                    d[i] = self.values[k];
+                    *di = self.values[k];
                 }
             }
         }
@@ -173,11 +181,11 @@ impl CsrMatrix {
     pub fn plus_diagonal(&self, d: &[f64], scale: f64) -> CsrMatrix {
         assert_eq!(d.len(), self.n);
         let mut t = TripletMatrix::new(self.n);
-        for i in 0..self.n {
+        for (i, &di) in d.iter().enumerate() {
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
                 t.add(i, self.col_idx[k], self.values[k]);
             }
-            t.add(i, i, d[i] * scale);
+            t.add(i, i, di * scale);
         }
         t.to_csr()
     }

@@ -170,7 +170,11 @@ impl StackBuilder {
     /// inside `(0, pitch)`), and [`GridSimError::PowerMapMismatch`] when a
     /// power map grid disagrees with the stack grid.
     pub fn build(self) -> Result<Stack, GridSimError> {
-        let fail = |what: &str| Err(GridSimError::InvalidStack { what: what.to_string() });
+        let fail = |what: &str| {
+            Err(GridSimError::InvalidStack {
+                what: what.to_string(),
+            })
+        };
         if self.nx == 0 || self.nz == 0 {
             return fail("grid must be at least 1x1");
         }
@@ -186,7 +190,12 @@ impl StackBuilder {
         let pitch = self.die_width.si() / self.nx as f64;
         for (idx, layer) in self.layers.iter().enumerate() {
             match layer {
-                Layer::Solid { thickness, power, name, .. } => {
+                Layer::Solid {
+                    thickness,
+                    power,
+                    name,
+                    ..
+                } => {
                     if thickness.si() <= 0.0 {
                         return Err(GridSimError::InvalidStack {
                             what: format!("layer '{name}' thickness must be positive"),

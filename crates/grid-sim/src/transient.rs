@@ -60,7 +60,9 @@ impl Stack {
             });
         }
         if options.steps == 0 {
-            return Err(GridSimError::InvalidTransient { what: "steps must be > 0".into() });
+            return Err(GridSimError::InvalidTransient {
+                what: "steps must be > 0".into(),
+            });
         }
         let asm = self.assemble();
         let n = asm.matrix.size();
@@ -116,7 +118,11 @@ mod tests {
         let s = stack();
         let steady = s.solve_steady().unwrap();
         let samples = s
-            .solve_transient(&TransientOptions { dt_seconds: 2e-3, steps: 60, ..Default::default() })
+            .solve_transient(&TransientOptions {
+                dt_seconds: 2e-3,
+                steps: 60,
+                ..Default::default()
+            })
             .unwrap();
         // Peak temperature rises monotonically (pure step response)…
         for w in samples.windows(2) {
@@ -127,8 +133,7 @@ mod tests {
         }
         // …and approaches the steady state from below.
         let last = samples.last().unwrap();
-        let gap = steady.peak_temperature().as_kelvin()
-            - last.field.peak_temperature().as_kelvin();
+        let gap = steady.peak_temperature().as_kelvin() - last.field.peak_temperature().as_kelvin();
         assert!(gap >= -1e-6, "transient overshot steady state by {gap}");
         assert!(
             gap < 0.05 * (steady.peak_temperature().as_kelvin() - 300.0),
@@ -145,7 +150,11 @@ mod tests {
             .build()
             .unwrap();
         let samples = s
-            .solve_transient(&TransientOptions { dt_seconds: 1e-3, steps: 5, ..Default::default() })
+            .solve_transient(&TransientOptions {
+                dt_seconds: 1e-3,
+                steps: 5,
+                ..Default::default()
+            })
             .unwrap();
         for sample in &samples {
             assert!((sample.field.peak_temperature().as_kelvin() - 300.0).abs() < 1e-6);
@@ -163,9 +172,17 @@ mod tests {
                 ..Default::default()
             })
             .unwrap();
-        let first = samples.first().unwrap().field.peak_temperature().as_kelvin();
+        let first = samples
+            .first()
+            .unwrap()
+            .field
+            .peak_temperature()
+            .as_kelvin();
         let last = samples.last().unwrap().field.peak_temperature().as_kelvin();
-        assert!(last < first, "overheated stack must cool ({first} → {last})");
+        assert!(
+            last < first,
+            "overheated stack must cool ({first} → {last})"
+        );
         let steady = s.solve_steady().unwrap().peak_temperature().as_kelvin();
         assert!((last - steady).abs() < 0.05 * (400.0 - steady));
     }
@@ -174,11 +191,17 @@ mod tests {
     fn rejects_bad_options() {
         let s = stack();
         assert!(matches!(
-            s.solve_transient(&TransientOptions { dt_seconds: 0.0, ..Default::default() }),
+            s.solve_transient(&TransientOptions {
+                dt_seconds: 0.0,
+                ..Default::default()
+            }),
             Err(GridSimError::InvalidTransient { .. })
         ));
         assert!(matches!(
-            s.solve_transient(&TransientOptions { steps: 0, ..Default::default() }),
+            s.solve_transient(&TransientOptions {
+                steps: 0,
+                ..Default::default()
+            }),
             Err(GridSimError::InvalidTransient { .. })
         ));
     }
@@ -187,7 +210,11 @@ mod tests {
     fn sample_times_are_uniform() {
         let s = stack();
         let samples = s
-            .solve_transient(&TransientOptions { dt_seconds: 1e-3, steps: 3, ..Default::default() })
+            .solve_transient(&TransientOptions {
+                dt_seconds: 1e-3,
+                steps: 3,
+                ..Default::default()
+            })
             .unwrap();
         assert_eq!(samples.len(), 3);
         assert!((samples[0].time_seconds - 1e-3).abs() < 1e-15);

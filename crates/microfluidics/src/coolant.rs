@@ -157,7 +157,13 @@ mod tests {
             1000.0,
             Temperature::from_kelvin(300.0),
         );
-        assert!(matches!(err, Err(MicrofluidicsError::InvalidCoolant { property: "thermal conductivity", .. })));
+        assert!(matches!(
+            err,
+            Err(MicrofluidicsError::InvalidCoolant {
+                property: "thermal conductivity",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -23,7 +23,10 @@ impl RectDuct {
     /// strictly positive and finite.
     pub fn new(width: Length, height: Length) -> crate::Result<Self> {
         if !(width.is_finite() && height.is_finite()) || width.si() <= 0.0 || height.si() <= 0.0 {
-            return Err(MicrofluidicsError::InvalidDuct { width: width.si(), height: height.si() });
+            return Err(MicrofluidicsError::InvalidDuct {
+                width: width.si(),
+                height: height.si(),
+            });
         }
         Ok(Self { width, height })
     }
@@ -74,8 +77,11 @@ mod tests {
     use super::*;
 
     fn duct(w_um: f64, h_um: f64) -> RectDuct {
-        RectDuct::new(Length::from_micrometers(w_um), Length::from_micrometers(h_um))
-            .expect("valid duct")
+        RectDuct::new(
+            Length::from_micrometers(w_um),
+            Length::from_micrometers(h_um),
+        )
+        .expect("valid duct")
     }
 
     #[test]
@@ -112,7 +118,9 @@ mod tests {
 
     #[test]
     fn aspect_ratio_is_orientation_independent() {
-        assert!((duct(50.0, 100.0).aspect_ratio() - duct(100.0, 50.0).aspect_ratio()).abs() < 1e-15);
+        assert!(
+            (duct(50.0, 100.0).aspect_ratio() - duct(100.0, 50.0).aspect_ratio()).abs() < 1e-15
+        );
     }
 
     #[test]

@@ -32,13 +32,22 @@ impl fmt::Display for MicrofluidicsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MicrofluidicsError::InvalidDuct { width, height } => {
-                write!(f, "duct dimensions must be strictly positive, got {width} x {height} m")
+                write!(
+                    f,
+                    "duct dimensions must be strictly positive, got {width} x {height} m"
+                )
             }
             MicrofluidicsError::InvalidCoolant { property, value } => {
-                write!(f, "coolant {property} must be strictly positive, got {value}")
+                write!(
+                    f,
+                    "coolant {property} must be strictly positive, got {value}"
+                )
             }
             MicrofluidicsError::InvalidFlow { parameter, value } => {
-                write!(f, "flow {parameter} must be strictly positive and finite, got {value}")
+                write!(
+                    f,
+                    "flow {parameter} must be strictly positive and finite, got {value}"
+                )
             }
         }
     }
@@ -52,11 +61,20 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let d = MicrofluidicsError::InvalidDuct { width: 0.0, height: 1e-4 };
+        let d = MicrofluidicsError::InvalidDuct {
+            width: 0.0,
+            height: 1e-4,
+        };
         assert!(d.to_string().contains("duct dimensions"));
-        let c = MicrofluidicsError::InvalidCoolant { property: "viscosity", value: -1.0 };
+        let c = MicrofluidicsError::InvalidCoolant {
+            property: "viscosity",
+            value: -1.0,
+        };
         assert!(c.to_string().contains("viscosity"));
-        let q = MicrofluidicsError::InvalidFlow { parameter: "flow rate", value: 0.0 };
+        let q = MicrofluidicsError::InvalidFlow {
+            parameter: "flow rate",
+            value: 0.0,
+        };
         assert!(q.to_string().contains("flow rate"));
     }
 

@@ -33,8 +33,7 @@ pub fn f_times_re(model: FrictionModel, duct: &RectDuct) -> f64 {
         FrictionModel::LaminarCircular => 64.0,
         FrictionModel::ShahLondonRect => {
             let a = duct.aspect_ratio();
-            96.0 * (1.0 - 1.3553 * a + 1.9467 * a.powi(2) - 1.7012 * a.powi(3)
-                + 0.9564 * a.powi(4)
+            96.0 * (1.0 - 1.3553 * a + 1.9467 * a.powi(2) - 1.7012 * a.powi(3) + 0.9564 * a.powi(4)
                 - 0.2537 * a.powi(5))
         }
     }
@@ -56,14 +55,23 @@ mod tests {
     use liquamod_units::Length;
 
     fn duct(w_um: f64, h_um: f64) -> RectDuct {
-        RectDuct::new(Length::from_micrometers(w_um), Length::from_micrometers(h_um))
-            .expect("valid duct")
+        RectDuct::new(
+            Length::from_micrometers(w_um),
+            Length::from_micrometers(h_um),
+        )
+        .expect("valid duct")
     }
 
     #[test]
     fn circular_constant() {
-        assert_eq!(f_times_re(FrictionModel::LaminarCircular, &duct(50.0, 100.0)), 64.0);
-        assert_eq!(f_times_re(FrictionModel::LaminarCircular, &duct(10.0, 100.0)), 64.0);
+        assert_eq!(
+            f_times_re(FrictionModel::LaminarCircular, &duct(50.0, 100.0)),
+            64.0
+        );
+        assert_eq!(
+            f_times_re(FrictionModel::LaminarCircular, &duct(10.0, 100.0)),
+            64.0
+        );
     }
 
     #[test]

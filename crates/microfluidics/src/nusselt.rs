@@ -44,8 +44,7 @@ pub fn nusselt(correlation: NusseltCorrelation, duct: &RectDuct) -> f64 {
     match correlation {
         NusseltCorrelation::ShahLondonH1 => {
             8.235
-                * (1.0 - 2.0421 * a + 3.0853 * a.powi(2) - 2.4765 * a.powi(3)
-                    + 1.0578 * a.powi(4)
+                * (1.0 - 2.0421 * a + 3.0853 * a.powi(2) - 2.4765 * a.powi(3) + 1.0578 * a.powi(4)
                     - 0.1861 * a.powi(5))
         }
         NusseltCorrelation::ShahLondonT => {
@@ -101,8 +100,11 @@ mod tests {
     use liquamod_units::Length;
 
     fn duct(w_um: f64, h_um: f64) -> RectDuct {
-        RectDuct::new(Length::from_micrometers(w_um), Length::from_micrometers(h_um))
-            .expect("valid duct")
+        RectDuct::new(
+            Length::from_micrometers(w_um),
+            Length::from_micrometers(h_um),
+        )
+        .expect("valid duct")
     }
 
     #[test]
@@ -179,7 +181,10 @@ mod tests {
         let fd = nusselt(NusseltCorrelation::ShahLondonH1, &d);
         assert!(near > far, "entry-length Nu should decay downstream");
         assert!(far >= fd, "developing Nu never falls below fully developed");
-        assert!((far - fd) / fd < 0.05, "far downstream should approach fd value");
+        assert!(
+            (far - fd) / fd < 0.05,
+            "far downstream should approach fd value"
+        );
     }
 
     #[test]
@@ -192,6 +197,9 @@ mod tests {
 
     #[test]
     fn default_correlation_is_h1() {
-        assert_eq!(NusseltCorrelation::default(), NusseltCorrelation::ShahLondonH1);
+        assert_eq!(
+            NusseltCorrelation::default(),
+            NusseltCorrelation::ShahLondonH1
+        );
     }
 }

@@ -111,7 +111,11 @@ pub fn profile_pressure_drop(
             value: 0.0,
         });
     }
-    let n = if n_intervals % 2 == 0 { n_intervals } else { n_intervals + 1 };
+    let n = if n_intervals.is_multiple_of(2) {
+        n_intervals
+    } else {
+        n_intervals + 1
+    };
     let h_step = length.si() / n as f64;
     let grad = |z: f64| -> crate::Result<f64> {
         let duct = RectDuct::new(width_at(Length::from_meters(z)), height)?;
@@ -133,7 +137,10 @@ fn validate_flow(flow_rate: VolumetricFlowRate, length: Length) -> crate::Result
         });
     }
     if !length.is_finite() || length.si() <= 0.0 {
-        return Err(MicrofluidicsError::InvalidFlow { parameter: "length", value: length.si() });
+        return Err(MicrofluidicsError::InvalidFlow {
+            parameter: "length",
+            value: length.si(),
+        });
     }
     Ok(())
 }
@@ -143,8 +150,11 @@ mod tests {
     use super::*;
 
     fn paper_duct(w_um: f64) -> RectDuct {
-        RectDuct::new(Length::from_micrometers(w_um), Length::from_micrometers(100.0))
-            .expect("valid duct")
+        RectDuct::new(
+            Length::from_micrometers(w_um),
+            Length::from_micrometers(100.0),
+        )
+        .expect("valid duct")
     }
 
     /// The paper's Eq. (9) integrand, written verbatim for cross-checking.
@@ -219,7 +229,10 @@ mod tests {
         )
         .unwrap();
         let ratio = narrow.as_pascals() / wide.as_pascals();
-        assert!(ratio > 50.0, "10 um should cost >50x the 50 um drop, got {ratio}");
+        assert!(
+            ratio > 50.0,
+            "10 um should cost >50x the 50 um drop, got {ratio}"
+        );
     }
 
     #[test]
@@ -236,7 +249,11 @@ mod tests {
             Length::from_centimeters(1.0),
         )
         .unwrap();
-        assert!(dp.as_bar() > 8.0 && dp.as_bar() < 12.0, "dp = {} bar", dp.as_bar());
+        assert!(
+            dp.as_bar() > 8.0 && dp.as_bar() < 12.0,
+            "dp = {} bar",
+            dp.as_bar()
+        );
     }
 
     #[test]
@@ -272,8 +289,10 @@ mod tests {
         let flow = VolumetricFlowRate::from_ml_per_min(0.3);
         let len = Length::from_centimeters(1.0);
         let h = Length::from_micrometers(100.0);
-        let widths =
-            [Length::from_micrometers(50.0), Length::from_micrometers(10.0)];
+        let widths = [
+            Length::from_micrometers(50.0),
+            Length::from_micrometers(10.0),
+        ];
         let modulated = modulated_channel_pressure_drop(
             FrictionModel::LaminarCircular,
             &widths,
@@ -308,9 +327,7 @@ mod tests {
         let len = Length::from_centimeters(1.0);
         let h = Length::from_micrometers(100.0);
         // Linear taper 50 µm → 20 µm.
-        let width_at = |z: Length| {
-            Length::from_micrometers(50.0 - 30.0 * (z.si() / len.si()))
-        };
+        let width_at = |z: Length| Length::from_micrometers(50.0 - 30.0 * (z.si() / len.si()));
         let coarse = profile_pressure_drop(
             FrictionModel::LaminarCircular,
             width_at,
@@ -414,22 +431,12 @@ mod tests {
         let flow = VolumetricFlowRate::from_ml_per_min(0.3);
         let len = Length::from_centimeters(1.0);
         let duct = paper_duct(10.0);
-        let circ = uniform_channel_pressure_drop(
-            FrictionModel::LaminarCircular,
-            &duct,
-            &water,
-            flow,
-            len,
-        )
-        .unwrap();
-        let rect = uniform_channel_pressure_drop(
-            FrictionModel::ShahLondonRect,
-            &duct,
-            &water,
-            flow,
-            len,
-        )
-        .unwrap();
+        let circ =
+            uniform_channel_pressure_drop(FrictionModel::LaminarCircular, &duct, &water, flow, len)
+                .unwrap();
+        let rect =
+            uniform_channel_pressure_drop(FrictionModel::ShahLondonRect, &duct, &water, flow, len)
+                .unwrap();
         assert!(rect.as_pascals() > circ.as_pascals());
     }
 }

@@ -17,10 +17,7 @@ pub fn channel_pump_power(pressure_drop: Pressure, flow_rate: VolumetricFlowRate
 /// reservoir: `Σᵢ ΔPᵢ·V̇ᵢ`. The slices are zipped; any length mismatch is a
 /// caller bug and the shorter length wins (documented rather than panicking,
 /// so sweep drivers can pass partially filled buffers).
-pub fn cavity_pump_power(
-    pressure_drops: &[Pressure],
-    flow_rates: &[VolumetricFlowRate],
-) -> Power {
+pub fn cavity_pump_power(pressure_drops: &[Pressure], flow_rates: &[VolumetricFlowRate]) -> Power {
     pressure_drops
         .iter()
         .zip(flow_rates.iter())

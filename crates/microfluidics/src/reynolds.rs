@@ -26,8 +26,11 @@ mod tests {
     use liquamod_units::Length;
 
     fn duct(w_um: f64, h_um: f64) -> RectDuct {
-        RectDuct::new(Length::from_micrometers(w_um), Length::from_micrometers(h_um))
-            .expect("valid duct")
+        RectDuct::new(
+            Length::from_micrometers(w_um),
+            Length::from_micrometers(h_um),
+        )
+        .expect("valid duct")
     }
 
     #[test]

@@ -205,7 +205,10 @@ mod tests {
         let r = augmented_lagrangian(&IneqToy, &bounds, &[0.0], &AugLagOptions::default());
         assert!((r.x[0] - 1.0).abs() < 1e-4, "x = {:?}", r.x);
         assert!(r.feasible, "violation {}", r.max_inequality_violation);
-        assert!(r.inequality_multipliers[0] > 0.1, "active constraint has λ > 0");
+        assert!(
+            r.inequality_multipliers[0] > 0.1,
+            "active constraint has λ > 0"
+        );
     }
 
     /// min x² + y² s.t. x + y = 1: optimum (0.5, 0.5).
@@ -252,7 +255,10 @@ mod tests {
         let bounds = Bounds::uniform(1, -5.0, 5.0).unwrap();
         let r = augmented_lagrangian(&InactiveToy, &bounds, &[3.0], &AugLagOptions::default());
         assert!((r.x[0] - 0.2).abs() < 1e-5);
-        assert!(r.inequality_multipliers[0].abs() < 1e-6, "inactive constraint has λ = 0");
+        assert!(
+            r.inequality_multipliers[0].abs() < 1e-6,
+            "inactive constraint has λ = 0"
+        );
     }
 
     /// Mixed: min (x−3)² + (y−3)² s.t. x + y = 2, x − y ≤ 0.5.

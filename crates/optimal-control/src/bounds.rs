@@ -115,7 +115,10 @@ mod tests {
         assert!(Bounds::new(vec![0.0], vec![1.0, 2.0]).is_err());
         assert!(Bounds::new(vec![2.0], vec![1.0]).is_err());
         assert!(Bounds::new(vec![f64::NAN], vec![1.0]).is_err());
-        assert!(Bounds::new(vec![1.0], vec![1.0]).is_ok(), "degenerate box is legal");
+        assert!(
+            Bounds::new(vec![1.0], vec![1.0]).is_ok(),
+            "degenerate box is legal"
+        );
     }
 
     #[test]

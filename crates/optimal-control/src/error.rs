@@ -52,9 +52,12 @@ mod tests {
         assert!(OptimalControlError::InvalidBounds { what: "len".into() }
             .to_string()
             .contains("len"));
-        assert!(OptimalControlError::DimensionMismatch { expected: 3, got: 2 }
-            .to_string()
-            .contains("expected 3"));
+        assert!(OptimalControlError::DimensionMismatch {
+            expected: 3,
+            got: 2
+        }
+        .to_string()
+        .contains("expected 3"));
     }
 
     #[test]

@@ -151,7 +151,10 @@ mod tests {
         for i in 0..2 {
             let ef = (gf[i] - e[i]).abs();
             let ec = (gc[i] - e[i]).abs();
-            assert!(ec <= ef + 1e-12, "component {i}: central {ec} vs forward {ef}");
+            assert!(
+                ec <= ef + 1e-12,
+                "component {i}: central {ec} vs forward {ef}"
+            );
         }
     }
 
@@ -163,7 +166,10 @@ mod tests {
                 10
             }
             fn value(&self, x: &[f64]) -> f64 {
-                x.iter().enumerate().map(|(i, v)| (i as f64 + 1.0) * v * v).sum()
+                x.iter()
+                    .enumerate()
+                    .map(|(i, v)| (i as f64 + 1.0) * v * v)
+                    .sum()
             }
         }
         let x: Vec<f64> = (0..10).map(|i| 0.1 * i as f64 - 0.4).collect();

@@ -166,14 +166,7 @@ pub fn lbfgs_b(
             }
             pairs.clear();
             update_state(
-                &counting,
-                options,
-                bounds,
-                &mut x,
-                &mut f,
-                &mut grad,
-                &mut pairs,
-                ls_grad.x,
+                &counting, options, bounds, &mut x, &mut f, &mut grad, &mut pairs, ls_grad.x,
                 ls_grad.f,
             );
             history.push(f);
@@ -181,15 +174,7 @@ pub fn lbfgs_b(
         }
         let improvement = (f - ls.f) / f.abs().max(1e-30);
         update_state(
-            &counting,
-            options,
-            bounds,
-            &mut x,
-            &mut f,
-            &mut grad,
-            &mut pairs,
-            ls.x,
-            ls.f,
+            &counting, options, bounds, &mut x, &mut f, &mut grad, &mut pairs, ls.x, ls.f,
         );
         history.push(f);
         if improvement < options.improvement_tol {
@@ -232,7 +217,11 @@ fn update_state<O: Objective + ?Sized>(
         options.fd_threads.max(1),
     );
     let s: Vec<f64> = x_new.iter().zip(x.iter()).map(|(a, b)| a - b).collect();
-    let y: Vec<f64> = grad_new.iter().zip(grad.iter()).map(|(a, b)| a - b).collect();
+    let y: Vec<f64> = grad_new
+        .iter()
+        .zip(grad.iter())
+        .map(|(a, b)| a - b)
+        .collect();
     let sy = dot(&s, &y);
     if sy > 1e-12 * dot(&s, &s).sqrt() * dot(&y, &y).sqrt() {
         if pairs.len() == options.memory.max(1) {
@@ -266,7 +255,10 @@ mod tests {
             &Rosenbrock,
             &bounds,
             &[-1.2, 1.0],
-            &LbfgsOptions { max_iterations: 500, ..Default::default() },
+            &LbfgsOptions {
+                max_iterations: 500,
+                ..Default::default()
+            },
         );
         assert!((r.x[0] - 1.0).abs() < 1e-3, "x = {:?} ({:?})", r.x, r.stop);
         assert!((r.x[1] - 1.0).abs() < 1e-3);
@@ -306,13 +298,19 @@ mod tests {
             }
         }
         let bounds = Bounds::uniform(4, 0.0, 1.0).unwrap();
-        let opts = LbfgsOptions { max_iterations: 60, ..Default::default() };
+        let opts = LbfgsOptions {
+            max_iterations: 60,
+            ..Default::default()
+        };
         let r_lbfgs = lbfgs_b(&IllQuad, &bounds, &[0.1; 4], &opts);
         let r_pg = crate::projected_gradient(
             &IllQuad,
             &bounds,
             &[0.1; 4],
-            &crate::ProjGradOptions { max_iterations: 60, ..Default::default() },
+            &crate::ProjGradOptions {
+                max_iterations: 60,
+                ..Default::default()
+            },
         );
         assert!(
             r_lbfgs.objective <= r_pg.objective * 1.001,

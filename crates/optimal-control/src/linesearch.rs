@@ -17,7 +17,12 @@ pub(crate) struct ArmijoOptions {
 
 impl Default for ArmijoOptions {
     fn default() -> Self {
-        Self { c1: 1e-4, shrink: 0.5, min_step: 1e-14, initial_step: 1.0 }
+        Self {
+            c1: 1e-4,
+            shrink: 0.5,
+            min_step: 1e-14,
+            initial_step: 1.0,
+        }
     }
 }
 
@@ -90,7 +95,12 @@ pub(crate) fn armijo_projected(
         if moved_sq == 0.0 {
             // The projection pinned every component; a shorter step cannot
             // unpin them along the same ray.
-            return LineSearchOutcome { x: x0.to_vec(), f: f0, step: 0.0, evaluations };
+            return LineSearchOutcome {
+                x: x0.to_vec(),
+                f: f0,
+                step: 0.0,
+                evaluations,
+            };
         }
         if slope < 0.0 && f.is_finite() && f <= f0 + options.c1 * slope {
             accepted = Some((x, f, step));
@@ -99,7 +109,12 @@ pub(crate) fn armijo_projected(
         step *= options.shrink;
     }
     let Some((mut x, mut f, mut step)) = accepted else {
-        return LineSearchOutcome { x: x0.to_vec(), f: f0, step: 0.0, evaluations };
+        return LineSearchOutcome {
+            x: x0.to_vec(),
+            f: f0,
+            step: 0.0,
+            evaluations,
+        };
     };
 
     // Forward tracking: only when the *first* trial succeeded, expand the
@@ -121,7 +136,12 @@ pub(crate) fn armijo_projected(
             grow *= 2.0;
         }
     }
-    LineSearchOutcome { x, f, step, evaluations }
+    LineSearchOutcome {
+        x,
+        f,
+        step,
+        evaluations,
+    }
 }
 
 #[cfg(test)]
@@ -241,7 +261,10 @@ mod tests {
             &dir,
             &ArmijoOptions::default(),
         );
-        assert!(out.step > 0.0, "long quasi-Newton direction must be accepted");
+        assert!(
+            out.step > 0.0,
+            "long quasi-Newton direction must be accepted"
+        );
         assert!(out.f < f0);
     }
 }

@@ -21,7 +21,11 @@ pub struct NelderMeadOptions {
 
 impl Default for NelderMeadOptions {
     fn default() -> Self {
-        Self { max_iterations: 2000, spread_tol: 1e-12, initial_scale: 0.1 }
+        Self {
+            max_iterations: 2000,
+            spread_tol: 1e-12,
+            initial_scale: 0.1,
+        }
     }
 }
 
@@ -47,7 +51,11 @@ pub fn nelder_mead(
         let span = (bounds.upper()[i] - bounds.lower()[i]).max(1e-12);
         let step = options.initial_scale * span;
         // Step inward when the start sits at the upper bound.
-        v[i] = if v[i] + step <= bounds.upper()[i] { v[i] + step } else { v[i] - step };
+        v[i] = if v[i] + step <= bounds.upper()[i] {
+            v[i] + step
+        } else {
+            v[i] - step
+        };
         bounds.project(&mut v);
         let f = counting.value(&v);
         simplex.push((v, f));
@@ -103,7 +111,11 @@ pub fn nelder_mead(
             simplex[dim] = (xr, fr);
         } else {
             // Contraction (toward the better of worst/reflected).
-            let toward = if fr < simplex[dim].1 { &xr } else { &simplex[dim].0 };
+            let toward = if fr < simplex[dim].1 {
+                &xr
+            } else {
+                &simplex[dim].0
+            };
             let contracted: Vec<f64> = centroid
                 .iter()
                 .zip(toward)
@@ -151,13 +163,18 @@ mod tests {
             self.center.len()
         }
         fn value(&self, x: &[f64]) -> f64 {
-            x.iter().zip(&self.center).map(|(a, b)| (a - b) * (a - b)).sum()
+            x.iter()
+                .zip(&self.center)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum()
         }
     }
 
     #[test]
     fn finds_interior_minimum() {
-        let obj = Sphere { center: vec![0.2, -0.4] };
+        let obj = Sphere {
+            center: vec![0.2, -0.4],
+        };
         let bounds = Bounds::uniform(2, -1.0, 1.0).unwrap();
         let r = nelder_mead(&obj, &bounds, &[0.9, 0.9], &NelderMeadOptions::default());
         assert!((r.x[0] - 0.2).abs() < 1e-4, "x = {:?}", r.x);
@@ -175,7 +192,9 @@ mod tests {
 
     #[test]
     fn start_at_upper_bound_builds_valid_simplex() {
-        let obj = Sphere { center: vec![0.0, 0.0] };
+        let obj = Sphere {
+            center: vec![0.0, 0.0],
+        };
         let bounds = Bounds::uniform(2, -1.0, 1.0).unwrap();
         let r = nelder_mead(&obj, &bounds, &[1.0, 1.0], &NelderMeadOptions::default());
         assert!(r.objective < 1e-6);
@@ -197,20 +216,28 @@ mod tests {
             &Rosenbrock,
             &bounds,
             &[-1.0, 1.5],
-            &NelderMeadOptions { max_iterations: 5000, ..Default::default() },
+            &NelderMeadOptions {
+                max_iterations: 5000,
+                ..Default::default()
+            },
         );
         assert!(r.objective < 1e-6, "f = {}", r.objective);
     }
 
     #[test]
     fn iteration_cap_respected() {
-        let obj = Sphere { center: vec![0.0; 3] };
+        let obj = Sphere {
+            center: vec![0.0; 3],
+        };
         let bounds = Bounds::uniform(3, -1.0, 1.0).unwrap();
         let r = nelder_mead(
             &obj,
             &bounds,
             &[1.0, -1.0, 1.0],
-            &NelderMeadOptions { max_iterations: 5, ..Default::default() },
+            &NelderMeadOptions {
+                max_iterations: 5,
+                ..Default::default()
+            },
         );
         assert!(r.iterations <= 5);
         assert_eq!(r.stop, StopReason::MaxIterations);

@@ -49,7 +49,10 @@ pub struct CountingObjective<'a, O: Objective + ?Sized> {
 impl<'a, O: Objective + ?Sized> CountingObjective<'a, O> {
     /// Wraps an objective.
     pub fn new(inner: &'a O) -> Self {
-        Self { inner, count: AtomicUsize::new(0) }
+        Self {
+            inner,
+            count: AtomicUsize::new(0),
+        }
     }
 
     /// Evaluations made so far.

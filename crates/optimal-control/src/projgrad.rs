@@ -149,7 +149,9 @@ mod tests {
 
     #[test]
     fn finds_interior_minimum() {
-        let obj = Quadratic { center: vec![0.3, -0.2, 0.7] };
+        let obj = Quadratic {
+            center: vec![0.3, -0.2, 0.7],
+        };
         let bounds = Bounds::uniform(3, -1.0, 1.0).unwrap();
         let r = projected_gradient(&obj, &bounds, &[0.0; 3], &ProjGradOptions::default());
         for (xi, ci) in r.x.iter().zip(&obj.center) {
@@ -161,7 +163,9 @@ mod tests {
     #[test]
     fn finds_bound_constrained_minimum() {
         // Center outside the box: solution pins to the nearest face.
-        let obj = Quadratic { center: vec![2.0, 0.0] };
+        let obj = Quadratic {
+            center: vec![2.0, 0.0],
+        };
         let bounds = Bounds::uniform(2, -1.0, 1.0).unwrap();
         let r = projected_gradient(&obj, &bounds, &[0.0, 0.5], &ProjGradOptions::default());
         assert!((r.x[0] - 1.0).abs() < 1e-6, "x0 = {}", r.x[0]);
@@ -170,7 +174,9 @@ mod tests {
 
     #[test]
     fn history_is_monotone_nonincreasing() {
-        let obj = Quadratic { center: vec![0.9; 4] };
+        let obj = Quadratic {
+            center: vec![0.9; 4],
+        };
         let bounds = Bounds::uniform(4, -1.0, 1.0).unwrap();
         let r = projected_gradient(&obj, &bounds, &[-1.0; 4], &ProjGradOptions::default());
         for w in r.history.windows(2) {
@@ -181,13 +187,18 @@ mod tests {
 
     #[test]
     fn respects_iteration_cap() {
-        let obj = Quadratic { center: vec![0.5; 6] };
+        let obj = Quadratic {
+            center: vec![0.5; 6],
+        };
         let bounds = Bounds::uniform(6, -1.0, 1.0).unwrap();
         let r = projected_gradient(
             &obj,
             &bounds,
             &[-1.0; 6],
-            &ProjGradOptions { max_iterations: 2, ..Default::default() },
+            &ProjGradOptions {
+                max_iterations: 2,
+                ..Default::default()
+            },
         );
         assert!(r.iterations <= 2);
     }

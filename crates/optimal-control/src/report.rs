@@ -36,7 +36,10 @@ impl OptimizeResult {
     /// `true` when the solver stopped for a convergence-like reason rather
     /// than hitting its iteration cap.
     pub fn converged(&self) -> bool {
-        matches!(self.stop, StopReason::Stationary | StopReason::SmallImprovement)
+        matches!(
+            self.stop,
+            StopReason::Stationary | StopReason::SmallImprovement
+        )
     }
 
     /// Relative improvement from the first to the last recorded objective.
@@ -80,7 +83,10 @@ mod tests {
             history: vec![4.0, 1.0],
         };
         assert!((r.total_improvement() - 0.75).abs() < 1e-12);
-        let empty = OptimizeResult { history: vec![], ..r };
+        let empty = OptimizeResult {
+            history: vec![],
+            ..r
+        };
         assert_eq!(empty.total_improvement(), 0.0);
     }
 }

@@ -60,12 +60,7 @@ pub(crate) struct BvpSolution {
 pub(crate) fn build_mesh(d: f64, base_intervals: usize, breakpoints: &[f64]) -> Vec<f64> {
     let n = base_intervals.max(1);
     let mut nodes: Vec<f64> = (0..=n).map(|j| d * j as f64 / n as f64).collect();
-    nodes.extend(
-        breakpoints
-            .iter()
-            .copied()
-            .filter(|&z| z > 0.0 && z < d),
-    );
+    nodes.extend(breakpoints.iter().copied().filter(|&z| z > 0.0 && z < d));
     nodes.sort_by(|a, b| a.partial_cmp(b).expect("finite mesh positions"));
     let tol = d * 1e-12;
     nodes.dedup_by(|a, b| (*a - *b).abs() <= tol);
@@ -90,12 +85,17 @@ pub(crate) fn solve(
     bcs: &[BoundaryCondition],
 ) -> Result<BvpSolution, SingularMatrix> {
     let s = coeffs.n_states();
-    assert_eq!(bcs.len(), s, "need exactly one boundary condition per state");
+    assert_eq!(
+        bcs.len(),
+        s,
+        "need exactly one boundary condition per state"
+    );
     assert!(mesh.len() >= 2, "mesh needs at least two nodes");
     let n_nodes = mesh.len();
     let n_unknowns = n_nodes * s;
 
-    let start_bcs: Vec<&BoundaryCondition> = bcs.iter().filter(|bc| bc.end == BcEnd::Start).collect();
+    let start_bcs: Vec<&BoundaryCondition> =
+        bcs.iter().filter(|bc| bc.end == BcEnd::Start).collect();
     let end_bcs: Vec<&BoundaryCondition> = bcs.iter().filter(|bc| bc.end == BcEnd::End).collect();
     let n_start = start_bcs.len();
 
@@ -152,7 +152,10 @@ pub(crate) fn solve(
     let states = (0..n_nodes)
         .map(|j| rhs[j * s..(j + 1) * s].to_vec())
         .collect();
-    Ok(BvpSolution { z: mesh.to_vec(), states })
+    Ok(BvpSolution {
+        z: mesh.to_vec(),
+        states,
+    })
 }
 
 #[cfg(test)]
@@ -181,8 +184,16 @@ mod tests {
         let coeffs = Quadratic { c: 2.0 };
         let mesh = build_mesh(1.0, 64, &[]);
         let bcs = [
-            BoundaryCondition { state: 0, end: BcEnd::Start, value: 0.0 },
-            BoundaryCondition { state: 0, end: BcEnd::End, value: 0.0 },
+            BoundaryCondition {
+                state: 0,
+                end: BcEnd::Start,
+                value: 0.0,
+            },
+            BoundaryCondition {
+                state: 0,
+                end: BcEnd::End,
+                value: 0.0,
+            },
         ];
         let sol = solve(&coeffs, &mesh, &bcs).unwrap();
         for (j, &z) in sol.z.iter().enumerate() {
@@ -222,8 +233,16 @@ mod tests {
         let coeffs = Dichotomy { lambda: 80.0 };
         let mesh = build_mesh(1.0, 2000, &[]);
         let bcs = [
-            BoundaryCondition { state: 0, end: BcEnd::End, value: 1.0 },
-            BoundaryCondition { state: 1, end: BcEnd::Start, value: 1.0 },
+            BoundaryCondition {
+                state: 0,
+                end: BcEnd::End,
+                value: 1.0,
+            },
+            BoundaryCondition {
+                state: 1,
+                end: BcEnd::Start,
+                value: 1.0,
+            },
         ];
         let sol = solve(&coeffs, &mesh, &bcs).unwrap();
         // u(z) = e^{λ(z−1)}, v(z) = e^{−λz}; check interior values stay
@@ -264,7 +283,11 @@ mod tests {
         let _ = solve(
             &coeffs,
             &mesh,
-            &[BoundaryCondition { state: 0, end: BcEnd::Start, value: 0.0 }],
+            &[BoundaryCondition {
+                state: 0,
+                end: BcEnd::Start,
+                value: 0.0,
+            }],
         );
     }
 
@@ -283,7 +306,11 @@ mod tests {
             }
         }
         let mesh = build_mesh(2.0, 256, &[]);
-        let bcs = [BoundaryCondition { state: 0, end: BcEnd::Start, value: 1.0 }];
+        let bcs = [BoundaryCondition {
+            state: 0,
+            end: BcEnd::Start,
+            value: 1.0,
+        }];
         let sol = solve(&Decay, &mesh, &bcs).unwrap();
         for (j, &z) in sol.z.iter().enumerate() {
             let exact = (-3.0 * z).exp();

@@ -44,7 +44,9 @@ impl fmt::Display for ThermalModelError {
             }
             ThermalModelError::Singular(s) => write!(f, "collocation system is singular: {s}"),
             ThermalModelError::Microfluidics(e) => write!(f, "microfluidics failure: {e}"),
-            ThermalModelError::InvalidOptions { what } => write!(f, "invalid solve options: {what}"),
+            ThermalModelError::InvalidOptions { what } => {
+                write!(f, "invalid solve options: {what}")
+            }
         }
     }
 }
@@ -79,9 +81,14 @@ mod tests {
     fn display_variants() {
         let e = ThermalModelError::NoColumns;
         assert!(e.to_string().contains("at least one"));
-        let e = ThermalModelError::InvalidWidth { column: 3, width: 0.0 };
+        let e = ThermalModelError::InvalidWidth {
+            column: 3,
+            width: 0.0,
+        };
         assert!(e.to_string().contains("column 3"));
-        let e = ThermalModelError::InvalidParams { problems: vec!["a".into(), "b".into()] };
+        let e = ThermalModelError::InvalidParams {
+            problems: vec!["a".into(), "b".into()],
+        };
         assert!(e.to_string().contains("a; b"));
     }
 

@@ -20,12 +20,16 @@ pub struct HeatProfile {
 impl HeatProfile {
     /// Profile that is zero everywhere (an unpowered layer).
     pub fn zero() -> Self {
-        Self { steps: vec![(0.0, 0.0)] }
+        Self {
+            steps: vec![(0.0, 0.0)],
+        }
     }
 
     /// Uniform heat input along the channel.
     pub fn uniform(q: LinearHeatFlux) -> Self {
-        Self { steps: vec![(0.0, q.si())] }
+        Self {
+            steps: vec![(0.0, q.si())],
+        }
     }
 
     /// Equal-length segments with the given per-segment values, inlet to
@@ -36,7 +40,10 @@ impl HeatProfile {
     /// Panics if `values` is empty or `d` is not positive — both are
     /// programming errors in the experiment definition.
     pub fn equal_segments(values: &[LinearHeatFlux], d: Length) -> Self {
-        assert!(!values.is_empty(), "heat profile needs at least one segment");
+        assert!(
+            !values.is_empty(),
+            "heat profile needs at least one segment"
+        );
         assert!(d.si() > 0.0, "channel length must be positive");
         let seg = d.si() / values.len() as f64;
         Self {
@@ -110,7 +117,9 @@ impl HeatProfile {
     /// Returns a copy with every value multiplied by `factor`
     /// (peak → average power derating, per-group scaling…).
     pub fn scaled(&self, factor: f64) -> Self {
-        Self { steps: self.steps.iter().map(|&(z, q)| (z, q * factor)).collect() }
+        Self {
+            steps: self.steps.iter().map(|&(z, q)| (z, q * factor)).collect(),
+        }
     }
 
     /// Pointwise sum of two profiles (used when several floorplan blocks
@@ -137,7 +146,10 @@ impl HeatProfile {
     /// Largest per-unit-length heat input anywhere on the profile.
     pub fn max_value(&self) -> LinearHeatFlux {
         LinearHeatFlux::from_w_per_m(
-            self.steps.iter().map(|&(_, q)| q).fold(f64::NEG_INFINITY, f64::max),
+            self.steps
+                .iter()
+                .map(|&(_, q)| q)
+                .fold(f64::NEG_INFINITY, f64::max),
         )
     }
 }
@@ -200,7 +212,11 @@ mod tests {
     #[test]
     fn from_steps_sorts_and_pads() {
         let p = HeatProfile::from_steps(vec![(cm(1.0), wpm(20.0)), (cm(0.5), wpm(10.0))]);
-        assert_eq!(p.value_at(cm(0.1)).si(), 0.0, "padded zero before first step");
+        assert_eq!(
+            p.value_at(cm(0.1)).si(),
+            0.0,
+            "padded zero before first step"
+        );
         assert_eq!(p.value_at(cm(0.7)).si(), 10.0);
         assert_eq!(p.value_at(cm(1.5)).si(), 20.0);
     }

@@ -99,19 +99,15 @@ impl DenseLu {
         let mut x: Vec<f64> = (0..n).map(|i| b[self.piv[i]]).collect();
         // Forward substitution (unit lower triangle).
         for i in 1..n {
-            let mut s = x[i];
-            for j in 0..i {
-                s -= self.lu[i * n + j] * x[j];
-            }
-            x[i] = s;
+            let row = &self.lu[i * n..i * n + i];
+            let s: f64 = row.iter().zip(&x[..i]).map(|(l, xj)| l * xj).sum();
+            x[i] -= s;
         }
         // Back substitution.
         for i in (0..n).rev() {
-            let mut s = x[i];
-            for j in (i + 1)..n {
-                s -= self.lu[i * n + j] * x[j];
-            }
-            x[i] = s / self.lu[i * n + i];
+            let row = &self.lu[i * n + i + 1..i * n + n];
+            let s: f64 = row.iter().zip(&x[i + 1..n]).map(|(u, xj)| u * xj).sum();
+            x[i] = (x[i] - s) / self.lu[i * n + i];
         }
         b.copy_from_slice(&x);
     }
@@ -144,7 +140,13 @@ impl BandedMatrix {
     /// Creates a zero matrix of size `n` with bandwidths `kl`, `ku`.
     pub fn zeros(n: usize, kl: usize, ku: usize) -> Self {
         let width = kl + ku + 1;
-        Self { n, kl, ku, width, data: vec![0.0; n * width] }
+        Self {
+            n,
+            kl,
+            ku,
+            width,
+            data: vec![0.0; n * width],
+        }
     }
 
     /// Matrix dimension.
@@ -218,14 +220,11 @@ impl BandedMatrix {
     pub fn mat_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n, "vector length must match matrix size");
         let mut y = vec![0.0; self.n];
-        for i in 0..self.n {
+        for (i, yi) in y.iter_mut().enumerate() {
             let j0 = i.saturating_sub(self.kl);
             let j1 = (i + self.ku).min(self.n - 1);
-            let mut s = 0.0;
-            for j in j0..=j1 {
-                s += self.data[i * self.width + (j + self.kl - i)] * x[j];
-            }
-            y[i] = s;
+            let row = &self.data[i * self.width + (j0 + self.kl - i)..];
+            *yi = row.iter().zip(&x[j0..=j1]).map(|(a, xj)| a * xj).sum();
         }
         y
     }
@@ -298,7 +297,14 @@ impl BandedMatrix {
                 a[i * width + width - 1] = 0.0;
             }
         }
-        Ok(BandedLu { n, kl, width, upper: a, lower: al, piv })
+        Ok(BandedLu {
+            n,
+            kl,
+            width,
+            upper: a,
+            lower: al,
+            piv,
+        })
     }
 }
 
@@ -403,7 +409,9 @@ mod tests {
         let n = 12;
         let mut seed = 0x12345678u64;
         let mut rnd = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let a: Vec<f64> = (0..n * n).map(|_| rnd()).collect();
@@ -412,7 +420,12 @@ mod tests {
         let lu = DenseLu::factor(a, n).unwrap();
         let x = lu.solve(&b);
         for i in 0..n {
-            assert!((x[i] - x_true[i]).abs() < 1e-9, "x[{i}] = {} vs {}", x[i], x_true[i]);
+            assert!(
+                (x[i] - x_true[i]).abs() < 1e-9,
+                "x[{i}] = {} vs {}",
+                x[i],
+                x_true[i]
+            );
         }
     }
 
@@ -467,10 +480,18 @@ mod tests {
         // deterministic random banded matrices of several shapes.
         let mut seed = 0xdeadbeefu64;
         let mut rnd = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
-        for &(n, kl, ku) in &[(8usize, 2usize, 1usize), (15, 3, 4), (30, 5, 5), (12, 0, 3), (12, 3, 0)] {
+        for &(n, kl, ku) in &[
+            (8usize, 2usize, 1usize),
+            (15, 3, 4),
+            (30, 5, 5),
+            (12, 0, 3),
+            (12, 3, 0),
+        ] {
             let mut band = BandedMatrix::zeros(n, kl, ku);
             let mut dense = vec![0.0; n * n];
             for i in 0..n {
@@ -503,7 +524,11 @@ mod tests {
         let mut dense = vec![0.0; n * n];
         for i in 0..n {
             for j in i.saturating_sub(2)..=(i + 2).min(n - 1) {
-                let v = if i == j { 1e-12 } else { 1.0 + (i + 2 * j) as f64 * 0.1 };
+                let v = if i == j {
+                    1e-12
+                } else {
+                    1.0 + (i + 2 * j) as f64 * 0.1
+                };
                 band.set(i, j, v);
                 dense[i * n + j] = v;
             }

@@ -118,7 +118,9 @@ pub struct SolveOptions {
 
 impl Default for SolveOptions {
     fn default() -> Self {
-        Self { mesh_intervals: 512 }
+        Self {
+            mesh_intervals: 512,
+        }
     }
 }
 
@@ -172,7 +174,11 @@ impl Model {
                 });
             }
         }
-        Ok(Self { params, length, columns })
+        Ok(Self {
+            params,
+            length,
+            columns,
+        })
     }
 
     /// Model parameters.
@@ -354,17 +360,35 @@ impl Model {
             .iter()
             .map(|c| self.params.flow_rate_per_channel * c.group_size as f64)
             .collect();
-        Ok(liquamod_microfluidics::pump::cavity_pump_power(&drops, &flows))
+        Ok(liquamod_microfluidics::pump::cavity_pump_power(
+            &drops, &flows,
+        ))
     }
 
     fn boundary_conditions(&self) -> Vec<BoundaryCondition> {
         let mut bcs = Vec::with_capacity(5 * self.columns.len());
         for (i, col) in self.columns.iter().enumerate() {
             let base = 5 * i;
-            bcs.push(BoundaryCondition { state: base + 2, end: BcEnd::Start, value: 0.0 });
-            bcs.push(BoundaryCondition { state: base + 3, end: BcEnd::Start, value: 0.0 });
-            bcs.push(BoundaryCondition { state: base + 2, end: BcEnd::End, value: 0.0 });
-            bcs.push(BoundaryCondition { state: base + 3, end: BcEnd::End, value: 0.0 });
+            bcs.push(BoundaryCondition {
+                state: base + 2,
+                end: BcEnd::Start,
+                value: 0.0,
+            });
+            bcs.push(BoundaryCondition {
+                state: base + 3,
+                end: BcEnd::Start,
+                value: 0.0,
+            });
+            bcs.push(BoundaryCondition {
+                state: base + 2,
+                end: BcEnd::End,
+                value: 0.0,
+            });
+            bcs.push(BoundaryCondition {
+                state: base + 3,
+                end: BcEnd::End,
+                value: 0.0,
+            });
             let (end, _) = match col.flow {
                 FlowDirection::Forward => (BcEnd::Start, ()),
                 FlowDirection::Reverse => (BcEnd::End, ()),
@@ -517,9 +541,13 @@ mod tests {
             Err(ThermalModelError::NoColumns)
         ));
         assert!(matches!(
-            Model::new(params.clone(), Length::ZERO, vec![ChannelColumn::new(
-                WidthProfile::uniform(Length::from_micrometers(30.0))
-            )]),
+            Model::new(
+                params.clone(),
+                Length::ZERO,
+                vec![ChannelColumn::new(WidthProfile::uniform(
+                    Length::from_micrometers(30.0)
+                ))]
+            ),
             Err(ThermalModelError::InvalidParams { .. })
         ));
         // Width at/above pitch is rejected.
@@ -527,7 +555,9 @@ mod tests {
             Model::new(
                 params,
                 Length::from_centimeters(1.0),
-                vec![ChannelColumn::new(WidthProfile::uniform(Length::from_micrometers(100.0)))]
+                vec![ChannelColumn::new(WidthProfile::uniform(
+                    Length::from_micrometers(100.0)
+                ))]
             ),
             Err(ThermalModelError::InvalidWidth { .. })
         ));
@@ -624,7 +654,10 @@ mod tests {
             .thermal_gradient()
             .as_kelvin();
         let rel = (g_max - g_min).abs() / g_max.max(g_min);
-        assert!(rel < 0.2, "gradients {g_max} vs {g_min} should be within 20%");
+        assert!(
+            rel < 0.2,
+            "gradients {g_max} vs {g_min} should be within 20%"
+        );
     }
 
     #[test]
@@ -699,15 +732,24 @@ mod tests {
         let pair = Model::new(params.clone(), d, vec![hot.clone(), cold]).unwrap();
         let sol_pair = pair.solve(&SolveOptions::with_mesh_intervals(256)).unwrap();
         let alone = Model::new(params, d, vec![hot]).unwrap();
-        let sol_alone = alone.solve(&SolveOptions::with_mesh_intervals(256)).unwrap();
+        let sol_alone = alone
+            .solve(&SolveOptions::with_mesh_intervals(256))
+            .unwrap();
         let cold_peak = sol_pair
             .column(1)
             .t_top_kelvin()
             .iter()
             .fold(f64::NEG_INFINITY, |m, &v| m.max(v));
-        assert!(cold_peak > 300.5, "unheated column warms via lateral conduction");
         assert!(
-            sol_pair.column(0).t_top_kelvin().iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v))
+            cold_peak > 300.5,
+            "unheated column warms via lateral conduction"
+        );
+        assert!(
+            sol_pair
+                .column(0)
+                .t_top_kelvin()
+                .iter()
+                .fold(f64::NEG_INFINITY, |m, &v| m.max(v))
                 < sol_alone
                     .column(0)
                     .t_top_kelvin()
@@ -726,8 +768,7 @@ mod tests {
         // temperature field.
         let params = ModelParams::date2012();
         let d = Length::from_centimeters(1.0);
-        let heat_front =
-            HeatProfile::equal_segments(&[wpm(120.0), wpm(40.0)], d);
+        let heat_front = HeatProfile::equal_segments(&[wpm(120.0), wpm(40.0)], d);
         let heat_back = HeatProfile::equal_segments(&[wpm(40.0), wpm(120.0)], d);
         let w = WidthProfile::uniform(Length::from_micrometers(30.0));
         let fwd = ChannelColumn::new(w.clone())
@@ -750,7 +791,10 @@ mod tests {
         for j in 0..n {
             let tf = sol_f.column(0).t_top_kelvin()[j];
             let tr = sol_r.column(0).t_top_kelvin()[n - 1 - j];
-            assert!((tf - tr).abs() < 1e-6, "mirror mismatch at node {j}: {tf} vs {tr}");
+            assert!(
+                (tf - tr).abs() < 1e-6,
+                "mirror mismatch at node {j}: {tf} vs {tr}"
+            );
         }
         assert!(sol_r.energy_balance_residual() < 1e-9);
     }
@@ -761,7 +805,11 @@ mod tests {
         let drops = model.pressure_drops().unwrap();
         assert_eq!(drops.len(), 1);
         // ~1.0 bar for 50 µm at 0.5 mL/min over 1 cm.
-        assert!(drops[0].as_bar() > 0.3 && drops[0].as_bar() < 1.2, "dp = {}", drops[0].as_bar());
+        assert!(
+            drops[0].as_bar() > 0.3 && drops[0].as_bar() < 1.2,
+            "dp = {}",
+            drops[0].as_bar()
+        );
         let power = model.pump_power().unwrap();
         assert!(power.as_watts() > 0.0);
     }
@@ -769,8 +817,12 @@ mod tests {
     #[test]
     fn mesh_refinement_converges() {
         let model = test_a_model(50.0);
-        let coarse = model.solve(&SolveOptions::with_mesh_intervals(128)).unwrap();
-        let fine = model.solve(&SolveOptions::with_mesh_intervals(1024)).unwrap();
+        let coarse = model
+            .solve(&SolveOptions::with_mesh_intervals(128))
+            .unwrap();
+        let fine = model
+            .solve(&SolveOptions::with_mesh_intervals(1024))
+            .unwrap();
         let dg = (coarse.thermal_gradient().as_kelvin() - fine.thermal_gradient().as_kelvin())
             .abs()
             / fine.thermal_gradient().as_kelvin();

@@ -1,9 +1,7 @@
 //! Model parameter sets, anchored on the paper's Table I.
 
 use liquamod_microfluidics::{friction::FrictionModel, nusselt::NusseltCorrelation, Coolant};
-use liquamod_units::{
-    Length, Pressure, Temperature, ThermalConductivity, VolumetricFlowRate,
-};
+use liquamod_units::{Length, Pressure, Temperature, ThermalConductivity, VolumetricFlowRate};
 
 /// Physical and design parameters of a liquid-cooled 3D-IC channel system.
 ///
@@ -157,7 +155,9 @@ mod tests {
     #[test]
     fn date2012_is_valid() {
         assert!(ModelParams::date2012().validation_errors().is_empty());
-        assert!(ModelParams::table1_verbatim().validation_errors().is_empty());
+        assert!(ModelParams::table1_verbatim()
+            .validation_errors()
+            .is_empty());
     }
 
     #[test]
@@ -187,8 +187,12 @@ mod tests {
 
     #[test]
     fn calibrated_flow_is_cluster_share_of_verbatim() {
-        let cal = ModelParams::date2012().flow_rate_per_channel.as_ml_per_min();
-        let verb = ModelParams::table1_verbatim().flow_rate_per_channel.as_ml_per_min();
+        let cal = ModelParams::date2012()
+            .flow_rate_per_channel
+            .as_ml_per_min();
+        let verb = ModelParams::table1_verbatim()
+            .flow_rate_per_channel
+            .as_ml_per_min();
         assert!((verb / cal - 9.6).abs() < 1e-9);
     }
 

@@ -38,7 +38,10 @@ impl WidthProfile {
     /// Panics if `widths` is empty — an empty control vector is a programming
     /// error in the caller, not a recoverable state.
     pub fn piecewise_constant(widths: Vec<Length>) -> Self {
-        assert!(!widths.is_empty(), "piecewise-constant profile needs at least one segment");
+        assert!(
+            !widths.is_empty(),
+            "piecewise-constant profile needs at least one segment"
+        );
         WidthProfile::PiecewiseConstant { widths }
     }
 
@@ -48,7 +51,10 @@ impl WidthProfile {
     ///
     /// Panics if fewer than two knots are supplied.
     pub fn piecewise_linear(knots: Vec<Length>) -> Self {
-        assert!(knots.len() >= 2, "piecewise-linear profile needs at least two knots");
+        assert!(
+            knots.len() >= 2,
+            "piecewise-linear profile needs at least two knots"
+        );
         WidthProfile::PiecewiseLinear { knots }
     }
 

@@ -8,8 +8,12 @@ use liquamod_units::{Length, LinearHeatFlux};
 
 fn strip(params: &ModelParams, width_um: f64, q_w_per_m: f64) -> Model {
     let col = ChannelColumn::new(WidthProfile::uniform(Length::from_micrometers(width_um)))
-        .with_heat_top(HeatProfile::uniform(LinearHeatFlux::from_w_per_m(q_w_per_m)))
-        .with_heat_bottom(HeatProfile::uniform(LinearHeatFlux::from_w_per_m(q_w_per_m)));
+        .with_heat_top(HeatProfile::uniform(LinearHeatFlux::from_w_per_m(
+            q_w_per_m,
+        )))
+        .with_heat_bottom(HeatProfile::uniform(LinearHeatFlux::from_w_per_m(
+            q_w_per_m,
+        )));
     Model::new(params.clone(), Length::from_centimeters(1.0), vec![col]).expect("model builds")
 }
 
@@ -23,7 +27,10 @@ fn verbatim_flow_regime_is_convection_dominated() {
     let solve = SolveOptions::with_mesh_intervals(256);
     let sol = strip(&params, 50.0, 50.0).solve(&solve).expect("solves");
     let rise = sol.coolant_outlet(0).as_kelvin() - params.inlet_temperature.as_kelvin();
-    assert!(rise < 3.5, "sensible rise should be tiny at 4.8 mL/min: {rise:.2} K");
+    assert!(
+        rise < 3.5,
+        "sensible rise should be tiny at 4.8 mL/min: {rise:.2} K"
+    );
     // Gradient ≪ the paper's 28 K in this regime.
     assert!(
         sol.thermal_gradient().as_kelvin() < 10.0,
@@ -56,9 +63,11 @@ fn developing_flow_lowers_temperatures_near_inlet() {
     assert!(dev.peak_temperature().as_kelvin() <= base.peak_temperature().as_kelvin() + 1e-9);
     // …most visibly near the inlet.
     let j_in = base.nearest_node(Length::from_millimeters(0.3));
-    let drop_in =
-        base.column(0).t_top(j_in).as_kelvin() - dev.column(0).t_top(j_in).as_kelvin();
-    assert!(drop_in > 0.0, "inlet temperature should drop, got {drop_in}");
+    let drop_in = base.column(0).t_top(j_in).as_kelvin() - dev.column(0).t_top(j_in).as_kelvin();
+    assert!(
+        drop_in > 0.0,
+        "inlet temperature should drop, got {drop_in}"
+    );
     // Energy is still conserved.
     assert!(dev.energy_balance_residual() < 1e-9);
 }
@@ -72,7 +81,10 @@ fn extreme_load_still_solves_cleanly() {
         .solve(&SolveOptions::with_mesh_intervals(512))
         .expect("solves");
     assert!(sol.energy_balance_residual() < 1e-9);
-    assert!(sol.peak_temperature().as_kelvin() > 400.0, "very hot, but finite");
+    assert!(
+        sol.peak_temperature().as_kelvin() > 400.0,
+        "very hot, but finite"
+    );
     assert!(sol.peak_temperature().as_kelvin() < 700.0);
 }
 
@@ -82,9 +94,10 @@ fn asymmetric_layers_break_symmetry_the_right_way() {
     let col = ChannelColumn::new(WidthProfile::uniform(Length::from_micrometers(30.0)))
         .with_heat_top(HeatProfile::uniform(LinearHeatFlux::from_w_per_m(100.0)))
         .with_heat_bottom(HeatProfile::uniform(LinearHeatFlux::from_w_per_m(20.0)));
-    let model =
-        Model::new(params, Length::from_centimeters(1.0), vec![col]).expect("model builds");
-    let sol = model.solve(&SolveOptions::with_mesh_intervals(128)).expect("solves");
+    let model = Model::new(params, Length::from_centimeters(1.0), vec![col]).expect("model builds");
+    let sol = model
+        .solve(&SolveOptions::with_mesh_intervals(128))
+        .expect("solves");
     for j in 0..sol.n_nodes() {
         assert!(
             sol.column(0).t_top_kelvin()[j] > sol.column(0).t_bottom_kelvin()[j],
@@ -109,8 +122,12 @@ fn counterflow_pair_flattens_the_field() {
         params.clone(),
         d,
         vec![
-            ChannelColumn::new(w.clone()).with_heat_top(q.clone()).with_heat_bottom(q.clone()),
-            ChannelColumn::new(w.clone()).with_heat_top(q.clone()).with_heat_bottom(q.clone()),
+            ChannelColumn::new(w.clone())
+                .with_heat_top(q.clone())
+                .with_heat_bottom(q.clone()),
+            ChannelColumn::new(w.clone())
+                .with_heat_top(q.clone())
+                .with_heat_bottom(q.clone()),
         ],
     )
     .expect("builds")
@@ -121,7 +138,9 @@ fn counterflow_pair_flattens_the_field() {
         params,
         d,
         vec![
-            ChannelColumn::new(w.clone()).with_heat_top(q.clone()).with_heat_bottom(q.clone()),
+            ChannelColumn::new(w.clone())
+                .with_heat_top(q.clone())
+                .with_heat_bottom(q.clone()),
             ChannelColumn::new(w)
                 .with_heat_top(q.clone())
                 .with_heat_bottom(q)
@@ -133,8 +152,7 @@ fn counterflow_pair_flattens_the_field() {
     .expect("solves");
 
     assert!(
-        counter_pair.thermal_gradient().as_kelvin()
-            < fwd_pair.thermal_gradient().as_kelvin(),
+        counter_pair.thermal_gradient().as_kelvin() < fwd_pair.thermal_gradient().as_kelvin(),
         "counterflow {} K should beat parallel flow {} K",
         counter_pair.thermal_gradient().as_kelvin(),
         fwd_pair.thermal_gradient().as_kelvin()
@@ -158,7 +176,9 @@ fn mesh_breakpoints_handle_many_segments() {
         .with_heat_top(HeatProfile::equal_segments(&heats, d))
         .with_heat_bottom(HeatProfile::equal_segments(&heats, d));
     let model = Model::new(params, d, vec![col]).expect("builds");
-    let sol = model.solve(&SolveOptions::with_mesh_intervals(100)).expect("solves");
+    let sol = model
+        .solve(&SolveOptions::with_mesh_intervals(100))
+        .expect("solves");
     assert!(sol.energy_balance_residual() < 1e-9);
     // The mesh grew to include the breakpoints.
     assert!(sol.n_nodes() > 100);

@@ -35,7 +35,10 @@ impl fmt::Display for UnitsError {
             }
             UnitsError::NotFinite { what } => write!(f, "{what} must be finite"),
             UnitsError::EmptyRect { width, height } => {
-                write!(f, "rectangle extent must be positive, got {width} x {height} m")
+                write!(
+                    f,
+                    "rectangle extent must be positive, got {width} x {height} m"
+                )
             }
         }
     }
@@ -49,19 +52,30 @@ mod tests {
 
     #[test]
     fn display_not_positive() {
-        let e = UnitsError::NotPositive { what: "channel width", value: -1.0 };
-        assert_eq!(e.to_string(), "channel width must be strictly positive, got -1");
+        let e = UnitsError::NotPositive {
+            what: "channel width",
+            value: -1.0,
+        };
+        assert_eq!(
+            e.to_string(),
+            "channel width must be strictly positive, got -1"
+        );
     }
 
     #[test]
     fn display_not_finite() {
-        let e = UnitsError::NotFinite { what: "temperature" };
+        let e = UnitsError::NotFinite {
+            what: "temperature",
+        };
         assert_eq!(e.to_string(), "temperature must be finite");
     }
 
     #[test]
     fn display_empty_rect() {
-        let e = UnitsError::EmptyRect { width: 0.0, height: 1.0 };
+        let e = UnitsError::EmptyRect {
+            width: 0.0,
+            height: 1.0,
+        };
         assert!(e.to_string().contains("rectangle extent"));
     }
 

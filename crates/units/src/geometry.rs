@@ -39,12 +39,21 @@ impl Rect {
     pub fn new(origin: Point2, width: Length, depth: Length) -> Result<Self, UnitsError> {
         if !(origin.x.is_finite() && origin.z.is_finite() && width.is_finite() && depth.is_finite())
         {
-            return Err(UnitsError::NotFinite { what: "rectangle coordinates" });
+            return Err(UnitsError::NotFinite {
+                what: "rectangle coordinates",
+            });
         }
         if width.si() <= 0.0 || depth.si() <= 0.0 {
-            return Err(UnitsError::EmptyRect { width: width.si(), height: depth.si() });
+            return Err(UnitsError::EmptyRect {
+                width: width.si(),
+                height: depth.si(),
+            });
         }
-        Ok(Self { origin, width, depth })
+        Ok(Self {
+            origin,
+            width,
+            depth,
+        })
     }
 
     /// Creates a rectangle from millimetre coordinates `(x, z, width, depth)`,
@@ -112,8 +121,10 @@ impl Rect {
 
     /// Area of the intersection with `other` (zero when disjoint).
     pub fn intersection_area(&self, other: &Rect) -> Area {
-        let dx = self.x_max().si().min(other.x_max().si()) - self.x_min().si().max(other.x_min().si());
-        let dz = self.z_max().si().min(other.z_max().si()) - self.z_min().si().max(other.z_min().si());
+        let dx =
+            self.x_max().si().min(other.x_max().si()) - self.x_min().si().max(other.x_min().si());
+        let dz =
+            self.z_max().si().min(other.z_max().si()) - self.z_min().si().max(other.z_min().si());
         if dx > 0.0 && dz > 0.0 {
             Area::from_si(dx * dz)
         } else {

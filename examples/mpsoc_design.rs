@@ -53,8 +53,10 @@ fn main() -> Result<(), CoreError> {
     );
     for (g, profile) in cmp.optimal_widths().iter().enumerate() {
         if let WidthProfile::PiecewiseConstant { widths } = profile {
-            let cells: Vec<String> =
-                widths.iter().map(|w| format!("{:4.1}", w.as_micrometers())).collect();
+            let cells: Vec<String> = widths
+                .iter()
+                .map(|w| format!("{:4.1}", w.as_micrometers()))
+                .collect();
             println!("  group {g}: {}", cells.join(" "));
         }
     }

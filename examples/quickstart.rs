@@ -44,9 +44,14 @@ fn main() -> Result<(), CoreError> {
 
     // The optimal width profile tapers from inlet to outlet (Fig. 6a).
     if let WidthProfile::PiecewiseConstant { widths } = &cmp.optimal_widths()[0] {
-        let profile: Vec<String> =
-            widths.iter().map(|w| format!("{:.1}", w.as_micrometers())).collect();
-        println!("\noptimal widths inlet->outlet [um]: {}", profile.join("  "));
+        let profile: Vec<String> = widths
+            .iter()
+            .map(|w| format!("{:.1}", w.as_micrometers()))
+            .collect();
+        println!(
+            "\noptimal widths inlet->outlet [um]: {}",
+            profile.join("  ")
+        );
     }
     Ok(())
 }

@@ -17,18 +17,13 @@ fn main() -> Result<(), CoreError> {
     let bottom = a1.bottom_die().rasterize(20, 22, PowerLevel::Peak);
 
     // Uniform maximum-width cavity…
-    let uniform = bridge::two_die_stack(
-        &params,
-        &top,
-        &bottom,
-        CavityWidths::Uniform(params.w_max),
-    )?;
+    let uniform =
+        bridge::two_die_stack(&params, &top, &bottom, CavityWidths::Uniform(params.w_max))?;
     let uniform_field = uniform.solve_steady()?;
 
     // …versus a hand-tapered modulation (inlet wide, outlet narrow).
     let taper = WidthProfile::piecewise_linear(vec![params.w_max, params.w_min]);
-    let tapered_widths =
-        bridge::cavity_widths_from_profiles(&[taper], 20, top.die_length(), 22);
+    let tapered_widths = bridge::cavity_widths_from_profiles(&[taper], 20, top.die_length(), 22);
     let tapered = bridge::two_die_stack(&params, &top, &bottom, tapered_widths)?;
     let tapered_field = tapered.solve_steady()?;
 
@@ -37,12 +32,22 @@ fn main() -> Result<(), CoreError> {
     let t_hi = uniform_field.peak_temperature();
 
     println!("== top die, uniform maximum widths (flow: bottom -> top) ==");
-    let top_layer = uniform_field.layer_by_name("top-die").expect("layer exists");
-    println!("{}", ascii::render_layer_with_legend(top_layer, t_lo, t_hi, true));
+    let top_layer = uniform_field
+        .layer_by_name("top-die")
+        .expect("layer exists");
+    println!(
+        "{}",
+        ascii::render_layer_with_legend(top_layer, t_lo, t_hi, true)
+    );
 
     println!("== top die, tapered widths (same scale) ==");
-    let top_layer = tapered_field.layer_by_name("top-die").expect("layer exists");
-    println!("{}", ascii::render_layer_with_legend(top_layer, t_lo, t_hi, true));
+    let top_layer = tapered_field
+        .layer_by_name("top-die")
+        .expect("layer exists");
+    println!(
+        "{}",
+        ascii::render_layer_with_legend(top_layer, t_lo, t_hi, true)
+    );
 
     println!(
         "gradients: uniform {:.2} K -> tapered {:.2} K",

@@ -1,0 +1,10 @@
+//! Workspace-root package wiring the top-level `tests/` and `examples/`
+//! directories into the Cargo workspace.
+//!
+//! The actual library lives in [`liquamod`] (crates/core); this crate only
+//! re-exports it so integration tests and examples resolve against one
+//! package.
+
+#![forbid(unsafe_code)]
+
+pub use liquamod;

@@ -42,10 +42,16 @@ fn shah_london_friction_costs_more_pressure() {
     let mut params = ModelParams::date2012();
     let model = strip_model(&liquamod::floorplan::testcase::test_a(), &params).expect("builds");
     let narrow = WidthProfile::uniform(params.w_min);
-    let dp_circular = model.column_pressure_drop(&narrow).expect("dp").as_pascals();
+    let dp_circular = model
+        .column_pressure_drop(&narrow)
+        .expect("dp")
+        .as_pascals();
     params.friction = FrictionModel::ShahLondonRect;
     let model = strip_model(&liquamod::floorplan::testcase::test_a(), &params).expect("builds");
-    let dp_rect = model.column_pressure_drop(&narrow).expect("dp").as_pascals();
+    let dp_rect = model
+        .column_pressure_drop(&narrow)
+        .expect("dp")
+        .as_pascals();
     assert!(
         dp_rect > 1.2 * dp_circular,
         "rectangular friction should cost >20% more at w_min: {dp_rect:.0} vs {dp_circular:.0}"
@@ -65,8 +71,12 @@ fn tighter_pressure_budget_yields_smaller_reduction() {
     tight.dp_max = Pressure::from_bar(2.0);
     let mut loose = ModelParams::date2012();
     loose.dp_max = Pressure::from_bar(40.0);
-    let r_tight = experiments::test_a(&tight, &config).expect("runs").gradient_reduction();
-    let r_loose = experiments::test_a(&loose, &config).expect("runs").gradient_reduction();
+    let r_tight = experiments::test_a(&tight, &config)
+        .expect("runs")
+        .gradient_reduction();
+    let r_loose = experiments::test_a(&loose, &config)
+        .expect("runs")
+        .gradient_reduction();
     assert!(
         r_loose > r_tight,
         "loose budget should buy more reduction: {r_loose:.3} vs {r_tight:.3}"
@@ -81,15 +91,19 @@ fn higher_flow_shrinks_gradient_but_costs_pressure() {
     let solve = |flow_ml_min: f64| -> (f64, f64) {
         let mut params = ModelParams::date2012();
         params.flow_rate_per_channel = VolumetricFlowRate::from_ml_per_min(flow_ml_min);
-        let model =
-            strip_model(&liquamod::floorplan::testcase::test_a(), &params).expect("builds");
-        let sol = model.solve(&SolveOptions::with_mesh_intervals(96)).expect("solves");
+        let model = strip_model(&liquamod::floorplan::testcase::test_a(), &params).expect("builds");
+        let sol = model
+            .solve(&SolveOptions::with_mesh_intervals(96))
+            .expect("solves");
         let dp = model.pressure_drops().expect("dp")[0].as_pascals();
         (sol.thermal_gradient().as_kelvin(), dp)
     };
     let (g_low, dp_low) = solve(0.25);
     let (g_high, dp_high) = solve(1.0);
-    assert!(g_high < g_low, "more flow, flatter: {g_high:.2} vs {g_low:.2}");
+    assert!(
+        g_high < g_low,
+        "more flow, flatter: {g_high:.2} vs {g_low:.2}"
+    );
     assert!(
         (dp_high / dp_low - 4.0).abs() < 0.01,
         "laminar dp scales linearly with flow: ratio {}",
@@ -108,7 +122,9 @@ fn segment_resolution_improves_or_matches_reduction() {
             mesh_intervals: 64,
             ..OptimizationConfig::fast()
         };
-        experiments::test_a(&params, &config).expect("runs").gradient_reduction()
+        experiments::test_a(&params, &config)
+            .expect("runs")
+            .gradient_reduction()
     };
     let r2 = run(2);
     let r8 = run(8);

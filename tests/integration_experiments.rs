@@ -17,7 +17,10 @@ fn test_b_is_deterministic_end_to_end() {
     let config = tiny_config();
     let a = experiments::test_b(&params, &config).expect("runs");
     let b = experiments::test_b(&params, &config).expect("runs");
-    assert_eq!(a.optimal.gradient_k, b.optimal.gradient_k, "same seed, same outcome");
+    assert_eq!(
+        a.optimal.gradient_k, b.optimal.gradient_k,
+        "same seed, same outcome"
+    );
     assert_eq!(a.minimum.gradient_k, b.minimum.gradient_k);
 }
 
@@ -38,8 +41,16 @@ fn test_b_seeds_change_the_workload() {
         "different seeds must give different gradients"
     );
     // But the qualitative conclusion is seed-independent.
-    assert!(a.gradient_reduction() > 0.03, "seed 11: {:.3}", a.gradient_reduction());
-    assert!(b.gradient_reduction() > 0.03, "seed 12: {:.3}", b.gradient_reduction());
+    assert!(
+        a.gradient_reduction() > 0.03,
+        "seed 11: {:.3}",
+        a.gradient_reduction()
+    );
+    assert!(
+        b.gradient_reduction() > 0.03,
+        "seed 12: {:.3}",
+        b.gradient_reduction()
+    );
 }
 
 #[test]
@@ -54,8 +65,7 @@ fn mpsoc_architectures_differ_in_baseline_gradient() {
             2 => arch::arch2(),
             _ => arch::arch3(),
         };
-        let scenario =
-            mpsoc_model(&architecture, PowerLevel::Peak, &params, 10).expect("builds");
+        let scenario = mpsoc_model(&architecture, PowerLevel::Peak, &params, 10).expect("builds");
         let solution = scenario
             .model
             .solve(&SolveOptions::with_mesh_intervals(96))
@@ -69,7 +79,10 @@ fn mpsoc_architectures_differ_in_baseline_gradient() {
         "arch gradients: {gradients:?}"
     );
     // And the three must not be identical (different workloads).
-    assert!((gradients[0] - gradients[1]).abs() > 1e-3, "arch1 vs arch2: {gradients:?}");
+    assert!(
+        (gradients[0] - gradients[1]).abs() > 1e-3,
+        "arch1 vs arch2: {gradients:?}"
+    );
 }
 
 #[test]

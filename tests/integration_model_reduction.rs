@@ -6,8 +6,8 @@ use liquamod::prelude::*;
 
 fn gradient_with_groups(n_groups: usize) -> f64 {
     let params = ModelParams::date2012();
-    let scenario = mpsoc_model(&arch::arch1(), PowerLevel::Peak, &params, n_groups)
-        .expect("scenario builds");
+    let scenario =
+        mpsoc_model(&arch::arch1(), PowerLevel::Peak, &params, n_groups).expect("scenario builds");
     scenario
         .model
         .solve(&SolveOptions::with_mesh_intervals(96))
@@ -48,8 +48,7 @@ fn grouping_resolution_converges() {
 fn total_power_is_invariant_under_grouping() {
     let params = ModelParams::date2012();
     let total = |n_groups: usize| -> f64 {
-        let s = mpsoc_model(&arch::arch2(), PowerLevel::Peak, &params, n_groups)
-            .expect("builds");
+        let s = mpsoc_model(&arch::arch2(), PowerLevel::Peak, &params, n_groups).expect("builds");
         s.model
             .columns()
             .iter()
@@ -61,7 +60,10 @@ fn total_power_is_invariant_under_grouping() {
     };
     let p4 = total(4);
     let p20 = total(20);
-    assert!((p4 - p20).abs() / p20 < 1e-9, "grouping must conserve power: {p4} vs {p20}");
+    assert!(
+        (p4 - p20).abs() / p20 < 1e-9,
+        "grouping must conserve power: {p4} vs {p20}"
+    );
 }
 
 #[test]
@@ -70,8 +72,7 @@ fn pressure_drops_are_grouping_independent_for_uniform_widths() {
     // leak into it.
     let params = ModelParams::date2012();
     let dp = |n_groups: usize| -> f64 {
-        let s = mpsoc_model(&arch::arch1(), PowerLevel::Peak, &params, n_groups)
-            .expect("builds");
+        let s = mpsoc_model(&arch::arch1(), PowerLevel::Peak, &params, n_groups).expect("builds");
         s.model.pressure_drops().expect("pressure")[0].as_pascals()
     };
     assert!((dp(4) - dp(20)).abs() < 1e-9);

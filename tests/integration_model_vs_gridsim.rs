@@ -38,9 +38,13 @@ fn both_models(
 
     let top_grid = FluxGrid::from_fn(1, nz, params.pitch, d, |_, z| top_flux(z.si()));
     let bottom_grid = FluxGrid::from_fn(1, nz, params.pitch, d, |_, z| bottom_flux(z.si()));
-    let stack =
-        bridge::two_die_stack(&params, &top_grid, &bottom_grid, CavityWidths::Uniform(width))
-            .expect("stack builds");
+    let stack = bridge::two_die_stack(
+        &params,
+        &top_grid,
+        &bottom_grid,
+        CavityWidths::Uniform(width),
+    )
+    .expect("stack builds");
     let field = stack.solve_steady().expect("fv solve");
     let fv_layer = field.layer_by_name("top-die").expect("layer");
 
@@ -48,7 +52,12 @@ fn both_models(
     let mut fv = Vec::with_capacity(nz);
     for j in 0..nz {
         let z = Length::from_meters((j as f64 + 0.5) * d.si() / nz as f64);
-        an.push(analytical.column(0).t_top(analytical.nearest_node(z)).as_kelvin());
+        an.push(
+            analytical
+                .column(0)
+                .t_top(analytical.nearest_node(z))
+                .as_kelvin(),
+        );
         fv.push(fv_layer.cell(0, j).as_kelvin());
     }
     let rise = analytical.peak_temperature().as_kelvin() - 300.0;
@@ -80,7 +89,13 @@ fn narrow_channel_agrees_within_one_percent() {
 #[test]
 fn hotspot_load_agrees_within_two_percent() {
     // A sharp step stresses both discretizations near the jump.
-    let hot = |z: f64| if (0.004..0.006).contains(&z) { 250.0e4 } else { 50.0e4 };
+    let hot = |z: f64| {
+        if (0.004..0.006).contains(&z) {
+            250.0e4
+        } else {
+            50.0e4
+        }
+    };
     let (an, fv, rise) = both_models(30.0, hot, |_| 50.0e4, 100);
     let err = max_rel_err(&an, &fv, rise);
     assert!(err < 0.02, "max relative error {err:.4}");
@@ -136,7 +151,9 @@ fn multi_column_lateral_coupling_matches_fv_trend() {
         .with_heat_bottom(HeatProfile::uniform(LinearHeatFlux::from_w_per_m(100.0)));
     let cold = ChannelColumn::new(WidthProfile::uniform(params.w_max));
     let model = Model::new(params.clone(), d, vec![hot, cold]).unwrap();
-    let analytical = model.solve(&SolveOptions::with_mesh_intervals(300)).unwrap();
+    let analytical = model
+        .solve(&SolveOptions::with_mesh_intervals(300))
+        .unwrap();
     let an_cold_peak = analytical
         .column(1)
         .t_top_kelvin()
@@ -165,8 +182,14 @@ fn multi_column_lateral_coupling_matches_fv_trend() {
         .map(|j| fv_layer.cell(1, j).as_kelvin())
         .fold(f64::NEG_INFINITY, f64::max);
 
-    assert!(an_cold_peak > 300.5, "analytical cold column warms: {an_cold_peak}");
+    assert!(
+        an_cold_peak > 300.5,
+        "analytical cold column warms: {an_cold_peak}"
+    );
     assert!(fv_cold_peak > 300.5, "fv cold column warms: {fv_cold_peak}");
     let rel = (an_cold_peak - fv_cold_peak).abs() / (an_cold_peak - 300.0);
-    assert!(rel < 0.35, "cold-column peaks diverge: {an_cold_peak} vs {fv_cold_peak}");
+    assert!(
+        rel < 0.35,
+        "cold-column peaks diverge: {an_cold_peak} vs {fv_cold_peak}"
+    );
 }

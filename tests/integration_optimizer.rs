@@ -18,9 +18,12 @@ fn test_a_optimum_beats_uniform_and_respects_pressure() {
     let cmp = experiments::test_a(&params, &fast_config()).expect("test A runs");
 
     // Paper Fig. 5a shape: uniform baselines close, optimal clearly better.
-    let uniform_gap = (cmp.minimum.gradient_k - cmp.maximum.gradient_k).abs()
-        / cmp.maximum.gradient_k;
-    assert!(uniform_gap < 0.2, "uniform cases should nearly tie: {uniform_gap:.3}");
+    let uniform_gap =
+        (cmp.minimum.gradient_k - cmp.maximum.gradient_k).abs() / cmp.maximum.gradient_k;
+    assert!(
+        uniform_gap < 0.2,
+        "uniform cases should nearly tie: {uniform_gap:.3}"
+    );
     assert!(
         cmp.gradient_reduction() > 0.10,
         "optimal should reduce the gradient by >10%: {:.3}",
@@ -52,8 +55,14 @@ fn test_a_profile_tapers_toward_outlet() {
                 "Fig. 6a: outlet narrower than inlet, got {widths:?}"
             );
             // Mostly monotone narrowing.
-            let down = widths.windows(2).filter(|w| w[1].si() <= w[0].si() + 1e-9).count();
-            assert!(down >= widths.len() - 2, "mostly monotone taper, got {widths:?}");
+            let down = widths
+                .windows(2)
+                .filter(|w| w[1].si() <= w[0].si() + 1e-9)
+                .count();
+            assert!(
+                down >= widths.len() - 2,
+                "mostly monotone taper, got {widths:?}"
+            );
         }
         other => panic!("expected piecewise-constant profile, got {other:?}"),
     }
@@ -78,7 +87,11 @@ fn test_b_narrows_over_hotspots() {
         other => panic!("expected piecewise profile, got {other:?}"),
     };
     // Optimal improves on both baselines.
-    assert!(cmp.gradient_reduction() > 0.10, "reduction {:.3}", cmp.gradient_reduction());
+    assert!(
+        cmp.gradient_reduction() > 0.10,
+        "reduction {:.3}",
+        cmp.gradient_reduction()
+    );
     // Hotspot response: for interior segments, when the combined flux jumps
     // up relative to the previous segment, the width should not increase.
     let combined: Vec<f64> = load
@@ -94,8 +107,7 @@ fn test_b_narrows_over_hotspots() {
         let width_step = widths[k].si() - widths[k - 1].si();
         if flux_jump.abs() > 40.0 {
             total += 1;
-            if (flux_jump > 0.0 && width_step <= 1e-9) || (flux_jump < 0.0 && width_step >= -1e-9)
-            {
+            if (flux_jump > 0.0 && width_step <= 1e-9) || (flux_jump < 0.0 && width_step >= -1e-9) {
                 consistent += 1;
             }
         }
@@ -118,7 +130,12 @@ fn equal_pressure_coupling_holds_across_groups() {
         ..OptimizationConfig::fast()
     };
     let (_, cmp) = experiments::mpsoc_small_for_tests(&params, &config).expect("runs");
-    let drops: Vec<f64> = cmp.outcome.pressure_drops.iter().map(|p| p.as_pascals()).collect();
+    let drops: Vec<f64> = cmp
+        .outcome
+        .pressure_drops
+        .iter()
+        .map(|p| p.as_pascals())
+        .collect();
     let mean = drops.iter().sum::<f64>() / drops.len() as f64;
     for dp in &drops {
         assert!(
@@ -131,7 +148,11 @@ fn equal_pressure_coupling_holds_across_groups() {
 #[test]
 fn solver_ablation_all_reduce_gradient() {
     let params = ModelParams::date2012();
-    for solver in [SolverKind::LbfgsB, SolverKind::ProjGrad, SolverKind::NelderMead] {
+    for solver in [
+        SolverKind::LbfgsB,
+        SolverKind::ProjGrad,
+        SolverKind::NelderMead,
+    ] {
         let config = OptimizationConfig {
             segments: 4,
             mesh_intervals: 48,
@@ -153,9 +174,14 @@ fn objective_ablation_both_forms_agree() {
     // must essentially coincide.
     let params = ModelParams::date2012();
     let base = fast_config();
-    let grad_cfg =
-        OptimizationConfig { objective: ObjectiveKind::GradientSquared, ..base.clone() };
-    let heat_cfg = OptimizationConfig { objective: ObjectiveKind::HeatflowSquared, ..base };
+    let grad_cfg = OptimizationConfig {
+        objective: ObjectiveKind::GradientSquared,
+        ..base.clone()
+    };
+    let heat_cfg = OptimizationConfig {
+        objective: ObjectiveKind::HeatflowSquared,
+        ..base
+    };
     let a = experiments::test_a(&params, &grad_cfg).expect("runs");
     let b = experiments::test_a(&params, &heat_cfg).expect("runs");
     let rel = (a.optimal.gradient_k - b.optimal.gradient_k).abs() / a.optimal.gradient_k;
