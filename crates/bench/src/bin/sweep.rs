@@ -13,6 +13,11 @@
 //! * `--workers N` — override the parallel worker count;
 //! * `--no-baseline` — skip the serial reference run (faster, but no
 //!   speedup figure);
+//! * `--cold-start` — disable warm-started flow chains (every variant's
+//!   optimizer starts from the uniform-maximum baseline, as in the paper);
+//! * `--json PATH` — write a machine-readable `BENCH_sweep.json` perf
+//!   record (wall time, per-variant evaluation counts, throughput, worker
+//!   count) to `PATH`;
 //! * `LIQUAMOD_FAST=1` — coarse optimizer settings (CI).
 //!
 //! By default the grid is the 16-variant paper neighborhood, evaluated in
@@ -28,6 +33,8 @@ struct Args {
     serial: bool,
     workers: Option<NonZeroUsize>,
     baseline: bool,
+    warm_start: bool,
+    json: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,20 +42,27 @@ fn parse_args() -> Result<Args, String> {
         serial: false,
         workers: None,
         baseline: true,
+        warm_start: true,
+        json: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--serial" => args.serial = true,
             "--no-baseline" => args.baseline = false,
+            "--cold-start" => args.warm_start = false,
             "--workers" => {
                 let v = it.next().ok_or("--workers needs a value")?;
                 let n: usize = v.parse().map_err(|_| format!("bad worker count: {v}"))?;
                 args.workers = Some(NonZeroUsize::new(n).ok_or("worker count must be positive")?);
             }
+            "--json" => {
+                args.json = Some(it.next().ok_or("--json needs a path")?);
+            }
             other => {
                 return Err(format!(
-                    "unknown argument: {other} (try --serial, --workers N, --no-baseline)"
+                    "unknown argument: {other} (try --serial, --workers N, --no-baseline, \
+                     --cold-start, --json PATH)"
                 ))
             }
         }
@@ -58,12 +72,89 @@ fn parse_args() -> Result<Args, String> {
 
 fn report_stats(label: &str, report: &SweepReport) {
     println!(
-        "{label}: {} variants in {:.2} s on {} worker(s) — {:.2} variants/s",
+        "{label}: {} variants in {:.2} s on {} worker(s) — {:.2} variants/s, {} evaluations",
         report.rows.len(),
         report.wall.as_secs_f64(),
         report.workers,
         report.throughput_per_second(),
+        report.total_evaluations(),
     );
+}
+
+/// Minimal JSON string escaping (labels are plain ASCII, but stay correct).
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Renders the `BENCH_sweep.json` record; see the README's "Performance"
+/// section for the schema and how the CI bench-smoke job consumes it.
+fn json_record(
+    grid: &SweepGrid,
+    report: &SweepReport,
+    serial: Option<&SweepReport>,
+    determinism_verified: bool,
+    fast_mode: bool,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"sweep\",\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!(
+        "  \"grid\": {{\"variants\": {}, \"loads\": {}, \"flux_scales\": {}, \"flow_scales\": {}}},\n",
+        grid.len(),
+        grid.loads.len(),
+        grid.flux_scales.len(),
+        grid.flow_scales.len()
+    ));
+    out.push_str(&format!("  \"workers\": {},\n", report.workers));
+    out.push_str(&format!("  \"warm_start\": {},\n", report.warm_start));
+    out.push_str(&format!("  \"fast_mode\": {fast_mode},\n"));
+    out.push_str(&format!(
+        "  \"wall_seconds\": {:.6},\n",
+        report.wall.as_secs_f64()
+    ));
+    out.push_str(&format!(
+        "  \"throughput_variants_per_second\": {:.4},\n",
+        report.throughput_per_second()
+    ));
+    out.push_str(&format!(
+        "  \"total_evaluations\": {},\n",
+        report.total_evaluations()
+    ));
+    if let Some(serial) = serial {
+        out.push_str(&format!(
+            "  \"serial_wall_seconds\": {:.6},\n",
+            serial.wall.as_secs_f64()
+        ));
+        out.push_str(&format!(
+            "  \"parallel_speedup\": {:.4},\n",
+            serial.wall.as_secs_f64() / report.wall.as_secs_f64().max(1e-12)
+        ));
+    }
+    out.push_str(&format!(
+        "  \"determinism_verified\": {determinism_verified},\n"
+    ));
+    out.push_str("  \"variants\": [\n");
+    for (i, row) in report.rows.iter().enumerate() {
+        let sep = if i + 1 == report.rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"evaluations\": {}, \"gradient_opt_k\": {:.6}, \
+             \"gradient_reduction\": {:.6}, \"feasible\": {}}}{sep}\n",
+            json_escape(&row.variant.label()),
+            row.evaluations,
+            row.gradient_opt_k,
+            row.gradient_reduction,
+            row.feasible
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 fn main() -> ExitCode {
@@ -86,6 +177,14 @@ fn main() -> ExitCode {
         grid.flux_scales.len(),
         grid.flow_scales.len(),
     );
+    println!(
+        "optimizer starts: {}",
+        if args.warm_start {
+            "warm (chained along the flow axis; --cold-start to disable)"
+        } else {
+            "cold (uniform-maximum baseline for every variant)"
+        }
+    );
 
     let mode = if args.serial {
         ExecutionMode::Serial
@@ -98,6 +197,7 @@ fn main() -> ExitCode {
     };
     let options = SweepOptions {
         config,
+        warm_start: args.warm_start,
         ..SweepOptions::fast(mode)
     };
 
@@ -121,6 +221,8 @@ fn main() -> ExitCode {
     let main_label = if args.serial { "serial" } else { "parallel" };
     report_stats(main_label, &report);
 
+    let mut serial_report = None;
+    let mut determinism_verified = false;
     if !args.serial && args.baseline {
         let serial_options = SweepOptions {
             mode: ExecutionMode::Serial,
@@ -139,11 +241,28 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("parallel and serial reports are bitwise identical");
+        determinism_verified = true;
         let speedup = serial.wall.as_secs_f64() / report.wall.as_secs_f64().max(1e-12);
         println!(
             "parallel speedup over --serial: {speedup:.2}x with {} workers on {available} core(s)",
             report.workers,
         );
+        serial_report = Some(serial);
+    }
+
+    if let Some(path) = &args.json {
+        let record = json_record(
+            &grid,
+            &report,
+            serial_report.as_ref(),
+            determinism_verified,
+            liquamod_bench::fast_mode(),
+        );
+        if let Err(e) = std::fs::write(path, &record) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote perf record to {path}");
     }
     ExitCode::SUCCESS
 }

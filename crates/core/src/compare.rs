@@ -1,9 +1,9 @@
 //! The paper's §V comparison methodology: uniformly-minimum vs
 //! uniformly-maximum vs optimally-modulated channel widths.
 
-use crate::design::{optimize, solve_uniform, DesignOutcome, OptimizationConfig};
+use crate::design::{optimize_warm, solve_uniform, DesignOutcome, OptimizationConfig};
 use crate::Result;
-use liquamod_thermal_model::{Model, Solution, WidthProfile};
+use liquamod_thermal_model::{Model, Solution, SolveWorkspace, WidthProfile};
 
 /// Metrics of one evaluated design point.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,10 +62,31 @@ impl DesignComparison {
     ///
     /// Propagates solver and configuration failures.
     pub fn run(model: &Model, config: &OptimizationConfig) -> Result<Self> {
-        let params = model.params().clone();
-        let (min_model, min_solution) = solve_uniform(model, params.w_min, config.mesh_intervals)?;
-        let (max_model, max_solution) = solve_uniform(model, params.w_max, config.mesh_intervals)?;
-        let outcome = optimize(model, config)?;
+        Self::run_warm(model, config, None)
+    }
+
+    /// [`DesignComparison::run`] with an optional optimizer warm start (a
+    /// normalized [`DesignOutcome::x_opt`] from a neighbouring scenario; see
+    /// [`optimize_warm`]). The uniform baselines are unaffected by the warm
+    /// start — only the optimizer's trajectory changes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver and configuration failures.
+    pub fn run_warm(
+        model: &Model,
+        config: &OptimizationConfig,
+        start: Option<&[f64]>,
+    ) -> Result<Self> {
+        // The two uniform baselines share one solve workspace; the width
+        // ranges are plain `Copy` fields, so no ModelParams clone is needed.
+        let (w_min, w_max) = (model.params().w_min, model.params().w_max);
+        let mut ws = SolveWorkspace::new();
+        let (min_model, min_solution) =
+            solve_uniform(model, w_min, config.mesh_intervals, &mut ws)?;
+        let (max_model, max_solution) =
+            solve_uniform(model, w_max, config.mesh_intervals, &mut ws)?;
+        let outcome = optimize_warm(model, config, start)?;
         Ok(Self {
             minimum: CaseResult::evaluate("minimum", &min_model, &min_solution)?,
             maximum: CaseResult::evaluate("maximum", &max_model, &max_solution)?,
@@ -79,12 +100,14 @@ impl DesignComparison {
     /// The smaller of the two uniform baselines' gradients — the reference
     /// the paper quotes its reduction percentages against ("compared to the
     /// uniform channel width case").
+    #[must_use]
     pub fn best_uniform_gradient_k(&self) -> f64 {
         self.minimum.gradient_k.min(self.maximum.gradient_k)
     }
 
     /// Gradient reduction of the optimal design vs the best uniform
     /// baseline, as a fraction in `[0, 1]`.
+    #[must_use]
     pub fn gradient_reduction(&self) -> f64 {
         let base = self.best_uniform_gradient_k();
         if base <= 0.0 {
@@ -98,17 +121,20 @@ impl DesignComparison {
     /// peak temperature should approach the minimum-width case's peak (the
     /// best achievable within the width range) and undercut the
     /// maximum-width case's peak.
+    #[must_use]
     pub fn peak_tracks_minimum_width(&self, tolerance_k: f64) -> bool {
         self.optimal.peak_celsius <= self.minimum.peak_celsius + tolerance_k
             && self.optimal.peak_celsius <= self.maximum.peak_celsius + 1e-9
     }
 
     /// The optimal width profiles (one per column).
+    #[must_use]
     pub fn optimal_widths(&self) -> &[WidthProfile] {
         &self.outcome.widths
     }
 
     /// Formats the three cases as the rows of a small report table.
+    #[must_use]
     pub fn summary_rows(&self) -> Vec<Vec<String>> {
         [&self.minimum, &self.maximum, &self.optimal]
             .iter()

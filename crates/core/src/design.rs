@@ -15,7 +15,9 @@ use liquamod_optimal_control::{
     augmented_lagrangian, nelder_mead, projected_gradient, AugLagOptions, AugLagResult, Bounds,
     ConstrainedObjective, LbfgsOptions, NelderMeadOptions, ProjGradOptions,
 };
-use liquamod_thermal_model::{Model, Solution, SolveOptions, WidthProfile};
+use liquamod_thermal_model::{
+    Model, Solution, SolveOptions, SolveWorkspace, WidthProfile, WorkspacePool,
+};
 use liquamod_units::{Length, Pressure};
 
 /// Which cost integral to minimize (the paper notes the two are equivalent
@@ -142,6 +144,10 @@ pub struct DesignOutcome {
     pub solution: Solution,
     /// Optimal per-column width profiles.
     pub widths: Vec<WidthProfile>,
+    /// The optimum in the solver's normalized coordinates (per-segment
+    /// widths mapped to `[0, 1]` over `[w_min, w_max]`); feed it to
+    /// [`optimize_warm`] to warm-start a neighbouring scenario.
+    pub x_opt: Vec<f64>,
     /// Per-column (per physical channel) pressure drops at the optimum.
     pub pressure_drops: Vec<Pressure>,
     /// Final objective value.
@@ -165,6 +171,11 @@ struct WidthProblem<'a> {
     /// constraints are O(1); without this scaling the augmented-Lagrangian
     /// penalties would be invisible next to the objective.
     j_scale: f64,
+    /// Per-worker [`SolveWorkspace`]s: every objective evaluation solves the
+    /// BVP through a pooled workspace, so the mesh and banded-system buffers
+    /// are built once per worker and recycled across the whole run
+    /// (including every line-search and finite-difference evaluation).
+    pool: WorkspacePool,
 }
 
 impl WidthProblem<'_> {
@@ -200,11 +211,13 @@ impl WidthProblem<'_> {
     }
 
     fn pressure_drops(&self, x: &[f64]) -> Vec<f64> {
-        let model = self.model_with(x);
+        // Pressure depends only on the widths, the parameters and the
+        // length, all of which the *base* model already carries — no need to
+        // clone a model just to apply the candidate widths.
         self.widths_from_x(x)
             .iter()
             .map(|w| {
-                model
+                self.base
                     .column_pressure_drop(w)
                     .expect("normalized widths are valid ducts")
                     .as_pascals()
@@ -214,10 +227,13 @@ impl WidthProblem<'_> {
 
     fn raw_objective(&self, x: &[f64]) -> f64 {
         let model = self.model_with(x);
-        match model.solve(&self.solve) {
-            Ok(solution) => match self.config.objective {
-                ObjectiveKind::GradientSquared => solution.cost_gradient_squared(),
-                ObjectiveKind::HeatflowSquared => solution.cost_heatflow_squared(),
+        // Cost-only solve: skips the Solution profile materialization while
+        // producing bit-identical integrals (see `Model::solve_costs_with`).
+        let solved = self.pool.with(|ws| model.solve_costs_with(&self.solve, ws));
+        match solved {
+            Ok(costs) => match self.config.objective {
+                ObjectiveKind::GradientSquared => costs.gradient_squared,
+                ObjectiveKind::HeatflowSquared => costs.heatflow_squared,
             },
             // Infinite cost steers the line search away from pathological
             // candidates instead of aborting the whole run.
@@ -263,6 +279,29 @@ impl ConstrainedObjective for WidthProblem<'_> {
 /// [`CoreError::InvalidConfig`] for empty segment/mesh settings, and
 /// propagated model errors if the optimized design cannot be re-solved.
 pub fn optimize(model: &Model, config: &OptimizationConfig) -> Result<DesignOutcome> {
+    optimize_warm(model, config, None)
+}
+
+/// [`optimize`] with an optional warm start.
+///
+/// `start` is a point in the solver's normalized coordinates — typically the
+/// [`DesignOutcome::x_opt`] of a neighbouring scenario (the sweep engine
+/// chains variants along its flow-scale axis this way). It is projected into
+/// the `[0, 1]` box before use. The objective normalization stays anchored
+/// at the uniformly-maximal-width point regardless of the start, so a
+/// warm-started run minimizes exactly the same scaled problem as a cold one
+/// and converges to the same optimum (within the solver's tolerances) in
+/// fewer evaluations.
+///
+/// # Errors
+///
+/// Same as [`optimize`]; additionally rejects a `start` of the wrong
+/// dimension.
+pub fn optimize_warm(
+    model: &Model,
+    config: &OptimizationConfig,
+    start: Option<&[f64]>,
+) -> Result<DesignOutcome> {
     config.validate()?;
     let params = model.params();
     let mut problem = WidthProblem {
@@ -274,17 +313,36 @@ pub fn optimize(model: &Model, config: &OptimizationConfig) -> Result<DesignOutc
         dp_max: params.dp_max.si(),
         solve: SolveOptions::with_mesh_intervals(config.mesh_intervals),
         j_scale: 1.0,
+        pool: WorkspacePool::new(),
     };
     let dim = ConstrainedObjective::dim(&problem);
+    if let Some(s) = start {
+        if s.len() != dim {
+            return Err(CoreError::InvalidConfig {
+                what: format!("warm start has dimension {}, problem needs {dim}", s.len()),
+            });
+        }
+    }
     let bounds = Bounds::uniform(dim, 0.0, 1.0)?;
-    let x0 = vec![1.0; dim]; // uniformly w_max
-    let j0 = problem.raw_objective(&x0);
+    // The normalization anchor is always the uniformly-w_max point (the
+    // paper's baseline), even when warm-starting elsewhere.
+    let anchor = vec![1.0; dim];
+    let j0 = problem.raw_objective(&anchor);
     if !(j0.is_finite() && j0 > 0.0) {
         return Err(CoreError::InvalidConfig {
             what: format!("cost at the starting point is unusable ({j0})"),
         });
     }
     problem.j_scale = j0;
+    let x0 = match start {
+        Some(s) => {
+            // Project into the [0, 1] box (identity for in-box starts, so
+            // sweep warm-starting is unaffected).
+            let boxed: Vec<f64> = s.iter().map(|v| v.clamp(0.0, 1.0)).collect();
+            feasible_warm_start(&problem, &boxed)
+        }
+        None => anchor,
+    };
 
     let (x_opt, objective, evaluations, feasible) = match config.solver {
         SolverKind::LbfgsB => {
@@ -320,7 +378,9 @@ pub fn optimize(model: &Model, config: &OptimizationConfig) -> Result<DesignOutc
 
     let widths = problem.widths_from_x(&x_opt);
     let optimized = problem.model_with(&x_opt);
-    let solution = optimized.solve(&problem.solve)?;
+    let solution = problem
+        .pool
+        .with(|ws| optimized.solve_with(&problem.solve, ws))?;
     let pressure_drops = optimized.pressure_drops()?;
     // Report the raw Eq. (7) cost, not the normalized solver value.
     let objective = objective * problem.j_scale;
@@ -328,11 +388,47 @@ pub fn optimize(model: &Model, config: &OptimizationConfig) -> Result<DesignOutc
         model: optimized,
         solution,
         widths,
+        x_opt,
         pressure_drops,
         objective,
         evaluations,
         feasible,
     })
+}
+
+/// Restores pressure feasibility of a warm start without BVP solves.
+///
+/// A warm start inherited from a neighbouring scenario (e.g. a lower coolant
+/// flow) can violate the `ΔP ≤ ΔP_max` caps of the new scenario, and the
+/// augmented-Lagrangian method pays dearly to climb back into the feasible
+/// region from outside. Pressure drops are closed-form integrals, so
+/// feasibility can be checked and repaired for free: bisect the blend
+/// `x(α) = (1−α)·x_warm + α·1` toward the uniformly-maximal-width point
+/// (the widest, lowest-pressure design) and return the least-blended point
+/// whose inequality constraints all hold. Already-feasible warm starts are
+/// returned unchanged; if even `x(1)` is infeasible (`ΔP_max` unattainable),
+/// the blend falls back to the anchor and the solver reports infeasibility
+/// as it would from a cold start.
+fn feasible_warm_start(problem: &WidthProblem<'_>, start: &[f64]) -> Vec<f64> {
+    let feasible = |x: &[f64]| problem.inequality(x).iter().all(|&g| g <= 0.0);
+    let blend = |alpha: f64| -> Vec<f64> { start.iter().map(|&s| s + alpha * (1.0 - s)).collect() };
+    if feasible(start) {
+        return start.to_vec();
+    }
+    let mut lo = 0.0; // infeasible
+    let mut hi = 1.0; // feasible (or best effort)
+    if !feasible(&blend(hi)) {
+        return blend(hi);
+    }
+    for _ in 0..24 {
+        let mid = 0.5 * (lo + hi);
+        if feasible(&blend(mid)) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    blend(hi)
 }
 
 /// Adapter presenting only the objective of a [`ConstrainedObjective`] to
@@ -381,6 +477,7 @@ pub fn optimize_min_pumping(
         dp_max: params.dp_max.si(),
         solve: SolveOptions::with_mesh_intervals(config.mesh_intervals),
         j_scale: 1.0,
+        pool: WorkspacePool::new(),
     };
     let dim = ConstrainedObjective::dim(&thermal);
     let bounds = Bounds::uniform(dim, 0.0, 1.0)?;
@@ -431,7 +528,9 @@ pub fn optimize_min_pumping(
 
     let widths = thermal.widths_from_x(&x);
     let optimized = thermal.model_with(&x);
-    let solution = optimized.solve(&thermal.solve)?;
+    let solution = thermal
+        .pool
+        .with(|ws| optimized.solve_with(&thermal.solve, ws))?;
     let pressure_drops = optimized.pressure_drops()?;
     let objective = match config.objective {
         ObjectiveKind::GradientSquared => solution.cost_gradient_squared(),
@@ -441,6 +540,7 @@ pub fn optimize_min_pumping(
         model: optimized,
         solution,
         widths,
+        x_opt: x,
         pressure_drops,
         objective,
         evaluations,
@@ -449,7 +549,7 @@ pub fn optimize_min_pumping(
 }
 
 /// Convenience used by comparisons and benches: solve `model` with every
-/// column forced to one uniform width.
+/// column forced to one uniform width, reusing `ws` for the solve buffers.
 ///
 /// # Errors
 ///
@@ -458,12 +558,13 @@ pub(crate) fn solve_uniform(
     model: &Model,
     width: Length,
     mesh_intervals: usize,
+    ws: &mut SolveWorkspace,
 ) -> Result<(Model, Solution)> {
     let mut m = model.clone();
     for c in 0..m.columns().len() {
         m.set_width_profile(c, WidthProfile::uniform(width))?;
     }
-    let solution = m.solve(&SolveOptions::with_mesh_intervals(mesh_intervals))?;
+    let solution = m.solve_with(&SolveOptions::with_mesh_intervals(mesh_intervals), ws)?;
     Ok((m, solution))
 }
 
@@ -518,6 +619,7 @@ mod tests {
             dp_max: params.dp_max.si(),
             solve: SolveOptions::with_mesh_intervals(64),
             j_scale: 1.0,
+            pool: WorkspacePool::new(),
         };
         let widths = problem.widths_from_x(&[0.0, 1.0, 0.5, 2.0]);
         match &widths[0] {
@@ -550,6 +652,7 @@ mod tests {
             dp_max: params.dp_max.si(),
             solve: SolveOptions::with_mesh_intervals(64),
             j_scale: 1.0,
+            pool: WorkspacePool::new(),
         };
         // All-minimum widths exceed ΔP_max at the calibrated flow → g > 0.
         let g_min = problem.inequality(&[0.0, 0.0]);
@@ -573,6 +676,7 @@ mod tests {
             dp_max: params.dp_max.si(),
             solve: SolveOptions::with_mesh_intervals(64),
             j_scale: 1.0,
+            pool: WorkspacePool::new(),
         };
         assert!(problem.equality(&vec![1.0; config.segments]).is_empty());
     }
@@ -587,7 +691,13 @@ mod tests {
         let model = strip(&params);
         let config = OptimizationConfig::fast();
         let primal = optimize(&model, &config).unwrap();
-        let (_, uniform) = solve_uniform(&model, params.w_max, config.mesh_intervals).unwrap();
+        let (_, uniform) = solve_uniform(
+            &model,
+            params.w_max,
+            config.mesh_intervals,
+            &mut SolveWorkspace::new(),
+        )
+        .unwrap();
         let j_uniform = uniform.cost_gradient_squared();
         let bound = 0.5 * (primal.objective + j_uniform);
         let dual = optimize_min_pumping(&model, &config, bound).unwrap();
@@ -620,7 +730,13 @@ mod tests {
         let config = OptimizationConfig::fast();
         let outcome = optimize(&model, &config).unwrap();
         // The optimum must beat the uniform-max starting point…
-        let (_, uniform) = solve_uniform(&model, params.w_max, config.mesh_intervals).unwrap();
+        let (_, uniform) = solve_uniform(
+            &model,
+            params.w_max,
+            config.mesh_intervals,
+            &mut SolveWorkspace::new(),
+        )
+        .unwrap();
         assert!(
             outcome.solution.thermal_gradient().as_kelvin()
                 < uniform.thermal_gradient().as_kelvin(),

@@ -54,7 +54,8 @@ pub mod sweep;
 pub use compare::{CaseResult, DesignComparison};
 pub use csv::CsvTable;
 pub use design::{
-    optimize, optimize_min_pumping, DesignOutcome, ObjectiveKind, OptimizationConfig, SolverKind,
+    optimize, optimize_min_pumping, optimize_warm, DesignOutcome, ObjectiveKind,
+    OptimizationConfig, SolverKind,
 };
 pub use error::CoreError;
 pub use scenario::{mpsoc_model, strip_model, MpsocScenario};
@@ -77,13 +78,14 @@ pub type Result<T> = std::result::Result<T, CoreError>;
 pub mod prelude {
     pub use crate::experiments;
     pub use crate::{
-        mpsoc_model, optimize, optimize_min_pumping, strip_model, CaseResult, CoreError,
-        DesignComparison, DesignOutcome, MpsocScenario, ObjectiveKind, OptimizationConfig,
-        SolverKind,
+        mpsoc_model, optimize, optimize_min_pumping, optimize_warm, strip_model, CaseResult,
+        CoreError, DesignComparison, DesignOutcome, MpsocScenario, ObjectiveKind,
+        OptimizationConfig, SolverKind,
     };
     pub use liquamod_floorplan::{arch, niagara, testcase, PowerLevel};
     pub use liquamod_thermal_model::{
-        ChannelColumn, HeatProfile, Model, ModelParams, Solution, SolveOptions, WidthProfile,
+        ChannelColumn, HeatProfile, Model, ModelParams, Solution, SolveOptions, SolveWorkspace,
+        WidthProfile, WorkspacePool,
     };
     pub use liquamod_units::{
         Length, LinearHeatFlux, Power, Pressure, Temperature, TemperatureDifference,

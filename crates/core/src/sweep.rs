@@ -14,10 +14,18 @@
 //!   worker count: every variant evaluation is a pure function of its
 //!   inputs, and `fd_threads` is pinned to 1 inside the sweep so the
 //!   scenario-level parallelism owns the cores. Parallel and serial runs
-//!   produce bitwise-identical rows.
+//!   produce bitwise-identical rows. Warm starting keeps the guarantee
+//!   because the scheduling unit is a whole flow-scale chain (see
+//!   [`run_sweep`]).
 //! * **Stable ordering** — rows come back in grid order (loads outermost,
 //!   then flux scales, then flow scales) regardless of which worker
 //!   finished first.
+//! * **Warm-started chains** — within one (load, flux) block the optimizer
+//!   starts from the previous flow scale's optimum
+//!   ([`SweepOptions::warm_start`]; disable for the paper's cold-start
+//!   baseline), which typically converges in a fraction of the cold-start
+//!   evaluations while landing on the same optimum within the solver's
+//!   tolerances.
 //!
 //! ```
 //! use liquamod::prelude::*;
@@ -105,6 +113,7 @@ impl SweepGrid {
     /// A 16-variant neighborhood of the paper's operating point: Test A and
     /// two Test-B draws × two flux levels plus a flow ladder. The default
     /// grid of the `sweep` binary.
+    #[must_use]
     pub fn paper_neighborhood() -> Self {
         Self {
             loads: vec![
@@ -119,17 +128,20 @@ impl SweepGrid {
     }
 
     /// Number of variants in the grid.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.loads.len() * self.flux_scales.len() * self.flow_scales.len()
     }
 
     /// `true` when any axis is empty (no variants).
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
     /// Expands the grid into concrete variants, in stable report order:
     /// loads outermost, then flux scales, then flow scales.
+    #[must_use]
     pub fn variants(&self) -> Vec<SweepVariant> {
         let mut out = Vec::with_capacity(self.len());
         for load in &self.loads {
@@ -163,6 +175,7 @@ pub struct SweepVariant {
 
 impl SweepVariant {
     /// Human-readable variant label, e.g. `testA q*0.75 f*1.50`.
+    #[must_use]
     pub fn label(&self) -> String {
         format!(
             "{} q*{:.2} f*{:.2}",
@@ -189,6 +202,7 @@ pub enum ExecutionMode {
 
 impl ExecutionMode {
     /// Parallel mode sized to the machine.
+    #[must_use]
     pub fn parallel() -> Self {
         ExecutionMode::Parallel { workers: None }
     }
@@ -206,15 +220,24 @@ pub struct SweepOptions {
     pub config: OptimizationConfig,
     /// Scheduling mode.
     pub mode: ExecutionMode,
+    /// Warm-start each variant's optimizer from the previous variant's
+    /// optimum along the grid's flow-scale axis (the innermost axis, so the
+    /// chained variants differ only in coolant flow and their optima are
+    /// close). `false` is the cold-start escape hatch: every variant starts
+    /// from the uniformly-maximal-width baseline, as in the paper.
+    pub warm_start: bool,
 }
 
 impl SweepOptions {
-    /// Paper parameters with the fast optimizer configuration.
+    /// Paper parameters with the fast optimizer configuration and
+    /// warm-started flow chains.
+    #[must_use]
     pub fn fast(mode: ExecutionMode) -> Self {
         Self {
             params: ModelParams::date2012(),
             config: OptimizationConfig::fast(),
             mode,
+            warm_start: true,
         }
     }
 
@@ -279,14 +302,18 @@ impl SweepRow {
 pub struct SweepReport {
     /// One row per variant, in grid order.
     pub rows: Vec<SweepRow>,
-    /// Worker threads the run used.
+    /// Worker threads the run actually used: the requested count capped at
+    /// the number of flow-scale chains (the unit of scheduling).
     pub workers: usize,
     /// Wall-clock time of the evaluation phase.
     pub wall: Duration,
+    /// Whether the run chained warm starts along the flow-scale axis.
+    pub warm_start: bool,
 }
 
 impl SweepReport {
     /// Renders the report as the workspace's standard table format.
+    #[must_use]
     pub fn to_table(&self) -> CsvTable {
         let mut table = CsvTable::new(vec![
             "variant",
@@ -307,6 +334,7 @@ impl SweepReport {
     }
 
     /// The row whose optimal design has the smallest thermal gradient.
+    #[must_use]
     pub fn best_by_gradient(&self) -> Option<&SweepRow> {
         self.rows.iter().min_by(|a, b| {
             a.gradient_opt_k
@@ -316,6 +344,7 @@ impl SweepReport {
     }
 
     /// Evaluated variants per wall-clock second.
+    #[must_use]
     pub fn throughput_per_second(&self) -> f64 {
         let secs = self.wall.as_secs_f64();
         if secs > 0.0 {
@@ -324,10 +353,16 @@ impl SweepReport {
             f64::INFINITY
         }
     }
+
+    /// Total optimizer objective (BVP) evaluations across all rows.
+    #[must_use]
+    pub fn total_evaluations(&self) -> usize {
+        self.rows.iter().map(|r| r.evaluations).sum()
+    }
 }
 
 /// Evaluates one variant: perturb the parameters, build the strip model and
-/// run the full minimum/maximum/optimal comparison.
+/// run the full minimum/maximum/optimal comparison (cold start).
 ///
 /// # Errors
 ///
@@ -337,12 +372,33 @@ pub fn evaluate_variant(
     params: &ModelParams,
     config: &OptimizationConfig,
 ) -> Result<SweepRow> {
-    let mut params = params.clone();
-    params.flow_rate_per_channel = params.flow_rate_per_channel * variant.flow_scale;
+    evaluate_variant_warm(variant, params, config, None).map(|(row, _)| row)
+}
+
+/// [`evaluate_variant`] with an optional optimizer warm start; also returns
+/// the normalized optimum for chaining into the next variant.
+///
+/// # Errors
+///
+/// Propagates model-construction and optimizer failures.
+fn evaluate_variant_warm(
+    variant: &SweepVariant,
+    params: &ModelParams,
+    config: &OptimizationConfig,
+    start: Option<&[f64]>,
+) -> Result<(SweepRow, Vec<f64>)> {
     let load = variant.load.strip_load(variant.flux_scale);
-    let model = strip_model(&load, &params)?;
-    let cmp = DesignComparison::run(&model, config)?;
-    Ok(SweepRow {
+    // The base parameters are only cloned when the variant actually perturbs
+    // them; `strip_model` hands the (possibly borrowed) set to the model.
+    let model = if variant.flow_scale == 1.0 {
+        strip_model(&load, params)?
+    } else {
+        let mut scaled = params.clone();
+        scaled.flow_rate_per_channel = scaled.flow_rate_per_channel * variant.flow_scale;
+        strip_model(&load, &scaled)?
+    };
+    let cmp = DesignComparison::run_warm(&model, config, start)?;
+    let row = SweepRow {
         variant: variant.clone(),
         gradient_min_k: cmp.minimum.gradient_k,
         gradient_max_k: cmp.maximum.gradient_k,
@@ -353,14 +409,46 @@ pub fn evaluate_variant(
         pump_power_opt_w: cmp.optimal.pump_power_w,
         evaluations: cmp.outcome.evaluations,
         feasible: cmp.outcome.feasible,
-    })
+    };
+    Ok((row, cmp.outcome.x_opt))
+}
+
+/// Evaluates one flow-scale chain of variants in order, threading each
+/// optimum into the next variant's start when `warm_start` is set.
+fn evaluate_chain(
+    chain: &[SweepVariant],
+    params: &ModelParams,
+    config: &OptimizationConfig,
+    warm_start: bool,
+) -> Vec<Result<SweepRow>> {
+    let mut out = Vec::with_capacity(chain.len());
+    let mut prev: Option<Vec<f64>> = None;
+    for variant in chain {
+        let start = if warm_start { prev.as_deref() } else { None };
+        match evaluate_variant_warm(variant, params, config, start) {
+            Ok((row, x_opt)) => {
+                prev = Some(x_opt);
+                out.push(Ok(row));
+            }
+            Err(e) => {
+                prev = None;
+                out.push(Err(e));
+            }
+        }
+    }
+    out
 }
 
 /// Runs every variant of `grid` under `options` and collects the report.
 ///
 /// Rows come back in grid order whatever the scheduling; parallel and
 /// serial runs of the same grid produce bitwise-identical rows (see the
-/// module docs for why).
+/// module docs for why). Warm starting preserves that guarantee: the unit of
+/// scheduling is a whole flow-scale chain (the innermost-axis run of
+/// variants sharing a load and flux scale), evaluated sequentially on one
+/// worker, so each variant's starting point is independent of the execution
+/// mode. Cold-started sweeps have no inter-variant dependency, so each
+/// variant is scheduled individually.
 ///
 /// # Errors
 ///
@@ -375,25 +463,46 @@ pub fn run_sweep(grid: &SweepGrid, options: &SweepOptions) -> Result<SweepReport
         fd_threads: 1,
         ..options.config.clone()
     };
+    // Grid order is loads → flux → flow, so each chunk of `flow_scales.len()`
+    // consecutive variants is one flow-scale chain. Cold-started variants
+    // are independent, so each one is its own scheduling unit and the full
+    // per-variant parallelism is available.
+    let chain_len = if options.warm_start {
+        grid.flow_scales.len().max(1)
+    } else {
+        1
+    };
+    let chains: Vec<&[SweepVariant]> = variants.chunks(chain_len).collect();
+    // A whole chain is the unit of scheduling, so more workers than chains
+    // can never run; record the count that actually did.
+    let workers = if chains.len() <= 1 {
+        1
+    } else {
+        workers.min(chains.len())
+    };
 
     let start = Instant::now();
-    let results: Vec<Result<SweepRow>> = if workers == 1 || variants.len() <= 1 {
-        variants
+    let chain_results: Vec<Vec<Result<SweepRow>>> = if workers == 1 {
+        chains
             .iter()
-            .map(|v| evaluate_variant(v, &options.params, &config))
+            .map(|c| evaluate_chain(c, &options.params, &config, options.warm_start))
             .collect()
     } else {
-        parallel_map(&variants, workers, |v| {
-            evaluate_variant(v, &options.params, &config)
+        parallel_map(&chains, workers, |c| {
+            evaluate_chain(c, &options.params, &config, options.warm_start)
         })
     };
     let wall = start.elapsed();
 
-    let rows = results.into_iter().collect::<Result<Vec<SweepRow>>>()?;
+    let rows = chain_results
+        .into_iter()
+        .flatten()
+        .collect::<Result<Vec<SweepRow>>>()?;
     Ok(SweepReport {
         rows,
         workers,
         wall,
+        warm_start: options.warm_start,
     })
 }
 
@@ -509,7 +618,9 @@ mod tests {
         // PartialEq on SweepRow compares every f64 exactly — bitwise equality.
         assert_eq!(serial.rows, parallel.rows);
         assert_eq!(serial.workers, 1);
-        assert_eq!(parallel.workers, 3);
+        // The grid has two flow-scale chains, so a requested 3 workers is
+        // capped at the 2 that can actually run.
+        assert_eq!(parallel.workers, 2);
     }
 
     #[test]
@@ -563,6 +674,50 @@ mod tests {
     #[test]
     fn paper_neighborhood_is_sixteen_variants() {
         assert_eq!(SweepGrid::paper_neighborhood().len(), 16);
+    }
+
+    #[test]
+    fn warm_start_matches_cold_start_within_tolerance() {
+        // Warm-started chains must land on the same optima as cold starts,
+        // within the optimizer's (loose, fast-config) convergence tolerance,
+        // while spending no more evaluations in total.
+        let grid = SweepGrid {
+            loads: vec![LoadSpec::TestA],
+            flux_scales: vec![1.0],
+            flow_scales: vec![0.75, 1.0, 1.25],
+        };
+        let warm = run_sweep(&grid, &tiny_options(ExecutionMode::Serial)).unwrap();
+        let cold = run_sweep(
+            &grid,
+            &SweepOptions {
+                warm_start: false,
+                ..tiny_options(ExecutionMode::Serial)
+            },
+        )
+        .unwrap();
+        assert!(warm.warm_start);
+        assert!(!cold.warm_start);
+        assert_eq!(warm.rows.len(), cold.rows.len());
+        for (w, c) in warm.rows.iter().zip(&cold.rows) {
+            // Uniform baselines don't involve the optimizer at all.
+            assert_eq!(w.gradient_min_k.to_bits(), c.gradient_min_k.to_bits());
+            assert_eq!(w.gradient_max_k.to_bits(), c.gradient_max_k.to_bits());
+            let rel = (w.gradient_opt_k - c.gradient_opt_k).abs() / c.gradient_opt_k;
+            assert!(
+                rel < 0.05,
+                "{}: warm {} K vs cold {} K (rel {rel})",
+                w.variant.label(),
+                w.gradient_opt_k,
+                c.gradient_opt_k
+            );
+            assert_eq!(w.feasible, c.feasible, "{}", w.variant.label());
+        }
+        assert!(
+            warm.total_evaluations() <= cold.total_evaluations(),
+            "warm {} evals vs cold {}",
+            warm.total_evaluations(),
+            cold.total_evaluations()
+        );
     }
 
     #[test]

@@ -108,6 +108,7 @@ impl CsrMatrix {
     }
 
     /// `A·x` as a fresh vector.
+    #[must_use]
     pub fn mul(&self, x: &[f64]) -> Vec<f64> {
         let mut y = vec![0.0; self.n];
         self.mul_into(x, &mut y);
@@ -115,6 +116,7 @@ impl CsrMatrix {
     }
 
     /// Diagonal entries (zero when absent) — the Jacobi preconditioner.
+    #[must_use]
     pub fn diagonal(&self) -> Vec<f64> {
         let mut d = vec![0.0; self.n];
         for (i, di) in d.iter_mut().enumerate() {
@@ -133,6 +135,7 @@ impl CsrMatrix {
     /// # Panics
     ///
     /// Panics if `i` is out of range.
+    #[must_use]
     pub fn row_range(&self, i: usize) -> std::ops::Range<usize> {
         assert!(i < self.n, "row out of range");
         self.row_ptr[i]..self.row_ptr[i + 1]
@@ -143,6 +146,7 @@ impl CsrMatrix {
     /// # Panics
     ///
     /// Panics if `k` is out of range.
+    #[must_use]
     pub fn col_at(&self, k: usize) -> usize {
         self.col_idx[k]
     }
@@ -152,23 +156,29 @@ impl CsrMatrix {
     /// # Panics
     ///
     /// Panics if `k` is out of range.
+    #[must_use]
     pub fn value_at(&self, k: usize) -> f64 {
         self.values[k]
     }
 
     /// Reads `A[i, j]` (zero when not stored).
     ///
+    /// Column indices within a row are sorted (see [`TripletMatrix::to_csr`]),
+    /// so the lookup is a binary search: `O(log nnz_row)` instead of a linear
+    /// scan — the difference matters for the dense-ish rows that boundary
+    /// assembly produces.
+    ///
     /// # Panics
     ///
     /// Panics if `i` or `j` is out of range.
+    #[must_use]
     pub fn get(&self, i: usize, j: usize) -> f64 {
         assert!(i < self.n && j < self.n, "index out of range");
-        for k in self.row_ptr[i]..self.row_ptr[i + 1] {
-            if self.col_idx[k] == j {
-                return self.values[k];
-            }
+        let row = &self.col_idx[self.row_ptr[i]..self.row_ptr[i + 1]];
+        match row.binary_search(&j) {
+            Ok(k) => self.values[self.row_ptr[i] + k],
+            Err(_) => 0.0,
         }
-        0.0
     }
 
     /// Returns a copy with `scale·D` added to the diagonal, where `D` is the
@@ -178,6 +188,7 @@ impl CsrMatrix {
     /// # Panics
     ///
     /// Panics if `d.len()` differs from the matrix size.
+    #[must_use]
     pub fn plus_diagonal(&self, d: &[f64], scale: f64) -> CsrMatrix {
         assert_eq!(d.len(), self.n);
         let mut t = TripletMatrix::new(self.n);
@@ -236,6 +247,26 @@ mod tests {
         t.add(2, 2, 7.0);
         let m = t.to_csr();
         assert_eq!(m.diagonal(), vec![2.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn get_binary_search_hits_every_stored_column() {
+        // A wide row with scattered columns: every stored entry is found and
+        // every gap reads zero (exercises both binary-search arms).
+        let n = 64;
+        let mut t = TripletMatrix::new(n);
+        for j in (1..n).step_by(3) {
+            t.add(5, j, j as f64);
+        }
+        let m = t.to_csr();
+        for j in 0..n {
+            let expect = if j >= 1 && (j - 1) % 3 == 0 {
+                j as f64
+            } else {
+                0.0
+            };
+            assert_eq!(m.get(5, j), expect, "column {j}");
+        }
     }
 
     #[test]

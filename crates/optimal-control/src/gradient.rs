@@ -4,6 +4,15 @@
 //! evaluation, so the gradient cost is `dim` (forward) or `2·dim` (central)
 //! BVP solves. A multi-threaded forward mode amortizes that over cores;
 //! objectives are required to be `Sync` by the [`crate::Objective`] trait.
+//!
+//! The workers here are scoped threads respawned per gradient call, so
+//! expensive objectives should not tie per-thread state to thread identity.
+//! Instead, they draw per-evaluation scratch from a shared pool (e.g.
+//! `liquamod_thermal_model::WorkspacePool` behind the BVP objectives): each
+//! evaluation checks a workspace out of the pool, whose mutex is held only
+//! for the checkout swap, and the warmed-up buffers survive across gradient
+//! calls, line searches and optimizer iterations regardless of which OS
+//! thread runs them.
 
 use crate::Objective;
 

@@ -44,15 +44,20 @@ impl Default for LbfgsOptions {
     }
 }
 
-/// Two-loop recursion: applies the inverse-Hessian approximation to `grad`.
+/// Two-loop recursion: applies the inverse-Hessian approximation to `grad`,
+/// writing the model direction into `q` (`alphas` is per-call scratch; both
+/// buffers are reused across iterations by the caller).
 fn two_loop(
     grad: &[f64],
     pairs: &VecDeque<(Vec<f64>, Vec<f64>, f64)>, // (s, y, 1/yᵀs)
-) -> Vec<f64> {
-    let mut q = grad.to_vec();
-    let mut alphas = Vec::with_capacity(pairs.len());
+    q: &mut Vec<f64>,
+    alphas: &mut Vec<f64>,
+) {
+    q.clear();
+    q.extend_from_slice(grad);
+    alphas.clear();
     for (s, y, rho) in pairs.iter().rev() {
-        let alpha = rho * dot(s, &q);
+        let alpha = rho * dot(s, q);
         for (qi, yi) in q.iter_mut().zip(y) {
             *qi -= alpha * yi;
         }
@@ -63,13 +68,12 @@ fn two_loop(
         let gamma = dot(s, y) / dot(y, y).max(1e-300);
         q.iter_mut().for_each(|qi| *qi *= gamma);
     }
-    for ((s, y, rho), alpha) in pairs.iter().zip(alphas.into_iter().rev()) {
-        let beta = rho * dot(y, &q);
+    for ((s, y, rho), alpha) in pairs.iter().zip(alphas.iter().copied().rev()) {
+        let beta = rho * dot(y, q);
         for (qi, si) in q.iter_mut().zip(s) {
             *qi += (alpha - beta) * si;
         }
     }
-    q
 }
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {
@@ -117,6 +121,10 @@ pub fn lbfgs_b(
     let mut pairs: VecDeque<(Vec<f64>, Vec<f64>, f64)> = VecDeque::new();
     let mut stop = StopReason::MaxIterations;
     let mut iterations = 0;
+    // Iteration-scoped buffers, allocated once and recycled.
+    let mut direction: Vec<f64> = Vec::with_capacity(dim);
+    let mut alphas: Vec<f64> = Vec::with_capacity(options.memory.max(1));
+    let mut grad_scratch: Vec<f64> = vec![0.0; dim];
 
     for _ in 0..options.max_iterations {
         iterations += 1;
@@ -126,9 +134,10 @@ pub fn lbfgs_b(
         }
         // Quasi-Newton direction; fall back to a scaled gradient when the
         // model direction is not a descent direction.
-        let mut direction = two_loop(&grad, &pairs);
+        two_loop(&grad, &pairs, &mut direction, &mut alphas);
         if dot(&direction, &grad) <= 0.0 {
-            direction = grad.clone();
+            direction.clear();
+            direction.extend_from_slice(&grad);
         }
         let ls = armijo_projected(
             &counting,
@@ -166,7 +175,14 @@ pub fn lbfgs_b(
             }
             pairs.clear();
             update_state(
-                &counting, options, bounds, &mut x, &mut f, &mut grad, &mut pairs, ls_grad.x,
+                &counting,
+                options,
+                &mut x,
+                &mut f,
+                &mut grad,
+                &mut grad_scratch,
+                &mut pairs,
+                ls_grad.x,
                 ls_grad.f,
             );
             history.push(f);
@@ -174,7 +190,15 @@ pub fn lbfgs_b(
         }
         let improvement = (f - ls.f) / f.abs().max(1e-30);
         update_state(
-            &counting, options, bounds, &mut x, &mut f, &mut grad, &mut pairs, ls.x, ls.f,
+            &counting,
+            options,
+            &mut x,
+            &mut f,
+            &mut grad,
+            &mut grad_scratch,
+            &mut pairs,
+            ls.x,
+            ls.f,
         );
         history.push(f);
         if improvement < options.improvement_tol {
@@ -193,45 +217,64 @@ pub fn lbfgs_b(
     }
 }
 
-/// Moves to the accepted point, refreshes the gradient and pushes the new
-/// curvature pair when it passes the positivity test.
+/// Moves to the accepted point, refreshes the gradient (into the reusable
+/// `grad_scratch`, which is then swapped with `grad`) and pushes the new
+/// curvature pair when it passes the positivity test. Evicted pairs donate
+/// their storage to the new one, so a full history churns without
+/// reallocating.
 #[allow(clippy::too_many_arguments)]
 fn update_state<O: Objective + ?Sized>(
     counting: &CountingObjective<'_, O>,
     options: &LbfgsOptions,
-    _bounds: &Bounds,
     x: &mut Vec<f64>,
     f: &mut f64,
     grad: &mut Vec<f64>,
+    grad_scratch: &mut Vec<f64>,
     pairs: &mut VecDeque<(Vec<f64>, Vec<f64>, f64)>,
     x_new: Vec<f64>,
     f_new: f64,
 ) {
-    let mut grad_new = vec![0.0; x.len()];
+    grad_scratch.clear();
+    grad_scratch.resize(x.len(), 0.0);
     gradient::forward_diff_parallel(
         counting,
         &x_new,
         f_new,
         options.fd_step,
-        &mut grad_new,
+        grad_scratch,
         options.fd_threads.max(1),
     );
-    let s: Vec<f64> = x_new.iter().zip(x.iter()).map(|(a, b)| a - b).collect();
-    let y: Vec<f64> = grad_new
-        .iter()
-        .zip(grad.iter())
-        .map(|(a, b)| a - b)
-        .collect();
-    let sy = dot(&s, &y);
-    if sy > 1e-12 * dot(&s, &s).sqrt() * dot(&y, &y).sqrt() {
-        if pairs.len() == options.memory.max(1) {
-            pairs.pop_front();
-        }
+    let grad_new = grad_scratch;
+    // Positivity test without materializing (s, y): identical summation
+    // order to `dot` on the materialized vectors.
+    let mut sy = 0.0;
+    let mut ss = 0.0;
+    let mut yy = 0.0;
+    for i in 0..x.len() {
+        let si = x_new[i] - x[i];
+        let yi = grad_new[i] - grad[i];
+        sy += si * yi;
+        ss += si * si;
+        yy += yi * yi;
+    }
+    if sy > 1e-12 * ss.sqrt() * yy.sqrt() {
+        // Only a passing pair evicts history; the evicted pair donates its
+        // storage so a churning full history does not reallocate.
+        let (mut s, mut y) = if pairs.len() == options.memory.max(1) {
+            let (s, y, _) = pairs.pop_front().expect("non-empty history");
+            (s, y)
+        } else {
+            (Vec::with_capacity(x.len()), Vec::with_capacity(x.len()))
+        };
+        s.clear();
+        s.extend(x_new.iter().zip(x.iter()).map(|(a, b)| a - b));
+        y.clear();
+        y.extend(grad_new.iter().zip(grad.iter()).map(|(a, b)| a - b));
         pairs.push_back((s, y, 1.0 / sy));
     }
     *x = x_new;
     *f = f_new;
-    *grad = grad_new;
+    std::mem::swap(grad, grad_new);
 }
 
 #[cfg(test)]

@@ -64,15 +64,17 @@ pub(crate) fn armijo_projected(
     options: &ArmijoOptions,
 ) -> LineSearchOutcome {
     let mut evaluations = 0;
-    // Evaluates the projected trial point at step `t`; returns the point,
-    // its objective (NaN when not evaluated), displacement² and slope.
-    let mut trial = |t: f64| -> (Vec<f64>, f64, f64, f64) {
-        let mut x: Vec<f64> = x0
-            .iter()
-            .zip(direction)
-            .map(|(xi, di)| xi - t * di)
-            .collect();
-        bounds.project(&mut x);
+    // One reusable trial buffer serves every backtracking/growth step; the
+    // accepted point lives in a second buffer and the two are swapped, so a
+    // whole search performs two allocations regardless of trial count.
+    let mut xt = vec![0.0; x0.len()];
+    // Evaluates the projected trial point at step `t` into `x`; returns the
+    // objective (NaN when not evaluated), displacement² and slope.
+    let mut trial = |t: f64, x: &mut [f64]| -> (f64, f64, f64) {
+        for ((xi_t, xi), di) in x.iter_mut().zip(x0).zip(direction) {
+            *xi_t = xi - t * di;
+        }
+        bounds.project(x);
         let mut moved_sq = 0.0;
         let mut slope = 0.0;
         for i in 0..x.len() {
@@ -81,17 +83,17 @@ pub(crate) fn armijo_projected(
             slope += grad[i] * dxi;
         }
         if moved_sq == 0.0 || slope >= 0.0 {
-            return (x, f64::NAN, moved_sq, slope);
+            return (f64::NAN, moved_sq, slope);
         }
         evaluations += 1;
-        let f = obj.value(&x);
-        (x, f, moved_sq, slope)
+        let f = obj.value(x);
+        (f, moved_sq, slope)
     };
 
     let mut step = options.initial_step;
-    let mut accepted: Option<(Vec<f64>, f64, f64)> = None;
+    let mut accepted: Option<f64> = None;
     while step >= options.min_step {
-        let (x, f, moved_sq, slope) = trial(step);
+        let (f, moved_sq, slope) = trial(step, &mut xt);
         if moved_sq == 0.0 {
             // The projection pinned every component; a shorter step cannot
             // unpin them along the same ray.
@@ -103,12 +105,12 @@ pub(crate) fn armijo_projected(
             };
         }
         if slope < 0.0 && f.is_finite() && f <= f0 + options.c1 * slope {
-            accepted = Some((x, f, step));
+            accepted = Some(f);
             break;
         }
         step *= options.shrink;
     }
-    let Some((mut x, mut f, mut step)) = accepted else {
+    let Some(mut f) = accepted else {
         return LineSearchOutcome {
             x: x0.to_vec(),
             f: f0,
@@ -116,6 +118,7 @@ pub(crate) fn armijo_projected(
             evaluations,
         };
     };
+    let mut x = std::mem::replace(&mut xt, vec![0.0; x0.len()]);
 
     // Forward tracking: only when the *first* trial succeeded, expand the
     // step while the objective keeps strictly improving and the Armijo test
@@ -125,12 +128,12 @@ pub(crate) fn armijo_projected(
     if step == options.initial_step {
         let mut grow = step * 2.0;
         for _ in 0..40 {
-            let (xg, fg, moved_sq, slope) = trial(grow);
+            let (fg, moved_sq, slope) = trial(grow, &mut xt);
             let armijo_ok = slope < 0.0 && fg.is_finite() && fg <= f0 + options.c1 * slope;
             if moved_sq == 0.0 || !armijo_ok || fg >= f {
                 break;
             }
-            x = xg;
+            std::mem::swap(&mut x, &mut xt);
             f = fg;
             step = grow;
             grow *= 2.0;

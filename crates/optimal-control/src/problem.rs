@@ -56,6 +56,7 @@ impl<'a, O: Objective + ?Sized> CountingObjective<'a, O> {
     }
 
     /// Evaluations made so far.
+    #[must_use]
     pub fn count(&self) -> usize {
         self.count.load(Ordering::Relaxed)
     }

@@ -12,7 +12,7 @@
 //! is immune to the exponential dichotomy that defeats single shooting on
 //! this problem (see the crate docs).
 
-use crate::linalg::{BandedMatrix, SingularMatrix};
+use crate::linalg::{BandedLu, BandedMatrix, SingularMatrix};
 
 /// Which channel end a boundary condition applies to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,7 +45,10 @@ pub(crate) trait Coefficients {
     fn eval(&self, z: f64, a: &mut [f64], b: &mut [f64]);
 }
 
-/// Solution of the collocation system: states at every mesh node.
+/// Solution of the collocation system: states at every mesh node (the
+/// one-shot [`solve`] wrapper's output; production code goes through
+/// [`solve_into`] and reads the flat workspace states directly).
+#[cfg(test)]
 #[derive(Debug, Clone)]
 pub(crate) struct BvpSolution {
     /// Mesh nodes (metres from the inlet).
@@ -57,17 +60,65 @@ pub(crate) struct BvpSolution {
 /// Builds the mesh: `base_intervals` uniform intervals on `[0, d]` merged
 /// with the supplied breakpoints (deduplicated; near-coincident nodes within
 /// `d·1e-12` collapse so intervals never degenerate).
+#[cfg(test)]
 pub(crate) fn build_mesh(d: f64, base_intervals: usize, breakpoints: &[f64]) -> Vec<f64> {
+    let mut nodes = Vec::new();
+    build_mesh_into(d, base_intervals, breakpoints, &mut nodes);
+    nodes
+}
+
+/// [`build_mesh`] into a caller-owned buffer (mesh-cache refresh path of
+/// [`crate::workspace::SolveWorkspace`]).
+pub(crate) fn build_mesh_into(
+    d: f64,
+    base_intervals: usize,
+    breakpoints: &[f64],
+    nodes: &mut Vec<f64>,
+) {
     let n = base_intervals.max(1);
-    let mut nodes: Vec<f64> = (0..=n).map(|j| d * j as f64 / n as f64).collect();
+    nodes.clear();
+    nodes.extend((0..=n).map(|j| d * j as f64 / n as f64));
     nodes.extend(breakpoints.iter().copied().filter(|&z| z > 0.0 && z < d));
     nodes.sort_by(|a, b| a.partial_cmp(b).expect("finite mesh positions"));
     let tol = d * 1e-12;
     nodes.dedup_by(|a, b| (*a - *b).abs() <= tol);
-    nodes
 }
 
-/// Assembles and solves the collocation system.
+/// Reusable storage for repeated collocation solves.
+///
+/// The banded matrix, factorization, right-hand side and coefficient scratch
+/// buffers are all owned here and recycled by [`solve_into`]; once warmed up
+/// at a given problem shape, a solve performs no heap allocation. After
+/// [`solve_into`] returns, `rhs` holds the node-major solution states (node
+/// `j`'s state vector at `rhs[j * s..(j + 1) * s]`).
+#[derive(Debug)]
+pub(crate) struct BvpWorkspace {
+    /// Collocation matrix (assembly target; dirty after factorization).
+    mat: BandedMatrix,
+    /// Right-hand side, overwritten with the solution by the solve.
+    pub rhs: Vec<f64>,
+    /// Factorization storage, swapped with `mat` each solve.
+    lu: BandedLu,
+    /// Dense `A(z)` scratch for [`Coefficients::eval`].
+    a: Vec<f64>,
+    /// `b(z)` scratch for [`Coefficients::eval`].
+    b: Vec<f64>,
+}
+
+impl BvpWorkspace {
+    pub fn new() -> Self {
+        Self {
+            mat: BandedMatrix::zeros(0, 0, 0),
+            rhs: Vec::new(),
+            lu: BandedLu::empty(),
+            a: Vec::new(),
+            b: Vec::new(),
+        }
+    }
+}
+
+/// Assembles and solves the collocation system into `ws`, allocation-free in
+/// steady state. On success the node-major solution is left in `ws.rhs`.
 ///
 /// # Errors
 ///
@@ -79,11 +130,12 @@ pub(crate) fn build_mesh(d: f64, base_intervals: usize, breakpoints: &[f64]) -> 
 /// Panics if the number of boundary conditions differs from the number of
 /// states, or the mesh has fewer than two nodes — both indicate a bug in the
 /// model assembly, not a user-recoverable condition.
-pub(crate) fn solve(
+pub(crate) fn solve_into(
     coeffs: &dyn Coefficients,
     mesh: &[f64],
     bcs: &[BoundaryCondition],
-) -> Result<BvpSolution, SingularMatrix> {
+    ws: &mut BvpWorkspace,
+) -> Result<(), SingularMatrix> {
     let s = coeffs.n_states();
     assert_eq!(
         bcs.len(),
@@ -94,63 +146,90 @@ pub(crate) fn solve(
     let n_nodes = mesh.len();
     let n_unknowns = n_nodes * s;
 
-    let start_bcs: Vec<&BoundaryCondition> =
-        bcs.iter().filter(|bc| bc.end == BcEnd::Start).collect();
-    let end_bcs: Vec<&BoundaryCondition> = bcs.iter().filter(|bc| bc.end == BcEnd::End).collect();
-    let n_start = start_bcs.len();
+    let n_start = bcs.iter().filter(|bc| bc.end == BcEnd::Start).count();
 
     // Bandwidths (see DESIGN.md §2.1 / module docs): interval rows couple two
     // adjacent node blocks, offset by the leading BC rows.
     let kl = n_start + s - 1;
     let ku = 2 * s - 1 - n_start.min(2 * s - 1);
-    let mut mat = BandedMatrix::zeros(n_unknowns, kl.max(1), ku.max(s));
-    let mut rhs = vec![0.0; n_unknowns];
+    ws.mat.reset(n_unknowns, kl.max(1), ku.max(s));
+    ws.rhs.clear();
+    ws.rhs.resize(n_unknowns, 0.0);
 
     // Leading boundary rows: states at node 0.
-    for (r, bc) in start_bcs.iter().enumerate() {
-        mat.set(r, bc.state, 1.0);
-        rhs[r] = bc.value;
+    for (r, bc) in bcs.iter().filter(|bc| bc.end == BcEnd::Start).enumerate() {
+        ws.mat.set(r, bc.state, 1.0);
+        ws.rhs[r] = bc.value;
     }
 
     // Interval rows.
-    let mut a = vec![0.0; s * s];
-    let mut b = vec![0.0; s];
+    ws.a.clear();
+    ws.a.resize(s * s, 0.0);
+    ws.b.clear();
+    ws.b.resize(s, 0.0);
+    let klm = ws.mat.lower_bandwidth();
     for j in 0..n_nodes - 1 {
         let h = mesh[j + 1] - mesh[j];
         let zm = 0.5 * (mesh[j] + mesh[j + 1]);
-        coeffs.eval(zm, &mut a, &mut b);
+        coeffs.eval(zm, &mut ws.a, &mut ws.b);
         let row0 = n_start + j * s;
         let col_j = j * s;
         let col_j1 = (j + 1) * s;
         for t in 0..s {
             let r = row0 + t;
+            // Entry (r, c) sits at local index c + kl − r of the row slice;
+            // resolving the row once replaces ~4·s banded-offset lookups.
+            let row = ws.mat.row_mut(r);
+            let lj = col_j + klm - r;
+            let lj1 = col_j1 + klm - r;
             for u in 0..s {
-                let half_ha = 0.5 * h * a[t * s + u];
+                let half_ha = 0.5 * h * ws.a[t * s + u];
                 if u == t {
-                    mat.add(r, col_j + u, -1.0 - half_ha);
-                    mat.add(r, col_j1 + u, 1.0 - half_ha);
+                    row[lj + u] += -1.0 - half_ha;
+                    row[lj1 + u] += 1.0 - half_ha;
                 } else if half_ha != 0.0 {
-                    mat.add(r, col_j + u, -half_ha);
-                    mat.add(r, col_j1 + u, -half_ha);
+                    row[lj + u] += -half_ha;
+                    row[lj1 + u] += -half_ha;
                 }
             }
-            rhs[r] = h * b[t];
+            ws.rhs[r] = h * ws.b[t];
         }
     }
 
     // Trailing boundary rows: states at the last node.
     let last = (n_nodes - 1) * s;
     let row0 = n_start + (n_nodes - 1) * s;
-    for (r, bc) in end_bcs.iter().enumerate() {
-        mat.set(row0 + r, last + bc.state, 1.0);
-        rhs[row0 + r] = bc.value;
+    for (r, bc) in bcs.iter().filter(|bc| bc.end == BcEnd::End).enumerate() {
+        ws.mat.set(row0 + r, last + bc.state, 1.0);
+        ws.rhs[row0 + r] = bc.value;
     }
 
-    let lu = mat.factor()?;
-    lu.solve_in_place(&mut rhs);
+    ws.mat.factor_into(&mut ws.lu)?;
+    ws.lu.solve_in_place(&mut ws.rhs);
+    Ok(())
+}
 
-    let states = (0..n_nodes)
-        .map(|j| rhs[j * s..(j + 1) * s].to_vec())
+/// Assembles and solves the collocation system with one-shot storage.
+///
+/// Convenience wrapper over [`solve_into`]; repeated solves should reuse a
+/// [`BvpWorkspace`] (or, at the model level, a
+/// [`crate::workspace::SolveWorkspace`]) instead.
+///
+/// # Errors
+///
+/// Returns [`SingularMatrix`] if the assembled system cannot be factored
+/// (e.g. inconsistent boundary conditions).
+#[cfg(test)]
+pub(crate) fn solve(
+    coeffs: &dyn Coefficients,
+    mesh: &[f64],
+    bcs: &[BoundaryCondition],
+) -> Result<BvpSolution, SingularMatrix> {
+    let mut ws = BvpWorkspace::new();
+    solve_into(coeffs, mesh, bcs, &mut ws)?;
+    let s = coeffs.n_states();
+    let states = (0..mesh.len())
+        .map(|j| ws.rhs[j * s..(j + 1) * s].to_vec())
         .collect();
     Ok(BvpSolution {
         z: mesh.to_vec(),
@@ -256,6 +335,40 @@ mod tests {
         // End values match the pinned conditions exactly.
         assert!((sol.states.last().unwrap()[0] - 1.0).abs() < 1e-12);
         assert!((sol.states[0][1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bitwise_identical_to_fresh() {
+        // Solve two different problems (different state counts, so the
+        // workspace reshapes in between) through one reused workspace and
+        // compare against fresh solves bit for bit.
+        let mesh = build_mesh(1.0, 32, &[]);
+        let bcs2 = [
+            BoundaryCondition {
+                state: 0,
+                end: BcEnd::Start,
+                value: 0.0,
+            },
+            BoundaryCondition {
+                state: 0,
+                end: BcEnd::End,
+                value: 0.0,
+            },
+        ];
+        let mut ws = BvpWorkspace::new();
+        for &c in &[2.0, -1.5, 0.75] {
+            let coeffs = Quadratic { c };
+            solve_into(&coeffs, &mesh, &bcs2, &mut ws).unwrap();
+            let fresh = solve(&coeffs, &mesh, &bcs2).unwrap();
+            for (j, state) in fresh.states.iter().enumerate() {
+                for (t, v) in state.iter().enumerate() {
+                    assert!(
+                        ws.rhs[j * 2 + t].to_bits() == v.to_bits(),
+                        "c={c}, node {j}, state {t}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

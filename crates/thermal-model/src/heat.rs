@@ -90,6 +90,13 @@ impl HeatProfile {
         LinearHeatFlux::from_w_per_m(self.steps[idx].1)
     }
 
+    /// Appends the interior breakpoints in raw metres to `out` — the
+    /// allocation-free form of [`HeatProfile::breakpoints`] used by the
+    /// solve workspace's mesh cache.
+    pub(crate) fn append_breakpoints_si(&self, out: &mut Vec<f64>) {
+        out.extend(self.steps.iter().skip(1).map(|&(z, _)| z));
+    }
+
     /// Interior breakpoint positions (where the profile jumps).
     pub fn breakpoints(&self) -> Vec<Length> {
         self.steps

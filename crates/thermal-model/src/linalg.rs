@@ -206,10 +206,36 @@ impl BandedMatrix {
         self.data[o] += v;
     }
 
+    /// Mutable view of row `i`'s in-band storage: entry `(i, j)` lives at
+    /// local index `j + kl − i`. Assembly hot loops use this to write a
+    /// row's entries without recomputing the banded offset per entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range (and out-of-band local indices panic at
+    /// the slice boundary, preserving [`BandedMatrix::add`]'s band check).
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.n, "row out of range");
+        &mut self.data[i * self.width..(i + 1) * self.width]
+    }
+
     /// Resets all entries to zero, keeping the allocation (assembly reuse in
-    /// optimizer inner loops).
+    /// optimizer inner loops). Also restores the storage length after a
+    /// [`BandedMatrix::factor_into`] swapped buffers with a [`BandedLu`].
     pub fn clear(&mut self) {
-        self.data.iter_mut().for_each(|v| *v = 0.0);
+        self.data.clear();
+        self.data.resize(self.n * self.width, 0.0);
+    }
+
+    /// Re-shapes the matrix to `n × n` with bandwidths `kl`, `ku` and zeroes
+    /// every entry, reusing the existing allocation when it is large enough.
+    pub fn reset(&mut self, n: usize, kl: usize, ku: usize) {
+        self.n = n;
+        self.kl = kl;
+        self.ku = ku;
+        self.width = kl + ku + 1;
+        self.clear();
     }
 
     /// Matrix–vector product `y = A x` (used by tests and residual checks).
@@ -239,12 +265,35 @@ impl BandedMatrix {
     /// # Errors
     ///
     /// Returns [`SingularMatrix`] if a pivot is exactly zero.
-    pub fn factor(self) -> Result<BandedLu, SingularMatrix> {
+    pub fn factor(mut self) -> Result<BandedLu, SingularMatrix> {
+        let mut lu = BandedLu::empty();
+        self.factor_into(&mut lu)?;
+        Ok(lu)
+    }
+
+    /// Factors the matrix into `lu` without allocating in steady state.
+    ///
+    /// The elimination runs directly on this matrix's storage, which is then
+    /// swapped into `lu.upper`; the multiplier and pivot arrays of `lu` are
+    /// resized (a no-op after the first call at a given shape). Afterwards
+    /// this matrix holds `lu`'s previous storage and arbitrary values — call
+    /// [`BandedMatrix::clear`] (or [`BandedMatrix::reset`]) before the next
+    /// assembly, exactly as the workspace-driven solve loop does.
+    ///
+    /// Performs the same floating-point operations in the same order as
+    /// [`BandedMatrix::factor`], so repeated factorizations through a reused
+    /// `lu` are bitwise identical to fresh ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrix`] if a pivot is exactly zero (the matrix and
+    /// `lu` are left in an unspecified but safe state).
+    pub fn factor_into(&mut self, lu: &mut BandedLu) -> Result<(), SingularMatrix> {
         let n = self.n;
         let kl = self.kl;
         let ku = self.ku;
         let width = kl + ku + 1;
-        let mut a = self.data;
+        let a = &mut self.data;
 
         // Left-justify the first kl rows so that every row i is stored
         // starting at its first in-band matrix column max(i - kl, 0). The
@@ -262,8 +311,12 @@ impl BandedMatrix {
             }
         }
 
-        let mut al = vec![0.0; n * kl];
-        let mut piv = vec![0usize; n];
+        lu.lower.clear();
+        lu.lower.resize(n * kl, 0.0);
+        lu.piv.clear();
+        lu.piv.resize(n, 0usize);
+        let al = &mut lu.lower;
+        let piv = &mut lu.piv;
         let mut l = kl;
         for k in 0..n {
             if l < n {
@@ -288,23 +341,27 @@ impl BandedMatrix {
                     a.swap(k * width + j, p * width + j);
                 }
             }
-            for i in (k + 1)..l.min(n) {
-                let m = a[i * width] / a[k * width];
-                al[k * kl + (i - k - 1)] = m;
+            // Eliminate below the pivot. Split borrows so the pivot row and
+            // the target rows are disjoint slices: the inner shift-left
+            // update then runs without per-element bounds checks (this loop
+            // is the factorization's entire O(n·kl·width) cost).
+            let (head, tail) = a.split_at_mut((k + 1) * width);
+            let pivot_row = &head[k * width..];
+            let n_elim = l.min(n) - (k + 1);
+            for (idx, row) in tail.chunks_exact_mut(width).take(n_elim).enumerate() {
+                let m = row[0] / pivot_row[0];
+                al[k * kl + idx] = m;
                 for j in 1..width {
-                    a[i * width + j - 1] = a[i * width + j] - m * a[k * width + j];
+                    row[j - 1] = row[j] - m * pivot_row[j];
                 }
-                a[i * width + width - 1] = 0.0;
+                row[width - 1] = 0.0;
             }
         }
-        Ok(BandedLu {
-            n,
-            kl,
-            width,
-            upper: a,
-            lower: al,
-            piv,
-        })
+        lu.n = n;
+        lu.kl = kl;
+        lu.width = width;
+        std::mem::swap(&mut self.data, &mut lu.upper);
+        Ok(())
     }
 }
 
@@ -323,6 +380,25 @@ pub struct BandedLu {
 }
 
 impl BandedLu {
+    /// An empty factorization to be filled by [`BandedMatrix::factor_into`]
+    /// (workspace storage; solving before a factorization panics on the size
+    /// assertion for any non-empty right-hand side).
+    pub fn empty() -> Self {
+        Self {
+            n: 0,
+            kl: 0,
+            width: 0,
+            upper: Vec::new(),
+            lower: Vec::new(),
+            piv: Vec::new(),
+        }
+    }
+
+    /// Dimension of the factored system (zero for [`BandedLu::empty`]).
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
     /// Solves `A x = b`, overwriting `b` with `x`.
     ///
     /// # Panics
@@ -343,18 +419,25 @@ impl BandedLu {
             if l < n {
                 l += 1;
             }
-            for i in (k + 1)..l.min(n) {
-                b[i] -= self.lower[k * kl + (i - k - 1)] * b[k];
+            let (head, tail) = b.split_at_mut(k + 1);
+            let bk = head[k];
+            for (bi, m) in tail
+                .iter_mut()
+                .zip(&self.lower[k * kl..])
+                .take(l.min(n) - (k + 1))
+            {
+                *bi -= m * bk;
             }
         }
         // Back substitution on the left-justified upper factor.
         let mut l = 1;
         for k in (0..n).rev() {
+            let row = &self.upper[k * width..k * width + l];
             let mut s = b[k];
-            for j in 1..l {
-                s -= self.upper[k * width + j] * b[k + j];
+            for (u, bj) in row[1..].iter().zip(&b[k + 1..]) {
+                s -= u * bj;
             }
-            b[k] = s / self.upper[k * width];
+            b[k] = s / row[0];
             if l < width {
                 l += 1;
             }
@@ -572,6 +655,66 @@ mod tests {
         for i in 0..n {
             assert!((yb[i] - yd[i]).abs() < 1e-12);
         }
+    }
+
+    fn fill_tridiagonal(m: &mut BandedMatrix, n: usize, scale: f64) {
+        for i in 0..n {
+            m.set(i, i, 2.0 * scale);
+            if i > 0 {
+                m.set(i, i - 1, -scale);
+            }
+            if i + 1 < n {
+                m.set(i, i + 1, -scale);
+            }
+        }
+    }
+
+    #[test]
+    fn factor_into_reuse_is_bitwise_identical_to_fresh() {
+        // Factor two different systems through one reused BandedLu and one
+        // reused BandedMatrix; every solve must match a fresh factorization
+        // bit for bit.
+        let n = 24;
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.73).sin()).collect();
+        let mut mat = BandedMatrix::zeros(n, 1, 1);
+        let mut lu = BandedLu::empty();
+        for &scale in &[1.0, 3.5, 0.25] {
+            mat.reset(n, 1, 1);
+            fill_tridiagonal(&mut mat, n, scale);
+            let mut fresh = BandedMatrix::zeros(n, 1, 1);
+            fill_tridiagonal(&mut fresh, n, scale);
+
+            mat.factor_into(&mut lu).unwrap();
+            let x_reused = lu.solve(&b);
+            let x_fresh = fresh.factor().unwrap().solve(&b);
+            assert_eq!(lu.size(), n);
+            for i in 0..n {
+                assert!(
+                    x_reused[i].to_bits() == x_fresh[i].to_bits(),
+                    "scale {scale}, x[{i}]: reused {} vs fresh {}",
+                    x_reused[i],
+                    x_fresh[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reset_reshapes_and_zeroes() {
+        let mut m = BandedMatrix::zeros(3, 1, 1);
+        m.set(1, 1, 5.0);
+        m.reset(6, 2, 1);
+        assert_eq!(m.size(), 6);
+        assert_eq!(m.lower_bandwidth(), 2);
+        assert_eq!(m.upper_bandwidth(), 1);
+        for i in 0..6usize {
+            for j in i.saturating_sub(2)..=(i + 1).min(5) {
+                assert_eq!(m.get(i, j), 0.0);
+            }
+        }
+        // Still factors correctly after the reshape.
+        fill_tridiagonal(&mut m, 6, 1.0);
+        assert!(m.factor().is_ok());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::bvp::{self, BcEnd, BoundaryCondition, Coefficients};
 use crate::conductance::ElementConductances;
 use crate::solution::{ColumnProfiles, Solution};
+use crate::workspace::SolveWorkspace;
 use crate::{HeatProfile, ModelParams, Result, ThermalModelError, WidthProfile};
 use liquamod_microfluidics::pressure;
 use liquamod_units::{Length, Pressure, VolumetricFlowRate};
@@ -131,6 +132,16 @@ impl SolveOptions {
     }
 }
 
+/// The two §IV cost integrals of one solve, evaluated directly from the
+/// workspace states by [`Model::solve_costs_with`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostIntegrals {
+    /// `∫ ‖dT/dz‖² dz` over every layer of every column (paper Eq. 7).
+    pub gradient_squared: f64,
+    /// `∫ ‖q‖² dz` over every layer of every column (§IV-A variant).
+    pub heatflow_squared: f64,
+}
+
 /// A liquid-cooled two-active-layer channel stack: the paper's Fig. 2
 /// structure, generalized to `N` laterally coupled channel columns.
 #[derive(Debug, Clone, PartialEq)]
@@ -226,6 +237,10 @@ impl Model {
 
     /// Solves the steady-state BVP and returns the profiles and metrics.
     ///
+    /// One-shot convenience over [`Model::solve_with`]: repeated solves (the
+    /// optimizer's hot path) should keep a [`SolveWorkspace`] alive instead;
+    /// results are bitwise identical either way.
+    ///
     /// # Errors
     ///
     /// * [`ThermalModelError::InvalidOptions`] for a zero mesh;
@@ -234,46 +249,48 @@ impl Model {
     /// * [`ThermalModelError::Microfluidics`] if a width profile produces an
     ///   invalid duct at some position.
     pub fn solve(&self, options: &SolveOptions) -> Result<Solution> {
-        if options.mesh_intervals == 0 {
-            return Err(ThermalModelError::InvalidOptions {
-                what: "mesh_intervals must be at least 1".to_string(),
-            });
-        }
-        let d = self.length.si();
-        let mut breakpoints: Vec<f64> = Vec::new();
-        for col in &self.columns {
-            breakpoints.extend(col.width.breakpoints(self.length).iter().map(|l| l.si()));
-            breakpoints.extend(col.heat_top.breakpoints().iter().map(|l| l.si()));
-            breakpoints.extend(col.heat_bottom.breakpoints().iter().map(|l| l.si()));
-        }
-        let mesh = bvp::build_mesh(d, options.mesh_intervals, &breakpoints);
+        self.solve_with(options, &mut SolveWorkspace::new())
+    }
 
-        let coeffs = StackCoefficients::build(self)?;
-        let bcs = self.boundary_conditions();
-        let raw = bvp::solve(&coeffs, &mesh, &bcs)?;
+    /// Solves the steady-state BVP reusing `ws` for every internal buffer.
+    ///
+    /// The mesh, banded matrix, factorization, right-hand side and scratch
+    /// buffers live in the workspace and are recycled across calls; in the
+    /// steady state of an optimization loop (same model shape, varying width
+    /// values) the solve-size-dominant allocations disappear, leaving only
+    /// small per-solve coefficient construction and the returned
+    /// [`Solution`]'s profile vectors. The workspace adapts when the model
+    /// or options change, so
+    /// sharing one workspace across different models is safe. See
+    /// [`crate::workspace`] for the lifecycle.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Model::solve`].
+    pub fn solve_with(&self, options: &SolveOptions, ws: &mut SolveWorkspace) -> Result<Solution> {
+        self.solve_raw(options, ws)?;
 
         // Unpack node-major states into per-column profiles.
-        let n_nodes = raw.z.len();
+        let n_nodes = ws.mesh.len();
+        let s = 5 * self.columns.len();
+        let states = &ws.bvp.rhs;
         let mut columns = Vec::with_capacity(self.columns.len());
         for (i, col) in self.columns.iter().enumerate() {
             let base = 5 * i;
-            let mut profiles = ColumnProfiles {
-                t_top: Vec::with_capacity(n_nodes),
-                t_bottom: Vec::with_capacity(n_nodes),
-                q_top: Vec::with_capacity(n_nodes),
-                q_bottom: Vec::with_capacity(n_nodes),
-                t_coolant: Vec::with_capacity(n_nodes),
+            let component = |offset: usize| -> Vec<f64> {
+                (0..n_nodes)
+                    .map(|j| states[j * s + base + offset])
+                    .collect()
+            };
+            columns.push(ColumnProfiles {
+                t_top: component(0),
+                t_bottom: component(1),
+                q_top: component(2),
+                q_bottom: component(3),
+                t_coolant: component(4),
                 g_longitudinal: self.params.g_longitudinal() * col.group_size as f64,
                 capacity_rate: self.params.capacity_rate() * col.group_size as f64,
-            };
-            for state in &raw.states {
-                profiles.t_top.push(state[base]);
-                profiles.t_bottom.push(state[base + 1]);
-                profiles.q_top.push(state[base + 2]);
-                profiles.q_bottom.push(state[base + 3]);
-                profiles.t_coolant.push(state[base + 4]);
-            }
-            columns.push(profiles);
+            });
         }
 
         let total_input_power: f64 = self
@@ -286,11 +303,91 @@ impl Model {
             .sum();
 
         Ok(Solution {
-            z: raw.z,
+            z: ws.mesh.clone(),
             columns,
             total_input_power,
             inlet_temperature: self.params.inlet_temperature.si(),
         })
+    }
+
+    /// Solves the BVP and evaluates only the optimal-control cost integrals,
+    /// skipping the [`Solution`] profile materialization entirely — the
+    /// optimizer's objective path, which discards everything but one scalar.
+    /// Bitwise-identical to computing [`Solution::cost_gradient_squared`] /
+    /// [`Solution::cost_heatflow_squared`] on [`Model::solve_with`]'s result.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Model::solve`].
+    pub fn solve_costs_with(
+        &self,
+        options: &SolveOptions,
+        ws: &mut SolveWorkspace,
+    ) -> Result<CostIntegrals> {
+        self.solve_raw(options, ws)?;
+        let n_nodes = ws.mesh.len();
+        let s = 5 * self.columns.len();
+        let states = &ws.bvp.rhs;
+        let mut gradient_squared = 0.0;
+        let mut heatflow_squared = 0.0;
+        for (i, col) in self.columns.iter().enumerate() {
+            let scale = 1.0 / (self.params.g_longitudinal() * col.group_size as f64);
+            let q = |j: usize| (states[j * s + 5 * i + 2], states[j * s + 5 * i + 3]);
+            // Trapezoid with the same per-node arithmetic as
+            // `Solution::integrate_columns` (f evaluated afresh at j and
+            // j+1), so the sums agree bit for bit.
+            for j in 0..n_nodes - 1 {
+                let h = ws.mesh[j + 1] - ws.mesh[j];
+                let (t0, b0) = q(j);
+                let (t1, b1) = q(j + 1);
+                gradient_squared += 0.5
+                    * h
+                    * ((t0 * scale).powi(2)
+                        + (b0 * scale).powi(2)
+                        + ((t1 * scale).powi(2) + (b1 * scale).powi(2)));
+                heatflow_squared += 0.5 * h * (t0.powi(2) + b0.powi(2) + (t1.powi(2) + b1.powi(2)));
+            }
+        }
+        Ok(CostIntegrals {
+            gradient_squared,
+            heatflow_squared,
+        })
+    }
+
+    /// Shared internals of [`Model::solve_with`] / [`Model::solve_costs_with`]:
+    /// mesh refresh, assembly and the banded solve, leaving the node-major
+    /// states in the workspace.
+    fn solve_raw(&self, options: &SolveOptions, ws: &mut SolveWorkspace) -> Result<()> {
+        if options.mesh_intervals == 0 {
+            return Err(ThermalModelError::InvalidOptions {
+                what: "mesh_intervals must be at least 1".to_string(),
+            });
+        }
+        let d = self.length.si();
+
+        // Refresh the cached mesh only when its inputs changed. The
+        // breakpoint list is collected in deterministic model order, so an
+        // element-wise comparison against the cached list is exact.
+        ws.bp_scratch.clear();
+        for col in &self.columns {
+            let bp = &mut ws.bp_scratch;
+            col.width.append_breakpoints_si(self.length, bp);
+            col.heat_top.append_breakpoints_si(bp);
+            col.heat_bottom.append_breakpoints_si(bp);
+        }
+        let key = (d, options.mesh_intervals);
+        if ws.mesh_key != Some(key) || ws.bp_scratch != ws.breakpoints {
+            bvp::build_mesh_into(d, options.mesh_intervals, &ws.bp_scratch, &mut ws.mesh);
+            std::mem::swap(&mut ws.breakpoints, &mut ws.bp_scratch);
+            ws.mesh_key = Some(key);
+            ws.mesh_builds += 1;
+        }
+        ws.solves += 1;
+
+        let coeffs = StackCoefficients::build(self)?;
+        self.boundary_conditions_into(&mut ws.bcs);
+        bvp::solve_into(&coeffs, &ws.mesh, &ws.bcs, &mut ws.bvp)?;
+        Ok(())
     }
 
     /// Pressure drop of one *physical* channel in each column at the model's
@@ -365,8 +462,9 @@ impl Model {
         ))
     }
 
-    fn boundary_conditions(&self) -> Vec<BoundaryCondition> {
-        let mut bcs = Vec::with_capacity(5 * self.columns.len());
+    fn boundary_conditions_into(&self, bcs: &mut Vec<BoundaryCondition>) {
+        bcs.clear();
+        bcs.reserve(5 * self.columns.len());
         for (i, col) in self.columns.iter().enumerate() {
             let base = 5 * i;
             bcs.push(BoundaryCondition {
@@ -399,7 +497,67 @@ impl Model {
                 value: self.params.inlet_temperature.si(),
             });
         }
-        bcs
+    }
+}
+
+/// Per-column memo of width → conductances.
+///
+/// With the entry-length correction off (the default), the Eq. (2) circuit
+/// parameters depend only on the local width — and uniform/piecewise-constant
+/// profiles take a handful of distinct widths, while the assembly queries one
+/// per mesh interval. Precomputing per distinct width turns the assembly's
+/// dominant cost (duct + Nusselt evaluation) into a tiny table lookup. Cached
+/// values are produced by the same [`ElementConductances::evaluate`] call the
+/// direct path makes, so solves are bitwise identical either way.
+struct ConductanceCache {
+    /// `(width bits, conductances)` for each distinct profile width.
+    entries: Vec<(u64, ElementConductances)>,
+    /// Most recently hit entry — `z` advances monotonically during assembly,
+    /// so consecutive lookups almost always land in the same segment.
+    last: std::cell::Cell<usize>,
+}
+
+impl ConductanceCache {
+    /// Builds the memo for `col`, or `None` when the conductances are
+    /// z-dependent (developing flow) or the profile is not piecewise
+    /// constant.
+    fn build(params: &ModelParams, col: &ChannelColumn) -> Result<Option<Self>> {
+        if params.developing_flow {
+            return Ok(None);
+        }
+        let mut widths: Vec<Length> = match col.width() {
+            WidthProfile::Uniform(w) => vec![*w],
+            WidthProfile::PiecewiseConstant { widths } => widths.clone(),
+            WidthProfile::PiecewiseLinear { .. } => return Ok(None),
+        };
+        widths.sort_by(|a, b| a.si().partial_cmp(&b.si()).expect("finite widths"));
+        widths.dedup_by_key(|w| w.si().to_bits());
+        let entries = widths
+            .into_iter()
+            .map(|w| {
+                ElementConductances::evaluate(params, w, col.group_size(), Length::ZERO)
+                    .map(|c| (w.si().to_bits(), c))
+            })
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        Ok(Some(Self {
+            entries,
+            last: std::cell::Cell::new(0),
+        }))
+    }
+
+    /// Looks up the conductances for `width`; `None` on a miss (the caller
+    /// falls back to a direct evaluation).
+    fn get(&self, width: Length) -> Option<ElementConductances> {
+        let bits = width.si().to_bits();
+        let last = self.last.get();
+        if let Some(&(b, c)) = self.entries.get(last) {
+            if b == bits {
+                return Some(c);
+            }
+        }
+        let idx = self.entries.iter().position(|&(b, _)| b == bits)?;
+        self.last.set(idx);
+        Some(self.entries[idx].1)
     }
 }
 
@@ -408,6 +566,8 @@ struct StackCoefficients<'m> {
     model: &'m Model,
     /// Lateral conductances between columns `i` and `i+1`.
     lateral: Vec<f64>,
+    /// Per-column width → conductance memos (`None` → evaluate per z).
+    caches: Vec<Option<ConductanceCache>>,
 }
 
 impl<'m> StackCoefficients<'m> {
@@ -422,6 +582,11 @@ impl<'m> StackCoefficients<'m> {
                 Length::ZERO,
             )?;
         }
+        let caches = model
+            .columns()
+            .iter()
+            .map(|col| ConductanceCache::build(&model.params, col))
+            .collect::<Result<Vec<_>>>()?;
         let lateral = model
             .columns()
             .windows(2)
@@ -433,7 +598,11 @@ impl<'m> StackCoefficients<'m> {
                 )
             })
             .collect();
-        Ok(Self { model, lateral })
+        Ok(Self {
+            model,
+            lateral,
+            caches,
+        })
     }
 }
 
@@ -456,13 +625,16 @@ impl Coefficients for StackCoefficients<'_> {
                 FlowDirection::Reverse => Length::from_meters(d.si() - z),
             };
             let width = col.width().width_at(zl, d);
-            let c = ElementConductances::evaluate(
-                &self.model.params,
-                width,
-                col.group_size(),
-                z_from_inlet,
-            )
-            .expect("width range validated at model construction");
+            let cached = self.caches[i].as_ref().and_then(|cache| cache.get(width));
+            let c = cached.unwrap_or_else(|| {
+                ElementConductances::evaluate(
+                    &self.model.params,
+                    width,
+                    col.group_size(),
+                    z_from_inlet,
+                )
+                .expect("width range validated at model construction")
+            });
 
             let t1 = 5 * i;
             let t2 = t1 + 1;
@@ -827,6 +999,45 @@ mod tests {
             .abs()
             / fine.thermal_gradient().as_kelvin();
         assert!(dg < 1e-3, "gradient not mesh-converged: rel diff {dg}");
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_solve_bitwise() {
+        // One workspace serving several models (different widths, heats and
+        // mesh resolutions, so the cached mesh both hits and rebuilds) must
+        // reproduce the one-shot solve bit for bit.
+        let mut ws = SolveWorkspace::new();
+        let cases = [
+            (35.0, 128usize),
+            (50.0, 128),
+            (50.0, 64), // mesh rebuild: resolution change
+            (20.0, 64),
+        ];
+        for &(width_um, intervals) in &cases {
+            let model = test_a_model(width_um);
+            let opts = SolveOptions::with_mesh_intervals(intervals);
+            let reused = model.solve_with(&opts, &mut ws).unwrap();
+            let fresh = model.solve(&opts).unwrap();
+            assert_eq!(reused.n_nodes(), fresh.n_nodes());
+            for (zr, zf) in reused.z_meters().iter().zip(fresh.z_meters()) {
+                assert_eq!(zr.to_bits(), zf.to_bits());
+            }
+            for (cr, cf) in reused.columns().iter().zip(fresh.columns()) {
+                for (a, b) in [
+                    (cr.t_top_kelvin(), cf.t_top_kelvin()),
+                    (cr.t_bottom_kelvin(), cf.t_bottom_kelvin()),
+                    (cr.t_coolant_kelvin(), cf.t_coolant_kelvin()),
+                ] {
+                    for (va, vb) in a.iter().zip(b) {
+                        assert_eq!(va.to_bits(), vb.to_bits(), "case {width_um}/{intervals}");
+                    }
+                }
+            }
+        }
+        assert_eq!(ws.solves(), cases.len());
+        // Same mesh inputs for the first two cases (heat/width breakpoints
+        // are uniform → none): only the resolution changes force rebuilds.
+        assert_eq!(ws.mesh_builds(), 2);
     }
 
     #[test]

@@ -95,6 +95,23 @@ impl WidthProfile {
         }
     }
 
+    /// Appends the interior breakpoints in raw metres to `out` — the
+    /// allocation-free form of [`WidthProfile::breakpoints`] used by the
+    /// solve workspace's mesh cache.
+    pub(crate) fn append_breakpoints_si(&self, d: Length, out: &mut Vec<f64>) {
+        match self {
+            WidthProfile::Uniform(_) => {}
+            WidthProfile::PiecewiseConstant { widths } => {
+                out.extend((1..widths.len()).map(|k| d.si() * k as f64 / widths.len() as f64));
+            }
+            WidthProfile::PiecewiseLinear { knots } => {
+                out.extend(
+                    (1..knots.len() - 1).map(|k| d.si() * k as f64 / (knots.len() - 1) as f64),
+                );
+            }
+        }
+    }
+
     /// Smallest width anywhere on the profile.
     pub fn min_width(&self) -> Length {
         match self {

@@ -1,0 +1,180 @@
+//! Reusable solve workspaces: allocation-free repeated [`Model::solve_with`]
+//! calls.
+//!
+//! The channel-modulation optimizer evaluates the same model shape hundreds
+//! of times per design run (finite-difference gradients alone cost `n + 1`
+//! boundary-value solves per iteration) while only the width profiles vary.
+//! The mesh, the collocation matrix's sparsity structure and every buffer
+//! size are invariant across those evaluations, so a [`SolveWorkspace`]
+//! keeps them alive between solves:
+//!
+//! * the **mesh** is cached and rebuilt only when the channel length, base
+//!   resolution or profile breakpoints actually change;
+//! * the **banded matrix**, **factorization** and **right-hand side** are
+//!   factored in place ([`crate::linalg::BandedMatrix::factor_into`]) and
+//!   recycled, swapping storage back and forth instead of reallocating;
+//! * coefficient and boundary-condition scratch buffers are reused.
+//!
+//! # Lifecycle
+//!
+//! Create one workspace per thread of repeated solves and pass it to
+//! [`Model::solve_with`]. The workspace adapts automatically when the model
+//! shape changes (buffers reshape on the next solve), so one long-lived
+//! workspace can serve many different models — reuse is a pure optimization,
+//! never a correctness concern: a workspace-reused solve is **bitwise
+//! identical** to a fresh [`Model::solve`] (which itself routes through a
+//! one-shot workspace).
+//!
+//! For thread fan-outs whose worker threads are short-lived (e.g. scoped
+//! finite-difference workers respawned per gradient), a [`WorkspacePool`]
+//! hands out workspaces so the buffers survive across fan-out rounds:
+//!
+//! ```
+//! use liquamod_thermal_model::WorkspacePool;
+//!
+//! let pool = WorkspacePool::new();
+//! let answer = pool.with(|_ws| {
+//!     // ... model.solve_with(&options, _ws) ...
+//!     42
+//! });
+//! assert_eq!(answer, 42);
+//! assert_eq!(pool.len(), 1); // the workspace went back into the pool
+//! ```
+
+use crate::bvp::{BoundaryCondition, BvpWorkspace};
+use std::sync::Mutex;
+
+/// Reusable storage for repeated [`Model::solve_with`] calls.
+///
+/// See the [module docs](self) for the lifecycle; construct with
+/// [`SolveWorkspace::new`] and keep it alive across solves.
+///
+/// [`Model::solve_with`]: crate::Model::solve_with
+#[derive(Debug)]
+pub struct SolveWorkspace {
+    /// Banded system storage (matrix, factorization, RHS, scratch).
+    pub(crate) bvp: BvpWorkspace,
+    /// Cached mesh nodes (valid when `mesh_key` matches the request).
+    pub(crate) mesh: Vec<f64>,
+    /// Breakpoints the cached mesh was built from, in collection order.
+    pub(crate) breakpoints: Vec<f64>,
+    /// Scratch for collecting the current solve's breakpoints.
+    pub(crate) bp_scratch: Vec<f64>,
+    /// Boundary-condition scratch.
+    pub(crate) bcs: Vec<BoundaryCondition>,
+    /// `(length, base intervals)` of the cached mesh, `None` when cold.
+    pub(crate) mesh_key: Option<(f64, usize)>,
+    /// Solves served since construction (cache diagnostics for benches).
+    pub(crate) solves: usize,
+    /// Mesh rebuilds performed (≥ 1 after the first solve).
+    pub(crate) mesh_builds: usize,
+}
+
+impl SolveWorkspace {
+    /// Creates an empty (cold) workspace.
+    pub fn new() -> Self {
+        Self {
+            bvp: BvpWorkspace::new(),
+            mesh: Vec::new(),
+            breakpoints: Vec::new(),
+            bp_scratch: Vec::new(),
+            bcs: Vec::new(),
+            mesh_key: None,
+            solves: 0,
+            mesh_builds: 0,
+        }
+    }
+
+    /// Solves served through this workspace so far.
+    #[must_use]
+    pub fn solves(&self) -> usize {
+        self.solves
+    }
+
+    /// Mesh (re)builds this workspace performed; stays at 1 while the mesh
+    /// inputs are invariant, which is the expected steady state inside the
+    /// optimizer.
+    #[must_use]
+    pub fn mesh_builds(&self) -> usize {
+        self.mesh_builds
+    }
+}
+
+impl Default for SolveWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A shared pool of [`SolveWorkspace`]s for thread fan-outs.
+///
+/// Worker threads (finite-difference gradient workers, sweep workers) call
+/// [`WorkspacePool::with`]; the pool pops an idle workspace (or creates one
+/// when all are in use) and returns it afterwards, so warmed-up buffers
+/// survive even when the OS threads themselves are short-lived. The lock is
+/// held only while popping/pushing, never during a solve.
+#[derive(Debug, Default)]
+pub struct WorkspacePool {
+    idle: Mutex<Vec<SolveWorkspace>>,
+}
+
+impl WorkspacePool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` with a pooled workspace, returning the workspace to the pool
+    /// afterwards. Concurrent callers each get their own workspace.
+    pub fn with<R>(&self, f: impl FnOnce(&mut SolveWorkspace) -> R) -> R {
+        let mut ws = self
+            .idle
+            .lock()
+            .expect("workspace pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        let result = f(&mut ws);
+        self.idle.lock().expect("workspace pool poisoned").push(ws);
+        result
+    }
+
+    /// Number of idle workspaces currently pooled.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.idle.lock().expect("workspace pool poisoned").len()
+    }
+
+    /// `true` when no workspace is pooled (none created yet, or all in use).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_reuses_and_grows() {
+        let pool = WorkspacePool::new();
+        assert!(pool.is_empty());
+        pool.with(|ws| ws.solves = 7);
+        assert_eq!(pool.len(), 1);
+        // The same workspace comes back out.
+        pool.with(|ws| assert_eq!(ws.solves, 7));
+        // Nested use (as concurrent workers would) creates a second one.
+        pool.with(|_outer| {
+            pool.with(|inner| assert_eq!(inner.solves, 0));
+        });
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn workspace_counters_start_cold() {
+        let ws = SolveWorkspace::new();
+        assert_eq!(ws.solves(), 0);
+        assert_eq!(ws.mesh_builds(), 0);
+        assert!(ws.mesh_key.is_none());
+    }
+}
