@@ -1,35 +1,55 @@
-//! Parallel design-space sweep over scenario variants.
+//! Parallel design-space sweep over scenario variants, with a transient
+//! channel-modulation mode.
 //!
-//! Expands a grid of workloads × heat-flux scales × coolant-flow scales,
-//! evaluates the full minimum/maximum/optimal comparison for every variant
-//! and prints one comparable report — the throughput-oriented counterpart
-//! to the per-figure reproduction binaries.
+//! The default (steady) mode expands a grid of workloads × heat-flux
+//! scales × coolant-flow scales, evaluates the full minimum/maximum/optimal
+//! comparison for every variant and prints one comparable report — the
+//! throughput-oriented counterpart to the per-figure reproduction binaries.
 //!
-//! Run with: `cargo run --release -p bench --bin sweep`
+//! The `transient` mode runs the closed-loop modulation controller over
+//! time-varying workload traces (trace × flow-scale grid), comparing the
+//! time-peak inter-layer gradient of the modulated run against the frozen
+//! uniform-width baseline of each variant.
 //!
-//! Options:
+//! Run with: `cargo run --release -p bench --bin sweep [-- transient]`
 //!
-//! * `--serial` — run the sweep on one thread only (no speedup baseline);
+//! Options (both modes unless noted):
+//!
+//! * `transient` — run the transient modulation sweep instead of the
+//!   steady design sweep;
+//! * `--serial` — run on one thread only (no speedup baseline);
 //! * `--workers N` — override the parallel worker count;
 //! * `--no-baseline` — skip the serial reference run (faster, but no
-//!   speedup figure);
-//! * `--cold-start` — disable warm-started flow chains (every variant's
-//!   optimizer starts from the uniform-maximum baseline, as in the paper);
-//! * `--json PATH` — write a machine-readable `BENCH_sweep.json` perf
-//!   record (wall time, per-variant evaluation counts, throughput, worker
-//!   count) to `PATH`;
+//!   speedup figure and no runtime determinism check);
+//! * `--cold-start` — steady mode only: disable warm-started flow chains
+//!   (every variant's optimizer starts from the uniform-maximum baseline,
+//!   as in the paper);
+//! * `--json [PATH]` — write a machine-readable perf record; `PATH`
+//!   defaults to `BENCH_sweep.json` (steady) / `BENCH_transient.json`
+//!   (transient);
 //! * `LIQUAMOD_FAST=1` — coarse optimizer settings (CI).
 //!
-//! By default the grid is the 16-variant paper neighborhood, evaluated in
-//! parallel *and* serially; the tail of the output reports wall times,
-//! effective throughput and the parallel speedup.
+//! By default the steady grid is the 16-variant paper neighborhood and the
+//! transient grid the 4-variant trace neighborhood, evaluated in parallel
+//! *and* serially; the tail of the output reports wall times, effective
+//! throughput and the parallel speedup.
 
 use liquamod::sweep::{run_sweep, ExecutionMode, SweepGrid, SweepOptions, SweepReport};
+use liquamod::transient::{
+    run_transient_sweep, TransientGrid, TransientReport, TransientSweepOptions,
+};
 use liquamod_bench::{banner, print_table};
 use std::num::NonZeroUsize;
 use std::process::ExitCode;
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Steady,
+    Transient,
+}
+
 struct Args {
+    mode: Mode,
     serial: bool,
     workers: Option<NonZeroUsize>,
     baseline: bool,
@@ -39,15 +59,18 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
+        mode: Mode::Steady,
         serial: false,
         workers: None,
         baseline: true,
         warm_start: true,
         json: None,
     };
-    let mut it = std::env::args().skip(1);
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.into_iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "transient" => args.mode = Mode::Transient,
             "--serial" => args.serial = true,
             "--no-baseline" => args.baseline = false,
             "--cold-start" => args.warm_start = false,
@@ -57,14 +80,29 @@ fn parse_args() -> Result<Args, String> {
                 args.workers = Some(NonZeroUsize::new(n).ok_or("worker count must be positive")?);
             }
             "--json" => {
-                args.json = Some(it.next().ok_or("--json needs a path")?);
+                // The path is optional: bare `--json` writes the mode's
+                // default file name in the working directory.
+                let path = match it.peek() {
+                    Some(next) if !next.starts_with('-') && next != "transient" => it.next(),
+                    _ => None,
+                };
+                args.json = Some(path.unwrap_or_default());
             }
             other => {
                 return Err(format!(
-                    "unknown argument: {other} (try --serial, --workers N, --no-baseline, \
-                     --cold-start, --json PATH)"
+                    "unknown argument: {other} (try transient, --serial, --workers N, \
+                     --no-baseline, --cold-start, --json [PATH])"
                 ))
             }
+        }
+    }
+    // Resolve the default JSON path once the mode is known.
+    if let Some(path) = &mut args.json {
+        if path.is_empty() {
+            *path = match args.mode {
+                Mode::Steady => "BENCH_sweep.json".to_string(),
+                Mode::Transient => "BENCH_transient.json".to_string(),
+            };
         }
     }
     Ok(args)
@@ -157,6 +195,238 @@ fn json_record(
     out
 }
 
+/// Scheduling mode shared by both sweeps: serial on request, otherwise
+/// parallel with at least 2 workers — even on a single-core box the
+/// dynamic scheduler interleaves two workers correctly (and the report is
+/// honest about the cores actually available).
+fn execution_mode(args: &Args, available: usize) -> ExecutionMode {
+    if args.serial {
+        ExecutionMode::Serial
+    } else {
+        let workers = args.workers.or_else(|| NonZeroUsize::new(available.max(2)));
+        ExecutionMode::Parallel { workers }
+    }
+}
+
+/// Shared tail of both modes: runs the serial reference, requires bitwise
+/// row equality with the parallel report and prints the speedup. Returns
+/// the serial report; the `Err` carries the message to fail with.
+fn serial_baseline<R>(
+    what: &str,
+    parallel_wall: std::time::Duration,
+    workers: usize,
+    available: usize,
+    run_serial: impl FnOnce() -> Result<R, String>,
+    rows_match: impl FnOnce(&R) -> bool,
+    wall_of: impl Fn(&R) -> std::time::Duration,
+) -> Result<R, String> {
+    let serial = run_serial()?;
+    if !rows_match(&serial) {
+        return Err(format!(
+            "parallel and serial {what} reports disagree — determinism bug"
+        ));
+    }
+    println!("parallel and serial {what} reports are bitwise identical");
+    let speedup = wall_of(&serial).as_secs_f64() / parallel_wall.as_secs_f64().max(1e-12);
+    println!(
+        "parallel speedup over --serial: {speedup:.2}x with {workers} workers on \
+         {available} core(s)"
+    );
+    Ok(serial)
+}
+
+/// Writes a JSON perf record, reporting the outcome.
+fn write_record(path: &str, what: &str, record: &str) -> Result<(), String> {
+    std::fs::write(path, record).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("wrote {what} perf record to {path}");
+    Ok(())
+}
+
+/// Renders the `BENCH_transient.json` record; see the README's "Transient
+/// modulation" section for the schema and how the CI bench-smoke job
+/// consumes it.
+fn transient_json_record(
+    grid: &TransientGrid,
+    options: &TransientSweepOptions,
+    report: &TransientReport,
+    serial: Option<&TransientReport>,
+    determinism_verified: bool,
+    fast_mode: bool,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"transient\",\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!(
+        "  \"grid\": {{\"variants\": {}, \"traces\": {}, \"flow_scales\": {}}},\n",
+        grid.len(),
+        grid.traces.len(),
+        grid.flow_scales.len()
+    ));
+    out.push_str(&format!(
+        "  \"dt_seconds\": {:.6e},\n",
+        options.config.dt_seconds
+    ));
+    out.push_str(&format!("  \"epoch_steps\": {},\n", options.epoch_steps));
+    out.push_str(&format!(
+        "  \"phase_seconds\": {:.6e},\n",
+        options.phase_seconds
+    ));
+    out.push_str(&format!("  \"workers\": {},\n", report.workers));
+    out.push_str(&format!("  \"fast_mode\": {fast_mode},\n"));
+    out.push_str(&format!(
+        "  \"wall_seconds\": {:.6},\n",
+        report.wall.as_secs_f64()
+    ));
+    if let Some(serial) = serial {
+        out.push_str(&format!(
+            "  \"serial_wall_seconds\": {:.6},\n",
+            serial.wall.as_secs_f64()
+        ));
+        out.push_str(&format!(
+            "  \"parallel_speedup\": {:.4},\n",
+            serial.wall.as_secs_f64() / report.wall.as_secs_f64().max(1e-12)
+        ));
+    }
+    out.push_str(&format!(
+        "  \"determinism_verified\": {determinism_verified},\n"
+    ));
+    out.push_str("  \"variants\": [\n");
+    for (i, row) in report.rows.iter().enumerate() {
+        let sep = if i + 1 == report.rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"peak_gradient_modulated_k\": {:.6}, \
+             \"peak_gradient_frozen_k\": {:.6}, \"gradient_reduction\": {:.6}, \
+             \"epochs\": {}, \"epochs_adopted\": {}, \"evaluations\": {}}}{sep}\n",
+            json_escape(&row.variant.label()),
+            row.peak_gradient_modulated_k,
+            row.peak_gradient_frozen_k,
+            row.gradient_reduction,
+            row.epochs,
+            row.epochs_adopted,
+            row.evaluations
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The transient mode: modulated-vs-frozen trace scenarios through the
+/// deterministic parallel fan-out.
+fn run_transient_mode(args: &Args) -> ExitCode {
+    banner("transient channel modulation: trace x flow-scale grid");
+    let grid = TransientGrid::bench_default();
+    let available = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    let mode = execution_mode(args, available);
+    // The epoch optimizer follows LIQUAMOD_FAST like the steady mode (the
+    // clock and grid stay fixed), so the JSON's fast_mode flag describes
+    // the run truthfully.
+    let mut options = TransientSweepOptions::fast(mode);
+    options.config.optimizer = liquamod_bench::config_from_env();
+    let steps_per_phase = (options.phase_seconds / options.config.dt_seconds).round() as usize;
+    println!(
+        "grid: {} variants ({} traces x {} flow scales); {available} core(s) available",
+        grid.len(),
+        grid.traces.len(),
+        grid.flow_scales.len(),
+    );
+    println!(
+        "clock: dt = {:.1} ms, {} steps per {:.0} ms phase, re-optimization epoch every {} steps",
+        options.config.dt_seconds * 1e3,
+        steps_per_phase,
+        options.phase_seconds * 1e3,
+        options.epoch_steps,
+    );
+
+    let report = match run_transient_sweep(&grid, &options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("transient sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_table(&report.to_table());
+    println!(
+        "{} variants in {:.2} s on {} worker(s)",
+        report.rows.len(),
+        report.wall.as_secs_f64(),
+        report.workers,
+    );
+
+    let mut serial_report = None;
+    let mut determinism_verified = false;
+    let mut gate_failure: Option<String> = None;
+    if !args.serial && args.baseline {
+        let serial_options = TransientSweepOptions {
+            mode: ExecutionMode::Serial,
+            ..options.clone()
+        };
+        match serial_baseline(
+            "transient",
+            report.wall,
+            report.workers,
+            available,
+            || {
+                run_transient_sweep(&grid, &serial_options)
+                    .map_err(|e| format!("serial baseline failed: {e}"))
+            },
+            |s| s.rows == report.rows,
+            |s| s.wall,
+        ) {
+            Ok(serial) => {
+                determinism_verified = true;
+                serial_report = Some(serial);
+            }
+            Err(e) => gate_failure = Some(e),
+        }
+    }
+    if gate_failure.is_none() {
+        if let Some(row) = report
+            .rows
+            .iter()
+            .find(|r| r.peak_gradient_modulated_k >= r.peak_gradient_frozen_k)
+        {
+            gate_failure = Some(format!(
+                "{}: modulation did not beat the frozen design ({:.3} K vs {:.3} K)",
+                row.variant.label(),
+                row.peak_gradient_modulated_k,
+                row.peak_gradient_frozen_k
+            ));
+        } else {
+            println!(
+                "every variant: modulated time-peak gradient strictly below the frozen \
+                 uniform-width baseline"
+            );
+        }
+    }
+
+    // The record is written even when a gate failed — the failing run is
+    // exactly the one whose per-variant numbers are needed.
+    if let Some(path) = &args.json {
+        let record = transient_json_record(
+            &grid,
+            &options,
+            &report,
+            serial_report.as_ref(),
+            determinism_verified,
+            liquamod_bench::fast_mode(),
+        );
+        if let Err(e) = write_record(path, "transient", &record) {
+            // Don't let a write failure swallow an already-detected gate
+            // failure — that diagnosis matters more than the record.
+            if let Some(gate) = &gate_failure {
+                eprintln!("error: {gate}");
+            }
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(e) = gate_failure {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -165,6 +435,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.mode == Mode::Transient {
+        return run_transient_mode(&args);
+    }
 
     banner("scenario sweep: workload x flux-scale x flow-scale grid");
     let grid = SweepGrid::paper_neighborhood();
@@ -186,15 +459,7 @@ fn main() -> ExitCode {
         }
     );
 
-    let mode = if args.serial {
-        ExecutionMode::Serial
-    } else {
-        // Always exercise >1 worker: even on a single-core box the dynamic
-        // scheduler interleaves two workers correctly (and the report below
-        // is honest about the cores actually available).
-        let workers = args.workers.or_else(|| NonZeroUsize::new(available.max(2)));
-        ExecutionMode::Parallel { workers }
-    };
+    let mode = execution_mode(&args, available);
     let options = SweepOptions {
         config,
         warm_start: args.warm_start,
@@ -223,33 +488,36 @@ fn main() -> ExitCode {
 
     let mut serial_report = None;
     let mut determinism_verified = false;
+    let mut gate_failure: Option<String> = None;
     if !args.serial && args.baseline {
         let serial_options = SweepOptions {
             mode: ExecutionMode::Serial,
             ..options.clone()
         };
-        let serial = match run_sweep(&grid, &serial_options) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("serial baseline failed: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        report_stats("serial baseline (--serial)", &serial);
-        if serial.rows != report.rows {
-            eprintln!("error: parallel and serial reports disagree — determinism bug");
-            return ExitCode::FAILURE;
-        }
-        println!("parallel and serial reports are bitwise identical");
-        determinism_verified = true;
-        let speedup = serial.wall.as_secs_f64() / report.wall.as_secs_f64().max(1e-12);
-        println!(
-            "parallel speedup over --serial: {speedup:.2}x with {} workers on {available} core(s)",
+        match serial_baseline(
+            "sweep",
+            report.wall,
             report.workers,
-        );
-        serial_report = Some(serial);
+            available,
+            || {
+                let serial = run_sweep(&grid, &serial_options)
+                    .map_err(|e| format!("serial baseline failed: {e}"))?;
+                report_stats("serial baseline (--serial)", &serial);
+                Ok(serial)
+            },
+            |s| s.rows == report.rows,
+            |s| s.wall,
+        ) {
+            Ok(serial) => {
+                determinism_verified = true;
+                serial_report = Some(serial);
+            }
+            Err(e) => gate_failure = Some(e),
+        }
     }
 
+    // Like the transient mode, the record is written even when the
+    // determinism gate failed — that run's record is the diagnostic.
     if let Some(path) = &args.json {
         let record = json_record(
             &grid,
@@ -258,11 +526,19 @@ fn main() -> ExitCode {
             determinism_verified,
             liquamod_bench::fast_mode(),
         );
-        if let Err(e) = std::fs::write(path, &record) {
-            eprintln!("error: cannot write {path}: {e}");
+        if let Err(e) = write_record(path, "sweep", &record) {
+            // Don't let a write failure swallow an already-detected gate
+            // failure — that diagnosis matters more than the record.
+            if let Some(gate) = &gate_failure {
+                eprintln!("error: {gate}");
+            }
+            eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
-        println!("wrote perf record to {path}");
+    }
+    if let Some(e) = gate_failure {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -22,8 +22,11 @@
 //!   augmented Lagrangian…);
 //! * **this crate** — the §IV optimal channel-modulation flow, the
 //!   min/max/optimal comparison methodology of §V, canned experiment
-//!   definitions for every figure of the paper, and the [`sweep`] engine
-//!   that fans grids of scenario variants out across worker threads.
+//!   definitions for every figure of the paper, the [`sweep`] engine
+//!   that fans grids of scenario variants out across worker threads, and
+//!   the [`transient`] subsystem that closes the modulation loop over
+//!   time-varying workload traces (epoch-based re-optimization driving the
+//!   finite-volume transient stepper).
 //!
 //! # Quickstart
 //!
@@ -50,6 +53,7 @@ mod error;
 pub mod experiments;
 mod scenario;
 pub mod sweep;
+pub mod transient;
 
 pub use compare::{CaseResult, DesignComparison};
 pub use csv::CsvTable;
@@ -62,6 +66,10 @@ pub use scenario::{mpsoc_model, strip_model, MpsocScenario};
 pub use sweep::{
     run_sweep, ExecutionMode, LoadSpec, SweepGrid, SweepOptions, SweepReport, SweepRow,
     SweepVariant,
+};
+pub use transient::{
+    run_transient_sweep, ModulationController, ModulationPolicy, TransientConfig, TransientGrid,
+    TransientOutcome, TransientReport, TransientRow, TransientSweepOptions,
 };
 
 pub use liquamod_floorplan as floorplan;

@@ -13,6 +13,14 @@ use liquamod_floorplan::{arch::Architecture, testcase::StripLoad, FluxGrid, Powe
 use liquamod_thermal_model::{ChannelColumn, HeatProfile, Model, ModelParams, WidthProfile};
 use liquamod_units::{Length, LinearHeatFlux};
 
+/// The Fig. 2 test strip's channel length (1 cm) — shared by the
+/// analytical [`strip_model`] and its finite-volume twin
+/// [`crate::transient::strip_stack`], which must model the same geometry
+/// for the modulation controller's adopt/reject comparisons to be valid.
+pub(crate) fn strip_length() -> Length {
+    Length::from_centimeters(1.0)
+}
+
 /// Builds the single-channel strip model of the paper's Fig. 2 for a Test
 /// A/B load: channel length 1 cm, both layers carrying the load's segment
 /// fluxes over one pitch.
@@ -21,7 +29,7 @@ use liquamod_units::{Length, LinearHeatFlux};
 ///
 /// Propagates model-construction failures (invalid parameters).
 pub fn strip_model(load: &StripLoad, params: &ModelParams) -> Result<Model> {
-    let d = Length::from_centimeters(1.0);
+    let d = strip_length();
     let to_profile = |fluxes: &[f64]| {
         let q: Vec<LinearHeatFlux> = StripLoad::layer_w_per_m(fluxes, params.pitch.si())
             .into_iter()

@@ -206,6 +206,22 @@ impl ExecutionMode {
     pub fn parallel() -> Self {
         ExecutionMode::Parallel { workers: None }
     }
+
+    /// The worker count this mode resolves to before any grid-size cap:
+    /// 1 for serial, the explicit override or the machine's available
+    /// parallelism otherwise. Shared by the steady and transient sweeps so
+    /// their scheduling can never drift apart.
+    #[must_use]
+    pub fn resolved_workers(&self) -> usize {
+        match self {
+            ExecutionMode::Serial => 1,
+            ExecutionMode::Parallel { workers } => {
+                workers.map(NonZeroUsize::get).unwrap_or_else(|| {
+                    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+                })
+            }
+        }
+    }
 }
 
 /// Configuration of one sweep run.
@@ -243,14 +259,7 @@ impl SweepOptions {
 
     /// The worker count this sweep will actually use.
     pub fn resolved_workers(&self) -> usize {
-        match self.mode {
-            ExecutionMode::Serial => 1,
-            ExecutionMode::Parallel { workers } => {
-                workers.map(NonZeroUsize::get).unwrap_or_else(|| {
-                    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
-                })
-            }
-        }
+        self.mode.resolved_workers()
     }
 }
 
@@ -508,8 +517,9 @@ pub fn run_sweep(grid: &SweepGrid, options: &SweepOptions) -> Result<SweepReport
 
 /// Maps `f` over `items` on `workers` threads, preserving input order in
 /// the output. Work is distributed dynamically (an atomic cursor) so slow
-/// variants don't serialize behind a static partition.
-fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+/// variants don't serialize behind a static partition. Shared with the
+/// transient sweep ([`crate::transient::run_transient_sweep`]).
+pub(crate) fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,

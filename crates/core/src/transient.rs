@@ -1,0 +1,1018 @@
+//! Transient workload-driven channel modulation (closed loop over time).
+//!
+//! The steady-state flow ([`crate::optimize`], [`crate::sweep`]) picks one
+//! width profile for one operating point. This module runs the paper's
+//! mechanism *over time*: a [`PowerTrace`] schedules workload phases, the
+//! grid-sim backward-Euler stepper integrates the stack's temperatures, and
+//! a [`ModulationController`] re-optimizes the channel widths at a
+//! configurable epoch cadence — warm-starting each epoch's optimizer from
+//! the previous one — and applies the new profile to all subsequent steps.
+//!
+//! The control loop, per time step of `Δt`:
+//!
+//! 1. look up the phase active during the upcoming step;
+//! 2. at an epoch boundary (`step % epoch_steps == 0`, policy
+//!    [`ModulationPolicy::Modulated`]), run the §IV optimizer on the
+//!    phase's analytical strip model and **adopt the candidate profile only
+//!    if its steady-state gradient does not exceed the incumbent's** — the
+//!    controller never trades into a worse design, which is also the
+//!    invariant the property tests pin down;
+//! 3. rebuild the finite-volume stack if the widths or the power map
+//!    changed, handing the node temperatures over exactly
+//!    ([`liquamod_grid_sim::TransientStepper::set_state`]);
+//! 4. advance one implicit step and record a [`TransientSnapshot`].
+//!
+//! [`run_transient_sweep`] fans whole scenarios (trace × flow-scale
+//! variants) across worker threads with the same determinism guarantee as
+//! [`crate::sweep`]: parallel and serial runs are bitwise identical, each
+//! variant being one scheduling unit evaluated by a pure function.
+
+use crate::design::{optimize_warm, OptimizationConfig};
+use crate::scenario::{strip_length, strip_model};
+use crate::sweep::{parallel_map, ExecutionMode};
+use crate::{bridge, CoreError, CsvTable, Result};
+use liquamod_floorplan::testcase::StripLoad;
+use liquamod_floorplan::trace::PowerTrace;
+use liquamod_grid_sim::solver::SolverOptions;
+use liquamod_grid_sim::{CavitySpec, Material, PowerMap, Stack, StackBuilder, TransientOptions};
+use liquamod_thermal_model::{ModelParams, SolveOptions, SolveWorkspace, WidthProfile};
+use liquamod_units::{Length, Power};
+use std::time::{Duration, Instant};
+
+/// A time-varying strip workload (what the controller consumes).
+pub type StripTrace = PowerTrace<StripLoad>;
+
+/// Configuration shared by every transient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientConfig {
+    /// Model parameters (geometry, coolant, flow, width range).
+    pub params: ModelParams,
+    /// Optimizer configuration used at each modulation epoch. The
+    /// controller pins `fd_threads` to 1 so scenario-level parallelism owns
+    /// the cores and results are independent of the execution mode.
+    pub optimizer: OptimizationConfig,
+    /// Backward-Euler time step, seconds.
+    pub dt_seconds: f64,
+    /// Finite-volume cells along the flow direction.
+    pub nz: usize,
+    /// Linear-solver controls for each implicit step.
+    pub solver: SolverOptions,
+}
+
+impl TransientConfig {
+    /// A coarse configuration sized for tests and CI: 2 ms steps, 40 cells
+    /// along the channel, a 4-segment control profile on a 48-interval BVP
+    /// mesh.
+    #[must_use]
+    pub fn fast() -> Self {
+        Self {
+            params: ModelParams::date2012(),
+            optimizer: OptimizationConfig {
+                segments: 4,
+                mesh_intervals: 48,
+                ..OptimizationConfig::fast()
+            },
+            dt_seconds: 2e-3,
+            nz: 40,
+            solver: SolverOptions::default(),
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(self.dt_seconds.is_finite() && self.dt_seconds > 0.0) {
+            return Err(CoreError::InvalidConfig {
+                what: format!("dt must be positive, got {}", self.dt_seconds),
+            });
+        }
+        if self.nz == 0 {
+            return Err(CoreError::InvalidConfig {
+                what: "nz must be ≥ 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// What the controller does at epoch boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModulationPolicy {
+    /// Never modulate: keep the uniformly-maximal-width design for the
+    /// whole run (the static-design baseline the paper compares against).
+    FrozenUniform,
+    /// Re-optimize the widths every `epoch_steps` time steps (the first
+    /// epoch fires at step 0, before any stepping).
+    Modulated {
+        /// Steps between re-optimizations (must be ≥ 1).
+        epoch_steps: usize,
+    },
+}
+
+/// One recorded time step of a transient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientSnapshot {
+    /// Simulation time at the end of the step, seconds.
+    pub time_seconds: f64,
+    /// Peak silicon temperature, kelvin.
+    pub peak_k: f64,
+    /// Minimum silicon temperature, kelvin.
+    pub min_k: f64,
+    /// Inter-layer thermal gradient (max − min silicon temperature), kelvin.
+    pub gradient_k: f64,
+    /// Power injected by the active phase, watts.
+    pub injected_w: f64,
+    /// Power advected out by the coolant at the end of the step, watts.
+    pub advected_w: f64,
+    /// Energy stored in the lumped capacitances over the step, joules.
+    pub stored_joules: f64,
+}
+
+/// One modulation-epoch decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRecord {
+    /// Step index the epoch fired at (time = `step · Δt`).
+    pub step: usize,
+    /// Simulation time of the decision, seconds.
+    pub time_seconds: f64,
+    /// Label of the workload phase the optimizer targeted.
+    pub phase: String,
+    /// Steady-state gradient of the freshly optimized candidate profile on
+    /// the phase's analytical model, kelvin.
+    pub candidate_gradient_k: f64,
+    /// Steady-state gradient of the incumbent (previous) profile on the
+    /// same model, kelvin.
+    pub incumbent_gradient_k: f64,
+    /// Whether the candidate replaced the incumbent (`candidate ≤
+    /// incumbent`; the controller never adopts a worse steady design).
+    pub adopted: bool,
+    /// Objective evaluations the epoch's optimizer spent.
+    pub evaluations: usize,
+    /// The *effective* width profile after the decision, sampled at the
+    /// optimizer's segment centres: `widths_um[column][segment]`, µm.
+    pub widths_um: Vec<Vec<f64>>,
+}
+
+/// The full record of one transient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientOutcome {
+    /// One snapshot per time step, in order.
+    pub snapshots: Vec<TransientSnapshot>,
+    /// One record per modulation epoch (empty for frozen runs).
+    pub epochs: Vec<EpochRecord>,
+    /// The time step the run used, seconds.
+    pub dt_seconds: f64,
+}
+
+impl TransientOutcome {
+    /// The time-peak inter-layer gradient — the headline transient metric
+    /// (a modulated run must beat the frozen design on it).
+    #[must_use]
+    pub fn peak_gradient_k(&self) -> f64 {
+        self.snapshots
+            .iter()
+            .map(|s| s.gradient_k)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The time-peak silicon temperature, kelvin.
+    #[must_use]
+    pub fn peak_temperature_k(&self) -> f64 {
+        self.snapshots
+            .iter()
+            .map(|s| s.peak_k)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Total optimizer objective evaluations across all epochs.
+    #[must_use]
+    pub fn total_evaluations(&self) -> usize {
+        self.epochs.iter().map(|e| e.evaluations).sum()
+    }
+
+    /// Number of epochs whose candidate was adopted.
+    #[must_use]
+    pub fn epochs_adopted(&self) -> usize {
+        self.epochs.iter().filter(|e| e.adopted).count()
+    }
+
+    /// Canonical JSON serialization for golden-regression fixtures: flat
+    /// arrays of full-precision numbers (Rust's shortest round-trip float
+    /// formatting), so snapshots diff numerically at 1e-9 without a JSON
+    /// dependency. See `tests/golden_transient.rs` for the comparer and the
+    /// `LIQUAMOD_REGEN_GOLDEN=1` regeneration knob.
+    #[must_use]
+    pub fn golden_json(&self, scenario: &str) -> String {
+        fn num_array(values: impl Iterator<Item = f64>) -> String {
+            let items: Vec<String> = values.map(|v| format!("{v:e}")).collect();
+            format!("[{}]", items.join(", "))
+        }
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema_version\": 1,\n");
+        out.push_str(&format!("  \"scenario\": \"{scenario}\",\n"));
+        out.push_str(&format!("  \"dt_seconds\": {:e},\n", self.dt_seconds));
+        out.push_str(&format!(
+            "  \"times\": {},\n",
+            num_array(self.snapshots.iter().map(|s| s.time_seconds))
+        ));
+        out.push_str(&format!(
+            "  \"peak_k\": {},\n",
+            num_array(self.snapshots.iter().map(|s| s.peak_k))
+        ));
+        out.push_str(&format!(
+            "  \"min_k\": {},\n",
+            num_array(self.snapshots.iter().map(|s| s.min_k))
+        ));
+        out.push_str(&format!(
+            "  \"gradient_k\": {},\n",
+            num_array(self.snapshots.iter().map(|s| s.gradient_k))
+        ));
+        out.push_str(&format!(
+            "  \"epoch_steps_at\": {},\n",
+            num_array(self.epochs.iter().map(|e| e.step as f64))
+        ));
+        out.push_str(&format!(
+            "  \"epoch_adopted\": {},\n",
+            num_array(
+                self.epochs
+                    .iter()
+                    .map(|e| if e.adopted { 1.0 } else { 0.0 })
+            )
+        ));
+        out.push_str(&format!(
+            "  \"epoch_candidate_gradient_k\": {},\n",
+            num_array(self.epochs.iter().map(|e| e.candidate_gradient_k))
+        ));
+        out.push_str(&format!(
+            "  \"epoch_incumbent_gradient_k\": {},\n",
+            num_array(self.epochs.iter().map(|e| e.incumbent_gradient_k))
+        ));
+        let widths: Vec<String> = self
+            .epochs
+            .iter()
+            .map(|e| num_array(e.widths_um.iter().flatten().copied()))
+            .collect();
+        out.push_str(&format!("  \"epoch_widths_um\": [{}]\n", widths.join(", ")));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Drives a transient run: steps the finite-volume stack through a
+/// [`StripTrace`] and (under [`ModulationPolicy::Modulated`]) re-optimizes
+/// the channel widths at epoch boundaries, warm-starting each epoch from
+/// the previous optimum.
+#[derive(Debug, Clone)]
+pub struct ModulationController {
+    config: TransientConfig,
+    policy: ModulationPolicy,
+}
+
+impl ModulationController {
+    /// Builds a controller, validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] for a non-positive `dt`, a zero `nz`
+    /// or a zero `epoch_steps`.
+    pub fn new(config: TransientConfig, policy: ModulationPolicy) -> Result<Self> {
+        config.validate()?;
+        if let ModulationPolicy::Modulated { epoch_steps } = policy {
+            if epoch_steps == 0 {
+                return Err(CoreError::InvalidConfig {
+                    what: "epoch_steps must be ≥ 1".into(),
+                });
+            }
+        }
+        Ok(Self { config, policy })
+    }
+
+    /// The policy this controller applies at epoch boundaries.
+    #[must_use]
+    pub fn policy(&self) -> ModulationPolicy {
+        self.policy
+    }
+
+    /// Runs the whole trace and collects the outcome. The number of steps
+    /// is `round(total_duration / Δt)` (at least 1); the workload active
+    /// during a step is the phase at the step's midpoint, so phase
+    /// boundaries land exactly between steps when durations are multiples
+    /// of `Δt`. Epochs that land on an all-zero workload phase skip the
+    /// optimizer and keep the incumbent profile (no [`EpochRecord`] is
+    /// emitted — there is nothing to balance).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction, optimizer and stepper failures.
+    pub fn run(&self, trace: &StripTrace) -> Result<TransientOutcome> {
+        let cfg = &self.config;
+        let dt = cfg.dt_seconds;
+        let total_steps = ((trace.total_duration_seconds() / dt).round() as usize).max(1);
+        let mut ctx = EpochContext {
+            params: &cfg.params,
+            // Determinism: single-threaded finite differences inside the
+            // epoch optimizer; the scenario-level fan-out owns the cores.
+            opt_config: OptimizationConfig {
+                fd_threads: 1,
+                ..cfg.optimizer.clone()
+            },
+            solve: SolveOptions::with_mesh_intervals(cfg.optimizer.mesh_intervals),
+            ws: SolveWorkspace::new(),
+            widths: vec![WidthProfile::uniform(cfg.params.w_max)],
+            x_warm: None,
+            epochs: Vec::new(),
+            decided_at: None,
+            dt,
+        };
+        let mut snapshots = Vec::with_capacity(total_steps);
+        let mut state: Option<Vec<f64>> = None;
+
+        let mut n = 0usize;
+        while n < total_steps {
+            let phase = trace.phase_index_at((n as f64 + 0.5) * dt);
+            let load = &trace.phases()[phase].load;
+
+            if let ModulationPolicy::Modulated { epoch_steps } = self.policy {
+                // `decided_at` guards the re-entry path: an adopted epoch
+                // breaks the inner loop and lands back here at the same `n`
+                // with its decision already made.
+                if n.is_multiple_of(epoch_steps) && ctx.decided_at != Some(n) {
+                    ctx.decide(n, &trace.phases()[phase].label, load)?;
+                }
+            }
+
+            // (Re)build the stack for the current phase and widths and hand
+            // the temperatures over; run until the next decision point that
+            // actually changes the stack (new phase, or adopted widths).
+            let stack = strip_stack(load, &cfg.params, &ctx.widths, cfg.nz)?;
+            let mut stepper = stack.transient_stepper(&TransientOptions {
+                dt_seconds: dt,
+                steps: 1,
+                initial: None,
+                solver: cfg.solver.clone(),
+            })?;
+            if let Some(s) = &state {
+                stepper.set_state(s, n as f64 * dt)?;
+            }
+            loop {
+                let sample = stepper.step()?;
+                n += 1;
+                snapshots.push(TransientSnapshot {
+                    // Stamped from the global step index, not the stepper's
+                    // clock: rebuild points then cannot perturb timestamps,
+                    // so runs with different epoch decisions stay zippable
+                    // by exact time.
+                    time_seconds: n as f64 * dt,
+                    peak_k: sample.field.peak_temperature().as_kelvin(),
+                    min_k: sample.field.min_temperature().as_kelvin(),
+                    gradient_k: sample.field.thermal_gradient().as_kelvin(),
+                    injected_w: sample.field.total_power().as_watts(),
+                    advected_w: sample.field.advected_power().as_watts(),
+                    stored_joules: sample.stored_joules,
+                });
+                if n >= total_steps {
+                    break;
+                }
+                if trace.phase_index_at((n as f64 + 0.5) * dt) != phase {
+                    break;
+                }
+                if let ModulationPolicy::Modulated { epoch_steps } = self.policy {
+                    // Decide in place while the stepper is alive: a rejected
+                    // candidate (or a skipped zero-power epoch) leaves the
+                    // stack unchanged, so stepping just continues — no
+                    // rebuild, no reassembly. An identical stack would
+                    // produce a bitwise-identical system anyway, so the
+                    // trajectory is the same either way.
+                    if n.is_multiple_of(epoch_steps)
+                        && ctx.decide(n, &trace.phases()[phase].label, load)?
+                    {
+                        break;
+                    }
+                }
+            }
+            state = Some(stepper.state().to_vec());
+        }
+
+        Ok(TransientOutcome {
+            snapshots,
+            epochs: ctx.epochs,
+            dt_seconds: dt,
+        })
+    }
+}
+
+/// The mutable state of the epoch decision loop: the incumbent profile,
+/// the warm-start chain and the records, plus the solve machinery shared
+/// across epochs.
+struct EpochContext<'a> {
+    params: &'a ModelParams,
+    opt_config: OptimizationConfig,
+    solve: SolveOptions,
+    ws: SolveWorkspace,
+    widths: Vec<WidthProfile>,
+    x_warm: Option<Vec<f64>>,
+    epochs: Vec<EpochRecord>,
+    /// The step the last [`EpochContext::decide`] call ran at, so the run
+    /// loop never decides twice at one step.
+    decided_at: Option<usize>,
+    dt: f64,
+}
+
+impl EpochContext<'_> {
+    /// Runs one epoch's optimize-and-compare decision at step `n`,
+    /// mutating the incumbent profile on adoption. Returns whether the
+    /// widths changed (the caller only rebuilds the stack then). An
+    /// all-zero phase has nothing to balance (and a zero-cost starting
+    /// point the optimizer rejects): it keeps the incumbent and records
+    /// nothing.
+    fn decide(&mut self, n: usize, phase_label: &str, load: &StripLoad) -> Result<bool> {
+        self.decided_at = Some(n);
+        if load.max_flux() <= 0.0 {
+            return Ok(false);
+        }
+        let model = strip_model(load, self.params)?;
+        let outcome = optimize_warm(&model, &self.opt_config, self.x_warm.as_deref())?;
+        let candidate_gradient_k = outcome.solution.thermal_gradient().as_kelvin();
+        // The optimizer is done with the base model: reuse it for the
+        // incumbent evaluation instead of cloning.
+        let mut incumbent_model = model;
+        incumbent_model.set_width_profile(0, self.widths[0].clone())?;
+        let incumbent_gradient_k = incumbent_model
+            .solve_with(&self.solve, &mut self.ws)?
+            .thermal_gradient()
+            .as_kelvin();
+        // Never trade into a worse steady design: the incumbent profile is
+        // always a feasible fallback.
+        let adopted = candidate_gradient_k <= incumbent_gradient_k;
+        if adopted {
+            self.widths = outcome.widths.clone();
+            self.x_warm = Some(outcome.x_opt.clone());
+        }
+        self.epochs.push(EpochRecord {
+            step: n,
+            time_seconds: n as f64 * self.dt,
+            phase: phase_label.to_string(),
+            candidate_gradient_k,
+            incumbent_gradient_k,
+            adopted,
+            evaluations: outcome.evaluations,
+            widths_um: sample_widths_um(&self.widths, self.opt_config.segments, strip_length()),
+        });
+        Ok(adopted)
+    }
+}
+
+/// Samples width profiles at `segments` cell centres per column, in µm.
+fn sample_widths_um(profiles: &[WidthProfile], segments: usize, d: Length) -> Vec<Vec<f64>> {
+    profiles
+        .iter()
+        .map(|p| {
+            (0..segments)
+                .map(|k| {
+                    let z = Length::from_meters((k as f64 + 0.5) * d.si() / segments as f64);
+                    p.width_at(z, d).as_micrometers()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Builds the finite-volume twin of [`strip_model`]: one channel pitch
+/// across the flow (`nx = 1`), `nz` cells along it, both active layers
+/// carrying the load's segment fluxes, and the cavity sampled from `widths`
+/// at the cell centres.
+///
+/// # Errors
+///
+/// Propagates stack-validation failures (e.g. widths outside `(0, pitch)`).
+pub fn strip_stack(
+    load: &StripLoad,
+    params: &ModelParams,
+    widths: &[WidthProfile],
+    nz: usize,
+) -> Result<Stack> {
+    let d = strip_length();
+    let dz = d.si() / nz as f64;
+    let layer_map = |fluxes_w_cm2: &[f64]| -> PowerMap {
+        // The same per-unit-length conversion the analytical model uses
+        // (`q̂ = flux · pitch`), times the cell length.
+        let q_w_per_m = StripLoad::layer_w_per_m(fluxes_w_cm2, params.pitch.si());
+        let mut map = PowerMap::zeros(1, nz);
+        for j in 0..nz {
+            let zc = (j as f64 + 0.5) * dz;
+            let seg = (((zc / d.si()) * q_w_per_m.len() as f64) as usize).min(q_w_per_m.len() - 1);
+            map.set_cell(0, j, Power::from_watts(q_w_per_m[seg] * dz));
+        }
+        map
+    };
+    let stack = StackBuilder::new(params.pitch, d, 1, nz)
+        .inlet_temperature(params.inlet_temperature)
+        .silicon_layer("bottom", params.h_si)
+        .powered_by(layer_map(&load.bottom_w_cm2))
+        .microchannel_cavity_with(CavitySpec {
+            height: params.h_c,
+            coolant: params.coolant.clone(),
+            flow_rate_per_channel: params.flow_rate_per_channel,
+            nusselt: params.nusselt,
+            wall_material: Material::silicon(),
+            widths: bridge::cavity_widths_from_profiles(widths, 1, d, nz),
+        })
+        .silicon_layer("top", params.h_si)
+        .powered_by(layer_map(&load.top_w_cm2))
+        .build()?;
+    Ok(stack)
+}
+
+/// Which time-varying workload a transient sweep variant runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceSpec {
+    /// Test A stepping to `high_scale`× its baseline flux halfway through.
+    TestAStep {
+        /// Flux multiplier of the second phase.
+        high_scale: f64,
+    },
+    /// `phases` independent Test-B draws (phase `k` seeded `seed + k`).
+    TestBPhases {
+        /// Base seed of the phase draws.
+        seed: u64,
+        /// Number of phases.
+        phases: usize,
+    },
+}
+
+impl TraceSpec {
+    /// Short label used in report rows.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            TraceSpec::TestAStep { high_scale } => format!("testA-step*{high_scale:.2}"),
+            TraceSpec::TestBPhases { seed, phases } => format!("testB#{seed:x}x{phases}"),
+        }
+    }
+
+    /// Materializes the trace with `phase_seconds` per phase.
+    #[must_use]
+    pub fn trace(&self, phase_seconds: f64) -> StripTrace {
+        match self {
+            TraceSpec::TestAStep { high_scale } => {
+                liquamod_floorplan::trace::test_a_step(phase_seconds, *high_scale)
+            }
+            TraceSpec::TestBPhases { seed, phases } => {
+                liquamod_floorplan::trace::test_b_phases(*seed, *phases, phase_seconds)
+            }
+        }
+    }
+}
+
+/// The axes of a transient sweep; variants are the cartesian product.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientGrid {
+    /// Workload traces to run.
+    pub traces: Vec<TraceSpec>,
+    /// Multipliers applied to the per-channel coolant flow rate.
+    pub flow_scales: Vec<f64>,
+}
+
+impl TransientGrid {
+    /// The default 4-variant bench grid: a Test-A burst and a 3-phase
+    /// Test-B migration, each at reduced and nominal flow.
+    #[must_use]
+    pub fn bench_default() -> Self {
+        Self {
+            traces: vec![
+                TraceSpec::TestAStep { high_scale: 1.5 },
+                TraceSpec::TestBPhases {
+                    seed: liquamod_floorplan::testcase::TEST_B_DEFAULT_SEED,
+                    phases: 3,
+                },
+            ],
+            flow_scales: vec![0.75, 1.0],
+        }
+    }
+
+    /// Number of variants in the grid.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.traces.len() * self.flow_scales.len()
+    }
+
+    /// `true` when any axis is empty (no variants).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the grid in stable report order: traces outermost, then flow
+    /// scales.
+    #[must_use]
+    pub fn variants(&self) -> Vec<TransientVariant> {
+        let mut out = Vec::with_capacity(self.len());
+        for trace in &self.traces {
+            for &flow_scale in &self.flow_scales {
+                out.push(TransientVariant {
+                    index: out.len(),
+                    trace: trace.clone(),
+                    flow_scale,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// One concrete point of a transient sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientVariant {
+    /// Position in grid order (also the row position in the report).
+    pub index: usize,
+    /// Workload trace.
+    pub trace: TraceSpec,
+    /// Flow-rate multiplier.
+    pub flow_scale: f64,
+}
+
+impl TransientVariant {
+    /// Human-readable variant label, e.g. `testA-step*1.50 f*0.75`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{} f*{:.2}", self.trace.label(), self.flow_scale)
+    }
+}
+
+/// Configuration of one transient sweep run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientSweepOptions {
+    /// Base transient configuration each variant perturbs.
+    pub config: TransientConfig,
+    /// Modulation cadence of the modulated run in each variant.
+    pub epoch_steps: usize,
+    /// Duration of every trace phase, seconds.
+    pub phase_seconds: f64,
+    /// Scheduling mode.
+    pub mode: ExecutionMode,
+}
+
+impl TransientSweepOptions {
+    /// The fast configuration with 20-step phases and a 10-step epoch.
+    #[must_use]
+    pub fn fast(mode: ExecutionMode) -> Self {
+        Self {
+            config: TransientConfig::fast(),
+            epoch_steps: 10,
+            phase_seconds: 0.04,
+            mode,
+        }
+    }
+
+    /// The worker count this sweep will request (capped at the variant
+    /// count when the sweep runs).
+    #[must_use]
+    pub fn resolved_workers(&self) -> usize {
+        self.mode.resolved_workers()
+    }
+}
+
+/// Metrics of one evaluated transient variant: the modulated run against
+/// the frozen uniform-width baseline on the same trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientRow {
+    /// The variant the metrics belong to.
+    pub variant: TransientVariant,
+    /// Time-peak inter-layer gradient of the modulated run, kelvin.
+    pub peak_gradient_modulated_k: f64,
+    /// Time-peak inter-layer gradient of the frozen baseline, kelvin.
+    pub peak_gradient_frozen_k: f64,
+    /// Time-peak silicon temperature of the modulated run, kelvin.
+    pub peak_temperature_modulated_k: f64,
+    /// Gradient reduction vs the frozen baseline, as a signed fraction:
+    /// positive when modulation wins, negative when it loses (possible for
+    /// runs cut short far from steady state, where the steady-optimal
+    /// profile has not paid off yet).
+    pub gradient_reduction: f64,
+    /// Modulation epochs the run fired.
+    pub epochs: usize,
+    /// Epochs whose candidate profile was adopted.
+    pub epochs_adopted: usize,
+    /// Objective evaluations spent across all epochs.
+    pub evaluations: usize,
+}
+
+/// The collected result of one transient sweep invocation.
+#[derive(Debug, Clone)]
+pub struct TransientReport {
+    /// One row per variant, in grid order.
+    pub rows: Vec<TransientRow>,
+    /// Worker threads the run actually used.
+    pub workers: usize,
+    /// Wall-clock time of the evaluation phase.
+    pub wall: Duration,
+}
+
+impl TransientReport {
+    /// Renders the report as the workspace's standard table format.
+    #[must_use]
+    pub fn to_table(&self) -> CsvTable {
+        let mut table = CsvTable::new(vec![
+            "variant",
+            "peak grad mod [K]",
+            "peak grad frozen [K]",
+            "reduction [%]",
+            "peak T mod [K]",
+            "epochs",
+            "adopted",
+            "evals",
+        ]);
+        for row in &self.rows {
+            table.push_row(vec![
+                row.variant.label(),
+                format!("{:.3}", row.peak_gradient_modulated_k),
+                format!("{:.3}", row.peak_gradient_frozen_k),
+                format!("{:.1}", row.gradient_reduction * 100.0),
+                format!("{:.2}", row.peak_temperature_modulated_k),
+                format!("{}", row.epochs),
+                format!("{}", row.epochs_adopted),
+                format!("{}", row.evaluations),
+            ]);
+        }
+        table
+    }
+}
+
+/// Evaluates one transient variant: scale the flow, run the modulated loop
+/// and the frozen baseline on the same trace, and collect the row.
+///
+/// # Errors
+///
+/// Propagates controller failures.
+pub fn evaluate_transient_variant(
+    variant: &TransientVariant,
+    options: &TransientSweepOptions,
+) -> Result<TransientRow> {
+    let mut config = options.config.clone();
+    if variant.flow_scale != 1.0 {
+        config.params.flow_rate_per_channel =
+            config.params.flow_rate_per_channel * variant.flow_scale;
+    }
+    let trace = variant.trace.trace(options.phase_seconds);
+    let modulated = ModulationController::new(
+        config.clone(),
+        ModulationPolicy::Modulated {
+            epoch_steps: options.epoch_steps,
+        },
+    )?
+    .run(&trace)?;
+    let frozen = ModulationController::new(config, ModulationPolicy::FrozenUniform)?.run(&trace)?;
+    let peak_mod = modulated.peak_gradient_k();
+    let peak_frozen = frozen.peak_gradient_k();
+    Ok(TransientRow {
+        variant: variant.clone(),
+        peak_gradient_modulated_k: peak_mod,
+        peak_gradient_frozen_k: peak_frozen,
+        peak_temperature_modulated_k: modulated.peak_temperature_k(),
+        gradient_reduction: if peak_frozen > 0.0 {
+            (peak_frozen - peak_mod) / peak_frozen
+        } else {
+            0.0
+        },
+        epochs: modulated.epochs.len(),
+        epochs_adopted: modulated.epochs_adopted(),
+        evaluations: modulated.total_evaluations(),
+    })
+}
+
+/// Runs every variant of `grid` under `options` and collects the report.
+///
+/// Rows come back in grid order whatever the scheduling; parallel and
+/// serial runs of the same grid produce bitwise-identical rows. Every
+/// variant is an independent scheduling unit (epoch warm starts chain only
+/// *within* a variant's run), so the guarantee needs no chain grouping.
+///
+/// # Errors
+///
+/// Every variant is evaluated regardless of failures; the sweep then
+/// returns the first failure in grid order and discards the partial report.
+pub fn run_transient_sweep(
+    grid: &TransientGrid,
+    options: &TransientSweepOptions,
+) -> Result<TransientReport> {
+    let variants = grid.variants();
+    let workers = if variants.len() <= 1 {
+        1
+    } else {
+        options.resolved_workers().max(1).min(variants.len())
+    };
+    let start = Instant::now();
+    let results: Vec<Result<TransientRow>> = if workers == 1 {
+        variants
+            .iter()
+            .map(|v| evaluate_transient_variant(v, options))
+            .collect()
+    } else {
+        parallel_map(&variants, workers, |v| {
+            evaluate_transient_variant(v, options)
+        })
+    };
+    let wall = start.elapsed();
+    let rows = results.into_iter().collect::<Result<Vec<_>>>()?;
+    Ok(TransientReport {
+        rows,
+        workers,
+        wall,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liquamod_floorplan::{testcase, trace};
+
+    /// A deliberately tiny configuration so unit tests stay quick; the
+    /// heavier end-to-end scenarios live in `tests/integration_transient.rs`.
+    fn tiny_config() -> TransientConfig {
+        TransientConfig {
+            optimizer: OptimizationConfig {
+                segments: 2,
+                mesh_intervals: 32,
+                ..OptimizationConfig::fast()
+            },
+            nz: 20,
+            ..TransientConfig::fast()
+        }
+    }
+
+    #[test]
+    fn config_and_policy_validation() {
+        assert!(ModulationController::new(
+            TransientConfig {
+                dt_seconds: 0.0,
+                ..tiny_config()
+            },
+            ModulationPolicy::FrozenUniform
+        )
+        .is_err());
+        assert!(ModulationController::new(
+            TransientConfig {
+                nz: 0,
+                ..tiny_config()
+            },
+            ModulationPolicy::FrozenUniform
+        )
+        .is_err());
+        assert!(ModulationController::new(
+            tiny_config(),
+            ModulationPolicy::Modulated { epoch_steps: 0 }
+        )
+        .is_err());
+        let c = ModulationController::new(
+            tiny_config(),
+            ModulationPolicy::Modulated { epoch_steps: 4 },
+        )
+        .unwrap();
+        assert_eq!(c.policy(), ModulationPolicy::Modulated { epoch_steps: 4 });
+    }
+
+    #[test]
+    fn strip_stack_conserves_power() {
+        let params = ModelParams::date2012();
+        let load = testcase::test_b();
+        let widths = vec![WidthProfile::uniform(params.w_max)];
+        let stack = strip_stack(&load, &params, &widths, 30).unwrap();
+        // Sum of segment fluxes × pitch × segment length over both layers.
+        let d_cm = 1.0;
+        let seg_len_cm = d_cm / load.top_w_cm2.len() as f64;
+        let pitch_cm = params.pitch.si() * 100.0;
+        let expected: f64 = load
+            .top_w_cm2
+            .iter()
+            .chain(&load.bottom_w_cm2)
+            .map(|q| q * pitch_cm * seg_len_cm)
+            .sum();
+        let got = stack.total_power().as_watts();
+        assert!(
+            (got - expected).abs() / expected < 1e-9,
+            "stack {got} W vs load {expected} W"
+        );
+    }
+
+    #[test]
+    fn frozen_run_has_no_epochs_and_tracks_phases() {
+        let config = tiny_config();
+        let dt = config.dt_seconds;
+        let trace = trace::test_a_step(6.0 * dt, 2.0);
+        let controller =
+            ModulationController::new(config, ModulationPolicy::FrozenUniform).unwrap();
+        let outcome = controller.run(&trace).unwrap();
+        assert_eq!(outcome.snapshots.len(), 12);
+        assert!(outcome.epochs.is_empty());
+        assert_eq!(outcome.total_evaluations(), 0);
+        // The second phase doubles the flux: injected power must double.
+        let first = outcome.snapshots[0].injected_w;
+        let second = outcome.snapshots[8].injected_w;
+        assert!((second - 2.0 * first).abs() < 1e-9 * first);
+        // And the monotone step response peaks at the end.
+        assert!(outcome.peak_gradient_k() >= outcome.snapshots[0].gradient_k);
+        assert!(outcome.peak_temperature_k() > 300.0);
+    }
+
+    #[test]
+    fn modulated_run_fires_epochs_on_cadence() {
+        let config = tiny_config();
+        let dt = config.dt_seconds;
+        let trace = trace::test_b_phases(11, 2, 8.0 * dt);
+        let controller =
+            ModulationController::new(config, ModulationPolicy::Modulated { epoch_steps: 8 })
+                .unwrap();
+        let outcome = controller.run(&trace).unwrap();
+        assert_eq!(outcome.snapshots.len(), 16);
+        let steps: Vec<usize> = outcome.epochs.iter().map(|e| e.step).collect();
+        assert_eq!(steps, vec![0, 8]);
+        // Phase labels follow the trace.
+        assert_eq!(outcome.epochs[0].phase, trace.phases()[0].label);
+        assert_eq!(outcome.epochs[1].phase, trace.phases()[1].label);
+        for e in &outcome.epochs {
+            assert_eq!(e.adopted, e.candidate_gradient_k <= e.incumbent_gradient_k);
+            assert!(e.evaluations > 0);
+            assert_eq!(e.widths_um.len(), 1);
+            assert_eq!(e.widths_um[0].len(), 2);
+        }
+        assert!(outcome.epochs_adopted() >= 1, "first epoch beats uniform");
+    }
+
+    #[test]
+    fn zero_power_phase_skips_its_epoch() {
+        let config = tiny_config();
+        let dt = config.dt_seconds;
+        let idle = StripLoad {
+            name: "idle".into(),
+            top_w_cm2: vec![0.0],
+            bottom_w_cm2: vec![0.0],
+        };
+        let trace = StripTrace::new(vec![
+            liquamod_floorplan::trace::Phase {
+                label: "idle".into(),
+                duration_seconds: 4.0 * dt,
+                load: idle,
+            },
+            liquamod_floorplan::trace::Phase {
+                label: "testA".into(),
+                duration_seconds: 4.0 * dt,
+                load: testcase::test_a(),
+            },
+        ]);
+        let controller =
+            ModulationController::new(config, ModulationPolicy::Modulated { epoch_steps: 4 })
+                .unwrap();
+        let outcome = controller.run(&trace).unwrap();
+        // The idle epoch at step 0 is skipped; the loaded one at step 4 runs.
+        assert_eq!(outcome.epochs.len(), 1);
+        assert_eq!(outcome.epochs[0].step, 4);
+        // Idle phase stays exactly at the inlet temperature.
+        assert!((outcome.snapshots[0].gradient_k).abs() < 1e-6);
+        assert!(outcome.snapshots[0].injected_w.abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_expansion_and_labels() {
+        let grid = TransientGrid::bench_default();
+        assert_eq!(grid.len(), 4);
+        assert!(!grid.is_empty());
+        let variants = grid.variants();
+        assert!(variants.iter().enumerate().all(|(i, v)| v.index == i));
+        assert_eq!(variants[0].label(), "testA-step*1.50 f*0.75");
+        assert!(variants[3].label().starts_with("testB#"));
+        let empty = TransientGrid {
+            traces: vec![],
+            flow_scales: vec![1.0],
+        };
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn golden_json_shape() {
+        let outcome = TransientOutcome {
+            snapshots: vec![TransientSnapshot {
+                time_seconds: 2e-3,
+                peak_k: 310.0,
+                min_k: 300.5,
+                gradient_k: 9.5,
+                injected_w: 1.0,
+                advected_w: 0.25,
+                stored_joules: 1.5e-3,
+            }],
+            epochs: vec![EpochRecord {
+                step: 0,
+                time_seconds: 0.0,
+                phase: "testA".into(),
+                candidate_gradient_k: 5.0,
+                incumbent_gradient_k: 8.0,
+                adopted: true,
+                evaluations: 42,
+                widths_um: vec![vec![50.0, 20.0]],
+            }],
+            dt_seconds: 2e-3,
+        };
+        let json = outcome.golden_json("unit");
+        assert!(json.contains("\"scenario\": \"unit\""));
+        assert!(json.contains("\"times\": [2e-3]"));
+        assert!(json.contains("\"epoch_widths_um\": [[5e1, 2e1]]"));
+        assert!(json.contains("\"epoch_adopted\": [1e0]"));
+    }
+}

@@ -11,6 +11,10 @@
 //!   paper's stated flux range of 8–64 W/cm² (the authors' measured traces
 //!   are not public; see `DESIGN.md` §6);
 //! * [`arch`] — the three two-die 3D-MPSoC arrangements of Fig. 7;
+//! * [`trace`] — piecewise-constant [`trace::PowerTrace`] schedules turning
+//!   the static workloads above into time-varying phases (workload bursts,
+//!   migrating Test-B hotspots, Niagara average↔peak swings) for the
+//!   transient channel-modulation loop;
 //! * [`FluxGrid`] — rasterization of a floorplan onto a channel-aligned
 //!   cell grid, the exchange format consumed by both the analytical thermal
 //!   model (per-channel heat profiles) and the finite-volume simulator
@@ -38,6 +42,7 @@ mod floorplan;
 pub mod niagara;
 mod raster;
 pub mod testcase;
+pub mod trace;
 
 pub use block::{Block, BlockKind};
 pub use error::FloorplanError;

@@ -1,0 +1,295 @@
+//! Time-varying workloads: piecewise-constant power traces.
+//!
+//! The paper evaluates its channel modulation at single operating points;
+//! real MPSoCs run through *phases* — bursts, idles, migrating hotspots.
+//! A [`PowerTrace`] schedules any workload payload over time as a sequence
+//! of labelled, fixed-duration phases. It is generic over the payload so
+//! the same schedule machinery drives both evaluation families:
+//!
+//! * `PowerTrace<StripLoad>` — the Fig. 4 test strips
+//!   ([`test_a_step`], [`test_b_phases`]): what the transient
+//!   channel-modulation loop consumes;
+//! * `PowerTrace<FluxGrid>` — rasterized dies ([`niagara_phases`]): e.g.
+//!   the UltraSPARC T1 stepping between its average and peak power models.
+//!
+//! Phases are piecewise constant — the standard workload-phase abstraction
+//! (cf. the phase-scheduled power models of thermal-aware floorplanning
+//! literature); anything smoother can be approximated by more phases.
+
+use crate::testcase::{self, StripLoad};
+use crate::{Floorplan, FluxGrid, PowerLevel};
+
+/// One phase of a trace: a payload held constant for a duration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase<L> {
+    /// Human-readable phase label (shows up in epoch records).
+    pub label: String,
+    /// How long the phase lasts, seconds.
+    pub duration_seconds: f64,
+    /// The workload active during the phase.
+    pub load: L,
+}
+
+/// A piecewise-constant schedule of workload phases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerTrace<L> {
+    phases: Vec<Phase<L>>,
+}
+
+impl<L> PowerTrace<L> {
+    /// Builds a trace from explicit phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `phases` is empty or any duration is non-positive or
+    /// non-finite — a malformed schedule is a construction bug, reported
+    /// immediately (matching [`testcase::test_b_seeded`]'s convention).
+    pub fn new(phases: Vec<Phase<L>>) -> Self {
+        assert!(!phases.is_empty(), "a power trace needs at least one phase");
+        for p in &phases {
+            assert!(
+                p.duration_seconds.is_finite() && p.duration_seconds > 0.0,
+                "phase '{}' duration must be positive and finite, got {}",
+                p.label,
+                p.duration_seconds
+            );
+        }
+        Self { phases }
+    }
+
+    /// A single-phase (constant) trace.
+    pub fn constant(label: impl Into<String>, duration_seconds: f64, load: L) -> Self {
+        Self::new(vec![Phase {
+            label: label.into(),
+            duration_seconds,
+            load,
+        }])
+    }
+
+    /// The phases, in schedule order.
+    #[must_use]
+    pub fn phases(&self) -> &[Phase<L>] {
+        &self.phases
+    }
+
+    /// Total schedule duration, seconds.
+    #[must_use]
+    pub fn total_duration_seconds(&self) -> f64 {
+        self.phases.iter().map(|p| p.duration_seconds).sum()
+    }
+
+    /// Index of the phase active at time `t` (clamped: negative times map
+    /// to the first phase, times at or past the end to the last).
+    #[must_use]
+    pub fn phase_index_at(&self, t_seconds: f64) -> usize {
+        let mut elapsed = 0.0;
+        for (i, p) in self.phases.iter().enumerate() {
+            elapsed += p.duration_seconds;
+            if t_seconds < elapsed {
+                return i;
+            }
+        }
+        self.phases.len() - 1
+    }
+
+    /// The workload active at time `t` (clamped like
+    /// [`PowerTrace::phase_index_at`]).
+    #[must_use]
+    pub fn load_at(&self, t_seconds: f64) -> &L {
+        &self.phases[self.phase_index_at(t_seconds)].load
+    }
+
+    /// Phase start times, seconds (the first is always `0.0`).
+    #[must_use]
+    pub fn phase_starts(&self) -> Vec<f64> {
+        let mut starts = Vec::with_capacity(self.phases.len());
+        let mut t = 0.0;
+        for p in &self.phases {
+            starts.push(t);
+            t += p.duration_seconds;
+        }
+        starts
+    }
+
+    /// Maps every phase payload through `f`, keeping labels and durations —
+    /// e.g. rasterizing `PowerTrace<PowerLevel>` into `PowerTrace<FluxGrid>`
+    /// or scaling every [`StripLoad`].
+    pub fn map<M>(self, mut f: impl FnMut(L) -> M) -> PowerTrace<M> {
+        PowerTrace {
+            phases: self
+                .phases
+                .into_iter()
+                .map(|p| Phase {
+                    label: p.label,
+                    duration_seconds: p.duration_seconds,
+                    load: f(p.load),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Test A stepping from its baseline to `high_scale`× the baseline flux:
+/// two equal phases of `phase_seconds` each — the simplest workload burst.
+///
+/// # Panics
+///
+/// Panics on a non-positive duration or a non-finite/non-positive scale.
+pub fn test_a_step(phase_seconds: f64, high_scale: f64) -> PowerTrace<StripLoad> {
+    assert!(
+        high_scale.is_finite() && high_scale > 0.0,
+        "high_scale must be positive and finite, got {high_scale}"
+    );
+    let base = testcase::test_a();
+    let mut high = base.clone();
+    for q in high
+        .top_w_cm2
+        .iter_mut()
+        .chain(high.bottom_w_cm2.iter_mut())
+    {
+        *q *= high_scale;
+    }
+    high.name = format!("Test A ×{high_scale}");
+    PowerTrace::new(vec![
+        Phase {
+            label: "testA".to_string(),
+            duration_seconds: phase_seconds,
+            load: base,
+        },
+        Phase {
+            label: format!("testA*{high_scale:.2}"),
+            duration_seconds: phase_seconds,
+            load: high,
+        },
+    ])
+}
+
+/// A sequence of `phases` independent Test-B draws, each held for
+/// `phase_seconds`: phase `k` uses seed `seed + k`, so the whole trace is
+/// reproducible from one number and consecutive phases genuinely move the
+/// hotspots around (the migrating-workload scenario channel modulation has
+/// to track).
+///
+/// # Panics
+///
+/// Panics when `phases` is zero or the duration is non-positive.
+pub fn test_b_phases(seed: u64, phases: usize, phase_seconds: f64) -> PowerTrace<StripLoad> {
+    assert!(phases > 0, "need at least one phase");
+    PowerTrace::new(
+        (0..phases)
+            .map(|k| {
+                let phase_seed = seed.wrapping_add(k as u64);
+                Phase {
+                    label: format!("testB#{phase_seed:x}"),
+                    duration_seconds: phase_seconds,
+                    load: testcase::test_b_seeded(phase_seed, testcase::TEST_B_SEGMENTS),
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Schedules a floorplan (e.g. [`crate::niagara::floorplan`]) through a
+/// sequence of power levels, rasterized at `nx × nz` — the UltraSPARC T1
+/// alternating between average and peak dissipation is
+/// `niagara_phases(&niagara::floorplan(), &[Average, Peak], …)`.
+///
+/// # Panics
+///
+/// Panics when `levels` is empty or the duration is non-positive.
+pub fn niagara_phases(
+    die: &Floorplan,
+    levels: &[PowerLevel],
+    phase_seconds: f64,
+    nx: usize,
+    nz: usize,
+) -> PowerTrace<FluxGrid> {
+    assert!(!levels.is_empty(), "need at least one power level");
+    PowerTrace::new(
+        levels
+            .iter()
+            .map(|&level| Phase {
+                label: format!("{}@{level:?}", die.name()),
+                duration_seconds: phase_seconds,
+                load: die.rasterize(nx, nz, level),
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::niagara;
+
+    #[test]
+    fn schedule_arithmetic() {
+        let trace = test_b_phases(7, 3, 0.05);
+        assert_eq!(trace.phases().len(), 3);
+        assert!((trace.total_duration_seconds() - 0.15).abs() < 1e-12);
+        assert_eq!(trace.phase_starts(), vec![0.0, 0.05, 0.10]);
+        assert_eq!(trace.phase_index_at(-1.0), 0);
+        assert_eq!(trace.phase_index_at(0.0), 0);
+        assert_eq!(trace.phase_index_at(0.049), 0);
+        assert_eq!(trace.phase_index_at(0.05), 1);
+        assert_eq!(trace.phase_index_at(0.149), 2);
+        assert_eq!(trace.phase_index_at(10.0), 2);
+    }
+
+    #[test]
+    fn test_b_phases_are_seeded_and_distinct() {
+        let t1 = test_b_phases(42, 2, 0.1);
+        let t2 = test_b_phases(42, 2, 0.1);
+        assert_eq!(t1, t2, "same seed must give the same trace");
+        assert_ne!(
+            t1.phases()[0].load,
+            t1.phases()[1].load,
+            "consecutive phases draw different workloads"
+        );
+        assert_eq!(t1.phases()[1].load, testcase::test_b_seeded(43, 10));
+    }
+
+    #[test]
+    fn test_a_step_scales_second_phase() {
+        let t = test_a_step(0.02, 1.5);
+        assert_eq!(t.load_at(0.01).top_w_cm2, vec![50.0]);
+        assert_eq!(t.load_at(0.03).top_w_cm2, vec![75.0]);
+        assert_eq!(t.load_at(0.03).bottom_w_cm2, vec![75.0]);
+    }
+
+    #[test]
+    fn constant_and_map() {
+        let t = PowerTrace::constant("steady", 1.0, testcase::test_a());
+        assert_eq!(t.phases().len(), 1);
+        let scaled = t.map(|mut l| {
+            for q in l.top_w_cm2.iter_mut() {
+                *q *= 2.0;
+            }
+            l
+        });
+        assert_eq!(scaled.load_at(0.0).top_w_cm2, vec![100.0]);
+        assert_eq!(scaled.phases()[0].label, "steady");
+    }
+
+    #[test]
+    fn niagara_trace_rasterizes_levels() {
+        let die = niagara::floorplan();
+        let t = niagara_phases(&die, &[PowerLevel::Average, PowerLevel::Peak], 0.1, 10, 10);
+        assert_eq!(t.phases().len(), 2);
+        let avg = t.phases()[0].load.total_power().as_watts();
+        let peak = t.phases()[1].load.total_power().as_watts();
+        assert!(avg < peak, "average phase must draw less: {avg} vs {peak}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_trace_panics() {
+        let _: PowerTrace<StripLoad> = PowerTrace::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn bad_duration_panics() {
+        let _ = PowerTrace::constant("bad", 0.0, testcase::test_a());
+    }
+}

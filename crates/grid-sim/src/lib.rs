@@ -69,7 +69,7 @@ pub use field::{LayerField, ThermalField};
 pub use material::Material;
 pub use power::PowerMap;
 pub use stack::{CavitySpec, CavityWidths, Stack, StackBuilder};
-pub use transient::TransientOptions;
+pub use transient::{TransientOptions, TransientSample, TransientStepper};
 
 /// Convenient result alias for fallible operations in this crate.
 pub type Result<T> = std::result::Result<T, GridSimError>;

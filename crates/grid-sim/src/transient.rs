@@ -5,10 +5,21 @@
 //! unconditionally stable, which matters here because coolant cells have
 //! tiny capacitances compared to the advection rates (sub-millisecond
 //! thermal constants) while silicon responds over milliseconds.
+//!
+//! Two entry points share the same discretization:
+//!
+//! * [`Stack::solve_transient`] — the one-shot step-response run (fixed
+//!   stack, fixed power, a given number of steps);
+//! * [`Stack::transient_stepper`] — an incremental [`TransientStepper`]
+//!   that advances one step at a time and whose node-temperature state can
+//!   be carried into a stepper on a *different* stack with the same grid.
+//!   This is what closed-loop drivers (channel modulation over time-varying
+//!   workloads) build on: swap the stack (new widths, new power map), keep
+//!   the temperatures.
 
 use crate::solver::{self, SolverOptions};
 use crate::stack::Stack;
-use crate::{GridSimError, Result, ThermalField};
+use crate::{assemble::Assembly, sparse::CsrMatrix, GridSimError, Result, ThermalField};
 use liquamod_units::Temperature;
 
 /// Controls for a transient run.
@@ -16,7 +27,8 @@ use liquamod_units::Temperature;
 pub struct TransientOptions {
     /// Time step (seconds).
     pub dt_seconds: f64,
-    /// Number of steps to take.
+    /// Number of steps to take ([`Stack::solve_transient`] only; a
+    /// [`TransientStepper`] is stepped explicitly by its caller).
     pub steps: usize,
     /// Initial uniform temperature (defaults to the stack inlet).
     pub initial: Option<Temperature>,
@@ -42,9 +54,76 @@ pub struct TransientSample {
     pub time_seconds: f64,
     /// Field at this instant.
     pub field: ThermalField,
+    /// Energy stored in the lumped capacitances over the step that produced
+    /// this sample: `Σᵢ Cᵢ·(T_{n+1,i} − T_{n,i})`, joules. Over one backward
+    /// Euler step this equals `Δt·(P_injected − P_advected)` up to the
+    /// linear-solver residual, which is what the energy-balance tests check.
+    pub stored_joules: f64,
+}
+
+/// An incremental backward-Euler integrator over one assembled stack.
+///
+/// Created by [`Stack::transient_stepper`]. The stepper owns the implicit
+/// system `(A + C/Δt)` and the node-temperature vector; every [`step`]
+/// advances time by `Δt` and returns a [`TransientSample`]. The raw state
+/// is exposed through [`state`]/[`set_state`] so a driver can rebuild the
+/// stack mid-run (changed channel widths or power maps) and resume from the
+/// exact temperatures — the node layout only has to match (`same layer
+/// count and grid`), which [`set_state`] validates by length.
+///
+/// [`step`]: TransientStepper::step
+/// [`state`]: TransientStepper::state
+/// [`set_state`]: TransientStepper::set_state
+#[derive(Debug)]
+pub struct TransientStepper<'a> {
+    stack: &'a Stack,
+    asm: Assembly,
+    system: CsrMatrix,
+    solver: SolverOptions,
+    dt: f64,
+    /// Time is tracked as `base_time + steps_taken · Δt` (not accumulated
+    /// by repeated addition), so timestamps are exact multiples of `Δt` and
+    /// independent of where a driver rebuilds/hands over the stepper.
+    base_time: f64,
+    steps_taken: usize,
+    temps: Vec<f64>,
+    /// Reusable right-hand-side buffer (the per-step hot path).
+    rhs: Vec<f64>,
 }
 
 impl Stack {
+    /// Builds an incremental transient stepper for this stack, starting at
+    /// time zero from a uniform temperature (`options.initial`, defaulting
+    /// to the stack inlet). `options.steps` is ignored — the caller decides
+    /// when to stop stepping.
+    ///
+    /// # Errors
+    ///
+    /// [`GridSimError::InvalidTransient`] for a non-positive `dt`.
+    pub fn transient_stepper(&self, options: &TransientOptions) -> Result<TransientStepper<'_>> {
+        if !(options.dt_seconds.is_finite() && options.dt_seconds > 0.0) {
+            return Err(GridSimError::InvalidTransient {
+                what: format!("dt must be positive, got {}", options.dt_seconds),
+            });
+        }
+        let asm = self.assemble();
+        let n = asm.matrix.size();
+        let inv_dt = 1.0 / options.dt_seconds;
+        let system = asm.matrix.plus_diagonal(&asm.capacitance, inv_dt);
+        let t0 = options.initial.unwrap_or(self.inlet).si();
+        Ok(TransientStepper {
+            stack: self,
+            asm,
+            system,
+            solver: options.solver.clone(),
+            dt: options.dt_seconds,
+            base_time: 0.0,
+            steps_taken: 0,
+            temps: vec![t0; n],
+            rhs: vec![0.0; n],
+        })
+    }
+
     /// Runs a transient simulation from a uniform initial temperature and
     /// returns one sample per step (including the final state).
     ///
@@ -54,35 +133,98 @@ impl Stack {
     ///   steps;
     /// * [`GridSimError::NoConvergence`] if an implicit step fails to solve.
     pub fn solve_transient(&self, options: &TransientOptions) -> Result<Vec<TransientSample>> {
-        if !(options.dt_seconds.is_finite() && options.dt_seconds > 0.0) {
-            return Err(GridSimError::InvalidTransient {
-                what: format!("dt must be positive, got {}", options.dt_seconds),
-            });
-        }
         if options.steps == 0 {
             return Err(GridSimError::InvalidTransient {
                 what: "steps must be > 0".into(),
             });
         }
-        let asm = self.assemble();
-        let n = asm.matrix.size();
-        let inv_dt = 1.0 / options.dt_seconds;
-        let system = asm.matrix.plus_diagonal(&asm.capacitance, inv_dt);
-        let t0 = options.initial.unwrap_or(self.inlet).si();
-        let mut temps = vec![t0; n];
+        let mut stepper = self.transient_stepper(options)?;
         let mut samples = Vec::with_capacity(options.steps);
-        for step in 1..=options.steps {
-            let rhs: Vec<f64> = (0..n)
-                .map(|i| asm.rhs[i] + asm.capacitance[i] * inv_dt * temps[i])
-                .collect();
-            let (next, _stats) = solver::bicgstab(&system, &rhs, &temps, &options.solver)?;
-            temps = next;
-            samples.push(TransientSample {
-                time_seconds: step as f64 * options.dt_seconds,
-                field: self.field_from_solution(&asm, &temps),
-            });
+        for _ in 0..options.steps {
+            samples.push(stepper.step()?);
         }
         Ok(samples)
+    }
+}
+
+impl TransientStepper<'_> {
+    /// The node-temperature state (kelvin), in assembly order: layers
+    /// bottom→top, each `nx × nz` row-major.
+    #[must_use]
+    pub fn state(&self) -> &[f64] {
+        &self.temps
+    }
+
+    /// Current simulation time, seconds.
+    #[must_use]
+    pub fn time_seconds(&self) -> f64 {
+        self.base_time + self.steps_taken as f64 * self.dt
+    }
+
+    /// Overwrites the node temperatures and clock — the handover point when
+    /// a driver swaps stacks mid-run.
+    ///
+    /// # Errors
+    ///
+    /// [`GridSimError::InvalidTransient`] when `temps` does not match the
+    /// stack's node count or contains non-finite values, or `time_seconds`
+    /// is not finite and non-negative.
+    pub fn set_state(&mut self, temps: &[f64], time_seconds: f64) -> Result<()> {
+        if temps.len() != self.temps.len() {
+            return Err(GridSimError::InvalidTransient {
+                what: format!(
+                    "state has {} nodes, stack has {}",
+                    temps.len(),
+                    self.temps.len()
+                ),
+            });
+        }
+        if temps.iter().any(|t| !t.is_finite()) {
+            return Err(GridSimError::InvalidTransient {
+                what: "state contains non-finite temperatures".into(),
+            });
+        }
+        if !(time_seconds.is_finite() && time_seconds >= 0.0) {
+            return Err(GridSimError::InvalidTransient {
+                what: format!("time must be finite and non-negative, got {time_seconds}"),
+            });
+        }
+        self.temps.copy_from_slice(temps);
+        self.base_time = time_seconds;
+        self.steps_taken = 0;
+        Ok(())
+    }
+
+    /// Advances one backward-Euler step and returns the sampled field.
+    ///
+    /// # Errors
+    ///
+    /// [`GridSimError::NoConvergence`] if the implicit solve fails.
+    pub fn step(&mut self) -> Result<TransientSample> {
+        let inv_dt = 1.0 / self.dt;
+        for ((rhs, &p), (&c, &t)) in self
+            .rhs
+            .iter_mut()
+            .zip(&self.asm.rhs)
+            .zip(self.asm.capacitance.iter().zip(&self.temps))
+        {
+            *rhs = p + c * inv_dt * t;
+        }
+        let (next, _stats) = solver::bicgstab(&self.system, &self.rhs, &self.temps, &self.solver)?;
+        let stored_joules = self
+            .asm
+            .capacitance
+            .iter()
+            .zip(next.iter().zip(&self.temps))
+            .map(|(c, (t1, t0))| c * (t1 - t0))
+            .sum();
+        self.temps = next;
+        self.steps_taken += 1;
+        Ok(TransientSample {
+            time_seconds: self.time_seconds(),
+            field: self.stack.field_from_solution(&self.asm, &self.temps),
+            stored_joules,
+        })
     }
 }
 
@@ -219,5 +361,130 @@ mod tests {
         assert_eq!(samples.len(), 3);
         assert!((samples[0].time_seconds - 1e-3).abs() < 1e-15);
         assert!((samples[2].time_seconds - 3e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn stepper_matches_one_shot_run() {
+        let s = stack();
+        let options = TransientOptions {
+            dt_seconds: 1e-3,
+            steps: 10,
+            ..Default::default()
+        };
+        let samples = s.solve_transient(&options).unwrap();
+        let mut stepper = s.transient_stepper(&options).unwrap();
+        for sample in &samples {
+            let step = stepper.step().unwrap();
+            assert_eq!(step.time_seconds.to_bits(), sample.time_seconds.to_bits());
+            assert_eq!(step.stored_joules.to_bits(), sample.stored_joules.to_bits());
+            for (a, b) in step
+                .field
+                .layers()
+                .iter()
+                .zip(sample.field.layers())
+                .flat_map(|(x, y)| x.as_kelvin().iter().zip(y.as_kelvin()))
+            {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        assert!((stepper.time_seconds() - 10e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn state_handover_resumes_exactly() {
+        // Stepping 2 + 3 steps through a state handover (to a fresh stepper
+        // over the same stack) equals stepping 5 straight.
+        let s = stack();
+        let options = TransientOptions {
+            dt_seconds: 2e-3,
+            steps: 5,
+            ..Default::default()
+        };
+        let straight = s.solve_transient(&options).unwrap();
+        let mut first = s.transient_stepper(&options).unwrap();
+        first.step().unwrap();
+        first.step().unwrap();
+        let mut second = s.transient_stepper(&options).unwrap();
+        second
+            .set_state(first.state(), first.time_seconds())
+            .unwrap();
+        let mut last = None;
+        for _ in 0..3 {
+            last = Some(second.step().unwrap());
+        }
+        let resumed = last.unwrap();
+        let reference = straight.last().unwrap();
+        // Time is base + k·Δt per stepper; across a handover the two float
+        // paths to 5·Δt may differ by an ulp, so compare with a tolerance
+        // (the temperatures below remain bitwise).
+        assert!((resumed.time_seconds - reference.time_seconds).abs() < 1e-12);
+        for (a, b) in resumed
+            .field
+            .layers()
+            .iter()
+            .zip(reference.field.layers())
+            .flat_map(|(x, y)| x.as_kelvin().iter().zip(y.as_kelvin()))
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn set_state_validates() {
+        let s = stack();
+        let mut stepper = s.transient_stepper(&TransientOptions::default()).unwrap();
+        let n = stepper.state().len();
+        assert!(matches!(
+            stepper.set_state(&vec![300.0; n + 1], 0.0),
+            Err(GridSimError::InvalidTransient { .. })
+        ));
+        assert!(matches!(
+            stepper.set_state(&vec![f64::NAN; n], 0.0),
+            Err(GridSimError::InvalidTransient { .. })
+        ));
+        assert!(matches!(
+            stepper.set_state(&vec![300.0; n], -1.0),
+            Err(GridSimError::InvalidTransient { .. })
+        ));
+        assert!(stepper.set_state(&vec![310.0; n], 0.5).is_ok());
+        assert!((stepper.time_seconds() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn per_step_energy_balance() {
+        // Backward Euler closes the books every step: the energy stored in
+        // the lumped capacitances must equal the injected power minus the
+        // advected outflow over the step, up to the linear-solver residual.
+        let s = stack();
+        let samples = s
+            .solve_transient(&TransientOptions {
+                dt_seconds: 1e-3,
+                steps: 40,
+                solver: SolverOptions {
+                    tolerance: 1e-13,
+                    ..SolverOptions::default()
+                },
+                ..Default::default()
+            })
+            .unwrap();
+        let dt = 1e-3;
+        for sample in &samples {
+            let injected = sample.field.total_power().as_watts() * dt;
+            let advected = sample.field.advected_power().as_watts() * dt;
+            let residual = (injected - advected - sample.stored_joules).abs();
+            assert!(
+                residual <= 1e-6 * injected.max(1e-12),
+                "t = {}: injected {injected} J, advected {advected} J, stored {} J \
+                 (residual {residual})",
+                sample.time_seconds,
+                sample.stored_joules
+            );
+        }
+        // Early on most of the heat goes into the capacitances; near steady
+        // state almost everything leaves through the coolant.
+        let first = &samples[0];
+        let last = samples.last().unwrap();
+        assert!(first.stored_joules > 0.5 * first.field.total_power().as_watts() * dt);
+        assert!(last.stored_joules < 0.1 * last.field.total_power().as_watts() * dt);
     }
 }

@@ -1,0 +1,213 @@
+//! Golden-regression fixtures for the transient modulation loop: one
+//! Test-A and one Test-B run are pinned as JSON snapshots (sampled
+//! temperatures plus the widths chosen at every epoch) and diffed within
+//! 1e-9, so modulation numerics cannot drift silently.
+//!
+//! The fixtures live in `tests/golden/`; regenerate them after an
+//! *intentional* numerical change with:
+//!
+//! ```text
+//! LIQUAMOD_REGEN_GOLDEN=1 cargo test --test golden_transient
+//! ```
+//!
+//! (the run overwrites the fixtures and then passes trivially — re-run
+//! without the variable to verify, and review the diff before committing).
+//!
+//! The 1e-9 tolerance assumes the fixtures and the run share a platform
+//! libm: the solve path goes through `powf`, whose last-ulp behaviour can
+//! differ across targets, and the optimizer's branchy line search can
+//! amplify that. CI and the checked-in fixtures are both x86-64 Linux; on
+//! another target, regenerate locally first rather than chasing phantom
+//! diffs.
+
+use liquamod::floorplan::testcase::TEST_B_DEFAULT_SEED;
+use liquamod::floorplan::trace;
+use liquamod::transient::{
+    ModulationController, ModulationPolicy, StripTrace, TransientConfig, TransientOutcome,
+};
+use liquamod::OptimizationConfig;
+use std::path::PathBuf;
+
+/// Absolute tolerance of the golden diff (the ISSUE's contract).
+const TOLERANCE: f64 = 1e-9;
+
+/// The pinned scenario configuration. Deliberately spelled out rather than
+/// taken from `TransientConfig::fast()`: changing the fast defaults must
+/// not silently re-baseline the fixtures.
+fn golden_config() -> TransientConfig {
+    TransientConfig {
+        optimizer: OptimizationConfig {
+            segments: 4,
+            mesh_intervals: 48,
+            ..OptimizationConfig::fast()
+        },
+        dt_seconds: 2e-3,
+        nz: 24,
+        ..TransientConfig::fast()
+    }
+}
+
+/// Two 24 ms phases (12 steps each), epochs every 8 steps → 0, 8, 16.
+fn run_scenario(trace: &StripTrace) -> TransientOutcome {
+    ModulationController::new(
+        golden_config(),
+        ModulationPolicy::Modulated { epoch_steps: 8 },
+    )
+    .unwrap()
+    .run(trace)
+    .unwrap()
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+// ---- a minimal parser for the fixtures' flat JSON schema ----------------
+
+/// Returns the balanced `[…]` source span following `"key":`.
+fn raw_span<'a>(json: &'a str, key: &str) -> &'a str {
+    let tag = format!("\"{key}\":");
+    let start = json
+        .find(&tag)
+        .unwrap_or_else(|| panic!("fixture is missing key {key}"));
+    let rest = &json[start + tag.len()..];
+    let open = rest.find('[').expect("key is not an array");
+    let mut depth = 0usize;
+    for (i, c) in rest[open..].char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return &rest[open..=open + i];
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("unbalanced array for key {key}");
+}
+
+/// Parses every number in a span (commas/brackets/whitespace separate).
+fn numbers(span: &str) -> Vec<f64> {
+    span.split(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .filter(|s| !s.is_empty() && s.chars().any(|c| c.is_ascii_digit()))
+        .map(|s| s.parse().unwrap_or_else(|_| panic!("bad number {s:?}")))
+        .collect()
+}
+
+/// A flat numeric array under `key`.
+fn num_array(json: &str, key: &str) -> Vec<f64> {
+    numbers(raw_span(json, key))
+}
+
+/// A scalar numeric field under `key`.
+fn num_scalar(json: &str, key: &str) -> f64 {
+    let tag = format!("\"{key}\":");
+    let start = json
+        .find(&tag)
+        .unwrap_or_else(|| panic!("fixture is missing key {key}"));
+    let rest = &json[start + tag.len()..];
+    let end = rest.find([',', '\n']).unwrap_or(rest.len());
+    rest[..end].trim().parse().expect("bad scalar")
+}
+
+fn assert_close(label: &str, expected: &[f64], actual: &[f64]) {
+    assert_eq!(
+        expected.len(),
+        actual.len(),
+        "{label}: fixture has {} values, run produced {}",
+        expected.len(),
+        actual.len()
+    );
+    for (i, (e, a)) in expected.iter().zip(actual).enumerate() {
+        assert!(
+            (e - a).abs() <= TOLERANCE,
+            "{label}[{i}]: fixture {e} vs run {a} (|Δ| = {})",
+            (e - a).abs()
+        );
+    }
+}
+
+/// Compares every numeric channel of the golden schema.
+fn assert_matches_fixture(expected: &str, actual: &str) {
+    assert!(
+        (num_scalar(expected, "dt_seconds") - num_scalar(actual, "dt_seconds")).abs() <= TOLERANCE
+    );
+    for key in [
+        "times",
+        "peak_k",
+        "min_k",
+        "gradient_k",
+        "epoch_steps_at",
+        "epoch_adopted",
+        "epoch_candidate_gradient_k",
+        "epoch_incumbent_gradient_k",
+        "epoch_widths_um",
+    ] {
+        assert_close(key, &num_array(expected, key), &num_array(actual, key));
+    }
+}
+
+fn check_golden(name: &str, trace: &StripTrace) {
+    let outcome = run_scenario(trace);
+    // Sanity: the pinned scenarios are 24 steps with 3 epochs.
+    assert_eq!(outcome.snapshots.len(), 24);
+    assert_eq!(
+        outcome.epochs.iter().map(|e| e.step).collect::<Vec<_>>(),
+        vec![0, 8, 16]
+    );
+    let actual = outcome.golden_json(name);
+    let path = fixture_path(&format!("{name}.json"));
+    if std::env::var("LIQUAMOD_REGEN_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()));
+    assert_matches_fixture(&expected, &actual);
+}
+
+#[test]
+fn golden_test_a_transient_run() {
+    check_golden("transient_test_a", &trace::test_a_step(0.024, 1.5));
+}
+
+#[test]
+fn golden_test_b_transient_run() {
+    check_golden(
+        "transient_test_b",
+        &trace::test_b_phases(TEST_B_DEFAULT_SEED, 2, 0.024),
+    );
+}
+
+/// The parser itself is part of the regression surface: make sure it reads
+/// back exactly what `golden_json` writes.
+#[test]
+fn golden_serialization_roundtrips() {
+    let outcome = run_scenario(&trace::test_a_step(0.024, 1.5));
+    let json = outcome.golden_json("roundtrip");
+    let times = num_array(&json, "times");
+    assert_eq!(times.len(), outcome.snapshots.len());
+    for (parsed, snap) in times.iter().zip(&outcome.snapshots) {
+        assert_eq!(parsed.to_bits(), snap.time_seconds.to_bits());
+    }
+    let widths = num_array(&json, "epoch_widths_um");
+    let flat: Vec<f64> = outcome
+        .epochs
+        .iter()
+        .flat_map(|e| e.widths_um.iter().flatten().copied())
+        .collect();
+    assert_eq!(widths.len(), flat.len());
+    for (parsed, w) in widths.iter().zip(&flat) {
+        assert_eq!(parsed.to_bits(), w.to_bits());
+    }
+    assert_eq!(
+        num_scalar(&json, "dt_seconds").to_bits(),
+        outcome.dt_seconds.to_bits()
+    );
+}
