@@ -1,5 +1,6 @@
-//! Parallel design-space sweep over scenario variants, with a transient
-//! channel-modulation mode.
+//! Parallel design-space sweep over scenario variants, with transient
+//! channel-modulation modes for both the validation strips and the
+//! full-chip MPSoC stacks.
 //!
 //! The default (steady) mode expands a grid of workloads × heat-flux
 //! scales × coolant-flow scales, evaluates the full minimum/maximum/optimal
@@ -7,16 +8,22 @@
 //! throughput-oriented counterpart to the per-figure reproduction binaries.
 //!
 //! The `transient` mode runs the closed-loop modulation controller over
-//! time-varying workload traces (trace × flow-scale grid), comparing the
-//! time-peak inter-layer gradient of the modulated run against the frozen
-//! uniform-width baseline of each variant.
+//! time-varying strip workload traces (trace × flow-scale grid), comparing
+//! the time-peak inter-layer gradient of the modulated run against the
+//! frozen uniform-width baseline of each variant.
 //!
-//! Run with: `cargo run --release -p bench --bin sweep [-- transient]`
+//! The `mpsoc` mode does the same for the paper's two-die Fig. 7
+//! architectures (arch × trace × flow-scale grid): each variant drives a
+//! five-layer two-cavity stack through a Niagara average→peak burst, with
+//! the cavities' per-group width profiles re-optimized jointly at every
+//! epoch.
 //!
-//! Options (both modes unless noted):
+//! Run with: `cargo run --release -p bench --bin sweep [-- transient|mpsoc]`
 //!
-//! * `transient` — run the transient modulation sweep instead of the
-//!   steady design sweep;
+//! Options (all modes unless noted):
+//!
+//! * `transient` — run the strip transient modulation sweep;
+//! * `mpsoc` — run the full-chip MPSoC modulation sweep;
 //! * `--serial` — run on one thread only (no speedup baseline);
 //! * `--workers N` — override the parallel worker count;
 //! * `--no-baseline` — skip the serial reference run (faster, but no
@@ -26,17 +33,19 @@
 //!   as in the paper);
 //! * `--json [PATH]` — write a machine-readable perf record; `PATH`
 //!   defaults to `BENCH_sweep.json` (steady) / `BENCH_transient.json`
-//!   (transient);
-//! * `LIQUAMOD_FAST=1` — coarse optimizer settings (CI).
+//!   (transient) / `BENCH_mpsoc.json` (mpsoc);
+//! * `LIQUAMOD_FAST=1` — coarse optimizer/grid settings (CI).
 //!
-//! By default the steady grid is the 16-variant paper neighborhood and the
-//! transient grid the 4-variant trace neighborhood, evaluated in parallel
-//! *and* serially; the tail of the output reports wall times, effective
+//! By default the steady grid is the 16-variant paper neighborhood, the
+//! transient grid the 4-variant trace neighborhood and the mpsoc grid the
+//! 6-variant architecture neighborhood, evaluated in parallel *and*
+//! serially; the tail of the output reports wall times, effective
 //! throughput and the parallel speedup.
 
+use liquamod::mpsoc::{run_mpsoc_sweep, MpsocGrid, MpsocReport, MpsocSweepOptions};
 use liquamod::sweep::{run_sweep, ExecutionMode, SweepGrid, SweepOptions, SweepReport};
 use liquamod::transient::{
-    run_transient_sweep, TransientGrid, TransientReport, TransientSweepOptions,
+    run_transient_sweep, EpochPolicy, TransientGrid, TransientReport, TransientSweepOptions,
 };
 use liquamod_bench::{banner, print_table};
 use std::num::NonZeroUsize;
@@ -46,6 +55,7 @@ use std::process::ExitCode;
 enum Mode {
     Steady,
     Transient,
+    Mpsoc,
 }
 
 struct Args {
@@ -71,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "transient" => args.mode = Mode::Transient,
+            "mpsoc" => args.mode = Mode::Mpsoc,
             "--serial" => args.serial = true,
             "--no-baseline" => args.baseline = false,
             "--cold-start" => args.warm_start = false,
@@ -83,14 +94,18 @@ fn parse_args() -> Result<Args, String> {
                 // The path is optional: bare `--json` writes the mode's
                 // default file name in the working directory.
                 let path = match it.peek() {
-                    Some(next) if !next.starts_with('-') && next != "transient" => it.next(),
+                    Some(next)
+                        if !next.starts_with('-') && next != "transient" && next != "mpsoc" =>
+                    {
+                        it.next()
+                    }
                     _ => None,
                 };
                 args.json = Some(path.unwrap_or_default());
             }
             other => {
                 return Err(format!(
-                    "unknown argument: {other} (try transient, --serial, --workers N, \
+                    "unknown argument: {other} (try transient, mpsoc, --serial, --workers N, \
                      --no-baseline, --cold-start, --json [PATH])"
                 ))
             }
@@ -102,6 +117,7 @@ fn parse_args() -> Result<Args, String> {
             *path = match args.mode {
                 Mode::Steady => "BENCH_sweep.json".to_string(),
                 Mode::Transient => "BENCH_transient.json".to_string(),
+                Mode::Mpsoc => "BENCH_mpsoc.json".to_string(),
             };
         }
     }
@@ -242,6 +258,76 @@ fn write_record(path: &str, what: &str, record: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Shared tail of the modulated-vs-frozen modes (`transient`, `mpsoc`): the
+/// serial determinism baseline, the modulated-beats-frozen gate over
+/// `(label, modulated K, frozen K)` rows, and the JSON record write — which
+/// happens even when a gate failed, because the failing run is exactly the
+/// one whose per-variant numbers are needed. Returns the process exit code.
+// One parameter per closure the two report types differ by; bundling them
+// into a trait would just move the same six names elsewhere.
+#[allow(clippy::too_many_arguments)]
+fn finish_modulated_mode<R>(
+    what: &str,
+    args: &Args,
+    available: usize,
+    report: &R,
+    wall: std::time::Duration,
+    workers: usize,
+    run_serial: impl FnOnce() -> Result<R, String>,
+    rows_equal: impl FnOnce(&R) -> bool,
+    wall_of: impl Fn(&R) -> std::time::Duration,
+    gate_rows: impl Fn(&R) -> Vec<(String, f64, f64)>,
+    render_record: impl FnOnce(Option<&R>, bool) -> String,
+) -> ExitCode {
+    let mut serial_report = None;
+    let mut determinism_verified = false;
+    let mut gate_failure: Option<String> = None;
+    if !args.serial && args.baseline {
+        match serial_baseline(
+            what, wall, workers, available, run_serial, rows_equal, wall_of,
+        ) {
+            Ok(serial) => {
+                determinism_verified = true;
+                serial_report = Some(serial);
+            }
+            Err(e) => gate_failure = Some(e),
+        }
+    }
+    if gate_failure.is_none() {
+        if let Some((label, modulated, frozen)) = gate_rows(report)
+            .into_iter()
+            .find(|(_, modulated, frozen)| modulated >= frozen)
+        {
+            gate_failure = Some(format!(
+                "{label}: modulation did not beat the frozen design \
+                 ({modulated:.3} K vs {frozen:.3} K)"
+            ));
+        } else {
+            println!(
+                "every variant: modulated time-peak gradient strictly below the frozen \
+                 uniform-width baseline"
+            );
+        }
+    }
+    if let Some(path) = &args.json {
+        let record = render_record(serial_report.as_ref(), determinism_verified);
+        if let Err(e) = write_record(path, what, &record) {
+            // Don't let a write failure swallow an already-detected gate
+            // failure — that diagnosis matters more than the record.
+            if let Some(gate) = &gate_failure {
+                eprintln!("error: {gate}");
+            }
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(e) = gate_failure {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 /// Renders the `BENCH_transient.json` record; see the README's "Transient
 /// modulation" section for the schema and how the CI bench-smoke job
 /// consumes it.
@@ -352,79 +438,228 @@ fn run_transient_mode(args: &Args) -> ExitCode {
         report.workers,
     );
 
-    let mut serial_report = None;
-    let mut determinism_verified = false;
-    let mut gate_failure: Option<String> = None;
-    if !args.serial && args.baseline {
-        let serial_options = TransientSweepOptions {
-            mode: ExecutionMode::Serial,
-            ..options.clone()
-        };
-        match serial_baseline(
-            "transient",
-            report.wall,
-            report.workers,
-            available,
-            || {
-                run_transient_sweep(&grid, &serial_options)
-                    .map_err(|e| format!("serial baseline failed: {e}"))
-            },
-            |s| s.rows == report.rows,
-            |s| s.wall,
-        ) {
-            Ok(serial) => {
-                determinism_verified = true;
-                serial_report = Some(serial);
-            }
-            Err(e) => gate_failure = Some(e),
-        }
+    let serial_options = TransientSweepOptions {
+        mode: ExecutionMode::Serial,
+        ..options.clone()
+    };
+    finish_modulated_mode(
+        "transient",
+        args,
+        available,
+        &report,
+        report.wall,
+        report.workers,
+        || {
+            run_transient_sweep(&grid, &serial_options)
+                .map_err(|e| format!("serial baseline failed: {e}"))
+        },
+        |s| s.rows == report.rows,
+        |s| s.wall,
+        |r| {
+            r.rows
+                .iter()
+                .map(|row| {
+                    (
+                        row.variant.label(),
+                        row.peak_gradient_modulated_k,
+                        row.peak_gradient_frozen_k,
+                    )
+                })
+                .collect()
+        },
+        |serial, determinism_verified| {
+            transient_json_record(
+                &grid,
+                &options,
+                &report,
+                serial,
+                determinism_verified,
+                liquamod_bench::fast_mode(),
+            )
+        },
+    )
+}
+
+/// Renders the `BENCH_mpsoc.json` record; see the README's "Full-chip MPSoC
+/// modulation" section for the schema and how the CI bench-smoke job
+/// consumes it.
+fn mpsoc_json_record(
+    grid: &MpsocGrid,
+    options: &MpsocSweepOptions,
+    report: &MpsocReport,
+    serial: Option<&MpsocReport>,
+    determinism_verified: bool,
+    fast_mode: bool,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"mpsoc\",\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!(
+        "  \"grid\": {{\"variants\": {}, \"archs\": {}, \"traces\": {}, \"flow_scales\": {}}},\n",
+        grid.len(),
+        grid.archs.len(),
+        grid.traces.len(),
+        grid.flow_scales.len()
+    ));
+    out.push_str(&format!(
+        "  \"stack\": {{\"nx\": {}, \"nz\": {}, \"n_groups\": {}}},\n",
+        options.config.nx, options.config.nz, options.config.n_groups
+    ));
+    out.push_str(&format!(
+        "  \"dt_seconds\": {:.6e},\n",
+        options.config.dt_seconds
+    ));
+    out.push_str(&format!(
+        "  \"epoch_policy\": \"{}\",\n",
+        json_escape(&format!("{:?}", options.policy))
+    ));
+    out.push_str(&format!(
+        "  \"phase_seconds\": {:.6e},\n",
+        options.phase_seconds
+    ));
+    out.push_str(&format!("  \"workers\": {},\n", report.workers));
+    out.push_str(&format!("  \"fast_mode\": {fast_mode},\n"));
+    out.push_str(&format!(
+        "  \"wall_seconds\": {:.6},\n",
+        report.wall.as_secs_f64()
+    ));
+    if let Some(serial) = serial {
+        out.push_str(&format!(
+            "  \"serial_wall_seconds\": {:.6},\n",
+            serial.wall.as_secs_f64()
+        ));
+        out.push_str(&format!(
+            "  \"parallel_speedup\": {:.4},\n",
+            serial.wall.as_secs_f64() / report.wall.as_secs_f64().max(1e-12)
+        ));
     }
-    if gate_failure.is_none() {
-        if let Some(row) = report
-            .rows
-            .iter()
-            .find(|r| r.peak_gradient_modulated_k >= r.peak_gradient_frozen_k)
-        {
-            gate_failure = Some(format!(
-                "{}: modulation did not beat the frozen design ({:.3} K vs {:.3} K)",
-                row.variant.label(),
-                row.peak_gradient_modulated_k,
-                row.peak_gradient_frozen_k
-            ));
-        } else {
-            println!(
-                "every variant: modulated time-peak gradient strictly below the frozen \
-                 uniform-width baseline"
-            );
-        }
+    out.push_str(&format!(
+        "  \"determinism_verified\": {determinism_verified},\n"
+    ));
+    out.push_str("  \"variants\": [\n");
+    for (i, row) in report.rows.iter().enumerate() {
+        let sep = if i + 1 == report.rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"peak_gradient_modulated_k\": {:.6}, \
+             \"peak_gradient_frozen_k\": {:.6}, \"gradient_reduction\": {:.6}, \
+             \"epochs\": {}, \"epochs_adopted\": {}, \"evaluations\": {}}}{sep}\n",
+            json_escape(&row.variant.label()),
+            row.peak_gradient_modulated_k,
+            row.peak_gradient_frozen_k,
+            row.gradient_reduction,
+            row.epochs,
+            row.epochs_adopted,
+            row.evaluations
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The MPSoC sweep options the bench runs: the full 100-channel stacks by
+/// default; `LIQUAMOD_FAST=1` coarsens the along-flow grid and halves the
+/// width groups per cavity (the channel count stays, so the modulation
+/// picture is preserved at CI cost).
+fn mpsoc_options(mode: ExecutionMode) -> MpsocSweepOptions {
+    let mut options = MpsocSweepOptions::fast(mode);
+    if liquamod_bench::fast_mode() {
+        options.config.nz = 11;
+        options.config.n_groups = 2;
+    }
+    options
+}
+
+/// The mpsoc mode: full-chip modulated-vs-frozen architecture scenarios
+/// through the deterministic parallel fan-out.
+fn run_mpsoc_mode(args: &Args) -> ExitCode {
+    banner("full-chip MPSoC modulation: arch x trace x flow-scale grid");
+    let grid = MpsocGrid::bench_default();
+    let available = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    let mode = execution_mode(args, available);
+    let options = mpsoc_options(mode);
+    let steps_per_phase = (options.phase_seconds / options.config.dt_seconds).round() as usize;
+    println!(
+        "grid: {} variants ({} archs x {} traces x {} flow scales); {available} core(s) available",
+        grid.len(),
+        grid.archs.len(),
+        grid.traces.len(),
+        grid.flow_scales.len(),
+    );
+    println!(
+        "stack: {} channels x {} cells, {} width groups per cavity, two cavities",
+        options.config.nx, options.config.nz, options.config.n_groups,
+    );
+    match options.policy {
+        EpochPolicy::FixedCadence { epoch_steps } => println!(
+            "clock: dt = {:.1} ms, {} steps per {:.0} ms phase, re-optimization epoch every {} steps",
+            options.config.dt_seconds * 1e3,
+            steps_per_phase,
+            options.phase_seconds * 1e3,
+            epoch_steps,
+        ),
+        ref policy => println!(
+            "clock: dt = {:.1} ms, {} steps per {:.0} ms phase, epoch policy {policy:?}",
+            options.config.dt_seconds * 1e3,
+            steps_per_phase,
+            options.phase_seconds * 1e3,
+        ),
     }
 
-    // The record is written even when a gate failed — the failing run is
-    // exactly the one whose per-variant numbers are needed.
-    if let Some(path) = &args.json {
-        let record = transient_json_record(
-            &grid,
-            &options,
-            &report,
-            serial_report.as_ref(),
-            determinism_verified,
-            liquamod_bench::fast_mode(),
-        );
-        if let Err(e) = write_record(path, "transient", &record) {
-            // Don't let a write failure swallow an already-detected gate
-            // failure — that diagnosis matters more than the record.
-            if let Some(gate) = &gate_failure {
-                eprintln!("error: {gate}");
-            }
-            eprintln!("error: {e}");
+    let report = match run_mpsoc_sweep(&grid, &options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mpsoc sweep failed: {e}");
             return ExitCode::FAILURE;
         }
-    }
-    if let Some(e) = gate_failure {
-        eprintln!("error: {e}");
-        return ExitCode::FAILURE;
-    }
-    ExitCode::SUCCESS
+    };
+    print_table(&report.to_table());
+    println!(
+        "{} variants in {:.2} s on {} worker(s)",
+        report.rows.len(),
+        report.wall.as_secs_f64(),
+        report.workers,
+    );
+
+    let serial_options = MpsocSweepOptions {
+        mode: ExecutionMode::Serial,
+        ..options.clone()
+    };
+    finish_modulated_mode(
+        "mpsoc",
+        args,
+        available,
+        &report,
+        report.wall,
+        report.workers,
+        || {
+            run_mpsoc_sweep(&grid, &serial_options)
+                .map_err(|e| format!("serial baseline failed: {e}"))
+        },
+        |s| s.rows == report.rows,
+        |s| s.wall,
+        |r| {
+            r.rows
+                .iter()
+                .map(|row| {
+                    (
+                        row.variant.label(),
+                        row.peak_gradient_modulated_k,
+                        row.peak_gradient_frozen_k,
+                    )
+                })
+                .collect()
+        },
+        |serial, determinism_verified| {
+            mpsoc_json_record(
+                &grid,
+                &options,
+                &report,
+                serial,
+                determinism_verified,
+                liquamod_bench::fast_mode(),
+            )
+        },
+    )
 }
 
 fn main() -> ExitCode {
@@ -437,6 +672,9 @@ fn main() -> ExitCode {
     };
     if args.mode == Mode::Transient {
         return run_transient_mode(&args);
+    }
+    if args.mode == Mode::Mpsoc {
+        return run_mpsoc_mode(&args);
     }
 
     banner("scenario sweep: workload x flux-scale x flow-scale grid");

@@ -5,8 +5,38 @@
 use crate::Result;
 use liquamod_floorplan::FluxGrid;
 use liquamod_grid_sim::{CavitySpec, CavityWidths, PowerMap, Stack, StackBuilder};
-use liquamod_thermal_model::{ModelParams, WidthProfile};
-use liquamod_units::{Length, Power};
+use liquamod_thermal_model::{HeatProfile, ModelParams, WidthProfile};
+use liquamod_units::{Length, LinearHeatFlux, Power};
+
+/// Aggregates `group_size` adjacent grid columns (group `group`) into one
+/// per-channel heat profile, scaled by `factor` — the §III model-reduction
+/// exchange format ("combine two or more channels under a single set of top
+/// and bottom nodes") shared by the steady MPSoC scenario
+/// ([`crate::mpsoc_model`]) and the transient MPSoC stack family
+/// ([`crate::mpsoc::MpsocModulated`]).
+///
+/// # Panics
+///
+/// Panics if the group's column range exceeds the grid (the callers
+/// validate `group_size · n_groups == nx` at construction).
+#[must_use]
+pub fn group_heat_profile(
+    grid: &FluxGrid,
+    group: usize,
+    group_size: usize,
+    factor: f64,
+) -> HeatProfile {
+    let mut profile = HeatProfile::zero();
+    for i in group * group_size..(group + 1) * group_size {
+        let steps = grid
+            .column_steps(i)
+            .into_iter()
+            .map(|(z, q)| (Length::from_meters(z), LinearHeatFlux::from_w_per_m(q)))
+            .collect();
+        profile = profile.add(&HeatProfile::from_steps(steps));
+    }
+    profile.scaled(factor)
+}
 
 /// Converts a rasterized flux grid into a grid-sim power map (same grid).
 pub fn power_map_from_grid(grid: &FluxGrid) -> PowerMap {

@@ -23,10 +23,12 @@
 //! * **this crate** — the §IV optimal channel-modulation flow, the
 //!   min/max/optimal comparison methodology of §V, canned experiment
 //!   definitions for every figure of the paper, the [`sweep`] engine
-//!   that fans grids of scenario variants out across worker threads, and
-//!   the [`transient`] subsystem that closes the modulation loop over
+//!   that fans grids of scenario variants out across worker threads, the
+//!   [`transient`] subsystem that closes the modulation loop over
 //!   time-varying workload traces (epoch-based re-optimization driving the
-//!   finite-volume transient stepper).
+//!   finite-volume transient stepper), and the [`mpsoc`] subsystem that
+//!   runs the paper's full two-die Fig. 7 stacks — two jointly optimized
+//!   cavities — through that same loop.
 //!
 //! # Quickstart
 //!
@@ -51,6 +53,7 @@ mod csv;
 mod design;
 mod error;
 pub mod experiments;
+pub mod mpsoc;
 mod scenario;
 pub mod sweep;
 pub mod transient;
@@ -62,13 +65,15 @@ pub use design::{
     OptimizationConfig, SolverKind,
 };
 pub use error::CoreError;
+pub use mpsoc::{run_mpsoc_sweep, MpsocConfig, MpsocGrid, MpsocModulated, MpsocReport, MpsocRow};
 pub use scenario::{mpsoc_model, strip_model, MpsocScenario};
 pub use sweep::{
     run_sweep, ExecutionMode, LoadSpec, SweepGrid, SweepOptions, SweepReport, SweepRow,
     SweepVariant,
 };
 pub use transient::{
-    run_transient_sweep, ModulationController, ModulationPolicy, TransientConfig, TransientGrid,
+    run_transient_sweep, CavityProfiles, EpochCandidate, EpochPolicy, ModulatedStack,
+    ModulationController, ModulationPolicy, StripModulated, TransientConfig, TransientGrid,
     TransientOutcome, TransientReport, TransientRow, TransientSweepOptions,
 };
 

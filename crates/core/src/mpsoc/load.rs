@@ -1,0 +1,205 @@
+//! MPSoC workloads: rasterized two-die flux-grid pairs and their traces.
+
+use crate::{CoreError, Result};
+use liquamod_floorplan::arch::Architecture;
+use liquamod_floorplan::trace::{self, PowerTrace};
+use liquamod_floorplan::{FluxGrid, PowerLevel};
+use liquamod_units::Power;
+
+/// One phase's workload for a two-die stack: the rasterized heat-flux grids
+/// of both dies (same grid, same die outline).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpsocLoad {
+    /// Top-die flux grid.
+    pub top: FluxGrid,
+    /// Bottom-die flux grid.
+    pub bottom: FluxGrid,
+}
+
+/// A time-varying two-die workload (what the MPSoC controller consumes).
+pub type MpsocTrace = PowerTrace<MpsocLoad>;
+
+impl MpsocLoad {
+    /// Pairs two die grids, validating that they describe the same die and
+    /// grid (the stack has one outline and one cell grid for all layers).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] on mismatched grid dimensions or die
+    /// extents.
+    pub fn new(top: FluxGrid, bottom: FluxGrid) -> Result<Self> {
+        check_pair(&top, &bottom)?;
+        Ok(Self { top, bottom })
+    }
+
+    /// Rasterizes both dies of an architecture at one power level.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the architecture's dies disagree on outline — an
+    /// [`Architecture`] whose dies cannot stack is a construction bug,
+    /// reported immediately (matching the trace constructors' convention).
+    #[must_use]
+    pub fn from_arch(arch: &Architecture, level: PowerLevel, nx: usize, nz: usize) -> Self {
+        Self::new(
+            arch.top_die().rasterize(nx, nz, level),
+            arch.bottom_die().rasterize(nx, nz, level),
+        )
+        .unwrap_or_else(|e| panic!("architecture '{}' dies cannot stack: {e}", arch.name()))
+    }
+
+    /// Grid dimensions `(nx, nz)` shared by both dies.
+    #[must_use]
+    pub fn dims(&self) -> (usize, usize) {
+        self.top.dims()
+    }
+
+    /// Total power of both dies.
+    #[must_use]
+    pub fn total_power(&self) -> Power {
+        Power::from_watts(self.top.total_power().as_watts() + self.bottom.total_power().as_watts())
+    }
+
+    /// Largest cell flux over both dies, W/cm².
+    #[must_use]
+    pub fn max_flux_w_per_cm2(&self) -> f64 {
+        self.top
+            .max_flux_w_per_cm2()
+            .max(self.bottom.max_flux_w_per_cm2())
+    }
+}
+
+/// Schedules an architecture through a sequence of power levels: both dies
+/// rasterized at `nx × nz` per phase — the UltraSPARC T1 stacks stepping
+/// between their average and peak power models.
+///
+/// # Panics
+///
+/// Panics when `levels` is empty or the duration is non-positive (the
+/// [`PowerTrace`] constructor's contract).
+#[must_use]
+pub fn arch_trace(
+    arch: &Architecture,
+    levels: &[PowerLevel],
+    phase_seconds: f64,
+    nx: usize,
+    nz: usize,
+) -> MpsocTrace {
+    assert!(!levels.is_empty(), "need at least one power level");
+    PowerTrace::new(
+        levels
+            .iter()
+            .map(|&level| trace::Phase {
+                label: format!("{}@{level:?}", arch.name()),
+                duration_seconds: phase_seconds,
+                load: MpsocLoad::from_arch(arch, level, nx, nz),
+            })
+            .collect(),
+    )
+}
+
+/// Joins independently scheduled per-die traces into one MPSoC trace — the
+/// general entry point when the two dies do not share phase labels (e.g.
+/// the logic die bursting while the cache die idles).
+///
+/// # Errors
+///
+/// [`CoreError::InvalidConfig`] when the schedules disagree (phase counts or
+/// durations) or any phase's grids disagree.
+pub fn zip_dies(top: PowerTrace<FluxGrid>, bottom: PowerTrace<FluxGrid>) -> Result<MpsocTrace> {
+    let zipped = top
+        .zip(bottom, |t, b| (t, b))
+        .map_err(|what| CoreError::InvalidConfig { what })?;
+    // Validate every phase pair up front, then the map is infallible.
+    for phase in zipped.phases() {
+        let (t, b) = &phase.load;
+        check_pair(t, b)?;
+    }
+    Ok(zipped.map(|(top, bottom)| MpsocLoad { top, bottom }))
+}
+
+/// The grid/outline agreement every two-die pairing requires (the stack has
+/// one outline and one cell grid for all layers).
+fn check_pair(top: &FluxGrid, bottom: &FluxGrid) -> Result<()> {
+    if top.dims() != bottom.dims() {
+        return Err(CoreError::InvalidConfig {
+            what: format!(
+                "die grids disagree: top {:?} vs bottom {:?}",
+                top.dims(),
+                bottom.dims()
+            ),
+        });
+    }
+    if top.die_width() != bottom.die_width() || top.die_length() != bottom.die_length() {
+        return Err(CoreError::InvalidConfig {
+            what: "die extents disagree between the two dies".into(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liquamod_floorplan::{arch, niagara};
+
+    #[test]
+    fn load_validation_and_metrics() {
+        let a1 = arch::arch1();
+        let load = MpsocLoad::from_arch(&a1, PowerLevel::Peak, 10, 11);
+        assert_eq!(load.dims(), (10, 11));
+        let expected = a1.top_die().total_power(PowerLevel::Peak).as_watts()
+            + a1.bottom_die().total_power(PowerLevel::Peak).as_watts();
+        assert!((load.total_power().as_watts() - expected).abs() < 1e-9);
+        assert!(load.max_flux_w_per_cm2() > 8.0);
+        // Mismatched grids are rejected.
+        let top = a1.top_die().rasterize(10, 11, PowerLevel::Peak);
+        let bottom = a1.bottom_die().rasterize(8, 11, PowerLevel::Peak);
+        assert!(MpsocLoad::new(top, bottom).is_err());
+    }
+
+    #[test]
+    fn arch_trace_steps_levels() {
+        let a3 = arch::arch3();
+        let t = arch_trace(&a3, &[PowerLevel::Average, PowerLevel::Peak], 0.05, 10, 11);
+        assert_eq!(t.phases().len(), 2);
+        assert!((t.total_duration_seconds() - 0.1).abs() < 1e-12);
+        let avg = t.phases()[0].load.total_power().as_watts();
+        let peak = t.phases()[1].load.total_power().as_watts();
+        assert!(avg < peak, "average {avg} W must undercut peak {peak} W");
+        assert!(t.phases()[0].label.contains("Arch. 3"));
+    }
+
+    #[test]
+    fn zip_dies_joins_and_validates() {
+        let logic = trace::niagara_phases(
+            &niagara::floorplan(),
+            &[PowerLevel::Average, PowerLevel::Peak],
+            0.05,
+            10,
+            11,
+        );
+        let cache = trace::niagara_phases(
+            &niagara::cache_die(),
+            &[PowerLevel::Average, PowerLevel::Average],
+            0.05,
+            10,
+            11,
+        );
+        let joined = zip_dies(logic.clone(), cache).unwrap();
+        assert_eq!(joined.phases().len(), 2);
+        assert_eq!(joined.phases()[0].load.dims(), (10, 11));
+        // Grid mismatch inside a phase is surfaced as an error.
+        let coarse = trace::niagara_phases(
+            &niagara::cache_die(),
+            &[PowerLevel::Average, PowerLevel::Average],
+            0.05,
+            5,
+            11,
+        );
+        assert!(zip_dies(logic.clone(), coarse).is_err());
+        // Schedule mismatch too.
+        let one = trace::niagara_phases(&niagara::cache_die(), &[PowerLevel::Peak], 0.05, 10, 11);
+        assert!(zip_dies(logic, one).is_err());
+    }
+}

@@ -96,23 +96,18 @@ pub fn mpsoc_model(
 
     let mut columns = Vec::with_capacity(n_groups);
     for g in 0..n_groups {
-        let aggregate = |grid: &FluxGrid| -> HeatProfile {
-            let mut profile = HeatProfile::zero();
-            for i in g * group_size..(g + 1) * group_size {
-                let steps = grid
-                    .column_steps(i)
-                    .into_iter()
-                    .map(|(z, q)| (Length::from_meters(z), LinearHeatFlux::from_w_per_m(q)))
-                    .collect();
-                profile = profile.add(&HeatProfile::from_steps(steps));
-            }
-            profile
-        };
         columns.push(
             ChannelColumn::new(WidthProfile::uniform(params.w_max))
                 .with_group_size(group_size)
-                .with_heat_top(aggregate(&top_grid))
-                .with_heat_bottom(aggregate(&bottom_grid)),
+                .with_heat_top(crate::bridge::group_heat_profile(
+                    &top_grid, g, group_size, 1.0,
+                ))
+                .with_heat_bottom(crate::bridge::group_heat_profile(
+                    &bottom_grid,
+                    g,
+                    group_size,
+                    1.0,
+                )),
         );
     }
     let model = Model::new(params.clone(), die_depth, columns)?;

@@ -515,6 +515,35 @@ pub fn run_sweep(grid: &SweepGrid, options: &SweepOptions) -> Result<SweepReport
     })
 }
 
+/// Shared scheduling wrapper of the independent-variant sweeps
+/// ([`crate::transient::run_transient_sweep`],
+/// [`crate::mpsoc::run_mpsoc_sweep`]; the steady [`run_sweep`] schedules
+/// whole warm-start chains instead): clamps the requested worker count to
+/// the variant count, times the evaluation, fans out through
+/// [`parallel_map`], and resolves to the rows — or the first failure in
+/// grid order, discarding the partial result. Returns
+/// `(rows, workers used, wall time)`.
+pub(crate) fn run_variant_sweep<V: Sync, R: Send>(
+    variants: &[V],
+    requested_workers: usize,
+    eval: impl Fn(&V) -> Result<R> + Sync,
+) -> Result<(Vec<R>, usize, Duration)> {
+    let workers = if variants.len() <= 1 {
+        1
+    } else {
+        requested_workers.max(1).min(variants.len())
+    };
+    let start = Instant::now();
+    let results: Vec<Result<R>> = if workers == 1 {
+        variants.iter().map(&eval).collect()
+    } else {
+        parallel_map(variants, workers, &eval)
+    };
+    let wall = start.elapsed();
+    let rows = results.into_iter().collect::<Result<Vec<_>>>()?;
+    Ok((rows, workers, wall))
+}
+
 /// Maps `f` over `items` on `workers` threads, preserving input order in
 /// the output. Work is distributed dynamically (an atomic cursor) so slow
 /// variants don't serialize behind a static partition. Shared with the

@@ -4,22 +4,34 @@
 //! width profile for one operating point. This module runs the paper's
 //! mechanism *over time*: a [`PowerTrace`] schedules workload phases, the
 //! grid-sim backward-Euler stepper integrates the stack's temperatures, and
-//! a [`ModulationController`] re-optimizes the channel widths at a
-//! configurable epoch cadence — warm-starting each epoch's optimizer from
-//! the previous one — and applies the new profile to all subsequent steps.
+//! a [`ModulationController`] re-optimizes the channel widths at epoch
+//! boundaries chosen by an [`EpochPolicy`] — warm-starting each epoch's
+//! optimizer from the previous one — and applies the new profile to all
+//! subsequent steps.
+//!
+//! The controller is generic over a [`ModulatedStack`]: the *stack family*
+//! that knows how to build the finite-volume stack for a workload + widths
+//! and how to run the §IV optimizer for one epoch. Two families ship:
+//!
+//! * [`StripModulated`] — the Fig. 2 single-channel test strip driven by
+//!   [`StripTrace`]s (Tests A/B);
+//! * [`crate::mpsoc::MpsocModulated`] — the full two-die Fig. 7 MPSoC
+//!   stacks with two cavities, driven by rasterized die traces.
 //!
 //! The control loop, per time step of `Δt`:
 //!
 //! 1. look up the phase active during the upcoming step;
-//! 2. at an epoch boundary (`step % epoch_steps == 0`, policy
-//!    [`ModulationPolicy::Modulated`]), run the §IV optimizer on the
-//!    phase's analytical strip model and **adopt the candidate profile only
-//!    if its steady-state gradient does not exceed the incumbent's** — the
-//!    controller never trades into a worse design, which is also the
-//!    invariant the property tests pin down;
+//! 2. when the epoch policy fires (fixed cadence, phase boundary, or
+//!    gradient threshold), run the §IV optimizer on the phase's analytical
+//!    model and **adopt the candidate profile only if its steady-state
+//!    gradient does not exceed the incumbent's** — the controller never
+//!    trades into a worse design, which is also the invariant the property
+//!    tests pin down;
 //! 3. rebuild the finite-volume stack if the widths or the power map
 //!    changed, handing the node temperatures over exactly
-//!    ([`liquamod_grid_sim::TransientStepper::set_state`]);
+//!    ([`liquamod_grid_sim::TransientStepper::set_state`]); rebuilds go
+//!    through a [`liquamod_grid_sim::AssemblyCache`], so an epoch that only
+//!    modulated the widths reassembles only the cavity layers' rows;
 //! 4. advance one implicit step and record a [`TransientSnapshot`].
 //!
 //! [`run_transient_sweep`] fans whole scenarios (trace × flow-scale
@@ -29,20 +41,95 @@
 
 use crate::design::{optimize_warm, OptimizationConfig};
 use crate::scenario::{strip_length, strip_model};
-use crate::sweep::{parallel_map, ExecutionMode};
+use crate::sweep::{run_variant_sweep, ExecutionMode};
 use crate::{bridge, CoreError, CsvTable, Result};
 use liquamod_floorplan::testcase::StripLoad;
 use liquamod_floorplan::trace::PowerTrace;
 use liquamod_grid_sim::solver::SolverOptions;
-use liquamod_grid_sim::{CavitySpec, Material, PowerMap, Stack, StackBuilder, TransientOptions};
+use liquamod_grid_sim::{
+    AssemblyCache, CavitySpec, Material, PowerMap, Stack, StackBuilder, TransientOptions,
+};
 use liquamod_thermal_model::{ModelParams, SolveOptions, SolveWorkspace, WidthProfile};
 use liquamod_units::{Length, Power};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// A time-varying strip workload (what the controller consumes).
+/// A time-varying strip workload (what the strip controller consumes).
 pub type StripTrace = PowerTrace<StripLoad>;
 
-/// Configuration shared by every transient run.
+/// Per-cavity, per-column-group width profiles: `profiles[cavity][group]`.
+/// The strip family has one cavity with one column; the MPSoC family has
+/// two cavities with `n_groups` columns each.
+pub type CavityProfiles = Vec<Vec<WidthProfile>>;
+
+/// What one epoch's optimizer run produced, plus the incumbent's score on
+/// the same model — everything the controller needs for its adopt/reject
+/// decision.
+#[derive(Debug, Clone)]
+pub struct EpochCandidate {
+    /// The freshly optimized per-cavity width profiles.
+    pub widths: CavityProfiles,
+    /// The optimum in the solver's normalized coordinates, for warm-starting
+    /// the next epoch.
+    pub x_warm: Vec<f64>,
+    /// Steady-state gradient of the candidate on the phase's analytical
+    /// model, kelvin.
+    pub gradient_k: f64,
+    /// Steady-state gradient of the incumbent profiles on the same model,
+    /// kelvin.
+    pub incumbent_gradient_k: f64,
+    /// Objective evaluations the epoch's optimizer spent.
+    pub evaluations: usize,
+}
+
+/// A stack family the [`ModulationController`] can drive: the bridge
+/// between a trace's workload payloads and the analytical/finite-volume
+/// model pair the modulation loop runs on.
+///
+/// Implementations must be deterministic pure functions of their inputs —
+/// that is what extends the sweep engines' parallel == serial bitwise
+/// guarantee to every family.
+pub trait ModulatedStack {
+    /// The workload payload of one trace phase ([`StripLoad`], rasterized
+    /// die pairs, …).
+    type Load;
+
+    /// The uniformly-maximal-width starting profiles (the paper's static
+    /// baseline and the frozen design of [`ModulationPolicy::FrozenUniform`]).
+    fn uniform_widths(&self) -> CavityProfiles;
+
+    /// `true` when the phase has nothing to balance (an all-zero workload):
+    /// the controller then skips the epoch and keeps the incumbent.
+    fn load_is_idle(&self, load: &Self::Load) -> bool;
+
+    /// Builds the finite-volume stack for one phase's workload under the
+    /// given width profiles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stack-construction failures.
+    fn build_stack(&self, load: &Self::Load, widths: &CavityProfiles) -> Result<Stack>;
+
+    /// Runs one epoch's §IV optimization against `load`'s analytical model
+    /// (warm-started from `warm`) and scores the incumbent profiles on the
+    /// same model, reusing `ws` for the solve buffers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction and optimizer failures.
+    fn optimize_epoch(
+        &self,
+        load: &Self::Load,
+        incumbent: &CavityProfiles,
+        warm: Option<&[f64]>,
+        ws: &mut SolveWorkspace,
+    ) -> Result<EpochCandidate>;
+
+    /// Samples the profiles for an [`EpochRecord`], in µm: one row per
+    /// (cavity, column) pair, in cavity-major order.
+    fn sample_widths_um(&self, widths: &CavityProfiles) -> Vec<Vec<f64>>;
+}
+
+/// Configuration shared by every transient strip run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TransientConfig {
     /// Model parameters (geometry, coolant, flow, width range).
@@ -93,18 +180,102 @@ impl TransientConfig {
     }
 }
 
+/// When a modulated controller re-optimizes the widths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EpochPolicy {
+    /// Re-optimize every `epoch_steps` time steps (the first epoch fires at
+    /// step 0, before any stepping).
+    FixedCadence {
+        /// Steps between re-optimizations (must be ≥ 1).
+        epoch_steps: usize,
+    },
+    /// Re-optimize at step 0 and at the first step of every new workload
+    /// phase — the event-triggered policy matching piecewise-constant
+    /// traces exactly (no wasted epochs inside a phase, none missed at a
+    /// migration).
+    PhaseBoundary,
+    /// Re-optimize at step 0 and whenever the measured inter-layer gradient
+    /// has risen more than `rise_k` kelvin above its reference — the value
+    /// at the last epoch decision, ratcheted down to the smallest gradient
+    /// observed since (so a decay, e.g. an idle phase, re-arms the trigger
+    /// for the next excursion). The reactive policy for traces whose
+    /// thermal excursions, not phase labels, should drive re-optimization.
+    GradientThreshold {
+        /// Gradient rise (kelvin) that triggers a new epoch (must be finite
+        /// and ≥ 0).
+        rise_k: f64,
+    },
+}
+
+impl EpochPolicy {
+    fn validate(&self) -> Result<()> {
+        match self {
+            EpochPolicy::FixedCadence { epoch_steps } => {
+                if *epoch_steps == 0 {
+                    return Err(CoreError::InvalidConfig {
+                        what: "epoch_steps must be ≥ 1".into(),
+                    });
+                }
+            }
+            EpochPolicy::PhaseBoundary => {}
+            EpochPolicy::GradientThreshold { rise_k } => {
+                if !(rise_k.is_finite() && *rise_k >= 0.0) {
+                    return Err(CoreError::InvalidConfig {
+                        what: format!("rise_k must be finite and ≥ 0, got {rise_k}"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether an epoch fires at a stack (re)build point: step 0, a phase
+    /// boundary, or re-entry after an adopted profile.
+    fn fires_at_boundary(&self, n: usize, new_phase: bool) -> bool {
+        match self {
+            EpochPolicy::FixedCadence { epoch_steps } => n.is_multiple_of(*epoch_steps),
+            EpochPolicy::PhaseBoundary => n == 0 || new_phase,
+            EpochPolicy::GradientThreshold { .. } => n == 0,
+        }
+    }
+
+    /// Whether an epoch fires mid-phase after the step to `n`, given the
+    /// latest measured gradient and the reference gradient (the smallest
+    /// gradient observed since the last decision — see
+    /// [`EpochContext::observe_gradient`]).
+    fn fires_inline(&self, n: usize, gradient_k: f64, ref_gradient_k: f64) -> bool {
+        match self {
+            EpochPolicy::FixedCadence { epoch_steps } => n.is_multiple_of(*epoch_steps),
+            EpochPolicy::PhaseBoundary => false,
+            EpochPolicy::GradientThreshold { rise_k } => gradient_k > ref_gradient_k + rise_k,
+        }
+    }
+}
+
 /// What the controller does at epoch boundaries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ModulationPolicy {
     /// Never modulate: keep the uniformly-maximal-width design for the
     /// whole run (the static-design baseline the paper compares against).
     FrozenUniform,
-    /// Re-optimize the widths every `epoch_steps` time steps (the first
-    /// epoch fires at step 0, before any stepping).
-    Modulated {
-        /// Steps between re-optimizations (must be ≥ 1).
-        epoch_steps: usize,
-    },
+    /// Re-optimize the widths whenever the wrapped [`EpochPolicy`] fires.
+    Modulated(EpochPolicy),
+}
+
+impl ModulationPolicy {
+    /// Fixed-cadence modulation — shorthand for
+    /// `Modulated(EpochPolicy::FixedCadence { epoch_steps })`.
+    #[must_use]
+    pub fn every(epoch_steps: usize) -> Self {
+        ModulationPolicy::Modulated(EpochPolicy::FixedCadence { epoch_steps })
+    }
+
+    fn validate(&self) -> Result<()> {
+        match self {
+            ModulationPolicy::FrozenUniform => Ok(()),
+            ModulationPolicy::Modulated(policy) => policy.validate(),
+        }
+    }
 }
 
 /// One recorded time step of a transient run.
@@ -146,8 +317,9 @@ pub struct EpochRecord {
     pub adopted: bool,
     /// Objective evaluations the epoch's optimizer spent.
     pub evaluations: usize,
-    /// The *effective* width profile after the decision, sampled at the
-    /// optimizer's segment centres: `widths_um[column][segment]`, µm.
+    /// The *effective* width profiles after the decision, sampled at the
+    /// optimizer's segment centres: `widths_um[cavity·columns + column]
+    /// [segment]`, µm.
     pub widths_um: Vec<Vec<f64>>,
 }
 
@@ -197,8 +369,9 @@ impl TransientOutcome {
     /// Canonical JSON serialization for golden-regression fixtures: flat
     /// arrays of full-precision numbers (Rust's shortest round-trip float
     /// formatting), so snapshots diff numerically at 1e-9 without a JSON
-    /// dependency. See `tests/golden_transient.rs` for the comparer and the
-    /// `LIQUAMOD_REGEN_GOLDEN=1` regeneration knob.
+    /// dependency. The leading `schema_version` is asserted by the golden
+    /// tests alongside the numeric channels. See `tests/golden_transient.rs`
+    /// for the comparer and the `LIQUAMOD_REGEN_GOLDEN=1` regeneration knob.
     #[must_use]
     pub fn golden_json(&self, scenario: &str) -> String {
         fn num_array(values: impl Iterator<Item = f64>) -> String {
@@ -256,39 +429,158 @@ impl TransientOutcome {
     }
 }
 
-/// Drives a transient run: steps the finite-volume stack through a
-/// [`StripTrace`] and (under [`ModulationPolicy::Modulated`]) re-optimizes
-/// the channel widths at epoch boundaries, warm-starting each epoch from
-/// the previous optimum.
+/// The strip stack family: the Fig. 2 test structure (one channel between
+/// two active strips), loaded by [`StripLoad`]s — the original instance the
+/// [`ModulatedStack`] abstraction was generalized from.
 #[derive(Debug, Clone)]
-pub struct ModulationController {
-    config: TransientConfig,
+pub struct StripModulated {
+    params: ModelParams,
+    /// Epoch optimizer with `fd_threads` pinned to 1: scenario-level
+    /// parallelism owns the cores and results stay independent of the
+    /// execution mode.
+    opt_config: OptimizationConfig,
+    solve: SolveOptions,
+    nz: usize,
+}
+
+impl StripModulated {
+    /// Builds the strip family from a validated [`TransientConfig`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] for a non-positive `dt` or a zero `nz`.
+    pub fn new(config: &TransientConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self {
+            params: config.params.clone(),
+            opt_config: OptimizationConfig {
+                fd_threads: 1,
+                ..config.optimizer.clone()
+            },
+            solve: SolveOptions::with_mesh_intervals(config.optimizer.mesh_intervals),
+            nz: config.nz,
+        })
+    }
+}
+
+impl ModulatedStack for StripModulated {
+    type Load = StripLoad;
+
+    fn uniform_widths(&self) -> CavityProfiles {
+        vec![vec![WidthProfile::uniform(self.params.w_max)]]
+    }
+
+    fn load_is_idle(&self, load: &StripLoad) -> bool {
+        load.max_flux() <= 0.0
+    }
+
+    fn build_stack(&self, load: &StripLoad, widths: &CavityProfiles) -> Result<Stack> {
+        strip_stack(load, &self.params, &widths[0], self.nz)
+    }
+
+    fn optimize_epoch(
+        &self,
+        load: &StripLoad,
+        incumbent: &CavityProfiles,
+        warm: Option<&[f64]>,
+        ws: &mut SolveWorkspace,
+    ) -> Result<EpochCandidate> {
+        let model = strip_model(load, &self.params)?;
+        let outcome = optimize_warm(&model, &self.opt_config, warm)?;
+        let gradient_k = outcome.solution.thermal_gradient().as_kelvin();
+        // The optimizer is done with the base model: reuse it for the
+        // incumbent evaluation instead of cloning.
+        let mut incumbent_model = model;
+        incumbent_model.set_width_profile(0, incumbent[0][0].clone())?;
+        let incumbent_gradient_k = incumbent_model
+            .solve_with(&self.solve, ws)?
+            .thermal_gradient()
+            .as_kelvin();
+        Ok(EpochCandidate {
+            widths: vec![outcome.widths],
+            x_warm: outcome.x_opt,
+            gradient_k,
+            incumbent_gradient_k,
+            evaluations: outcome.evaluations,
+        })
+    }
+
+    fn sample_widths_um(&self, widths: &CavityProfiles) -> Vec<Vec<f64>> {
+        sample_widths_um(
+            widths.iter().flatten(),
+            self.opt_config.segments,
+            strip_length(),
+        )
+    }
+}
+
+/// Drives a transient run: steps the finite-volume stack of a
+/// [`ModulatedStack`] family through a [`PowerTrace`] and (under
+/// [`ModulationPolicy::Modulated`]) re-optimizes the channel widths when the
+/// epoch policy fires, warm-starting each epoch from the previous optimum.
+#[derive(Debug, Clone)]
+pub struct ModulationController<S: ModulatedStack = StripModulated> {
+    family: S,
+    dt_seconds: f64,
+    solver: SolverOptions,
     policy: ModulationPolicy,
 }
 
-impl ModulationController {
-    /// Builds a controller, validating the configuration.
+impl ModulationController<StripModulated> {
+    /// Builds the strip controller, validating the configuration — the
+    /// strip-specialized shorthand for [`ModulationController::for_stack`].
     ///
     /// # Errors
     ///
     /// [`CoreError::InvalidConfig`] for a non-positive `dt`, a zero `nz`
-    /// or a zero `epoch_steps`.
+    /// or an invalid epoch policy (zero `epoch_steps`, negative `rise_k`).
     pub fn new(config: TransientConfig, policy: ModulationPolicy) -> Result<Self> {
-        config.validate()?;
-        if let ModulationPolicy::Modulated { epoch_steps } = policy {
-            if epoch_steps == 0 {
-                return Err(CoreError::InvalidConfig {
-                    what: "epoch_steps must be ≥ 1".into(),
-                });
-            }
+        Self::for_stack(
+            StripModulated::new(&config)?,
+            config.dt_seconds,
+            config.solver,
+            policy,
+        )
+    }
+}
+
+impl<S: ModulatedStack> ModulationController<S> {
+    /// Builds a controller for any stack family.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] for a non-positive `dt` or an invalid
+    /// epoch policy.
+    pub fn for_stack(
+        family: S,
+        dt_seconds: f64,
+        solver: SolverOptions,
+        policy: ModulationPolicy,
+    ) -> Result<Self> {
+        if !(dt_seconds.is_finite() && dt_seconds > 0.0) {
+            return Err(CoreError::InvalidConfig {
+                what: format!("dt must be positive, got {dt_seconds}"),
+            });
         }
-        Ok(Self { config, policy })
+        policy.validate()?;
+        Ok(Self {
+            family,
+            dt_seconds,
+            solver,
+            policy,
+        })
     }
 
     /// The policy this controller applies at epoch boundaries.
     #[must_use]
     pub fn policy(&self) -> ModulationPolicy {
         self.policy
+    }
+
+    /// The stack family this controller drives.
+    #[must_use]
+    pub fn family(&self) -> &S {
+        &self.family
     }
 
     /// Runs the whole trace and collects the outcome. The number of steps
@@ -302,53 +594,57 @@ impl ModulationController {
     /// # Errors
     ///
     /// Propagates model-construction, optimizer and stepper failures.
-    pub fn run(&self, trace: &StripTrace) -> Result<TransientOutcome> {
-        let cfg = &self.config;
-        let dt = cfg.dt_seconds;
+    pub fn run(&self, trace: &PowerTrace<S::Load>) -> Result<TransientOutcome> {
+        let dt = self.dt_seconds;
         let total_steps = ((trace.total_duration_seconds() / dt).round() as usize).max(1);
         let mut ctx = EpochContext {
-            params: &cfg.params,
-            // Determinism: single-threaded finite differences inside the
-            // epoch optimizer; the scenario-level fan-out owns the cores.
-            opt_config: OptimizationConfig {
-                fd_threads: 1,
-                ..cfg.optimizer.clone()
-            },
-            solve: SolveOptions::with_mesh_intervals(cfg.optimizer.mesh_intervals),
+            family: &self.family,
             ws: SolveWorkspace::new(),
-            widths: vec![WidthProfile::uniform(cfg.params.w_max)],
+            widths: self.family.uniform_widths(),
             x_warm: None,
             epochs: Vec::new(),
             decided_at: None,
+            ref_gradient_k: 0.0,
             dt,
         };
-        let mut snapshots = Vec::with_capacity(total_steps);
+        let mut snapshots: Vec<TransientSnapshot> = Vec::with_capacity(total_steps);
         let mut state: Option<Vec<f64>> = None;
+        // Stack rebuilds share an assembly cache: layers whose description
+        // did not change (everything but the cavities, at a widths-only
+        // epoch) keep their assembled rows.
+        let mut asm_cache = AssemblyCache::new();
 
         let mut n = 0usize;
+        let mut prev_phase: Option<usize> = None;
         while n < total_steps {
             let phase = trace.phase_index_at((n as f64 + 0.5) * dt);
             let load = &trace.phases()[phase].load;
+            let new_phase = prev_phase != Some(phase);
+            prev_phase = Some(phase);
 
-            if let ModulationPolicy::Modulated { epoch_steps } = self.policy {
+            if let ModulationPolicy::Modulated(policy) = &self.policy {
                 // `decided_at` guards the re-entry path: an adopted epoch
                 // breaks the inner loop and lands back here at the same `n`
                 // with its decision already made.
-                if n.is_multiple_of(epoch_steps) && ctx.decided_at != Some(n) {
-                    ctx.decide(n, &trace.phases()[phase].label, load)?;
+                if ctx.decided_at != Some(n) && policy.fires_at_boundary(n, new_phase) {
+                    let gradient_now = snapshots.last().map_or(0.0, |s| s.gradient_k);
+                    ctx.decide(n, &trace.phases()[phase].label, load, gradient_now)?;
                 }
             }
 
             // (Re)build the stack for the current phase and widths and hand
             // the temperatures over; run until the next decision point that
             // actually changes the stack (new phase, or adopted widths).
-            let stack = strip_stack(load, &cfg.params, &ctx.widths, cfg.nz)?;
-            let mut stepper = stack.transient_stepper(&TransientOptions {
-                dt_seconds: dt,
-                steps: 1,
-                initial: None,
-                solver: cfg.solver.clone(),
-            })?;
+            let stack = self.family.build_stack(load, &ctx.widths)?;
+            let mut stepper = stack.transient_stepper_cached(
+                &TransientOptions {
+                    dt_seconds: dt,
+                    steps: 1,
+                    initial: None,
+                    solver: self.solver.clone(),
+                },
+                &mut asm_cache,
+            )?;
             if let Some(s) = &state {
                 stepper.set_state(s, n as f64 * dt)?;
             }
@@ -374,15 +670,17 @@ impl ModulationController {
                 if trace.phase_index_at((n as f64 + 0.5) * dt) != phase {
                     break;
                 }
-                if let ModulationPolicy::Modulated { epoch_steps } = self.policy {
+                if let ModulationPolicy::Modulated(policy) = &self.policy {
                     // Decide in place while the stepper is alive: a rejected
                     // candidate (or a skipped zero-power epoch) leaves the
                     // stack unchanged, so stepping just continues — no
                     // rebuild, no reassembly. An identical stack would
                     // produce a bitwise-identical system anyway, so the
                     // trajectory is the same either way.
-                    if n.is_multiple_of(epoch_steps)
-                        && ctx.decide(n, &trace.phases()[phase].label, load)?
+                    let gradient_now = snapshots.last().map_or(0.0, |s| s.gradient_k);
+                    ctx.observe_gradient(gradient_now);
+                    if policy.fires_inline(n, gradient_now, ctx.ref_gradient_k)
+                        && ctx.decide(n, &trace.phases()[phase].label, load, gradient_now)?
                     {
                         break;
                     }
@@ -399,71 +697,91 @@ impl ModulationController {
     }
 }
 
-/// The mutable state of the epoch decision loop: the incumbent profile,
+/// The mutable state of the epoch decision loop: the incumbent profiles,
 /// the warm-start chain and the records, plus the solve machinery shared
 /// across epochs.
-struct EpochContext<'a> {
-    params: &'a ModelParams,
-    opt_config: OptimizationConfig,
-    solve: SolveOptions,
+struct EpochContext<'a, S: ModulatedStack> {
+    family: &'a S,
     ws: SolveWorkspace,
-    widths: Vec<WidthProfile>,
+    widths: CavityProfiles,
     x_warm: Option<Vec<f64>>,
     epochs: Vec<EpochRecord>,
     /// The step the last [`EpochContext::decide`] call ran at, so the run
     /// loop never decides twice at one step.
     decided_at: Option<usize>,
+    /// The [`EpochPolicy::GradientThreshold`] reference: the measured
+    /// gradient at the last decision, ratcheted down by
+    /// [`EpochContext::observe_gradient`] as the gradient decays.
+    ref_gradient_k: f64,
     dt: f64,
 }
 
-impl EpochContext<'_> {
+impl<S: ModulatedStack> EpochContext<'_, S> {
+    /// Ratchets the threshold reference down to the smallest gradient seen
+    /// since the last decision, so a decayed excursion (an idle phase, a
+    /// cooler workload) re-arms [`EpochPolicy::GradientThreshold`] instead
+    /// of leaving a stale high-water mark that later excursions can never
+    /// exceed.
+    fn observe_gradient(&mut self, gradient_k: f64) {
+        if gradient_k < self.ref_gradient_k {
+            self.ref_gradient_k = gradient_k;
+        }
+    }
     /// Runs one epoch's optimize-and-compare decision at step `n`,
-    /// mutating the incumbent profile on adoption. Returns whether the
+    /// mutating the incumbent profiles on adoption. Returns whether the
     /// widths changed (the caller only rebuilds the stack then). An
     /// all-zero phase has nothing to balance (and a zero-cost starting
     /// point the optimizer rejects): it keeps the incumbent and records
     /// nothing.
-    fn decide(&mut self, n: usize, phase_label: &str, load: &StripLoad) -> Result<bool> {
+    fn decide(
+        &mut self,
+        n: usize,
+        phase_label: &str,
+        load: &S::Load,
+        gradient_now_k: f64,
+    ) -> Result<bool> {
         self.decided_at = Some(n);
-        if load.max_flux() <= 0.0 {
+        self.ref_gradient_k = gradient_now_k;
+        if self.family.load_is_idle(load) {
             return Ok(false);
         }
-        let model = strip_model(load, self.params)?;
-        let outcome = optimize_warm(&model, &self.opt_config, self.x_warm.as_deref())?;
-        let candidate_gradient_k = outcome.solution.thermal_gradient().as_kelvin();
-        // The optimizer is done with the base model: reuse it for the
-        // incumbent evaluation instead of cloning.
-        let mut incumbent_model = model;
-        incumbent_model.set_width_profile(0, self.widths[0].clone())?;
-        let incumbent_gradient_k = incumbent_model
-            .solve_with(&self.solve, &mut self.ws)?
-            .thermal_gradient()
-            .as_kelvin();
+        let EpochCandidate {
+            widths,
+            x_warm,
+            gradient_k,
+            incumbent_gradient_k,
+            evaluations,
+        } = self
+            .family
+            .optimize_epoch(load, &self.widths, self.x_warm.as_deref(), &mut self.ws)?;
         // Never trade into a worse steady design: the incumbent profile is
         // always a feasible fallback.
-        let adopted = candidate_gradient_k <= incumbent_gradient_k;
+        let adopted = gradient_k <= incumbent_gradient_k;
         if adopted {
-            self.widths = outcome.widths.clone();
-            self.x_warm = Some(outcome.x_opt.clone());
+            self.widths = widths;
+            self.x_warm = Some(x_warm);
         }
         self.epochs.push(EpochRecord {
             step: n,
             time_seconds: n as f64 * self.dt,
             phase: phase_label.to_string(),
-            candidate_gradient_k,
+            candidate_gradient_k: gradient_k,
             incumbent_gradient_k,
             adopted,
-            evaluations: outcome.evaluations,
-            widths_um: sample_widths_um(&self.widths, self.opt_config.segments, strip_length()),
+            evaluations,
+            widths_um: self.family.sample_widths_um(&self.widths),
         });
         Ok(adopted)
     }
 }
 
 /// Samples width profiles at `segments` cell centres per column, in µm.
-fn sample_widths_um(profiles: &[WidthProfile], segments: usize, d: Length) -> Vec<Vec<f64>> {
+pub(crate) fn sample_widths_um<'a>(
+    profiles: impl Iterator<Item = &'a WidthProfile>,
+    segments: usize,
+    d: Length,
+) -> Vec<Vec<f64>> {
     profiles
-        .iter()
         .map(|p| {
             (0..segments)
                 .map(|k| {
@@ -752,13 +1070,9 @@ pub fn evaluate_transient_variant(
             config.params.flow_rate_per_channel * variant.flow_scale;
     }
     let trace = variant.trace.trace(options.phase_seconds);
-    let modulated = ModulationController::new(
-        config.clone(),
-        ModulationPolicy::Modulated {
-            epoch_steps: options.epoch_steps,
-        },
-    )?
-    .run(&trace)?;
+    let modulated =
+        ModulationController::new(config.clone(), ModulationPolicy::every(options.epoch_steps))?
+            .run(&trace)?;
     let frozen = ModulationController::new(config, ModulationPolicy::FrozenUniform)?.run(&trace)?;
     let peak_mod = modulated.peak_gradient_k();
     let peak_frozen = frozen.peak_gradient_k();
@@ -793,25 +1107,10 @@ pub fn run_transient_sweep(
     grid: &TransientGrid,
     options: &TransientSweepOptions,
 ) -> Result<TransientReport> {
-    let variants = grid.variants();
-    let workers = if variants.len() <= 1 {
-        1
-    } else {
-        options.resolved_workers().max(1).min(variants.len())
-    };
-    let start = Instant::now();
-    let results: Vec<Result<TransientRow>> = if workers == 1 {
-        variants
-            .iter()
-            .map(|v| evaluate_transient_variant(v, options))
-            .collect()
-    } else {
-        parallel_map(&variants, workers, |v| {
+    let (rows, workers, wall) =
+        run_variant_sweep(&grid.variants(), options.resolved_workers(), |v| {
             evaluate_transient_variant(v, options)
-        })
-    };
-    let wall = start.elapsed();
-    let rows = results.into_iter().collect::<Result<Vec<_>>>()?;
+        })?;
     Ok(TransientReport {
         rows,
         workers,
@@ -856,17 +1155,22 @@ mod tests {
             ModulationPolicy::FrozenUniform
         )
         .is_err());
+        assert!(ModulationController::new(tiny_config(), ModulationPolicy::every(0)).is_err());
         assert!(ModulationController::new(
             tiny_config(),
-            ModulationPolicy::Modulated { epoch_steps: 0 }
+            ModulationPolicy::Modulated(EpochPolicy::GradientThreshold { rise_k: -1.0 })
         )
         .is_err());
-        let c = ModulationController::new(
+        assert!(ModulationController::new(
             tiny_config(),
-            ModulationPolicy::Modulated { epoch_steps: 4 },
+            ModulationPolicy::Modulated(EpochPolicy::GradientThreshold { rise_k: f64::NAN })
         )
-        .unwrap();
-        assert_eq!(c.policy(), ModulationPolicy::Modulated { epoch_steps: 4 });
+        .is_err());
+        let c = ModulationController::new(tiny_config(), ModulationPolicy::every(4)).unwrap();
+        assert_eq!(
+            c.policy(),
+            ModulationPolicy::Modulated(EpochPolicy::FixedCadence { epoch_steps: 4 })
+        );
     }
 
     #[test]
@@ -917,9 +1221,7 @@ mod tests {
         let config = tiny_config();
         let dt = config.dt_seconds;
         let trace = trace::test_b_phases(11, 2, 8.0 * dt);
-        let controller =
-            ModulationController::new(config, ModulationPolicy::Modulated { epoch_steps: 8 })
-                .unwrap();
+        let controller = ModulationController::new(config, ModulationPolicy::every(8)).unwrap();
         let outcome = controller.run(&trace).unwrap();
         assert_eq!(outcome.snapshots.len(), 16);
         let steps: Vec<usize> = outcome.epochs.iter().map(|e| e.step).collect();
@@ -934,6 +1236,95 @@ mod tests {
             assert_eq!(e.widths_um[0].len(), 2);
         }
         assert!(outcome.epochs_adopted() >= 1, "first epoch beats uniform");
+    }
+
+    #[test]
+    fn phase_boundary_policy_fires_once_per_phase() {
+        let config = tiny_config();
+        let dt = config.dt_seconds;
+        // Three phases of 5 steps each — not a multiple of any cadence.
+        let trace = trace::test_b_phases(11, 3, 5.0 * dt);
+        let controller = ModulationController::new(
+            config,
+            ModulationPolicy::Modulated(EpochPolicy::PhaseBoundary),
+        )
+        .unwrap();
+        let outcome = controller.run(&trace).unwrap();
+        assert_eq!(outcome.snapshots.len(), 15);
+        let steps: Vec<usize> = outcome.epochs.iter().map(|e| e.step).collect();
+        assert_eq!(steps, vec![0, 5, 10], "one epoch per phase boundary");
+        for (e, p) in outcome.epochs.iter().zip(trace.phases()) {
+            assert_eq!(e.phase, p.label);
+        }
+    }
+
+    #[test]
+    fn gradient_threshold_policy_reacts_to_warmup() {
+        let config = tiny_config();
+        let dt = config.dt_seconds;
+        let trace = trace::test_a_step(10.0 * dt, 2.0);
+        // Tight threshold: the step-response warm-up rises by several kelvin,
+        // so the trigger must fire at least once after step 0; a huge
+        // threshold must never re-fire.
+        let run = |rise_k: f64| {
+            ModulationController::new(
+                config.clone(),
+                ModulationPolicy::Modulated(EpochPolicy::GradientThreshold { rise_k }),
+            )
+            .unwrap()
+            .run(&trace)
+            .unwrap()
+        };
+        let tight = run(0.5);
+        assert_eq!(tight.epochs[0].step, 0);
+        assert!(
+            tight.epochs.len() > 1,
+            "warm-up must re-trigger: {:?}",
+            tight.epochs.iter().map(|e| e.step).collect::<Vec<_>>()
+        );
+        let loose = run(1e6);
+        assert_eq!(
+            loose.epochs.iter().map(|e| e.step).collect::<Vec<_>>(),
+            vec![0],
+            "a huge threshold fires only the mandatory step-0 epoch"
+        );
+    }
+
+    #[test]
+    fn gradient_threshold_rearms_after_a_decay() {
+        // Peak → idle → peak: the idle phase decays the gradient, so the
+        // ratcheted reference must re-arm the trigger and the second peak
+        // excursion must fire fresh epochs (a stale high-water mark from
+        // the first peak would silence the policy for the rest of the run).
+        let config = tiny_config();
+        let dt = config.dt_seconds;
+        let idle = StripLoad {
+            name: "idle".into(),
+            top_w_cm2: vec![0.0],
+            bottom_w_cm2: vec![0.0],
+        };
+        let phase = |label: &str, load: StripLoad| liquamod_floorplan::trace::Phase {
+            label: label.into(),
+            duration_seconds: 8.0 * dt,
+            load,
+        };
+        let trace = StripTrace::new(vec![
+            phase("hot", testcase::test_a()),
+            phase("idle", idle),
+            phase("hot-again", testcase::test_a()),
+        ]);
+        let outcome = ModulationController::new(
+            config,
+            ModulationPolicy::Modulated(EpochPolicy::GradientThreshold { rise_k: 1.0 }),
+        )
+        .unwrap()
+        .run(&trace)
+        .unwrap();
+        assert!(
+            outcome.epochs.iter().any(|e| e.step >= 16),
+            "the post-idle excursion must re-trigger: epochs at {:?}",
+            outcome.epochs.iter().map(|e| e.step).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -957,9 +1348,7 @@ mod tests {
                 load: testcase::test_a(),
             },
         ]);
-        let controller =
-            ModulationController::new(config, ModulationPolicy::Modulated { epoch_steps: 4 })
-                .unwrap();
+        let controller = ModulationController::new(config, ModulationPolicy::every(4)).unwrap();
         let outcome = controller.run(&trace).unwrap();
         // The idle epoch at step 0 is skipped; the loaded one at step 4 runs.
         assert_eq!(outcome.epochs.len(), 1);
@@ -1010,6 +1399,7 @@ mod tests {
             dt_seconds: 2e-3,
         };
         let json = outcome.golden_json("unit");
+        assert!(json.contains("\"schema_version\": 1"));
         assert!(json.contains("\"scenario\": \"unit\""));
         assert!(json.contains("\"times\": [2e-3]"));
         assert!(json.contains("\"epoch_widths_um\": [[5e1, 2e1]]"));

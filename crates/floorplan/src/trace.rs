@@ -127,6 +127,54 @@ impl<L> PowerTrace<L> {
                 .collect(),
         }
     }
+
+    /// Zips two traces with identical schedules into one trace whose
+    /// payloads combine both — e.g. joining per-die `PowerTrace<FluxGrid>`s
+    /// into a two-die MPSoC trace. Labels are kept from `self` when equal,
+    /// otherwise joined as `"a+b"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch when the phase counts differ or
+    /// any phase pair's durations are not exactly equal (the schedules must
+    /// be one schedule).
+    pub fn zip<R, M>(
+        self,
+        other: PowerTrace<R>,
+        mut f: impl FnMut(L, R) -> M,
+    ) -> std::result::Result<PowerTrace<M>, String> {
+        if self.phases.len() != other.phases.len() {
+            return Err(format!(
+                "traces have {} and {} phases",
+                self.phases.len(),
+                other.phases.len()
+            ));
+        }
+        let phases = self
+            .phases
+            .into_iter()
+            .zip(other.phases)
+            .enumerate()
+            .map(|(i, (a, b))| {
+                if a.duration_seconds != b.duration_seconds {
+                    return Err(format!(
+                        "phase {i} durations differ: {} s vs {} s",
+                        a.duration_seconds, b.duration_seconds
+                    ));
+                }
+                Ok(Phase {
+                    label: if a.label == b.label {
+                        a.label
+                    } else {
+                        format!("{}+{}", a.label, b.label)
+                    },
+                    duration_seconds: a.duration_seconds,
+                    load: f(a.load, b.load),
+                })
+            })
+            .collect::<std::result::Result<Vec<_>, String>>()?;
+        Ok(PowerTrace { phases })
+    }
 }
 
 /// Test A stepping from its baseline to `high_scale`× the baseline flux:
@@ -269,6 +317,47 @@ mod tests {
         });
         assert_eq!(scaled.load_at(0.0).top_w_cm2, vec![100.0]);
         assert_eq!(scaled.phases()[0].label, "steady");
+    }
+
+    #[test]
+    fn zip_joins_matching_schedules_and_rejects_mismatches() {
+        let top = niagara_phases(
+            &niagara::floorplan(),
+            &[PowerLevel::Average, PowerLevel::Peak],
+            0.1,
+            5,
+            5,
+        );
+        let bottom = niagara_phases(
+            &niagara::cache_die(),
+            &[PowerLevel::Average, PowerLevel::Peak],
+            0.1,
+            5,
+            5,
+        );
+        let joined = top
+            .clone()
+            .zip(bottom.clone(), |t, b| (t, b))
+            .expect("matching schedules zip");
+        assert_eq!(joined.phases().len(), 2);
+        assert_eq!(joined.phases()[0].duration_seconds, 0.1);
+        // Differing labels are joined.
+        assert!(joined.phases()[0].label.contains('+'));
+        // Equal labels are kept as-is.
+        let same = top.clone().zip(top.clone(), |t, _| t).unwrap();
+        assert!(!same.phases()[0].label.contains('+'));
+        // Phase-count mismatch is rejected.
+        let one = niagara_phases(&niagara::floorplan(), &[PowerLevel::Peak], 0.1, 5, 5);
+        assert!(top.clone().zip(one, |t, _| t).is_err());
+        // Duration mismatch is rejected.
+        let slow = niagara_phases(
+            &niagara::cache_die(),
+            &[PowerLevel::Average, PowerLevel::Peak],
+            0.2,
+            5,
+            5,
+        );
+        assert!(top.zip(slow, |t, _| t).is_err());
     }
 
     #[test]

@@ -16,6 +16,15 @@
 //!   section over the path `t_lo/2 + H_C + t_hi/2`;
 //! * coolant advection: upwind transport `c_v·V̇` along `+z`, with the inlet
 //!   cell fed from the reservoir at the stack inlet temperature.
+//!
+//! The assembly is generated **per layer** ([`Stack::layer_block`]): each
+//! layer owns a contiguous block of triplets, right-hand-side entries and
+//! capacitances, and the full [`Assembly`] is the in-order concatenation of
+//! the blocks. Because [`crate::sparse::TripletMatrix::to_csr`] sums
+//! duplicates in insertion order (its sort is stable), regenerating a single
+//! layer's block and re-concatenating reproduces the full rebuild **bitwise**
+//! — which is what [`AssemblyCache`] exploits: between transient epochs that
+//! only change cavity widths, only the cavity layers' rows are recomputed.
 
 use crate::sparse::{CsrMatrix, TripletMatrix};
 use crate::stack::{CavitySpec, Layer, Stack};
@@ -33,110 +42,44 @@ pub(crate) struct Assembly {
     pub nodes_per_layer: usize,
 }
 
+/// One layer's contribution to the assembly: the triplets it emits (global
+/// indices, in emission order) plus the right-hand-side and capacitance
+/// entries at its own nodes.
+#[derive(Debug, Clone)]
+struct LayerBlock {
+    triplets: Vec<(usize, usize, f64)>,
+    /// `(global node index, value)` — accumulated with `+=` into the rhs.
+    rhs: Vec<(usize, f64)>,
+    /// `(global node index, value)` — each node is set exactly once.
+    cap: Vec<(usize, f64)>,
+}
+
 impl Stack {
     pub(crate) fn assemble(&self) -> Assembly {
-        let nx = self.nx;
-        let nz = self.nz;
-        let npl = nx * nz;
+        let blocks: Vec<LayerBlock> = (0..self.layers.len())
+            .map(|l| self.layer_block(l))
+            .collect();
+        self.assembly_from_blocks(&blocks)
+    }
+
+    /// Concatenates per-layer blocks, in layer order, into the full system.
+    fn assembly_from_blocks(&self, blocks: &[LayerBlock]) -> Assembly {
+        let npl = self.nx * self.nz;
         let n = self.layers.len() * npl;
         let mut m = TripletMatrix::new(n);
         let mut rhs = vec![0.0; n];
         let mut cap = vec![0.0; n];
-
-        let dx = self.pitch().si();
-        let dz = self.dz().si();
-        let idx = |l: usize, i: usize, j: usize| l * npl + j * nx + i;
-
-        for (l, layer) in self.layers.iter().enumerate() {
-            match layer {
-                Layer::Solid {
-                    material,
-                    thickness,
-                    power,
-                    ..
-                } => {
-                    let k = material.thermal_conductivity().si();
-                    let t = thickness.si();
-                    for j in 0..nz {
-                        for i in 0..nx {
-                            let me = idx(l, i, j);
-                            // In-plane x.
-                            if i + 1 < nx {
-                                let g = k * dz * t / dx;
-                                couple(&mut m, me, idx(l, i + 1, j), g);
-                            }
-                            // In-plane z.
-                            if j + 1 < nz {
-                                let g = k * dx * t / dz;
-                                couple(&mut m, me, idx(l, i, j + 1), g);
-                            }
-                            // Vertical to the layer above, when solid–solid.
-                            if l + 1 < self.layers.len() {
-                                if let Layer::Solid {
-                                    material: m_hi,
-                                    thickness: t_hi,
-                                    ..
-                                } = &self.layers[l + 1]
-                                {
-                                    let a = dx * dz;
-                                    let r = 0.5 * t / (k * a)
-                                        + 0.5 * t_hi.si() / (m_hi.thermal_conductivity().si() * a);
-                                    couple(&mut m, me, idx(l + 1, i, j), 1.0 / r);
-                                }
-                            }
-                            // Power injection and capacitance.
-                            if let Some(p) = power {
-                                rhs[me] += p.cell(i, j).as_watts();
-                            }
-                            cap[me] = material.volumetric_heat_capacity().si() * dx * dz * t;
-                        }
-                    }
-                }
-                Layer::Cavity(spec) => {
-                    // Validated at build time: cavities always sit between
-                    // two solid layers.
-                    let (k_lo, t_lo) = solid_props(&self.layers[l - 1]);
-                    let (k_hi, t_hi) = solid_props(&self.layers[l + 1]);
-                    let k_wall = spec.wall_material.thermal_conductivity().si();
-                    let hc = spec.height.si();
-                    let cv_flow = spec.coolant.volumetric_heat_capacity().si()
-                        * spec.flow_rate_per_channel.si();
-                    for j in 0..nz {
-                        for i in 0..nx {
-                            let me = idx(l, i, j);
-                            let w = spec.widths.at(i, j).si();
-                            let h_film = film_coefficient(spec, i, j);
-                            // Convective paths to the two solid neighbours:
-                            // half-cell conduction over the full pitch in
-                            // series with the film over (w + H_C)·dz.
-                            let g_film = h_film * (w + hc) * dz;
-                            let a_pitch = dx * dz;
-                            let g_lo = series(k_lo * a_pitch / (0.5 * t_lo), g_film);
-                            let g_hi = series(k_hi * a_pitch / (0.5 * t_hi), g_film);
-                            couple(&mut m, me, idx(l - 1, i, j), g_lo);
-                            couple(&mut m, me, idx(l + 1, i, j), g_hi);
-                            // Side-wall conduction bypassing the coolant.
-                            let a_wall = (dx - w).max(0.0) * dz;
-                            if a_wall > 0.0 {
-                                let r_wall = 0.5 * t_lo / (k_lo * a_wall)
-                                    + hc / (k_wall * a_wall)
-                                    + 0.5 * t_hi / (k_hi * a_wall);
-                                couple(&mut m, idx(l - 1, i, j), idx(l + 1, i, j), 1.0 / r_wall);
-                            }
-                            // Upwind advection along +z.
-                            m.add(me, me, cv_flow);
-                            if j == 0 {
-                                rhs[me] += cv_flow * self.inlet.si();
-                            } else {
-                                m.add(me, idx(l, i, j - 1), -cv_flow);
-                            }
-                            cap[me] = spec.coolant.volumetric_heat_capacity().si() * w * hc * dz;
-                        }
-                    }
-                }
+        for block in blocks {
+            for &(i, j, v) in &block.triplets {
+                m.add(i, j, v);
+            }
+            for &(i, v) in &block.rhs {
+                rhs[i] += v;
+            }
+            for &(i, v) in &block.cap {
+                cap[i] = v;
             }
         }
-
         Assembly {
             matrix: m.to_csr(),
             rhs,
@@ -144,14 +87,252 @@ impl Stack {
             nodes_per_layer: npl,
         }
     }
+
+    /// Generates layer `l`'s block. The emission order inside a block — and
+    /// the block order inside [`Stack::assemble`] — is the contract that
+    /// keeps cached partial rebuilds bitwise identical to full rebuilds; do
+    /// not reorder.
+    fn layer_block(&self, l: usize) -> LayerBlock {
+        let nx = self.nx;
+        let nz = self.nz;
+        let npl = nx * nz;
+        let dx = self.pitch().si();
+        let dz = self.dz().si();
+        let idx = |l: usize, i: usize, j: usize| l * npl + j * nx + i;
+        let mut block = LayerBlock {
+            triplets: Vec::new(),
+            rhs: Vec::new(),
+            cap: Vec::new(),
+        };
+        let m = &mut block.triplets;
+
+        match &self.layers[l] {
+            Layer::Solid {
+                material,
+                thickness,
+                power,
+                ..
+            } => {
+                let k = material.thermal_conductivity().si();
+                let t = thickness.si();
+                for j in 0..nz {
+                    for i in 0..nx {
+                        let me = idx(l, i, j);
+                        // In-plane x.
+                        if i + 1 < nx {
+                            let g = k * dz * t / dx;
+                            couple(m, me, idx(l, i + 1, j), g);
+                        }
+                        // In-plane z.
+                        if j + 1 < nz {
+                            let g = k * dx * t / dz;
+                            couple(m, me, idx(l, i, j + 1), g);
+                        }
+                        // Vertical to the layer above, when solid–solid.
+                        if l + 1 < self.layers.len() {
+                            if let Layer::Solid {
+                                material: m_hi,
+                                thickness: t_hi,
+                                ..
+                            } = &self.layers[l + 1]
+                            {
+                                let a = dx * dz;
+                                let r = 0.5 * t / (k * a)
+                                    + 0.5 * t_hi.si() / (m_hi.thermal_conductivity().si() * a);
+                                couple(m, me, idx(l + 1, i, j), 1.0 / r);
+                            }
+                        }
+                        // Power injection and capacitance.
+                        if let Some(p) = power {
+                            block.rhs.push((me, p.cell(i, j).as_watts()));
+                        }
+                        block
+                            .cap
+                            .push((me, material.volumetric_heat_capacity().si() * dx * dz * t));
+                    }
+                }
+            }
+            Layer::Cavity(spec) => {
+                // Validated at build time: cavities always sit between
+                // two solid layers.
+                let (k_lo, t_lo) = solid_props(&self.layers[l - 1]);
+                let (k_hi, t_hi) = solid_props(&self.layers[l + 1]);
+                let k_wall = spec.wall_material.thermal_conductivity().si();
+                let hc = spec.height.si();
+                let cv_flow =
+                    spec.coolant.volumetric_heat_capacity().si() * spec.flow_rate_per_channel.si();
+                for j in 0..nz {
+                    for i in 0..nx {
+                        let me = idx(l, i, j);
+                        let w = spec.widths.at(i, j).si();
+                        let h_film = film_coefficient(spec, i, j);
+                        // Convective paths to the two solid neighbours:
+                        // half-cell conduction over the full pitch in
+                        // series with the film over (w + H_C)·dz.
+                        let g_film = h_film * (w + hc) * dz;
+                        let a_pitch = dx * dz;
+                        let g_lo = series(k_lo * a_pitch / (0.5 * t_lo), g_film);
+                        let g_hi = series(k_hi * a_pitch / (0.5 * t_hi), g_film);
+                        couple(m, me, idx(l - 1, i, j), g_lo);
+                        couple(m, me, idx(l + 1, i, j), g_hi);
+                        // Side-wall conduction bypassing the coolant.
+                        let a_wall = (dx - w).max(0.0) * dz;
+                        if a_wall > 0.0 {
+                            let r_wall = 0.5 * t_lo / (k_lo * a_wall)
+                                + hc / (k_wall * a_wall)
+                                + 0.5 * t_hi / (k_hi * a_wall);
+                            couple(m, idx(l - 1, i, j), idx(l + 1, i, j), 1.0 / r_wall);
+                        }
+                        // Upwind advection along +z.
+                        m.push((me, me, cv_flow));
+                        if j == 0 {
+                            block.rhs.push((me, cv_flow * self.inlet.si()));
+                        } else {
+                            m.push((me, idx(l, i, j - 1), -cv_flow));
+                        }
+                        block.cap.push((
+                            me,
+                            spec.coolant.volumetric_heat_capacity().si() * w * hc * dz,
+                        ));
+                    }
+                }
+            }
+        }
+        block
+    }
 }
 
-/// Adds a symmetric conduction coupling of conductance `g` between two nodes.
-fn couple(m: &mut TripletMatrix, a: usize, b: usize, g: f64) {
-    m.add(a, a, g);
-    m.add(b, b, g);
-    m.add(a, b, -g);
-    m.add(b, a, -g);
+/// Caches per-layer assembly blocks across [`Stack`] rebuilds so a driver
+/// that swaps stacks mid-run (the transient modulation controller) only
+/// pays for the layers that actually changed.
+///
+/// The cache compares the new stack against the one it last assembled:
+///
+/// * identical grid/extents/inlet and per-layer equality → all blocks
+///   reused;
+/// * a changed layer (e.g. new cavity widths, new power map) invalidates its
+///   own block plus any neighbour whose conductances depend on it (solids
+///   read the geometry of the solid above; cavities read the geometry of
+///   both neighbours) — so an epoch that only modulates channel widths
+///   regenerates only the cavity layers' rows;
+/// * a different layer structure (count, solid/cavity kinds, grid) falls
+///   back to a full rebuild.
+///
+/// Partial and full rebuilds are **bitwise identical** (locked down by a
+/// regression test): blocks are concatenated in layer order and triplet
+/// summation is stable, so reusing unchanged blocks replays exactly the
+/// floating-point operations of a fresh assembly.
+#[derive(Debug, Default)]
+pub struct AssemblyCache {
+    snapshot: Option<Stack>,
+    blocks: Vec<LayerBlock>,
+}
+
+impl AssemblyCache {
+    /// An empty cache; the first assembly through it is a full build.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` when the cache holds blocks from a previous assembly.
+    #[must_use]
+    pub fn is_warm(&self) -> bool {
+        self.snapshot.is_some()
+    }
+
+    /// Assembles `stack`, reusing every cached layer block that is still
+    /// valid, and refreshes the cache to `stack`.
+    pub(crate) fn assemble(&mut self, stack: &Stack) -> Assembly {
+        match &self.snapshot {
+            Some(prev) if same_structure(prev, stack) => {
+                for l in 0..stack.layers.len() {
+                    if block_stale(prev, stack, l) {
+                        self.blocks[l] = stack.layer_block(l);
+                    }
+                }
+            }
+            _ => {
+                self.blocks = (0..stack.layers.len())
+                    .map(|l| stack.layer_block(l))
+                    .collect();
+            }
+        }
+        self.snapshot = Some(stack.clone());
+        stack.assembly_from_blocks(&self.blocks)
+    }
+}
+
+/// Whether the two stacks share grid, extents, inlet and layer kinds — the
+/// precondition for reusing any block at all.
+fn same_structure(a: &Stack, b: &Stack) -> bool {
+    a.nx == b.nx
+        && a.nz == b.nz
+        && a.die_width == b.die_width
+        && a.die_length == b.die_length
+        && a.inlet == b.inlet
+        && a.layers.len() == b.layers.len()
+        && a.layers.iter().zip(&b.layers).all(|(x, y)| {
+            matches!(
+                (x, y),
+                (Layer::Solid { .. }, Layer::Solid { .. }) | (Layer::Cavity(_), Layer::Cavity(_))
+            )
+        })
+}
+
+/// Whether layer `l`'s block must be regenerated: its own layer changed, or
+/// a neighbour it reads geometry from did.
+///
+/// * A solid block reads its own layer (conductivity, thickness, power,
+///   capacity) and — for the vertical coupling — the material/thickness of a
+///   solid layer above.
+/// * A cavity block reads its spec and the material/thickness (not the
+///   power) of both solid neighbours.
+fn block_stale(prev: &Stack, next: &Stack, l: usize) -> bool {
+    if prev.layers[l] != next.layers[l] {
+        return true;
+    }
+    match &next.layers[l] {
+        Layer::Solid { .. } => {
+            l + 1 < next.layers.len() && solid_geometry_changed(prev, next, l + 1)
+        }
+        Layer::Cavity(_) => {
+            solid_geometry_changed(prev, next, l - 1) || solid_geometry_changed(prev, next, l + 1)
+        }
+    }
+}
+
+/// Whether layer `l`'s *conductive* identity changed (material or
+/// thickness); power-map-only changes don't count — no neighbour reads them.
+fn solid_geometry_changed(prev: &Stack, next: &Stack, l: usize) -> bool {
+    match (&prev.layers[l], &next.layers[l]) {
+        (
+            Layer::Solid {
+                material: ma,
+                thickness: ta,
+                ..
+            },
+            Layer::Solid {
+                material: mb,
+                thickness: tb,
+                ..
+            },
+        ) => ma != mb || ta != tb,
+        // A solid↔cavity swap already failed `same_structure`; a
+        // cavity/cavity pair has no solid geometry to compare.
+        _ => false,
+    }
+}
+
+/// Adds a symmetric conduction coupling of conductance `g` between two
+/// nodes. Zero-valued entries are dropped later by
+/// [`TripletMatrix::add`], so blocks may carry them without affecting the
+/// compressed system.
+fn couple(m: &mut Vec<(usize, usize, f64)>, a: usize, b: usize, g: f64) {
+    m.push((a, a, g));
+    m.push((b, b, g));
+    m.push((a, b, -g));
+    m.push((b, a, -g));
 }
 
 fn series(g1: f64, g2: f64) -> f64 {
@@ -181,6 +362,7 @@ fn film_coefficient(spec: &CavitySpec, i: usize, j: usize) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    use super::*;
     use crate::stack::{CavityWidths, StackBuilder};
     use crate::PowerMap;
     use liquamod_units::{HeatFlux, Length};
@@ -277,5 +459,99 @@ mod tests {
             asm.matrix.get(c_prev, c_here).abs() < cv_flow * 1e-9,
             "no downstream-to-upstream advection"
         );
+    }
+
+    // ---- AssemblyCache -----------------------------------------------
+
+    /// A 5-layer two-cavity stack (the MPSoC shape) with tunable widths and
+    /// bottom-die power.
+    fn two_cavity_stack(w_um: f64, flux_w_cm2: f64) -> Stack {
+        let p =
+            PowerMap::uniform_flux(HeatFlux::from_w_per_cm2(flux_w_cm2), 4, 6, mm(0.4), mm(0.6));
+        StackBuilder::new(mm(0.4), mm(0.6), 4, 6)
+            .silicon_layer("bottom", um(50.0))
+            .powered_by(p.clone())
+            .microchannel_cavity(CavityWidths::Uniform(um(w_um)))
+            .silicon_layer("mid", um(50.0))
+            .powered_by(p)
+            .microchannel_cavity(CavityWidths::Uniform(um(w_um * 0.8)))
+            .silicon_layer("cap", um(50.0))
+            .build()
+            .unwrap()
+    }
+
+    fn assert_assemblies_bitwise_equal(a: &Assembly, b: &Assembly, what: &str) {
+        assert_eq!(a.matrix, b.matrix, "{what}: CSR structure/values differ");
+        assert_eq!(a.rhs.len(), b.rhs.len());
+        for (i, (x, y)) in a.rhs.iter().zip(&b.rhs).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: rhs[{i}]");
+        }
+        for (i, (x, y)) in a.capacitance.iter().zip(&b.capacitance).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: cap[{i}]");
+        }
+        assert_eq!(a.nodes_per_layer, b.nodes_per_layer);
+    }
+
+    /// The ISSUE's contract: a cached rebuild after a cavity-widths-only
+    /// change is bitwise identical to assembling the new stack from scratch.
+    #[test]
+    fn cached_cavity_width_update_matches_full_rebuild_bitwise() {
+        let before = two_cavity_stack(30.0, 25.0);
+        let after = two_cavity_stack(42.0, 25.0);
+        let mut cache = AssemblyCache::new();
+        let first = cache.assemble(&before);
+        assert_assemblies_bitwise_equal(&first, &before.assemble(), "cold cache");
+        assert!(cache.is_warm());
+        let partial = cache.assemble(&after);
+        assert_assemblies_bitwise_equal(&partial, &after.assemble(), "width update");
+    }
+
+    /// Power-map changes (a new workload phase) also reproduce the full
+    /// rebuild bitwise through the cache.
+    #[test]
+    fn cached_power_update_matches_full_rebuild_bitwise() {
+        let before = two_cavity_stack(30.0, 25.0);
+        let after = two_cavity_stack(30.0, 60.0);
+        let mut cache = AssemblyCache::new();
+        let _ = cache.assemble(&before);
+        let partial = cache.assemble(&after);
+        assert_assemblies_bitwise_equal(&partial, &after.assemble(), "power update");
+    }
+
+    /// A width-only change regenerates only the cavity layers' blocks.
+    #[test]
+    fn width_change_regenerates_only_cavity_blocks() {
+        let before = two_cavity_stack(30.0, 25.0);
+        let after = two_cavity_stack(42.0, 25.0);
+        for l in 0..before.layers.len() {
+            let stale = block_stale(&before, &after, l);
+            let is_cavity = matches!(after.layers[l], Layer::Cavity(_));
+            assert_eq!(stale, is_cavity, "layer {l}");
+        }
+        // And a power change touches only the powered solid layers.
+        let hotter = two_cavity_stack(30.0, 60.0);
+        for l in 0..before.layers.len() {
+            let stale = block_stale(&before, &hotter, l);
+            let expects = matches!(&hotter.layers[l], Layer::Solid { power: Some(_), .. });
+            assert_eq!(stale, expects, "layer {l}");
+        }
+    }
+
+    /// A structurally different stack falls back to a full rebuild instead
+    /// of mixing incompatible blocks.
+    #[test]
+    fn structure_change_falls_back_to_full_rebuild() {
+        let five = two_cavity_stack(30.0, 25.0);
+        let three = StackBuilder::new(mm(0.4), mm(0.6), 4, 6)
+            .silicon_layer("a", um(50.0))
+            .microchannel_cavity(CavityWidths::Uniform(um(30.0)))
+            .silicon_layer("b", um(50.0))
+            .build()
+            .unwrap();
+        assert!(!same_structure(&five, &three));
+        let mut cache = AssemblyCache::new();
+        let _ = cache.assemble(&five);
+        let rebuilt = cache.assemble(&three);
+        assert_assemblies_bitwise_equal(&rebuilt, &three.assemble(), "structure change");
     }
 }

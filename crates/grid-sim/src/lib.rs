@@ -64,6 +64,7 @@ pub mod sparse;
 mod stack;
 mod transient;
 
+pub use assemble::AssemblyCache;
 pub use error::GridSimError;
 pub use field::{LayerField, ThermalField};
 pub use material::Material;

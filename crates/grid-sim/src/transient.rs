@@ -17,9 +17,10 @@
 //!   workloads) build on: swap the stack (new widths, new power map), keep
 //!   the temperatures.
 
+use crate::assemble::{Assembly, AssemblyCache};
 use crate::solver::{self, SolverOptions};
 use crate::stack::Stack;
-use crate::{assemble::Assembly, sparse::CsrMatrix, GridSimError, Result, ThermalField};
+use crate::{sparse::CsrMatrix, GridSimError, Result, ThermalField};
 use liquamod_units::Temperature;
 
 /// Controls for a transient run.
@@ -101,12 +102,34 @@ impl Stack {
     ///
     /// [`GridSimError::InvalidTransient`] for a non-positive `dt`.
     pub fn transient_stepper(&self, options: &TransientOptions) -> Result<TransientStepper<'_>> {
-        if !(options.dt_seconds.is_finite() && options.dt_seconds > 0.0) {
-            return Err(GridSimError::InvalidTransient {
-                what: format!("dt must be positive, got {}", options.dt_seconds),
-            });
-        }
-        let asm = self.assemble();
+        validate_dt(options)?;
+        self.stepper_from_assembly(options, self.assemble())
+    }
+
+    /// [`Stack::transient_stepper`] routed through an [`AssemblyCache`]:
+    /// layers unchanged since the cache's previous stack reuse their
+    /// assembled rows, so a rebuild that only modulated the cavity widths
+    /// regenerates only the cavity layers (bitwise identical to a full
+    /// rebuild — see [`AssemblyCache`]). This is the epoch-loop fast path of
+    /// the transient modulation controller.
+    ///
+    /// # Errors
+    ///
+    /// [`GridSimError::InvalidTransient`] for a non-positive `dt`.
+    pub fn transient_stepper_cached(
+        &self,
+        options: &TransientOptions,
+        cache: &mut AssemblyCache,
+    ) -> Result<TransientStepper<'_>> {
+        validate_dt(options)?;
+        self.stepper_from_assembly(options, cache.assemble(self))
+    }
+
+    fn stepper_from_assembly(
+        &self,
+        options: &TransientOptions,
+        asm: Assembly,
+    ) -> Result<TransientStepper<'_>> {
         let n = asm.matrix.size();
         let inv_dt = 1.0 / options.dt_seconds;
         let system = asm.matrix.plus_diagonal(&asm.capacitance, inv_dt);
@@ -145,6 +168,15 @@ impl Stack {
         }
         Ok(samples)
     }
+}
+
+fn validate_dt(options: &TransientOptions) -> Result<()> {
+    if !(options.dt_seconds.is_finite() && options.dt_seconds > 0.0) {
+        return Err(GridSimError::InvalidTransient {
+            what: format!("dt must be positive, got {}", options.dt_seconds),
+        });
+    }
+    Ok(())
 }
 
 impl TransientStepper<'_> {
@@ -448,6 +480,62 @@ mod tests {
         ));
         assert!(stepper.set_state(&vec![310.0; n], 0.5).is_ok());
         assert!((stepper.time_seconds() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cached_stepper_matches_fresh_stepper_bitwise() {
+        // Step 3 + 3 through a widths-only rebuild, once with fresh
+        // assemblies and once through an AssemblyCache (which then only
+        // regenerates the cavity rows): trajectories must agree bitwise.
+        let build = |w_um: f64| {
+            let p = PowerMap::uniform_flux(HeatFlux::from_w_per_cm2(50.0), 4, 8, mm(0.4), mm(0.8));
+            StackBuilder::new(mm(0.4), mm(0.8), 4, 8)
+                .silicon_layer("bottom", um(50.0))
+                .powered_by(p.clone())
+                .microchannel_cavity(CavityWidths::Uniform(um(w_um)))
+                .silicon_layer("top", um(50.0))
+                .powered_by(p)
+                .build()
+                .unwrap()
+        };
+        let options = TransientOptions {
+            dt_seconds: 1e-3,
+            ..Default::default()
+        };
+        let mut cache = AssemblyCache::new();
+        let mut run = |cached: bool| -> Vec<f64> {
+            let first = build(50.0);
+            let mut stepper = if cached {
+                first
+                    .transient_stepper_cached(&options, &mut cache)
+                    .unwrap()
+            } else {
+                first.transient_stepper(&options).unwrap()
+            };
+            for _ in 0..3 {
+                stepper.step().unwrap();
+            }
+            let (state, t) = (stepper.state().to_vec(), stepper.time_seconds());
+            let second = build(25.0);
+            let mut stepper = if cached {
+                second
+                    .transient_stepper_cached(&options, &mut cache)
+                    .unwrap()
+            } else {
+                second.transient_stepper(&options).unwrap()
+            };
+            stepper.set_state(&state, t).unwrap();
+            for _ in 0..3 {
+                stepper.step().unwrap();
+            }
+            stepper.state().to_vec()
+        };
+        let fresh = run(false);
+        let cached = run(true);
+        assert!(cache.is_warm());
+        for (a, b) in fresh.iter().zip(&cached) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

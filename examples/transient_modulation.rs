@@ -23,7 +23,7 @@ fn main() -> Result<(), CoreError> {
     let dt = config.dt_seconds;
     // Three 40 ms Test-B phases — the hotspots migrate between phases.
     let trace = trace::test_b_phases(testcase::TEST_B_DEFAULT_SEED, 3, 0.04);
-    let policy = ModulationPolicy::Modulated { epoch_steps: 10 };
+    let policy = ModulationPolicy::every(10);
 
     println!("== transient channel modulation: 3-phase Test-B trace ==\n");
     println!(

@@ -21,7 +21,8 @@
 //! diffs.
 
 use liquamod::floorplan::testcase::TEST_B_DEFAULT_SEED;
-use liquamod::floorplan::trace;
+use liquamod::floorplan::{arch, trace, PowerLevel};
+use liquamod::mpsoc::{arch_trace, MpsocConfig, MpsocModulated};
 use liquamod::transient::{
     ModulationController, ModulationPolicy, StripTrace, TransientConfig, TransientOutcome,
 };
@@ -49,13 +50,10 @@ fn golden_config() -> TransientConfig {
 
 /// Two 24 ms phases (12 steps each), epochs every 8 steps → 0, 8, 16.
 fn run_scenario(trace: &StripTrace) -> TransientOutcome {
-    ModulationController::new(
-        golden_config(),
-        ModulationPolicy::Modulated { epoch_steps: 8 },
-    )
-    .unwrap()
-    .run(trace)
-    .unwrap()
+    ModulationController::new(golden_config(), ModulationPolicy::every(8))
+        .unwrap()
+        .run(trace)
+        .unwrap()
 }
 
 fn fixture_path(name: &str) -> PathBuf {
@@ -133,6 +131,10 @@ fn assert_close(label: &str, expected: &[f64], actual: &[f64]) {
 
 /// Compares every numeric channel of the golden schema.
 fn assert_matches_fixture(expected: &str, actual: &str) {
+    // The schema version is part of the fixture contract: both sides must
+    // declare the version this comparer understands.
+    assert_eq!(num_scalar(expected, "schema_version"), 1.0);
+    assert_eq!(num_scalar(actual, "schema_version"), 1.0);
     assert!(
         (num_scalar(expected, "dt_seconds") - num_scalar(actual, "dt_seconds")).abs() <= TOLERANCE
     );
@@ -153,12 +155,16 @@ fn assert_matches_fixture(expected: &str, actual: &str) {
 
 fn check_golden(name: &str, trace: &StripTrace) {
     let outcome = run_scenario(trace);
-    // Sanity: the pinned scenarios are 24 steps with 3 epochs.
+    // Sanity: the pinned strip scenarios are 24 steps with 3 epochs.
     assert_eq!(outcome.snapshots.len(), 24);
     assert_eq!(
         outcome.epochs.iter().map(|e| e.step).collect::<Vec<_>>(),
         vec![0, 8, 16]
     );
+    diff_or_regen(name, &outcome);
+}
+
+fn diff_or_regen(name: &str, outcome: &TransientOutcome) {
     let actual = outcome.golden_json(name);
     let path = fixture_path(&format!("{name}.json"));
     if std::env::var("LIQUAMOD_REGEN_GOLDEN").is_ok_and(|v| v == "1") {
@@ -183,6 +189,48 @@ fn golden_test_b_transient_run() {
         "transient_test_b",
         &trace::test_b_phases(TEST_B_DEFAULT_SEED, 2, 0.024),
     );
+}
+
+/// The full-chip fixture: an Arch. 1 stack (20 channel columns in 2 groups
+/// per cavity, 11 cells along the flow) through a Niagara average→peak
+/// burst of two 16 ms phases, re-optimizing both cavities jointly every 8
+/// steps → epochs at 0 and 8.
+#[test]
+fn golden_mpsoc_arch1_niagara_run() {
+    let config = MpsocConfig {
+        optimizer: OptimizationConfig {
+            segments: 2,
+            mesh_intervals: 32,
+            ..OptimizationConfig::fast()
+        },
+        nx: 20,
+        nz: 11,
+        n_groups: 2,
+        dt_seconds: 2e-3,
+        ..MpsocConfig::fast()
+    };
+    let a1 = arch::arch1();
+    let trace = arch_trace(
+        &a1,
+        &[PowerLevel::Average, PowerLevel::Peak],
+        0.016,
+        config.nx,
+        config.nz,
+    );
+    let outcome = MpsocModulated::for_arch(&a1, config)
+        .unwrap()
+        .controller(ModulationPolicy::every(8))
+        .unwrap()
+        .run(&trace)
+        .unwrap();
+    assert_eq!(outcome.snapshots.len(), 16);
+    assert_eq!(
+        outcome.epochs.iter().map(|e| e.step).collect::<Vec<_>>(),
+        vec![0, 8]
+    );
+    // Every epoch records 2 cavities × 2 groups of 2-segment samples.
+    assert_eq!(outcome.epochs[0].widths_um.len(), 4);
+    diff_or_regen("mpsoc_arch1_niagara", &outcome);
 }
 
 /// The parser itself is part of the regression surface: make sure it reads
@@ -210,4 +258,25 @@ fn golden_serialization_roundtrips() {
         num_scalar(&json, "dt_seconds").to_bits(),
         outcome.dt_seconds.to_bits()
     );
+    assert_eq!(num_scalar(&json, "schema_version"), 1.0);
+}
+
+/// Every checked-in BENCH record declares the schema version its consumers
+/// (the CI bench-smoke comparisons) parse.
+#[test]
+fn bench_records_declare_schema_version() {
+    for name in [
+        "BENCH_sweep.json",
+        "BENCH_transient.json",
+        "BENCH_mpsoc.json",
+    ] {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(name);
+        let record = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        assert_eq!(
+            num_scalar(&record, "schema_version"),
+            1.0,
+            "{name} must declare schema_version 1"
+        );
+    }
 }

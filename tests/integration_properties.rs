@@ -189,4 +189,65 @@ proptest! {
         let dg = (s4.thermal_gradient().as_kelvin() - s1.thermal_gradient().as_kelvin()).abs();
         prop_assert!(dg < 1e-6, "gradient differs by {dg}");
     }
+
+    /// Floorplan rasterization conserves power exactly for random block
+    /// layouts: whatever the grid resolution (cells cutting blocks at
+    /// arbitrary fractions), the summed `FluxGrid` power equals the summed
+    /// block powers within 1e-9.
+    #[test]
+    fn rasterization_conserves_power_for_random_layouts(
+        cols in 1usize..4,
+        rows in 1usize..4,
+        nx in 1usize..13,
+        nz in 1usize..13,
+        insets in proptest::collection::vec(0.02f64..0.45, 9..10),
+        fluxes in proptest::collection::vec(0.0f64..200.0, 9..10),
+    ) {
+        use liquamod::floorplan::{Block, BlockKind, Floorplan};
+        use liquamod::units::Rect;
+        // Random non-overlapping layout: one randomly inset block per slot
+        // of a cols × rows partition of an 8 mm × 6 mm die.
+        let (die_w_mm, die_d_mm) = (8.0, 6.0);
+        let (slot_w, slot_d) = (die_w_mm / cols as f64, die_d_mm / rows as f64);
+        let mut blocks = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let k = r * cols + c;
+                let inset = insets[k];
+                let (w, d) = (slot_w * (1.0 - 2.0 * inset), slot_d * (1.0 - 2.0 * inset));
+                let outline = Rect::from_mm(
+                    c as f64 * slot_w + inset * slot_w,
+                    r as f64 * slot_d + inset * slot_d,
+                    w,
+                    d,
+                ).expect("slot-inset rects are valid");
+                // flux [W/cm²] × area [cm²]; average at half activity.
+                let peak = fluxes[k] * (w * d * 1e-2);
+                blocks.push(Block::new(
+                    format!("b{k}"),
+                    BlockKind::Other,
+                    outline,
+                    Power::from_watts(peak),
+                    Power::from_watts(0.5 * peak),
+                ).expect("block powers are valid"));
+            }
+        }
+        let expected_peak: f64 = blocks.iter().map(|b| b.power_peak().as_watts()).sum();
+        let fp = Floorplan::new(
+            "random",
+            Length::from_millimeters(die_w_mm),
+            Length::from_millimeters(die_d_mm),
+            blocks,
+        ).expect("slot layouts never overlap");
+        for (level, expected) in [
+            (PowerLevel::Peak, expected_peak),
+            (PowerLevel::Average, 0.5 * expected_peak),
+        ] {
+            let got = fp.rasterize(nx, nz, level).total_power().as_watts();
+            prop_assert!(
+                (got - expected).abs() <= 1e-9 * expected.max(1.0),
+                "{level:?} at {nx}x{nz}: grid {got} W vs blocks {expected} W"
+            );
+        }
+    }
 }

@@ -53,13 +53,10 @@ fn modulated_test_b_beats_frozen_uniform_design() {
         3,
         16.0 * dt,
     );
-    let modulated = ModulationController::new(
-        config.clone(),
-        ModulationPolicy::Modulated { epoch_steps: 8 },
-    )
-    .unwrap()
-    .run(&trace)
-    .unwrap();
+    let modulated = ModulationController::new(config.clone(), ModulationPolicy::every(8))
+        .unwrap()
+        .run(&trace)
+        .unwrap();
     let frozen = ModulationController::new(config, ModulationPolicy::FrozenUniform)
         .unwrap()
         .run(&trace)
@@ -176,7 +173,7 @@ proptest! {
         let trace = random_trace(&fluxes_a, &fluxes_b, 5.0 * dt);
         for policy in [
             ModulationPolicy::FrozenUniform,
-            ModulationPolicy::Modulated { epoch_steps: 5 },
+            ModulationPolicy::every(5),
         ] {
             let outcome = ModulationController::new(config.clone(), policy)
                 .unwrap()
@@ -209,7 +206,7 @@ proptest! {
         let trace = random_trace(&fluxes_a, &fluxes_b, 6.0 * dt);
         let outcome = ModulationController::new(
             config,
-            ModulationPolicy::Modulated { epoch_steps: 6 },
+            ModulationPolicy::every(6),
         )
         .unwrap()
         .run(&trace)
