@@ -18,12 +18,19 @@
 //! the cavities' per-group width profiles re-optimized jointly at every
 //! epoch.
 //!
-//! Run with: `cargo run --release -p bench --bin sweep [-- transient|mpsoc]`
+//! The `fleet` mode co-optimizes *several* MPSoC stacks under one shared
+//! pump budget: per budget variant, the same fleet runs under uniform,
+//! gradient-water-filling and greedy flow allocation, and the gate
+//! requires water-filling to strictly beat the uniform split on the worst
+//! stack's time-peak gradient.
+//!
+//! Run with: `cargo run --release -p bench --bin sweep [-- transient|mpsoc|fleet]`
 //!
 //! Options (all modes unless noted):
 //!
 //! * `transient` — run the strip transient modulation sweep;
 //! * `mpsoc` — run the full-chip MPSoC modulation sweep;
+//! * `fleet` — run the shared-pump fleet sharding sweep;
 //! * `--serial` — run on one thread only (no speedup baseline);
 //! * `--workers N` — override the parallel worker count;
 //! * `--no-baseline` — skip the serial reference run (faster, but no
@@ -33,7 +40,8 @@
 //!   as in the paper);
 //! * `--json [PATH]` — write a machine-readable perf record; `PATH`
 //!   defaults to `BENCH_sweep.json` (steady) / `BENCH_transient.json`
-//!   (transient) / `BENCH_mpsoc.json` (mpsoc);
+//!   (transient) / `BENCH_mpsoc.json` (mpsoc) / `BENCH_fleet.json`
+//!   (fleet);
 //! * `LIQUAMOD_FAST=1` — coarse optimizer/grid settings (CI).
 //!
 //! By default the steady grid is the 16-variant paper neighborhood, the
@@ -42,6 +50,7 @@
 //! serially; the tail of the output reports wall times, effective
 //! throughput and the parallel speedup.
 
+use liquamod::fleet::{run_fleet_sweep, FleetGrid, FleetReport, FleetSweepOptions, StackSpec};
 use liquamod::mpsoc::{run_mpsoc_sweep, MpsocGrid, MpsocReport, MpsocSweepOptions};
 use liquamod::sweep::{run_sweep, ExecutionMode, SweepGrid, SweepOptions, SweepReport};
 use liquamod::transient::{
@@ -56,6 +65,7 @@ enum Mode {
     Steady,
     Transient,
     Mpsoc,
+    Fleet,
 }
 
 struct Args {
@@ -82,6 +92,7 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "transient" => args.mode = Mode::Transient,
             "mpsoc" => args.mode = Mode::Mpsoc,
+            "fleet" => args.mode = Mode::Fleet,
             "--serial" => args.serial = true,
             "--no-baseline" => args.baseline = false,
             "--cold-start" => args.warm_start = false,
@@ -95,7 +106,10 @@ fn parse_args() -> Result<Args, String> {
                 // default file name in the working directory.
                 let path = match it.peek() {
                     Some(next)
-                        if !next.starts_with('-') && next != "transient" && next != "mpsoc" =>
+                        if !next.starts_with('-')
+                            && next != "transient"
+                            && next != "mpsoc"
+                            && next != "fleet" =>
                     {
                         it.next()
                     }
@@ -105,8 +119,8 @@ fn parse_args() -> Result<Args, String> {
             }
             other => {
                 return Err(format!(
-                    "unknown argument: {other} (try transient, mpsoc, --serial, --workers N, \
-                     --no-baseline, --cold-start, --json [PATH])"
+                    "unknown argument: {other} (try transient, mpsoc, fleet, --serial, \
+                     --workers N, --no-baseline, --cold-start, --json [PATH])"
                 ))
             }
         }
@@ -118,6 +132,7 @@ fn parse_args() -> Result<Args, String> {
                 Mode::Steady => "BENCH_sweep.json".to_string(),
                 Mode::Transient => "BENCH_transient.json".to_string(),
                 Mode::Mpsoc => "BENCH_mpsoc.json".to_string(),
+                Mode::Fleet => "BENCH_fleet.json".to_string(),
             };
         }
     }
@@ -258,16 +273,27 @@ fn write_record(path: &str, what: &str, record: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Shared tail of the modulated-vs-frozen modes (`transient`, `mpsoc`): the
-/// serial determinism baseline, the modulated-beats-frozen gate over
-/// `(label, modulated K, frozen K)` rows, and the JSON record write — which
-/// happens even when a gate failed, because the failing run is exactly the
-/// one whose per-variant numbers are needed. Returns the process exit code.
-// One parameter per closure the two report types differ by; bundling them
+/// What a strictly-beats-baseline gate compares, for its messages: the
+/// candidate metric that must stay strictly below the baseline metric.
+struct GateNames {
+    /// The metric under test, e.g. "modulated time-peak gradient".
+    candidate: &'static str,
+    /// What it must strictly undercut, e.g. "frozen uniform-width baseline".
+    baseline: &'static str,
+}
+
+/// Shared tail of the strictly-beats-baseline modes (`transient`, `mpsoc`,
+/// `fleet`): the serial determinism baseline, the candidate-beats-baseline
+/// gate over `(label, candidate K, baseline K)` rows, and the JSON record
+/// write — which happens even when a gate failed, because the failing run
+/// is exactly the one whose per-variant numbers are needed. Returns the
+/// process exit code.
+// One parameter per closure the report types differ by; bundling them
 // into a trait would just move the same six names elsewhere.
 #[allow(clippy::too_many_arguments)]
-fn finish_modulated_mode<R>(
+fn finish_gated_mode<R>(
     what: &str,
+    gate: &GateNames,
     args: &Args,
     available: usize,
     report: &R,
@@ -294,18 +320,19 @@ fn finish_modulated_mode<R>(
         }
     }
     if gate_failure.is_none() {
-        if let Some((label, modulated, frozen)) = gate_rows(report)
+        if let Some((label, candidate, baseline)) = gate_rows(report)
             .into_iter()
-            .find(|(_, modulated, frozen)| modulated >= frozen)
+            .find(|(_, candidate, baseline)| candidate >= baseline)
         {
             gate_failure = Some(format!(
-                "{label}: modulation did not beat the frozen design \
-                 ({modulated:.3} K vs {frozen:.3} K)"
+                "{label}: {} did not beat the {} \
+                 ({candidate:.3} K vs {baseline:.3} K)",
+                gate.candidate, gate.baseline
             ));
         } else {
             println!(
-                "every variant: modulated time-peak gradient strictly below the frozen \
-                 uniform-width baseline"
+                "every variant: {} strictly below the {}",
+                gate.candidate, gate.baseline
             );
         }
     }
@@ -326,6 +353,59 @@ fn finish_modulated_mode<R>(
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// Emits the run-stats tail every gated-mode record shares: worker count,
+/// fast-mode flag, wall time, the serial baseline + speedup when one ran,
+/// and the determinism flag.
+fn push_record_tail(
+    out: &mut String,
+    workers: usize,
+    fast_mode: bool,
+    wall: std::time::Duration,
+    serial_wall: Option<std::time::Duration>,
+    determinism_verified: bool,
+) {
+    out.push_str(&format!("  \"workers\": {workers},\n"));
+    out.push_str(&format!("  \"fast_mode\": {fast_mode},\n"));
+    out.push_str(&format!("  \"wall_seconds\": {:.6},\n", wall.as_secs_f64()));
+    if let Some(serial) = serial_wall {
+        out.push_str(&format!(
+            "  \"serial_wall_seconds\": {:.6},\n",
+            serial.as_secs_f64()
+        ));
+        out.push_str(&format!(
+            "  \"parallel_speedup\": {:.4},\n",
+            serial.as_secs_f64() / wall.as_secs_f64().max(1e-12)
+        ));
+    }
+    out.push_str(&format!(
+        "  \"determinism_verified\": {determinism_verified},\n"
+    ));
+}
+
+/// Emits the `variants` array of a modulated-vs-frozen record from
+/// `(label, modulated K, frozen K, reduction, epochs, adopted, evals)`
+/// rows — the transient and mpsoc row schemas are identical, so both
+/// records render through this one loop.
+fn push_modulated_variants(
+    out: &mut String,
+    rows: impl ExactSizeIterator<Item = (String, f64, f64, f64, usize, usize, usize)>,
+) {
+    out.push_str("  \"variants\": [\n");
+    let n = rows.len();
+    for (i, (label, modulated, frozen, reduction, epochs, adopted, evaluations)) in rows.enumerate()
+    {
+        let sep = if i + 1 == n { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"peak_gradient_modulated_k\": {modulated:.6}, \
+             \"peak_gradient_frozen_k\": {frozen:.6}, \"gradient_reduction\": {reduction:.6}, \
+             \"epochs\": {epochs}, \"epochs_adopted\": {adopted}, \
+             \"evaluations\": {evaluations}}}{sep}\n",
+            json_escape(&label),
+        ));
+    }
+    out.push_str("  ]\n}\n");
 }
 
 /// Renders the `BENCH_transient.json` record; see the README's "Transient
@@ -357,42 +437,28 @@ fn transient_json_record(
         "  \"phase_seconds\": {:.6e},\n",
         options.phase_seconds
     ));
-    out.push_str(&format!("  \"workers\": {},\n", report.workers));
-    out.push_str(&format!("  \"fast_mode\": {fast_mode},\n"));
-    out.push_str(&format!(
-        "  \"wall_seconds\": {:.6},\n",
-        report.wall.as_secs_f64()
-    ));
-    if let Some(serial) = serial {
-        out.push_str(&format!(
-            "  \"serial_wall_seconds\": {:.6},\n",
-            serial.wall.as_secs_f64()
-        ));
-        out.push_str(&format!(
-            "  \"parallel_speedup\": {:.4},\n",
-            serial.wall.as_secs_f64() / report.wall.as_secs_f64().max(1e-12)
-        ));
-    }
-    out.push_str(&format!(
-        "  \"determinism_verified\": {determinism_verified},\n"
-    ));
-    out.push_str("  \"variants\": [\n");
-    for (i, row) in report.rows.iter().enumerate() {
-        let sep = if i + 1 == report.rows.len() { "" } else { "," };
-        out.push_str(&format!(
-            "    {{\"label\": \"{}\", \"peak_gradient_modulated_k\": {:.6}, \
-             \"peak_gradient_frozen_k\": {:.6}, \"gradient_reduction\": {:.6}, \
-             \"epochs\": {}, \"epochs_adopted\": {}, \"evaluations\": {}}}{sep}\n",
-            json_escape(&row.variant.label()),
-            row.peak_gradient_modulated_k,
-            row.peak_gradient_frozen_k,
-            row.gradient_reduction,
-            row.epochs,
-            row.epochs_adopted,
-            row.evaluations
-        ));
-    }
-    out.push_str("  ]\n}\n");
+    push_record_tail(
+        &mut out,
+        report.workers,
+        fast_mode,
+        report.wall,
+        serial.map(|s| s.wall),
+        determinism_verified,
+    );
+    push_modulated_variants(
+        &mut out,
+        report.rows.iter().map(|row| {
+            (
+                row.variant.label(),
+                row.peak_gradient_modulated_k,
+                row.peak_gradient_frozen_k,
+                row.gradient_reduction,
+                row.epochs,
+                row.epochs_adopted,
+                row.evaluations,
+            )
+        }),
+    );
     out
 }
 
@@ -442,8 +508,12 @@ fn run_transient_mode(args: &Args) -> ExitCode {
         mode: ExecutionMode::Serial,
         ..options.clone()
     };
-    finish_modulated_mode(
+    finish_gated_mode(
         "transient",
+        &GateNames {
+            candidate: "modulated time-peak gradient",
+            baseline: "frozen uniform-width baseline",
+        },
         args,
         available,
         &report,
@@ -517,55 +587,47 @@ fn mpsoc_json_record(
         "  \"phase_seconds\": {:.6e},\n",
         options.phase_seconds
     ));
-    out.push_str(&format!("  \"workers\": {},\n", report.workers));
-    out.push_str(&format!("  \"fast_mode\": {fast_mode},\n"));
-    out.push_str(&format!(
-        "  \"wall_seconds\": {:.6},\n",
-        report.wall.as_secs_f64()
-    ));
-    if let Some(serial) = serial {
-        out.push_str(&format!(
-            "  \"serial_wall_seconds\": {:.6},\n",
-            serial.wall.as_secs_f64()
-        ));
-        out.push_str(&format!(
-            "  \"parallel_speedup\": {:.4},\n",
-            serial.wall.as_secs_f64() / report.wall.as_secs_f64().max(1e-12)
-        ));
-    }
-    out.push_str(&format!(
-        "  \"determinism_verified\": {determinism_verified},\n"
-    ));
-    out.push_str("  \"variants\": [\n");
-    for (i, row) in report.rows.iter().enumerate() {
-        let sep = if i + 1 == report.rows.len() { "" } else { "," };
-        out.push_str(&format!(
-            "    {{\"label\": \"{}\", \"peak_gradient_modulated_k\": {:.6}, \
-             \"peak_gradient_frozen_k\": {:.6}, \"gradient_reduction\": {:.6}, \
-             \"epochs\": {}, \"epochs_adopted\": {}, \"evaluations\": {}}}{sep}\n",
-            json_escape(&row.variant.label()),
-            row.peak_gradient_modulated_k,
-            row.peak_gradient_frozen_k,
-            row.gradient_reduction,
-            row.epochs,
-            row.epochs_adopted,
-            row.evaluations
-        ));
-    }
-    out.push_str("  ]\n}\n");
+    push_record_tail(
+        &mut out,
+        report.workers,
+        fast_mode,
+        report.wall,
+        serial.map(|s| s.wall),
+        determinism_verified,
+    );
+    push_modulated_variants(
+        &mut out,
+        report.rows.iter().map(|row| {
+            (
+                row.variant.label(),
+                row.peak_gradient_modulated_k,
+                row.peak_gradient_frozen_k,
+                row.gradient_reduction,
+                row.epochs,
+                row.epochs_adopted,
+                row.evaluations,
+            )
+        }),
+    );
     out
 }
 
-/// The MPSoC sweep options the bench runs: the full 100-channel stacks by
-/// default; `LIQUAMOD_FAST=1` coarsens the along-flow grid and halves the
+/// `LIQUAMOD_FAST=1`'s coarsening of the full-chip stacks, shared by the
+/// `mpsoc` and `fleet` modes: the along-flow grid halves and so do the
 /// width groups per cavity (the channel count stays, so the modulation
 /// picture is preserved at CI cost).
+fn coarsen_if_fast(config: &mut liquamod::MpsocConfig) {
+    if liquamod_bench::fast_mode() {
+        config.nz = 11;
+        config.n_groups = 2;
+    }
+}
+
+/// The MPSoC sweep options the bench runs: the full 100-channel stacks by
+/// default; `LIQUAMOD_FAST=1` coarsens them via [`coarsen_if_fast`].
 fn mpsoc_options(mode: ExecutionMode) -> MpsocSweepOptions {
     let mut options = MpsocSweepOptions::fast(mode);
-    if liquamod_bench::fast_mode() {
-        options.config.nz = 11;
-        options.config.n_groups = 2;
-    }
+    coarsen_if_fast(&mut options.config);
     options
 }
 
@@ -624,8 +686,12 @@ fn run_mpsoc_mode(args: &Args) -> ExitCode {
         mode: ExecutionMode::Serial,
         ..options.clone()
     };
-    finish_modulated_mode(
+    finish_gated_mode(
         "mpsoc",
+        &GateNames {
+            candidate: "modulated time-peak gradient",
+            baseline: "frozen uniform-width baseline",
+        },
         args,
         available,
         &report,
@@ -662,6 +728,196 @@ fn run_mpsoc_mode(args: &Args) -> ExitCode {
     )
 }
 
+/// Renders the `BENCH_fleet.json` record; see the README's "Fleet
+/// sharding" section for the schema and how the CI bench-smoke job
+/// consumes it.
+fn fleet_json_record(
+    grid: &FleetGrid,
+    options: &FleetSweepOptions,
+    report: &FleetReport,
+    serial: Option<&FleetReport>,
+    determinism_verified: bool,
+    fast_mode: bool,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"fleet\",\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!(
+        "  \"grid\": {{\"variants\": {}, \"stacks\": {}, \"budget_scales\": {}}},\n",
+        grid.len(),
+        grid.stacks.len(),
+        grid.budget_scales.len()
+    ));
+    out.push_str(&format!(
+        "  \"stack\": {{\"nx\": {}, \"nz\": {}, \"n_groups\": {}}},\n",
+        options.config.nx, options.config.nz, options.config.n_groups
+    ));
+    out.push_str(&format!(
+        "  \"fleet\": [{}],\n",
+        grid.stacks
+            .iter()
+            .map(|s| format!("\"{}\"", json_escape(&s.label())))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!(
+        "  \"budget_scales\": [{}],\n",
+        grid.budget_scales
+            .iter()
+            .map(|b| format!("{b:.6}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!(
+        "  \"dt_seconds\": {:.6e},\n",
+        options.config.dt_seconds
+    ));
+    out.push_str(&format!(
+        "  \"epoch_policy\": \"{}\",\n",
+        json_escape(&format!("{:?}", options.policy))
+    ));
+    out.push_str(&format!(
+        "  \"phase_seconds\": {:.6e},\n",
+        options.phase_seconds
+    ));
+    out.push_str(&format!(
+        "  \"segments_per_phase\": {},\n",
+        options.segments_per_phase
+    ));
+    push_record_tail(
+        &mut out,
+        report.workers,
+        fast_mode,
+        report.wall,
+        serial.map(|s| s.wall),
+        determinism_verified,
+    );
+    out.push_str("  \"variants\": [\n");
+    for (i, row) in report.rows.iter().enumerate() {
+        let sep = if i + 1 == report.rows.len() { "" } else { "," };
+        let allocation = row
+            .waterfill_final_allocation
+            .iter()
+            .map(|s| format!("{s:.6}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"worst_gradient_uniform_k\": {:.6}, \
+             \"worst_gradient_waterfill_k\": {:.6}, \"worst_gradient_greedy_k\": {:.6}, \
+             \"waterfill_reduction\": {:.6}, \"greedy_reduction\": {:.6}, \
+             \"waterfill_final_allocation\": [{allocation}], \"evaluations\": {}}}{sep}\n",
+            json_escape(&row.variant.label()),
+            row.worst_gradient_uniform_k,
+            row.worst_gradient_waterfill_k,
+            row.worst_gradient_greedy_k,
+            row.waterfill_reduction,
+            row.greedy_reduction,
+            row.evaluations
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The fleet mode: several full-chip stacks co-optimized under one shared
+/// pump budget, with the three allocation policies head-to-head.
+fn run_fleet_mode(args: &Args) -> ExitCode {
+    banner("fleet sharding: shared-pump budget x allocation-policy head-to-head");
+    let grid = FleetGrid::bench_default();
+    let available = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    let mode = execution_mode(args, available);
+    let mut options = FleetSweepOptions::fast(mode);
+    coarsen_if_fast(&mut options.config);
+    let steps_per_phase = (options.phase_seconds / options.config.dt_seconds).round() as usize;
+    println!(
+        "grid: {} variants ({} stacks x {} pump budgets); {available} core(s) available",
+        grid.len(),
+        grid.stacks.len(),
+        grid.budget_scales.len(),
+    );
+    println!(
+        "fleet: {}",
+        grid.stacks
+            .iter()
+            .map(StackSpec::label)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "stack: {} channels x {} cells, {} width groups per cavity, two cavities",
+        options.config.nx, options.config.nz, options.config.n_groups,
+    );
+    println!(
+        "clock: dt = {:.1} ms, {} steps per {:.0} ms phase, {} reallocation segment(s) per phase, \
+         epoch policy {:?}",
+        options.config.dt_seconds * 1e3,
+        steps_per_phase,
+        options.phase_seconds * 1e3,
+        options.segments_per_phase,
+        options.policy,
+    );
+
+    let report = match run_fleet_sweep(&grid, &options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fleet sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_table(&report.to_table());
+    println!(
+        "{} variants in {:.2} s on {} worker(s)",
+        report.rows.len(),
+        report.wall.as_secs_f64(),
+        report.workers,
+    );
+
+    let serial_options = FleetSweepOptions {
+        mode: ExecutionMode::Serial,
+        ..options.clone()
+    };
+    finish_gated_mode(
+        "fleet",
+        &GateNames {
+            candidate: "waterfill worst-stack time-peak gradient",
+            baseline: "uniform-allocation baseline",
+        },
+        args,
+        available,
+        &report,
+        report.wall,
+        report.workers,
+        || {
+            run_fleet_sweep(&grid, &serial_options)
+                .map_err(|e| format!("serial baseline failed: {e}"))
+        },
+        |s| s.rows == report.rows,
+        |s| s.wall,
+        |r| {
+            r.rows
+                .iter()
+                .map(|row| {
+                    (
+                        row.variant.label(),
+                        row.worst_gradient_waterfill_k,
+                        row.worst_gradient_uniform_k,
+                    )
+                })
+                .collect()
+        },
+        |serial, determinism_verified| {
+            fleet_json_record(
+                &grid,
+                &options,
+                &report,
+                serial,
+                determinism_verified,
+                liquamod_bench::fast_mode(),
+            )
+        },
+    )
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -675,6 +931,9 @@ fn main() -> ExitCode {
     }
     if args.mode == Mode::Mpsoc {
         return run_mpsoc_mode(&args);
+    }
+    if args.mode == Mode::Fleet {
+        return run_fleet_mode(&args);
     }
 
     banner("scenario sweep: workload x flux-scale x flow-scale grid");

@@ -7,6 +7,20 @@
 //! Set `LIQUAMOD_FAST=1` to run every experiment with the coarse
 //! configuration (useful on laptops/CI; the *shape* of all results is
 //! preserved, the absolute numbers shift by a few percent).
+//!
+//! # Example
+//!
+//! ```
+//! // Whatever LIQUAMOD_FAST says, the selected configuration is never
+//! // coarser than the fast baseline every binary can fall back to.
+//! let fast = liquamod::OptimizationConfig::fast();
+//! let selected = liquamod_bench::config_from_env();
+//! assert!(selected.segments >= fast.segments);
+//! assert!(selected.mesh_intervals >= fast.mesh_intervals);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use liquamod::prelude::*;
 

@@ -1,0 +1,395 @@
+//! The fleet budget allocator: splitting one pump's flow budget across
+//! stacks.
+//!
+//! All quantities are in *flow-scale units*: a stack's share is the
+//! multiplier handed to [`MpsocConfig::with_flow_scale`]
+//! (1.0 = the nominal per-channel flow of the stack's configuration), so
+//! the budget composes with any base configuration without unit plumbing.
+//!
+//! [`MpsocConfig::with_flow_scale`]: crate::mpsoc::MpsocConfig::with_flow_scale
+
+use crate::{CoreError, Result};
+
+/// How the fleet allocator splits the shared pump budget across stacks at
+/// each reallocation epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetPolicy {
+    /// Every stack gets the same share regardless of its thermal state —
+    /// the per-stack-provisioned baseline the fleet gate compares against.
+    Uniform,
+    /// Water-filling on the stacks' measured time-peak inter-layer
+    /// gradients: every branch starts at the valve minimum, and the surplus
+    /// is poured in proportion to the gradients, capping filled branches at
+    /// the valve maximum and re-pouring the overflow. Stacks that measured
+    /// no gradient (idle) stay at the minimum unless the budget cannot be
+    /// spent elsewhere.
+    GradientWaterfill,
+    /// Hottest-first: stacks sorted by measured gradient (ties broken by
+    /// index) each grab the valve maximum until only the minima of the
+    /// remaining stacks are affordable. The bang-bang contrast case to
+    /// [`BudgetPolicy::GradientWaterfill`]'s proportional split.
+    Greedy,
+}
+
+impl BudgetPolicy {
+    /// All policies, in report order.
+    #[must_use]
+    pub fn all() -> Vec<BudgetPolicy> {
+        vec![
+            BudgetPolicy::Uniform,
+            BudgetPolicy::GradientWaterfill,
+            BudgetPolicy::Greedy,
+        ]
+    }
+
+    /// Short label used in report rows.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            BudgetPolicy::Uniform => "uniform",
+            BudgetPolicy::GradientWaterfill => "waterfill",
+            BudgetPolicy::Greedy => "greedy",
+        }
+    }
+}
+
+/// The shared pump budget, in per-stack flow-scale units: the allocator
+/// must hand out exactly `total_scale` across the fleet, with every
+/// stack's share inside `[min_scale, max_scale]` (a branch valve can
+/// neither starve a stack nor exceed its channel rating).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PumpBudget {
+    /// Sum of all stacks' flow scales the pump sustains.
+    pub total_scale: f64,
+    /// Smallest per-stack share (keeps every stack's channels wetted).
+    pub min_scale: f64,
+    /// Largest per-stack share (per-branch valve/pressure rating).
+    pub max_scale: f64,
+}
+
+impl PumpBudget {
+    /// A budget averaging `avg_scale` per stack across `n_stacks`, with the
+    /// default valve band `[avg/2, 3·avg/2]` — always feasible, and wide
+    /// enough that reallocation has room to act.
+    #[must_use]
+    pub fn per_stack(avg_scale: f64, n_stacks: usize) -> Self {
+        Self {
+            total_scale: avg_scale * n_stacks as f64,
+            min_scale: 0.5 * avg_scale,
+            max_scale: 1.5 * avg_scale,
+        }
+    }
+
+    /// The uniform per-stack share, `total_scale / n_stacks`.
+    #[must_use]
+    pub fn uniform_share(&self, n_stacks: usize) -> f64 {
+        self.total_scale / n_stacks as f64
+    }
+
+    /// Checks the budget is feasible for a fleet of `n_stacks`:
+    /// positive finite bounds with `min ≤ max`, and
+    /// `n·min ≤ total ≤ n·max` so an allocation summing to the budget
+    /// exists inside the valve band.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] describing the violated condition.
+    pub fn validate(&self, n_stacks: usize) -> Result<()> {
+        let bad = |what: String| Err(CoreError::InvalidConfig { what });
+        if n_stacks == 0 {
+            return bad("a fleet needs at least one stack".into());
+        }
+        if !(self.min_scale.is_finite() && self.min_scale > 0.0) {
+            return bad(format!(
+                "min_scale must be positive and finite, got {}",
+                self.min_scale
+            ));
+        }
+        if !(self.max_scale.is_finite() && self.max_scale >= self.min_scale) {
+            return bad(format!(
+                "max_scale must be finite and ≥ min_scale, got {} < {}",
+                self.max_scale, self.min_scale
+            ));
+        }
+        if !self.total_scale.is_finite() {
+            return bad(format!(
+                "total_scale must be finite, got {}",
+                self.total_scale
+            ));
+        }
+        let n = n_stacks as f64;
+        if self.total_scale < n * self.min_scale - 1e-12
+            || self.total_scale > n * self.max_scale + 1e-12
+        {
+            return bad(format!(
+                "budget {} is outside the feasible band [{}, {}] for {} stacks",
+                self.total_scale,
+                n * self.min_scale,
+                n * self.max_scale,
+                n_stacks
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Splits `budget` across one stack per entry of `gradients_k` (each
+/// stack's most recent time-peak inter-layer gradient, kelvin) according
+/// to `policy`. The result always sums to `budget.total_scale` (within
+/// float addition error) with every share in `[min_scale, max_scale]` —
+/// the invariant the fleet property tests pin down. Negative gradients are
+/// treated as zero; the allocation is a pure function of its arguments, so
+/// fleet runs stay bitwise deterministic across execution modes.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidConfig`] when the budget is infeasible for the
+/// fleet size or any gradient is NaN/infinite.
+pub fn allocate(
+    policy: BudgetPolicy,
+    budget: &PumpBudget,
+    gradients_k: &[f64],
+) -> Result<Vec<f64>> {
+    let n = gradients_k.len();
+    budget.validate(n)?;
+    if let Some(g) = gradients_k.iter().find(|g| !g.is_finite()) {
+        return Err(CoreError::InvalidConfig {
+            what: format!("stack gradients must be finite, got {g}"),
+        });
+    }
+    let shares = match policy {
+        BudgetPolicy::Uniform => vec![budget.uniform_share(n); n],
+        BudgetPolicy::GradientWaterfill => waterfill(budget, gradients_k),
+        BudgetPolicy::Greedy => greedy(budget, gradients_k),
+    };
+    Ok(shares)
+}
+
+/// Water-filling: start every branch at the valve minimum, pour the
+/// surplus in proportion to the (clamped non-negative) gradients, cap
+/// branches that reach the valve maximum and re-pour their overflow; any
+/// budget left once every loaded branch is full spills uniformly onto the
+/// idle branches. Conservation is by construction: every unit of surplus
+/// is either poured or still pending.
+fn waterfill(budget: &PumpBudget, gradients_k: &[f64]) -> Vec<f64> {
+    let n = gradients_k.len();
+    let g: Vec<f64> = gradients_k.iter().map(|&x| x.max(0.0)).collect();
+    let mut alloc = vec![budget.min_scale; n];
+    let mut surplus = budget.total_scale - budget.min_scale * n as f64;
+    if g.iter().sum::<f64>() <= 0.0 {
+        // Nothing measured anywhere: an even split is the only sensible fill.
+        return vec![budget.uniform_share(n); n];
+    }
+    // Active = loaded branches not yet at the valve maximum.
+    let mut active: Vec<usize> = (0..n).filter(|&i| g[i] > 0.0).collect();
+    while surplus > 0.0 && !active.is_empty() {
+        let sum_g: f64 = active.iter().map(|&i| g[i]).sum();
+        let mut filled = Vec::new();
+        let mut poured_all = true;
+        for &i in &active {
+            let give = surplus * g[i] / sum_g;
+            if give >= budget.max_scale - alloc[i] {
+                poured_all = false;
+                filled.push(i);
+            }
+        }
+        if poured_all {
+            for &i in &active {
+                alloc[i] += surplus * g[i] / sum_g;
+            }
+            surplus = 0.0;
+        } else {
+            // Cap the overfull branches exactly and re-pour the rest.
+            for &i in &filled {
+                surplus -= budget.max_scale - alloc[i];
+                alloc[i] = budget.max_scale;
+            }
+            active.retain(|i| !filled.contains(i));
+        }
+    }
+    // Every loaded branch is full: spill what is left onto idle branches
+    // (feasibility guarantees they can absorb it).
+    let mut idle: Vec<usize> = (0..n).filter(|&i| g[i] <= 0.0).collect();
+    while surplus > 1e-15 && !idle.is_empty() {
+        let share = surplus / idle.len() as f64;
+        let mut filled = Vec::new();
+        let mut poured_all = true;
+        for &i in &idle {
+            if share >= budget.max_scale - alloc[i] {
+                poured_all = false;
+                filled.push(i);
+            }
+        }
+        if poured_all {
+            for &i in &idle {
+                alloc[i] += share;
+            }
+            surplus = 0.0;
+        } else {
+            for &i in &filled {
+                surplus -= budget.max_scale - alloc[i];
+                alloc[i] = budget.max_scale;
+            }
+            idle.retain(|i| !filled.contains(i));
+        }
+    }
+    alloc
+}
+
+/// Hottest-first: in gradient order (descending, index-stable), every
+/// stack takes the valve maximum while the remaining stacks' minima stay
+/// affordable, then whatever is left; the tail gets the minimum.
+fn greedy(budget: &PumpBudget, gradients_k: &[f64]) -> Vec<f64> {
+    let n = gradients_k.len();
+    // The same clamp waterfill applies: unphysical negative measurements
+    // count as zero, per the `allocate` contract.
+    let g: Vec<f64> = gradients_k.iter().map(|&x| x.max(0.0)).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    // Descending by gradient; equal gradients keep index order, so the
+    // allocation is deterministic whatever produced the measurements.
+    order.sort_by(|&a, &b| {
+        g[b].partial_cmp(&g[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut alloc = vec![budget.min_scale; n];
+    let mut remaining = budget.total_scale;
+    let mut left = n;
+    for &i in &order {
+        // The most this stack can take while every later stack still gets
+        // its minimum share.
+        let affordable = remaining - (left - 1) as f64 * budget.min_scale;
+        alloc[i] = affordable.clamp(budget.min_scale, budget.max_scale);
+        remaining -= alloc[i];
+        left -= 1;
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn budget3() -> PumpBudget {
+        PumpBudget::per_stack(1.0, 3)
+    }
+
+    #[test]
+    fn budget_validation() {
+        assert!(budget3().validate(3).is_ok());
+        assert!(budget3().validate(0).is_err());
+        // 3-stack budget cannot feed 10 stacks at the valve minimum…
+        assert!(budget3().validate(10).is_err());
+        // …nor can 1 stack absorb it under the valve maximum.
+        assert!(budget3().validate(1).is_err());
+        let mut b = budget3();
+        b.min_scale = -1.0;
+        assert!(b.validate(3).is_err());
+        let mut b = budget3();
+        b.max_scale = 0.1;
+        assert!(b.validate(3).is_err());
+        let mut b = budget3();
+        b.total_scale = f64::NAN;
+        assert!(b.validate(3).is_err());
+    }
+
+    #[test]
+    fn uniform_splits_evenly() {
+        let alloc = allocate(BudgetPolicy::Uniform, &budget3(), &[5.0, 1.0, 0.0]).unwrap();
+        assert_eq!(alloc, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn waterfill_favors_the_hot_stack_and_conserves() {
+        let b = budget3();
+        let alloc = allocate(BudgetPolicy::GradientWaterfill, &b, &[10.0, 8.0, 6.0]).unwrap();
+        let sum: f64 = alloc.iter().sum();
+        assert!((sum - b.total_scale).abs() < 1e-9, "sum {sum}");
+        assert!(alloc[0] > alloc[1] && alloc[1] > alloc[2], "{alloc:?}");
+        for &a in &alloc {
+            assert!((b.min_scale..=b.max_scale).contains(&a), "{alloc:?}");
+        }
+    }
+
+    #[test]
+    fn waterfill_caps_at_the_valve_and_repours() {
+        let b = budget3();
+        // One overwhelming stack: it pins at max_scale, the rest split the
+        // remainder in proportion.
+        let alloc = allocate(BudgetPolicy::GradientWaterfill, &b, &[1e6, 1.0, 1.0]).unwrap();
+        assert!((alloc[0] - b.max_scale).abs() < 1e-12, "{alloc:?}");
+        assert!((alloc[1] - alloc[2]).abs() < 1e-12);
+        let sum: f64 = alloc.iter().sum();
+        assert!((sum - b.total_scale).abs() < 1e-9);
+    }
+
+    #[test]
+    fn waterfill_spills_to_idle_stacks_when_needed() {
+        // Both loaded stacks saturate at max (2 × 1.5); one unit of budget
+        // is still unspent and must land on the idle stacks even though
+        // they measured nothing.
+        let b = PumpBudget {
+            total_scale: 5.0,
+            min_scale: 0.5,
+            max_scale: 1.5,
+        };
+        let alloc = allocate(BudgetPolicy::GradientWaterfill, &b, &[9.0, 9.0, 0.0, 0.0]).unwrap();
+        assert!((alloc[0] - b.max_scale).abs() < 1e-12);
+        assert!((alloc[1] - b.max_scale).abs() < 1e-12);
+        let sum: f64 = alloc.iter().sum();
+        assert!((sum - b.total_scale).abs() < 1e-9, "{alloc:?}");
+        assert!(
+            alloc[2] > b.min_scale && alloc[3] > b.min_scale,
+            "{alloc:?}"
+        );
+    }
+
+    #[test]
+    fn waterfill_with_no_measurements_is_uniform() {
+        let alloc = allocate(BudgetPolicy::GradientWaterfill, &budget3(), &[0.0; 3]).unwrap();
+        assert_eq!(alloc, vec![1.0; 3]);
+        // Negative (unphysical) measurements clamp to zero.
+        let alloc = allocate(BudgetPolicy::GradientWaterfill, &budget3(), &[-3.0; 3]).unwrap();
+        assert_eq!(alloc, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn greedy_is_hottest_first_bang_bang() {
+        let b = budget3();
+        let alloc = allocate(BudgetPolicy::Greedy, &b, &[1.0, 10.0, 5.0]).unwrap();
+        // Hottest (index 1) grabs the max; the next (index 2) takes what is
+        // affordable over the coldest's minimum; the coldest gets the min.
+        assert!((alloc[1] - b.max_scale).abs() < 1e-12, "{alloc:?}");
+        assert!((alloc[0] - b.min_scale).abs() < 1e-12, "{alloc:?}");
+        let sum: f64 = alloc.iter().sum();
+        assert!((sum - b.total_scale).abs() < 1e-9);
+        // Ties resolve by index, deterministically.
+        let tied = allocate(BudgetPolicy::Greedy, &b, &[7.0, 7.0, 7.0]).unwrap();
+        assert!((tied[0] - b.max_scale).abs() < 1e-12, "{tied:?}");
+        assert!((tied[2] - b.min_scale).abs() < 1e-12, "{tied:?}");
+    }
+
+    #[test]
+    fn greedy_clamps_negative_measurements_to_zero() {
+        // Under the clamp contract, -2.0 and -1.0 both count as 0: the tie
+        // resolves by index, so stack 0 (not the "less negative" stack 1)
+        // takes the valve maximum.
+        let b = budget3();
+        let alloc = allocate(BudgetPolicy::Greedy, &b, &[-2.0, -1.0, 5.0]).unwrap();
+        assert!((alloc[2] - b.max_scale).abs() < 1e-12, "{alloc:?}");
+        assert!(alloc[0] >= alloc[1], "{alloc:?}");
+        let sum: f64 = alloc.iter().sum();
+        assert!((sum - b.total_scale).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_finite_gradients_are_rejected() {
+        assert!(allocate(
+            BudgetPolicy::GradientWaterfill,
+            &budget3(),
+            &[1.0, f64::NAN, 0.0]
+        )
+        .is_err());
+        assert!(allocate(BudgetPolicy::Greedy, &budget3(), &[f64::INFINITY, 0.0, 0.0]).is_err());
+    }
+}

@@ -1,0 +1,307 @@
+//! The fleet sharding sweep: pump-budget variants through policy
+//! head-to-heads.
+//!
+//! One variant = one fleet at one pump budget, evaluated under **all
+//! three** [`BudgetPolicy`]s on identical traces; a [`FleetRow`] records
+//! the head-to-head on the worst stack's time-peak inter-layer gradient.
+//! The bench `sweep -- fleet` mode gates on
+//! [`BudgetPolicy::GradientWaterfill`] strictly beating
+//! [`BudgetPolicy::Uniform`] in every row.
+
+use super::allocator::{BudgetPolicy, PumpBudget};
+use super::shard::{run_fleet, FleetOptions, FleetOutcome, StackSpec};
+use crate::mpsoc::{ArchSpec, MpsocConfig, MpsocTraceSpec};
+use crate::sweep::ExecutionMode;
+use crate::transient::EpochPolicy;
+use crate::{CsvTable, Result};
+use std::time::{Duration, Instant};
+
+/// The axes of a fleet sweep: one fleet composition through a ladder of
+/// pump budgets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetGrid {
+    /// The fleet composition every variant runs.
+    pub stacks: Vec<StackSpec>,
+    /// Average per-stack flow scales to provision the pump at (each
+    /// expands to [`PumpBudget::per_stack`]).
+    pub budget_scales: Vec<f64>,
+}
+
+impl FleetGrid {
+    /// The default bench grid: all three Fig. 7 architectures under the
+    /// Niagara average→peak burst, at an under-provisioned (0.85×) and a
+    /// nominal (1.0×) pump budget — the under-provisioned point is where
+    /// reallocation earns its keep.
+    #[must_use]
+    pub fn bench_default() -> Self {
+        Self {
+            stacks: ArchSpec::all()
+                .into_iter()
+                .map(|arch| StackSpec {
+                    arch,
+                    trace: MpsocTraceSpec::avg_to_peak(),
+                })
+                .collect(),
+            budget_scales: vec![0.85, 1.0],
+        }
+    }
+
+    /// Number of variants in the grid.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        if self.stacks.is_empty() {
+            0
+        } else {
+            self.budget_scales.len()
+        }
+    }
+
+    /// `true` when the grid has no variants.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the grid in stable report order (budget ladder).
+    #[must_use]
+    pub fn variants(&self) -> Vec<FleetVariant> {
+        self.budget_scales
+            .iter()
+            .enumerate()
+            .map(|(index, &avg_scale)| FleetVariant {
+                index,
+                n_stacks: self.stacks.len(),
+                avg_scale,
+            })
+            .collect()
+    }
+}
+
+/// One concrete point of a fleet sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetVariant {
+    /// Position in grid order (also the row position in the report).
+    pub index: usize,
+    /// Fleet size the budget is provisioned for.
+    pub n_stacks: usize,
+    /// Average per-stack flow scale of the pump budget.
+    pub avg_scale: f64,
+}
+
+impl FleetVariant {
+    /// Human-readable variant label, e.g. `fleet3 B*0.85`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("fleet{} B*{:.2}", self.n_stacks, self.avg_scale)
+    }
+}
+
+/// Configuration of one fleet sweep run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSweepOptions {
+    /// Base per-stack configuration each variant shares.
+    pub config: MpsocConfig,
+    /// Per-stack width-modulation policy inside each segment.
+    pub policy: EpochPolicy,
+    /// Duration of every trace phase, seconds.
+    pub phase_seconds: f64,
+    /// Reallocation epochs per trace phase.
+    pub segments_per_phase: usize,
+    /// Scheduling mode of the per-segment stack fan-out.
+    pub mode: ExecutionMode,
+}
+
+impl FleetSweepOptions {
+    /// The fast configuration, mirroring the bench MPSoC mode's clock.
+    #[must_use]
+    pub fn fast(mode: ExecutionMode) -> Self {
+        Self {
+            config: MpsocConfig::fast(),
+            policy: EpochPolicy::FixedCadence { epoch_steps: 8 },
+            phase_seconds: 0.032,
+            segments_per_phase: 2,
+            mode,
+        }
+    }
+}
+
+/// The three-policy head-to-head of one fleet variant, on the worst
+/// stack's time-peak inter-layer gradient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRow {
+    /// The variant the metrics belong to.
+    pub variant: FleetVariant,
+    /// Worst-stack time-peak gradient under [`BudgetPolicy::Uniform`],
+    /// kelvin.
+    pub worst_gradient_uniform_k: f64,
+    /// Worst-stack time-peak gradient under
+    /// [`BudgetPolicy::GradientWaterfill`], kelvin.
+    pub worst_gradient_waterfill_k: f64,
+    /// Worst-stack time-peak gradient under [`BudgetPolicy::Greedy`],
+    /// kelvin.
+    pub worst_gradient_greedy_k: f64,
+    /// Waterfill's reduction vs uniform, as a signed fraction.
+    pub waterfill_reduction: f64,
+    /// Greedy's reduction vs uniform, as a signed fraction.
+    pub greedy_reduction: f64,
+    /// Fleet-wide time-peak silicon temperature of the waterfill run,
+    /// kelvin.
+    pub peak_temperature_waterfill_k: f64,
+    /// The waterfill run's final-segment allocation (flow share per
+    /// stack, spec order) — where the allocator ended up steering.
+    pub waterfill_final_allocation: Vec<f64>,
+    /// Objective evaluations the waterfill run spent across all stacks.
+    pub evaluations: usize,
+}
+
+/// The collected result of one fleet sweep invocation.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// One row per variant, in grid order.
+    pub rows: Vec<FleetRow>,
+    /// Worker threads the per-segment stack fan-outs actually used.
+    pub workers: usize,
+    /// Wall-clock time of the evaluation phase.
+    pub wall: Duration,
+}
+
+impl FleetReport {
+    /// Renders the report as the workspace's standard table format.
+    #[must_use]
+    pub fn to_table(&self) -> CsvTable {
+        let mut table = CsvTable::new(vec![
+            "variant",
+            "worst grad uniform [K]",
+            "worst grad waterfill [K]",
+            "worst grad greedy [K]",
+            "waterfill red. [%]",
+            "greedy red. [%]",
+            "peak T waterfill [K]",
+            "final allocation",
+            "evals",
+        ]);
+        for row in &self.rows {
+            table.push_row(vec![
+                row.variant.label(),
+                format!("{:.3}", row.worst_gradient_uniform_k),
+                format!("{:.3}", row.worst_gradient_waterfill_k),
+                format!("{:.3}", row.worst_gradient_greedy_k),
+                format!("{:.1}", row.waterfill_reduction * 100.0),
+                format!("{:.1}", row.greedy_reduction * 100.0),
+                format!("{:.2}", row.peak_temperature_waterfill_k),
+                row.waterfill_final_allocation
+                    .iter()
+                    .map(|s| format!("{s:.2}"))
+                    .collect::<Vec<_>>()
+                    .join("/"),
+                format!("{}", row.evaluations),
+            ]);
+        }
+        table
+    }
+}
+
+/// Evaluates one fleet variant: the same fleet and traces under all three
+/// budget policies, head-to-head.
+///
+/// # Errors
+///
+/// Propagates fleet-run failures.
+pub fn evaluate_fleet_variant(
+    variant: &FleetVariant,
+    stacks: &[StackSpec],
+    options: &FleetSweepOptions,
+) -> Result<FleetRow> {
+    let budget = PumpBudget::per_stack(variant.avg_scale, stacks.len());
+    let run = |allocation: BudgetPolicy| -> Result<FleetOutcome> {
+        run_fleet(
+            stacks,
+            &FleetOptions {
+                config: options.config.clone(),
+                policy: options.policy,
+                allocation,
+                budget: budget.clone(),
+                phase_seconds: options.phase_seconds,
+                segments_per_phase: options.segments_per_phase,
+                mode: options.mode,
+            },
+        )
+    };
+    let uniform = run(BudgetPolicy::Uniform)?;
+    let waterfill = run(BudgetPolicy::GradientWaterfill)?;
+    let greedy = run(BudgetPolicy::Greedy)?;
+    let worst_uniform = uniform.worst_stack_peak_gradient_k();
+    let reduction = |worst: f64| {
+        if worst_uniform > 0.0 {
+            (worst_uniform - worst) / worst_uniform
+        } else {
+            0.0
+        }
+    };
+    Ok(FleetRow {
+        variant: variant.clone(),
+        worst_gradient_uniform_k: worst_uniform,
+        worst_gradient_waterfill_k: waterfill.worst_stack_peak_gradient_k(),
+        worst_gradient_greedy_k: greedy.worst_stack_peak_gradient_k(),
+        waterfill_reduction: reduction(waterfill.worst_stack_peak_gradient_k()),
+        greedy_reduction: reduction(greedy.worst_stack_peak_gradient_k()),
+        peak_temperature_waterfill_k: waterfill.peak_temperature_k(),
+        waterfill_final_allocation: waterfill.allocations.last().cloned().unwrap_or_default(),
+        evaluations: waterfill.total_evaluations(),
+    })
+}
+
+/// Runs every variant of `grid` under `options` and collects the report.
+///
+/// Variants run one after another; the parallelism lives *inside* each
+/// fleet run (stacks fan out per segment — the fleet is the sharding
+/// unit), so worker counts affect scheduling only and rows are bitwise
+/// identical across execution modes, like every sweep engine in the
+/// workspace.
+///
+/// # Errors
+///
+/// Returns the first variant failure in grid order.
+pub fn run_fleet_sweep(grid: &FleetGrid, options: &FleetSweepOptions) -> Result<FleetReport> {
+    let workers = super::shard::resolved_fleet_workers(options.mode, grid.stacks.len());
+    let start = Instant::now();
+    let rows = grid
+        .variants()
+        .iter()
+        .map(|v| evaluate_fleet_variant(v, &grid.stacks, options))
+        .collect::<Result<Vec<_>>>()?;
+    Ok(FleetReport {
+        rows,
+        workers,
+        wall: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_expansion_and_labels() {
+        let grid = FleetGrid::bench_default();
+        assert_eq!(grid.len(), 2);
+        assert!(!grid.is_empty());
+        let variants = grid.variants();
+        assert!(variants.iter().enumerate().all(|(i, v)| v.index == i));
+        assert_eq!(variants[0].label(), "fleet3 B*0.85");
+        assert_eq!(variants[1].label(), "fleet3 B*1.00");
+        let empty = FleetGrid {
+            stacks: vec![],
+            budget_scales: vec![1.0],
+        };
+        assert!(empty.is_empty());
+        assert_eq!(
+            FleetGrid {
+                budget_scales: vec![],
+                ..FleetGrid::bench_default()
+            }
+            .len(),
+            0
+        );
+    }
+}

@@ -1,0 +1,575 @@
+//! The shard scheduler: one fleet run — N stacks, one pump, segment-wise
+//! reallocation.
+
+use super::allocator::{allocate, BudgetPolicy, PumpBudget};
+use crate::mpsoc::{ArchSpec, MpsocModulated, MpsocTraceSpec};
+use crate::sweep::{parallel_map, ExecutionMode};
+use crate::transient::{EpochPolicy, ModulationPolicy, ResumeState};
+use crate::{mpsoc::MpsocConfig, CoreError, CsvTable, Result};
+use liquamod_floorplan::arch::Architecture;
+use liquamod_floorplan::trace::{Phase, PowerTrace};
+use std::time::{Duration, Instant};
+
+/// One stack of a fleet: a Fig. 7 architecture with its own workload
+/// trace. All stacks share the base [`MpsocConfig`] (geometry, optimizer,
+/// clock); only the coolant-flow share differs, driven by the allocator
+/// through [`MpsocConfig::with_flow_scale`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StackSpec {
+    /// Which Fig. 7 architecture this stack is.
+    pub arch: ArchSpec,
+    /// The stack's workload trace.
+    pub trace: MpsocTraceSpec,
+}
+
+impl StackSpec {
+    /// Human-readable stack label, e.g. `arch1 avg-peak`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{} {}", self.arch.label(), self.trace.label())
+    }
+}
+
+/// Configuration of one fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOptions {
+    /// Base per-stack configuration at nominal (scale-1) flow.
+    pub config: MpsocConfig,
+    /// Per-stack width-modulation policy inside each segment (every
+    /// segment also re-optimizes at its first step, since the flow share
+    /// may just have changed).
+    pub policy: EpochPolicy,
+    /// How the shared budget is split at each reallocation epoch.
+    pub allocation: BudgetPolicy,
+    /// The shared pump budget.
+    pub budget: PumpBudget,
+    /// Duration of every trace phase, seconds.
+    pub phase_seconds: f64,
+    /// Reallocation epochs per trace phase: each phase is cut into this
+    /// many equal segments, and the allocator re-splits the budget at
+    /// every segment boundary from the gradients the previous segment
+    /// measured. 1 = reallocate only on phase changes.
+    pub segments_per_phase: usize,
+    /// Scheduling mode of the per-segment stack fan-out.
+    pub mode: ExecutionMode,
+}
+
+impl FleetOptions {
+    /// The fast configuration for a fleet of `n_stacks`: the MPSoC bench
+    /// stack resolution, an 8-step epoch cadence, 16-step phases cut into
+    /// two reallocation segments, and a nominal (average scale 1.0) pump
+    /// budget.
+    #[must_use]
+    pub fn fast(n_stacks: usize, mode: ExecutionMode) -> Self {
+        Self {
+            config: MpsocConfig::fast(),
+            policy: EpochPolicy::FixedCadence { epoch_steps: 8 },
+            allocation: BudgetPolicy::GradientWaterfill,
+            budget: PumpBudget::per_stack(1.0, n_stacks),
+            phase_seconds: 0.032,
+            segments_per_phase: 2,
+            mode,
+        }
+    }
+}
+
+/// Metrics of one stack over one reallocation segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentMetrics {
+    /// Segment index within the fleet run.
+    pub segment: usize,
+    /// Label of the workload phase the segment belongs to.
+    pub phase: String,
+    /// The flow share the allocator granted this stack for the segment.
+    pub flow_scale: f64,
+    /// Time-peak inter-layer gradient within the segment, kelvin.
+    pub peak_gradient_k: f64,
+    /// Time-peak silicon temperature within the segment, kelvin.
+    pub peak_temperature_k: f64,
+    /// Modulation epochs fired within the segment.
+    pub epochs: usize,
+    /// Epochs whose candidate profile was adopted.
+    pub epochs_adopted: usize,
+    /// Objective evaluations spent within the segment.
+    pub evaluations: usize,
+}
+
+/// One stack's full trajectory through a fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StackRun {
+    /// What this stack is.
+    pub spec: StackSpec,
+    /// Per-segment metrics, in time order.
+    pub segments: Vec<SegmentMetrics>,
+}
+
+impl StackRun {
+    /// Time-peak inter-layer gradient across the whole run, kelvin.
+    #[must_use]
+    pub fn peak_gradient_k(&self) -> f64 {
+        self.segments
+            .iter()
+            .map(|s| s.peak_gradient_k)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Time-peak silicon temperature across the whole run, kelvin.
+    #[must_use]
+    pub fn peak_temperature_k(&self) -> f64 {
+        self.segments
+            .iter()
+            .map(|s| s.peak_temperature_k)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Total modulation epochs across the run.
+    #[must_use]
+    pub fn epochs(&self) -> usize {
+        self.segments.iter().map(|s| s.epochs).sum()
+    }
+
+    /// Total adopted epochs across the run.
+    #[must_use]
+    pub fn epochs_adopted(&self) -> usize {
+        self.segments.iter().map(|s| s.epochs_adopted).sum()
+    }
+
+    /// Total optimizer objective evaluations across the run.
+    #[must_use]
+    pub fn evaluations(&self) -> usize {
+        self.segments.iter().map(|s| s.evaluations).sum()
+    }
+}
+
+/// The collected result of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// The allocation policy the run used.
+    pub allocation: BudgetPolicy,
+    /// One trajectory per stack, in spec order.
+    pub stacks: Vec<StackRun>,
+    /// The allocator's decisions: `allocations[segment][stack]` flow
+    /// shares (segment 0 is always the uniform split — there is nothing
+    /// measured yet).
+    pub allocations: Vec<Vec<f64>>,
+    /// Worker threads the per-segment stack fan-out actually used.
+    pub workers: usize,
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+}
+
+impl FleetOutcome {
+    /// The fleet's headline metric: the worst stack's time-peak
+    /// inter-layer gradient, kelvin — what the shared budget is being
+    /// spent to minimize.
+    #[must_use]
+    pub fn worst_stack_peak_gradient_k(&self) -> f64 {
+        self.stacks
+            .iter()
+            .map(StackRun::peak_gradient_k)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The stack attaining [`FleetOutcome::worst_stack_peak_gradient_k`]
+    /// (first in spec order on exact ties).
+    #[must_use]
+    pub fn worst_stack(&self) -> Option<&StackRun> {
+        // Replace only on a strict improvement, so exact ties keep the
+        // earliest stack in spec order.
+        self.stacks.iter().reduce(|best, s| {
+            if s.peak_gradient_k() > best.peak_gradient_k() {
+                s
+            } else {
+                best
+            }
+        })
+    }
+
+    /// Time-peak silicon temperature across the whole fleet, kelvin.
+    #[must_use]
+    pub fn peak_temperature_k(&self) -> f64 {
+        self.stacks
+            .iter()
+            .map(StackRun::peak_temperature_k)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Total optimizer objective evaluations across the fleet.
+    #[must_use]
+    pub fn total_evaluations(&self) -> usize {
+        self.stacks.iter().map(StackRun::evaluations).sum()
+    }
+
+    /// Renders one row per (stack, segment) in the workspace's standard
+    /// table format.
+    #[must_use]
+    pub fn to_table(&self) -> CsvTable {
+        let mut table = CsvTable::new(vec![
+            "stack",
+            "segment",
+            "phase",
+            "flow share",
+            "peak grad [K]",
+            "peak T [K]",
+            "epochs",
+            "adopted",
+            "evals",
+        ]);
+        for stack in &self.stacks {
+            for seg in &stack.segments {
+                table.push_row(vec![
+                    stack.spec.label(),
+                    format!("{}", seg.segment),
+                    seg.phase.clone(),
+                    format!("{:.3}", seg.flow_scale),
+                    format!("{:.3}", seg.peak_gradient_k),
+                    format!("{:.2}", seg.peak_temperature_k),
+                    format!("{}", seg.epochs),
+                    format!("{}", seg.epochs_adopted),
+                    format!("{}", seg.evaluations),
+                ]);
+            }
+        }
+        table
+    }
+}
+
+/// The worker count a fleet of `n_stacks` resolves `mode` to: the
+/// per-segment stack fan-out can never use more workers than stacks.
+/// Shared with [`super::report::run_fleet_sweep`] so the reported count
+/// cannot drift from the scheduling.
+pub(crate) fn resolved_fleet_workers(mode: ExecutionMode, n_stacks: usize) -> usize {
+    if n_stacks <= 1 {
+        1
+    } else {
+        mode.resolved_workers().max(1).min(n_stacks)
+    }
+}
+
+/// Cuts one stack's trace into `segments_per_phase` equal segments per
+/// phase, each a single-phase trace of its own.
+fn segment_traces(
+    trace: &PowerTrace<crate::mpsoc::MpsocLoad>,
+    per_phase: usize,
+) -> Vec<PowerTrace<crate::mpsoc::MpsocLoad>> {
+    trace
+        .phases()
+        .iter()
+        .flat_map(|p| {
+            (0..per_phase).map(|k| {
+                PowerTrace::new(vec![Phase {
+                    label: if per_phase == 1 {
+                        p.label.clone()
+                    } else {
+                        format!("{}#{k}", p.label)
+                    },
+                    duration_seconds: p.duration_seconds / per_phase as f64,
+                    load: p.load.clone(),
+                }])
+            })
+        })
+        .collect()
+}
+
+/// Runs a fleet of stacks through their traces under one shared pump
+/// budget.
+///
+/// Time is cut into *reallocation segments* (`segments_per_phase` per
+/// trace phase, aligned across stacks). Segment 0 always starts from the
+/// uniform split — nothing is measured yet. At every later segment
+/// boundary the allocator ([`allocate`]) re-splits the budget from the
+/// time-peak gradients each stack measured over the previous segment;
+/// within a segment, every stack steps its five-layer two-cavity stack
+/// through the modulation loop at its granted flow share, the thermal
+/// state carried over exactly across reallocations
+/// ([`ModulationController::run_resumed`]).
+///
+/// Stacks fan out across worker threads per segment through the shared
+/// [`parallel_map`] scheduler; the allocator runs between segments on the
+/// calling thread from deterministic inputs, so parallel and serial fleet
+/// runs are bitwise identical — the same guarantee as every sweep engine
+/// in the workspace.
+///
+/// [`ModulationController::run_resumed`]: crate::transient::ModulationController::run_resumed
+/// [`parallel_map`]: crate::sweep
+///
+/// # Errors
+///
+/// [`CoreError::InvalidConfig`] when the fleet is empty, the budget is
+/// infeasible for its size, `segments_per_phase` is zero, a segment would
+/// be shorter than one time step, or the stacks' traces disagree on phase
+/// count; stack-level model/optimizer/stepper failures propagate (first
+/// stack in spec order wins).
+pub fn run_fleet(stacks: &[StackSpec], options: &FleetOptions) -> Result<FleetOutcome> {
+    let n = stacks.len();
+    options.budget.validate(n)?;
+    if options.segments_per_phase == 0 {
+        return Err(CoreError::InvalidConfig {
+            what: "segments_per_phase must be ≥ 1".into(),
+        });
+    }
+    let seg_seconds = options.phase_seconds / options.segments_per_phase as f64;
+    if !(seg_seconds.is_finite() && seg_seconds >= options.config.dt_seconds) {
+        return Err(CoreError::InvalidConfig {
+            what: format!(
+                "a reallocation segment of {seg_seconds} s is shorter than one {} s step",
+                options.config.dt_seconds
+            ),
+        });
+    }
+
+    let archs: Vec<Architecture> = stacks.iter().map(|s| s.arch.architecture()).collect();
+    let segmented: Vec<Vec<_>> = stacks
+        .iter()
+        .zip(&archs)
+        .map(|(s, arch)| {
+            let trace = s.trace.trace(
+                arch,
+                options.phase_seconds,
+                options.config.nx,
+                options.config.nz,
+            );
+            segment_traces(&trace, options.segments_per_phase)
+        })
+        .collect();
+    let n_segments = segmented[0].len();
+    if let Some((i, bad)) = segmented
+        .iter()
+        .enumerate()
+        .find(|(_, s)| s.len() != n_segments)
+    {
+        return Err(CoreError::InvalidConfig {
+            what: format!(
+                "fleet traces must align: stack 0 has {n_segments} segments, stack {i} has {}",
+                bad.len()
+            ),
+        });
+    }
+
+    let workers = resolved_fleet_workers(options.mode, n);
+    let start = Instant::now();
+    let mut allocations: Vec<Vec<f64>> = Vec::with_capacity(n_segments);
+    let mut alloc = allocate(BudgetPolicy::Uniform, &options.budget, &vec![0.0; n])?;
+    let mut carries: Vec<Option<ResumeState>> = vec![None; n];
+    let mut per_stack: Vec<Vec<SegmentMetrics>> = vec![Vec::with_capacity(n_segments); n];
+
+    // Indexing by segment spans several per-stack tables (`segmented`,
+    // `carries`, `per_stack`), so a range loop reads clearer than zipped
+    // iterators here.
+    #[allow(clippy::needless_range_loop)]
+    for seg in 0..n_segments {
+        let indices: Vec<usize> = (0..n).collect();
+        let run_one = |&i: &usize| {
+            let config = options.config.with_flow_scale(alloc[i])?;
+            let family = MpsocModulated::for_arch(&archs[i], config)?;
+            family
+                .controller(ModulationPolicy::Modulated(options.policy))?
+                .run_resumed(&segmented[i][seg], carries[i].clone())
+        };
+        let results = if workers == 1 {
+            indices.iter().map(run_one).collect::<Vec<_>>()
+        } else {
+            parallel_map(&indices, workers, run_one)
+        };
+
+        let mut gradients = Vec::with_capacity(n);
+        for (i, result) in results.into_iter().enumerate() {
+            let (outcome, resume) = result?;
+            gradients.push(outcome.peak_gradient_k());
+            per_stack[i].push(SegmentMetrics {
+                segment: seg,
+                phase: segmented[i][seg].phases()[0].label.clone(),
+                flow_scale: alloc[i],
+                peak_gradient_k: outcome.peak_gradient_k(),
+                peak_temperature_k: outcome.peak_temperature_k(),
+                epochs: outcome.epochs.len(),
+                epochs_adopted: outcome.epochs_adopted(),
+                evaluations: outcome.total_evaluations(),
+            });
+            carries[i] = Some(resume);
+        }
+        allocations.push(std::mem::take(&mut alloc));
+        if seg + 1 < n_segments {
+            alloc = allocate(options.allocation, &options.budget, &gradients)?;
+        }
+    }
+
+    Ok(FleetOutcome {
+        allocation: options.allocation,
+        stacks: stacks
+            .iter()
+            .zip(per_stack)
+            .map(|(spec, segments)| StackRun {
+                spec: spec.clone(),
+                segments,
+            })
+            .collect(),
+        allocations,
+        workers,
+        wall: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::OptimizationConfig;
+
+    pub(super) fn tiny_config() -> MpsocConfig {
+        MpsocConfig {
+            optimizer: OptimizationConfig {
+                segments: 2,
+                mesh_intervals: 32,
+                ..OptimizationConfig::fast()
+            },
+            nx: 20,
+            nz: 11,
+            n_groups: 2,
+            ..MpsocConfig::fast()
+        }
+    }
+
+    pub(super) fn tiny_options(n_stacks: usize, mode: ExecutionMode) -> FleetOptions {
+        let config = tiny_config();
+        FleetOptions {
+            policy: EpochPolicy::FixedCadence { epoch_steps: 6 },
+            phase_seconds: 6.0 * config.dt_seconds,
+            segments_per_phase: 1,
+            config,
+            ..FleetOptions::fast(n_stacks, mode)
+        }
+    }
+
+    fn two_stacks() -> Vec<StackSpec> {
+        vec![
+            StackSpec {
+                arch: ArchSpec::Arch1,
+                trace: MpsocTraceSpec::avg_to_peak(),
+            },
+            StackSpec {
+                arch: ArchSpec::Arch3,
+                trace: MpsocTraceSpec::avg_to_peak(),
+            },
+        ]
+    }
+
+    #[test]
+    fn fleet_validation() {
+        let stacks = two_stacks();
+        let options = tiny_options(2, ExecutionMode::Serial);
+        assert!(run_fleet(&[], &options).is_err(), "empty fleet");
+        assert!(
+            run_fleet(
+                &stacks,
+                &FleetOptions {
+                    segments_per_phase: 0,
+                    ..options.clone()
+                }
+            )
+            .is_err(),
+            "zero segments per phase"
+        );
+        assert!(
+            run_fleet(
+                &stacks,
+                &FleetOptions {
+                    segments_per_phase: 1000,
+                    ..options.clone()
+                }
+            )
+            .is_err(),
+            "sub-step segments"
+        );
+        // A budget below 2 × min_scale cannot keep both stacks wetted.
+        assert!(run_fleet(
+            &stacks,
+            &FleetOptions {
+                budget: crate::fleet::PumpBudget {
+                    total_scale: 0.8,
+                    min_scale: 0.5,
+                    max_scale: 1.5,
+                },
+                ..options.clone()
+            }
+        )
+        .is_err());
+        // Misaligned traces are rejected.
+        let misaligned = vec![
+            stacks[0].clone(),
+            StackSpec {
+                arch: ArchSpec::Arch3,
+                trace: MpsocTraceSpec::LevelSteps {
+                    levels: vec![liquamod_floorplan::PowerLevel::Peak],
+                },
+            },
+        ];
+        assert!(run_fleet(&misaligned, &options).is_err());
+    }
+
+    #[test]
+    fn segment_zero_is_uniform_and_allocations_track_segments() {
+        let stacks = two_stacks();
+        let options = FleetOptions {
+            segments_per_phase: 2,
+            ..tiny_options(2, ExecutionMode::Serial)
+        };
+        let outcome = run_fleet(&stacks, &options).unwrap();
+        // avg→peak is 2 phases × 2 segments each.
+        assert_eq!(outcome.allocations.len(), 4);
+        let share = options.budget.uniform_share(2);
+        assert_eq!(outcome.allocations[0], vec![share; 2]);
+        for alloc in &outcome.allocations {
+            let sum: f64 = alloc.iter().sum();
+            assert!((sum - options.budget.total_scale).abs() < 1e-9, "{alloc:?}");
+        }
+        // Later segments shift flow toward the hotter stack (arch1 runs much
+        // hotter than the all-cache arch3).
+        assert!(
+            outcome.allocations[1][0] > outcome.allocations[1][1],
+            "{:?}",
+            outcome.allocations
+        );
+        for stack in &outcome.stacks {
+            assert_eq!(stack.segments.len(), 4);
+            assert!(stack.peak_gradient_k() > 0.0);
+            assert!(stack.peak_temperature_k() > 300.0);
+            // Segment metrics echo the allocator's decisions.
+            for (seg, m) in stack.segments.iter().enumerate() {
+                assert_eq!(m.segment, seg);
+                let i = outcome
+                    .stacks
+                    .iter()
+                    .position(|s| s.spec == stack.spec)
+                    .unwrap();
+                assert_eq!(m.flow_scale, outcome.allocations[seg][i]);
+            }
+        }
+        assert!(outcome.worst_stack_peak_gradient_k() >= outcome.stacks[1].peak_gradient_k());
+        assert_eq!(
+            outcome.worst_stack().unwrap().spec.label(),
+            "arch1 avg-peak"
+        );
+        assert!(outcome.total_evaluations() > 0);
+        assert_eq!(outcome.to_table().len(), 8, "2 stacks × 4 segments");
+    }
+
+    #[test]
+    fn parallel_fleet_matches_serial_bitwise() {
+        let stacks = two_stacks();
+        let serial = run_fleet(&stacks, &tiny_options(2, ExecutionMode::Serial)).unwrap();
+        let parallel = run_fleet(
+            &stacks,
+            &tiny_options(
+                2,
+                ExecutionMode::Parallel {
+                    workers: std::num::NonZeroUsize::new(2),
+                },
+            ),
+        )
+        .unwrap();
+        assert_eq!(serial.stacks, parallel.stacks);
+        assert_eq!(serial.allocations, parallel.allocations);
+        assert_eq!(serial.workers, 1);
+        assert_eq!(parallel.workers, 2);
+    }
+}

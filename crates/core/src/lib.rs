@@ -26,9 +26,10 @@
 //!   that fans grids of scenario variants out across worker threads, the
 //!   [`transient`] subsystem that closes the modulation loop over
 //!   time-varying workload traces (epoch-based re-optimization driving the
-//!   finite-volume transient stepper), and the [`mpsoc`] subsystem that
+//!   finite-volume transient stepper), the [`mpsoc`] subsystem that
 //!   runs the paper's full two-die Fig. 7 stacks — two jointly optimized
-//!   cavities — through that same loop.
+//!   cavities — through that same loop, and the [`fleet`] sharding layer
+//!   that co-optimizes many stacks under one shared pump budget.
 //!
 //! # Quickstart
 //!
@@ -53,6 +54,7 @@ mod csv;
 mod design;
 mod error;
 pub mod experiments;
+pub mod fleet;
 pub mod mpsoc;
 mod scenario;
 pub mod sweep;
@@ -65,6 +67,10 @@ pub use design::{
     OptimizationConfig, SolverKind,
 };
 pub use error::CoreError;
+pub use fleet::{
+    allocate, run_fleet, run_fleet_sweep, BudgetPolicy, FleetGrid, FleetOutcome, FleetReport,
+    FleetRow, PumpBudget,
+};
 pub use mpsoc::{run_mpsoc_sweep, MpsocConfig, MpsocGrid, MpsocModulated, MpsocReport, MpsocRow};
 pub use scenario::{mpsoc_model, strip_model, MpsocScenario};
 pub use sweep::{
@@ -73,8 +79,8 @@ pub use sweep::{
 };
 pub use transient::{
     run_transient_sweep, CavityProfiles, EpochCandidate, EpochPolicy, ModulatedStack,
-    ModulationController, ModulationPolicy, StripModulated, TransientConfig, TransientGrid,
-    TransientOutcome, TransientReport, TransientRow, TransientSweepOptions,
+    ModulationController, ModulationPolicy, ResumeState, StripModulated, TransientConfig,
+    TransientGrid, TransientOutcome, TransientReport, TransientRow, TransientSweepOptions,
 };
 
 pub use liquamod_floorplan as floorplan;

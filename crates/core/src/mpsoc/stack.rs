@@ -64,6 +64,24 @@ impl MpsocConfig {
         }
     }
 
+    /// The configuration with the per-channel coolant flow scaled by
+    /// `scale` — the per-stack budget hook. Sweep variants use it for their
+    /// flow axis, and the fleet layer ([`crate::fleet`]) drives it with
+    /// allocator decisions: a stack's share of the shared pump budget *is*
+    /// the scale handed to this hook, so nothing else in the stack family
+    /// needs to know budgets exist. A scale of exactly 1.0 returns the
+    /// configuration unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] when `scale` is not positive and finite.
+    pub fn with_flow_scale(&self, scale: f64) -> Result<Self> {
+        let mut config = self.clone();
+        config.params.flow_rate_per_channel =
+            crate::transient::scale_flow(self.params.flow_rate_per_channel, scale)?;
+        Ok(config)
+    }
+
     fn validate(&self) -> Result<()> {
         if self.n_groups == 0 || self.nx == 0 || !self.nx.is_multiple_of(self.n_groups) {
             return Err(CoreError::InvalidConfig {

@@ -289,11 +289,7 @@ pub fn evaluate_mpsoc_variant(
     variant: &MpsocVariant,
     options: &MpsocSweepOptions,
 ) -> Result<MpsocRow> {
-    let mut config = options.config.clone();
-    if variant.flow_scale != 1.0 {
-        config.params.flow_rate_per_channel =
-            config.params.flow_rate_per_channel * variant.flow_scale;
-    }
+    let config = options.config.with_flow_scale(variant.flow_scale)?;
     let architecture = variant.arch.architecture();
     let trace = variant
         .trace

@@ -61,6 +61,32 @@ pub type StripTrace = PowerTrace<StripLoad>;
 /// two cavities with `n_groups` columns each.
 pub type CavityProfiles = Vec<Vec<WidthProfile>>;
 
+/// Carry-over state of a segmented transient run: everything
+/// [`ModulationController::run_resumed`] needs to continue a trace exactly
+/// where a previous segment left off — the node temperatures, the incumbent
+/// width profiles, and the epoch optimizer's warm-start chain.
+///
+/// The fleet sharding layer ([`crate::fleet`]) is the main consumer: it
+/// runs each stack phase by phase, reallocating the shared pump budget
+/// between segments, and threads this state through so the thermal
+/// trajectory is continuous across reallocations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResumeState {
+    /// The stepper's node temperatures at the hand-over instant
+    /// (see [`liquamod_grid_sim::TransientStepper::state`]).
+    pub state: Vec<f64>,
+    /// The incumbent per-cavity width profiles.
+    pub widths: CavityProfiles,
+    /// The last adopted epoch's optimum in normalized coordinates (warm
+    /// start of the next epoch), when any epoch has been adopted yet.
+    pub x_warm: Option<Vec<f64>>,
+    /// The measured inter-layer gradient at the hand-over instant,
+    /// kelvin — seeds the next segment's
+    /// [`EpochPolicy::GradientThreshold`] reference so resuming does not
+    /// look like a rise from zero.
+    pub last_gradient_k: f64,
+}
+
 /// What one epoch's optimizer run produced, plus the incumbent's score on
 /// the same model — everything the controller needs for its adopt/reject
 /// decision.
@@ -178,6 +204,34 @@ impl TransientConfig {
         }
         Ok(())
     }
+
+    /// The configuration with the per-channel coolant flow scaled by
+    /// `scale` — the budget hook sweep variants and budget allocators
+    /// drive instead of mutating [`ModelParams`] by hand. A scale of
+    /// exactly 1.0 returns the configuration unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] when `scale` is not positive and finite.
+    pub fn with_flow_scale(&self, scale: f64) -> Result<Self> {
+        let mut config = self.clone();
+        config.params.flow_rate_per_channel = scale_flow(self.params.flow_rate_per_channel, scale)?;
+        Ok(config)
+    }
+}
+
+/// Shared guts of the `with_flow_scale` budget hooks: validates the scale
+/// and leaves the rate bitwise untouched when it is exactly 1.0.
+pub(crate) fn scale_flow(
+    rate: liquamod_units::VolumetricFlowRate,
+    scale: f64,
+) -> Result<liquamod_units::VolumetricFlowRate> {
+    if !(scale.is_finite() && scale > 0.0) {
+        return Err(CoreError::InvalidConfig {
+            what: format!("flow scale must be positive and finite, got {scale}"),
+        });
+    }
+    Ok(if scale == 1.0 { rate } else { rate * scale })
 }
 
 /// When a modulated controller re-optimizes the widths.
@@ -595,20 +649,46 @@ impl<S: ModulatedStack> ModulationController<S> {
     ///
     /// Propagates model-construction, optimizer and stepper failures.
     pub fn run(&self, trace: &PowerTrace<S::Load>) -> Result<TransientOutcome> {
+        self.run_resumed(trace, None).map(|(outcome, _)| outcome)
+    }
+
+    /// [`ModulationController::run`] for one *segment* of a longer
+    /// schedule: starts from `resume` (or from thermal equilibrium and the
+    /// uniform widths when `None` — exactly [`ModulationController::run`])
+    /// and also returns the [`ResumeState`] at the end of the trace, so the
+    /// caller can chain segments — rebuilding the controller in between,
+    /// e.g. with a reallocated coolant-flow budget
+    /// ([`MpsocConfig::with_flow_scale`](crate::mpsoc::MpsocConfig::with_flow_scale))
+    /// — while the thermal trajectory stays continuous.
+    ///
+    /// Snapshot timestamps restart at `Δt` within each segment; callers
+    /// stitching segments into one timeline add their own offsets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction, optimizer and stepper failures.
+    pub fn run_resumed(
+        &self,
+        trace: &PowerTrace<S::Load>,
+        resume: Option<ResumeState>,
+    ) -> Result<(TransientOutcome, ResumeState)> {
         let dt = self.dt_seconds;
         let total_steps = ((trace.total_duration_seconds() / dt).round() as usize).max(1);
+        let (mut state, widths, x_warm, resume_gradient_k) = match resume {
+            Some(r) => (Some(r.state), r.widths, r.x_warm, r.last_gradient_k),
+            None => (None, self.family.uniform_widths(), None, 0.0),
+        };
         let mut ctx = EpochContext {
             family: &self.family,
             ws: SolveWorkspace::new(),
-            widths: self.family.uniform_widths(),
-            x_warm: None,
+            widths,
+            x_warm,
             epochs: Vec::new(),
             decided_at: None,
-            ref_gradient_k: 0.0,
+            ref_gradient_k: resume_gradient_k,
             dt,
         };
         let mut snapshots: Vec<TransientSnapshot> = Vec::with_capacity(total_steps);
-        let mut state: Option<Vec<f64>> = None;
         // Stack rebuilds share an assembly cache: layers whose description
         // did not change (everything but the cavities, at a widths-only
         // epoch) keep their assembled rows.
@@ -627,7 +707,11 @@ impl<S: ModulatedStack> ModulationController<S> {
                 // breaks the inner loop and lands back here at the same `n`
                 // with its decision already made.
                 if ctx.decided_at != Some(n) && policy.fires_at_boundary(n, new_phase) {
-                    let gradient_now = snapshots.last().map_or(0.0, |s| s.gradient_k);
+                    // Before any step of a resumed segment, the live
+                    // gradient is the one handed over — not zero, or a
+                    // GradientThreshold reference seeded here would see
+                    // the hand-over temperature field as a full rise.
+                    let gradient_now = snapshots.last().map_or(resume_gradient_k, |s| s.gradient_k);
                     ctx.decide(n, &trace.phases()[phase].label, load, gradient_now)?;
                 }
             }
@@ -689,11 +773,21 @@ impl<S: ModulatedStack> ModulationController<S> {
             state = Some(stepper.state().to_vec());
         }
 
-        Ok(TransientOutcome {
-            snapshots,
-            epochs: ctx.epochs,
-            dt_seconds: dt,
-        })
+        let final_state = state.expect("total_steps >= 1, so the loop ran");
+        let last_gradient_k = snapshots.last().map_or(resume_gradient_k, |s| s.gradient_k);
+        Ok((
+            TransientOutcome {
+                snapshots,
+                epochs: ctx.epochs,
+                dt_seconds: dt,
+            },
+            ResumeState {
+                state: final_state,
+                widths: ctx.widths,
+                x_warm: ctx.x_warm,
+                last_gradient_k,
+            },
+        ))
     }
 }
 
@@ -1064,11 +1158,7 @@ pub fn evaluate_transient_variant(
     variant: &TransientVariant,
     options: &TransientSweepOptions,
 ) -> Result<TransientRow> {
-    let mut config = options.config.clone();
-    if variant.flow_scale != 1.0 {
-        config.params.flow_rate_per_channel =
-            config.params.flow_rate_per_channel * variant.flow_scale;
-    }
+    let config = options.config.with_flow_scale(variant.flow_scale)?;
     let trace = variant.trace.trace(options.phase_seconds);
     let modulated =
         ModulationController::new(config.clone(), ModulationPolicy::every(options.epoch_steps))?
@@ -1324,6 +1414,49 @@ mod tests {
             outcome.epochs.iter().any(|e| e.step >= 16),
             "the post-idle excursion must re-trigger: epochs at {:?}",
             outcome.epochs.iter().map(|e| e.step).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn resumed_segment_carries_the_gradient_threshold_reference() {
+        // Warm a Test-A strip up for a whole segment, then resume: the
+        // hand-over gradient seeds the threshold reference, so the resumed
+        // segment must not treat the warm stack as a rise from zero and
+        // fire a spurious inline epoch right after its boundary decision
+        // (step 1 would be the bug's signature — one step of residual
+        // warm-up is far below the 2 K threshold).
+        let config = tiny_config();
+        let dt = config.dt_seconds;
+        let controller = ModulationController::new(
+            config,
+            ModulationPolicy::Modulated(EpochPolicy::GradientThreshold { rise_k: 2.0 }),
+        )
+        .unwrap();
+        let segment = |label: &str, steps: f64| {
+            StripTrace::new(vec![liquamod_floorplan::trace::Phase {
+                label: label.into(),
+                duration_seconds: steps * dt,
+                load: testcase::test_a(),
+            }])
+        };
+        let (_, resume) = controller
+            .run_resumed(&segment("warmup", 24.0), None)
+            .unwrap();
+        assert!(
+            resume.last_gradient_k > 2.0,
+            "warm-up must build a gradient"
+        );
+        let (second, handover) = controller
+            .run_resumed(&segment("steady", 12.0), Some(resume))
+            .unwrap();
+        let steps: Vec<usize> = second.epochs.iter().map(|e| e.step).collect();
+        assert!(
+            !steps.contains(&1),
+            "spurious epoch right after the boundary: {steps:?}"
+        );
+        assert_eq!(
+            handover.last_gradient_k.to_bits(),
+            second.snapshots.last().unwrap().gradient_k.to_bits()
         );
     }
 

@@ -1,4 +1,4 @@
-//! Reusable solve workspaces: allocation-free repeated [`Model::solve_with`]
+//! Reusable solve workspaces: allocation-free repeated [`Model::solve_with`](crate::Model::solve_with)
 //! calls.
 //!
 //! The channel-modulation optimizer evaluates the same model shape hundreds
@@ -18,11 +18,11 @@
 //! # Lifecycle
 //!
 //! Create one workspace per thread of repeated solves and pass it to
-//! [`Model::solve_with`]. The workspace adapts automatically when the model
+//! [`Model::solve_with`](crate::Model::solve_with). The workspace adapts automatically when the model
 //! shape changes (buffers reshape on the next solve), so one long-lived
 //! workspace can serve many different models — reuse is a pure optimization,
 //! never a correctness concern: a workspace-reused solve is **bitwise
-//! identical** to a fresh [`Model::solve`] (which itself routes through a
+//! identical** to a fresh [`Model::solve`](crate::Model::solve) (which itself routes through a
 //! one-shot workspace).
 //!
 //! For thread fan-outs whose worker threads are short-lived (e.g. scoped

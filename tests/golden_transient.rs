@@ -269,6 +269,7 @@ fn bench_records_declare_schema_version() {
         "BENCH_sweep.json",
         "BENCH_transient.json",
         "BENCH_mpsoc.json",
+        "BENCH_fleet.json",
     ] {
         let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(name);
         let record = std::fs::read_to_string(&path)

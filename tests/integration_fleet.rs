@@ -1,0 +1,268 @@
+//! End-to-end tests of the shared-pump fleet sharding layer: allocation
+//! invariants under random budgets (proptest), the waterfill-beats-uniform
+//! acceptance on a heterogeneous fleet, bitwise determinism of the fleet
+//! sweep across worker counts, and the segmented-resume identity that the
+//! fleet's reallocation machinery rests on.
+
+use liquamod::fleet::{
+    allocate, run_fleet, run_fleet_sweep, BudgetPolicy, FleetGrid, FleetOptions, FleetSweepOptions,
+    PumpBudget, StackSpec,
+};
+use liquamod::floorplan::{testcase, trace};
+use liquamod::mpsoc::{ArchSpec, MpsocConfig, MpsocTraceSpec};
+use liquamod::transient::{
+    EpochPolicy, ModulationController, ModulationPolicy, TransientConfig, TransientOutcome,
+};
+use liquamod::{ExecutionMode, OptimizationConfig};
+use proptest::prelude::*;
+use std::num::NonZeroUsize;
+
+/// A small-but-real per-stack configuration: 20 channel columns in 2
+/// groups, 11 cells along the flow, 2-segment control profiles.
+fn small_config() -> MpsocConfig {
+    MpsocConfig {
+        optimizer: OptimizationConfig {
+            segments: 2,
+            mesh_intervals: 32,
+            ..OptimizationConfig::fast()
+        },
+        nx: 20,
+        nz: 11,
+        n_groups: 2,
+        ..MpsocConfig::fast()
+    }
+}
+
+fn small_sweep_options(mode: ExecutionMode) -> FleetSweepOptions {
+    let config = small_config();
+    FleetSweepOptions {
+        policy: EpochPolicy::FixedCadence { epoch_steps: 6 },
+        phase_seconds: 12.0 * config.dt_seconds,
+        segments_per_phase: 2,
+        config,
+        mode,
+    }
+}
+
+fn heterogeneous_fleet() -> Vec<StackSpec> {
+    // Aligned hotspots (hottest), staggered hotspots, and the all-cache die
+    // (coolest): enough spread that the allocator has something to exploit.
+    ArchSpec::all()
+        .into_iter()
+        .map(|arch| StackSpec {
+            arch,
+            trace: MpsocTraceSpec::avg_to_peak(),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every policy's allocation sums to the pump budget (1e-9) with every
+    /// share non-negative and inside the valve band, for random fleet
+    /// sizes, gradients and per-stack provisioning.
+    #[test]
+    fn allocations_sum_to_the_pump_budget(
+        gradients in proptest::collection::vec(0.0f64..120.0, 1..9),
+        avg_scale in 0.3f64..2.0,
+    ) {
+        let budget = PumpBudget::per_stack(avg_scale, gradients.len());
+        for policy in BudgetPolicy::all() {
+            let alloc = allocate(policy, &budget, &gradients).unwrap();
+            prop_assert_eq!(alloc.len(), gradients.len());
+            let sum: f64 = alloc.iter().sum();
+            prop_assert!(
+                (sum - budget.total_scale).abs() < 1e-9,
+                "{policy:?}: sum {sum} vs budget {}", budget.total_scale
+            );
+            for &share in &alloc {
+                prop_assert!(share >= 0.0, "{policy:?}: negative share {share}");
+                prop_assert!(
+                    share >= budget.min_scale - 1e-12 && share <= budget.max_scale + 1e-12,
+                    "{policy:?}: share {share} outside [{}, {}]",
+                    budget.min_scale,
+                    budget.max_scale
+                );
+            }
+        }
+    }
+
+    /// The invariants hold for arbitrary feasible valve bands too — not
+    /// just the `per_stack` defaults — including budgets pinned at the
+    /// band's edges and gradient vectors with idle (zero) stacks.
+    #[test]
+    fn allocations_respect_arbitrary_feasible_budgets(
+        gradients in proptest::collection::vec(0.0f64..60.0, 2..7),
+        min_scale in 0.1f64..0.6,
+        headroom in 0.0f64..1.5,
+        fill in 0.0f64..1.0,
+    ) {
+        let n = gradients.len() as f64;
+        let budget = PumpBudget {
+            total_scale: n * (min_scale + fill * headroom),
+            min_scale,
+            max_scale: min_scale + headroom,
+        };
+        for policy in BudgetPolicy::all() {
+            let alloc = allocate(policy, &budget, &gradients).unwrap();
+            let sum: f64 = alloc.iter().sum();
+            prop_assert!(
+                (sum - budget.total_scale).abs() < 1e-9,
+                "{policy:?}: sum {sum} vs budget {} ({alloc:?})", budget.total_scale
+            );
+            for &share in &alloc {
+                prop_assert!(
+                    share >= budget.min_scale - 1e-12 && share <= budget.max_scale + 1e-12,
+                    "{policy:?}: share {share} outside band ({alloc:?})"
+                );
+            }
+        }
+    }
+}
+
+/// The PR's acceptance criterion at test scale: on a heterogeneous fleet
+/// under an under-provisioned shared pump, gradient water-filling strictly
+/// beats the uniform split on the worst stack's time-peak gradient, and
+/// the allocator visibly steers flow toward the hotter stacks.
+#[test]
+fn waterfill_beats_uniform_on_a_heterogeneous_fleet() {
+    let stacks = heterogeneous_fleet();
+    let config = small_config();
+    let run = |allocation: BudgetPolicy| {
+        run_fleet(
+            &stacks,
+            &FleetOptions {
+                config: config.clone(),
+                policy: EpochPolicy::FixedCadence { epoch_steps: 6 },
+                allocation,
+                budget: PumpBudget::per_stack(0.85, stacks.len()),
+                phase_seconds: 12.0 * config.dt_seconds,
+                segments_per_phase: 2,
+                mode: ExecutionMode::Serial,
+            },
+        )
+        .unwrap()
+    };
+    let uniform = run(BudgetPolicy::Uniform);
+    let waterfill = run(BudgetPolicy::GradientWaterfill);
+    assert!(
+        waterfill.worst_stack_peak_gradient_k() < uniform.worst_stack_peak_gradient_k(),
+        "waterfill {} K must undercut uniform {} K",
+        waterfill.worst_stack_peak_gradient_k(),
+        uniform.worst_stack_peak_gradient_k()
+    );
+    // Under uniform allocation every segment splits the budget evenly…
+    let share = 0.85;
+    for alloc in &uniform.allocations {
+        assert!(alloc.iter().all(|&s| (s - share).abs() < 1e-12));
+    }
+    // …while waterfill's post-measurement segments give the aligned-hotspot
+    // arch1 more flow than the all-cache arch3.
+    let last = waterfill.allocations.last().unwrap();
+    assert!(last[0] > last[2], "allocations {last:?}");
+    // Budget conservation end to end, on every segment's decision.
+    for alloc in &waterfill.allocations {
+        let sum: f64 = alloc.iter().sum();
+        assert!((sum - 0.85 * 3.0).abs() < 1e-9, "{alloc:?}");
+    }
+}
+
+/// Fleet sweeps are bitwise deterministic across execution modes and
+/// worker counts — the allocator runs between segments on the calling
+/// thread, and each stack segment is a pure function, so the schedule
+/// cannot leak into the rows.
+#[test]
+fn fleet_sweep_parallel_matches_serial_bitwise() {
+    let grid = FleetGrid {
+        stacks: heterogeneous_fleet(),
+        budget_scales: vec![0.9],
+    };
+    let serial = run_fleet_sweep(&grid, &small_sweep_options(ExecutionMode::Serial)).unwrap();
+    assert_eq!(serial.rows.len(), 1);
+    assert_eq!(serial.workers, 1);
+    for workers in [2usize, 3] {
+        let parallel = run_fleet_sweep(
+            &grid,
+            &small_sweep_options(ExecutionMode::Parallel {
+                workers: NonZeroUsize::new(workers),
+            }),
+        )
+        .unwrap();
+        // PartialEq on FleetRow compares every f64 exactly.
+        assert_eq!(serial.rows, parallel.rows, "workers = {workers}");
+        assert_eq!(parallel.workers, workers.min(grid.stacks.len()));
+    }
+    let row = &serial.rows[0];
+    assert_eq!(row.variant.label(), "fleet3 B*0.90");
+    assert!(row.worst_gradient_uniform_k.is_finite());
+    assert_eq!(row.waterfill_final_allocation.len(), 3);
+    assert!(row.evaluations > 0);
+}
+
+/// The identity the fleet's reallocation machinery rests on: chaining
+/// `run_resumed` over segments reproduces the one-shot `run` bitwise when
+/// the segments align with the epoch cadence and nothing else changes
+/// between them.
+#[test]
+fn segmented_resume_matches_one_shot_run_bitwise() {
+    let config = TransientConfig {
+        optimizer: OptimizationConfig {
+            segments: 2,
+            mesh_intervals: 32,
+            ..OptimizationConfig::fast()
+        },
+        nz: 20,
+        ..TransientConfig::fast()
+    };
+    let dt = config.dt_seconds;
+    let controller = ModulationController::new(config, ModulationPolicy::every(4)).unwrap();
+    // Two 8-step phases; 4-step segments align with the epoch cadence, so
+    // the one-shot run fires epochs at exactly the segment boundaries.
+    let trace = trace::test_b_phases(testcase::TEST_B_DEFAULT_SEED, 2, 8.0 * dt);
+    let one_shot = controller.run(&trace).unwrap();
+
+    let segment = |phase: usize, k: usize| {
+        trace::PowerTrace::new(vec![trace::Phase {
+            label: format!("{}#{k}", trace.phases()[phase].label),
+            duration_seconds: 4.0 * dt,
+            load: trace.phases()[phase].load.clone(),
+        }])
+    };
+    let mut resume = None;
+    let mut outcomes: Vec<TransientOutcome> = Vec::new();
+    for seg in 0..4 {
+        let (outcome, next) = controller
+            .run_resumed(&segment(seg / 2, seg % 2), resume)
+            .unwrap();
+        outcomes.push(outcome);
+        resume = Some(next);
+    }
+
+    let stitched: Vec<_> = outcomes.iter().flat_map(|o| &o.snapshots).collect();
+    assert_eq!(stitched.len(), one_shot.snapshots.len());
+    for (a, b) in stitched.iter().zip(&one_shot.snapshots) {
+        // Timestamps restart per segment by contract; every physical
+        // channel must agree bitwise.
+        assert_eq!(a.peak_k.to_bits(), b.peak_k.to_bits());
+        assert_eq!(a.min_k.to_bits(), b.min_k.to_bits());
+        assert_eq!(a.gradient_k.to_bits(), b.gradient_k.to_bits());
+        assert_eq!(a.injected_w.to_bits(), b.injected_w.to_bits());
+        assert_eq!(a.advected_w.to_bits(), b.advected_w.to_bits());
+        assert_eq!(a.stored_joules.to_bits(), b.stored_joules.to_bits());
+    }
+    let stitched_epochs: Vec<_> = outcomes.iter().flat_map(|o| &o.epochs).collect();
+    assert_eq!(stitched_epochs.len(), one_shot.epochs.len());
+    for (a, b) in stitched_epochs.iter().zip(&one_shot.epochs) {
+        assert_eq!(
+            a.candidate_gradient_k.to_bits(),
+            b.candidate_gradient_k.to_bits()
+        );
+        assert_eq!(
+            a.incumbent_gradient_k.to_bits(),
+            b.incumbent_gradient_k.to_bits()
+        );
+        assert_eq!(a.adopted, b.adopted);
+        assert_eq!(a.widths_um, b.widths_um);
+    }
+}
