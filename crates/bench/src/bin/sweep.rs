@@ -38,6 +38,9 @@
 //! * `--cold-start` — steady mode only: disable warm-started flow chains
 //!   (every variant's optimizer starts from the uniform-maximum baseline,
 //!   as in the paper);
+//! * `--stepper backward-euler|exponential` — transient/mpsoc/fleet modes:
+//!   pick the transient integrator backend (backward-euler is the default;
+//!   exponential is the condensed exponential-integrator fast path);
 //! * `--json [PATH]` — write a machine-readable perf record; `PATH`
 //!   defaults to `BENCH_sweep.json` (steady) / `BENCH_transient.json`
 //!   (transient) / `BENCH_mpsoc.json` (mpsoc) / `BENCH_fleet.json`
@@ -51,6 +54,7 @@
 //! throughput and the parallel speedup.
 
 use liquamod::fleet::{run_fleet_sweep, FleetGrid, FleetReport, FleetSweepOptions, StackSpec};
+use liquamod::grid_sim::{ExponentialOptions, StepperKind};
 use liquamod::mpsoc::{run_mpsoc_sweep, MpsocGrid, MpsocReport, MpsocSweepOptions};
 use liquamod::sweep::{run_sweep, ExecutionMode, SweepGrid, SweepOptions, SweepReport};
 use liquamod::transient::{
@@ -74,7 +78,17 @@ struct Args {
     workers: Option<NonZeroUsize>,
     baseline: bool,
     warm_start: bool,
+    stepper: StepperKind,
     json: Option<String>,
+}
+
+/// The record's name for a stepper backend (also the `--stepper` spelling,
+/// modulo `-` vs `_`).
+fn stepper_name(stepper: &StepperKind) -> &'static str {
+    match stepper {
+        StepperKind::BackwardEuler => "backward_euler",
+        StepperKind::Exponential(_) => "exponential",
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -84,6 +98,7 @@ fn parse_args() -> Result<Args, String> {
         workers: None,
         baseline: true,
         warm_start: true,
+        stepper: StepperKind::BackwardEuler,
         json: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -100,6 +115,18 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--workers needs a value")?;
                 let n: usize = v.parse().map_err(|_| format!("bad worker count: {v}"))?;
                 args.workers = Some(NonZeroUsize::new(n).ok_or("worker count must be positive")?);
+            }
+            "--stepper" => {
+                let v = it.next().ok_or("--stepper needs a value")?;
+                args.stepper = match v.as_str() {
+                    "backward-euler" => StepperKind::BackwardEuler,
+                    "exponential" => StepperKind::Exponential(ExponentialOptions::default()),
+                    other => {
+                        return Err(format!(
+                            "bad stepper: {other} (try backward-euler or exponential)"
+                        ))
+                    }
+                };
             }
             "--json" => {
                 // The path is optional: bare `--json` writes the mode's
@@ -120,7 +147,7 @@ fn parse_args() -> Result<Args, String> {
             other => {
                 return Err(format!(
                     "unknown argument: {other} (try transient, mpsoc, fleet, --serial, \
-                     --workers N, --no-baseline, --cold-start, --json [PATH])"
+                     --workers N, --no-baseline, --cold-start, --stepper KIND, --json [PATH])"
                 ))
             }
         }
@@ -437,6 +464,10 @@ fn transient_json_record(
         "  \"phase_seconds\": {:.6e},\n",
         options.phase_seconds
     ));
+    out.push_str(&format!(
+        "  \"stepper\": \"{}\",\n",
+        stepper_name(&options.config.stepper)
+    ));
     push_record_tail(
         &mut out,
         report.workers,
@@ -474,6 +505,7 @@ fn run_transient_mode(args: &Args) -> ExitCode {
     // the run truthfully.
     let mut options = TransientSweepOptions::fast(mode);
     options.config.optimizer = liquamod_bench::config_from_env();
+    options.config.stepper = args.stepper.clone();
     let steps_per_phase = (options.phase_seconds / options.config.dt_seconds).round() as usize;
     println!(
         "grid: {} variants ({} traces x {} flow scales); {available} core(s) available",
@@ -587,6 +619,10 @@ fn mpsoc_json_record(
         "  \"phase_seconds\": {:.6e},\n",
         options.phase_seconds
     ));
+    out.push_str(&format!(
+        "  \"stepper\": \"{}\",\n",
+        stepper_name(&options.config.stepper)
+    ));
     push_record_tail(
         &mut out,
         report.workers,
@@ -638,7 +674,8 @@ fn run_mpsoc_mode(args: &Args) -> ExitCode {
     let grid = MpsocGrid::bench_default();
     let available = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
     let mode = execution_mode(args, available);
-    let options = mpsoc_options(mode);
+    let mut options = mpsoc_options(mode);
+    options.config.stepper = args.stepper.clone();
     let steps_per_phase = (options.phase_seconds / options.config.dt_seconds).round() as usize;
     println!(
         "grid: {} variants ({} archs x {} traces x {} flow scales); {available} core(s) available",
@@ -741,7 +778,9 @@ fn fleet_json_record(
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"fleet\",\n");
-    out.push_str("  \"schema_version\": 1,\n");
+    // v2: adds `stepper` and `segment_wall_seconds` (the per-wavefront
+    // serial critical path of the segment-level scheduler).
+    out.push_str("  \"schema_version\": 2,\n");
     out.push_str(&format!(
         "  \"grid\": {{\"variants\": {}, \"stacks\": {}, \"budget_scales\": {}}},\n",
         grid.len(),
@@ -783,6 +822,19 @@ fn fleet_json_record(
     out.push_str(&format!(
         "  \"segments_per_phase\": {},\n",
         options.segments_per_phase
+    ));
+    out.push_str(&format!(
+        "  \"stepper\": \"{}\",\n",
+        stepper_name(&options.config.stepper)
+    ));
+    out.push_str(&format!(
+        "  \"segment_wall_seconds\": [{}],\n",
+        report
+            .segment_wall_seconds
+            .iter()
+            .map(|w| format!("{w:.6}"))
+            .collect::<Vec<_>>()
+            .join(", ")
     ));
     push_record_tail(
         &mut out,
@@ -828,6 +880,7 @@ fn run_fleet_mode(args: &Args) -> ExitCode {
     let mode = execution_mode(args, available);
     let mut options = FleetSweepOptions::fast(mode);
     coarsen_if_fast(&mut options.config);
+    options.config.stepper = args.stepper.clone();
     let steps_per_phase = (options.phase_seconds / options.config.dt_seconds).round() as usize;
     println!(
         "grid: {} variants ({} stacks x {} pump budgets); {available} core(s) available",

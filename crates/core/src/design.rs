@@ -12,8 +12,9 @@
 
 use crate::{CoreError, Result};
 use liquamod_optimal_control::{
-    augmented_lagrangian, nelder_mead, projected_gradient, AugLagOptions, AugLagResult, Bounds,
-    ConstrainedObjective, LbfgsOptions, NelderMeadOptions, ProjGradOptions,
+    augmented_lagrangian, augmented_lagrangian_warm, nelder_mead, projected_gradient,
+    AugLagOptions, AugLagResult, AugLagWarmStart, Bounds, ConstrainedObjective, LbfgsOptions,
+    NelderMeadOptions, ProjGradOptions,
 };
 use liquamod_thermal_model::{
     Model, Solution, SolveOptions, SolveWorkspace, WidthProfile, WorkspacePool,
@@ -61,6 +62,24 @@ pub struct OptimizationConfig {
     pub solver: SolverKind,
     /// Outer/inner constrained-solver options.
     pub auglag: AugLagOptions,
+    /// Inner-iteration cap for *resumed* solves ([`optimize_resumed`] with
+    /// dual state): a resumed epoch starts at the previous optimum with
+    /// converged multipliers, so after the first few refinement iterations
+    /// the remaining budget only polishes finite-difference noise. `None`
+    /// keeps the full `auglag.inner.max_iterations` budget for resumed
+    /// solves too. Cold solves (and plain [`optimize_warm`]) are never
+    /// capped by this.
+    pub resume_inner_iterations: Option<usize>,
+    /// Outer-iteration cap for *resumed* solves, the dual-side twin of
+    /// `resume_inner_iterations`. With warm multipliers each outer
+    /// iteration is one capped primal solve plus one multiplier update, so
+    /// `Some(1)` turns every resumed epoch into a single real-time-style
+    /// correction step; the multiplier updates still accumulate *across*
+    /// epochs because the controller carries the dual state forward, and
+    /// the adopt-only-if-not-worse rule discards any correction that
+    /// converged too little to help. `None` keeps the full
+    /// `auglag.max_outer_iterations` budget. Cold solves are never capped.
+    pub resume_outer_iterations: Option<usize>,
     /// Worker threads for finite-difference gradients.
     pub fd_threads: usize,
 }
@@ -85,6 +104,8 @@ impl Default for OptimizationConfig {
                 },
                 ..AugLagOptions::default()
             },
+            resume_inner_iterations: Some(8),
+            resume_outer_iterations: Some(1),
             fd_threads: default_threads(),
         }
     }
@@ -156,6 +177,29 @@ pub struct DesignOutcome {
     pub evaluations: usize,
     /// Whether pressure constraints were met (within the solver tolerance).
     pub feasible: bool,
+}
+
+/// Resumable optimizer state linking successive design solves.
+///
+/// The receding-horizon transient loop re-optimizes the same width problem
+/// every reallocation epoch under a mildly drifting load. Carrying the
+/// converged primal point *and* the augmented-Lagrangian dual state
+/// (multipliers + penalty) from the previous epoch lets the next solve skip
+/// the penalty continuation entirely: the first inner L-BFGS solve starts
+/// at (or near) the stationary point of the *final* inner problem, which in
+/// practice collapses a warm epoch from thousands of BVP evaluations to a
+/// few hundred. Obtain one from [`optimize_resumed`] and feed it back to the
+/// next call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignWarmStart {
+    /// Converged point in the solver's normalized `[0, 1]` coordinates.
+    pub x: Vec<f64>,
+    /// Inequality (pressure-cap) multiplier estimates `ν`.
+    pub inequality_multipliers: Vec<f64>,
+    /// Equality (equal-pressure coupling) multiplier estimates `λ`.
+    pub equality_multipliers: Vec<f64>,
+    /// Penalty parameter `μ` the previous solve finished at.
+    pub penalty: f64,
 }
 
 struct WidthProblem<'a> {
@@ -302,6 +346,42 @@ pub fn optimize_warm(
     config: &OptimizationConfig,
     start: Option<&[f64]>,
 ) -> Result<DesignOutcome> {
+    optimize_inner(model, config, start, None).map(|(outcome, _)| outcome)
+}
+
+/// [`optimize_warm`] resuming both the primal point *and* the
+/// augmented-Lagrangian dual state of a previous solve.
+///
+/// Passing `warm = None` is identical to a cold [`optimize`]. With a
+/// [`DesignWarmStart`] from a previous epoch, the solve seeds the start
+/// point from `warm.x` (projected, pressure-feasibility-repaired as in
+/// [`optimize_warm`]) and the multipliers/penalty from the stored dual
+/// state. Dual seeding only applies to the default [`SolverKind::LbfgsB`]
+/// path; the ablation solvers use `warm.x` alone. Returns the outcome plus
+/// the warm start for the *next* solve.
+///
+/// # Errors
+///
+/// Same as [`optimize_warm`].
+pub fn optimize_resumed(
+    model: &Model,
+    config: &OptimizationConfig,
+    warm: Option<&DesignWarmStart>,
+) -> Result<(DesignOutcome, DesignWarmStart)> {
+    let dual = warm.map(|w| AugLagWarmStart {
+        inequality_multipliers: w.inequality_multipliers.clone(),
+        equality_multipliers: w.equality_multipliers.clone(),
+        penalty: w.penalty,
+    });
+    optimize_inner(model, config, warm.map(|w| w.x.as_slice()), dual.as_ref())
+}
+
+fn optimize_inner(
+    model: &Model,
+    config: &OptimizationConfig,
+    start: Option<&[f64]>,
+    dual: Option<&AugLagWarmStart>,
+) -> Result<(DesignOutcome, DesignWarmStart)> {
     config.validate()?;
     let params = model.params();
     let mut problem = WidthProblem {
@@ -344,18 +424,34 @@ pub fn optimize_warm(
         None => anchor,
     };
 
-    let (x_opt, objective, evaluations, feasible) = match config.solver {
+    let (x_opt, objective, evaluations, feasible, next_dual) = match config.solver {
         SolverKind::LbfgsB => {
             let mut auglag = config.auglag.clone();
             auglag.inner.fd_threads = config.fd_threads;
+            if dual.is_some() {
+                if let Some(cap) = config.resume_inner_iterations {
+                    auglag.inner.max_iterations = auglag.inner.max_iterations.min(cap);
+                }
+                if let Some(cap) = config.resume_outer_iterations {
+                    auglag.max_outer_iterations = auglag.max_outer_iterations.min(cap);
+                }
+            }
             let AugLagResult {
                 x,
                 objective,
                 evaluations,
                 feasible,
+                inequality_multipliers,
+                equality_multipliers,
+                penalty,
                 ..
-            } = augmented_lagrangian(&problem, &bounds, &x0, &auglag);
-            (x, objective, evaluations, feasible)
+            } = augmented_lagrangian_warm(&problem, &bounds, &x0, &auglag, dual);
+            let next = AugLagWarmStart {
+                inequality_multipliers,
+                equality_multipliers,
+                penalty,
+            };
+            (x, objective, evaluations, feasible, next)
         }
         SolverKind::ProjGrad => {
             let opts = ProjGradOptions {
@@ -364,7 +460,12 @@ pub fn optimize_warm(
                 ..ProjGradOptions::default()
             };
             let r = projected_gradient(&ObjOnly(&problem), &bounds, &x0, &opts);
-            (r.x, r.objective, r.evaluations, true)
+            let next = AugLagWarmStart {
+                inequality_multipliers: Vec::new(),
+                equality_multipliers: Vec::new(),
+                penalty: config.auglag.initial_penalty,
+            };
+            (r.x, r.objective, r.evaluations, true, next)
         }
         SolverKind::NelderMead => {
             let opts = NelderMeadOptions {
@@ -372,7 +473,12 @@ pub fn optimize_warm(
                 ..NelderMeadOptions::default()
             };
             let r = nelder_mead(&ObjOnly(&problem), &bounds, &x0, &opts);
-            (r.x, r.objective, r.evaluations, true)
+            let next = AugLagWarmStart {
+                inequality_multipliers: Vec::new(),
+                equality_multipliers: Vec::new(),
+                penalty: config.auglag.initial_penalty,
+            };
+            (r.x, r.objective, r.evaluations, true, next)
         }
     };
 
@@ -384,7 +490,13 @@ pub fn optimize_warm(
     let pressure_drops = optimized.pressure_drops()?;
     // Report the raw Eq. (7) cost, not the normalized solver value.
     let objective = objective * problem.j_scale;
-    Ok(DesignOutcome {
+    let next_warm = DesignWarmStart {
+        x: x_opt.clone(),
+        inequality_multipliers: next_dual.inequality_multipliers,
+        equality_multipliers: next_dual.equality_multipliers,
+        penalty: next_dual.penalty,
+    };
+    let outcome = DesignOutcome {
         model: optimized,
         solution,
         widths,
@@ -393,7 +505,8 @@ pub fn optimize_warm(
         objective,
         evaluations,
         feasible,
-    })
+    };
+    Ok((outcome, next_warm))
 }
 
 /// Restores pressure feasibility of a warm start without BVP solves.

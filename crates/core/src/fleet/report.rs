@@ -9,7 +9,7 @@
 //! [`BudgetPolicy::Uniform`] in every row.
 
 use super::allocator::{BudgetPolicy, PumpBudget};
-use super::shard::{run_fleet, FleetOptions, FleetOutcome, StackSpec};
+use super::shard::{run_fleet_lanes, FleetLane, FleetOptions, FleetOutcome, StackSpec};
 use crate::mpsoc::{ArchSpec, MpsocConfig, MpsocTraceSpec};
 use crate::sweep::ExecutionMode;
 use crate::transient::EpochPolicy;
@@ -159,10 +159,15 @@ pub struct FleetRow {
 pub struct FleetReport {
     /// One row per variant, in grid order.
     pub rows: Vec<FleetRow>,
-    /// Worker threads the per-segment stack fan-outs actually used.
+    /// Worker threads the per-wavefront fan-outs actually used. The task
+    /// pool is the whole (variant × policy × stack) front, not one fleet's
+    /// stacks, so this can exceed the fleet size.
     pub workers: usize,
     /// Wall-clock time of the evaluation phase.
     pub wall: Duration,
+    /// Wall-clock seconds of each reallocation-segment wavefront, in time
+    /// order — the sweep's serial critical path between allocator joins.
+    pub segment_wall_seconds: Vec<f64>,
 }
 
 impl FleetReport {
@@ -201,22 +206,27 @@ impl FleetReport {
     }
 }
 
-/// Evaluates one fleet variant: the same fleet and traces under all three
-/// budget policies, head-to-head.
-///
-/// # Errors
-///
-/// Propagates fleet-run failures.
-pub fn evaluate_fleet_variant(
+/// The fixed policy order every variant's lane triple uses.
+const POLICIES: [BudgetPolicy; 3] = [
+    BudgetPolicy::Uniform,
+    BudgetPolicy::GradientWaterfill,
+    BudgetPolicy::Greedy,
+];
+
+/// Expands one variant into its three policy lanes. All three share the
+/// variant's index as deduplication group: segment 0 is
+/// policy-independent (uniform split, no carry-over), so the scheduler
+/// runs it once per variant instead of three times.
+fn variant_lanes(
     variant: &FleetVariant,
     stacks: &[StackSpec],
     options: &FleetSweepOptions,
-) -> Result<FleetRow> {
+) -> Vec<FleetLane> {
     let budget = PumpBudget::per_stack(variant.avg_scale, stacks.len());
-    let run = |allocation: BudgetPolicy| -> Result<FleetOutcome> {
-        run_fleet(
-            stacks,
-            &FleetOptions {
+    POLICIES
+        .iter()
+        .map(|&allocation| FleetLane {
+            options: FleetOptions {
                 config: options.config.clone(),
                 policy: options.policy,
                 allocation,
@@ -225,11 +235,17 @@ pub fn evaluate_fleet_variant(
                 segments_per_phase: options.segments_per_phase,
                 mode: options.mode,
             },
-        )
+            dedup_group: variant.index,
+        })
+        .collect()
+}
+
+/// Folds one variant's three policy outcomes (in [`POLICIES`] order) into
+/// its head-to-head row.
+fn build_row(variant: &FleetVariant, outcomes: &[FleetOutcome]) -> FleetRow {
+    let [uniform, waterfill, greedy] = outcomes else {
+        unreachable!("one outcome per policy lane");
     };
-    let uniform = run(BudgetPolicy::Uniform)?;
-    let waterfill = run(BudgetPolicy::GradientWaterfill)?;
-    let greedy = run(BudgetPolicy::Greedy)?;
     let worst_uniform = uniform.worst_stack_peak_gradient_k();
     let reduction = |worst: f64| {
         if worst_uniform > 0.0 {
@@ -238,7 +254,7 @@ pub fn evaluate_fleet_variant(
             0.0
         }
     };
-    Ok(FleetRow {
+    FleetRow {
         variant: variant.clone(),
         worst_gradient_uniform_k: worst_uniform,
         worst_gradient_waterfill_k: waterfill.worst_stack_peak_gradient_k(),
@@ -248,38 +264,151 @@ pub fn evaluate_fleet_variant(
         peak_temperature_waterfill_k: waterfill.peak_temperature_k(),
         waterfill_final_allocation: waterfill.allocations.last().cloned().unwrap_or_default(),
         evaluations: waterfill.total_evaluations(),
-    })
+    }
+}
+
+/// Evaluates one fleet variant: the same fleet and traces under all three
+/// budget policies, head-to-head.
+///
+/// The three policy runs are scheduled as one three-lane wavefront group
+/// — every segment's (policy × stack) tasks share one worker fan-out, and
+/// the policy-independent segment 0 runs once instead of three times. The
+/// resulting metrics are bitwise identical to three back-to-back
+/// [`run_fleet`](super::run_fleet) calls.
+///
+/// # Errors
+///
+/// Propagates fleet-run failures.
+pub fn evaluate_fleet_variant(
+    variant: &FleetVariant,
+    stacks: &[StackSpec],
+    options: &FleetSweepOptions,
+) -> Result<FleetRow> {
+    let outcomes = run_fleet_lanes(stacks, &variant_lanes(variant, stacks, options))?;
+    Ok(build_row(variant, &outcomes))
 }
 
 /// Runs every variant of `grid` under `options` and collects the report.
 ///
-/// Variants run one after another; the parallelism lives *inside* each
-/// fleet run (stacks fan out per segment — the fleet is the sharding
-/// unit), so worker counts affect scheduling only and rows are bitwise
-/// identical across execution modes, like every sweep engine in the
-/// workspace.
+/// The whole sweep is **one** wavefront group: every (variant × policy ×
+/// stack) reallocation-segment task of wavefront `k` goes through one
+/// shared worker fan-out, so threads drain the full front instead of
+/// idling behind the slowest stack of a single fleet run. Scheduling only
+/// decides *when* a task runs, never *what* it computes — rows are
+/// bitwise identical across execution modes and worker counts, like every
+/// sweep engine in the workspace.
 ///
 /// # Errors
 ///
-/// Returns the first variant failure in grid order.
+/// Returns the first lane failure in (variant, policy) order.
 pub fn run_fleet_sweep(grid: &FleetGrid, options: &FleetSweepOptions) -> Result<FleetReport> {
-    let workers = super::shard::resolved_fleet_workers(options.mode, grid.stacks.len());
     let start = Instant::now();
-    let rows = grid
-        .variants()
+    let variants = grid.variants();
+    let lanes: Vec<FleetLane> = variants
         .iter()
-        .map(|v| evaluate_fleet_variant(v, &grid.stacks, options))
-        .collect::<Result<Vec<_>>>()?;
+        .flat_map(|v| variant_lanes(v, &grid.stacks, options))
+        .collect();
+    if lanes.is_empty() {
+        return Ok(FleetReport {
+            rows: vec![],
+            workers: super::shard::resolved_fleet_workers(options.mode, grid.stacks.len()),
+            wall: start.elapsed(),
+            segment_wall_seconds: vec![],
+        });
+    }
+    let outcomes = run_fleet_lanes(&grid.stacks, &lanes)?;
+    let rows = variants
+        .iter()
+        .zip(outcomes.chunks_exact(POLICIES.len()))
+        .map(|(variant, chunk)| build_row(variant, chunk))
+        .collect();
     Ok(FleetReport {
         rows,
-        workers,
+        workers: outcomes[0].workers,
         wall: start.elapsed(),
+        segment_wall_seconds: outcomes[0].segment_wall_seconds.clone(),
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::design::OptimizationConfig;
+    use std::num::NonZeroUsize;
+
+    fn tiny_grid() -> FleetGrid {
+        FleetGrid {
+            stacks: vec![
+                StackSpec {
+                    arch: ArchSpec::Arch1,
+                    trace: MpsocTraceSpec::avg_to_peak(),
+                },
+                StackSpec {
+                    arch: ArchSpec::Arch3,
+                    trace: MpsocTraceSpec::avg_to_peak(),
+                },
+            ],
+            budget_scales: vec![0.9],
+        }
+    }
+
+    fn tiny_sweep_options(mode: ExecutionMode) -> FleetSweepOptions {
+        let config = MpsocConfig {
+            optimizer: OptimizationConfig {
+                segments: 2,
+                mesh_intervals: 32,
+                ..OptimizationConfig::fast()
+            },
+            nx: 20,
+            nz: 11,
+            n_groups: 2,
+            ..MpsocConfig::fast()
+        };
+        FleetSweepOptions {
+            policy: EpochPolicy::FixedCadence { epoch_steps: 6 },
+            phase_seconds: 6.0 * config.dt_seconds,
+            segments_per_phase: 1,
+            config,
+            mode,
+        }
+    }
+
+    #[test]
+    fn sweep_is_bitwise_deterministic_across_worker_counts() {
+        let grid = tiny_grid();
+        let serial = run_fleet_sweep(&grid, &tiny_sweep_options(ExecutionMode::Serial)).unwrap();
+        for workers in [2_usize, 4] {
+            let parallel = run_fleet_sweep(
+                &grid,
+                &tiny_sweep_options(ExecutionMode::Parallel {
+                    workers: NonZeroUsize::new(workers),
+                }),
+            )
+            .unwrap();
+            assert_eq!(
+                serial.rows, parallel.rows,
+                "rows diverged at {workers} workers"
+            );
+            assert!(parallel.workers <= workers);
+        }
+        assert_eq!(serial.workers, 1);
+        assert_eq!(
+            serial.segment_wall_seconds.len(),
+            2,
+            "avg→peak at 1 segment per phase is 2 wavefronts"
+        );
+    }
+
+    #[test]
+    fn empty_grid_yields_empty_report() {
+        let grid = FleetGrid {
+            budget_scales: vec![],
+            ..tiny_grid()
+        };
+        let report = run_fleet_sweep(&grid, &tiny_sweep_options(ExecutionMode::Serial)).unwrap();
+        assert!(report.rows.is_empty());
+        assert!(report.segment_wall_seconds.is_empty());
+    }
 
     #[test]
     fn grid_expansion_and_labels() {

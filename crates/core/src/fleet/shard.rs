@@ -154,8 +154,16 @@ pub struct FleetOutcome {
     pub allocations: Vec<Vec<f64>>,
     /// Worker threads the per-segment stack fan-out actually used.
     pub workers: usize,
-    /// Wall-clock time of the whole run.
+    /// Wall-clock time of the whole run. When the run was scheduled as one
+    /// lane of a wavefront group ([`super::report::run_fleet_sweep`]), this
+    /// is the group's total wall — lanes run interleaved, so per-lane wall
+    /// is not defined.
     pub wall: Duration,
+    /// Wall-clock seconds of each reallocation-segment wavefront, in time
+    /// order. Timing lives here, outside [`StackRun`], so the bitwise
+    /// parallel == serial guarantee on the physics stays checkable by plain
+    /// equality on `stacks`/`allocations`.
+    pub segment_wall_seconds: Vec<f64>,
 }
 
 impl FleetOutcome {
@@ -301,113 +309,240 @@ fn segment_traces(
 /// count; stack-level model/optimizer/stepper failures propagate (first
 /// stack in spec order wins).
 pub fn run_fleet(stacks: &[StackSpec], options: &FleetOptions) -> Result<FleetOutcome> {
+    let lanes = vec![FleetLane {
+        options: options.clone(),
+        dedup_group: 0,
+    }];
+    let mut outcomes = run_fleet_lanes(stacks, &lanes)?;
+    Ok(outcomes.pop().expect("one lane in, one outcome out"))
+}
+
+/// One lane of a multi-lane fleet evaluation: a full fleet run's options
+/// plus the segment-0 deduplication group it belongs to.
+#[derive(Debug, Clone)]
+pub(crate) struct FleetLane {
+    /// The lane's full fleet-run configuration.
+    pub options: FleetOptions,
+    /// Lanes sharing a group id must differ **only** in
+    /// [`FleetOptions::allocation`] (checked). The allocation policy cannot
+    /// influence segment 0 — nothing is measured yet, so every policy
+    /// starts from the same uniform split with no carry-over — which makes
+    /// the group's segment-0 (stack × lane) tasks bitwise identical. The
+    /// scheduler therefore runs them once, on the group's first lane, and
+    /// shares the result; the reported metrics (including evaluation
+    /// counts) are exactly what each lane would have measured alone.
+    pub dedup_group: usize,
+}
+
+/// The wavefront scheduler behind [`run_fleet`],
+/// [`super::report::evaluate_fleet_variant`] and
+/// [`super::report::run_fleet_sweep`]: all lanes advance through
+/// reallocation segment `k` together, and every (lane × stack) task of
+/// wavefront `k` goes through **one** shared [`parallel_map`] fan-out, so
+/// worker threads drain the whole front instead of idling behind the
+/// slowest stack of a single fleet run.
+///
+/// The serial joins (metric collection, the allocator's budget re-split)
+/// run between wavefronts on the calling thread, per lane in lane order,
+/// from deterministic inputs; task results are merged back by index.
+/// Parallel and serial evaluations are therefore bitwise identical, and so
+/// is any worker count — the scheduling only decides *when* a task runs,
+/// never *what* it computes.
+///
+/// [`parallel_map`]: crate::sweep
+pub(crate) fn run_fleet_lanes(
+    stacks: &[StackSpec],
+    lanes: &[FleetLane],
+) -> Result<Vec<FleetOutcome>> {
     let n = stacks.len();
-    options.budget.validate(n)?;
-    if options.segments_per_phase == 0 {
+    let n_lanes = lanes.len();
+    if n_lanes == 0 {
         return Err(CoreError::InvalidConfig {
-            what: "segments_per_phase must be ≥ 1".into(),
+            what: "a fleet evaluation needs at least one lane".into(),
         });
     }
-    let seg_seconds = options.phase_seconds / options.segments_per_phase as f64;
-    if !(seg_seconds.is_finite() && seg_seconds >= options.config.dt_seconds) {
-        return Err(CoreError::InvalidConfig {
-            what: format!(
-                "a reallocation segment of {seg_seconds} s is shorter than one {} s step",
-                options.config.dt_seconds
-            ),
-        });
+    // Group representatives (first lane of each group, in lane order) and
+    // the group-compatibility contract: everything but the allocation
+    // policy must match, or the segment-0 sharing below would be wrong.
+    let mut group_rep: Vec<(usize, usize)> = Vec::new();
+    for (l, lane) in lanes.iter().enumerate() {
+        let options = &lane.options;
+        options.budget.validate(n)?;
+        if options.segments_per_phase == 0 {
+            return Err(CoreError::InvalidConfig {
+                what: "segments_per_phase must be ≥ 1".into(),
+            });
+        }
+        let seg_seconds = options.phase_seconds / options.segments_per_phase as f64;
+        if !(seg_seconds.is_finite() && seg_seconds >= options.config.dt_seconds) {
+            return Err(CoreError::InvalidConfig {
+                what: format!(
+                    "a reallocation segment of {seg_seconds} s is shorter than one {} s step",
+                    options.config.dt_seconds
+                ),
+            });
+        }
+        match group_rep.iter().find(|(g, _)| *g == lane.dedup_group) {
+            None => group_rep.push((lane.dedup_group, l)),
+            Some(&(_, rep)) => {
+                let mut normalized = options.clone();
+                normalized.allocation = lanes[rep].options.allocation;
+                if normalized != lanes[rep].options {
+                    return Err(CoreError::InvalidConfig {
+                        what: format!(
+                            "lanes {rep} and {l} share dedup group {} but differ beyond \
+                             the allocation policy",
+                            lane.dedup_group
+                        ),
+                    });
+                }
+            }
+        }
     }
+    let rep_of = |l: usize| -> usize {
+        group_rep
+            .iter()
+            .find(|(g, _)| *g == lanes[l].dedup_group)
+            .expect("every lane registered its group above")
+            .1
+    };
 
     let archs: Vec<Architecture> = stacks.iter().map(|s| s.arch.architecture()).collect();
-    let segmented: Vec<Vec<_>> = stacks
+    // Per-lane segmented traces (lanes may differ in clocking in general;
+    // the rasterization is a trivial cost next to one optimizer epoch).
+    let segmented: Vec<Vec<Vec<_>>> = lanes
         .iter()
-        .zip(&archs)
-        .map(|(s, arch)| {
-            let trace = s.trace.trace(
-                arch,
-                options.phase_seconds,
-                options.config.nx,
-                options.config.nz,
-            );
-            segment_traces(&trace, options.segments_per_phase)
+        .map(|lane| {
+            stacks
+                .iter()
+                .zip(&archs)
+                .map(|(s, arch)| {
+                    let trace = s.trace.trace(
+                        arch,
+                        lane.options.phase_seconds,
+                        lane.options.config.nx,
+                        lane.options.config.nz,
+                    );
+                    segment_traces(&trace, lane.options.segments_per_phase)
+                })
+                .collect()
         })
         .collect();
-    let n_segments = segmented[0].len();
-    if let Some((i, bad)) = segmented
+    let n_segments = segmented[0][0].len();
+    if let Some((l, i, bad)) = segmented
         .iter()
         .enumerate()
-        .find(|(_, s)| s.len() != n_segments)
+        .flat_map(|(l, per_stack)| per_stack.iter().enumerate().map(move |(i, s)| (l, i, s)))
+        .find(|(_, _, s)| s.len() != n_segments)
     {
         return Err(CoreError::InvalidConfig {
             what: format!(
-                "fleet traces must align: stack 0 has {n_segments} segments, stack {i} has {}",
+                "fleet traces must align: lane 0 stack 0 has {n_segments} segments, \
+                 lane {l} stack {i} has {}",
                 bad.len()
             ),
         });
     }
 
-    let workers = resolved_fleet_workers(options.mode, n);
+    let workers = resolved_fleet_workers(lanes[0].options.mode, n_lanes * n);
     let start = Instant::now();
-    let mut allocations: Vec<Vec<f64>> = Vec::with_capacity(n_segments);
-    let mut alloc = allocate(BudgetPolicy::Uniform, &options.budget, &vec![0.0; n])?;
-    let mut carries: Vec<Option<ResumeState>> = vec![None; n];
-    let mut per_stack: Vec<Vec<SegmentMetrics>> = vec![Vec::with_capacity(n_segments); n];
+    let mut allocations: Vec<Vec<Vec<f64>>> = vec![Vec::with_capacity(n_segments); n_lanes];
+    let mut allocs: Vec<Vec<f64>> = lanes
+        .iter()
+        .map(|lane| allocate(BudgetPolicy::Uniform, &lane.options.budget, &vec![0.0; n]))
+        .collect::<Result<_>>()?;
+    let mut carries: Vec<Vec<Option<ResumeState>>> = vec![vec![None; n]; n_lanes];
+    let mut per_stack: Vec<Vec<Vec<SegmentMetrics>>> =
+        vec![vec![Vec::with_capacity(n_segments); n]; n_lanes];
+    let mut segment_walls: Vec<f64> = Vec::with_capacity(n_segments);
 
-    // Indexing by segment spans several per-stack tables (`segmented`,
-    // `carries`, `per_stack`), so a range loop reads clearer than zipped
-    // iterators here.
+    // Indexing by segment and lane spans several per-lane tables
+    // (`segmented`, `allocs`, `carries`, `per_stack`), so range loops read
+    // clearer than zipped iterators here.
     #[allow(clippy::needless_range_loop)]
     for seg in 0..n_segments {
-        let indices: Vec<usize> = (0..n).collect();
-        let run_one = |&i: &usize| {
-            let config = options.config.with_flow_scale(alloc[i])?;
+        let seg_start = Instant::now();
+        // Stable lane-major task order; at wavefront 0 only each dedup
+        // group's representative lane contributes tasks.
+        let tasks: Vec<(usize, usize)> = (0..n_lanes)
+            .filter(|&l| seg > 0 || rep_of(l) == l)
+            .flat_map(|l| (0..n).map(move |i| (l, i)))
+            .collect();
+        let run_one = |&(l, i): &(usize, usize)| {
+            let lane = &lanes[l];
+            let config = lane.options.config.with_flow_scale(allocs[l][i])?;
             let family = MpsocModulated::for_arch(&archs[i], config)?;
             family
-                .controller(ModulationPolicy::Modulated(options.policy))?
-                .run_resumed(&segmented[i][seg], carries[i].clone())
+                .controller(ModulationPolicy::Modulated(lane.options.policy))?
+                .run_resumed(&segmented[l][i][seg], carries[l][i].clone())
         };
         let results = if workers == 1 {
-            indices.iter().map(run_one).collect::<Vec<_>>()
+            tasks.iter().map(run_one).collect::<Vec<_>>()
         } else {
-            parallel_map(&indices, workers, run_one)
+            parallel_map(&tasks, workers, run_one)
         };
+        segment_walls.push(seg_start.elapsed().as_secs_f64());
 
-        let mut gradients = Vec::with_capacity(n);
-        for (i, result) in results.into_iter().enumerate() {
-            let (outcome, resume) = result?;
-            gradients.push(outcome.peak_gradient_k());
-            per_stack[i].push(SegmentMetrics {
-                segment: seg,
-                phase: segmented[i][seg].phases()[0].label.clone(),
-                flow_scale: alloc[i],
-                peak_gradient_k: outcome.peak_gradient_k(),
-                peak_temperature_k: outcome.peak_temperature_k(),
-                epochs: outcome.epochs.len(),
-                epochs_adopted: outcome.epochs_adopted(),
-                evaluations: outcome.total_evaluations(),
-            });
-            carries[i] = Some(resume);
+        // Merge task results back by index; a wavefront-0 result fans out
+        // to every lane of its dedup group (the runs are bitwise identical,
+        // so sharing is invisible in the outcome).
+        let mut merged: Vec<Vec<Option<_>>> = vec![(0..n).map(|_| None).collect(); n_lanes];
+        for (&(l, i), result) in tasks.iter().zip(results) {
+            let pair = result?;
+            if seg == 0 {
+                for (l2, lane_merged) in merged.iter_mut().enumerate() {
+                    if l2 != l && rep_of(l2) == l {
+                        lane_merged[i] = Some(pair.clone());
+                    }
+                }
+            }
+            merged[l][i] = Some(pair);
         }
-        allocations.push(std::mem::take(&mut alloc));
-        if seg + 1 < n_segments {
-            alloc = allocate(options.allocation, &options.budget, &gradients)?;
+        for (l, lane) in lanes.iter().enumerate() {
+            let mut gradients = Vec::with_capacity(n);
+            for (i, slot) in merged[l].iter_mut().enumerate() {
+                let (outcome, resume) = slot.take().expect("every (lane, stack) task ran");
+                gradients.push(outcome.peak_gradient_k());
+                per_stack[l][i].push(SegmentMetrics {
+                    segment: seg,
+                    phase: segmented[l][i][seg].phases()[0].label.clone(),
+                    flow_scale: allocs[l][i],
+                    peak_gradient_k: outcome.peak_gradient_k(),
+                    peak_temperature_k: outcome.peak_temperature_k(),
+                    epochs: outcome.epochs.len(),
+                    epochs_adopted: outcome.epochs_adopted(),
+                    evaluations: outcome.total_evaluations(),
+                });
+                carries[l][i] = Some(resume);
+            }
+            allocations[l].push(std::mem::take(&mut allocs[l]));
+            if seg + 1 < n_segments {
+                allocs[l] = allocate(lane.options.allocation, &lane.options.budget, &gradients)?;
+            }
         }
     }
 
-    Ok(FleetOutcome {
-        allocation: options.allocation,
-        stacks: stacks
-            .iter()
-            .zip(per_stack)
-            .map(|(spec, segments)| StackRun {
-                spec: spec.clone(),
-                segments,
-            })
-            .collect(),
-        allocations,
-        workers,
-        wall: start.elapsed(),
-    })
+    let wall = start.elapsed();
+    Ok(lanes
+        .iter()
+        .zip(per_stack)
+        .zip(allocations)
+        .map(|((lane, lane_stacks), lane_allocations)| FleetOutcome {
+            allocation: lane.options.allocation,
+            stacks: stacks
+                .iter()
+                .zip(lane_stacks)
+                .map(|(spec, segments)| StackRun {
+                    spec: spec.clone(),
+                    segments,
+                })
+                .collect(),
+            allocations: lane_allocations,
+            workers,
+            wall,
+            segment_wall_seconds: segment_walls.clone(),
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -571,5 +706,68 @@ mod tests {
         assert_eq!(serial.allocations, parallel.allocations);
         assert_eq!(serial.workers, 1);
         assert_eq!(parallel.workers, 2);
+    }
+
+    #[test]
+    fn lane_group_shares_segment_zero_and_matches_independent_runs() {
+        let stacks = two_stacks();
+        let base = tiny_options(2, ExecutionMode::Serial);
+        let lanes: Vec<FleetLane> = [
+            BudgetPolicy::Uniform,
+            BudgetPolicy::GradientWaterfill,
+            BudgetPolicy::Greedy,
+        ]
+        .into_iter()
+        .map(|allocation| FleetLane {
+            options: FleetOptions {
+                allocation,
+                ..base.clone()
+            },
+            dedup_group: 7,
+        })
+        .collect();
+        let grouped = run_fleet_lanes(&stacks, &lanes).unwrap();
+        assert_eq!(grouped.len(), 3);
+        // Segment-0 sharing must be invisible: every lane's outcome is
+        // bitwise what a standalone fleet run of its policy produces.
+        for (lane, outcome) in lanes.iter().zip(&grouped) {
+            let solo = run_fleet(&stacks, &lane.options).unwrap();
+            assert_eq!(
+                outcome.stacks, solo.stacks,
+                "{:?} diverged under lane grouping",
+                lane.options.allocation
+            );
+            assert_eq!(outcome.allocations, solo.allocations);
+        }
+        assert_eq!(
+            grouped[0].segment_wall_seconds.len(),
+            grouped[0].allocations.len(),
+            "one wall sample per wavefront"
+        );
+    }
+
+    #[test]
+    fn incompatible_or_empty_lane_groups_are_rejected() {
+        let stacks = two_stacks();
+        let base = tiny_options(2, ExecutionMode::Serial);
+        assert!(run_fleet_lanes(&stacks, &[]).is_err(), "no lanes");
+        let lanes = vec![
+            FleetLane {
+                options: base.clone(),
+                dedup_group: 0,
+            },
+            FleetLane {
+                options: FleetOptions {
+                    policy: EpochPolicy::FixedCadence { epoch_steps: 3 },
+                    allocation: BudgetPolicy::Greedy,
+                    ..base
+                },
+                dedup_group: 0,
+            },
+        ];
+        assert!(
+            run_fleet_lanes(&stacks, &lanes).is_err(),
+            "lanes in one dedup group may differ only in allocation policy"
+        );
     }
 }

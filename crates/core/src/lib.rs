@@ -63,8 +63,8 @@ pub mod transient;
 pub use compare::{CaseResult, DesignComparison};
 pub use csv::CsvTable;
 pub use design::{
-    optimize, optimize_min_pumping, optimize_warm, DesignOutcome, ObjectiveKind,
-    OptimizationConfig, SolverKind,
+    optimize, optimize_min_pumping, optimize_resumed, optimize_warm, DesignOutcome,
+    DesignWarmStart, ObjectiveKind, OptimizationConfig, SolverKind,
 };
 pub use error::CoreError;
 pub use fleet::{

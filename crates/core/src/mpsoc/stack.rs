@@ -2,7 +2,7 @@
 //! cavities.
 
 use super::load::MpsocLoad;
-use crate::design::{optimize_warm, OptimizationConfig};
+use crate::design::{optimize_resumed, DesignWarmStart, OptimizationConfig};
 use crate::transient::{
     sample_widths_um, CavityProfiles, EpochCandidate, ModulatedStack, ModulationController,
     ModulationPolicy,
@@ -11,7 +11,7 @@ use crate::{bridge, CoreError, Result};
 use liquamod_floorplan::arch::Architecture;
 use liquamod_floorplan::FluxGrid;
 use liquamod_grid_sim::solver::SolverOptions;
-use liquamod_grid_sim::{CavitySpec, Material, Stack, StackBuilder};
+use liquamod_grid_sim::{CavitySpec, Material, Stack, StackBuilder, StepperKind};
 use liquamod_thermal_model::{
     ChannelColumn, HeatProfile, Model, ModelParams, SolveOptions, SolveWorkspace, WidthProfile,
 };
@@ -41,6 +41,9 @@ pub struct MpsocConfig {
     pub dt_seconds: f64,
     /// Linear-solver controls for each implicit step.
     pub solver: SolverOptions,
+    /// Integrator backend for the closed-loop stepping (backward Euler by
+    /// default; [`StepperKind::Exponential`] is the fast path).
+    pub stepper: StepperKind,
 }
 
 impl MpsocConfig {
@@ -61,6 +64,7 @@ impl MpsocConfig {
             n_groups: 4,
             dt_seconds: 2e-3,
             solver: SolverOptions::default(),
+            stepper: StepperKind::BackwardEuler,
         }
     }
 
@@ -173,7 +177,8 @@ impl MpsocModulated {
     ) -> Result<ModulationController<MpsocModulated>> {
         let dt = self.config.dt_seconds;
         let solver = self.config.solver.clone();
-        ModulationController::for_stack(self, dt, solver, policy)
+        let stepper = self.config.stepper.clone();
+        Ok(ModulationController::for_stack(self, dt, solver, policy)?.with_stepper(stepper))
     }
 
     fn group_size(&self) -> usize {
@@ -288,12 +293,12 @@ impl ModulatedStack for MpsocModulated {
         &self,
         load: &MpsocLoad,
         incumbent: &CavityProfiles,
-        warm: Option<&[f64]>,
+        warm: Option<&DesignWarmStart>,
         ws: &mut SolveWorkspace,
     ) -> Result<EpochCandidate> {
         self.check_load(load)?;
         let model = self.reduced_model(load)?;
-        let outcome = optimize_warm(&model, &self.opt_config, warm)?;
+        let (outcome, next_warm) = optimize_resumed(&model, &self.opt_config, warm)?;
         let gradient_k = outcome.solution.thermal_gradient().as_kelvin();
         // Score the incumbent on the same model (columns in cavity-major
         // order, matching the candidate split below).
@@ -311,7 +316,7 @@ impl ModulatedStack for MpsocModulated {
         let second = widths.split_off(g);
         Ok(EpochCandidate {
             widths: vec![widths, second],
-            x_warm: outcome.x_opt,
+            warm: next_warm,
             gradient_k,
             incumbent_gradient_k,
             evaluations: outcome.evaluations,

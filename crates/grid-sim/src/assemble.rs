@@ -26,7 +26,7 @@
 //! — which is what [`AssemblyCache`] exploits: between transient epochs that
 //! only change cavity widths, only the cavity layers' rows are recomputed.
 
-use crate::sparse::{CsrMatrix, TripletMatrix};
+use crate::sparse::{CsrMatrix, CsrPattern, TripletMatrix};
 use crate::stack::{CavitySpec, Layer, Stack};
 use liquamod_microfluidics::{nusselt, RectDuct};
 
@@ -64,15 +64,40 @@ impl Stack {
 
     /// Concatenates per-layer blocks, in layer order, into the full system.
     fn assembly_from_blocks(&self, blocks: &[LayerBlock]) -> Assembly {
+        self.assembly_from_blocks_with_pattern(blocks).0
+    }
+
+    /// [`Stack::assembly_from_blocks`] that also captures the sparsity
+    /// pattern of the compression, for later values-only refreshes.
+    fn assembly_from_blocks_with_pattern(&self, blocks: &[LayerBlock]) -> (Assembly, CsrPattern) {
         let npl = self.nx * self.nz;
         let n = self.layers.len() * npl;
         let mut m = TripletMatrix::new(n);
-        let mut rhs = vec![0.0; n];
-        let mut cap = vec![0.0; n];
         for block in blocks {
             for &(i, j, v) in &block.triplets {
                 m.add(i, j, v);
             }
+        }
+        let (matrix, pattern) = m.to_csr_with_pattern();
+        let (rhs, capacitance) = self.system_vectors(blocks);
+        (
+            Assembly {
+                matrix,
+                rhs,
+                capacitance,
+                nodes_per_layer: npl,
+            },
+            pattern,
+        )
+    }
+
+    /// Accumulates the right-hand side and capacitance vectors from blocks
+    /// (shared by symbolic builds and values-only refreshes).
+    fn system_vectors(&self, blocks: &[LayerBlock]) -> (Vec<f64>, Vec<f64>) {
+        let n = self.layers.len() * self.nx * self.nz;
+        let mut rhs = vec![0.0; n];
+        let mut cap = vec![0.0; n];
+        for block in blocks {
             for &(i, v) in &block.rhs {
                 rhs[i] += v;
             }
@@ -80,12 +105,7 @@ impl Stack {
                 cap[i] = v;
             }
         }
-        Assembly {
-            matrix: m.to_csr(),
-            rhs,
-            capacitance: cap,
-            nodes_per_layer: npl,
-        }
+        (rhs, cap)
     }
 
     /// Generates layer `l`'s block. The emission order inside a block — and
@@ -226,6 +246,12 @@ impl Stack {
 pub struct AssemblyCache {
     snapshot: Option<Stack>,
     blocks: Vec<LayerBlock>,
+    /// Sparsity pattern of the last symbolic compression. A rebuild whose
+    /// regenerated blocks emit the same nonzero coordinates replays values
+    /// straight into this pattern — no sort, no structural allocation.
+    pattern: Option<CsrPattern>,
+    values_refreshes: usize,
+    symbolic_builds: usize,
 }
 
 impl AssemblyCache {
@@ -241,14 +267,31 @@ impl AssemblyCache {
         self.snapshot.is_some()
     }
 
+    /// How many assemblies were served as values-only refreshes of the
+    /// cached sparsity pattern (no re-symbolization).
+    #[must_use]
+    pub fn values_refreshes(&self) -> usize {
+        self.values_refreshes
+    }
+
+    /// How many assemblies paid for a full symbolic compression (sort +
+    /// structure allocation) — the cold build plus any structural change.
+    #[must_use]
+    pub fn symbolic_builds(&self) -> usize {
+        self.symbolic_builds
+    }
+
     /// Assembles `stack`, reusing every cached layer block that is still
     /// valid, and refreshes the cache to `stack`.
     pub(crate) fn assemble(&mut self, stack: &Stack) -> Assembly {
+        let mut regenerated = vec![true; stack.layers.len()];
         match &self.snapshot {
             Some(prev) if same_structure(prev, stack) => {
-                for l in 0..stack.layers.len() {
+                for (l, regen) in regenerated.iter_mut().enumerate() {
                     if block_stale(prev, stack, l) {
                         self.blocks[l] = stack.layer_block(l);
+                    } else {
+                        *regen = false;
                     }
                 }
             }
@@ -256,11 +299,57 @@ impl AssemblyCache {
                 self.blocks = (0..stack.layers.len())
                     .map(|l| stack.layer_block(l))
                     .collect();
+                self.pattern = None;
             }
         }
         self.snapshot = Some(stack.clone());
-        stack.assembly_from_blocks(&self.blocks)
+        // Values-only fast path: replay the blocks into the cached pattern,
+        // validating the regenerated blocks' coordinates on the way. A
+        // width-only epoch keeps the coordinate sequence (widths move
+        // conductance *values*; the upwind/film/side-wall structure is
+        // fixed by the grid), so this is the steady-state path.
+        if let Some(pattern) = &self.pattern {
+            if let Some(matrix) = replay_blocks(&self.blocks, &regenerated, pattern) {
+                let (rhs, capacitance) = stack.system_vectors(&self.blocks);
+                self.values_refreshes += 1;
+                return Assembly {
+                    matrix,
+                    rhs,
+                    capacitance,
+                    nodes_per_layer: stack.nx * stack.nz,
+                };
+            }
+        }
+        self.symbolic_builds += 1;
+        let (assembly, pattern) = stack.assembly_from_blocks_with_pattern(&self.blocks);
+        self.pattern = Some(pattern);
+        assembly
     }
+}
+
+/// Replays `blocks` into `pattern`, checking coordinates only for the
+/// regenerated blocks (unchanged blocks are byte-identical to what the
+/// pattern was recorded from). `None` when the structure drifted — e.g. a
+/// width hitting the full pitch zeroes the side-wall area and removes an
+/// emission — in which case the caller re-symbolizes.
+fn replay_blocks(
+    blocks: &[LayerBlock],
+    regenerated: &[bool],
+    pattern: &CsrPattern,
+) -> Option<CsrMatrix> {
+    let mut refresh = pattern.refresh();
+    for (l, block) in blocks.iter().enumerate() {
+        if regenerated[l] {
+            for &(i, j, v) in &block.triplets {
+                if !refresh.push(i, j, v) {
+                    return None;
+                }
+            }
+        } else if !refresh.push_trusted(&block.triplets) {
+            return None;
+        }
+    }
+    refresh.finish()
 }
 
 /// Whether the two stacks share grid, extents, inlet and layer kinds — the
@@ -535,6 +624,63 @@ mod tests {
             let expects = matches!(&hotter.layers[l], Layer::Solid { power: Some(_), .. });
             assert_eq!(stale, expects, "layer {l}");
         }
+    }
+
+    /// The values-only refresh: a width-only epoch must not re-symbolize —
+    /// and the refreshed assembly must still equal the full rebuild bitwise.
+    #[test]
+    fn width_epochs_are_values_only_refreshes() {
+        let mut cache = AssemblyCache::new();
+        let first = cache.assemble(&two_cavity_stack(30.0, 25.0));
+        assert_eq!(cache.symbolic_builds(), 1, "cold build is symbolic");
+        assert_eq!(cache.values_refreshes(), 0);
+        assert_assemblies_bitwise_equal(&first, &two_cavity_stack(30.0, 25.0).assemble(), "cold");
+        // A sweep of width-only epochs: every one is a values-only refresh.
+        for (k, w) in [42.0, 35.5, 18.0, 49.9].into_iter().enumerate() {
+            let stack = two_cavity_stack(w, 25.0);
+            let refreshed = cache.assemble(&stack);
+            assert_eq!(cache.values_refreshes(), k + 1, "width epoch {k}");
+            assert_eq!(cache.symbolic_builds(), 1, "no re-symbolization");
+            assert_assemblies_bitwise_equal(&refreshed, &stack.assemble(), "width epoch");
+        }
+        // A power-only phase change also keeps the pattern (power moves the
+        // rhs, not the matrix structure).
+        let hotter = two_cavity_stack(49.9, 60.0);
+        let refreshed = cache.assemble(&hotter);
+        assert_eq!(cache.values_refreshes(), 5);
+        assert_eq!(cache.symbolic_builds(), 1);
+        assert_assemblies_bitwise_equal(&refreshed, &hotter.assemble(), "power epoch");
+    }
+
+    /// Builder-valid stacks keep widths strictly inside `(0, pitch)`, so
+    /// their emission structure never drifts — but [`replay_blocks`] still
+    /// guards against it. Exercise the guard directly with a tampered block.
+    #[test]
+    fn structural_drift_in_replay_is_detected() {
+        let stack = two_cavity_stack(30.0, 25.0);
+        let blocks: Vec<LayerBlock> = (0..stack.layers.len())
+            .map(|l| stack.layer_block(l))
+            .collect();
+        let (_, pattern) = stack.assembly_from_blocks_with_pattern(&blocks);
+        let all_regenerated = vec![true; blocks.len()];
+        // Untampered replay succeeds.
+        assert!(replay_blocks(&blocks, &all_regenerated, &pattern).is_some());
+        // A regenerated block that lost an emission is caught by the
+        // coordinate check (or, at the latest, by the final count check).
+        let mut dropped = blocks.clone();
+        dropped[1].triplets.remove(7);
+        assert!(replay_blocks(&dropped, &all_regenerated, &pattern).is_none());
+        // A block that gained emissions overruns the recorded count even on
+        // the trusted (cached-block) path.
+        let mut grown = blocks.clone();
+        let extra = grown[2].triplets[0];
+        grown[2].triplets.push(extra);
+        assert!(replay_blocks(&grown, &vec![false; blocks.len()], &pattern).is_none());
+        // A regenerated block with a moved coordinate is caught even when
+        // the emission count is unchanged.
+        let mut moved = blocks.clone();
+        moved[1].triplets[3].0 += 1;
+        assert!(replay_blocks(&moved, &all_regenerated, &pattern).is_none());
     }
 
     /// A structurally different stack falls back to a full rebuild instead

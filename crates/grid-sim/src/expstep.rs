@@ -1,0 +1,319 @@
+//! Condensed exponential-integrator stepper backend.
+//!
+//! Backward Euler (the default backend, [`crate::TransientOptions`]) pays an
+//! iterative linear solve per step. This module trades that for a one-time
+//! propagator factorization per width profile, after which every step is a
+//! restriction, one dense matrix–vector product, and a prolongation —
+//! O(n) in the fine grid plus O(m²) in the (much smaller) condensed
+//! dimension.
+//!
+//! The full system `C·dT/dt = −A·T + p` is Galerkin-aggregated onto coarse
+//! cells (per layer, `x_cells × z_cells` blocks) with piecewise-constant
+//! prolongation `P`: `A_r = Pᵀ A P`, `C_r = Pᵀ C P`, `p_r = Pᵀ p`. The
+//! condensed ODE `dT_r/dt = −M·T_r + b` (with `M = C_r^{−1} A_r`,
+//! `b = C_r^{−1} p_r`) is *linear with constant coefficients between
+//! rebuilds*, so it has the exact one-step solution
+//!
+//! ```text
+//! T_r(Δt) = E·T_r(0) + g,   E = e^{−M·Δt},   g = Δt·φ₁(−M·Δt)·b
+//! ```
+//!
+//! with `φ₁(z) = (eᶻ−1)/z` extended by `φ₁(0) = 1` (so a singular `M` —
+//! e.g. a stack with no heat-removal path — needs no special casing).
+//! `E` and `g` are computed **once per width profile** from the matrix
+//! exponential of the augmented matrix `[[−M·Δt, Δt²·b], [0, 0]]`
+//! (top-left block `E`, top-right column `g`; Higham's trick for φ-
+//! functions) by Taylor series with scaling-and-squaring. Advection is
+//! *inside* the condensed operator — the earlier prototype that split
+//! advection from conduction to keep the operator symmetric lost ~25 % of
+//! the peak rise at Δt = 1 ms, because the coolant transit time is far
+//! below Δt and the split lets coolant flush unheated; the nonsymmetric
+//! condensed exponential has no such splitting error. A symmetric
+//! eigendecomposition (the SDTA-exemplar route) is therefore not
+//! applicable here; scaling-and-squaring is the robust equivalent for the
+//! nonsymmetric operator and is likewise paid once per width profile.
+//!
+//! Each step applies the coarse update to the fine grid as a correction,
+//! `T ← T + P·(T_r(Δt) − T_r(0))` with `T_r(0)` the capacitance-weighted
+//! restriction of the current fine state, so the fine field keeps its
+//! within-cell structure while the cell means follow the exact condensed
+//! dynamics. The exponential is unconditionally stable (exact propagator
+//! of a dissipative operator); errors come from the condensation alone —
+//! at `x_cells ≥ nx, z_cells ≥ nz` the condensation is exact and the
+//! backend integrates the full system exactly in time, making it *more*
+//! accurate than backward Euler at any Δt. Backward Euler on the full
+//! grid remains the reference the cross-check tests in `transient` gate
+//! against.
+
+use crate::assemble::Assembly;
+use crate::stack::Stack;
+use crate::{GridSimError, Result};
+
+/// Coarsening resolution for the condensed exponential stepper
+/// ([`crate::StepperKind::Exponential`]).
+///
+/// Each layer is aggregated onto an `x_cells × z_cells` coarse grid (both
+/// clamped to the stack's fine resolution), so the condensed dimension is
+/// `n_layers · min(x_cells, nx) · min(z_cells, nz)`. Setting both at or
+/// above the fine resolution makes the condensation exact (one fine node
+/// per coarse cell), leaving no spatial approximation at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExponentialOptions {
+    /// Coarse cells across the flow, per layer.
+    pub x_cells: usize,
+    /// Coarse cells along the flow, per layer.
+    pub z_cells: usize,
+}
+
+impl Default for ExponentialOptions {
+    fn default() -> Self {
+        Self {
+            x_cells: 8,
+            z_cells: 4,
+        }
+    }
+}
+
+/// The factorized condensed propagator — built once per (stack, Δt),
+/// reused by every step. See the module docs for the derivation.
+#[derive(Debug)]
+pub(crate) struct CondensedExp {
+    /// Fine node → condensed cell (length n).
+    cell_of: Vec<usize>,
+    /// Condensed capacitances `C_r` (length m) — the restriction weights.
+    cap_r: Vec<f64>,
+    /// One-step propagator `E = e^{−M·Δt}`, row-major m×m.
+    propagator: Vec<f64>,
+    /// Constant one-step forcing `g = Δt·φ₁(−M·Δt)·C_r^{−1}·p_r` (length m).
+    forcing: Vec<f64>,
+    /// Scratch (length m each): restricted state and propagated state.
+    t_r0: Vec<f64>,
+    t_r1: Vec<f64>,
+}
+
+impl CondensedExp {
+    /// Builds the condensed propagator for `stack`/`asm` at step `dt`.
+    pub(crate) fn build(
+        stack: &Stack,
+        asm: &Assembly,
+        options: &ExponentialOptions,
+        dt: f64,
+    ) -> Result<Self> {
+        if options.x_cells == 0 || options.z_cells == 0 {
+            return Err(GridSimError::InvalidTransient {
+                what: format!(
+                    "exponential stepper needs x_cells/z_cells >= 1, got {} x {}",
+                    options.x_cells, options.z_cells
+                ),
+            });
+        }
+        let (nx, nz) = stack.dims();
+        let n_layers = stack.n_layers();
+        let npl = nx * nz;
+        let n = n_layers * npl;
+        let xc = options.x_cells.min(nx);
+        let zc = options.z_cells.min(nz);
+        let m = n_layers * xc * zc;
+
+        // Fine → coarse map: balanced index groups per axis; cells never
+        // straddle a layer.
+        let mut cell_of = vec![0usize; n];
+        for l in 0..n_layers {
+            for j in 0..nz {
+                for i in 0..nx {
+                    cell_of[l * npl + j * nx + i] =
+                        l * (xc * zc) + (j * zc / nz) * xc + i * xc / nx;
+                }
+            }
+        }
+
+        let mut cap_r = vec![0.0; m];
+        for (node, &c) in asm.capacitance.iter().enumerate() {
+            cap_r[cell_of[node]] += c;
+        }
+
+        // Galerkin aggregates: A_r = Pᵀ A P (advection included), p_r = Pᵀ p.
+        let mut a_r = vec![0.0; m * m];
+        for row in 0..n {
+            let c = cell_of[row];
+            for (col, v) in asm.matrix.row_entries(row) {
+                a_r[c * m + cell_of[col]] += v;
+            }
+        }
+        let mut p_r = vec![0.0; m];
+        for (node, &p) in asm.rhs.iter().enumerate() {
+            p_r[cell_of[node]] += p;
+        }
+
+        // Augmented generator [[−M·Δt, Δt²·b], [0, 0]] with M = C_r^{−1}A_r,
+        // b = C_r^{−1}p_r; its exponential holds E top-left and g top-right.
+        let w = m + 1;
+        let mut gen = vec![0.0; w * w];
+        for r in 0..m {
+            for c in 0..m {
+                gen[r * w + c] = -a_r[r * m + c] * dt / cap_r[r];
+            }
+            gen[r * w + m] = dt * dt * p_r[r] / cap_r[r];
+        }
+        let exp = expm(&gen, w);
+        let mut propagator = vec![0.0; m * m];
+        let mut forcing = vec![0.0; m];
+        for r in 0..m {
+            propagator[r * m..(r + 1) * m].copy_from_slice(&exp[r * w..r * w + m]);
+            forcing[r] = exp[r * w + m] / dt;
+        }
+
+        Ok(Self {
+            cell_of,
+            cap_r,
+            propagator,
+            forcing,
+            t_r0: vec![0.0; m],
+            t_r1: vec![0.0; m],
+        })
+    }
+
+    /// Advances `temps` (fine-grid state, kelvin) by one Δt in place:
+    /// restrict, propagate exactly in the condensed space, prolong the
+    /// coarse correction.
+    pub(crate) fn advance(&mut self, temps: &mut [f64], caps: &[f64]) {
+        let m = self.cap_r.len();
+        // Restrict: capacitance-weighted mean per coarse cell.
+        self.t_r0.fill(0.0);
+        for (node, (&t, &c)) in temps.iter().zip(caps).enumerate() {
+            self.t_r0[self.cell_of[node]] += c * t;
+        }
+        for (tr, &cr) in self.t_r0.iter_mut().zip(&self.cap_r) {
+            *tr /= cr;
+        }
+        // Exact condensed step: T_r(Δt) = E·T_r(0) + g.
+        for r in 0..m {
+            let row = &self.propagator[r * m..(r + 1) * m];
+            self.t_r1[r] =
+                row.iter().zip(&self.t_r0).map(|(e, t)| e * t).sum::<f64>() + self.forcing[r];
+        }
+        // Prolong the coarse *change* onto the fine grid.
+        for (node, t) in temps.iter_mut().enumerate() {
+            let cell = self.cell_of[node];
+            *t += self.t_r1[cell] - self.t_r0[cell];
+        }
+    }
+}
+
+/// Dense matrix exponential `e^A` (row-major n×n) by Taylor series with
+/// scaling-and-squaring: `A` is scaled by `2^{−s}` until its ∞-norm is at
+/// most 0.5, the series is summed to machine precision (term 18 of a
+/// norm-0.5 series is ~1e-18), and the result is squared `s` times.
+/// Deterministic (fixed term count and loop order), which keeps the
+/// exponential backend bitwise reproducible across runs and worker counts.
+fn expm(a: &[f64], n: usize) -> Vec<f64> {
+    let norm = (0..n)
+        .map(|r| a[r * n..(r + 1) * n].iter().map(|v| v.abs()).sum::<f64>())
+        .fold(0.0f64, f64::max);
+    let s = if norm > 0.5 {
+        (norm / 0.5).log2().ceil() as u32
+    } else {
+        0
+    };
+    let scale = 0.5f64.powi(s as i32);
+    let scaled: Vec<f64> = a.iter().map(|v| v * scale).collect();
+
+    // e^X = Σ X^k/k!, accumulated term by term.
+    let mut result = vec![0.0; n * n];
+    for r in 0..n {
+        result[r * n + r] = 1.0;
+    }
+    let mut term = result.clone();
+    for k in 1..=18u32 {
+        term = mat_mul(&term, &scaled, n);
+        let inv_k = 1.0 / f64::from(k);
+        for v in &mut term {
+            *v *= inv_k;
+        }
+        for (res, t) in result.iter_mut().zip(&term) {
+            *res += t;
+        }
+    }
+    for _ in 0..s {
+        result = mat_mul(&result, &result, n);
+    }
+    result
+}
+
+/// Row-major dense n×n product `a·b`.
+fn mat_mul(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    let mut out = vec![0.0; n * n];
+    for r in 0..n {
+        let arow = &a[r * n..(r + 1) * n];
+        let orow = &mut out[r * n..(r + 1) * n];
+        for (k, &ark) in arow.iter().enumerate() {
+            if ark == 0.0 {
+                continue;
+            }
+            let brow = &b[k * n..(k + 1) * n];
+            for (o, &bkc) in orow.iter_mut().zip(brow) {
+                *o += ark * bkc;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expm_of_diagonal_is_elementwise_exp() {
+        let a = vec![2.0, 0.0, 0.0, -3.0];
+        let e = expm(&a, 2);
+        assert!((e[0] - 2.0f64.exp()).abs() < 1e-12 * 2.0f64.exp());
+        assert!((e[3] - (-3.0f64).exp()).abs() < 1e-14);
+        assert!(e[1].abs() < 1e-15 && e[2].abs() < 1e-15);
+    }
+
+    #[test]
+    fn expm_of_nilpotent_is_exact() {
+        // exp([[0, a], [0, 0]]) = [[1, a], [0, 1]].
+        let a = vec![0.0, 7.5, 0.0, 0.0];
+        let e = expm(&a, 2);
+        assert_eq!(e[0], 1.0);
+        assert!((e[1] - 7.5).abs() < 1e-12);
+        assert_eq!(e[2], 0.0);
+        assert_eq!(e[3], 1.0);
+    }
+
+    #[test]
+    fn expm_matches_scalar_decay_with_forcing() {
+        // The augmented trick on the scalar ODE T' = −λT + b: the top row
+        // of exp([[−λΔt, Δt²b], [0, 0]]) must be [e^{−λΔt}, Δt·g] with
+        // g/Δt… i.e. forcing = Δt·φ₁(−λΔt)·b, so after one step from T₀
+        // the exact solution T(Δt) = T∞ + e^{−λΔt}(T₀ − T∞) is recovered.
+        let (lambda, b, dt, t0) = (350.0, 1.7e4, 2e-3, 300.0);
+        let gen = vec![-lambda * dt, dt * dt * b, 0.0, 0.0];
+        let e = expm(&gen, 2);
+        let prop = e[0];
+        let forcing = e[1] / dt;
+        let stepped = prop * t0 + forcing;
+        let t_inf = b / lambda;
+        let exact = t_inf + (-lambda * dt).exp() * (t0 - t_inf);
+        assert!(
+            (stepped - exact).abs() < 1e-10 * exact.abs(),
+            "{stepped} vs {exact}"
+        );
+    }
+
+    #[test]
+    fn expm_inverse_pair_multiplies_to_identity() {
+        // e^A·e^{−A} = I for a non-normal matrix exercises the squaring path.
+        let a = vec![0.3, 2.0, 0.0, -0.4, 0.1, 1.0, 0.0, 0.0, -0.2];
+        let neg: Vec<f64> = a.iter().map(|v| -v).collect();
+        let prod = mat_mul(&expm(&a, 3), &expm(&neg, 3), 3);
+        for r in 0..3 {
+            for c in 0..3 {
+                let want = if r == c { 1.0 } else { 0.0 };
+                assert!((prod[r * 3 + c] - want).abs() < 1e-13);
+            }
+        }
+    }
+}

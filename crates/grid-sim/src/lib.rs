@@ -51,11 +51,12 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ascii;
 mod assemble;
 mod error;
+mod expstep;
 mod field;
 mod material;
 mod power;
@@ -66,11 +67,12 @@ mod transient;
 
 pub use assemble::AssemblyCache;
 pub use error::GridSimError;
+pub use expstep::ExponentialOptions;
 pub use field::{LayerField, ThermalField};
 pub use material::Material;
 pub use power::PowerMap;
 pub use stack::{CavitySpec, CavityWidths, Stack, StackBuilder};
-pub use transient::{TransientOptions, TransientSample, TransientStepper};
+pub use transient::{StepperKind, TransientOptions, TransientSample, TransientStepper};
 
 /// Convenient result alias for fallible operations in this crate.
 pub type Result<T> = std::result::Result<T, GridSimError>;

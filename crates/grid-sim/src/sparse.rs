@@ -35,15 +35,29 @@ impl TripletMatrix {
 
     /// Compresses into CSR form, summing duplicates.
     pub fn to_csr(&self) -> CsrMatrix {
+        self.to_csr_with_pattern().0
+    }
+
+    /// Compresses into CSR form and additionally returns the
+    /// [`CsrPattern`] mapping this triplet sequence onto the compressed
+    /// layout, so later value-only refreshes can skip the sort entirely.
+    ///
+    /// The matrix is bit-identical to [`TripletMatrix::to_csr`]: the sort is
+    /// stable, so duplicates at the same `(i, j)` sum in emission order.
+    pub fn to_csr_with_pattern(&self) -> (CsrMatrix, CsrPattern) {
         let n = self.n;
-        let mut sorted = self.entries.clone();
-        sorted.sort_by_key(|a| (a.0, a.1));
+        // Stable sort over *indices* so the original emission position of
+        // every entry is known when its compressed slot is assigned.
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_by_key(|&k| (self.entries[k].0, self.entries[k].1));
         let mut row_ptr = Vec::with_capacity(n + 1);
-        let mut col_idx = Vec::with_capacity(sorted.len());
-        let mut values = Vec::with_capacity(sorted.len());
+        let mut col_idx = Vec::with_capacity(self.entries.len());
+        let mut values = Vec::with_capacity(self.entries.len());
+        let mut scatter = vec![0usize; self.entries.len()];
         row_ptr.push(0);
         let mut row = 0usize;
-        for (i, j, v) in sorted {
+        for &k in &order {
+            let (i, j, v) = self.entries[k];
             while row < i {
                 row_ptr.push(col_idx.len());
                 row += 1;
@@ -51,9 +65,11 @@ impl TripletMatrix {
             if let (Some(&last_j), Some(last_v)) = (col_idx.last(), values.last_mut()) {
                 if col_idx.len() > row_ptr[row] && last_j == j {
                     *last_v += v;
+                    scatter[k] = values.len() - 1;
                     continue;
                 }
             }
+            scatter[k] = values.len();
             col_idx.push(j);
             values.push(v);
         }
@@ -61,21 +77,147 @@ impl TripletMatrix {
             row_ptr.push(col_idx.len());
             row += 1;
         }
-        CsrMatrix {
+        let emit = self.entries.iter().map(|&(i, j, _)| (i, j)).collect();
+        let matrix = CsrMatrix {
             n,
-            row_ptr,
-            col_idx,
+            row_ptr: row_ptr.into(),
+            col_idx: col_idx.into(),
             values,
+        };
+        let pattern = CsrPattern {
+            matrix: CsrMatrix {
+                n: matrix.n,
+                row_ptr: matrix.row_ptr.clone(),
+                col_idx: matrix.col_idx.clone(),
+                values: Vec::new(),
+            },
+            emit,
+            scatter,
+        };
+        (matrix, pattern)
+    }
+}
+
+/// A frozen sparsity pattern: the symbolic outcome of one
+/// [`TripletMatrix::to_csr_with_pattern`] compression.
+///
+/// It remembers the emission-order `(i, j)` sequence of the triplets it was
+/// built from and, for each emission, the compressed value slot it summed
+/// into. [`CsrPattern::refresh`] replays a *new* triplet sequence with the
+/// same `(i, j)` structure straight into a matrix sharing the cached
+/// `row_ptr`/`col_idx` arrays — no sort, no symbolic work, and the only
+/// allocation is the fresh value vector. Because the stable sort in
+/// [`TripletMatrix::to_csr`] sums duplicates in emission order, the replay
+/// is **bitwise identical** to a full recompression.
+#[derive(Debug, Clone)]
+pub struct CsrPattern {
+    /// Structure-only template; `values` are all zero and are cloned as the
+    /// scratch for each refresh (`row_ptr`/`col_idx` are shared via `Arc`).
+    matrix: CsrMatrix,
+    /// `(i, j)` of every emitted (nonzero) triplet, in emission order.
+    emit: Vec<(usize, usize)>,
+    /// Emission index → compressed value slot.
+    scatter: Vec<usize>,
+}
+
+impl CsrPattern {
+    /// Number of triplet emissions the pattern was built from.
+    #[must_use]
+    pub fn emissions(&self) -> usize {
+        self.emit.len()
+    }
+
+    /// Whether `(i, j)` matches the recorded emission at position `k`.
+    #[must_use]
+    pub fn emission_matches(&self, k: usize, i: usize, j: usize) -> bool {
+        self.emit.get(k) == Some(&(i, j))
+    }
+
+    /// Starts a values-only refresh; feed it every triplet in emission order.
+    #[must_use]
+    pub fn refresh(&self) -> CsrRefresh<'_> {
+        CsrRefresh {
+            pattern: self,
+            values: vec![0.0; self.matrix.col_idx.len()],
+            cursor: 0,
         }
     }
 }
 
+/// In-flight values-only refresh over a [`CsrPattern`]; see
+/// [`CsrPattern::refresh`].
+#[derive(Debug)]
+pub struct CsrRefresh<'a> {
+    pattern: &'a CsrPattern,
+    values: Vec<f64>,
+    cursor: usize,
+}
+
+impl CsrRefresh<'_> {
+    /// Accumulates the next emitted triplet. Exact zeros are skipped without
+    /// consuming an emission (mirroring [`TripletMatrix::add`]). Returns
+    /// `false` — leaving the refresh unusable — when `(i, j)` deviates from
+    /// the recorded pattern; the caller must fall back to a full symbolic
+    /// rebuild.
+    #[must_use]
+    pub fn push(&mut self, i: usize, j: usize, v: f64) -> bool {
+        if v == 0.0 {
+            return true;
+        }
+        if !self.pattern.emission_matches(self.cursor, i, j) {
+            return false;
+        }
+        self.values[self.pattern.scatter[self.cursor]] += v;
+        self.cursor += 1;
+        true
+    }
+
+    /// Replays a run of triplets known to be structurally unchanged since
+    /// the pattern was recorded, summing their values without coordinate
+    /// checks (the fast path for cached, already-validated blocks). Exact
+    /// zeros are skipped like in [`CsrRefresh::push`]. Returns `false` if
+    /// the replay overruns the recorded emission count.
+    #[must_use]
+    pub fn push_trusted(&mut self, entries: &[(usize, usize, f64)]) -> bool {
+        for &(_, _, v) in entries {
+            if v == 0.0 {
+                continue;
+            }
+            if self.cursor >= self.pattern.scatter.len() {
+                return false;
+            }
+            self.values[self.pattern.scatter[self.cursor]] += v;
+            self.cursor += 1;
+        }
+        true
+    }
+
+    /// Finishes the refresh. Returns `None` when the number of emissions
+    /// differs from the pattern (structural change).
+    #[must_use]
+    pub fn finish(self) -> Option<CsrMatrix> {
+        if self.cursor != self.pattern.scatter.len() {
+            return None;
+        }
+        Some(CsrMatrix {
+            n: self.pattern.matrix.n,
+            row_ptr: self.pattern.matrix.row_ptr.clone(),
+            col_idx: self.pattern.matrix.col_idx.clone(),
+            values: self.values,
+        })
+    }
+}
+
 /// Compressed-sparse-row matrix.
+///
+/// The structural arrays (`row_ptr`, `col_idx`) are immutable after
+/// construction and shared (`Arc`) between clones, so matrices refreshed
+/// through a [`CsrPattern`] reuse the symbolic layout without copying it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CsrMatrix {
     n: usize,
-    row_ptr: Vec<usize>,
-    col_idx: Vec<usize>,
+    row_ptr: std::sync::Arc<[usize]>,
+    col_idx: std::sync::Arc<[usize]>,
     values: Vec<f64>,
 }
 
@@ -181,9 +323,31 @@ impl CsrMatrix {
         }
     }
 
+    /// Iterates row `i`'s stored `(column, value)` entries in column order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row_entries(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(i < self.n, "index out of range");
+        let range = self.row_ptr[i]..self.row_ptr[i + 1];
+        self.col_idx[range.clone()]
+            .iter()
+            .zip(&self.values[range])
+            .map(|(&j, &v)| (j, v))
+    }
+
     /// Returns a copy with `scale·D` added to the diagonal, where `D` is the
     /// supplied per-row values (backward-Euler system construction:
     /// `A + C/Δt`).
+    ///
+    /// The merge is direct — `O(nnz)`, no triplet round-trip — and bitwise
+    /// identical to re-accumulating through a [`TripletMatrix`]: within a
+    /// row the stored entries precede the diagonal increment in emission
+    /// order, so a stable recompression would sum them exactly as the
+    /// in-place `aᵢᵢ + dᵢ·scale` here does. Exact-zero stored entries and
+    /// exact-zero diagonal increments are dropped, matching
+    /// [`TripletMatrix::add`].
     ///
     /// # Panics
     ///
@@ -191,14 +355,46 @@ impl CsrMatrix {
     #[must_use]
     pub fn plus_diagonal(&self, d: &[f64], scale: f64) -> CsrMatrix {
         assert_eq!(d.len(), self.n);
-        let mut t = TripletMatrix::new(self.n);
+        let mut row_ptr = Vec::with_capacity(self.n + 1);
+        let mut col_idx = Vec::with_capacity(self.nnz() + self.n);
+        let mut values = Vec::with_capacity(self.nnz() + self.n);
+        row_ptr.push(0);
         for (i, &di) in d.iter().enumerate() {
+            let add = di * scale;
+            // Nothing to insert when the increment is an exact zero (the
+            // triplet path would have dropped it).
+            let mut placed = add == 0.0;
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
-                t.add(i, self.col_idx[k], self.values[k]);
+                let j = self.col_idx[k];
+                let v = self.values[k];
+                if v == 0.0 {
+                    continue;
+                }
+                if !placed && j >= i {
+                    placed = true;
+                    if j == i {
+                        col_idx.push(j);
+                        values.push(v + add);
+                        continue;
+                    }
+                    col_idx.push(i);
+                    values.push(add);
+                }
+                col_idx.push(j);
+                values.push(v);
             }
-            t.add(i, i, di * scale);
+            if !placed {
+                col_idx.push(i);
+                values.push(add);
+            }
+            row_ptr.push(col_idx.len());
         }
-        t.to_csr()
+        CsrMatrix {
+            n: self.n,
+            row_ptr: row_ptr.into(),
+            col_idx: col_idx.into(),
+            values,
+        }
     }
 }
 
@@ -292,5 +488,123 @@ mod tests {
     fn triplet_bounds_checked() {
         let mut t = TripletMatrix::new(2);
         t.add(2, 0, 1.0);
+    }
+
+    /// A messy matrix: duplicates, empty rows, rows with and without
+    /// diagonals, and an entry pair summing to exactly zero.
+    fn messy() -> TripletMatrix {
+        let mut t = TripletMatrix::new(5);
+        t.add(0, 2, 1.5);
+        t.add(0, 0, 2.0);
+        t.add(0, 2, -1.5); // duplicate summing to exact zero
+        t.add(2, 1, 3.0);
+        t.add(2, 4, -1.0);
+        t.add(2, 1, 0.25);
+        t.add(4, 4, 7.0);
+        t.add(3, 0, 1.0);
+        t
+    }
+
+    /// Reference implementation of `plus_diagonal` through the triplet path
+    /// (the pre-optimization behaviour).
+    fn plus_diagonal_reference(m: &CsrMatrix, d: &[f64], scale: f64) -> CsrMatrix {
+        let mut t = TripletMatrix::new(m.size());
+        for (i, &di) in d.iter().enumerate().take(m.size()) {
+            for k in m.row_range(i) {
+                t.add(i, m.col_at(k), m.value_at(k));
+            }
+            t.add(i, i, di * scale);
+        }
+        t.to_csr()
+    }
+
+    fn assert_bitwise_equal(a: &CsrMatrix, b: &CsrMatrix) {
+        assert_eq!(a.size(), b.size());
+        assert_eq!(a.nnz(), b.nnz(), "nnz differ");
+        for i in 0..a.size() {
+            assert_eq!(a.row_range(i), b.row_range(i), "row {i}");
+            for k in a.row_range(i) {
+                assert_eq!(a.col_at(k), b.col_at(k), "col at {k}");
+                assert_eq!(
+                    a.value_at(k).to_bits(),
+                    b.value_at(k).to_bits(),
+                    "value at {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plus_diagonal_direct_merge_matches_triplet_path_bitwise() {
+        let m = messy().to_csr();
+        for (d, scale) in [
+            (vec![10.0, 20.0, 30.0, 40.0, 50.0], 0.5),
+            (vec![0.0, 1.0, 0.0, 2.0, 0.0], 1.0 / 3.0),
+            (vec![0.0; 5], 1.0),
+            (vec![1e-300, 2.0, 3.0, 4.0, 5.0], 1e7),
+        ] {
+            let fast = m.plus_diagonal(&d, scale);
+            let reference = plus_diagonal_reference(&m, &d, scale);
+            assert_bitwise_equal(&fast, &reference);
+        }
+    }
+
+    #[test]
+    fn pattern_refresh_is_bitwise_identical_to_recompression() {
+        let t = messy();
+        let (first, pattern) = t.to_csr_with_pattern();
+        assert_bitwise_equal(&first, &t.to_csr());
+        // New values, same structure: refresh must equal a fresh to_csr.
+        let mut t2 = TripletMatrix::new(5);
+        let mut refresh = pattern.refresh();
+        for (k, &(i, j, _)) in t.entries.iter().enumerate() {
+            let v = (k as f64 + 1.0) * 0.37 - 1.0;
+            t2.add(i, j, v);
+            assert!(refresh.push(i, j, v), "emission {k} should match");
+        }
+        let refreshed = refresh.finish().expect("emission counts match");
+        assert_bitwise_equal(&refreshed, &t2.to_csr());
+    }
+
+    #[test]
+    fn pattern_refresh_detects_structural_drift() {
+        let t = messy();
+        let (_, pattern) = t.to_csr_with_pattern();
+        // Wrong coordinate at the second emission.
+        let mut refresh = pattern.refresh();
+        assert!(refresh.push(0, 2, 1.0));
+        assert!(!refresh.push(1, 1, 2.0), "deviating emission must fail");
+        // Too few emissions.
+        let mut refresh = pattern.refresh();
+        assert!(refresh.push(0, 2, 1.0));
+        assert!(refresh.finish().is_none(), "short replay must fail");
+    }
+
+    #[test]
+    fn pattern_trusted_replay_matches_checked_replay() {
+        let t = messy();
+        let (_, pattern) = t.to_csr_with_pattern();
+        let mut checked = pattern.refresh();
+        for &(i, j, v) in &t.entries {
+            assert!(checked.push(i, j, v));
+        }
+        let mut trusted = pattern.refresh();
+        assert!(trusted.push_trusted(&t.entries));
+        assert_bitwise_equal(&checked.finish().unwrap(), &trusted.finish().unwrap());
+        // Over-long trusted replay is rejected.
+        let mut over = pattern.refresh();
+        assert!(over.push_trusted(&t.entries));
+        assert!(!over.push_trusted(&[(0, 0, 1.0)]));
+    }
+
+    #[test]
+    fn refreshed_matrices_share_structure_storage() {
+        let t = messy();
+        let (first, pattern) = t.to_csr_with_pattern();
+        let mut refresh = pattern.refresh();
+        assert!(refresh.push_trusted(&t.entries));
+        let second = refresh.finish().unwrap();
+        assert!(std::sync::Arc::ptr_eq(&first.row_ptr, &second.row_ptr));
+        assert!(std::sync::Arc::ptr_eq(&first.col_idx, &second.col_idx));
     }
 }

@@ -70,8 +70,46 @@ pub struct AugLagResult {
     pub inequality_multipliers: Vec<f64>,
     /// Final multipliers for the equalities.
     pub equality_multipliers: Vec<f64>,
+    /// Final penalty parameter `μ`; feed it back through
+    /// [`AugLagWarmStart`] when resuming a neighbouring problem.
+    pub penalty: f64,
     /// `true` when the violation target was met.
     pub feasible: bool,
+}
+
+/// Dual/penalty state carried between successive related solves.
+///
+/// The plain [`augmented_lagrangian`] entry point restarts the multiplier
+/// estimates at `ν = λ = 0` and `μ = initial_penalty` every call. When the
+/// problem changes only slightly between calls — the situation in a
+/// receding-horizon loop, where each epoch re-optimizes the same widths
+/// under a mildly different load — the converged multipliers of the previous
+/// solve are an excellent estimate for the next one, and carrying them over
+/// lets the first inner solve start near the *final* inner problem's
+/// stationary point instead of re-walking the whole penalty continuation.
+/// Build one from the previous call's [`AugLagResult`] fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AugLagWarmStart {
+    /// Inequality multiplier estimates `ν` (entries must be ≥ 0; negative
+    /// entries are clamped to 0 on use).
+    pub inequality_multipliers: Vec<f64>,
+    /// Equality multiplier estimates `λ`.
+    pub equality_multipliers: Vec<f64>,
+    /// Penalty parameter `μ` to resume at; clamped into
+    /// `[initial_penalty, max_penalty]` on use.
+    pub penalty: f64,
+}
+
+impl AugLagWarmStart {
+    /// Extracts the resumable dual state from a finished solve.
+    #[must_use]
+    pub fn from_result(result: &AugLagResult) -> Self {
+        Self {
+            inequality_multipliers: result.inequality_multipliers.clone(),
+            equality_multipliers: result.equality_multipliers.clone(),
+            penalty: result.penalty,
+        }
+    }
 }
 
 struct AugLagInner<'a, P: ConstrainedObjective + ?Sized> {
@@ -118,14 +156,51 @@ pub fn augmented_lagrangian(
     x0: &[f64],
     options: &AugLagOptions,
 ) -> AugLagResult {
+    augmented_lagrangian_warm(problem, bounds, x0, options, None)
+}
+
+/// [`augmented_lagrangian`] resuming from previously converged dual state.
+///
+/// `warm` seeds the multipliers `ν`, `λ` and the penalty `μ` (clamped into
+/// `[initial_penalty, max_penalty]`; negative `ν` entries are clamped to 0).
+/// A warm start whose multiplier vectors do not match the problem's
+/// constraint counts is ignored — the solve falls back to a cold start
+/// rather than erroring, since a mismatch means the problem structure
+/// changed and the old duals are meaningless anyway.
+pub fn augmented_lagrangian_warm(
+    problem: &dyn ConstrainedObjective,
+    bounds: &Bounds,
+    x0: &[f64],
+    options: &AugLagOptions,
+    warm: Option<&AugLagWarmStart>,
+) -> AugLagResult {
     let mut x = bounds.projected(x0);
     let n_ineq = problem.inequality(&x).len();
     let n_eq = problem.equality(&x).len();
-    let mut inner = AugLagInner {
-        problem,
-        nu: vec![0.0; n_ineq],
-        lambda: vec![0.0; n_eq],
-        mu: options.initial_penalty,
+    let dual = warm.filter(|w| {
+        w.inequality_multipliers.len() == n_ineq
+            && w.equality_multipliers.len() == n_eq
+            && w.penalty.is_finite()
+    });
+    let mut inner = match dual {
+        Some(w) => AugLagInner {
+            problem,
+            nu: w
+                .inequality_multipliers
+                .iter()
+                .map(|v| v.max(0.0))
+                .collect(),
+            lambda: w.equality_multipliers.clone(),
+            mu: w
+                .penalty
+                .clamp(options.initial_penalty, options.max_penalty),
+        },
+        None => AugLagInner {
+            problem,
+            nu: vec![0.0; n_ineq],
+            lambda: vec![0.0; n_eq],
+            mu: options.initial_penalty,
+        },
     };
     let mut evaluations = 0;
     let mut prev_violation = f64::INFINITY;
@@ -176,6 +251,7 @@ pub fn augmented_lagrangian(
         evaluations,
         inequality_multipliers: inner.nu,
         equality_multipliers: inner.lambda,
+        penalty: inner.mu,
         feasible: max_ineq.max(max_eq) <= options.violation_tol.max(1e-6),
         x,
     }
@@ -313,5 +389,74 @@ mod tests {
         let bounds = Bounds::uniform(1, 0.0, 0.7).unwrap();
         let r = augmented_lagrangian(&IneqToy, &bounds, &[0.0], &AugLagOptions::default());
         assert!((r.x[0] - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_start_resumes_in_fewer_evaluations() {
+        let bounds = Bounds::uniform(2, -5.0, 5.0).unwrap();
+        // Production-style tolerances (the design flow runs at 1e-3/1e-4):
+        // at the default 1e-8 the multiplier steps near the optimum are
+        // larger than the tolerance band itself and both runs churn.
+        let opts = AugLagOptions {
+            violation_tol: 1e-4,
+            max_outer_iterations: 8,
+            ..AugLagOptions::default()
+        };
+        let cold = augmented_lagrangian(&Mixed, &bounds, &[0.0, 0.0], &opts);
+        assert!(cold.feasible);
+        let warm_state = AugLagWarmStart::from_result(&cold);
+        let warm = augmented_lagrangian_warm(&Mixed, &bounds, &cold.x, &opts, Some(&warm_state));
+        assert!((warm.x[0] - 1.0).abs() < 1e-3, "x = {:?}", warm.x);
+        assert!((warm.x[1] - 1.0).abs() < 1e-3);
+        assert!(warm.feasible);
+        // With converged duals the first inner solve already sits at the
+        // stationary point of the final inner problem.
+        assert!(
+            warm.evaluations < cold.evaluations,
+            "warm {} vs cold {} evaluations",
+            warm.evaluations,
+            cold.evaluations
+        );
+        assert!(warm.outer_iterations <= cold.outer_iterations);
+    }
+
+    #[test]
+    fn mismatched_warm_start_falls_back_to_cold() {
+        let bounds = Bounds::uniform(2, -5.0, 5.0).unwrap();
+        let opts = AugLagOptions::default();
+        let bogus = AugLagWarmStart {
+            inequality_multipliers: vec![1.0, 2.0, 3.0], // Mixed has 1 inequality
+            equality_multipliers: vec![],                // …and 1 equality
+            penalty: 100.0,
+        };
+        let r = augmented_lagrangian_warm(&Mixed, &bounds, &[0.0, 0.0], &opts, Some(&bogus));
+        let cold = augmented_lagrangian(&Mixed, &bounds, &[0.0, 0.0], &opts);
+        assert_eq!(r, cold, "bad dual state must be ignored, not applied");
+    }
+
+    #[test]
+    fn warm_start_sanitizes_penalty_and_multipliers() {
+        let bounds = Bounds::uniform(1, -5.0, 5.0).unwrap();
+        let opts = AugLagOptions::default();
+        // Negative ν and an out-of-range μ must be clamped, not trusted.
+        let sketchy = AugLagWarmStart {
+            inequality_multipliers: vec![-3.0],
+            equality_multipliers: vec![],
+            penalty: 1e30,
+        };
+        let r = augmented_lagrangian_warm(&IneqToy, &bounds, &[0.0], &opts, Some(&sketchy));
+        assert!((r.x[0] - 1.0).abs() < 1e-4, "x = {:?}", r.x);
+        assert!(r.feasible);
+        assert!(r.penalty <= opts.max_penalty);
+        assert!(r.inequality_multipliers[0] >= 0.0);
+    }
+
+    #[test]
+    fn result_reports_final_penalty() {
+        let bounds = Bounds::uniform(2, -5.0, 5.0).unwrap();
+        let opts = AugLagOptions::default();
+        let r = augmented_lagrangian(&Mixed, &bounds, &[0.0, 0.0], &opts);
+        assert!(r.penalty >= opts.initial_penalty, "μ = {}", r.penalty);
+        assert!(r.penalty <= opts.max_penalty);
     }
 }

@@ -57,7 +57,9 @@ mod problem;
 mod projgrad;
 mod report;
 
-pub use auglag::{augmented_lagrangian, AugLagOptions, AugLagResult};
+pub use auglag::{
+    augmented_lagrangian, augmented_lagrangian_warm, AugLagOptions, AugLagResult, AugLagWarmStart,
+};
 pub use bounds::Bounds;
 pub use error::OptimalControlError;
 pub use lbfgs::{lbfgs_b, LbfgsOptions};

@@ -265,19 +265,32 @@ fn golden_serialization_roundtrips() {
 /// (the CI bench-smoke comparisons) parse.
 #[test]
 fn bench_records_declare_schema_version() {
-    for name in [
-        "BENCH_sweep.json",
-        "BENCH_transient.json",
-        "BENCH_mpsoc.json",
-        "BENCH_fleet.json",
+    // BENCH_fleet.json is at v2: it added `stepper` and the
+    // segment-level scheduler's `segment_wall_seconds`.
+    for (name, version) in [
+        ("BENCH_sweep.json", 1.0),
+        ("BENCH_transient.json", 1.0),
+        ("BENCH_mpsoc.json", 1.0),
+        ("BENCH_fleet.json", 2.0),
     ] {
         let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(name);
         let record = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
         assert_eq!(
             num_scalar(&record, "schema_version"),
-            1.0,
-            "{name} must declare schema_version 1"
+            version,
+            "{name} must declare schema_version {version}"
         );
     }
+    let fleet =
+        std::fs::read_to_string(PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("BENCH_fleet.json"))
+            .unwrap();
+    assert!(
+        fleet.contains("\"segment_wall_seconds\""),
+        "BENCH_fleet.json v2 must carry the per-wavefront wall breakdown"
+    );
+    assert!(
+        fleet.contains("\"stepper\""),
+        "BENCH_fleet.json v2 must name its integrator backend"
+    );
 }
