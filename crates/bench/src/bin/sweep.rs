@@ -24,13 +24,23 @@
 //! requires water-filling to strictly beat the uniform split on the worst
 //! stack's time-peak gradient.
 //!
-//! Run with: `cargo run --release -p bench --bin sweep [-- transient|mpsoc|fleet]`
+//! The `faults` mode drives the fleet through adversarial operating
+//! scenarios (pump-degradation ramp, stuck valve group, coolant inlet
+//! excursion) under a deterministic seeded fault schedule, head-to-head
+//! between the fault-aware degraded controller and a fault-oblivious
+//! baseline. The gate requires the aware controller to strictly beat the
+//! oblivious one on every scenario's worst-stack time-peak gradient, stay
+//! within the declared excursion bound of the healthy run, and surface
+//! structured degraded-mode events for every fault scenario.
+//!
+//! Run with: `cargo run --release -p bench --bin sweep [-- transient|mpsoc|fleet|faults]`
 //!
 //! Options (all modes unless noted):
 //!
 //! * `transient` — run the strip transient modulation sweep;
 //! * `mpsoc` — run the full-chip MPSoC modulation sweep;
 //! * `fleet` — run the shared-pump fleet sharding sweep;
+//! * `faults` — run the fault-injection scenario grid;
 //! * `--serial` — run on one thread only (no speedup baseline);
 //! * `--workers N` — override the parallel worker count;
 //! * `--no-baseline` — skip the serial reference run (faster, but no
@@ -44,7 +54,7 @@
 //! * `--json [PATH]` — write a machine-readable perf record; `PATH`
 //!   defaults to `BENCH_sweep.json` (steady) / `BENCH_transient.json`
 //!   (transient) / `BENCH_mpsoc.json` (mpsoc) / `BENCH_fleet.json`
-//!   (fleet);
+//!   (fleet) / `BENCH_faults.json` (faults);
 //! * `LIQUAMOD_FAST=1` — coarse optimizer/grid settings (CI).
 //!
 //! By default the steady grid is the 16-variant paper neighborhood, the
@@ -53,6 +63,7 @@
 //! serially; the tail of the output reports wall times, effective
 //! throughput and the parallel speedup.
 
+use liquamod::faults::{run_faults_sweep, FaultScenario, FaultsReport, FaultsSweepOptions};
 use liquamod::fleet::{run_fleet_sweep, FleetGrid, FleetReport, FleetSweepOptions, StackSpec};
 use liquamod::grid_sim::{ExponentialOptions, StepperKind};
 use liquamod::mpsoc::{run_mpsoc_sweep, MpsocGrid, MpsocReport, MpsocSweepOptions};
@@ -70,6 +81,7 @@ enum Mode {
     Transient,
     Mpsoc,
     Fleet,
+    Faults,
 }
 
 struct Args {
@@ -108,6 +120,7 @@ fn parse_args() -> Result<Args, String> {
             "transient" => args.mode = Mode::Transient,
             "mpsoc" => args.mode = Mode::Mpsoc,
             "fleet" => args.mode = Mode::Fleet,
+            "faults" => args.mode = Mode::Faults,
             "--serial" => args.serial = true,
             "--no-baseline" => args.baseline = false,
             "--cold-start" => args.warm_start = false,
@@ -136,7 +149,8 @@ fn parse_args() -> Result<Args, String> {
                         if !next.starts_with('-')
                             && next != "transient"
                             && next != "mpsoc"
-                            && next != "fleet" =>
+                            && next != "fleet"
+                            && next != "faults" =>
                     {
                         it.next()
                     }
@@ -146,7 +160,7 @@ fn parse_args() -> Result<Args, String> {
             }
             other => {
                 return Err(format!(
-                    "unknown argument: {other} (try transient, mpsoc, fleet, --serial, \
+                    "unknown argument: {other} (try transient, mpsoc, fleet, faults, --serial, \
                      --workers N, --no-baseline, --cold-start, --stepper KIND, --json [PATH])"
                 ))
             }
@@ -160,6 +174,7 @@ fn parse_args() -> Result<Args, String> {
                 Mode::Transient => "BENCH_transient.json".to_string(),
                 Mode::Mpsoc => "BENCH_mpsoc.json".to_string(),
                 Mode::Fleet => "BENCH_fleet.json".to_string(),
+                Mode::Faults => "BENCH_faults.json".to_string(),
             };
         }
     }
@@ -971,6 +986,259 @@ fn run_fleet_mode(args: &Args) -> ExitCode {
     )
 }
 
+/// Renders the `BENCH_faults.json` record; see the README's "Fault model &
+/// degraded operation" section for the schema and how the CI bench-smoke
+/// job consumes it.
+fn faults_json_record(
+    stacks: &[StackSpec],
+    options: &FaultsSweepOptions,
+    report: &FaultsReport,
+    serial: Option<&FaultsReport>,
+    determinism_verified: bool,
+    fast_mode: bool,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"faults\",\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!(
+        "  \"grid\": {{\"scenarios\": {}, \"stacks\": {}}},\n",
+        report.rows.len(),
+        stacks.len()
+    ));
+    out.push_str(&format!(
+        "  \"stack\": {{\"nx\": {}, \"nz\": {}, \"n_groups\": {}}},\n",
+        options.fleet.config.nx, options.fleet.config.nz, options.fleet.config.n_groups
+    ));
+    out.push_str(&format!(
+        "  \"fleet\": [{}],\n",
+        stacks
+            .iter()
+            .map(|s| format!("\"{}\"", json_escape(&s.label())))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!("  \"seed\": {},\n", options.seed));
+    out.push_str(&format!(
+        "  \"excursion_bound\": {:.6},\n",
+        report.excursion_bound
+    ));
+    out.push_str(&format!(
+        "  \"dt_seconds\": {:.6e},\n",
+        options.fleet.config.dt_seconds
+    ));
+    out.push_str(&format!(
+        "  \"epoch_policy\": \"{}\",\n",
+        json_escape(&format!("{:?}", options.fleet.policy))
+    ));
+    out.push_str(&format!(
+        "  \"phase_seconds\": {:.6e},\n",
+        options.fleet.phase_seconds
+    ));
+    out.push_str(&format!(
+        "  \"segments_per_phase\": {},\n",
+        options.fleet.segments_per_phase
+    ));
+    out.push_str(&format!(
+        "  \"stepper\": \"{}\",\n",
+        stepper_name(&options.fleet.config.stepper)
+    ));
+    push_record_tail(
+        &mut out,
+        report.workers,
+        fast_mode,
+        report.wall,
+        serial.map(|s| s.wall),
+        determinism_verified,
+    );
+    out.push_str("  \"variants\": [\n");
+    for (i, row) in report.rows.iter().enumerate() {
+        let sep = if i + 1 == report.rows.len() { "" } else { "," };
+        let aware = row.aware_worst_gradient_k();
+        let oblivious = row.oblivious_worst_gradient_k();
+        let kinds = row
+            .aware
+            .degraded
+            .iter()
+            .map(|e| format!("\"{}\"", e.kind.label()))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"worst_gradient_aware_k\": {aware:.6}, \
+             \"worst_gradient_oblivious_k\": {oblivious:.6}, \"aware_margin\": {:.6}, \
+             \"peak_temperature_aware_k\": {:.6}, \"degraded_events\": {}, \
+             \"degraded_kinds\": [{kinds}], \"evaluations_aware\": {}, \
+             \"evaluations_oblivious\": {}}}{sep}\n",
+            json_escape(row.scenario.label()),
+            (oblivious - aware) / oblivious.max(1e-12),
+            row.aware.peak_temperature_k(),
+            row.aware.degraded.len(),
+            row.aware.total_evaluations(),
+            row.oblivious.total_evaluations(),
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The faults mode's robustness gate: per scenario, the fault-aware
+/// controller strictly beats the fault-oblivious baseline on the
+/// worst-stack time-peak gradient; per *fault* scenario, the degraded run
+/// stays within the declared excursion bound of the healthy reference and
+/// surfaces at least one structured degraded-mode event. Returns the
+/// failure message, if any.
+fn faults_gate(report: &FaultsReport) -> Option<String> {
+    let Some(healthy) = report.healthy_reference_k() else {
+        return Some("faults grid has no healthy reference scenario".into());
+    };
+    for row in &report.rows {
+        let label = row.scenario.label();
+        let aware = row.aware_worst_gradient_k();
+        let oblivious = row.oblivious_worst_gradient_k();
+        if aware >= oblivious {
+            return Some(format!(
+                "{label}: the fault-aware controller did not strictly beat the \
+                 fault-oblivious baseline ({aware:.3} K vs {oblivious:.3} K)"
+            ));
+        }
+        if row.scenario != FaultScenario::Healthy {
+            let bound = report.excursion_bound * healthy;
+            if aware > bound {
+                return Some(format!(
+                    "{label}: degraded worst-stack gradient {aware:.3} K exceeds the \
+                     {:.1}x excursion bound over the healthy run ({bound:.3} K)",
+                    report.excursion_bound
+                ));
+            }
+            if row.aware.degraded.is_empty() {
+                return Some(format!(
+                    "{label}: the fault-aware run surfaced no degraded-mode events"
+                ));
+            }
+        }
+    }
+    println!(
+        "every scenario: fault-aware strictly beats fault-oblivious, within the {:.1}x \
+         excursion bound of the healthy run, with degraded-mode events surfaced",
+        report.excursion_bound
+    );
+    None
+}
+
+/// The faults mode: the fleet through adversarial operating scenarios,
+/// fault-aware vs fault-oblivious.
+fn run_faults_mode(args: &Args) -> ExitCode {
+    banner("fault injection: scenario grid, fault-aware vs fault-oblivious");
+    let stacks = FleetGrid::bench_default().stacks;
+    let available = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    let mode = execution_mode(args, available);
+    let mut options = FaultsSweepOptions::fast(stacks.len(), mode);
+    coarsen_if_fast(&mut options.fleet.config);
+    options.fleet.config.stepper = args.stepper.clone();
+    let steps_per_phase =
+        (options.fleet.phase_seconds / options.fleet.config.dt_seconds).round() as usize;
+    println!(
+        "grid: {} scenarios x {{aware, oblivious}} over a {}-stack fleet; \
+         {available} core(s) available",
+        options.scenarios.len(),
+        stacks.len(),
+    );
+    println!(
+        "fleet: {}",
+        stacks
+            .iter()
+            .map(StackSpec::label)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "stack: {} channels x {} cells, {} width groups per cavity, two cavities",
+        options.fleet.config.nx, options.fleet.config.nz, options.fleet.config.n_groups,
+    );
+    println!(
+        "clock: dt = {:.1} ms, {} steps per {:.0} ms phase, {} reallocation segment(s) per \
+         phase, epoch policy {:?}, fault seed {}",
+        options.fleet.config.dt_seconds * 1e3,
+        steps_per_phase,
+        options.fleet.phase_seconds * 1e3,
+        options.fleet.segments_per_phase,
+        options.fleet.policy,
+        options.seed,
+    );
+
+    let report = match run_faults_sweep(&stacks, &options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("faults sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_table(&report.to_table());
+    println!(
+        "{} scenarios in {:.2} s on {} worker(s)",
+        report.rows.len(),
+        report.wall.as_secs_f64(),
+        report.workers,
+    );
+
+    let serial_options = {
+        let mut o = options.clone();
+        o.fleet.mode = ExecutionMode::Serial;
+        o
+    };
+    let mut serial_report = None;
+    let mut determinism_verified = false;
+    let mut failure: Option<String> = None;
+    if !args.serial && args.baseline {
+        match serial_baseline(
+            "faults",
+            report.wall,
+            report.workers,
+            available,
+            || {
+                run_faults_sweep(&stacks, &serial_options)
+                    .map_err(|e| format!("serial baseline failed: {e}"))
+            },
+            |s: &FaultsReport| s.rows == report.rows,
+            |s| s.wall,
+        ) {
+            Ok(serial) => {
+                determinism_verified = true;
+                serial_report = Some(serial);
+            }
+            Err(e) => failure = Some(e),
+        }
+    }
+    if failure.is_none() {
+        failure = faults_gate(&report);
+    }
+    // Like the other gated modes, the record is written even on a gate
+    // failure — the failing run's per-scenario numbers are the diagnostic.
+    if let Some(path) = &args.json {
+        let record = faults_json_record(
+            &stacks,
+            &options,
+            &report,
+            serial_report.as_ref(),
+            determinism_verified,
+            liquamod_bench::fast_mode(),
+        );
+        if let Err(e) = write_record(path, "faults", &record) {
+            if let Some(gate) = &failure {
+                eprintln!("error: {gate}");
+            }
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(e) = failure {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -987,6 +1255,9 @@ fn main() -> ExitCode {
     }
     if args.mode == Mode::Fleet {
         return run_fleet_mode(&args);
+    }
+    if args.mode == Mode::Faults {
+        return run_faults_mode(&args);
     }
 
     banner("scenario sweep: workload x flux-scale x flow-scale grid");

@@ -25,6 +25,23 @@ pub enum CoreError {
         /// Human-readable description.
         what: String,
     },
+    /// A shared pump budget has no feasible allocation inside the valve
+    /// band — either at fleet entry or mid-run after a pump-degradation
+    /// fault shrank the total. Carries the offending budget so degraded-mode
+    /// handlers can clamp to the nearest feasible band instead of aborting.
+    BudgetInfeasible {
+        /// The (possibly decayed) total flow-scale the pump sustains.
+        total_scale: f64,
+        /// Per-stack valve minimum, flow-scale units.
+        min_scale: f64,
+        /// Per-stack valve maximum, flow-scale units.
+        max_scale: f64,
+        /// Fleet size the budget was validated against.
+        n_stacks: usize,
+        /// Reallocation segment at which the violation surfaced; `None`
+        /// when the budget was already infeasible at entry.
+        segment: Option<usize>,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -36,6 +53,26 @@ impl fmt::Display for CoreError {
             CoreError::Floorplan(e) => write!(f, "floorplan: {e}"),
             CoreError::OptimalControl(e) => write!(f, "optimizer: {e}"),
             CoreError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            CoreError::BudgetInfeasible {
+                total_scale,
+                min_scale,
+                max_scale,
+                n_stacks,
+                segment,
+            } => {
+                let n = *n_stacks as f64;
+                write!(
+                    f,
+                    "pump budget {total_scale} is outside the feasible band \
+                     [{}, {}] for {n_stacks} stacks",
+                    n * min_scale,
+                    n * max_scale,
+                )?;
+                match segment {
+                    Some(s) => write!(f, " at reallocation segment {s}"),
+                    None => write!(f, " at fleet entry"),
+                }
+            }
         }
     }
 }
@@ -48,7 +85,7 @@ impl std::error::Error for CoreError {
             CoreError::GridSim(e) => Some(e),
             CoreError::Floorplan(e) => Some(e),
             CoreError::OptimalControl(e) => Some(e),
-            CoreError::InvalidConfig { .. } => None,
+            CoreError::InvalidConfig { .. } | CoreError::BudgetInfeasible { .. } => None,
         }
     }
 }
@@ -98,6 +135,24 @@ mod tests {
         let e = CoreError::ThermalModel(ThermalModelError::NoColumns);
         assert!(e.source().is_some());
         assert!(e.to_string().contains("thermal model"));
+        let e = CoreError::BudgetInfeasible {
+            total_scale: 1.2,
+            min_scale: 0.5,
+            max_scale: 1.5,
+            n_stacks: 3,
+            segment: Some(4),
+        };
+        assert!(e.source().is_none());
+        let msg = e.to_string();
+        assert!(msg.contains("1.2") && msg.contains("3 stacks") && msg.contains("segment 4"));
+        let entry = CoreError::BudgetInfeasible {
+            total_scale: 1.2,
+            min_scale: 0.5,
+            max_scale: 1.5,
+            n_stacks: 3,
+            segment: None,
+        };
+        assert!(entry.to_string().contains("at fleet entry"));
     }
 
     #[test]

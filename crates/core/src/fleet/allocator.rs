@@ -93,8 +93,22 @@ impl PumpBudget {
     ///
     /// # Errors
     ///
-    /// [`CoreError::InvalidConfig`] describing the violated condition.
+    /// [`CoreError::InvalidConfig`] for malformed bounds (non-finite or
+    /// non-positive); [`CoreError::BudgetInfeasible`] when the bounds are
+    /// well-formed but the total falls outside the `[n·min, n·max]` band —
+    /// the recoverable case a degraded-mode handler can clamp.
     pub fn validate(&self, n_stacks: usize) -> Result<()> {
+        self.validate_at(n_stacks, None)
+    }
+
+    /// [`PumpBudget::validate`], stamping the reallocation `segment` into
+    /// any [`CoreError::BudgetInfeasible`] so mid-run budget decay reports
+    /// where in the schedule the feasible band was lost.
+    ///
+    /// # Errors
+    ///
+    /// As [`PumpBudget::validate`].
+    pub fn validate_at(&self, n_stacks: usize, segment: Option<usize>) -> Result<()> {
         let bad = |what: String| Err(CoreError::InvalidConfig { what });
         if n_stacks == 0 {
             return bad("a fleet needs at least one stack".into());
@@ -121,15 +135,34 @@ impl PumpBudget {
         if self.total_scale < n * self.min_scale - 1e-12
             || self.total_scale > n * self.max_scale + 1e-12
         {
-            return bad(format!(
-                "budget {} is outside the feasible band [{}, {}] for {} stacks",
-                self.total_scale,
-                n * self.min_scale,
-                n * self.max_scale,
-                n_stacks
-            ));
+            return Err(CoreError::BudgetInfeasible {
+                total_scale: self.total_scale,
+                min_scale: self.min_scale,
+                max_scale: self.max_scale,
+                n_stacks,
+                segment,
+            });
         }
         Ok(())
+    }
+
+    /// The graceful-degradation fallback when a pump fault pushes the
+    /// total outside the `[n·min, n·max]` valve band: the *band* is
+    /// relaxed just enough to admit the total — the pump delivers what it
+    /// delivers, so the total itself is never rewritten. A decayed total
+    /// lowers `min_scale` to the uniform share (valves throttled below
+    /// their design floor); a total above the band raises `max_scale`
+    /// symmetrically. Malformed bounds are not repaired; callers validate
+    /// those up front.
+    #[must_use]
+    pub fn clamped_feasible(&self, n_stacks: usize) -> PumpBudget {
+        let n = n_stacks.max(1) as f64;
+        let share = self.total_scale / n;
+        PumpBudget {
+            total_scale: self.total_scale,
+            min_scale: self.min_scale.min(share),
+            max_scale: self.max_scale.max(share),
+        }
     }
 }
 
@@ -291,6 +324,46 @@ mod tests {
         let mut b = budget3();
         b.total_scale = f64::NAN;
         assert!(b.validate(3).is_err());
+    }
+
+    #[test]
+    fn band_violations_are_typed_and_clampable() {
+        // Band violations carry the budget; malformed bounds stay generic.
+        let mut b = budget3();
+        b.total_scale = 0.9; // below 3 × 0.5
+        match b.validate_at(3, Some(7)) {
+            Err(CoreError::BudgetInfeasible {
+                total_scale,
+                n_stacks,
+                segment,
+                ..
+            }) => {
+                assert_eq!(total_scale, 0.9);
+                assert_eq!(n_stacks, 3);
+                assert_eq!(segment, Some(7));
+            }
+            other => panic!("expected BudgetInfeasible, got {other:?}"),
+        }
+        // The relaxed band admits the decayed total without rewriting it —
+        // the pump delivers what it delivers.
+        let clamped = b.clamped_feasible(3);
+        assert_eq!(clamped.total_scale, 0.9);
+        assert_eq!(clamped.min_scale, 0.3);
+        assert_eq!(clamped.max_scale, b.max_scale);
+        assert!(clamped.validate(3).is_ok());
+        // Over the top of the band, the ceiling lifts instead.
+        b.total_scale = 9.0;
+        let lifted = b.clamped_feasible(3);
+        assert_eq!(lifted.total_scale, 9.0);
+        assert_eq!(lifted.min_scale, b.min_scale);
+        assert_eq!(lifted.max_scale, 3.0);
+        assert!(lifted.validate(3).is_ok());
+        let mut bad = budget3();
+        bad.min_scale = f64::NAN;
+        assert!(matches!(
+            bad.validate(3),
+            Err(CoreError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

@@ -47,3 +47,5 @@ pub use report::{
     FleetVariant,
 };
 pub use shard::{run_fleet, FleetOptions, FleetOutcome, SegmentMetrics, StackRun, StackSpec};
+
+pub(crate) use shard::segment_traces;

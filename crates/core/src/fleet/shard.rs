@@ -256,7 +256,7 @@ pub(crate) fn resolved_fleet_workers(mode: ExecutionMode, n_stacks: usize) -> us
 
 /// Cuts one stack's trace into `segments_per_phase` equal segments per
 /// phase, each a single-phase trace of its own.
-fn segment_traces(
+pub(crate) fn segment_traces(
     trace: &PowerTrace<crate::mpsoc::MpsocLoad>,
     per_phase: usize,
 ) -> Vec<PowerTrace<crate::mpsoc::MpsocLoad>> {

@@ -54,6 +54,7 @@ mod csv;
 mod design;
 mod error;
 pub mod experiments;
+pub mod faults;
 pub mod fleet;
 pub mod mpsoc;
 mod scenario;
@@ -67,6 +68,11 @@ pub use design::{
     DesignWarmStart, ObjectiveKind, OptimizationConfig, SolverKind,
 };
 pub use error::CoreError;
+pub use faults::{
+    run_faulted_fleet, run_faults_sweep, DegradedEvent, DegradedKind, FaultEvent, FaultScenario,
+    FaultSchedule, FaultedFleetOutcome, FaultsReport, FaultsRow, FaultsSweepOptions, SegmentFaults,
+    ValveMode, EXCURSION_BOUND,
+};
 pub use fleet::{
     allocate, run_fleet, run_fleet_sweep, BudgetPolicy, FleetGrid, FleetOutcome, FleetReport,
     FleetRow, PumpBudget,

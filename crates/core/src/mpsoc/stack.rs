@@ -86,6 +86,38 @@ impl MpsocConfig {
         Ok(config)
     }
 
+    /// The configuration with the coolant inlet temperature offset by
+    /// `delta_k` kelvin — the fault-injection hook for inlet excursions
+    /// ([`crate::faults`]): a plant built from the offset configuration runs
+    /// at the *true* (excursed) inlet while a fault-oblivious controller
+    /// keeps optimizing against the nominal one. An offset of exactly 0.0
+    /// returns the configuration bitwise unchanged (adding zero is a float
+    /// identity), so healthy paths cannot drift.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] when `delta_k` is not finite or the
+    /// offset inlet would be non-positive (absolute zero or below).
+    pub fn with_inlet_offset(&self, delta_k: f64) -> Result<Self> {
+        if !delta_k.is_finite() {
+            return Err(CoreError::InvalidConfig {
+                what: format!("inlet offset must be finite, got {delta_k}"),
+            });
+        }
+        let mut config = self.clone();
+        config.params.inlet_temperature = self.params.inlet_temperature
+            + liquamod_units::TemperatureDifference::from_kelvin(delta_k);
+        if config.params.inlet_temperature.si() <= 0.0 {
+            return Err(CoreError::InvalidConfig {
+                what: format!(
+                    "inlet offset {delta_k} K pushes the inlet to {} K",
+                    config.params.inlet_temperature.as_kelvin()
+                ),
+            });
+        }
+        Ok(config)
+    }
+
     fn validate(&self) -> Result<()> {
         if self.n_groups == 0 || self.nx == 0 || !self.nx.is_multiple_of(self.n_groups) {
             return Err(CoreError::InvalidConfig {

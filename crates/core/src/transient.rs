@@ -40,6 +40,7 @@
 //! variant being one scheduling unit evaluated by a pure function.
 
 use crate::design::{optimize_resumed, DesignWarmStart, OptimizationConfig};
+use crate::faults::{DegradedEvent, DegradedKind, SegmentFaults, ValveMode};
 use crate::scenario::{strip_length, strip_model};
 use crate::sweep::{run_variant_sweep, ExecutionMode};
 use crate::{bridge, CoreError, CsvTable, Result};
@@ -392,6 +393,11 @@ pub struct TransientOutcome {
     pub epochs: Vec<EpochRecord>,
     /// The time step the run used, seconds.
     pub dt_seconds: f64,
+    /// Structured degraded-mode events the run surfaced (always empty for
+    /// healthy runs — see [`ModulationController::run_faulted`]). Stamped
+    /// with segment-local times; the fleet layer adds segment and stack
+    /// indices when stitching.
+    pub degraded: Vec<DegradedEvent>,
 }
 
 impl TransientOutcome {
@@ -689,12 +695,86 @@ impl<S: ModulatedStack> ModulationController<S> {
         trace: &PowerTrace<S::Load>,
         resume: Option<ResumeState>,
     ) -> Result<(TransientOutcome, ResumeState)> {
+        self.run_faulted(trace, resume, &SegmentFaults::default(), None)
+    }
+
+    /// [`ModulationController::run_resumed`] under injected faults: the
+    /// fault-tolerant entry point of the [`crate::faults`] subsystem.
+    ///
+    /// `faults` describes the segment's operating conditions:
+    ///
+    /// - A stuck valve group ([`ValveMode::StuckKnown`] /
+    ///   [`ValveMode::StuckSilent`]) freezes the *plant's* channel widths at
+    ///   the segment's entry profile. A known stuck valve also skips the
+    ///   epoch optimizer (there is nothing to actuate) and records a
+    ///   [`DegradedKind::ValveHeld`] event; a silent one lets the controller
+    ///   keep optimizing and "adopting" profiles that never reach the plant
+    ///   — the fault-oblivious failure mode the bench compares against.
+    /// - `inlet_delta_k`/`inlet_known` describe a coolant inlet-temperature
+    ///   excursion. The thermal effect itself comes from the families the
+    ///   caller builds (see `plant` below and
+    ///   [`MpsocConfig::with_inlet_offset`](crate::mpsoc::MpsocConfig::with_inlet_offset));
+    ///   here a *known* nonzero excursion is surfaced as a
+    ///   [`DegradedKind::InletExcursion`] event.
+    /// - `tolerant` arms the fall-back-to-last-feasible-widths rule: an
+    ///   epoch optimization failure keeps the incumbent profile and records
+    ///   a [`DegradedKind::EpochFallback`] event instead of aborting the
+    ///   run. Healthy runs leave it off so real errors propagate.
+    ///
+    /// `plant` optionally substitutes the family used to *build the stepped
+    /// stack* (the physical truth) while `self.family` keeps driving the
+    /// epoch optimizer (the controller's belief) — how a fault-oblivious
+    /// controller runs against a plant whose inlet has silently drifted.
+    /// `None` uses `self.family` for both.
+    ///
+    /// With default (healthy) faults and no plant override this is exactly
+    /// [`ModulationController::run_resumed`], bitwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction, optimizer and stepper failures
+    /// (optimizer failures only when `tolerant` is off).
+    pub fn run_faulted(
+        &self,
+        trace: &PowerTrace<S::Load>,
+        resume: Option<ResumeState>,
+        faults: &SegmentFaults,
+        plant: Option<&S>,
+    ) -> Result<(TransientOutcome, ResumeState)> {
         let dt = self.dt_seconds;
+        if trace.phases().is_empty() {
+            return Err(CoreError::InvalidConfig {
+                what: "a transient run needs at least one trace phase".into(),
+            });
+        }
         let total_steps = ((trace.total_duration_seconds() / dt).round() as usize).max(1);
         let (mut state, widths, warm, resume_gradient_k) = match resume {
             Some(r) => (Some(r.state), r.widths, r.warm, r.last_gradient_k),
             None => (None, self.family.uniform_widths(), None, 0.0),
         };
+        let plant_family = plant.unwrap_or(&self.family);
+        // Under a stuck valve the plant's widths stay frozen at the entry
+        // profile whatever the controller decides; otherwise they track the
+        // controller's incumbent.
+        let frozen_widths = (faults.valve != ValveMode::Healthy).then(|| widths.clone());
+        let mut degraded: Vec<DegradedEvent> = Vec::new();
+        if faults.valve == ValveMode::StuckKnown {
+            degraded.push(DegradedEvent::local(
+                DegradedKind::ValveHeld,
+                0.0,
+                "valve group stuck: widths held at the entry profile, epochs skipped".into(),
+            ));
+        }
+        if faults.inlet_known && faults.inlet_delta_k != 0.0 {
+            degraded.push(DegradedEvent::local(
+                DegradedKind::InletExcursion,
+                0.0,
+                format!(
+                    "coolant inlet excursion of {:+} K over the segment",
+                    faults.inlet_delta_k
+                ),
+            ));
+        }
         let mut ctx = EpochContext {
             family: &self.family,
             ws: SolveWorkspace::new(),
@@ -720,23 +800,36 @@ impl<S: ModulatedStack> ModulationController<S> {
             prev_phase = Some(phase);
 
             if let ModulationPolicy::Modulated(policy) = &self.policy {
-                // `decided_at` guards the re-entry path: an adopted epoch
-                // breaks the inner loop and lands back here at the same `n`
-                // with its decision already made.
-                if ctx.decided_at != Some(n) && policy.fires_at_boundary(n, new_phase) {
+                // A known-stuck valve has nothing to actuate: skip the
+                // optimizer outright (the evaluations saved are part of the
+                // aware controller's win over the oblivious one).
+                if faults.valve != ValveMode::StuckKnown
+                    // `decided_at` guards the re-entry path: an adopted epoch
+                    // breaks the inner loop and lands back here at the same `n`
+                    // with its decision already made.
+                    && ctx.decided_at != Some(n)
+                    && policy.fires_at_boundary(n, new_phase)
+                {
                     // Before any step of a resumed segment, the live
                     // gradient is the one handed over — not zero, or a
                     // GradientThreshold reference seeded here would see
                     // the hand-over temperature field as a full rise.
                     let gradient_now = snapshots.last().map_or(resume_gradient_k, |s| s.gradient_k);
-                    ctx.decide(n, &trace.phases()[phase].label, load, gradient_now)?;
+                    match ctx.decide(n, &trace.phases()[phase].label, load, gradient_now) {
+                        Ok(_) => {}
+                        Err(e) if faults.tolerant => {
+                            degraded.push(DegradedEvent::epoch_fallback(n as f64 * dt, &e));
+                        }
+                        Err(e) => return Err(e),
+                    }
                 }
             }
 
             // (Re)build the stack for the current phase and widths and hand
             // the temperatures over; run until the next decision point that
             // actually changes the stack (new phase, or adopted widths).
-            let stack = self.family.build_stack(load, &ctx.widths)?;
+            let stack =
+                plant_family.build_stack(load, frozen_widths.as_ref().unwrap_or(&ctx.widths))?;
             let mut stepper = stack.transient_stepper_cached(
                 &TransientOptions {
                     dt_seconds: dt,
@@ -773,35 +866,59 @@ impl<S: ModulatedStack> ModulationController<S> {
                     break;
                 }
                 if let ModulationPolicy::Modulated(policy) = &self.policy {
+                    if faults.valve == ValveMode::StuckKnown {
+                        continue;
+                    }
                     // Decide in place while the stepper is alive: a rejected
                     // candidate (or a skipped zero-power epoch) leaves the
                     // stack unchanged, so stepping just continues — no
                     // rebuild, no reassembly. An identical stack would
                     // produce a bitwise-identical system anyway, so the
-                    // trajectory is the same either way.
+                    // trajectory is the same either way. (Under a silently
+                    // stuck valve an "adoption" still breaks out, but the
+                    // rebuild reuses the frozen plant widths — identical
+                    // stack, identical trajectory.)
                     let gradient_now = snapshots.last().map_or(0.0, |s| s.gradient_k);
                     ctx.observe_gradient(gradient_now);
-                    if policy.fires_inline(n, gradient_now, ctx.ref_gradient_k)
-                        && ctx.decide(n, &trace.phases()[phase].label, load, gradient_now)?
-                    {
-                        break;
+                    if policy.fires_inline(n, gradient_now, ctx.ref_gradient_k) {
+                        match ctx.decide(n, &trace.phases()[phase].label, load, gradient_now) {
+                            Ok(true) => break,
+                            Ok(false) => {}
+                            Err(e) if faults.tolerant => {
+                                degraded.push(DegradedEvent::epoch_fallback(n as f64 * dt, &e));
+                            }
+                            Err(e) => return Err(e),
+                        }
                     }
                 }
             }
             state = Some(stepper.state().to_vec());
         }
 
-        let final_state = state.expect("total_steps >= 1, so the loop ran");
+        // `total_steps >= 1` makes this unreachable in practice, but a
+        // degenerate trace must surface as a typed error, never an abort
+        // mid-fleet.
+        let final_state = state.ok_or_else(|| CoreError::InvalidConfig {
+            what: format!(
+                "transient run produced no steps ({} phases, {} s total)",
+                trace.phases().len(),
+                trace.total_duration_seconds()
+            ),
+        })?;
         let last_gradient_k = snapshots.last().map_or(resume_gradient_k, |s| s.gradient_k);
         Ok((
             TransientOutcome {
                 snapshots,
                 epochs: ctx.epochs,
                 dt_seconds: dt,
+                degraded,
             },
             ResumeState {
                 state: final_state,
-                widths: ctx.widths,
+                // Hand the *plant's* widths to the next segment: under a
+                // stuck valve the physical profile is the frozen one,
+                // whatever the (possibly oblivious) controller believes.
+                widths: frozen_widths.unwrap_or(ctx.widths),
                 warm: ctx.warm,
                 last_gradient_k,
             },
@@ -1649,6 +1766,7 @@ mod tests {
                 widths_um: vec![vec![50.0, 20.0]],
             }],
             dt_seconds: 2e-3,
+            degraded: Vec::new(),
         };
         let json = outcome.golden_json("unit");
         assert!(json.contains("\"schema_version\": 1"));

@@ -20,13 +20,16 @@
 //! another target, regenerate locally first rather than chasing phantom
 //! diffs.
 
+use liquamod::faults::{run_faulted_fleet, DegradedKind, FaultEvent, FaultSchedule};
+use liquamod::fleet::{FleetOptions, StackSpec};
 use liquamod::floorplan::testcase::TEST_B_DEFAULT_SEED;
 use liquamod::floorplan::{arch, trace, PowerLevel};
-use liquamod::mpsoc::{arch_trace, MpsocConfig, MpsocModulated};
+use liquamod::mpsoc::{arch_trace, ArchSpec, MpsocConfig, MpsocModulated, MpsocTraceSpec};
 use liquamod::transient::{
-    ModulationController, ModulationPolicy, StripTrace, TransientConfig, TransientOutcome,
+    EpochPolicy, ModulationController, ModulationPolicy, StripTrace, TransientConfig,
+    TransientOutcome,
 };
-use liquamod::OptimizationConfig;
+use liquamod::{ExecutionMode, OptimizationConfig};
 use std::path::PathBuf;
 
 /// Absolute tolerance of the golden diff (the ISSUE's contract).
@@ -178,6 +181,93 @@ fn diff_or_regen(name: &str, outcome: &TransientOutcome) {
     assert_matches_fixture(&expected, &actual);
 }
 
+/// Compares every numeric channel of the faulted-fleet golden schema
+/// (allocations, per-stack segment metrics, the degraded-event quadruples
+/// and the headline worst gradient).
+fn assert_matches_faults_fixture(expected: &str, actual: &str) {
+    assert_eq!(num_scalar(expected, "schema_version"), 1.0);
+    assert_eq!(num_scalar(actual, "schema_version"), 1.0);
+    for key in [
+        "allocations",
+        "segment_gradient_k",
+        "segment_temperature_k",
+        "segment_evaluations",
+        "degraded_events",
+    ] {
+        assert_close(key, &num_array(expected, key), &num_array(actual, key));
+    }
+    assert!(
+        (num_scalar(expected, "worst_gradient_k") - num_scalar(actual, "worst_gradient_k")).abs()
+            <= TOLERANCE
+    );
+}
+
+/// The fault-injection fixture: a two-stack fleet (aligned-hotspot Arch. 1
+/// next to the all-cache Arch. 3) whose shared pump decays to 40% over the
+/// first phase — deep enough that the decayed total leaves the nominal
+/// valve band, so the fixture pins the `BudgetClamped` degraded path along
+/// with the fall-back allocation numerics.
+#[test]
+fn golden_faults_pump_ramp_run() {
+    let config = MpsocConfig {
+        optimizer: OptimizationConfig {
+            segments: 2,
+            mesh_intervals: 32,
+            ..OptimizationConfig::fast()
+        },
+        nx: 20,
+        nz: 11,
+        n_groups: 2,
+        ..MpsocConfig::fast()
+    };
+    let options = FleetOptions {
+        policy: EpochPolicy::FixedCadence { epoch_steps: 6 },
+        phase_seconds: 6.0 * config.dt_seconds,
+        segments_per_phase: 1,
+        config,
+        ..FleetOptions::fast(2, ExecutionMode::Serial)
+    };
+    let stacks = vec![
+        StackSpec {
+            arch: ArchSpec::Arch1,
+            trace: MpsocTraceSpec::avg_to_peak(),
+        },
+        StackSpec {
+            arch: ArchSpec::Arch3,
+            trace: MpsocTraceSpec::avg_to_peak(),
+        },
+    ];
+    let schedule = FaultSchedule {
+        seed: 7,
+        events: vec![FaultEvent::PumpRamp {
+            start_seconds: 0.0,
+            end_seconds: options.phase_seconds,
+            final_factor: 0.4,
+        }],
+    };
+    let outcome = run_faulted_fleet(&stacks, &options, &schedule, true).unwrap();
+    // The scenario must actually exercise the degraded path it pins.
+    assert!(
+        outcome
+            .degraded
+            .iter()
+            .any(|e| e.kind == DegradedKind::BudgetClamped),
+        "the 0.4x ramp must clamp the budget: {:?}",
+        outcome.degraded
+    );
+    let actual = outcome.golden_json("faults_pump_ramp");
+    let path = fixture_path("faults_pump_ramp.json");
+    if std::env::var("LIQUAMOD_REGEN_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()));
+    assert_matches_faults_fixture(&expected, &actual);
+}
+
 #[test]
 fn golden_test_a_transient_run() {
     check_golden("transient_test_a", &trace::test_a_step(0.024, 1.5));
@@ -272,6 +362,7 @@ fn bench_records_declare_schema_version() {
         ("BENCH_transient.json", 1.0),
         ("BENCH_mpsoc.json", 1.0),
         ("BENCH_fleet.json", 2.0),
+        ("BENCH_faults.json", 1.0),
     ] {
         let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(name);
         let record = std::fs::read_to_string(&path)
