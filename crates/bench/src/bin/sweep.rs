@@ -33,7 +33,16 @@
 //! within the declared excursion bound of the healthy run, and surface
 //! structured degraded-mode events for every fault scenario.
 //!
-//! Run with: `cargo run --release -p bench --bin sweep [-- transient|mpsoc|fleet|faults]`
+//! The `serve` mode soaks the streaming modulation service: a pool of
+//! concurrent stack sessions streaming phases one at a time under a shared
+//! pump budget, with staggered arrivals, snapshot/restore churn and
+//! departures. The gates require the streamed trajectory to equal the
+//! one-shot run **bitwise**, a session serialized mid-stream to continue
+//! after a restart within 1e-9 K (and its JSON document to round-trip
+//! byte-identically), and the whole soak to be bitwise deterministic
+//! against a single-worker rerun.
+//!
+//! Run with: `cargo run --release -p bench --bin sweep [-- transient|mpsoc|fleet|faults|serve]`
 //!
 //! Options (all modes unless noted):
 //!
@@ -41,6 +50,7 @@
 //! * `mpsoc` — run the full-chip MPSoC modulation sweep;
 //! * `fleet` — run the shared-pump fleet sharding sweep;
 //! * `faults` — run the fault-injection scenario grid;
+//! * `serve` — soak the streaming modulation service;
 //! * `--serial` — run on one thread only (no speedup baseline);
 //! * `--workers N` — override the parallel worker count;
 //! * `--no-baseline` — skip the serial reference run (faster, but no
@@ -54,7 +64,7 @@
 //! * `--json [PATH]` — write a machine-readable perf record; `PATH`
 //!   defaults to `BENCH_sweep.json` (steady) / `BENCH_transient.json`
 //!   (transient) / `BENCH_mpsoc.json` (mpsoc) / `BENCH_fleet.json`
-//!   (fleet) / `BENCH_faults.json` (faults);
+//!   (fleet) / `BENCH_faults.json` (faults) / `BENCH_serve.json` (serve);
 //! * `LIQUAMOD_FAST=1` — coarse optimizer/grid settings (CI).
 //!
 //! By default the steady grid is the 16-variant paper neighborhood, the
@@ -64,12 +74,20 @@
 //! throughput and the parallel speedup.
 
 use liquamod::faults::{run_faults_sweep, FaultScenario, FaultsReport, FaultsSweepOptions};
-use liquamod::fleet::{run_fleet_sweep, FleetGrid, FleetReport, FleetSweepOptions, StackSpec};
+use liquamod::fleet::{
+    run_fleet_sweep, BudgetPolicy, FleetGrid, FleetReport, FleetSweepOptions, StackSpec,
+};
+use liquamod::floorplan::PowerLevel;
 use liquamod::grid_sim::{ExponentialOptions, StepperKind};
 use liquamod::mpsoc::{run_mpsoc_sweep, MpsocGrid, MpsocReport, MpsocSweepOptions};
+use liquamod::serve::{
+    run_soak, soak_level, soak_outcomes_match, verify_snapshot_restore, verify_streaming_identity,
+    ServeOptions, SnapshotFidelity, SoakOutcome, SoakPlan, StreamingIdentity,
+};
 use liquamod::sweep::{run_sweep, ExecutionMode, SweepGrid, SweepOptions, SweepReport};
 use liquamod::transient::{
-    run_transient_sweep, EpochPolicy, TransientGrid, TransientReport, TransientSweepOptions,
+    run_transient_sweep, EpochPolicy, ModulationPolicy, TransientGrid, TransientReport,
+    TransientSweepOptions,
 };
 use liquamod_bench::{banner, print_table};
 use std::num::NonZeroUsize;
@@ -82,6 +100,7 @@ enum Mode {
     Mpsoc,
     Fleet,
     Faults,
+    Serve,
 }
 
 struct Args {
@@ -121,6 +140,7 @@ fn parse_args() -> Result<Args, String> {
             "mpsoc" => args.mode = Mode::Mpsoc,
             "fleet" => args.mode = Mode::Fleet,
             "faults" => args.mode = Mode::Faults,
+            "serve" => args.mode = Mode::Serve,
             "--serial" => args.serial = true,
             "--no-baseline" => args.baseline = false,
             "--cold-start" => args.warm_start = false,
@@ -150,7 +170,8 @@ fn parse_args() -> Result<Args, String> {
                             && next != "transient"
                             && next != "mpsoc"
                             && next != "fleet"
-                            && next != "faults" =>
+                            && next != "faults"
+                            && next != "serve" =>
                     {
                         it.next()
                     }
@@ -160,8 +181,9 @@ fn parse_args() -> Result<Args, String> {
             }
             other => {
                 return Err(format!(
-                    "unknown argument: {other} (try transient, mpsoc, fleet, faults, --serial, \
-                     --workers N, --no-baseline, --cold-start, --stepper KIND, --json [PATH])"
+                    "unknown argument: {other} (try transient, mpsoc, fleet, faults, serve, \
+                     --serial, --workers N, --no-baseline, --cold-start, --stepper KIND, \
+                     --json [PATH])"
                 ))
             }
         }
@@ -175,6 +197,7 @@ fn parse_args() -> Result<Args, String> {
                 Mode::Mpsoc => "BENCH_mpsoc.json".to_string(),
                 Mode::Fleet => "BENCH_fleet.json".to_string(),
                 Mode::Faults => "BENCH_faults.json".to_string(),
+                Mode::Serve => "BENCH_serve.json".to_string(),
             };
         }
     }
@@ -224,6 +247,7 @@ fn json_record(
         grid.flow_scales.len()
     ));
     out.push_str(&format!("  \"workers\": {},\n", report.workers));
+    out.push_str(&format!("  \"available_cores\": {},\n", available_cores()));
     out.push_str(&format!("  \"warm_start\": {},\n", report.warm_start));
     out.push_str(&format!("  \"fast_mode\": {fast_mode},\n"));
     out.push_str(&format!(
@@ -266,6 +290,14 @@ fn json_record(
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// The core count this box actually has, as the records report it: the
+/// detected parallelism, 1 when detection fails. CI's speedup gates read
+/// this back to judge `parallel_speedup` against the hardware — on a 1- or
+/// 2-core runner the parallel run cannot beat serial, only match it.
+fn available_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
 }
 
 /// Scheduling mode shared by both sweeps: serial on request, otherwise
@@ -398,8 +430,10 @@ fn finish_gated_mode<R>(
 }
 
 /// Emits the run-stats tail every gated-mode record shares: worker count,
-/// fast-mode flag, wall time, the serial baseline + speedup when one ran,
-/// and the determinism flag.
+/// the core count the box actually had (so downstream gates can judge the
+/// speedup against the hardware, not against an assumption), fast-mode
+/// flag, wall time, the serial baseline + speedup when one ran, and the
+/// determinism flag.
 fn push_record_tail(
     out: &mut String,
     workers: usize,
@@ -409,6 +443,7 @@ fn push_record_tail(
     determinism_verified: bool,
 ) {
     out.push_str(&format!("  \"workers\": {workers},\n"));
+    out.push_str(&format!("  \"available_cores\": {},\n", available_cores()));
     out.push_str(&format!("  \"fast_mode\": {fast_mode},\n"));
     out.push_str(&format!("  \"wall_seconds\": {:.6},\n", wall.as_secs_f64()));
     if let Some(serial) = serial_wall {
@@ -513,7 +548,7 @@ fn transient_json_record(
 fn run_transient_mode(args: &Args) -> ExitCode {
     banner("transient channel modulation: trace x flow-scale grid");
     let grid = TransientGrid::bench_default();
-    let available = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    let available = available_cores();
     let mode = execution_mode(args, available);
     // The epoch optimizer follows LIQUAMOD_FAST like the steady mode (the
     // clock and grid stay fixed), so the JSON's fast_mode flag describes
@@ -687,7 +722,7 @@ fn mpsoc_options(mode: ExecutionMode) -> MpsocSweepOptions {
 fn run_mpsoc_mode(args: &Args) -> ExitCode {
     banner("full-chip MPSoC modulation: arch x trace x flow-scale grid");
     let grid = MpsocGrid::bench_default();
-    let available = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    let available = available_cores();
     let mode = execution_mode(args, available);
     let mut options = mpsoc_options(mode);
     options.config.stepper = args.stepper.clone();
@@ -795,7 +830,7 @@ fn fleet_json_record(
     out.push_str("  \"bench\": \"fleet\",\n");
     // v2: adds `stepper` and `segment_wall_seconds` (the per-wavefront
     // serial critical path of the segment-level scheduler).
-    out.push_str("  \"schema_version\": 2,\n");
+    out.push_str("  \"schema_version\": 3,\n");
     out.push_str(&format!(
         "  \"grid\": {{\"variants\": {}, \"stacks\": {}, \"budget_scales\": {}}},\n",
         grid.len(),
@@ -891,7 +926,7 @@ fn fleet_json_record(
 fn run_fleet_mode(args: &Args) -> ExitCode {
     banner("fleet sharding: shared-pump budget x allocation-policy head-to-head");
     let grid = FleetGrid::bench_default();
-    let available = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    let available = available_cores();
     let mode = execution_mode(args, available);
     let mut options = FleetSweepOptions::fast(mode);
     coarsen_if_fast(&mut options.config);
@@ -1131,7 +1166,7 @@ fn faults_gate(report: &FaultsReport) -> Option<String> {
 fn run_faults_mode(args: &Args) -> ExitCode {
     banner("fault injection: scenario grid, fault-aware vs fault-oblivious");
     let stacks = FleetGrid::bench_default().stacks;
-    let available = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    let available = available_cores();
     let mode = execution_mode(args, available);
     let mut options = FaultsSweepOptions::fast(stacks.len(), mode);
     coarsen_if_fast(&mut options.fleet.config);
@@ -1239,6 +1274,320 @@ fn run_faults_mode(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Renders the `BENCH_serve.json` record; see PERFORMANCE.md's "Streaming
+/// service soak" section for the schema and how the CI bench-smoke job
+/// consumes it.
+// One parameter per independent measurement the record reports; bundling
+// them into a struct would just move the same eight names elsewhere.
+#[allow(clippy::too_many_arguments)]
+fn serve_json_record(
+    plan: &SoakPlan,
+    options: &ServeOptions,
+    identity: &StreamingIdentity,
+    fidelity: &SnapshotFidelity,
+    outcome: &SoakOutcome,
+    serial: Option<&SoakOutcome>,
+    determinism_verified: bool,
+    fast_mode: bool,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"serve\",\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!(
+        "  \"plan\": {{\"sessions\": {}, \"phases_per_session\": {}, \"initial_sessions\": {}, \
+         \"arrivals_per_batch\": {}, \"restore_at_batch\": {}}},\n",
+        plan.sessions.len(),
+        plan.phases_per_session,
+        plan.initial_sessions,
+        plan.arrivals_per_batch,
+        plan.restore_at_batch
+            .map_or_else(|| "null".to_string(), |v| v.to_string()),
+    ));
+    out.push_str(&format!(
+        "  \"stack\": {{\"nx\": {}, \"nz\": {}, \"n_groups\": {}}},\n",
+        options.config.nx, options.config.nz, options.config.n_groups
+    ));
+    out.push_str(&format!(
+        "  \"phase_seconds\": {:.6e},\n",
+        plan.phase_seconds
+    ));
+    out.push_str(&format!(
+        "  \"dt_seconds\": {:.6e},\n",
+        options.config.dt_seconds
+    ));
+    out.push_str(&format!(
+        "  \"epoch_policy\": \"{}\",\n",
+        json_escape(&format!("{:?}", options.policy))
+    ));
+    out.push_str(&format!(
+        "  \"budget_policy\": \"{}\",\n",
+        json_escape(&format!("{:?}", options.budget_policy))
+    ));
+    out.push_str(&format!(
+        "  \"planned_capacity\": {},\n",
+        options.planned_capacity
+    ));
+    out.push_str(&format!(
+        "  \"stepper\": \"{}\",\n",
+        stepper_name(&options.config.stepper)
+    ));
+    push_record_tail(
+        &mut out,
+        options.workers,
+        fast_mode,
+        std::time::Duration::from_secs_f64(outcome.wall_seconds),
+        serial.map(|s| std::time::Duration::from_secs_f64(s.wall_seconds)),
+        determinism_verified,
+    );
+    out.push_str(&format!(
+        "  \"streaming_identity\": {{\"steps\": {}, \"epochs\": {}, \"bitwise\": {}, \
+         \"max_abs_diff_k\": {:.3e}}},\n",
+        identity.steps, identity.epochs, identity.bitwise, identity.max_abs_diff_k
+    ));
+    out.push_str(&format!(
+        "  \"snapshot_restore\": {{\"steps\": {}, \"bitwise\": {}, \"json_round_trip\": {}, \
+         \"max_abs_diff_k\": {:.3e}, \"snapshot_bytes\": {}}},\n",
+        fidelity.steps,
+        fidelity.bitwise,
+        fidelity.json_round_trip,
+        fidelity.max_abs_diff_k,
+        fidelity.snapshot_bytes
+    ));
+    let kinds = outcome
+        .event_kind_counts()
+        .into_iter()
+        .map(|(label, n)| format!("\"{}\": {n}", json_escape(label)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    out.push_str(&format!(
+        "  \"soak\": {{\"decisions\": {}, \"batches\": {}, \"sessions_served\": {}, \
+         \"snapshots\": {}, \"epochs\": {}, \"evaluations\": {}, \"degraded_events\": {}, \
+         \"peak_gradient_k\": {:.6}, \"decisions_per_second\": {:.4}, \
+         \"sessions_per_second\": {:.4}, \"decisions_per_second_per_core\": {:.4}, \
+         \"event_kinds\": {{{kinds}}}}},\n",
+        outcome.decisions.len(),
+        outcome.batches,
+        outcome.sessions_served,
+        outcome.snapshots.len(),
+        outcome.metrics.epochs,
+        outcome.metrics.evaluations,
+        outcome.metrics.degraded_events,
+        outcome.peak_gradient_k(),
+        outcome.decisions_per_second(),
+        outcome.sessions_per_second(),
+        outcome.decisions_per_second() / available_cores() as f64,
+    ));
+    let latency = &outcome.metrics.latency;
+    out.push_str(&format!(
+        "  \"decision_latency\": {{\"samples\": {}, \"mean_seconds\": {:.6e}, \
+         \"p50_seconds\": {:.6e}, \"p99_seconds\": {:.6e}, \"min_seconds\": {:.6e}, \
+         \"max_seconds\": {:.6e}}}\n",
+        latency.count(),
+        latency.mean_seconds(),
+        latency.quantile(0.5),
+        latency.quantile(0.99),
+        latency.min_seconds(),
+        latency.max_seconds()
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// The serve mode's acceptance gates, short of the soak determinism check
+/// (which rides the shared serial-baseline machinery): streamed == one-shot
+/// bitwise, and the restored continuation within 1e-9 K of the
+/// uninterrupted stream with a byte-identical JSON round trip. Returns the
+/// failure message, if any.
+fn serve_gate(identity: &StreamingIdentity, fidelity: &SnapshotFidelity) -> Option<String> {
+    if !identity.bitwise {
+        return Some(format!(
+            "streamed trajectory diverged from the one-shot run by {:.3e} K \
+             over {} steps — the streaming path must be bitwise identical",
+            identity.max_abs_diff_k, identity.steps
+        ));
+    }
+    println!(
+        "streaming identity: {} steps, {} epochs — bitwise identical to the one-shot run",
+        identity.steps, identity.epochs
+    );
+    if !fidelity.json_round_trip {
+        return Some("the session snapshot document did not re-serialize byte-identically".into());
+    }
+    // `>` plus an explicit NaN check rather than `!(x <= 1e-9)`: a NaN
+    // divergence must fail the gate, not slip through a negated compare.
+    if fidelity.max_abs_diff_k > 1e-9 || fidelity.max_abs_diff_k.is_nan() {
+        return Some(format!(
+            "restored continuation diverged from the uninterrupted stream by {:.3e} K \
+             (gate: 1e-9 K)",
+            fidelity.max_abs_diff_k
+        ));
+    }
+    println!(
+        "snapshot/restore: {} steps through a {}-byte golden document — \
+         round trip byte-identical, continuation {}",
+        fidelity.steps,
+        fidelity.snapshot_bytes,
+        if fidelity.bitwise {
+            "bitwise".to_string()
+        } else {
+            format!("within {:.3e} K", fidelity.max_abs_diff_k)
+        }
+    );
+    None
+}
+
+/// The serve mode: streaming-vs-one-shot identity, snapshot/restore
+/// fidelity, then a churning multi-session soak gated on parallel
+/// determinism.
+fn run_serve_mode(args: &Args) -> ExitCode {
+    banner("streaming modulation service: identity, snapshot/restore, churn soak");
+    let plan = SoakPlan::bench_default();
+    let available = available_cores();
+    let workers = if args.serial {
+        1
+    } else {
+        args.workers.map_or(available.max(2), NonZeroUsize::get)
+    };
+    let mut config = liquamod::MpsocConfig::fast();
+    coarsen_if_fast(&mut config);
+    config.stepper = args.stepper.clone();
+    let steps_per_phase = (plan.phase_seconds / config.dt_seconds).round() as usize;
+    // The epoch cadence divides the phase length so streamed segment
+    // boundaries land exactly on one-shot epoch steps — the precondition
+    // for the bitwise identity gate.
+    let policy = ModulationPolicy::every(steps_per_phase / 2);
+    let options = ServeOptions {
+        config: config.clone(),
+        policy,
+        budget_policy: BudgetPolicy::GradientWaterfill,
+        avg_scale: 1.0,
+        planned_capacity: plan.sessions.len(),
+        workers,
+    };
+    println!(
+        "plan: {} sessions x {} phases, {} up front then {} per batch, restore churn at \
+         batch {:?}; {available} core(s) available",
+        plan.sessions.len(),
+        plan.phases_per_session,
+        plan.initial_sessions,
+        plan.arrivals_per_batch,
+        plan.restore_at_batch,
+    );
+    println!(
+        "stack: {} channels x {} cells, {} width groups per cavity, two cavities",
+        config.nx, config.nz, config.n_groups,
+    );
+    println!(
+        "clock: dt = {:.1} ms, {steps_per_phase} steps per {:.0} ms phase, epoch policy \
+         {policy:?}, budget policy {:?} over a {}-session provisioning",
+        config.dt_seconds * 1e3,
+        plan.phase_seconds * 1e3,
+        options.budget_policy,
+        options.planned_capacity,
+    );
+
+    let levels: Vec<PowerLevel> = (0..plan.phases_per_session).map(soak_level).collect();
+    let identity = match verify_streaming_identity(
+        &config,
+        policy,
+        plan.sessions[0],
+        &levels[..2.min(levels.len())],
+        plan.phase_seconds,
+    ) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("streaming identity check failed to run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let fidelity = match verify_snapshot_restore(
+        &config,
+        policy,
+        plan.sessions[1],
+        &levels,
+        plan.phase_seconds,
+    ) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("snapshot/restore check failed to run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let outcome = match run_soak(&options, &plan) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("serve soak failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "soak: {} decisions over {} batches in {:.2} s on {} worker(s) — {:.2} decisions/s, \
+         {} sessions served, {} degraded events",
+        outcome.decisions.len(),
+        outcome.batches,
+        outcome.wall_seconds,
+        options.workers,
+        outcome.decisions_per_second(),
+        outcome.sessions_served,
+        outcome.metrics.degraded_events,
+    );
+
+    let mut serial_outcome = None;
+    let mut determinism_verified = false;
+    let mut failure: Option<String> = None;
+    if !args.serial && args.baseline {
+        let serial_options = ServeOptions {
+            workers: 1,
+            ..options.clone()
+        };
+        match serial_baseline(
+            "serve",
+            std::time::Duration::from_secs_f64(outcome.wall_seconds),
+            options.workers,
+            available,
+            || run_soak(&serial_options, &plan).map_err(|e| format!("serial soak failed: {e}")),
+            |s: &SoakOutcome| soak_outcomes_match(s, &outcome),
+            |s| std::time::Duration::from_secs_f64(s.wall_seconds),
+        ) {
+            Ok(serial) => {
+                determinism_verified = true;
+                serial_outcome = Some(serial);
+            }
+            Err(e) => failure = Some(e),
+        }
+    }
+    if failure.is_none() {
+        failure = serve_gate(&identity, &fidelity);
+    }
+    // Like the other gated modes, the record is written even on a gate
+    // failure — the failing run's measurements are the diagnostic.
+    if let Some(path) = &args.json {
+        let record = serve_json_record(
+            &plan,
+            &options,
+            &identity,
+            &fidelity,
+            &outcome,
+            serial_outcome.as_ref(),
+            determinism_verified,
+            liquamod_bench::fast_mode(),
+        );
+        if let Err(e) = write_record(path, "serve", &record) {
+            if let Some(gate) = &failure {
+                eprintln!("error: {gate}");
+            }
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(e) = failure {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -1259,11 +1608,14 @@ fn main() -> ExitCode {
     if args.mode == Mode::Faults {
         return run_faults_mode(&args);
     }
+    if args.mode == Mode::Serve {
+        return run_serve_mode(&args);
+    }
 
     banner("scenario sweep: workload x flux-scale x flow-scale grid");
     let grid = SweepGrid::paper_neighborhood();
     let config = liquamod_bench::config_from_env();
-    let available = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    let available = available_cores();
     println!(
         "grid: {} variants ({} loads x {} flux scales x {} flow scales); {available} core(s) available",
         grid.len(),

@@ -42,6 +42,18 @@ pub enum CoreError {
         /// when the budget was already infeasible at entry.
         segment: Option<usize>,
     },
+    /// A sweep/fleet worker thread panicked while evaluating one scheduling
+    /// unit. The panic is caught at the fan-out boundary and surfaced as a
+    /// typed error so long-running hosts (the serve pool, the bench
+    /// binaries) can degrade instead of dying with the process.
+    WorkerPanicked {
+        /// Label of the scheduling unit that panicked (variant, chain,
+        /// fleet task or serve session).
+        unit: String,
+        /// The panic payload, when it was a string (the common
+        /// `panic!`/`assert!` case).
+        payload: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -73,6 +85,9 @@ impl fmt::Display for CoreError {
                     None => write!(f, " at fleet entry"),
                 }
             }
+            CoreError::WorkerPanicked { unit, payload } => {
+                write!(f, "worker panicked evaluating '{unit}': {payload}")
+            }
         }
     }
 }
@@ -85,7 +100,9 @@ impl std::error::Error for CoreError {
             CoreError::GridSim(e) => Some(e),
             CoreError::Floorplan(e) => Some(e),
             CoreError::OptimalControl(e) => Some(e),
-            CoreError::InvalidConfig { .. } | CoreError::BudgetInfeasible { .. } => None,
+            CoreError::InvalidConfig { .. }
+            | CoreError::BudgetInfeasible { .. }
+            | CoreError::WorkerPanicked { .. } => None,
         }
     }
 }
@@ -153,6 +170,13 @@ mod tests {
             segment: None,
         };
         assert!(entry.to_string().contains("at fleet entry"));
+        let e = CoreError::WorkerPanicked {
+            unit: "arch1 avg-peak f*1.00".into(),
+            payload: "index out of bounds".into(),
+        };
+        assert!(e.source().is_none());
+        let msg = e.to_string();
+        assert!(msg.contains("arch1 avg-peak f*1.00") && msg.contains("index out of bounds"));
     }
 
     #[test]

@@ -124,6 +124,10 @@ pub enum DegradedKind {
     /// An epoch optimization failed; the controller fell back to the last
     /// feasible width profile.
     EpochFallback,
+    /// A serve-layer session's segment run failed; the session was evicted
+    /// from the pool so the other sessions keep being served (see
+    /// [`crate::serve::ServePool::drain_batch`]).
+    SessionEvicted,
 }
 
 impl DegradedKind {
@@ -137,6 +141,7 @@ impl DegradedKind {
             DegradedKind::FeedbackDropped => "feedback-dropped",
             DegradedKind::FeedbackNoisy => "feedback-noisy",
             DegradedKind::EpochFallback => "epoch-fallback",
+            DegradedKind::SessionEvicted => "session-evicted",
         }
     }
 
@@ -150,6 +155,7 @@ impl DegradedKind {
             DegradedKind::FeedbackDropped => 3,
             DegradedKind::FeedbackNoisy => 4,
             DegradedKind::EpochFallback => 5,
+            DegradedKind::SessionEvicted => 6,
         }
     }
 }
@@ -1150,6 +1156,10 @@ pub fn run_faults_sweep(
     let (outcomes, workers, wall) = run_variant_sweep(
         &units,
         options.fleet.mode.resolved_workers(),
+        |&(scenario, aware)| {
+            let side = if aware { "aware" } else { "oblivious" };
+            format!("{} ({side})", scenario.label())
+        },
         |&(scenario, aware)| {
             let schedule = scenario.schedule(horizon, stacks.len(), options.seed);
             run_faulted_fleet(stacks, &options.fleet, &schedule, aware)

@@ -57,7 +57,7 @@ impl BudgetPolicy {
 /// must hand out exactly `total_scale` across the fleet, with every
 /// stack's share inside `[min_scale, max_scale]` (a branch valve can
 /// neither starve a stack nor exceed its channel rating).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PumpBudget {
     /// Sum of all stacks' flow scales the pump sustains.
     pub total_scale: f64,

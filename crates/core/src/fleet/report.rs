@@ -230,7 +230,7 @@ fn variant_lanes(
                 config: options.config.clone(),
                 policy: options.policy,
                 allocation,
-                budget: budget.clone(),
+                budget,
                 phase_seconds: options.phase_seconds,
                 segments_per_phase: options.segments_per_phase,
                 mode: options.mode,

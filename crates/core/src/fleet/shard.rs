@@ -3,7 +3,7 @@
 
 use super::allocator::{allocate, BudgetPolicy, PumpBudget};
 use crate::mpsoc::{ArchSpec, MpsocModulated, MpsocTraceSpec};
-use crate::sweep::{parallel_map, ExecutionMode};
+use crate::sweep::{catch_unit, parallel_map, ExecutionMode};
 use crate::transient::{EpochPolicy, ModulationPolicy, ResumeState};
 use crate::{mpsoc::MpsocConfig, CoreError, CsvTable, Result};
 use liquamod_floorplan::arch::Architecture;
@@ -274,6 +274,7 @@ pub(crate) fn segment_traces(
                     duration_seconds: p.duration_seconds / per_phase as f64,
                     load: p.load.clone(),
                 }])
+                .expect("segments of a valid trace are valid single-phase traces")
             })
         })
         .collect()
@@ -476,10 +477,15 @@ pub(crate) fn run_fleet_lanes(
                 .controller(ModulationPolicy::Modulated(lane.options.policy))?
                 .run_resumed(&segmented[l][i][seg], carries[l][i].clone())
         };
+        let task_label =
+            |&(l, i): &(usize, usize)| format!("lane {l} {} segment {seg}", stacks[i].label());
         let results = if workers == 1 {
-            tasks.iter().map(run_one).collect::<Vec<_>>()
+            tasks
+                .iter()
+                .map(|t| catch_unit(t, &task_label, &run_one))
+                .collect::<Result<Vec<_>>>()?
         } else {
-            parallel_map(&tasks, workers, run_one)
+            parallel_map(&tasks, workers, task_label, run_one)?
         };
         segment_walls.push(seg_start.elapsed().as_secs_f64());
 

@@ -28,8 +28,11 @@
 //!   time-varying workload traces (epoch-based re-optimization driving the
 //!   finite-volume transient stepper), the [`mpsoc`] subsystem that
 //!   runs the paper's full two-die Fig. 7 stacks — two jointly optimized
-//!   cavities — through that same loop, and the [`fleet`] sharding layer
-//!   that co-optimizes many stacks under one shared pump budget.
+//!   cavities — through that same loop, the [`fleet`] sharding layer
+//!   that co-optimizes many stacks under one shared pump budget, and the
+//!   [`serve`] streaming service that multiplexes long-running stack
+//!   sessions — phases in, width decisions out, snapshot/restore across
+//!   restarts — over the same deterministic machinery.
 //!
 //! # Quickstart
 //!
@@ -58,6 +61,7 @@ pub mod faults;
 pub mod fleet;
 pub mod mpsoc;
 mod scenario;
+pub mod serve;
 pub mod sweep;
 pub mod transient;
 
@@ -79,6 +83,11 @@ pub use fleet::{
 };
 pub use mpsoc::{run_mpsoc_sweep, MpsocConfig, MpsocGrid, MpsocModulated, MpsocReport, MpsocRow};
 pub use scenario::{mpsoc_model, strip_model, MpsocScenario};
+pub use serve::{
+    run_soak, soak_outcomes_match, verify_snapshot_restore, verify_streaming_identity,
+    LatencyHistogram, PoolMetrics, ServeBatch, ServeOptions, ServePool, SessionSnapshot,
+    SnapshotFidelity, SoakOutcome, SoakPlan, StreamingIdentity, WidthDecision,
+};
 pub use sweep::{
     run_sweep, ExecutionMode, LoadSpec, SweepGrid, SweepOptions, SweepReport, SweepRow,
     SweepVariant,

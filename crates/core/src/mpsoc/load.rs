@@ -96,6 +96,7 @@ pub fn arch_trace(
             })
             .collect(),
     )
+    .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Joins independently scheduled per-die traces into one MPSoC trace — the

@@ -118,7 +118,7 @@ impl MpsocConfig {
         Ok(config)
     }
 
-    fn validate(&self) -> Result<()> {
+    pub(crate) fn validate(&self) -> Result<()> {
         if self.n_groups == 0 || self.nx == 0 || !self.nx.is_multiple_of(self.n_groups) {
             return Err(CoreError::InvalidConfig {
                 what: format!(

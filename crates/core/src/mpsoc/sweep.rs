@@ -331,10 +331,12 @@ pub fn evaluate_mpsoc_variant(
 /// Every variant is evaluated regardless of failures; the sweep then
 /// returns the first failure in grid order and discards the partial report.
 pub fn run_mpsoc_sweep(grid: &MpsocGrid, options: &MpsocSweepOptions) -> Result<MpsocReport> {
-    let (rows, workers, wall) =
-        run_variant_sweep(&grid.variants(), options.resolved_workers(), |v| {
-            evaluate_mpsoc_variant(v, options)
-        })?;
+    let (rows, workers, wall) = run_variant_sweep(
+        &grid.variants(),
+        options.resolved_workers(),
+        MpsocVariant::label,
+        |v| evaluate_mpsoc_variant(v, options),
+    )?;
     Ok(MpsocReport {
         rows,
         workers,

@@ -1,0 +1,285 @@
+//! Lightweight service metrics: decision-latency histograms and
+//! monotonically increasing event counters.
+//!
+//! The serve layer's numeric *outputs* (width decisions, degraded events)
+//! are deterministic and gated bitwise; its *metrics* measure the wall
+//! clock and are therefore explicitly outside every identity gate. The
+//! histogram keeps fixed log-spaced buckets (factor 2 per bucket, 1 µs
+//! floor) so merging per-session histograms into a pool-wide one is an
+//! element-wise add and quantile queries never allocate.
+
+/// Seconds spanned by the first histogram bucket (everything ≤ 1 µs).
+const BASE_SECONDS: f64 = 1e-6;
+
+/// Number of factor-2 buckets: `1 µs · 2^47` ≈ 1.6e8 s, far beyond any
+/// decision latency; later samples land in the last (open-ended) bucket.
+const BUCKETS: usize = 48;
+
+/// A fixed-size log-spaced latency histogram (factor-2 buckets, 1 µs
+/// floor) with exact count/sum/min/max side channels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum_seconds: f64,
+    min_seconds: f64,
+    max_seconds: f64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum_seconds: 0.0,
+            min_seconds: f64::INFINITY,
+            max_seconds: 0.0,
+        }
+    }
+
+    /// The bucket index a latency falls into: bucket `i` holds samples in
+    /// `(BASE·2^(i−1), BASE·2^i]` (bucket 0 holds everything ≤ `BASE`;
+    /// [`record`](Self::record) sanitizes samples, so `seconds` is always
+    /// finite and non-negative here).
+    fn bucket(seconds: f64) -> usize {
+        if seconds <= BASE_SECONDS {
+            return 0;
+        }
+        let i = (seconds / BASE_SECONDS).log2().ceil() as usize;
+        i.min(BUCKETS - 1)
+    }
+
+    /// The representative latency reported for a bucket: its upper bound.
+    fn bucket_upper(i: usize) -> f64 {
+        BASE_SECONDS * (1u64 << i.min(52)) as f64
+    }
+
+    /// Records one latency sample. Non-finite or negative samples count
+    /// into the first bucket (they indicate a clock anomaly, not a fast
+    /// decision, but dropping them would skew the count).
+    pub fn record(&mut self, seconds: f64) {
+        let s = if seconds.is_finite() && seconds >= 0.0 {
+            seconds
+        } else {
+            0.0
+        };
+        self.counts[Self::bucket(s)] += 1;
+        self.count += 1;
+        self.sum_seconds += s;
+        self.min_seconds = self.min_seconds.min(s);
+        self.max_seconds = self.max_seconds.max(s);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in seconds (0 when empty).
+    #[must_use]
+    pub fn mean_seconds(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_seconds / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample in seconds (0 when empty).
+    #[must_use]
+    pub fn min_seconds(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min_seconds
+        }
+    }
+
+    /// Largest recorded sample in seconds (0 when empty).
+    #[must_use]
+    pub fn max_seconds(&self) -> f64 {
+        self.max_seconds
+    }
+
+    /// The latency at quantile `q` ∈ [0, 1]: the upper bound of the bucket
+    /// holding the `⌈q·count⌉`-th smallest sample, clamped to the exact
+    /// observed [min, max] so single-sample histograms report the sample
+    /// itself. Returns 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_upper(i).clamp(self.min_seconds, self.max_seconds);
+            }
+        }
+        self.max_seconds
+    }
+
+    /// Adds every sample of `other` into `self` (bucket-wise; the exact
+    /// min/max/sum side channels merge exactly).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_seconds += other.sum_seconds;
+        if other.count > 0 {
+            self.min_seconds = self.min_seconds.min(other.min_seconds);
+            self.max_seconds = self.max_seconds.max(other.max_seconds);
+        }
+    }
+}
+
+/// Per-session serve counters, updated once per width decision.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SessionMetrics {
+    /// Decision latency of every segment this session ran.
+    pub latency: LatencyHistogram,
+    /// Segments (width decisions) served.
+    pub segments: u64,
+    /// Modulation epochs across all served segments.
+    pub epochs: u64,
+    /// Optimizer objective evaluations across all served segments.
+    pub evaluations: u64,
+    /// Degraded-mode events surfaced by this session's runs.
+    pub degraded_events: u64,
+}
+
+impl SessionMetrics {
+    /// Folds one served segment into the counters.
+    pub fn record_decision(
+        &mut self,
+        latency_seconds: f64,
+        epochs: usize,
+        evaluations: usize,
+        degraded: usize,
+    ) {
+        self.latency.record(latency_seconds);
+        self.segments += 1;
+        self.epochs += epochs as u64;
+        self.evaluations += evaluations as u64;
+        self.degraded_events += degraded as u64;
+    }
+}
+
+/// Pool-wide serve counters: the union of every session's metrics plus
+/// lifecycle counts the sessions cannot see.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PoolMetrics {
+    /// Decision latency across all sessions (merged histograms).
+    pub latency: LatencyHistogram,
+    /// Sessions opened over the pool's lifetime.
+    pub sessions_opened: u64,
+    /// Sessions closed by the caller.
+    pub sessions_closed: u64,
+    /// Sessions evicted after a failed segment run.
+    pub sessions_failed: u64,
+    /// Batches drained.
+    pub batches: u64,
+    /// Width decisions served across all sessions.
+    pub decisions: u64,
+    /// Modulation epochs across all served segments.
+    pub epochs: u64,
+    /// Optimizer objective evaluations across all served segments.
+    pub evaluations: u64,
+    /// Degraded-mode events recorded (session runs and pool lifecycle).
+    pub degraded_events: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_an_empty_histogram_are_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean_seconds(), 0.0);
+        assert_eq!(h.min_seconds(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_reports_itself_at_every_quantile() {
+        let mut h = LatencyHistogram::new();
+        h.record(3.7e-3);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(0.0), 3.7e-3);
+        assert_eq!(h.quantile(0.5), 3.7e-3);
+        assert_eq!(h.quantile(0.99), 3.7e-3);
+        assert_eq!(h.mean_seconds(), 3.7e-3);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bucket_bounded() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=100u32 {
+            h.record(f64::from(i) * 1e-4); // 0.1 ms .. 10 ms
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p99, "p50 {p50} must not exceed p99 {p99}");
+        // The median sample is 5 ms; its factor-2 bucket tops out at 8.192 ms.
+        assert!((4e-3..=9e-3).contains(&p50), "p50 {p50}");
+        assert!(p99 <= h.max_seconds());
+        assert!(h.min_seconds() == 1e-4);
+    }
+
+    #[test]
+    fn merge_is_sample_union() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(1e-3);
+        b.record(4e-3);
+        b.record(2e-6);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.min_seconds(), 2e-6);
+        assert_eq!(merged.max_seconds(), 4e-3);
+        let mut all = LatencyHistogram::new();
+        for s in [1e-3, 4e-3, 2e-6] {
+            all.record(s);
+        }
+        assert_eq!(merged, all);
+    }
+
+    #[test]
+    fn pathological_samples_count_without_poisoning_sums() {
+        let mut h = LatencyHistogram::new();
+        h.record(f64::NAN);
+        h.record(-1.0);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 3);
+        assert!(h.mean_seconds().is_finite());
+        assert_eq!(h.min_seconds(), 0.0);
+    }
+
+    #[test]
+    fn session_metrics_accumulate() {
+        let mut m = SessionMetrics::default();
+        m.record_decision(1e-3, 2, 40, 1);
+        m.record_decision(2e-3, 1, 10, 0);
+        assert_eq!(m.segments, 2);
+        assert_eq!(m.epochs, 3);
+        assert_eq!(m.evaluations, 50);
+        assert_eq!(m.degraded_events, 1);
+        assert_eq!(m.latency.count(), 2);
+    }
+}

@@ -1,0 +1,355 @@
+//! One streaming modulation session: a stack admitted to the
+//! [`ServePool`](crate::serve::ServePool), its queue of not-yet-served
+//! workload phases, and the [`ResumeState`] thread that keeps its thermal
+//! trajectory continuous across decisions — and, via [`SessionSnapshot`],
+//! across process restarts.
+
+use std::collections::VecDeque;
+
+use liquamod_grid_sim::snapshot as snap;
+use liquamod_grid_sim::GridSimError;
+
+use crate::mpsoc::{ArchSpec, MpsocTrace};
+use crate::serve::metrics::SessionMetrics;
+use crate::transient::ResumeState;
+use crate::{CoreError, Result};
+
+/// Stable numeric code for an architecture in snapshot documents.
+fn arch_code(arch: ArchSpec) -> f64 {
+    match arch {
+        ArchSpec::Arch1 => 0.0,
+        ArchSpec::Arch2 => 1.0,
+        ArchSpec::Arch3 => 2.0,
+    }
+}
+
+/// Inverse of [`arch_code`].
+fn arch_from_code(code: f64) -> Result<ArchSpec> {
+    if code == 0.0 {
+        Ok(ArchSpec::Arch1)
+    } else if code == 1.0 {
+        Ok(ArchSpec::Arch2)
+    } else if code == 2.0 {
+        Ok(ArchSpec::Arch3)
+    } else {
+        Err(CoreError::GridSim(GridSimError::InvalidSnapshot {
+            what: format!("unknown architecture code {code}"),
+        }))
+    }
+}
+
+/// A live streaming session inside the pool.
+#[derive(Debug, Clone)]
+pub(crate) struct ServeSession {
+    id: u64,
+    arch: ArchSpec,
+    queued: VecDeque<MpsocTrace>,
+    resume: Option<ResumeState>,
+    segments_done: usize,
+    clock_seconds: f64,
+    metrics: SessionMetrics,
+}
+
+impl ServeSession {
+    /// A fresh session on `arch` with an empty queue and no history.
+    pub(crate) fn new(id: u64, arch: ArchSpec) -> Self {
+        Self {
+            id,
+            arch,
+            queued: VecDeque::new(),
+            resume: None,
+            segments_done: 0,
+            clock_seconds: 0.0,
+            metrics: SessionMetrics::default(),
+        }
+    }
+
+    /// Rebuilds a session from a restored snapshot (queue starts empty —
+    /// phases submitted but not served when the snapshot was taken were
+    /// never acknowledged, so the client re-submits them).
+    pub(crate) fn from_snapshot(snapshot: &SessionSnapshot) -> Self {
+        Self {
+            id: snapshot.session_id,
+            arch: snapshot.arch,
+            queued: VecDeque::new(),
+            resume: snapshot.resume.clone(),
+            segments_done: snapshot.segments_done,
+            clock_seconds: snapshot.clock_seconds,
+            metrics: SessionMetrics::default(),
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub(crate) fn arch(&self) -> ArchSpec {
+        self.arch
+    }
+
+    /// Report label, e.g. `session 3 (arch1)`.
+    pub(crate) fn label(&self) -> String {
+        format!("session {} ({})", self.id, self.arch.label())
+    }
+
+    pub(crate) fn queued_len(&self) -> usize {
+        self.queued.len()
+    }
+
+    pub(crate) fn segments_done(&self) -> usize {
+        self.segments_done
+    }
+
+    pub(crate) fn clock_seconds(&self) -> f64 {
+        self.clock_seconds
+    }
+
+    pub(crate) fn metrics(&self) -> &SessionMetrics {
+        &self.metrics
+    }
+
+    /// The gradient feedback the allocator sees: the measured inter-layer
+    /// gradient at the last decision (0 before the first segment runs —
+    /// a cold stack claims no more than the valve minimum).
+    pub(crate) fn last_gradient_k(&self) -> f64 {
+        self.resume.as_ref().map_or(0.0, |r| r.last_gradient_k)
+    }
+
+    pub(crate) fn resume(&self) -> Option<&ResumeState> {
+        self.resume.as_ref()
+    }
+
+    pub(crate) fn enqueue(&mut self, trace: MpsocTrace) {
+        self.queued.push_back(trace);
+    }
+
+    pub(crate) fn pop_trace(&mut self) -> Option<MpsocTrace> {
+        self.queued.pop_front()
+    }
+
+    /// Folds one served segment back into the session: the new resume
+    /// state, the clock advance, and the decision metrics.
+    pub(crate) fn apply_decision(
+        &mut self,
+        resume: ResumeState,
+        duration_seconds: f64,
+        latency_seconds: f64,
+        epochs: usize,
+        evaluations: usize,
+        degraded: usize,
+    ) {
+        self.resume = Some(resume);
+        self.segments_done += 1;
+        self.clock_seconds += duration_seconds;
+        self.metrics
+            .record_decision(latency_seconds, epochs, evaluations, degraded);
+    }
+
+    /// The restartable state of this session right now.
+    pub(crate) fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            session_id: self.id,
+            arch: self.arch,
+            segments_done: self.segments_done,
+            clock_seconds: self.clock_seconds,
+            resume: self.resume.clone(),
+        }
+    }
+}
+
+/// Everything needed to restore an in-flight session after a process
+/// restart: identity, schedule position, and the controller's
+/// [`ResumeState`]. Serializes in the golden-fixture numeric format
+/// ([`liquamod_grid_sim::snapshot`]), so a snapshot written before a
+/// restart parses back **bitwise** and the restored session continues the
+/// exact trajectory of the uninterrupted one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSnapshot {
+    /// The session's pool identifier.
+    pub session_id: u64,
+    /// The architecture the session runs.
+    pub arch: ArchSpec,
+    /// Segments (width decisions) already served.
+    pub segments_done: usize,
+    /// The session clock: total workload seconds served.
+    pub clock_seconds: f64,
+    /// The controller hand-over state (`None` before the first segment).
+    pub resume: Option<ResumeState>,
+}
+
+impl SessionSnapshot {
+    /// Serializes the snapshot as one flat golden-format document. The
+    /// session header uses keys disjoint from [`ResumeState::to_golden_json`]
+    /// (whose body is spliced in verbatim behind `resume_present`), so both
+    /// layers parse from the same document.
+    #[must_use]
+    pub fn to_golden_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"serve_schema_version\": 1,\n");
+        snap::push_scalar(&mut out, "session_id", self.session_id as f64, false);
+        snap::push_scalar(&mut out, "arch_code", arch_code(self.arch), false);
+        snap::push_scalar(&mut out, "segments_done", self.segments_done as f64, false);
+        snap::push_scalar(&mut out, "clock_seconds", self.clock_seconds, false);
+        match &self.resume {
+            None => {
+                snap::push_scalar(&mut out, "resume_present", 0.0, true);
+            }
+            Some(resume) => {
+                snap::push_scalar(&mut out, "resume_present", 1.0, false);
+                let body = resume.to_golden_json();
+                let body = body
+                    .strip_prefix("{\n")
+                    .and_then(|b| b.strip_suffix("}\n"))
+                    .expect("ResumeState::to_golden_json emits a braced document");
+                out.push_str(body);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a document written by [`SessionSnapshot::to_golden_json`],
+    /// bitwise.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::GridSim`] with [`GridSimError::InvalidSnapshot`] on a
+    /// missing key, an unknown schema version or architecture code, or a
+    /// malformed number.
+    pub fn from_golden_json(json: &str) -> Result<Self> {
+        let invalid = |what: String| CoreError::GridSim(GridSimError::InvalidSnapshot { what });
+        let version = snap::parse_scalar(json, "serve_schema_version")?;
+        if version != 1.0 {
+            return Err(invalid(format!(
+                "unsupported serve snapshot schema version {version}"
+            )));
+        }
+        let id = snap::parse_scalar(json, "session_id")?;
+        if !(id.is_finite() && id >= 0.0 && id.fract() == 0.0) {
+            return Err(invalid(format!(
+                "session_id {id} is not a non-negative integer"
+            )));
+        }
+        let segments = snap::parse_scalar(json, "segments_done")?;
+        if !(segments.is_finite() && segments >= 0.0 && segments.fract() == 0.0) {
+            return Err(invalid(format!(
+                "segments_done {segments} is not a non-negative integer"
+            )));
+        }
+        let present = snap::parse_scalar(json, "resume_present")?;
+        let resume = if present == 0.0 {
+            None
+        } else if present == 1.0 {
+            Some(ResumeState::from_golden_json(json)?)
+        } else {
+            return Err(invalid(format!(
+                "resume_present must be 0 or 1, got {present}"
+            )));
+        };
+        Ok(Self {
+            session_id: id as u64,
+            arch: arch_from_code(snap::parse_scalar(json, "arch_code")?)?,
+            segments_done: segments as usize,
+            clock_seconds: snap::parse_scalar(json, "clock_seconds")?,
+            resume,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liquamod_thermal_model::WidthProfile;
+    use liquamod_units::Length;
+
+    fn sample_resume() -> ResumeState {
+        ResumeState {
+            state: vec![300.15, 301.0 + 1e-13, -0.0, 2e-3 / 3.0],
+            widths: vec![
+                vec![WidthProfile::Uniform(Length::from_micrometers(75.0))],
+                vec![WidthProfile::piecewise_linear(vec![
+                    Length::from_micrometers(50.0),
+                    Length::from_micrometers(100.0),
+                ])],
+            ],
+            warm: None,
+            last_gradient_k: 4.25,
+        }
+    }
+
+    #[test]
+    fn snapshot_without_resume_round_trips() {
+        let snap = SessionSnapshot {
+            session_id: 7,
+            arch: ArchSpec::Arch2,
+            segments_done: 0,
+            clock_seconds: 0.0,
+            resume: None,
+        };
+        let back = SessionSnapshot::from_golden_json(&snap.to_golden_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn snapshot_with_resume_round_trips_bitwise() {
+        let snap = SessionSnapshot {
+            session_id: 3,
+            arch: ArchSpec::Arch1,
+            segments_done: 5,
+            clock_seconds: 5.0 * 0.032,
+            resume: Some(sample_resume()),
+        };
+        let doc = snap.to_golden_json();
+        let back = SessionSnapshot::from_golden_json(&doc).unwrap();
+        assert_eq!(back.session_id, 3);
+        assert_eq!(back.arch, ArchSpec::Arch1);
+        assert_eq!(back.segments_done, 5);
+        assert_eq!(back.clock_seconds.to_bits(), snap.clock_seconds.to_bits());
+        let (a, b) = (back.resume.unwrap(), snap.resume.unwrap());
+        assert_eq!(a.last_gradient_k.to_bits(), b.last_gradient_k.to_bits());
+        assert_eq!(a.state.len(), b.state.len());
+        for (x, y) in a.state.iter().zip(&b.state) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(a.widths, b.widths);
+        assert_eq!(a.warm, b.warm);
+    }
+
+    #[test]
+    fn malformed_snapshots_are_typed_errors() {
+        for doc in [
+            "{\n}\n",
+            "{\n  \"serve_schema_version\": 2,\n  \"session_id\": 0e0\n}\n",
+            "{\n  \"serve_schema_version\": 1,\n  \"session_id\": -1e0,\n  \"arch_code\": 0e0,\n  \"segments_done\": 0e0,\n  \"clock_seconds\": 0e0,\n  \"resume_present\": 0e0\n}\n",
+            "{\n  \"serve_schema_version\": 1,\n  \"session_id\": 1e0,\n  \"arch_code\": 9e0,\n  \"segments_done\": 0e0,\n  \"clock_seconds\": 0e0,\n  \"resume_present\": 0e0\n}\n",
+            "{\n  \"serve_schema_version\": 1,\n  \"session_id\": 1e0,\n  \"arch_code\": 0e0,\n  \"segments_done\": 0e0,\n  \"clock_seconds\": 0e0,\n  \"resume_present\": 2e0\n}\n",
+        ] {
+            assert!(
+                matches!(
+                    SessionSnapshot::from_golden_json(doc),
+                    Err(CoreError::GridSim(GridSimError::InvalidSnapshot { .. }))
+                ),
+                "doc should be rejected: {doc}"
+            );
+        }
+    }
+
+    #[test]
+    fn session_lifecycle_tracks_queue_and_clock() {
+        let mut s = ServeSession::new(1, ArchSpec::Arch3);
+        assert_eq!(s.queued_len(), 0);
+        assert_eq!(s.last_gradient_k(), 0.0);
+        s.apply_decision(sample_resume(), 0.032, 1e-3, 2, 20, 1);
+        assert_eq!(s.segments_done(), 1);
+        assert_eq!(s.clock_seconds(), 0.032);
+        assert_eq!(s.last_gradient_k(), 4.25);
+        assert_eq!(s.metrics().segments, 1);
+        let restored = ServeSession::from_snapshot(&s.snapshot());
+        assert_eq!(restored.id(), 1);
+        assert_eq!(restored.arch(), ArchSpec::Arch3);
+        assert_eq!(restored.segments_done(), 1);
+        assert_eq!(restored.last_gradient_k(), 4.25);
+        assert_eq!(restored.label(), "session 1 (arch3)");
+    }
+}

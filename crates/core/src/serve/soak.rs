@@ -1,0 +1,568 @@
+//! Serve-layer drivers: the identity gates the bench and tests run, and
+//! the soak harness that exercises a pool through arrivals, departures,
+//! snapshot/restore churn and budget clamps.
+//!
+//! Three verifiers back the `sweep -- serve` acceptance gates:
+//!
+//! * [`verify_streaming_identity`] — phases fed one at a time through a
+//!   single-session pool must reproduce the one-shot
+//!   [`ModulationController::run`] **bitwise**;
+//! * [`verify_snapshot_restore`] — interrupting a stream, serializing the
+//!   session through [`SessionSnapshot::to_golden_json`], restoring it in a
+//!   *fresh pool* and continuing must match the uninterrupted stream;
+//! * [`run_soak`] twice at different worker counts, compared with
+//!   [`soak_outcomes_match`] — the pool's decisions are deterministic
+//!   under parallel fan-out.
+//!
+//! [`ModulationController::run`]: crate::transient::ModulationController::run
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use liquamod_floorplan::PowerLevel;
+
+use crate::faults::{DegradedEvent, DegradedKind};
+use crate::mpsoc::{arch_trace, ArchSpec, MpsocConfig, MpsocModulated};
+use crate::serve::metrics::PoolMetrics;
+use crate::serve::pool::{ServeOptions, ServePool, WidthDecision};
+use crate::serve::session::SessionSnapshot;
+use crate::transient::{ModulationPolicy, TransientOutcome, TransientSnapshot};
+use crate::{CoreError, Result};
+
+/// The workload level a soak session submits for its `i`-th phase: the
+/// UltraSPARC T1 average/peak burst, alternating.
+#[must_use]
+pub fn soak_level(i: usize) -> PowerLevel {
+    if i.is_multiple_of(2) {
+        PowerLevel::Average
+    } else {
+        PowerLevel::Peak
+    }
+}
+
+/// Drains a pool until every queued phase is served, failing loudly on an
+/// eviction or a stalled pool (verification must not silently shorten).
+fn drain_to_completion(pool: &mut ServePool) -> Result<Vec<WidthDecision>> {
+    let mut decisions = Vec::new();
+    while pool.pending_total() > 0 {
+        let batch = pool.drain_batch()?;
+        if let Some(evicted) = batch
+            .events
+            .iter()
+            .find(|e| e.kind == DegradedKind::SessionEvicted)
+        {
+            return Err(CoreError::InvalidConfig {
+                what: format!("verification stream evicted: {}", evicted.detail),
+            });
+        }
+        if batch.decisions.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                what: "pool made no progress with phases pending".into(),
+            });
+        }
+        decisions.extend(batch.decisions);
+    }
+    Ok(decisions)
+}
+
+/// Streams `levels` one phase at a time through a fresh single-session
+/// pool, returning the per-phase decisions in order.
+fn stream_levels(
+    config: &MpsocConfig,
+    policy: ModulationPolicy,
+    arch: ArchSpec,
+    levels: &[PowerLevel],
+    phase_seconds: f64,
+) -> Result<Vec<WidthDecision>> {
+    let mut pool = ServePool::new(ServeOptions::single(config.clone(), policy))?;
+    let id = pool.open(arch)?;
+    for &level in levels {
+        pool.submit_level(id, level, phase_seconds)?;
+    }
+    drain_to_completion(&mut pool)
+}
+
+/// Bitwise comparison of one streamed snapshot against its one-shot twin
+/// over every physical channel (timestamps are segment-local by contract
+/// and excluded).
+fn snapshot_bits_equal(a: &TransientSnapshot, b: &TransientSnapshot) -> bool {
+    a.peak_k.to_bits() == b.peak_k.to_bits()
+        && a.min_k.to_bits() == b.min_k.to_bits()
+        && a.gradient_k.to_bits() == b.gradient_k.to_bits()
+        && a.injected_w.to_bits() == b.injected_w.to_bits()
+        && a.advected_w.to_bits() == b.advected_w.to_bits()
+        && a.stored_joules.to_bits() == b.stored_joules.to_bits()
+}
+
+/// The largest absolute per-channel difference between two snapshots over
+/// the temperature channels, kelvin.
+fn snapshot_abs_diff_k(a: &TransientSnapshot, b: &TransientSnapshot) -> f64 {
+    (a.peak_k - b.peak_k)
+        .abs()
+        .max((a.min_k - b.min_k).abs())
+        .max((a.gradient_k - b.gradient_k).abs())
+}
+
+/// Compares a stitched stream of outcomes against a reference stream,
+/// returning `(bitwise, max_abs_diff_k, steps)`.
+fn compare_snapshot_streams(
+    stream: &[&TransientOutcome],
+    reference: &[&TransientOutcome],
+) -> (bool, f64, usize) {
+    let a: Vec<&TransientSnapshot> = stream.iter().flat_map(|o| &o.snapshots).collect();
+    let b: Vec<&TransientSnapshot> = reference.iter().flat_map(|o| &o.snapshots).collect();
+    if a.len() != b.len() {
+        return (false, f64::INFINITY, a.len());
+    }
+    let mut bitwise = true;
+    let mut max_diff = 0.0f64;
+    for (x, y) in a.iter().zip(&b) {
+        bitwise &= snapshot_bits_equal(x, y);
+        max_diff = max_diff.max(snapshot_abs_diff_k(x, y));
+    }
+    (bitwise, max_diff, a.len())
+}
+
+/// Compares the stitched epoch records of a stream against a reference:
+/// same firing pattern, same candidates, same adopted widths.
+fn compare_epoch_streams(stream: &[&TransientOutcome], reference: &[&TransientOutcome]) -> bool {
+    let a: Vec<_> = stream.iter().flat_map(|o| &o.epochs).collect();
+    let b: Vec<_> = reference.iter().flat_map(|o| &o.epochs).collect();
+    a.len() == b.len()
+        && a.iter().zip(&b).all(|(x, y)| {
+            x.adopted == y.adopted
+                && x.candidate_gradient_k.to_bits() == y.candidate_gradient_k.to_bits()
+                && x.incumbent_gradient_k.to_bits() == y.incumbent_gradient_k.to_bits()
+                && x.widths_um == y.widths_um
+        })
+}
+
+/// What [`verify_streaming_identity`] measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingIdentity {
+    /// Time steps compared.
+    pub steps: usize,
+    /// Epoch records compared.
+    pub epochs: usize,
+    /// `true` when every physical channel and epoch record matched
+    /// **bitwise** — the gate the bench enforces.
+    pub bitwise: bool,
+    /// Largest absolute temperature-channel difference, kelvin (0 when
+    /// bitwise).
+    pub max_abs_diff_k: f64,
+}
+
+/// Runs the same workload once as a one-shot
+/// [`ModulationController::run`](crate::transient::ModulationController::run)
+/// and once streamed phase-by-phase through a single-session pool, and
+/// compares the two trajectories bitwise.
+///
+/// # Errors
+///
+/// Propagates pool and controller errors; fails when the stream stalls or
+/// is evicted.
+pub fn verify_streaming_identity(
+    config: &MpsocConfig,
+    policy: ModulationPolicy,
+    arch: ArchSpec,
+    levels: &[PowerLevel],
+    phase_seconds: f64,
+) -> Result<StreamingIdentity> {
+    let architecture = arch.architecture();
+    let trace = arch_trace(&architecture, levels, phase_seconds, config.nx, config.nz);
+    let one_shot = MpsocModulated::for_arch(&architecture, config.clone())?
+        .controller(policy)?
+        .run(&trace)?;
+    let streamed = stream_levels(config, policy, arch, levels, phase_seconds)?;
+    let stream_outcomes: Vec<&TransientOutcome> = streamed.iter().map(|d| &d.outcome).collect();
+    let reference = [&one_shot];
+    let (snap_bitwise, max_abs_diff_k, steps) =
+        compare_snapshot_streams(&stream_outcomes, &reference);
+    let epochs_bitwise = compare_epoch_streams(&stream_outcomes, &reference);
+    Ok(StreamingIdentity {
+        steps,
+        epochs: one_shot.epochs.len(),
+        bitwise: snap_bitwise && epochs_bitwise,
+        max_abs_diff_k,
+    })
+}
+
+/// What [`verify_snapshot_restore`] measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotFidelity {
+    /// Time steps compared.
+    pub steps: usize,
+    /// `true` when the restored continuation matched the uninterrupted
+    /// stream bitwise (the JSON round trip preserves every bit, so this is
+    /// the expected outcome; the bench gates at 1e-9 to state the contract).
+    pub bitwise: bool,
+    /// Largest absolute temperature-channel difference, kelvin.
+    pub max_abs_diff_k: f64,
+    /// `true` when parse(serialize(snapshot)) re-serialized to the exact
+    /// same document.
+    pub json_round_trip: bool,
+    /// Size of the serialized snapshot document, bytes.
+    pub snapshot_bytes: usize,
+}
+
+/// Streams `levels`, interrupts the session halfway, round-trips it
+/// through [`SessionSnapshot::to_golden_json`], restores it into a fresh
+/// pool and finishes the stream — then compares against the uninterrupted
+/// stream.
+///
+/// # Errors
+///
+/// Propagates pool, controller and snapshot-parsing errors; requires at
+/// least two phases (there is no halfway point otherwise).
+pub fn verify_snapshot_restore(
+    config: &MpsocConfig,
+    policy: ModulationPolicy,
+    arch: ArchSpec,
+    levels: &[PowerLevel],
+    phase_seconds: f64,
+) -> Result<SnapshotFidelity> {
+    if levels.len() < 2 {
+        return Err(CoreError::InvalidConfig {
+            what: "snapshot/restore verification needs at least two phases".into(),
+        });
+    }
+    let uninterrupted = stream_levels(config, policy, arch, levels, phase_seconds)?;
+
+    let cut = levels.len() / 2;
+    let mut first = ServePool::new(ServeOptions::single(config.clone(), policy))?;
+    let id = first.open(arch)?;
+    for &level in &levels[..cut] {
+        first.submit_level(id, level, phase_seconds)?;
+    }
+    let mut decisions = drain_to_completion(&mut first)?;
+    let snapshot = first.snapshot(id)?;
+    drop(first); // the process "restart": only the document survives
+
+    let doc = snapshot.to_golden_json();
+    let parsed = SessionSnapshot::from_golden_json(&doc)?;
+    let json_round_trip = parsed.to_golden_json() == doc;
+
+    let mut second = ServePool::new(ServeOptions::single(config.clone(), policy))?;
+    let restored = second.restore(&parsed)?;
+    for &level in &levels[cut..] {
+        second.submit_level(restored, level, phase_seconds)?;
+    }
+    decisions.extend(drain_to_completion(&mut second)?);
+
+    let resumed: Vec<&TransientOutcome> = decisions.iter().map(|d| &d.outcome).collect();
+    let reference: Vec<&TransientOutcome> = uninterrupted.iter().map(|d| &d.outcome).collect();
+    let (snap_bitwise, max_abs_diff_k, steps) = compare_snapshot_streams(&resumed, &reference);
+    let epochs_bitwise = compare_epoch_streams(&resumed, &reference);
+    Ok(SnapshotFidelity {
+        steps,
+        bitwise: snap_bitwise && epochs_bitwise,
+        max_abs_diff_k,
+        json_round_trip,
+        snapshot_bytes: doc.len(),
+    })
+}
+
+/// The shape of a soak run: which sessions arrive, how much work each
+/// submits, and how the fleet churns while serving.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakPlan {
+    /// One architecture per session, in arrival order.
+    pub sessions: Vec<ArchSpec>,
+    /// Phases each session streams ([`soak_level`] schedule).
+    pub phases_per_session: usize,
+    /// Duration of every phase, seconds.
+    pub phase_seconds: f64,
+    /// Sessions opened before the first batch (fewer than the plan total
+    /// forces the under-subscribed budget clamp, and the rest arriving
+    /// mid-run exercises arrival revalidation).
+    pub initial_sessions: usize,
+    /// Pending sessions admitted after each batch (≥ 1 keeps arrivals
+    /// flowing; the default staggers them one per batch).
+    pub arrivals_per_batch: usize,
+    /// After this many served batches, the lowest-id live session is
+    /// closed, round-tripped through its golden snapshot document and
+    /// restored — mid-run snapshot/restore churn under load.
+    pub restore_at_batch: Option<u64>,
+}
+
+impl SoakPlan {
+    /// A small default: the three Fig. 7 architectures twice over, four
+    /// phases each, arriving two-first — under-subscribed against a
+    /// six-session provisioning — with restore churn after two batches.
+    #[must_use]
+    pub fn bench_default() -> Self {
+        Self {
+            sessions: vec![
+                ArchSpec::Arch1,
+                ArchSpec::Arch2,
+                ArchSpec::Arch3,
+                ArchSpec::Arch1,
+                ArchSpec::Arch2,
+                ArchSpec::Arch3,
+            ],
+            phases_per_session: 4,
+            phase_seconds: 0.032,
+            initial_sessions: 2,
+            arrivals_per_batch: 1,
+            restore_at_batch: Some(2),
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        let bad = |what: String| Err(CoreError::InvalidConfig { what });
+        if self.sessions.is_empty() {
+            return bad("a soak plan needs at least one session".into());
+        }
+        if self.phases_per_session == 0 {
+            return bad("phases_per_session must be ≥ 1".into());
+        }
+        if !(self.phase_seconds.is_finite() && self.phase_seconds > 0.0) {
+            return bad(format!(
+                "phase_seconds must be positive, got {}",
+                self.phase_seconds
+            ));
+        }
+        if self.initial_sessions == 0 {
+            return bad("initial_sessions must be ≥ 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Everything a soak run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakOutcome {
+    /// Every width decision served, in service order.
+    pub decisions: Vec<WidthDecision>,
+    /// Final snapshot of every session that departed (restore churn
+    /// snapshots included).
+    pub snapshots: Vec<SessionSnapshot>,
+    /// The pool's complete degraded-event log.
+    pub events: Vec<DegradedEvent>,
+    /// The pool's final metrics.
+    pub metrics: PoolMetrics,
+    /// Batches that served work.
+    pub batches: u64,
+    /// Sessions that ran to completion.
+    pub sessions_served: usize,
+    /// Wall-clock duration of the soak (measurement only).
+    pub wall_seconds: f64,
+}
+
+impl SoakOutcome {
+    /// Width decisions per wall-clock second.
+    #[must_use]
+    pub fn decisions_per_second(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.decisions.len() as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Completed sessions per wall-clock second.
+    #[must_use]
+    pub fn sessions_per_second(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.sessions_served as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// The largest time-peak gradient any decision reported, kelvin.
+    #[must_use]
+    pub fn peak_gradient_k(&self) -> f64 {
+        self.decisions
+            .iter()
+            .map(|d| d.peak_gradient_k)
+            .fold(0.0, f64::max)
+    }
+
+    /// Occurrences of each degraded-event kind, by stable label.
+    #[must_use]
+    pub fn event_kind_counts(&self) -> Vec<(&'static str, usize)> {
+        let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for e in &self.events {
+            *counts.entry(e.kind.label()).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+}
+
+/// Runs a full service lifecycle against one pool: staggered arrivals into
+/// an under-provisioned fleet, incremental phase submission, mid-run
+/// snapshot/restore churn, departures as sessions finish — the soak the
+/// `BENCH_serve.json` record measures.
+///
+/// # Errors
+///
+/// Propagates pool errors and rejects degenerate plans; fails loudly if
+/// the pool stops making progress.
+pub fn run_soak(options: &ServeOptions, plan: &SoakPlan) -> Result<SoakOutcome> {
+    plan.validate()?;
+    let total = plan.sessions.len();
+    let mut pool = ServePool::new(options.clone())?;
+    let started = Instant::now();
+    // Phases submitted so far per session — also the next soak_level index.
+    let mut submitted: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut opened = 0usize;
+    let mut decisions: Vec<WidthDecision> = Vec::new();
+    let mut snapshots: Vec<SessionSnapshot> = Vec::new();
+    let mut restored_once = false;
+
+    while opened < plan.initial_sessions.min(total) {
+        let id = pool.open(plan.sessions[opened])?;
+        pool.submit_level(id, soak_level(0), plan.phase_seconds)?;
+        submitted.insert(id, 1);
+        opened += 1;
+    }
+
+    let cap = ((total * plan.phases_per_session + total + 8) * 4) as u64;
+    let mut iterations = 0u64;
+    loop {
+        iterations += 1;
+        if iterations > cap {
+            return Err(CoreError::InvalidConfig {
+                what: format!("soak did not converge within {cap} iterations"),
+            });
+        }
+        let batch = pool.drain_batch()?;
+        for decision in &batch.decisions {
+            let id = decision.session_id;
+            if pool.queue_depth(id).is_err() {
+                continue; // evicted later in the same batch
+            }
+            let count = submitted.get(&id).copied().unwrap_or(0);
+            if count < plan.phases_per_session {
+                pool.submit_level(id, soak_level(count), plan.phase_seconds)?;
+                submitted.insert(id, count + 1);
+            } else if pool.queue_depth(id)? == 0 {
+                // Departure: the session streamed everything it will.
+                snapshots.push(pool.close(id)?);
+            }
+        }
+        decisions.extend(batch.decisions);
+
+        let mut arrivals = 0usize;
+        while opened < total && arrivals < plan.arrivals_per_batch.max(1) {
+            let id = pool.open(plan.sessions[opened])?;
+            pool.submit_level(id, soak_level(0), plan.phase_seconds)?;
+            submitted.insert(id, 1);
+            opened += 1;
+            arrivals += 1;
+        }
+
+        if !restored_once
+            && plan
+                .restore_at_batch
+                .is_some_and(|at| pool.metrics().batches >= at)
+        {
+            restored_once = true;
+            if let Some(&id) = pool.session_ids().first() {
+                let snapshot = pool.close(id)?;
+                // The churn must survive the serialized form, not the
+                // in-memory one.
+                let parsed = SessionSnapshot::from_golden_json(&snapshot.to_golden_json())?;
+                snapshots.push(snapshot);
+                if parsed.segments_done < plan.phases_per_session {
+                    let id = pool.restore(&parsed)?;
+                    // Re-submit from where the snapshot left off (queued
+                    // phases were dropped by the close).
+                    pool.submit_level(id, soak_level(parsed.segments_done), plan.phase_seconds)?;
+                    submitted.insert(id, parsed.segments_done + 1);
+                }
+                // A session that had already streamed everything departs
+                // with the close above — nothing to restore.
+            }
+        }
+
+        if opened == total && pool.pending_total() == 0 {
+            break;
+        }
+    }
+    for id in pool.session_ids() {
+        snapshots.push(pool.close(id)?);
+    }
+
+    let sessions_served = snapshots
+        .iter()
+        .filter(|s| s.segments_done >= plan.phases_per_session)
+        .count();
+    Ok(SoakOutcome {
+        decisions,
+        snapshots,
+        events: pool.events().to_vec(),
+        metrics: pool.metrics().clone(),
+        batches: pool.metrics().batches,
+        sessions_served,
+        wall_seconds: started.elapsed().as_secs_f64(),
+    })
+}
+
+/// Whether two soak runs produced the same service output — every decision
+/// bitwise on every physical channel, every event and snapshot equal —
+/// ignoring only the wall-clock measurements. The determinism gate:
+/// [`run_soak`] at any two worker counts must satisfy this.
+#[must_use]
+pub fn soak_outcomes_match(a: &SoakOutcome, b: &SoakOutcome) -> bool {
+    if a.decisions.len() != b.decisions.len()
+        || a.snapshots != b.snapshots
+        || a.events != b.events
+        || a.batches != b.batches
+        || a.sessions_served != b.sessions_served
+    {
+        return false;
+    }
+    a.decisions.iter().zip(&b.decisions).all(|(x, y)| {
+        x.session_id == y.session_id
+            && x.arch == y.arch
+            && x.segment == y.segment
+            && x.time_seconds.to_bits() == y.time_seconds.to_bits()
+            && x.flow_scale.to_bits() == y.flow_scale.to_bits()
+            && x.peak_gradient_k.to_bits() == y.peak_gradient_k.to_bits()
+            && x.peak_temperature_k.to_bits() == y.peak_temperature_k.to_bits()
+            && x.min_width_um.to_bits() == y.min_width_um.to_bits()
+            && x.max_width_um.to_bits() == y.max_width_um.to_bits()
+            && x.epochs_adopted == y.epochs_adopted
+            && x.evaluations == y.evaluations
+            && compare_snapshot_streams(&[&x.outcome], &[&y.outcome]).0
+            && compare_epoch_streams(&[&x.outcome], &[&y.outcome])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soak_levels_alternate() {
+        assert_eq!(soak_level(0), PowerLevel::Average);
+        assert_eq!(soak_level(1), PowerLevel::Peak);
+        assert_eq!(soak_level(2), PowerLevel::Average);
+    }
+
+    #[test]
+    fn degenerate_plans_are_rejected() {
+        let base = SoakPlan::bench_default();
+        let mut p = base.clone();
+        p.sessions.clear();
+        assert!(p.validate().is_err());
+        let mut p = base.clone();
+        p.phases_per_session = 0;
+        assert!(p.validate().is_err());
+        let mut p = base.clone();
+        p.phase_seconds = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = base;
+        p.initial_sessions = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn bench_default_plan_is_valid_and_undersubscribed() {
+        let plan = SoakPlan::bench_default();
+        assert!(plan.validate().is_ok());
+        assert!(plan.initial_sessions < plan.sessions.len());
+    }
+}

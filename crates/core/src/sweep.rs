@@ -49,7 +49,7 @@
 use crate::compare::DesignComparison;
 use crate::design::OptimizationConfig;
 use crate::scenario::strip_model;
-use crate::{CsvTable, Result};
+use crate::{CoreError, CsvTable, Result};
 use liquamod_floorplan::testcase::{self, StripLoad};
 use liquamod_thermal_model::ModelParams;
 use std::num::NonZeroUsize;
@@ -490,16 +490,22 @@ pub fn run_sweep(grid: &SweepGrid, options: &SweepOptions) -> Result<SweepReport
         workers.min(chains.len())
     };
 
+    // A chain is labelled by its first variant — enough to identify the
+    // scheduling unit in a `WorkerPanicked` report.
+    let chain_label = |c: &&[SweepVariant]| {
+        c.first()
+            .map_or_else(|| "empty chain".to_string(), |v| v.label())
+    };
+    let eval =
+        |c: &&[SweepVariant]| evaluate_chain(c, &options.params, &config, options.warm_start);
     let start = Instant::now();
     let chain_results: Vec<Vec<Result<SweepRow>>> = if workers == 1 {
         chains
             .iter()
-            .map(|c| evaluate_chain(c, &options.params, &config, options.warm_start))
-            .collect()
+            .map(|c| catch_unit(c, &chain_label, &eval))
+            .collect::<Result<Vec<_>>>()?
     } else {
-        parallel_map(&chains, workers, |c| {
-            evaluate_chain(c, &options.params, &config, options.warm_start)
-        })
+        parallel_map(&chains, workers, chain_label, eval)?
     };
     let wall = start.elapsed();
 
@@ -526,6 +532,7 @@ pub fn run_sweep(grid: &SweepGrid, options: &SweepOptions) -> Result<SweepReport
 pub(crate) fn run_variant_sweep<V: Sync, R: Send>(
     variants: &[V],
     requested_workers: usize,
+    label: impl Fn(&V) -> String + Sync,
     eval: impl Fn(&V) -> Result<R> + Sync,
 ) -> Result<(Vec<R>, usize, Duration)> {
     let workers = if variants.len() <= 1 {
@@ -535,24 +542,69 @@ pub(crate) fn run_variant_sweep<V: Sync, R: Send>(
     };
     let start = Instant::now();
     let results: Vec<Result<R>> = if workers == 1 {
-        variants.iter().map(&eval).collect()
+        variants
+            .iter()
+            .map(|v| catch_unit(v, &label, &eval))
+            .collect::<Result<Vec<_>>>()?
     } else {
-        parallel_map(variants, workers, &eval)
+        parallel_map(variants, workers, label, eval)?
     };
     let wall = start.elapsed();
     let rows = results.into_iter().collect::<Result<Vec<_>>>()?;
     Ok((rows, workers, wall))
 }
 
+/// Stringifies a worker panic payload — `panic!`/`assert!` carry `&str` or
+/// `String`; anything else is reported generically.
+fn panic_payload(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Evaluates one scheduling unit behind the panic boundary every fan-out
+/// shares: a panic inside `f` becomes [`CoreError::WorkerPanicked`]
+/// carrying the unit's label instead of unwinding the whole process — a
+/// served host must degrade, not die. `AssertUnwindSafe` is sound here
+/// because an `Err` discards every result of the fan-out, so no state
+/// poisoned mid-panic is ever observed.
+pub(crate) fn catch_unit<T, R>(
+    item: &T,
+    label: &(impl Fn(&T) -> String + ?Sized),
+    f: &(impl Fn(&T) -> R + ?Sized),
+) -> Result<R> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item))).map_err(|p| {
+        CoreError::WorkerPanicked {
+            unit: label(item),
+            payload: panic_payload(p),
+        }
+    })
+}
+
 /// Maps `f` over `items` on `workers` threads, preserving input order in
 /// the output. Work is distributed dynamically (an atomic cursor) so slow
 /// variants don't serialize behind a static partition. Shared with the
-/// transient sweep ([`crate::transient::run_transient_sweep`]).
-pub(crate) fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+/// transient sweep ([`crate::transient::run_transient_sweep`]), the fleet
+/// wavefront scheduler and the serve session pool.
+///
+/// A panicking unit surfaces as [`CoreError::WorkerPanicked`] labelled via
+/// `label`; when several units panic, the first in **item order** wins, so
+/// the reported unit is independent of thread interleaving.
+pub(crate) fn parallel_map<T, R, F, N>(
+    items: &[T],
+    workers: usize,
+    label: N,
+    f: F,
+) -> Result<Vec<R>>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
+    N: Fn(&T) -> String + Sync,
 {
     let cursor = AtomicUsize::new(0);
     let workers = workers.min(items.len()).max(1);
@@ -566,15 +618,18 @@ where
                         if i >= items.len() {
                             break;
                         }
-                        chunk.push((i, f(&items[i])));
+                        chunk.push((i, catch_unit(&items[i], &label, &f)));
                     }
                     chunk
                 })
             })
             .collect();
-        let mut indexed: Vec<(usize, R)> = handles
+        let mut indexed: Vec<(usize, Result<R>)> = handles
             .into_iter()
-            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .flat_map(|h| {
+                h.join()
+                    .expect("workers catch unit panics, so joining cannot fail")
+            })
             .collect();
         indexed.sort_by_key(|(i, _)| *i);
         indexed.into_iter().map(|(_, r)| r).collect()
@@ -762,9 +817,65 @@ mod tests {
     #[test]
     fn parallel_map_preserves_order_under_contention() {
         let items: Vec<usize> = (0..97).collect();
-        let out = parallel_map(&items, 5, |&x| x * 3);
+        let out = parallel_map(&items, 5, |&x| format!("item {x}"), |&x| x * 3).unwrap();
         assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
         // Degenerate worker counts still work.
-        assert_eq!(parallel_map(&items, 200, |&x| x + 1).len(), 97);
+        let out = parallel_map(&items, 200, |&x| format!("item {x}"), |&x| x + 1).unwrap();
+        assert_eq!(out.len(), 97);
+    }
+
+    #[test]
+    fn worker_panic_is_a_typed_error_not_a_crash() {
+        // Before `catch_unit`, the join did `.expect("sweep worker
+        // panicked")` and took the whole process down with the variant.
+        let items: Vec<usize> = (0..16).collect();
+        let err = parallel_map(
+            &items,
+            4,
+            |&x| format!("unit {x}"),
+            |&x| {
+                assert!(x != 11, "injected failure on item 11");
+                x * 2
+            },
+        )
+        .unwrap_err();
+        match err {
+            CoreError::WorkerPanicked { unit, payload } => {
+                assert_eq!(unit, "unit 11");
+                assert!(payload.contains("injected failure"), "payload: {payload}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        // Several panicking units: the first in item order wins, whatever
+        // the thread interleaving.
+        let err = parallel_map(
+            &items,
+            4,
+            |&x| format!("unit {x}"),
+            |&x| {
+                assert!(x < 5, "boom");
+                x
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::WorkerPanicked { ref unit, .. } if unit == "unit 5"
+        ));
+        // The serial path degrades identically (parallel == serial).
+        let err = run_variant_sweep(
+            &items,
+            1,
+            |&x| format!("unit {x}"),
+            |&x| -> Result<usize> {
+                assert!(x != 3, "serial failure");
+                Ok(x)
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::WorkerPanicked { ref unit, .. } if unit == "unit 3"
+        ));
     }
 }

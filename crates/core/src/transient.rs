@@ -90,6 +90,187 @@ pub struct ResumeState {
     pub last_gradient_k: f64,
 }
 
+impl ResumeState {
+    /// Serializes the resume state in the workspace's golden-fixture
+    /// numeric format ([`liquamod_grid_sim::snapshot`]): flat arrays of
+    /// shortest-round-trip numbers, so a snapshot written before a process
+    /// restart parses back **bitwise** and
+    /// [`ModulationController::run_resumed`] continues the trajectory as if
+    /// the restart never happened. The width profiles flatten to four
+    /// parallel arrays (profiles per cavity, a kind code per profile —
+    /// 0 uniform / 1 piecewise-constant / 2 piecewise-linear — values per
+    /// profile, and the values in metres); the optimizer warm start rides
+    /// along behind a presence flag.
+    #[must_use]
+    pub fn to_golden_json(&self) -> String {
+        use liquamod_grid_sim::snapshot as snap;
+        let profiles: Vec<&WidthProfile> = self.widths.iter().flatten().collect();
+        let profile_values = |p: &WidthProfile| -> Vec<f64> {
+            match p {
+                WidthProfile::Uniform(w) => vec![w.si()],
+                WidthProfile::PiecewiseConstant { widths } => {
+                    widths.iter().map(|w| w.si()).collect()
+                }
+                WidthProfile::PiecewiseLinear { knots } => knots.iter().map(|w| w.si()).collect(),
+            }
+        };
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema_version\": 1,\n");
+        snap::push_scalar(&mut out, "last_gradient_k", self.last_gradient_k, false);
+        snap::push_array(&mut out, "state", self.state.iter().copied(), false);
+        snap::push_array(
+            &mut out,
+            "width_cavity_counts",
+            self.widths.iter().map(|cavity| cavity.len() as f64),
+            false,
+        );
+        snap::push_array(
+            &mut out,
+            "width_kinds",
+            profiles.iter().map(|p| match p {
+                WidthProfile::Uniform(_) => 0.0,
+                WidthProfile::PiecewiseConstant { .. } => 1.0,
+                WidthProfile::PiecewiseLinear { .. } => 2.0,
+            }),
+            false,
+        );
+        snap::push_array(
+            &mut out,
+            "width_value_counts",
+            profiles.iter().map(|p| profile_values(p).len() as f64),
+            false,
+        );
+        snap::push_array(
+            &mut out,
+            "width_values_m",
+            profiles.iter().flat_map(|p| profile_values(p)),
+            false,
+        );
+        snap::push_scalar(
+            &mut out,
+            "warm_present",
+            if self.warm.is_some() { 1.0 } else { 0.0 },
+            false,
+        );
+        let warm = self.warm.as_ref();
+        let empty: &[f64] = &[];
+        snap::push_array(
+            &mut out,
+            "warm_x",
+            warm.map_or(empty, |w| &w.x).iter().copied(),
+            false,
+        );
+        snap::push_array(
+            &mut out,
+            "warm_inequality_multipliers",
+            warm.map_or(empty, |w| &w.inequality_multipliers)
+                .iter()
+                .copied(),
+            false,
+        );
+        snap::push_array(
+            &mut out,
+            "warm_equality_multipliers",
+            warm.map_or(empty, |w| &w.equality_multipliers)
+                .iter()
+                .copied(),
+            false,
+        );
+        snap::push_scalar(
+            &mut out,
+            "warm_penalty",
+            self.warm.as_ref().map_or(0.0, |w| w.penalty),
+            true,
+        );
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a [`ResumeState::to_golden_json`] document back, bitwise.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::GridSim`] (an
+    /// [`InvalidSnapshot`](liquamod_grid_sim::GridSimError::InvalidSnapshot))
+    /// when the document is malformed: unknown schema version, missing
+    /// keys, inconsistent profile counts, or a profile whose value count is
+    /// impossible for its kind (a uniform profile needs exactly one value,
+    /// a piecewise-linear one at least two knots).
+    pub fn from_golden_json(json: &str) -> Result<Self> {
+        use liquamod_grid_sim::snapshot as snap;
+        let bad = |what: String| {
+            CoreError::GridSim(liquamod_grid_sim::GridSimError::InvalidSnapshot { what })
+        };
+        let version = snap::parse_scalar(json, "schema_version")?;
+        if version != 1.0 {
+            return Err(bad(format!("unknown resume-state schema {version}")));
+        }
+        let last_gradient_k = snap::parse_scalar(json, "last_gradient_k")?;
+        let state = snap::parse_array(json, "state")?;
+        let cavity_counts = snap::parse_usize_array(json, "width_cavity_counts")?;
+        let kinds = snap::parse_usize_array(json, "width_kinds")?;
+        let value_counts = snap::parse_usize_array(json, "width_value_counts")?;
+        let values = snap::parse_array(json, "width_values_m")?;
+        let n_profiles: usize = cavity_counts.iter().sum();
+        if kinds.len() != n_profiles || value_counts.len() != n_profiles {
+            return Err(bad(format!(
+                "cavity counts promise {n_profiles} profiles, got {} kinds and {} value counts",
+                kinds.len(),
+                value_counts.len()
+            )));
+        }
+        if values.len() != value_counts.iter().sum::<usize>() {
+            return Err(bad(format!(
+                "value counts promise {} width values, got {}",
+                value_counts.iter().sum::<usize>(),
+                values.len()
+            )));
+        }
+        let mut widths: CavityProfiles = Vec::with_capacity(cavity_counts.len());
+        let mut profile = 0usize;
+        let mut at = 0usize;
+        for count in cavity_counts {
+            let mut cavity = Vec::with_capacity(count);
+            for _ in 0..count {
+                let n = value_counts[profile];
+                let vals: Vec<Length> = values[at..at + n]
+                    .iter()
+                    .map(|&v| Length::from_meters(v))
+                    .collect();
+                cavity.push(match (kinds[profile], n) {
+                    (0, 1) => WidthProfile::Uniform(vals[0]),
+                    (1, 1..) => WidthProfile::PiecewiseConstant { widths: vals },
+                    (2, 2..) => WidthProfile::PiecewiseLinear { knots: vals },
+                    (kind, n) => {
+                        return Err(bad(format!(
+                            "profile {profile}: kind {kind} with {n} value(s) is impossible"
+                        )))
+                    }
+                });
+                at += n;
+                profile += 1;
+            }
+            widths.push(cavity);
+        }
+        let warm = if snap::parse_scalar(json, "warm_present")? == 1.0 {
+            Some(DesignWarmStart {
+                x: snap::parse_array(json, "warm_x")?,
+                inequality_multipliers: snap::parse_array(json, "warm_inequality_multipliers")?,
+                equality_multipliers: snap::parse_array(json, "warm_equality_multipliers")?,
+                penalty: snap::parse_scalar(json, "warm_penalty")?,
+            })
+        } else {
+            None
+        };
+        Ok(ResumeState {
+            state,
+            widths,
+            warm,
+            last_gradient_k,
+        })
+    }
+}
+
 /// What one epoch's optimizer run produced, plus the incumbent's score on
 /// the same model — everything the controller needs for its adopt/reject
 /// decision.
@@ -1365,10 +1546,15 @@ pub fn run_transient_sweep(
     let units: Vec<(usize, bool)> = (0..variants.len())
         .flat_map(|i| [(i, true), (i, false)])
         .collect();
-    let (outcomes, workers, wall) =
-        run_variant_sweep(&units, options.resolved_workers(), |&(i, modulated)| {
-            run_transient_half(&variants[i], options, modulated)
-        })?;
+    let (outcomes, workers, wall) = run_variant_sweep(
+        &units,
+        options.resolved_workers(),
+        |&(i, modulated)| {
+            let half = if modulated { "modulated" } else { "frozen" };
+            format!("{} ({half})", variants[i].label())
+        },
+        |&(i, modulated)| run_transient_half(&variants[i], options, modulated),
+    )?;
     let rows = variants
         .iter()
         .zip(outcomes.chunks_exact(2))
@@ -1638,7 +1824,8 @@ mod tests {
             phase("hot", testcase::test_a()),
             phase("idle", idle),
             phase("hot-again", testcase::test_a()),
-        ]);
+        ])
+        .unwrap();
         let outcome = ModulationController::new(
             config,
             ModulationPolicy::Modulated(EpochPolicy::GradientThreshold { rise_k: 1.0 }),
@@ -1674,6 +1861,7 @@ mod tests {
                 duration_seconds: steps * dt,
                 load: testcase::test_a(),
             }])
+            .unwrap()
         };
         let (_, resume) = controller
             .run_resumed(&segment("warmup", 24.0), None)
@@ -1716,7 +1904,8 @@ mod tests {
                 duration_seconds: 4.0 * dt,
                 load: testcase::test_a(),
             },
-        ]);
+        ])
+        .unwrap();
         let controller = ModulationController::new(config, ModulationPolicy::every(4)).unwrap();
         let outcome = controller.run(&trace).unwrap();
         // The idle epoch at step 0 is skipped; the loaded one at step 4 runs.

@@ -29,6 +29,17 @@ pub enum FloorplanError {
         /// Human-readable description.
         what: String,
     },
+    /// A power trace was built with no phases. Streaming sessions can
+    /// legitimately present zero phases at open time, so this is a typed,
+    /// recoverable error rather than a construction panic.
+    EmptyTrace,
+    /// A trace phase's duration is non-positive or non-finite.
+    InvalidPhaseDuration {
+        /// Label of the offending phase.
+        label: String,
+        /// Rejected duration in seconds.
+        value: f64,
+    },
 }
 
 impl fmt::Display for FloorplanError {
@@ -44,6 +55,15 @@ impl fmt::Display for FloorplanError {
                 write!(f, "block '{block}' has invalid power {value} W")
             }
             FloorplanError::InvalidDie { what } => write!(f, "invalid die: {what}"),
+            FloorplanError::EmptyTrace => {
+                write!(f, "a power trace needs at least one phase")
+            }
+            FloorplanError::InvalidPhaseDuration { label, value } => {
+                write!(
+                    f,
+                    "phase '{label}' duration must be positive and finite, got {value}"
+                )
+            }
         }
     }
 }
@@ -73,6 +93,15 @@ mod tests {
         }
         .to_string()
         .contains("-1"));
+        assert!(FloorplanError::EmptyTrace
+            .to_string()
+            .contains("at least one phase"));
+        assert!(FloorplanError::InvalidPhaseDuration {
+            label: "burst".into(),
+            value: -0.5
+        }
+        .to_string()
+        .contains("burst"));
     }
 
     #[test]

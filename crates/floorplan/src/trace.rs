@@ -17,7 +17,7 @@
 //! literature); anything smoother can be approximated by more phases.
 
 use crate::testcase::{self, StripLoad};
-use crate::{Floorplan, FluxGrid, PowerLevel};
+use crate::{Floorplan, FloorplanError, FluxGrid, PowerLevel};
 
 /// One phase of a trace: a payload held constant for a duration.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,31 +34,59 @@ pub struct Phase<L> {
 #[derive(Debug, Clone, PartialEq)]
 pub struct PowerTrace<L> {
     phases: Vec<Phase<L>>,
+    /// Cumulative phase end times (`boundaries[i]` is where phase `i` ends
+    /// and phase `i + 1` begins), computed **once** at construction by the
+    /// same running sum as [`PowerTrace::phase_starts`]. Every time query
+    /// consults this single table, so a sample landing exactly on a
+    /// boundary always resolves to the *starting* phase — re-accumulating
+    /// durations per call could disagree with `phase_starts()` about where
+    /// a boundary sits once rounding error enters the sum.
+    boundaries: Vec<f64>,
 }
 
 impl<L> PowerTrace<L> {
     /// Builds a trace from explicit phases.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `phases` is empty or any duration is non-positive or
-    /// non-finite — a malformed schedule is a construction bug, reported
-    /// immediately (matching [`testcase::test_b_seeded`]'s convention).
-    pub fn new(phases: Vec<Phase<L>>) -> Self {
-        assert!(!phases.is_empty(), "a power trace needs at least one phase");
-        for p in &phases {
-            assert!(
-                p.duration_seconds.is_finite() && p.duration_seconds > 0.0,
-                "phase '{}' duration must be positive and finite, got {}",
-                p.label,
-                p.duration_seconds
-            );
+    /// [`FloorplanError::EmptyTrace`] when `phases` is empty (a streaming
+    /// session may legitimately hold zero phases — callers decide whether
+    /// that is fatal), and [`FloorplanError::InvalidPhaseDuration`] when any
+    /// duration is non-positive or non-finite.
+    pub fn new(phases: Vec<Phase<L>>) -> Result<Self, FloorplanError> {
+        if phases.is_empty() {
+            return Err(FloorplanError::EmptyTrace);
         }
-        Self { phases }
+        for p in &phases {
+            if !(p.duration_seconds.is_finite() && p.duration_seconds > 0.0) {
+                return Err(FloorplanError::InvalidPhaseDuration {
+                    label: p.label.clone(),
+                    value: p.duration_seconds,
+                });
+            }
+        }
+        let mut t = 0.0;
+        let boundaries = phases
+            .iter()
+            .map(|p| {
+                t += p.duration_seconds;
+                t
+            })
+            .collect();
+        Ok(Self { phases, boundaries })
     }
 
     /// A single-phase (constant) trace.
-    pub fn constant(label: impl Into<String>, duration_seconds: f64, load: L) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`FloorplanError::InvalidPhaseDuration`] when the duration is
+    /// non-positive or non-finite.
+    pub fn constant(
+        label: impl Into<String>,
+        duration_seconds: f64,
+        load: L,
+    ) -> Result<Self, FloorplanError> {
         Self::new(vec![Phase {
             label: label.into(),
             duration_seconds,
@@ -72,24 +100,34 @@ impl<L> PowerTrace<L> {
         &self.phases
     }
 
-    /// Total schedule duration, seconds.
+    /// Total schedule duration, seconds — exactly the last entry of
+    /// [`PowerTrace::phase_boundaries`] (same accumulation, same bits).
     #[must_use]
     pub fn total_duration_seconds(&self) -> f64 {
-        self.phases.iter().map(|p| p.duration_seconds).sum()
+        *self
+            .boundaries
+            .last()
+            .expect("a trace always has at least one phase")
+    }
+
+    /// Cumulative phase end times, seconds: `phase_boundaries()[i]` is the
+    /// instant phase `i` hands over to phase `i + 1` (the last entry is the
+    /// total duration). Bitwise consistent with [`PowerTrace::phase_starts`]
+    /// by construction: both views read the same table built by one running
+    /// sum at construction time.
+    #[must_use]
+    pub fn phase_boundaries(&self) -> &[f64] {
+        &self.boundaries
     }
 
     /// Index of the phase active at time `t` (clamped: negative times map
-    /// to the first phase, times at or past the end to the last).
+    /// to the first phase, times at or past the end to the last). A `t`
+    /// exactly on a boundary resolves to the phase that *starts* there.
     #[must_use]
     pub fn phase_index_at(&self, t_seconds: f64) -> usize {
-        let mut elapsed = 0.0;
-        for (i, p) in self.phases.iter().enumerate() {
-            elapsed += p.duration_seconds;
-            if t_seconds < elapsed {
-                return i;
-            }
-        }
-        self.phases.len() - 1
+        self.boundaries
+            .partition_point(|&b| b <= t_seconds)
+            .min(self.phases.len() - 1)
     }
 
     /// The workload active at time `t` (clamped like
@@ -99,16 +137,15 @@ impl<L> PowerTrace<L> {
         &self.phases[self.phase_index_at(t_seconds)].load
     }
 
-    /// Phase start times, seconds (the first is always `0.0`).
+    /// Phase start times, seconds (the first is always `0.0`). Derived from
+    /// the same boundary table as [`PowerTrace::phase_index_at`], so
+    /// `phase_index_at(phase_starts()[i]) == i` holds for every phase even
+    /// when the durations do not sum exactly in `f64`.
     #[must_use]
     pub fn phase_starts(&self) -> Vec<f64> {
-        let mut starts = Vec::with_capacity(self.phases.len());
-        let mut t = 0.0;
-        for p in &self.phases {
-            starts.push(t);
-            t += p.duration_seconds;
-        }
-        starts
+        std::iter::once(0.0)
+            .chain(self.boundaries[..self.phases.len() - 1].iter().copied())
+            .collect()
     }
 
     /// Maps every phase payload through `f`, keeping labels and durations —
@@ -125,6 +162,8 @@ impl<L> PowerTrace<L> {
                     load: f(p.load),
                 })
                 .collect(),
+            // Durations are untouched, so the boundary table carries over.
+            boundaries: self.boundaries,
         }
     }
 
@@ -173,7 +212,12 @@ impl<L> PowerTrace<L> {
                 })
             })
             .collect::<std::result::Result<Vec<_>, String>>()?;
-        Ok(PowerTrace { phases })
+        // Durations were checked exactly equal, so `self`'s boundary table
+        // is the joined schedule's boundary table bit for bit.
+        Ok(PowerTrace {
+            phases,
+            boundaries: self.boundaries,
+        })
     }
 }
 
@@ -210,6 +254,7 @@ pub fn test_a_step(phase_seconds: f64, high_scale: f64) -> PowerTrace<StripLoad>
             load: high,
         },
     ])
+    .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// A sequence of `phases` independent Test-B draws, each held for
@@ -235,6 +280,7 @@ pub fn test_b_phases(seed: u64, phases: usize, phase_seconds: f64) -> PowerTrace
             })
             .collect(),
     )
+    .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Schedules a floorplan (e.g. [`crate::niagara::floorplan`]) through a
@@ -263,6 +309,7 @@ pub fn niagara_phases(
             })
             .collect(),
     )
+    .unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -307,7 +354,7 @@ mod tests {
 
     #[test]
     fn constant_and_map() {
-        let t = PowerTrace::constant("steady", 1.0, testcase::test_a());
+        let t = PowerTrace::constant("steady", 1.0, testcase::test_a()).unwrap();
         assert_eq!(t.phases().len(), 1);
         let scaled = t.map(|mut l| {
             for q in l.top_w_cm2.iter_mut() {
@@ -371,14 +418,65 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one phase")]
-    fn empty_trace_panics() {
-        let _: PowerTrace<StripLoad> = PowerTrace::new(vec![]);
+    fn empty_trace_is_a_typed_error() {
+        // Streaming sessions present zero phases at open time, so the
+        // rejection must be recoverable — before this was a typed error,
+        // `phase_index_at`/`load_at` underflowed `phases.len() - 1`.
+        let err = PowerTrace::<StripLoad>::new(vec![]).unwrap_err();
+        assert_eq!(err, FloorplanError::EmptyTrace);
+        assert!(err.to_string().contains("at least one phase"));
     }
 
     #[test]
-    #[should_panic(expected = "duration must be positive")]
-    fn bad_duration_panics() {
-        let _ = PowerTrace::constant("bad", 0.0, testcase::test_a());
+    fn bad_duration_is_a_typed_error() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = PowerTrace::constant("bad", bad, testcase::test_a()).unwrap_err();
+            match err {
+                FloorplanError::InvalidPhaseDuration { ref label, value } => {
+                    assert_eq!(label, "bad");
+                    assert!(!(value.is_finite() && value > 0.0));
+                }
+                other => panic!("expected InvalidPhaseDuration, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_samples_resolve_to_the_starting_phase() {
+        // 10 × 0.032 s: the running sum drifts away from i·0.032 after a few
+        // phases, so boundary queries must consult the *same* cumulative
+        // table as `phase_starts()` — not re-accumulate per call.
+        let trace = test_b_phases(7, 10, 0.032);
+        let starts = trace.phase_starts();
+        let bounds = trace.phase_boundaries();
+        assert!(
+            trace.total_duration_seconds() != 10.0 * 0.032,
+            "durations must not sum exactly for this regression to bite"
+        );
+        // The boundary table IS the start table, shifted: bit-for-bit.
+        for i in 1..10 {
+            assert_eq!(starts[i].to_bits(), bounds[i - 1].to_bits());
+        }
+        assert_eq!(
+            trace.total_duration_seconds().to_bits(),
+            bounds[9].to_bits()
+        );
+        for (i, &start) in starts.iter().enumerate() {
+            // Exactly on the boundary: the starting phase wins…
+            assert_eq!(trace.phase_index_at(start), i, "at starts[{i}]");
+            // …and one ULP below still belongs to the previous phase.
+            if i > 0 {
+                let below = f64::from_bits(start.to_bits() - 1);
+                assert_eq!(trace.phase_index_at(below), i - 1, "below starts[{i}]");
+            }
+        }
+        // Midpoint samples (the controller's query pattern) agree with the
+        // phase a `phase_starts()` scan would assign.
+        let dt = 0.032 / 8.0;
+        for n in 0..80 {
+            let t = (n as f64 + 0.5) * dt;
+            let expected = starts.iter().rposition(|&s| s <= t).unwrap();
+            assert_eq!(trace.phase_index_at(t), expected, "midpoint sample {n}");
+        }
     }
 }

@@ -1,0 +1,212 @@
+//! Bitwise-exact numeric snapshot serialization for in-flight simulation
+//! state.
+//!
+//! The workspace's golden-fixture convention (see the core crate's
+//! `TransientOutcome::golden_json` and `tests/golden_transient.rs`)
+//! serializes every number with Rust's shortest round-trip float formatting
+//! (`format!("{v:e}")`) into flat JSON arrays, so fixtures diff numerically
+//! without a JSON dependency and parse back to the *same bits*. This module
+//! factors that format into reusable render/parse halves so snapshot/restore
+//! of transient state — the stepper's node-temperature vector and anything
+//! layered on top of it, like the serve layer's session snapshots — can
+//! cross a process restart without perturbing the trajectory.
+//!
+//! The guarantee both halves uphold: for any finite `v: f64`,
+//! `parse(render(v)) == v` **bitwise** (including negative zero and
+//! subnormals), because `{:e}` emits the shortest decimal that uniquely
+//! identifies the bit pattern and `str::parse::<f64>` is correctly rounded.
+
+use crate::error::GridSimError;
+use crate::Result;
+
+/// Renders one number in the golden format (shortest round-trip,
+/// exponential notation): `1.5e-3`, `-0e0`, `3.0000000000000004e0`.
+#[must_use]
+pub fn render_number(v: f64) -> String {
+    format!("{v:e}")
+}
+
+/// Renders a flat JSON array of numbers in the golden format:
+/// `[1e0, 2.5e-1]`; an empty iterator renders `[]`.
+#[must_use]
+pub fn render_array(values: impl IntoIterator<Item = f64>) -> String {
+    let items: Vec<String> = values.into_iter().map(render_number).collect();
+    format!("[{}]", items.join(", "))
+}
+
+/// Appends `  "key": <value>,\n` (or without the trailing comma when
+/// `last`) to a record under construction — the shared shape of every
+/// scalar field in a snapshot document.
+pub fn push_scalar(out: &mut String, key: &str, value: f64, last: bool) {
+    let sep = if last { "" } else { "," };
+    out.push_str(&format!("  \"{key}\": {}{sep}\n", render_number(value)));
+}
+
+/// Appends `  "key": [..],\n` (or without the trailing comma when `last`)
+/// to a record under construction.
+pub fn push_array(out: &mut String, key: &str, values: impl IntoIterator<Item = f64>, last: bool) {
+    let sep = if last { "" } else { "," };
+    out.push_str(&format!("  \"{key}\": {}{sep}\n", render_array(values)));
+}
+
+/// The raw text of `key`'s value in a flat snapshot document: everything
+/// between the first `"key":` and the end of its scalar or `[...]` array.
+fn value_text<'a>(json: &'a str, key: &str) -> Result<&'a str> {
+    let needle = format!("\"{key}\"");
+    let at = json
+        .find(&needle)
+        .ok_or_else(|| GridSimError::InvalidSnapshot {
+            what: format!("missing key '{key}'"),
+        })?;
+    let rest = &json[at + needle.len()..];
+    let rest = rest
+        .trim_start()
+        .strip_prefix(':')
+        .ok_or_else(|| GridSimError::InvalidSnapshot {
+            what: format!("key '{key}' is not followed by ':'"),
+        })?
+        .trim_start();
+    if let Some(body) = rest.strip_prefix('[') {
+        let end = body
+            .find(']')
+            .ok_or_else(|| GridSimError::InvalidSnapshot {
+                what: format!("unterminated array for key '{key}'"),
+            })?;
+        Ok(&body[..end])
+    } else {
+        let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+        Ok(&rest[..end])
+    }
+}
+
+/// Parses one number, surfacing the offending text on failure.
+fn parse_one(text: &str, key: &str) -> Result<f64> {
+    text.trim()
+        .parse::<f64>()
+        .map_err(|_| GridSimError::InvalidSnapshot {
+            what: format!("key '{key}': '{}' is not a number", text.trim()),
+        })
+}
+
+/// Reads a scalar field back from a snapshot document, bitwise.
+///
+/// # Errors
+///
+/// [`GridSimError::InvalidSnapshot`] when the key is missing or its value
+/// does not parse as a number.
+pub fn parse_scalar(json: &str, key: &str) -> Result<f64> {
+    parse_one(value_text(json, key)?, key)
+}
+
+/// Reads a flat array field back from a snapshot document, bitwise.
+///
+/// # Errors
+///
+/// [`GridSimError::InvalidSnapshot`] when the key is missing, the value is
+/// not an array, or any element does not parse as a number.
+pub fn parse_array(json: &str, key: &str) -> Result<Vec<f64>> {
+    let body = value_text(json, key)?;
+    if body.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    body.split(',').map(|item| parse_one(item, key)).collect()
+}
+
+/// [`parse_array`] for fields that hold counts or enum codes: every element
+/// must round-trip exactly through `usize`.
+///
+/// # Errors
+///
+/// [`GridSimError::InvalidSnapshot`] when an element is not a non-negative
+/// integer.
+pub fn parse_usize_array(json: &str, key: &str) -> Result<Vec<usize>> {
+    parse_array(json, key)?
+        .into_iter()
+        .map(|v| {
+            if v.is_finite() && v >= 0.0 && v.fract() == 0.0 && v <= usize::MAX as f64 {
+                Ok(v as usize)
+            } else {
+                Err(GridSimError::InvalidSnapshot {
+                    what: format!("key '{key}': {v} is not a non-negative integer"),
+                })
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_round_trip_bitwise() {
+        let cases = [
+            0.0,
+            -0.0,
+            1.0,
+            0.1,
+            1.0 / 3.0,
+            -3.5e-2,
+            f64::MIN_POSITIVE,
+            f64::MIN_POSITIVE / 8.0, // subnormal
+            f64::MAX,
+            301.15 + 1e-13,
+            2e-3 * 7.0,
+        ];
+        for v in cases {
+            let mut out = String::new();
+            push_scalar(&mut out, "v", v, true);
+            let back = parse_scalar(&out, "v").unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v:?} via {out:?}");
+        }
+        let rendered = render_array(cases.iter().copied());
+        let doc = format!("{{\n  \"vs\": {rendered}\n}}\n");
+        let back = parse_array(&doc, "vs").unwrap();
+        assert_eq!(back.len(), cases.len());
+        for (b, v) in back.iter().zip(&cases) {
+            assert_eq!(b.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_arrays_and_field_order() {
+        let mut out = String::from("{\n");
+        push_array(&mut out, "empty", [], false);
+        push_array(&mut out, "pair", [1.5, -2.0], false);
+        push_scalar(&mut out, "tail", 4.25, true);
+        out.push_str("}\n");
+        assert!(parse_array(&out, "empty").unwrap().is_empty());
+        assert_eq!(parse_array(&out, "pair").unwrap(), vec![1.5, -2.0]);
+        assert_eq!(parse_scalar(&out, "tail").unwrap(), 4.25);
+    }
+
+    #[test]
+    fn usize_arrays_reject_non_integers() {
+        let doc = "{\n  \"counts\": [0e0, 3e0, 1.2e1]\n}\n";
+        assert_eq!(parse_usize_array(doc, "counts").unwrap(), vec![0, 3, 12]);
+        let bad = "{\n  \"counts\": [1.5e0]\n}\n";
+        assert!(matches!(
+            parse_usize_array(bad, "counts"),
+            Err(GridSimError::InvalidSnapshot { .. })
+        ));
+        let negative = "{\n  \"counts\": [-1e0]\n}\n";
+        assert!(parse_usize_array(negative, "counts").is_err());
+    }
+
+    #[test]
+    fn malformed_documents_are_typed_errors() {
+        assert!(matches!(
+            parse_scalar("{}", "missing"),
+            Err(GridSimError::InvalidSnapshot { .. })
+        ));
+        assert!(parse_scalar("{\n  \"k\" 1e0\n}", "k").is_err());
+        assert!(parse_array("{\n  \"k\": [1e0", "k").is_err());
+        assert!(parse_scalar("{\n  \"k\": nope\n}", "k").is_err());
+    }
+
+    #[test]
+    fn scalar_at_document_end_without_newline() {
+        assert_eq!(parse_scalar("{\"k\": 2e0}", "k").unwrap(), 2.0);
+        assert_eq!(parse_scalar("\"k\": 2e0", "k").unwrap(), 2.0);
+    }
+}

@@ -60,7 +60,7 @@ fn main() -> Result<(), CoreError> {
                 config: config.clone(),
                 policy: EpochPolicy::FixedCadence { epoch_steps: 6 },
                 allocation,
-                budget: budget.clone(),
+                budget,
                 phase_seconds: 12.0 * config.dt_seconds,
                 segments_per_phase: 2,
                 mode: ExecutionMode::parallel(),

@@ -355,14 +355,17 @@ fn golden_serialization_roundtrips() {
 /// (the CI bench-smoke comparisons) parse.
 #[test]
 fn bench_records_declare_schema_version() {
-    // BENCH_fleet.json is at v2: it added `stepper` and the
-    // segment-level scheduler's `segment_wall_seconds`.
+    // BENCH_fleet.json is at v3: v2 added `stepper` and the segment-level
+    // scheduler's `segment_wall_seconds`; v3 added `available_cores`, the
+    // detected core count CI's speedup gate judges `parallel_speedup`
+    // against (on a 1–2 core box parallel can only match serial).
     for (name, version) in [
         ("BENCH_sweep.json", 1.0),
         ("BENCH_transient.json", 1.0),
         ("BENCH_mpsoc.json", 1.0),
-        ("BENCH_fleet.json", 2.0),
+        ("BENCH_fleet.json", 3.0),
         ("BENCH_faults.json", 1.0),
+        ("BENCH_serve.json", 1.0),
     ] {
         let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(name);
         let record = std::fs::read_to_string(&path)
@@ -371,6 +374,10 @@ fn bench_records_declare_schema_version() {
             num_scalar(&record, "schema_version"),
             version,
             "{name} must declare schema_version {version}"
+        );
+        assert!(
+            record.contains("\"available_cores\""),
+            "{name} must record the core count it was measured on"
         );
     }
     let fleet =

@@ -228,6 +228,7 @@ fn segmented_resume_matches_one_shot_run_bitwise() {
             duration_seconds: 4.0 * dt,
             load: trace.phases()[phase].load.clone(),
         }])
+        .unwrap()
     };
     let mut resume = None;
     let mut outcomes: Vec<TransientOutcome> = Vec::new();

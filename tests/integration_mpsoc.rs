@@ -190,7 +190,8 @@ fn zero_power_phase_skips_its_epoch_on_the_mpsoc_stack() {
             duration_seconds: 4.0 * dt,
             load: peak,
         },
-    ]);
+    ])
+    .unwrap();
     let outcome = MpsocModulated::for_arch(&a1, config)
         .unwrap()
         .controller(ModulationPolicy::every(4))

@@ -1,0 +1,268 @@
+//! End-to-end tests of the streaming modulation service: the
+//! [`liquamod::transient::ResumeState`] golden-JSON round trip (bitwise),
+//! the streamed-equals-one-shot identity, snapshot→restore→continue
+//! fidelity through the serialized document, and bitwise determinism of a
+//! churning soak across worker counts.
+
+use liquamod::mpsoc::{ArchSpec, MpsocConfig};
+use liquamod::prelude::PowerLevel;
+use liquamod::serve::{
+    run_soak, soak_outcomes_match, verify_snapshot_restore, verify_streaming_identity,
+    ServeOptions, ServePool, SessionSnapshot, SoakPlan,
+};
+use liquamod::thermal_model::WidthProfile;
+use liquamod::transient::{ModulationPolicy, ResumeState};
+use liquamod::units::Length;
+use liquamod::{BudgetPolicy, DegradedKind, DesignWarmStart, OptimizationConfig};
+
+/// The fleet tests' small-but-real per-stack configuration: 20 channel
+/// columns in 2 groups, 11 cells along the flow, 2-segment profiles.
+fn small_config() -> MpsocConfig {
+    MpsocConfig {
+        optimizer: OptimizationConfig {
+            segments: 2,
+            mesh_intervals: 32,
+            ..OptimizationConfig::fast()
+        },
+        nx: 20,
+        nz: 11,
+        n_groups: 2,
+        ..MpsocConfig::fast()
+    }
+}
+
+fn serve_options(workers: usize, planned_capacity: usize) -> ServeOptions {
+    ServeOptions {
+        config: small_config(),
+        policy: ModulationPolicy::every(6),
+        budget_policy: BudgetPolicy::GradientWaterfill,
+        avg_scale: 1.0,
+        planned_capacity,
+        workers,
+    }
+}
+
+#[test]
+fn resume_state_golden_json_round_trips_bitwise() {
+    // Adversarial numerics: negative zero, a subnormal, a shortest-repr
+    // torture value, and a full warm-start chain.
+    let state = ResumeState {
+        state: vec![300.15, -0.0, f64::MIN_POSITIVE / 4.0, 0.1 + 0.2, 1.0 / 3.0],
+        widths: vec![
+            vec![
+                WidthProfile::Uniform(Length::from_micrometers(100.0)),
+                WidthProfile::piecewise_constant(vec![
+                    Length::from_micrometers(53.7),
+                    Length::from_micrometers(87.1),
+                ]),
+            ],
+            vec![WidthProfile::piecewise_linear(vec![
+                Length::from_micrometers(50.0),
+                Length::from_micrometers(66.6),
+                Length::from_micrometers(100.0),
+            ])],
+        ],
+        warm: Some(DesignWarmStart {
+            x: vec![0.3, -1.5e-7, 2.0 / 7.0],
+            inequality_multipliers: vec![0.0, 4.25],
+            equality_multipliers: vec![-3.5e-2],
+            penalty: 10.0,
+        }),
+        last_gradient_k: 6.125 + 1e-13,
+    };
+    let doc = state.to_golden_json();
+    let back = ResumeState::from_golden_json(&doc).unwrap();
+    assert_eq!(back.state.len(), state.state.len());
+    for (a, b) in back.state.iter().zip(&state.state) {
+        assert_eq!(a.to_bits(), b.to_bits(), "state channel must be bitwise");
+    }
+    assert_eq!(
+        back.widths, state.widths,
+        "profiles must reconstruct exactly"
+    );
+    let (wa, wb) = (back.warm.clone().unwrap(), state.warm.unwrap());
+    for (a, b) in wa.x.iter().zip(&wb.x) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    assert_eq!(wa.inequality_multipliers, wb.inequality_multipliers);
+    assert_eq!(wa.equality_multipliers, wb.equality_multipliers);
+    assert_eq!(wa.penalty.to_bits(), wb.penalty.to_bits());
+    assert_eq!(
+        back.last_gradient_k.to_bits(),
+        state.last_gradient_k.to_bits()
+    );
+    // And the re-rendered document is byte-identical: serialize ∘ parse is
+    // the identity on documents, not just on values.
+    assert_eq!(back.to_golden_json(), doc);
+}
+
+#[test]
+fn resume_state_rejects_malformed_documents() {
+    let good = ResumeState {
+        state: vec![1.0],
+        widths: vec![vec![WidthProfile::Uniform(Length::from_micrometers(80.0))]],
+        warm: None,
+        last_gradient_k: 0.0,
+    }
+    .to_golden_json();
+    assert!(ResumeState::from_golden_json(&good).is_ok());
+    assert!(ResumeState::from_golden_json("{}").is_err());
+    assert!(ResumeState::from_golden_json(&good.replace("\"state\"", "\"stale\"")).is_err());
+    // An unknown width-kind code must not reconstruct silently.
+    assert!(ResumeState::from_golden_json(
+        &good.replace("\"width_kinds\": [0e0]", "\"width_kinds\": [7e0]")
+    )
+    .is_err());
+}
+
+#[test]
+fn streaming_decisions_match_one_shot_run_bitwise() {
+    let config = small_config();
+    // 12-step phases against a 6-step epoch cadence: the streamed segment
+    // boundaries land exactly on one-shot epoch steps.
+    let identity = verify_streaming_identity(
+        &config,
+        ModulationPolicy::every(6),
+        ArchSpec::Arch1,
+        &[PowerLevel::Average, PowerLevel::Peak],
+        12.0 * config.dt_seconds,
+    )
+    .unwrap();
+    assert_eq!(identity.steps, 24);
+    assert!(identity.epochs >= 2, "the cadence must actually fire");
+    assert!(
+        identity.bitwise,
+        "streamed trajectory diverged from one-shot by {} K",
+        identity.max_abs_diff_k
+    );
+    assert_eq!(identity.max_abs_diff_k, 0.0);
+}
+
+#[test]
+fn snapshot_restore_continues_the_stream_within_1e9() {
+    let config = small_config();
+    let fidelity = verify_snapshot_restore(
+        &config,
+        ModulationPolicy::every(6),
+        ArchSpec::Arch2,
+        &[
+            PowerLevel::Average,
+            PowerLevel::Peak,
+            PowerLevel::Average,
+            PowerLevel::Peak,
+        ],
+        6.0 * config.dt_seconds,
+    )
+    .unwrap();
+    assert_eq!(fidelity.steps, 24);
+    assert!(
+        fidelity.json_round_trip,
+        "the snapshot document must re-serialize byte-identically"
+    );
+    assert!(fidelity.snapshot_bytes > 0);
+    assert!(
+        fidelity.max_abs_diff_k <= 1e-9,
+        "restored continuation diverged by {} K",
+        fidelity.max_abs_diff_k
+    );
+    // The JSON round trip is bitwise, so the contract actually holds
+    // exactly, not just at the gate tolerance.
+    assert!(fidelity.bitwise);
+}
+
+#[test]
+fn live_session_snapshot_with_warm_chain_survives_the_document() {
+    // Run one real phase so the snapshot carries a ResumeState with an
+    // adopted epoch's warm start, then round-trip the full document.
+    let mut pool = ServePool::new(ServeOptions::single(
+        small_config(),
+        ModulationPolicy::every(6),
+    ))
+    .unwrap();
+    let id = pool.open(ArchSpec::Arch3).unwrap();
+    pool.submit_level(id, PowerLevel::Peak, 6.0 * small_config().dt_seconds)
+        .unwrap();
+    let batch = pool.drain_batch().unwrap();
+    assert_eq!(batch.decisions.len(), 1);
+    let snapshot = pool.snapshot(id).unwrap();
+    assert_eq!(snapshot.segments_done, 1);
+    let resume = snapshot.resume.as_ref().expect("one segment was served");
+    assert!(!resume.state.is_empty());
+    let doc = snapshot.to_golden_json();
+    let parsed = SessionSnapshot::from_golden_json(&doc).unwrap();
+    assert_eq!(parsed.to_golden_json(), doc);
+    assert_eq!(parsed.arch, ArchSpec::Arch3);
+    let restored = parsed.resume.expect("resume state rides along");
+    assert_eq!(restored.state.len(), resume.state.len());
+    for (a, b) in restored.state.iter().zip(&resume.state) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    assert_eq!(restored.widths, resume.widths);
+    assert_eq!(restored.warm.is_some(), resume.warm.is_some());
+}
+
+#[test]
+fn soak_is_bitwise_deterministic_across_worker_counts() {
+    let config = small_config();
+    let plan = SoakPlan {
+        sessions: vec![ArchSpec::Arch1, ArchSpec::Arch2, ArchSpec::Arch3],
+        phases_per_session: 2,
+        phase_seconds: 6.0 * config.dt_seconds,
+        initial_sessions: 2,
+        arrivals_per_batch: 1,
+        restore_at_batch: Some(1),
+    };
+    let serial = run_soak(&serve_options(1, 3), &plan).unwrap();
+    let parallel = run_soak(&serve_options(4, 3), &plan).unwrap();
+    assert_eq!(serial.decisions.len(), 6, "3 sessions × 2 phases");
+    assert!(
+        soak_outcomes_match(&serial, &parallel),
+        "parallel soak must reproduce the serial one bitwise"
+    );
+    assert_eq!(serial.sessions_served, 3);
+    assert_eq!(serial.metrics.decisions, 6);
+    assert!(serial.metrics.latency.count() >= 6);
+}
+
+#[test]
+fn undersubscribed_soak_surfaces_clamp_and_restore_churn() {
+    let config = small_config();
+    // Provisioned for 4 sessions but only 2 ever arrive (1 up front): the
+    // live set never reaches the feasible band, so every arrival and
+    // departure revalidation clamps — and the service keeps serving.
+    let plan = SoakPlan {
+        sessions: vec![ArchSpec::Arch1, ArchSpec::Arch3],
+        phases_per_session: 2,
+        phase_seconds: 6.0 * config.dt_seconds,
+        initial_sessions: 1,
+        arrivals_per_batch: 1,
+        restore_at_batch: Some(1),
+    };
+    let outcome = run_soak(&serve_options(2, 4), &plan).unwrap();
+    assert_eq!(outcome.decisions.len(), 4, "2 sessions × 2 phases");
+    assert_eq!(outcome.sessions_served, 2);
+    assert!(
+        outcome
+            .events
+            .iter()
+            .any(|e| e.kind == DegradedKind::BudgetClamped),
+        "under-subscription must surface budget clamps"
+    );
+    assert!(
+        outcome
+            .events
+            .iter()
+            .all(|e| e.kind != DegradedKind::SessionEvicted),
+        "healthy sessions must not be evicted"
+    );
+    // Restore churn adds a mid-run snapshot on top of the final ones.
+    assert!(
+        outcome.snapshots.len() >= 3,
+        "got {}",
+        outcome.snapshots.len()
+    );
+    assert!(outcome
+        .snapshots
+        .iter()
+        .all(|s| s.segments_done <= plan.phases_per_session));
+}

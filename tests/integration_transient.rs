@@ -154,6 +154,7 @@ fn random_trace(fluxes_a: &[f64], fluxes_b: &[f64], phase_seconds: f64) -> Power
             load: mk("b", fluxes_b),
         },
     ])
+    .unwrap()
 }
 
 proptest! {
