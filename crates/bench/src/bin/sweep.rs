@@ -44,7 +44,7 @@
 //!
 //! Run with: `cargo run --release -p bench --bin sweep [-- transient|mpsoc|fleet|faults|serve]`
 //!
-//! Options (all modes unless noted):
+//! Options (all modes unless noted; `--help` prints the same list):
 //!
 //! * `transient` — run the strip transient modulation sweep;
 //! * `mpsoc` — run the full-chip MPSoC modulation sweep;
@@ -58,13 +58,17 @@
 //! * `--cold-start` — steady mode only: disable warm-started flow chains
 //!   (every variant's optimizer starts from the uniform-maximum baseline,
 //!   as in the paper);
-//! * `--stepper backward-euler|exponential` — transient/mpsoc/fleet modes:
+//! * `--stepper backward-euler|exponential` — all modes but steady:
 //!   pick the transient integrator backend (backward-euler is the default;
 //!   exponential is the condensed exponential-integrator fast path);
 //! * `--json [PATH]` — write a machine-readable perf record; `PATH`
-//!   defaults to `BENCH_sweep.json` (steady) / `BENCH_transient.json`
-//!   (transient) / `BENCH_mpsoc.json` (mpsoc) / `BENCH_fleet.json`
-//!   (fleet) / `BENCH_faults.json` (faults) / `BENCH_serve.json` (serve);
+//!   defaults to `BENCH_<mode>.json` (steady spells its mode `sweep`);
+//! * `--trace [PATH]` — record hierarchical spans through the run and
+//!   write a Perfetto-loadable Chrome trace (`PATH` defaults to
+//!   `TRACE_<mode>.json`), plus a self-time profile table on stdout;
+//! * `--counters [PATH]` — write the deterministic observability JSONL
+//!   log — spans, counters and degraded events without wall-clock fields
+//!   (`PATH` defaults to `COUNTERS_<mode>.jsonl`);
 //! * `LIQUAMOD_FAST=1` — coarse optimizer/grid settings (CI).
 //!
 //! By default the steady grid is the 16-variant paper neighborhood, the
@@ -89,6 +93,7 @@ use liquamod::transient::{
     run_transient_sweep, EpochPolicy, ModulationPolicy, TransientGrid, TransientReport,
     TransientSweepOptions,
 };
+use liquamod::{ObsReport, ObsSession};
 use liquamod_bench::{banner, print_table};
 use std::num::NonZeroUsize;
 use std::process::ExitCode;
@@ -111,6 +116,62 @@ struct Args {
     warm_start: bool,
     stepper: StepperKind,
     json: Option<String>,
+    trace: Option<String>,
+    counters: Option<String>,
+}
+
+/// The mode names as the CLI and the default artifact paths spell them
+/// (steady mode spells its artifacts `sweep`, after the binary).
+const MODE_NAMES: [&str; 5] = ["transient", "mpsoc", "fleet", "faults", "serve"];
+
+/// The artifact-path name of a mode.
+fn mode_name(mode: Mode) -> &'static str {
+    match mode {
+        Mode::Steady => "sweep",
+        Mode::Transient => "transient",
+        Mode::Mpsoc => "mpsoc",
+        Mode::Fleet => "fleet",
+        Mode::Faults => "faults",
+        Mode::Serve => "serve",
+    }
+}
+
+/// The usage text `--help` prints; README.md's flag table is generated
+/// from this output — keep them in sync.
+fn print_help() {
+    println!(
+        "liquamod design-space sweep bench
+
+usage: sweep [MODE] [OPTIONS]
+
+modes (default: steady):
+  transient          strip transient modulation sweep
+  mpsoc              full-chip MPSoC modulation sweep
+  fleet              shared-pump fleet sharding sweep
+  faults             fault-injection scenario grid
+  serve              streaming modulation service soak
+
+options (all modes unless noted):
+  --serial           run on one thread only (no speedup baseline)
+  --workers N        override the parallel worker count
+  --no-baseline      skip the serial reference run (faster, but no speedup
+                     figure and no runtime determinism check)
+  --cold-start       steady mode only: disable warm-started flow chains
+  --stepper KIND     all modes but steady: transient integrator backend,
+                     backward-euler (default) or exponential
+  --json [PATH]      write a machine-readable perf record
+                     (PATH defaults to BENCH_<mode>.json)
+  --trace [PATH]     record hierarchical spans and write a Perfetto-loadable
+                     Chrome trace (PATH defaults to TRACE_<mode>.json), plus
+                     a self-time profile table on stdout
+  --counters [PATH]  write the deterministic observability JSONL log: spans,
+                     counters and degraded events without wall-clock fields
+                     (PATH defaults to COUNTERS_<mode>.jsonl)
+  --help             print this help
+
+environment:
+  LIQUAMOD_FAST=1    coarse optimizer/grid settings (CI)"
+    );
 }
 
 /// The record's name for a stepper backend (also the `--stepper` spelling,
@@ -119,6 +180,18 @@ fn stepper_name(stepper: &StepperKind) -> &'static str {
     match stepper {
         StepperKind::BackwardEuler => "backward_euler",
         StepperKind::Exponential(_) => "exponential",
+    }
+}
+
+/// Consumes the next argument as an optional flag value: bare flags (next
+/// token is another flag, a mode name, or nothing) leave the value to the
+/// mode-specific default.
+fn optional_path(it: &mut std::iter::Peekable<std::vec::IntoIter<String>>) -> String {
+    match it.peek() {
+        Some(next) if !next.starts_with('-') && !MODE_NAMES.contains(&next.as_str()) => {
+            it.next().unwrap_or_default()
+        }
+        _ => String::new(),
     }
 }
 
@@ -131,6 +204,8 @@ fn parse_args() -> Result<Args, String> {
         warm_start: true,
         stepper: StepperKind::BackwardEuler,
         json: None,
+        trace: None,
+        counters: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.into_iter().peekable();
@@ -144,6 +219,10 @@ fn parse_args() -> Result<Args, String> {
             "--serial" => args.serial = true,
             "--no-baseline" => args.baseline = false,
             "--cold-start" => args.warm_start = false,
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
             "--workers" => {
                 let v = it.next().ok_or("--workers needs a value")?;
                 let n: usize = v.parse().map_err(|_| format!("bad worker count: {v}"))?;
@@ -161,47 +240,65 @@ fn parse_args() -> Result<Args, String> {
                     }
                 };
             }
-            "--json" => {
-                // The path is optional: bare `--json` writes the mode's
-                // default file name in the working directory.
-                let path = match it.peek() {
-                    Some(next)
-                        if !next.starts_with('-')
-                            && next != "transient"
-                            && next != "mpsoc"
-                            && next != "fleet"
-                            && next != "faults"
-                            && next != "serve" =>
-                    {
-                        it.next()
-                    }
-                    _ => None,
-                };
-                args.json = Some(path.unwrap_or_default());
-            }
+            // The paths are optional: a bare flag writes the mode's
+            // default file name in the working directory.
+            "--json" => args.json = Some(optional_path(&mut it)),
+            "--trace" => args.trace = Some(optional_path(&mut it)),
+            "--counters" => args.counters = Some(optional_path(&mut it)),
             other => {
                 return Err(format!(
                     "unknown argument: {other} (try transient, mpsoc, fleet, faults, serve, \
                      --serial, --workers N, --no-baseline, --cold-start, --stepper KIND, \
-                     --json [PATH])"
+                     --json [PATH], --trace [PATH], --counters [PATH], or --help)"
                 ))
             }
         }
     }
-    // Resolve the default JSON path once the mode is known.
-    if let Some(path) = &mut args.json {
-        if path.is_empty() {
-            *path = match args.mode {
-                Mode::Steady => "BENCH_sweep.json".to_string(),
-                Mode::Transient => "BENCH_transient.json".to_string(),
-                Mode::Mpsoc => "BENCH_mpsoc.json".to_string(),
-                Mode::Fleet => "BENCH_fleet.json".to_string(),
-                Mode::Faults => "BENCH_faults.json".to_string(),
-                Mode::Serve => "BENCH_serve.json".to_string(),
-            };
+    // Resolve the default artifact paths once the mode is known.
+    let name = mode_name(args.mode);
+    for (slot, default) in [
+        (&mut args.json, format!("BENCH_{name}.json")),
+        (&mut args.trace, format!("TRACE_{name}.json")),
+        (&mut args.counters, format!("COUNTERS_{name}.jsonl")),
+    ] {
+        if let Some(path) = slot {
+            if path.is_empty() {
+                *path = default;
+            }
         }
     }
     Ok(args)
+}
+
+/// Starts an observability session when any consumer asked for one: a
+/// trace, a counters log, or the perf record (whose tail carries the
+/// counter registry). Spans and counters recorded outside a session are
+/// dropped at near-zero cost, so the un-flagged paths stay unobserved.
+fn obs_session(args: &Args) -> Option<ObsSession> {
+    (args.trace.is_some() || args.counters.is_some() || args.json.is_some()).then(ObsSession::start)
+}
+
+/// Finishes the session (before the serial baseline runs, so the report
+/// covers exactly the run whose wall time the record reports) and writes
+/// the requested export files. The self-time profile prints whenever
+/// tracing was on; the returned report feeds the perf record's `counters`
+/// block.
+fn obs_finish(args: &Args, session: Option<ObsSession>) -> Result<Option<ObsReport>, String> {
+    let Some(session) = session else {
+        return Ok(None);
+    };
+    let report = session.finish();
+    if let Some(path) = &args.trace {
+        std::fs::write(path, report.to_chrome_trace())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote Perfetto-loadable trace to {path}");
+        print_table(&report.self_time_table());
+    }
+    if let Some(path) = &args.counters {
+        std::fs::write(path, report.to_jsonl()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote deterministic observability log to {path}");
+    }
+    Ok(Some(report))
 }
 
 fn report_stats(label: &str, report: &SweepReport) {
@@ -235,10 +332,12 @@ fn json_record(
     serial: Option<&SweepReport>,
     determinism_verified: bool,
     fast_mode: bool,
+    obs: Option<&ObsReport>,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"sweep\",\n");
-    out.push_str("  \"schema_version\": 1,\n");
+    // v2: adds the `counters` observability block.
+    out.push_str("  \"schema_version\": 2,\n");
     out.push_str(&format!(
         "  \"grid\": {{\"variants\": {}, \"loads\": {}, \"flux_scales\": {}, \"flow_scales\": {}}},\n",
         grid.len(),
@@ -275,6 +374,9 @@ fn json_record(
     out.push_str(&format!(
         "  \"determinism_verified\": {determinism_verified},\n"
     ));
+    if let Some(obs) = obs {
+        out.push_str(&format!("  \"counters\": {},\n", obs.counters_json()));
+    }
     out.push_str("  \"variants\": [\n");
     for (i, row) in report.rows.iter().enumerate() {
         let sep = if i + 1 == report.rows.len() { "" } else { "," };
@@ -432,8 +534,9 @@ fn finish_gated_mode<R>(
 /// Emits the run-stats tail every gated-mode record shares: worker count,
 /// the core count the box actually had (so downstream gates can judge the
 /// speedup against the hardware, not against an assumption), fast-mode
-/// flag, wall time, the serial baseline + speedup when one ran, and the
-/// determinism flag.
+/// flag, wall time, the serial baseline + speedup when one ran, the
+/// determinism flag, and the observability counter registry of the run
+/// (present whenever an obs session ran, i.e. always under `--json`).
 fn push_record_tail(
     out: &mut String,
     workers: usize,
@@ -441,6 +544,7 @@ fn push_record_tail(
     wall: std::time::Duration,
     serial_wall: Option<std::time::Duration>,
     determinism_verified: bool,
+    obs: Option<&ObsReport>,
 ) {
     out.push_str(&format!("  \"workers\": {workers},\n"));
     out.push_str(&format!("  \"available_cores\": {},\n", available_cores()));
@@ -459,6 +563,9 @@ fn push_record_tail(
     out.push_str(&format!(
         "  \"determinism_verified\": {determinism_verified},\n"
     ));
+    if let Some(report) = obs {
+        out.push_str(&format!("  \"counters\": {},\n", report.counters_json()));
+    }
 }
 
 /// Emits the `variants` array of a modulated-vs-frozen record from
@@ -495,10 +602,12 @@ fn transient_json_record(
     serial: Option<&TransientReport>,
     determinism_verified: bool,
     fast_mode: bool,
+    obs: Option<&ObsReport>,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"transient\",\n");
-    out.push_str("  \"schema_version\": 1,\n");
+    // v2: adds the `counters` observability block.
+    out.push_str("  \"schema_version\": 2,\n");
     out.push_str(&format!(
         "  \"grid\": {{\"variants\": {}, \"traces\": {}, \"flow_scales\": {}}},\n",
         grid.len(),
@@ -525,6 +634,7 @@ fn transient_json_record(
         report.wall,
         serial.map(|s| s.wall),
         determinism_verified,
+        obs,
     );
     push_modulated_variants(
         &mut out,
@@ -571,10 +681,18 @@ fn run_transient_mode(args: &Args) -> ExitCode {
         options.epoch_steps,
     );
 
+    let session = obs_session(args);
     let report = match run_transient_sweep(&grid, &options) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("transient sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let obs = match obs_finish(args, session) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -627,6 +745,7 @@ fn run_transient_mode(args: &Args) -> ExitCode {
                 serial,
                 determinism_verified,
                 liquamod_bench::fast_mode(),
+                obs.as_ref(),
             )
         },
     )
@@ -642,10 +761,12 @@ fn mpsoc_json_record(
     serial: Option<&MpsocReport>,
     determinism_verified: bool,
     fast_mode: bool,
+    obs: Option<&ObsReport>,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"mpsoc\",\n");
-    out.push_str("  \"schema_version\": 1,\n");
+    // v2: adds the `counters` observability block.
+    out.push_str("  \"schema_version\": 2,\n");
     out.push_str(&format!(
         "  \"grid\": {{\"variants\": {}, \"archs\": {}, \"traces\": {}, \"flow_scales\": {}}},\n",
         grid.len(),
@@ -680,6 +801,7 @@ fn mpsoc_json_record(
         report.wall,
         serial.map(|s| s.wall),
         determinism_verified,
+        obs,
     );
     push_modulated_variants(
         &mut out,
@@ -754,10 +876,18 @@ fn run_mpsoc_mode(args: &Args) -> ExitCode {
         ),
     }
 
+    let session = obs_session(args);
     let report = match run_mpsoc_sweep(&grid, &options) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("mpsoc sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let obs = match obs_finish(args, session) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -810,6 +940,7 @@ fn run_mpsoc_mode(args: &Args) -> ExitCode {
                 serial,
                 determinism_verified,
                 liquamod_bench::fast_mode(),
+                obs.as_ref(),
             )
         },
     )
@@ -825,12 +956,14 @@ fn fleet_json_record(
     serial: Option<&FleetReport>,
     determinism_verified: bool,
     fast_mode: bool,
+    obs: Option<&ObsReport>,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"fleet\",\n");
     // v2: adds `stepper` and `segment_wall_seconds` (the per-wavefront
     // serial critical path of the segment-level scheduler).
-    out.push_str("  \"schema_version\": 3,\n");
+    // v4: adds the `counters` observability block.
+    out.push_str("  \"schema_version\": 4,\n");
     out.push_str(&format!(
         "  \"grid\": {{\"variants\": {}, \"stacks\": {}, \"budget_scales\": {}}},\n",
         grid.len(),
@@ -893,6 +1026,7 @@ fn fleet_json_record(
         report.wall,
         serial.map(|s| s.wall),
         determinism_verified,
+        obs,
     );
     out.push_str("  \"variants\": [\n");
     for (i, row) in report.rows.iter().enumerate() {
@@ -960,10 +1094,18 @@ fn run_fleet_mode(args: &Args) -> ExitCode {
         options.policy,
     );
 
+    let session = obs_session(args);
     let report = match run_fleet_sweep(&grid, &options) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("fleet sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let obs = match obs_finish(args, session) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -1016,6 +1158,7 @@ fn run_fleet_mode(args: &Args) -> ExitCode {
                 serial,
                 determinism_verified,
                 liquamod_bench::fast_mode(),
+                obs.as_ref(),
             )
         },
     )
@@ -1031,10 +1174,12 @@ fn faults_json_record(
     serial: Option<&FaultsReport>,
     determinism_verified: bool,
     fast_mode: bool,
+    obs: Option<&ObsReport>,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"faults\",\n");
-    out.push_str("  \"schema_version\": 1,\n");
+    // v2: adds the `counters` observability block.
+    out.push_str("  \"schema_version\": 2,\n");
     out.push_str(&format!(
         "  \"grid\": {{\"scenarios\": {}, \"stacks\": {}}},\n",
         report.rows.len(),
@@ -1084,6 +1229,7 @@ fn faults_json_record(
         report.wall,
         serial.map(|s| s.wall),
         determinism_verified,
+        obs,
     );
     out.push_str("  \"variants\": [\n");
     for (i, row) in report.rows.iter().enumerate() {
@@ -1202,10 +1348,18 @@ fn run_faults_mode(args: &Args) -> ExitCode {
         options.seed,
     );
 
+    let session = obs_session(args);
     let report = match run_faults_sweep(&stacks, &options) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("faults sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let obs = match obs_finish(args, session) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -1258,6 +1412,7 @@ fn run_faults_mode(args: &Args) -> ExitCode {
             serial_report.as_ref(),
             determinism_verified,
             liquamod_bench::fast_mode(),
+            obs.as_ref(),
         );
         if let Err(e) = write_record(path, "faults", &record) {
             if let Some(gate) = &failure {
@@ -1289,10 +1444,12 @@ fn serve_json_record(
     serial: Option<&SoakOutcome>,
     determinism_verified: bool,
     fast_mode: bool,
+    obs: Option<&ObsReport>,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"serve\",\n");
-    out.push_str("  \"schema_version\": 1,\n");
+    // v2: adds the `counters` observability block.
+    out.push_str("  \"schema_version\": 2,\n");
     out.push_str(&format!(
         "  \"plan\": {{\"sessions\": {}, \"phases_per_session\": {}, \"initial_sessions\": {}, \
          \"arrivals_per_batch\": {}, \"restore_at_batch\": {}}},\n",
@@ -1338,6 +1495,7 @@ fn serve_json_record(
         std::time::Duration::from_secs_f64(outcome.wall_seconds),
         serial.map(|s| std::time::Duration::from_secs_f64(s.wall_seconds)),
         determinism_verified,
+        obs,
     );
     out.push_str(&format!(
         "  \"streaming_identity\": {{\"steps\": {}, \"epochs\": {}, \"bitwise\": {}, \
@@ -1514,10 +1672,18 @@ fn run_serve_mode(args: &Args) -> ExitCode {
         }
     };
 
+    let session = obs_session(args);
     let outcome = match run_soak(&options, &plan) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("serve soak failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let obs = match obs_finish(args, session) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -1572,6 +1738,7 @@ fn run_serve_mode(args: &Args) -> ExitCode {
             serial_outcome.as_ref(),
             determinism_verified,
             liquamod_bench::fast_mode(),
+            obs.as_ref(),
         );
         if let Err(e) = write_record(path, "serve", &record) {
             if let Some(gate) = &failure {
@@ -1639,10 +1806,18 @@ fn main() -> ExitCode {
         ..SweepOptions::fast(mode)
     };
 
+    let session = obs_session(&args);
     let report = match run_sweep(&grid, &options) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let obs = match obs_finish(&args, session) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -1698,6 +1873,7 @@ fn main() -> ExitCode {
             serial_report.as_ref(),
             determinism_verified,
             liquamod_bench::fast_mode(),
+            obs.as_ref(),
         );
         if let Err(e) = write_record(path, "sweep", &record) {
             // Don't let a write failure swallow an already-detected gate

@@ -37,6 +37,7 @@
 
 use crate::fleet::{allocate, FleetOptions, PumpBudget, SegmentMetrics, StackRun, StackSpec};
 use crate::mpsoc::MpsocModulated;
+use crate::obs;
 use crate::sweep::run_variant_sweep;
 use crate::transient::{ModulationPolicy, ResumeState};
 use crate::{CoreError, CsvTable, Result};
@@ -763,7 +764,7 @@ pub fn run_faulted_fleet(
                 Ok(()) => {}
                 Err(e @ CoreError::BudgetInfeasible { .. }) => {
                     effective = effective.clamped_feasible(n);
-                    degraded.push(DegradedEvent {
+                    let event = DegradedEvent {
                         kind: DegradedKind::BudgetClamped,
                         segment: Some(seg),
                         stack: None,
@@ -772,7 +773,12 @@ pub fn run_faulted_fleet(
                             "{e}; allocating against the relaxed band [{}, {}]",
                             effective.min_scale, effective.max_scale
                         ),
-                    });
+                    };
+                    obs::event(
+                        event.kind.label(),
+                        format!("t={:.6} s: {}", event.time_seconds, event.detail),
+                    );
+                    degraded.push(event);
                 }
                 Err(e) => return Err(e),
             }
@@ -867,7 +873,7 @@ pub fn run_faulted_fleet(
                 for i in 0..n {
                     if schedule.feedback_dropped(i, t_boundary) {
                         feedback[i] = last_feedback[i];
-                        degraded.push(DegradedEvent {
+                        let event = DegradedEvent {
                             kind: DegradedKind::FeedbackDropped,
                             segment: Some(seg + 1),
                             stack: Some(i),
@@ -877,7 +883,12 @@ pub fn run_faulted_fleet(
                                  {:.3} K",
                                 last_feedback[i]
                             ),
-                        });
+                        };
+                        obs::event(
+                            event.kind.label(),
+                            format!("t={:.6} s: {}", event.time_seconds, event.detail),
+                        );
+                        degraded.push(event);
                     } else if schedule.inlet_delta_k(i, t_mid) > 0.0
                         || (seg > 0 && schedule.inlet_delta_k(i, prev_mid) > 0.0)
                     {
@@ -904,7 +915,7 @@ pub fn run_faulted_fleet(
                     }
                 }
                 if schedule.noise_amplitude_k() > 0.0 {
-                    degraded.push(DegradedEvent {
+                    let event = DegradedEvent {
                         kind: DegradedKind::FeedbackNoisy,
                         segment: Some(seg + 1),
                         stack: None,
@@ -913,7 +924,12 @@ pub fn run_faulted_fleet(
                             "gradient feedback perturbed by ±{} K before allocation",
                             schedule.noise_amplitude_k()
                         ),
-                    });
+                    };
+                    obs::event(
+                        event.kind.label(),
+                        format!("t={:.6} s: {}", event.time_seconds, event.detail),
+                    );
+                    degraded.push(event);
                 }
             }
             allocs = alloc_for(seg + 1, &feedback, &mut degraded)?;

@@ -3,6 +3,7 @@
 
 use super::allocator::{allocate, BudgetPolicy, PumpBudget};
 use crate::mpsoc::{ArchSpec, MpsocModulated, MpsocTraceSpec};
+use crate::obs;
 use crate::sweep::{catch_unit, parallel_map, ExecutionMode};
 use crate::transient::{EpochPolicy, ModulationPolicy, ResumeState};
 use crate::{mpsoc::MpsocConfig, CoreError, CsvTable, Result};
@@ -446,6 +447,7 @@ pub(crate) fn run_fleet_lanes(
     }
 
     let workers = resolved_fleet_workers(lanes[0].options.mode, n_lanes * n);
+    let _run_span = obs::span("fleet.run");
     let start = Instant::now();
     let mut allocations: Vec<Vec<Vec<f64>>> = vec![Vec::with_capacity(n_segments); n_lanes];
     let mut allocs: Vec<Vec<f64>> = lanes
@@ -462,6 +464,7 @@ pub(crate) fn run_fleet_lanes(
     // clearer than zipped iterators here.
     #[allow(clippy::needless_range_loop)]
     for seg in 0..n_segments {
+        let _wavefront_span = obs::span("fleet.wavefront");
         let seg_start = Instant::now();
         // Stable lane-major task order; at wavefront 0 only each dedup
         // group's representative lane contributes tasks.
@@ -470,6 +473,8 @@ pub(crate) fn run_fleet_lanes(
             .flat_map(|l| (0..n).map(move |i| (l, i)))
             .collect();
         let run_one = |&(l, i): &(usize, usize)| {
+            let _span = obs::lane_span("fleet.segment", l as u32);
+            obs::add("fleet.segments", 1);
             let lane = &lanes[l];
             let config = lane.options.config.with_flow_scale(allocs[l][i])?;
             let family = MpsocModulated::for_arch(&archs[i], config)?;
@@ -498,6 +503,7 @@ pub(crate) fn run_fleet_lanes(
             if seg == 0 {
                 for (l2, lane_merged) in merged.iter_mut().enumerate() {
                     if l2 != l && rep_of(l2) == l {
+                        obs::add("fleet.dedup_hits", 1);
                         lane_merged[i] = Some(pair.clone());
                     }
                 }

@@ -32,7 +32,11 @@
 //!   that co-optimizes many stacks under one shared pump budget, and the
 //!   [`serve`] streaming service that multiplexes long-running stack
 //!   sessions — phases in, width decisions out, snapshot/restore across
-//!   restarts — over the same deterministic machinery.
+//!   restarts — over the same deterministic machinery, and the [`obs`]
+//!   observability layer — hierarchical spans, a named-counter registry
+//!   and Perfetto-loadable trace exports, recorded thread-locally and
+//!   merged through the same index-ordered join that keeps parallel runs
+//!   bitwise-equal to serial ones.
 //!
 //! # Quickstart
 //!
@@ -60,6 +64,7 @@ pub mod experiments;
 pub mod faults;
 pub mod fleet;
 pub mod mpsoc;
+pub mod obs;
 mod scenario;
 pub mod serve;
 pub mod sweep;
@@ -82,6 +87,7 @@ pub use fleet::{
     FleetRow, PumpBudget,
 };
 pub use mpsoc::{run_mpsoc_sweep, MpsocConfig, MpsocGrid, MpsocModulated, MpsocReport, MpsocRow};
+pub use obs::{ObsEvent, ObsReport, ObsSession, SpanRecord};
 pub use scenario::{mpsoc_model, strip_model, MpsocScenario};
 pub use serve::{
     run_soak, soak_outcomes_match, verify_snapshot_restore, verify_streaming_identity,

@@ -1,5 +1,7 @@
 //! Lightweight service metrics: decision-latency histograms and
-//! monotonically increasing event counters.
+//! monotonically increasing event counters. Promoted out of
+//! `serve::metrics` into the shared observability layer (the serve module
+//! re-exports them unchanged).
 //!
 //! The serve layer's numeric *outputs* (width decisions, degraded events)
 //! are deterministic and gated bitwise; its *metrics* measure the wall
@@ -57,7 +59,7 @@ impl LatencyHistogram {
         i.min(BUCKETS - 1)
     }
 
-    /// The representative latency reported for a bucket: its upper bound.
+    /// A bucket's upper bound in seconds.
     fn bucket_upper(i: usize) -> f64 {
         BASE_SECONDS * (1u64 << i.min(52)) as f64
     }
@@ -110,10 +112,12 @@ impl LatencyHistogram {
         self.max_seconds
     }
 
-    /// The latency at quantile `q` ∈ [0, 1]: the upper bound of the bucket
-    /// holding the `⌈q·count⌉`-th smallest sample, clamped to the exact
-    /// observed [min, max] so single-sample histograms report the sample
-    /// itself. Returns 0 when empty.
+    /// The latency at quantile `q` ∈ [0, 1], linearly interpolated within
+    /// the bucket holding the `⌈q·count⌉`-th smallest sample (a plain
+    /// bucket upper bound would overestimate interior quantiles by up to
+    /// the factor-2 bucket width), clamped to the exact observed
+    /// [min, max] so single-sample histograms report the sample itself.
+    /// Returns 0 when empty.
     #[must_use]
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
@@ -123,9 +127,24 @@ impl LatencyHistogram {
         let target = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let before = seen;
             seen += c;
             if seen >= target {
-                return Self::bucket_upper(i).clamp(self.min_seconds, self.max_seconds);
+                let lower = if i == 0 {
+                    0.0
+                } else {
+                    Self::bucket_upper(i - 1)
+                };
+                let upper = Self::bucket_upper(i);
+                // The target sample's rank within this bucket, as a
+                // fraction of the bucket's population — samples assumed
+                // uniform across the bucket.
+                let frac = (target - before) as f64 / c as f64;
+                let interpolated = lower + frac * (upper - lower);
+                return interpolated.clamp(self.min_seconds, self.max_seconds);
             }
         }
         self.max_seconds
@@ -239,6 +258,32 @@ mod tests {
         assert!((4e-3..=9e-3).contains(&p50), "p50 {p50}");
         assert!(p99 <= h.max_seconds());
         assert!(h.min_seconds() == 1e-4);
+    }
+
+    #[test]
+    fn interior_quantiles_interpolate_within_the_bucket() {
+        // 100 uniform samples, 0.1 ms .. 10 ms: the true median is
+        // (5.0 + 5.1)/2 = 5.05 ms. The raw bucket upper bound would say
+        // 8.192 ms (a 62% overestimate); interpolation must land within
+        // 15% of the truth.
+        let mut h = LatencyHistogram::new();
+        for i in 1..=100u32 {
+            h.record(f64::from(i) * 1e-4);
+        }
+        let true_median = 5.05e-3;
+        let p50 = h.quantile(0.5);
+        let rel = (p50 - true_median).abs() / true_median;
+        assert!(
+            rel < 0.15,
+            "p50 {p50} vs true median {true_median} (rel err {rel:.3})"
+        );
+        // The tail quantile interpolates too, and stays within its bucket.
+        let p90 = h.quantile(0.9);
+        let true_p90 = 9.0e-3;
+        assert!(
+            (p90 - true_p90).abs() / true_p90 < 0.15,
+            "p90 {p90} vs {true_p90}"
+        );
     }
 
     #[test]

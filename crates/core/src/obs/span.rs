@@ -1,0 +1,123 @@
+//! Hierarchical spans: RAII guards over named regions of work.
+//!
+//! A span opens on the current thread, nests under the innermost still-open
+//! span of that thread, and closes (fixing its duration) when its
+//! [`SpanGuard`] drops. Workers' spans are re-attached to the caller's span
+//! stack by the deterministic unit merge in [`super::absorb_unit`].
+
+use super::{enabled, TLS};
+use std::time::Instant;
+
+/// One recorded span, still in thread-local raw form: `start` is a raw
+/// [`Instant`] (resolved to a session-relative offset at session finish)
+/// and `parent` indexes the owning buffer's span vector.
+pub(crate) struct RawSpan {
+    /// Static span name from the taxonomy in `docs/OBSERVABILITY.md`.
+    pub(crate) name: &'static str,
+    /// The fleet lane (or serve session slot) the span belongs to, if any.
+    pub(crate) lane: Option<u32>,
+    /// Index of the enclosing span in the same buffer.
+    pub(crate) parent: Option<usize>,
+    /// Nesting depth (0 = root of its thread at record time).
+    pub(crate) depth: u32,
+    /// Wall-clock open time.
+    pub(crate) start: Instant,
+    /// Wall-clock duration, fixed when the guard drops (0 while open).
+    pub(crate) dur_ns: u64,
+    /// 0 = calling thread; workers are tagged 1-based by the unit merge.
+    pub(crate) worker: u32,
+}
+
+/// Sentinel index marking a guard created while recording was disabled.
+const DISABLED: usize = usize::MAX;
+
+/// Closes its span when dropped. Created by [`span`]/[`lane_span`]; when no
+/// session is recording the guard is an inert no-op.
+#[must_use = "a span measures the region until this guard drops"]
+pub struct SpanGuard {
+    /// Index of the span in the thread's buffer, or [`DISABLED`].
+    idx: usize,
+    /// The thread's lane before this guard (restored on drop).
+    prev_lane: Option<u32>,
+    /// Whether this guard changed the thread's lane.
+    restore_lane: bool,
+}
+
+/// Opens a span named `name` on the current thread. Near-zero cost (one
+/// relaxed atomic load) when no session is recording.
+pub fn span(name: &'static str) -> SpanGuard {
+    open(name, None)
+}
+
+/// Opens a span named `name` tagged with `lane`; spans and events recorded
+/// while this guard is alive inherit the lane (the trace export maps lanes
+/// to Perfetto processes).
+pub fn lane_span(name: &'static str, lane: u32) -> SpanGuard {
+    open(name, Some(lane))
+}
+
+fn open(name: &'static str, lane: Option<u32>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            idx: DISABLED,
+            prev_lane: None,
+            restore_lane: false,
+        };
+    }
+    TLS.with(|t| {
+        let mut b = t.borrow_mut();
+        let (prev_lane, restore_lane) = match lane {
+            Some(l) => (b.lane.replace(l), true),
+            None => (None, false),
+        };
+        let idx = b.spans.len();
+        let parent = b.open.last().copied();
+        let depth = b.open.len() as u32;
+        let lane = b.lane;
+        b.spans.push(RawSpan {
+            name,
+            lane,
+            parent,
+            depth,
+            start: Instant::now(),
+            dur_ns: 0,
+            worker: 0,
+        });
+        b.open.push(idx);
+        SpanGuard {
+            idx,
+            prev_lane,
+            restore_lane,
+        }
+    })
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.idx == DISABLED {
+            return;
+        }
+        TLS.with(|t| {
+            let mut b = t.borrow_mut();
+            // The buffer may have been drained since this span opened (a
+            // unit capture or session finish on this thread); then there is
+            // nothing left to close.
+            if self.idx >= b.spans.len() {
+                return;
+            }
+            // Inner guards drop first, so the top of the open stack is
+            // normally this span; pop defensively past any child a panic
+            // unwound over.
+            while let Some(&top) = b.open.last() {
+                if top < self.idx {
+                    break;
+                }
+                b.open.pop();
+            }
+            b.spans[self.idx].dur_ns = b.spans[self.idx].start.elapsed().as_nanos() as u64;
+            if self.restore_lane {
+                b.lane = self.prev_lane;
+            }
+        });
+    }
+}

@@ -1,0 +1,136 @@
+//! Chrome trace-event JSON export: the `{"traceEvents": [...]}` object
+//! format loadable by `chrome://tracing` and [Perfetto](https://ui.perfetto.dev).
+//!
+//! Mapping: each fleet lane becomes a Perfetto *process* (`pid` = lane + 1;
+//! `pid` 0 holds unlaned spans), each recording thread a *thread* (`tid` =
+//! worker id, 0 = the calling thread). Spans are complete (`"X"`) events
+//! with microsecond `ts`/`dur`; `args` carries the span's `depth` and
+//! `parent` sequence index so tools can rebuild the hierarchy without
+//! relying on timestamps (the checked-in golden trace has them zeroed).
+
+use super::report::ObsReport;
+use std::collections::BTreeSet;
+
+/// The `pid` a span renders under: lanes are 1-based processes, everything
+/// else is process 0.
+fn pid(lane: Option<u32>) -> u32 {
+    lane.map_or(0, |l| l + 1)
+}
+
+/// Renders the report as a Chrome trace-event JSON string.
+pub(super) fn render(report: &ObsReport) -> String {
+    let mut out = String::from("{\"traceEvents\": [\n");
+    let mut first = true;
+    let mut push = |line: String, out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push_str(",\n");
+        }
+        out.push_str("  ");
+        out.push_str(&line);
+    };
+
+    // Metadata: name every process and thread that appears.
+    let pids: BTreeSet<u32> = report.spans.iter().map(|s| pid(s.lane)).collect();
+    for p in &pids {
+        let name = if *p == 0 {
+            "liquamod".to_string()
+        } else {
+            format!("lane {}", p - 1)
+        };
+        push(
+            format!(
+                "{{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": {p}, \"tid\": 0, \
+                 \"args\": {{\"name\": \"{name}\"}}}}"
+            ),
+            &mut out,
+        );
+    }
+    let tids: BTreeSet<(u32, u32)> = report
+        .spans
+        .iter()
+        .map(|s| (pid(s.lane), s.worker))
+        .collect();
+    for (p, t) in &tids {
+        let name = if *t == 0 {
+            "caller".to_string()
+        } else {
+            format!("worker {t}")
+        };
+        push(
+            format!(
+                "{{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": {p}, \"tid\": {t}, \
+                 \"args\": {{\"name\": \"{name}\"}}}}"
+            ),
+            &mut out,
+        );
+    }
+
+    // Spans, in the deterministic merged order.
+    for (seq, s) in report.spans.iter().enumerate() {
+        let parent = s
+            .parent
+            .map_or_else(|| "null".to_string(), |p| p.to_string());
+        push(
+            format!(
+                "{{\"ph\": \"X\", \"name\": \"{}\", \"cat\": \"liquamod\", \"pid\": {}, \
+                 \"tid\": {}, \"ts\": {:.3}, \"dur\": {:.3}, \
+                 \"args\": {{\"seq\": {seq}, \"depth\": {}, \"parent\": {parent}}}}}",
+                s.name,
+                pid(s.lane),
+                s.worker,
+                s.start_ns as f64 / 1e3,
+                s.dur_ns as f64 / 1e3,
+                s.depth,
+            ),
+            &mut out,
+        );
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::report::SpanRecord;
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn trace_has_metadata_and_complete_events() {
+        let report = ObsReport {
+            spans: vec![
+                SpanRecord {
+                    name: "fleet.run",
+                    lane: None,
+                    parent: None,
+                    depth: 0,
+                    start_ns: 0,
+                    dur_ns: 5_000,
+                    worker: 0,
+                },
+                SpanRecord {
+                    name: "fleet.segment",
+                    lane: Some(2),
+                    parent: Some(0),
+                    depth: 1,
+                    start_ns: 1_000,
+                    dur_ns: 3_000,
+                    worker: 1,
+                },
+            ],
+            counters: BTreeMap::new(),
+            events: vec![],
+        };
+        let trace = report.to_chrome_trace();
+        assert!(trace.starts_with("{\"traceEvents\": ["));
+        assert!(trace.contains("\"name\": \"process_name\""));
+        assert!(trace.contains("\"name\": \"lane 2\""));
+        assert!(trace.contains("\"name\": \"worker 1\""));
+        assert!(trace.contains("\"ph\": \"X\""));
+        // Lane 2 renders as pid 3; the span carries its parent seq.
+        assert!(trace.contains("\"pid\": 3"));
+        assert!(trace.contains("\"parent\": 0"));
+        // Microsecond timestamps: 1000 ns = 1.000 µs.
+        assert!(trace.contains("\"ts\": 1.000"));
+    }
+}

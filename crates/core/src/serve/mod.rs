@@ -40,7 +40,13 @@
 //! [`ModulationController::run`]: crate::transient::ModulationController::run
 //! [`ModulationController::run_resumed`]: crate::transient::ModulationController::run_resumed
 
-mod metrics;
+/// Service metrics, re-exported from the shared observability layer
+/// ([`crate::obs`]) where [`LatencyHistogram`]/[`SessionMetrics`]/
+/// [`PoolMetrics`] now live — existing `serve::metrics` call sites and
+/// tests compile unchanged.
+pub mod metrics {
+    pub use crate::obs::{LatencyHistogram, PoolMetrics, SessionMetrics};
+}
 mod pool;
 mod session;
 mod soak;

@@ -22,6 +22,7 @@ use liquamod_floorplan::PowerLevel;
 use crate::faults::{DegradedEvent, DegradedKind};
 use crate::fleet::{allocate, BudgetPolicy, PumpBudget};
 use crate::mpsoc::{arch_trace, ArchSpec, MpsocConfig, MpsocModulated, MpsocTrace};
+use crate::obs;
 use crate::serve::metrics::{PoolMetrics, SessionMetrics};
 use crate::serve::session::{ServeSession, SessionSnapshot};
 use crate::sweep::{catch_unit, parallel_map};
@@ -317,6 +318,7 @@ impl ServePool {
                         self.effective.max_scale,
                     ),
                 };
+                obs::event(event.kind.label(), event.detail.clone());
                 self.events.push(event);
                 self.metrics.degraded_events += 1;
                 Ok(())
@@ -495,6 +497,7 @@ impl ServePool {
                 wall_seconds: 0.0,
             });
         }
+        let _batch_span = obs::span("serve.batch");
         let shares = allocate(self.options.budget_policy, &self.effective, &gradients)?;
         let share_of: BTreeMap<u64, f64> = live.iter().copied().zip(shares).collect();
 
@@ -519,6 +522,8 @@ impl ServePool {
         let base_config = self.options.config.clone();
         let policy = self.options.policy;
         let run_one = |task: &BatchTask| -> Result<(TransientOutcome, ResumeState, f64)> {
+            let _span = obs::lane_span("serve.decision", task.id as u32);
+            obs::add("serve.decisions", 1);
             let config = base_config.with_flow_scale(task.share)?;
             let modulated = MpsocModulated::for_arch(&task.arch.architecture(), config)?;
             let controller = modulated.controller(policy)?;
@@ -593,13 +598,15 @@ impl ServePool {
                     self.sessions.remove(&task.id);
                     self.metrics.sessions_failed += 1;
                     self.metrics.degraded_events += 1;
-                    events.push(DegradedEvent {
+                    let event = DegradedEvent {
                         kind: DegradedKind::SessionEvicted,
                         segment: Some(task.segment),
                         stack: Some(task.id as usize),
                         time_seconds: clock,
                         detail: format!("segment run failed, session evicted: {error}"),
-                    });
+                    };
+                    obs::event(event.kind.label(), event.detail.clone());
+                    events.push(event);
                     departed = true;
                 }
             }

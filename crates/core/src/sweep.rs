@@ -48,6 +48,7 @@
 
 use crate::compare::DesignComparison;
 use crate::design::OptimizationConfig;
+use crate::obs;
 use crate::scenario::strip_model;
 use crate::{CoreError, CsvTable, Result};
 use liquamod_floorplan::testcase::{self, StripLoad};
@@ -396,6 +397,10 @@ fn evaluate_variant_warm(
     config: &OptimizationConfig,
     start: Option<&[f64]>,
 ) -> Result<(SweepRow, Vec<f64>)> {
+    let _span = obs::span("sweep.variant");
+    if start.is_some() {
+        obs::add("optimizer.warm_start_hits", 1);
+    }
     let load = variant.load.strip_load(variant.flux_scale);
     // The base parameters are only cloned when the variant actually perturbs
     // them; `strip_model` hands the (possibly borrowed) set to the model.
@@ -407,6 +412,7 @@ fn evaluate_variant_warm(
         strip_model(&load, &scaled)?
     };
     let cmp = DesignComparison::run_warm(&model, config, start)?;
+    obs::add("optimizer.evaluations", cmp.outcome.evaluations as u64);
     let row = SweepRow {
         variant: variant.clone(),
         gradient_min_k: cmp.minimum.gradient_k,
@@ -430,6 +436,7 @@ fn evaluate_chain(
     config: &OptimizationConfig,
     warm_start: bool,
 ) -> Vec<Result<SweepRow>> {
+    let _span = obs::span("sweep.chain");
     let mut out = Vec::with_capacity(chain.len());
     let mut prev: Option<Vec<f64>> = None;
     for variant in chain {
@@ -594,6 +601,15 @@ pub(crate) fn catch_unit<T, R>(
 /// A panicking unit surfaces as [`CoreError::WorkerPanicked`] labelled via
 /// `label`; when several units panic, the first in **item order** wins, so
 /// the reported unit is independent of thread interleaving.
+///
+/// When an [`crate::obs`] session is recording, each unit's spans,
+/// counters and events are captured from the worker's thread-local buffer
+/// right after the unit finishes and absorbed into the caller's buffer in
+/// **item order** after the index sort — the observability twin of the
+/// bitwise parallel==serial result guarantee: record *content* is
+/// independent of the worker count (wall-clock timestamps and worker ids
+/// are the only fields that vary, and the deterministic exports exclude
+/// them).
 pub(crate) fn parallel_map<T, R, F, N>(
     items: &[T],
     workers: usize,
@@ -608,31 +624,47 @@ where
 {
     let cursor = AtomicUsize::new(0);
     let workers = workers.min(items.len()).max(1);
+    // The worker closures `move` their 1-based id and borrow the rest.
+    let (cursor, label, f) = (&cursor, &label, &f);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|w| {
+                scope.spawn(move || {
+                    let worker_tag = (w + 1) as u32;
                     let mut chunk = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
                             break;
                         }
-                        chunk.push((i, catch_unit(&items[i], &label, &f)));
+                        let result = catch_unit(&items[i], label, f);
+                        let unit_obs = obs::capture_unit().map(|mut u| {
+                            u.tag_worker(worker_tag);
+                            u
+                        });
+                        chunk.push((i, result, unit_obs));
                     }
                     chunk
                 })
             })
             .collect();
-        let mut indexed: Vec<(usize, Result<R>)> = handles
+        let mut indexed: Vec<(usize, Result<R>, Option<obs::UnitObs>)> = handles
             .into_iter()
             .flat_map(|h| {
                 h.join()
                     .expect("workers catch unit panics, so joining cannot fail")
             })
             .collect();
-        indexed.sort_by_key(|(i, _)| *i);
-        indexed.into_iter().map(|(_, r)| r).collect()
+        indexed.sort_by_key(|(i, _, _)| *i);
+        indexed
+            .into_iter()
+            .map(|(_, r, unit_obs)| {
+                if let Some(u) = unit_obs {
+                    obs::absorb_unit(u);
+                }
+                r
+            })
+            .collect()
     })
 }
 

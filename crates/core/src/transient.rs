@@ -41,6 +41,7 @@
 
 use crate::design::{optimize_resumed, DesignWarmStart, OptimizationConfig};
 use crate::faults::{DegradedEvent, DegradedKind, SegmentFaults, ValveMode};
+use crate::obs;
 use crate::scenario::{strip_length, strip_model};
 use crate::sweep::{run_variant_sweep, ExecutionMode};
 use crate::{bridge, CoreError, CsvTable, Result};
@@ -975,6 +976,8 @@ impl<S: ModulatedStack> ModulationController<S> {
         let mut n = 0usize;
         let mut prev_phase: Option<usize> = None;
         while n < total_steps {
+            // One epoch of the controller loop: decide, rebuild, advance.
+            let _epoch_span = obs::span("epoch.run");
             let phase = trace.phase_index_at((n as f64 + 0.5) * dt);
             let load = &trace.phases()[phase].load;
             let new_phase = prev_phase != Some(phase);
@@ -1009,6 +1012,9 @@ impl<S: ModulatedStack> ModulationController<S> {
             // (Re)build the stack for the current phase and widths and hand
             // the temperatures over; run until the next decision point that
             // actually changes the stack (new phase, or adopted widths).
+            let rebuild_span = obs::span("assembly.rebuild");
+            let values_before = asm_cache.values_refreshes();
+            let symbolic_before = asm_cache.symbolic_builds();
             let stack =
                 plant_family.build_stack(load, frozen_widths.as_ref().unwrap_or(&ctx.widths))?;
             let mut stepper = stack.transient_stepper_cached(
@@ -1021,9 +1027,24 @@ impl<S: ModulatedStack> ModulationController<S> {
                 },
                 &mut asm_cache,
             )?;
+            obs::add(
+                "assembly.values_only_refreshes",
+                (asm_cache.values_refreshes() - values_before) as u64,
+            );
+            obs::add(
+                "assembly.full_rebuilds",
+                (asm_cache.symbolic_builds() - symbolic_before) as u64,
+            );
+            // `stepper_from_assembly` condenses a fresh exponential
+            // propagator per stepper construction.
+            if matches!(self.stepper, StepperKind::Exponential(_)) {
+                obs::add("expstep.matrix_rebuilds", 1);
+            }
+            drop(rebuild_span);
             if let Some(s) = &state {
                 stepper.set_state(s, n as f64 * dt)?;
             }
+            let _advance_span = obs::span("stepper.advance");
             loop {
                 let sample = stepper.step()?;
                 n += 1;
@@ -1087,6 +1108,14 @@ impl<S: ModulatedStack> ModulationController<S> {
             ),
         })?;
         let last_gradient_k = snapshots.last().map_or(resume_gradient_k, |s| s.gradient_k);
+        // Fold the degraded-mode stream into the observability event log —
+        // simulation-time stamped, so the record is deterministic.
+        for e in &degraded {
+            obs::event(
+                e.kind.label(),
+                format!("t={:.6} s: {}", e.time_seconds, e.detail),
+            );
+        }
         Ok((
             TransientOutcome {
                 snapshots,
@@ -1155,6 +1184,10 @@ impl<S: ModulatedStack> EpochContext<'_, S> {
         if self.family.load_is_idle(load) {
             return Ok(false);
         }
+        let _span = obs::span("epoch.solve");
+        if self.warm.is_some() {
+            obs::add("optimizer.warm_start_hits", 1);
+        }
         let EpochCandidate {
             widths,
             warm,
@@ -1164,9 +1197,18 @@ impl<S: ModulatedStack> EpochContext<'_, S> {
         } = self
             .family
             .optimize_epoch(load, &self.widths, self.warm.as_ref(), &mut self.ws)?;
+        obs::add("optimizer.evaluations", evaluations as u64);
         // Never trade into a worse steady design: the incumbent profile is
         // always a feasible fallback.
         let adopted = gradient_k <= incumbent_gradient_k;
+        obs::add(
+            if adopted {
+                "epoch.adopted"
+            } else {
+                "epoch.rejected"
+            },
+            1,
+        );
         if adopted {
             self.widths = widths;
             self.warm = Some(warm);

@@ -355,17 +355,18 @@ fn golden_serialization_roundtrips() {
 /// (the CI bench-smoke comparisons) parse.
 #[test]
 fn bench_records_declare_schema_version() {
-    // BENCH_fleet.json is at v3: v2 added `stepper` and the segment-level
+    // BENCH_fleet.json is at v4: v2 added `stepper` and the segment-level
     // scheduler's `segment_wall_seconds`; v3 added `available_cores`, the
     // detected core count CI's speedup gate judges `parallel_speedup`
-    // against (on a 1–2 core box parallel can only match serial).
+    // against (on a 1–2 core box parallel can only match serial); v4 (and
+    // the other records' v2) added the `counters` observability block.
     for (name, version) in [
-        ("BENCH_sweep.json", 1.0),
-        ("BENCH_transient.json", 1.0),
-        ("BENCH_mpsoc.json", 1.0),
-        ("BENCH_fleet.json", 3.0),
-        ("BENCH_faults.json", 1.0),
-        ("BENCH_serve.json", 1.0),
+        ("BENCH_sweep.json", 2.0),
+        ("BENCH_transient.json", 2.0),
+        ("BENCH_mpsoc.json", 2.0),
+        ("BENCH_fleet.json", 4.0),
+        ("BENCH_faults.json", 2.0),
+        ("BENCH_serve.json", 2.0),
     ] {
         let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(name);
         let record = std::fs::read_to_string(&path)
@@ -378,6 +379,10 @@ fn bench_records_declare_schema_version() {
         assert!(
             record.contains("\"available_cores\""),
             "{name} must record the core count it was measured on"
+        );
+        assert!(
+            record.contains("\"counters\""),
+            "{name} must carry the observability counter registry"
         );
     }
     let fleet =
