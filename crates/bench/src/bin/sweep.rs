@@ -20,9 +20,10 @@
 //!
 //! The `fleet` mode co-optimizes *several* MPSoC stacks under one shared
 //! pump budget: per budget variant, the same fleet runs under uniform,
-//! gradient-water-filling and greedy flow allocation, and the gate
-//! requires water-filling to strictly beat the uniform split on the worst
-//! stack's time-peak gradient.
+//! gradient-water-filling, greedy and predictive (one-step-MPC) flow
+//! allocation, and a double gate requires water-filling to strictly beat
+//! the uniform split *and* the predictive allocator to strictly beat
+//! water-filling on the worst stack's time-peak gradient.
 //!
 //! The `faults` mode drives the fleet through adversarial operating
 //! scenarios (pump-degradation ramp, stuck valve group, coolant inlet
@@ -963,7 +964,13 @@ fn fleet_json_record(
     // v2: adds `stepper` and `segment_wall_seconds` (the per-wavefront
     // serial critical path of the segment-level scheduler).
     // v4: adds the `counters` observability block.
-    out.push_str("  \"schema_version\": 4,\n");
+    // v5: the policy ladder grows to four — adds the per-variant
+    // predictive fields (`worst_gradient_predictive_k`,
+    // `predictive_reduction`, `predictive_margin`,
+    // `predictive_final_allocation`) and the surrogate-fit diagnostics
+    // (`predictive_forecast_hits`, `predictive_surrogate_refits`,
+    // `predictive_mean_abs_slope_k_per_scale`).
+    out.push_str("  \"schema_version\": 5,\n");
     out.push_str(&format!(
         "  \"grid\": {{\"variants\": {}, \"stacks\": {}, \"budget_scales\": {}}},\n",
         grid.len(),
@@ -1031,23 +1038,37 @@ fn fleet_json_record(
     out.push_str("  \"variants\": [\n");
     for (i, row) in report.rows.iter().enumerate() {
         let sep = if i + 1 == report.rows.len() { "" } else { "," };
-        let allocation = row
-            .waterfill_final_allocation
-            .iter()
-            .map(|s| format!("{s:.6}"))
-            .collect::<Vec<_>>()
-            .join(", ");
+        let join6 = |shares: &[f64]| {
+            shares
+                .iter()
+                .map(|s| format!("{s:.6}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let allocation = join6(&row.waterfill_final_allocation);
+        let predictive_allocation = join6(&row.predictive_final_allocation);
         out.push_str(&format!(
             "    {{\"label\": \"{}\", \"worst_gradient_uniform_k\": {:.6}, \
              \"worst_gradient_waterfill_k\": {:.6}, \"worst_gradient_greedy_k\": {:.6}, \
+             \"worst_gradient_predictive_k\": {:.6}, \
              \"waterfill_reduction\": {:.6}, \"greedy_reduction\": {:.6}, \
-             \"waterfill_final_allocation\": [{allocation}], \"evaluations\": {}}}{sep}\n",
+             \"predictive_reduction\": {:.6}, \"predictive_margin\": {:.6}, \
+             \"waterfill_final_allocation\": [{allocation}], \
+             \"predictive_final_allocation\": [{predictive_allocation}], \
+             \"predictive_forecast_hits\": {}, \"predictive_surrogate_refits\": {}, \
+             \"predictive_mean_abs_slope_k_per_scale\": {:.6}, \"evaluations\": {}}}{sep}\n",
             json_escape(&row.variant.label()),
             row.worst_gradient_uniform_k,
             row.worst_gradient_waterfill_k,
             row.worst_gradient_greedy_k,
+            row.worst_gradient_predictive_k,
             row.waterfill_reduction,
             row.greedy_reduction,
+            row.predictive_reduction,
+            row.predictive_margin,
+            row.predictive_forecast_hits,
+            row.predictive_surrogate_refits,
+            row.predictive_mean_abs_slope_k_per_scale,
             row.evaluations
         ));
     }
@@ -1056,7 +1077,9 @@ fn fleet_json_record(
 }
 
 /// The fleet mode: several full-chip stacks co-optimized under one shared
-/// pump budget, with the three allocation policies head-to-head.
+/// pump budget, with the four allocation policies head-to-head. Gates
+/// twice per variant: waterfill strictly beats uniform, and predictive
+/// strictly beats waterfill.
 fn run_fleet_mode(args: &Args) -> ExitCode {
     banner("fleet sharding: shared-pump budget x allocation-policy head-to-head");
     let grid = FleetGrid::bench_default();
@@ -1124,8 +1147,8 @@ fn run_fleet_mode(args: &Args) -> ExitCode {
     finish_gated_mode(
         "fleet",
         &GateNames {
-            candidate: "waterfill worst-stack time-peak gradient",
-            baseline: "uniform-allocation baseline",
+            candidate: "candidate policy's worst-stack time-peak gradient",
+            baseline: "policy one rung down the ladder",
         },
         args,
         available,
@@ -1139,14 +1162,24 @@ fn run_fleet_mode(args: &Args) -> ExitCode {
         |s| s.rows == report.rows,
         |s| s.wall,
         |r| {
+            // Two gate rows per variant: the reactive allocator must beat
+            // static provisioning, and the one-step MPC must beat the
+            // reactive allocator.
             r.rows
                 .iter()
-                .map(|row| {
-                    (
-                        row.variant.label(),
-                        row.worst_gradient_waterfill_k,
-                        row.worst_gradient_uniform_k,
-                    )
+                .flat_map(|row| {
+                    [
+                        (
+                            format!("{} waterfill-vs-uniform", row.variant.label()),
+                            row.worst_gradient_waterfill_k,
+                            row.worst_gradient_uniform_k,
+                        ),
+                        (
+                            format!("{} predictive-vs-waterfill", row.variant.label()),
+                            row.worst_gradient_predictive_k,
+                            row.worst_gradient_waterfill_k,
+                        ),
+                    ]
                 })
                 .collect()
         },

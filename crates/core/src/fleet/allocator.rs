@@ -8,6 +8,7 @@
 //!
 //! [`MpsocConfig::with_flow_scale`]: crate::mpsoc::MpsocConfig::with_flow_scale
 
+use crate::obs;
 use crate::{CoreError, Result};
 
 /// How the fleet allocator splits the shared pump budget across stacks at
@@ -29,6 +30,19 @@ pub enum BudgetPolicy {
     /// remaining stacks are affordable. The bang-bang contrast case to
     /// [`BudgetPolicy::GradientWaterfill`]'s proportional split.
     Greedy,
+    /// One-step model-predictive water-filling: instead of pouring on the
+    /// *trailing* measured gradients, pour on the gradients each stack is
+    /// predicted to show over the **next** segment. The prediction
+    /// composes two cheap models ([`PredictiveContext`]): a workload
+    /// forecast (next-segment / current-segment power ratio per stack,
+    /// when the trace is known ahead of time) and a per-stack sensitivity
+    /// surrogate (gradient-vs-flow-share slope, recursively refit from the
+    /// (allocation, measured gradient) pairs the fleet loop already feeds
+    /// back — [`SurrogateModel`]). With no lookahead and a flat surrogate
+    /// the policy degrades to [`BudgetPolicy::GradientWaterfill`]
+    /// **bitwise** — it is a strict generalization, pinned by the
+    /// differential tests.
+    Predictive,
 }
 
 impl BudgetPolicy {
@@ -39,6 +53,7 @@ impl BudgetPolicy {
             BudgetPolicy::Uniform,
             BudgetPolicy::GradientWaterfill,
             BudgetPolicy::Greedy,
+            BudgetPolicy::Predictive,
         ]
     }
 
@@ -49,7 +64,216 @@ impl BudgetPolicy {
             BudgetPolicy::Uniform => "uniform",
             BudgetPolicy::GradientWaterfill => "waterfill",
             BudgetPolicy::Greedy => "greedy",
+            BudgetPolicy::Predictive => "predictive",
         }
+    }
+}
+
+/// Forecast ratios within this distance of 1.0 are *uninformative*: the
+/// known future looks exactly like the present, so the trailing
+/// measurement is already the best one-step prediction and
+/// [`BudgetPolicy::Predictive`] falls back to the plain waterfill —
+/// bitwise, which is what pins the constant-trace differential test.
+const RATIO_EPS: f64 = 1e-12;
+
+/// Share moves smaller than this carry no slope information (the secant
+/// would divide by ~0); the surrogate skips them instead of refitting.
+const MIN_SHARE_DELTA: f64 = 1e-9;
+
+/// Magnitude cap on a surrogate slope, K per flow-scale unit. A secant
+/// through two near-identical shares can be arbitrarily steep; clamping
+/// keeps one bad sample from catapulting the predicted gradients, and
+/// bounds the influence of adversarial slopes fed through
+/// [`PredictiveContext`].
+const SLOPE_CAP_K_PER_SCALE: f64 = 1e4;
+
+/// Exponential-forgetting weight of the incumbent slope when a new secant
+/// sample arrives (`slope ← λ·slope + (1-λ)·sample`).
+const SLOPE_FORGETTING: f64 = 0.5;
+
+/// Fixed-point sweeps of `alloc ← waterfill(predicted(alloc))` the
+/// predictive policy runs. The prediction depends on the allocation (the
+/// slope term) and the allocation on the prediction; three sweeps settle
+/// the loop to well under the valve band's resolution in practice, and a
+/// *fixed* count keeps the policy a pure function of its inputs.
+const PREDICTIVE_SWEEPS: usize = 3;
+
+/// Per-stack first-order sensitivity surrogate: the recursively refit
+/// slope `dg/ds` of the stack's time-peak gradient against its flow share,
+/// plus the last (share, gradient) observation the next secant will be
+/// taken against. `Default` is the *uninformative* state (zero slope,
+/// nothing observed).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StackSurrogate {
+    /// Current slope estimate, kelvin per flow-scale unit (typically
+    /// negative: more coolant, smaller gradient). `0.0` = uninformative.
+    pub slope_k_per_scale: f64,
+    /// Flow share of the last observation.
+    pub last_share: f64,
+    /// Measured time-peak gradient of the last observation, kelvin.
+    pub last_gradient_k: f64,
+    /// Whether any observation has landed yet (the first one only seeds
+    /// the secant base point).
+    pub observed: bool,
+}
+
+impl StackSurrogate {
+    /// Folds one (share, measured gradient) pair into the surrogate.
+    /// Returns `true` when the slope was actually refit. Non-finite
+    /// observations and degenerate moves (|Δshare| below the secant
+    /// resolution — e.g. a constant-allocation history) are skipped, never
+    /// panicked on; the slope sample is clamped to
+    /// ±`SLOPE_CAP_K_PER_SCALE` and blended with exponential forgetting.
+    pub fn observe(&mut self, share: f64, gradient_k: f64) -> bool {
+        if !(share.is_finite() && gradient_k.is_finite()) {
+            return false;
+        }
+        let mut refit = false;
+        if self.observed {
+            let d_share = share - self.last_share;
+            if d_share.abs() > MIN_SHARE_DELTA {
+                let sample = ((gradient_k - self.last_gradient_k) / d_share)
+                    .clamp(-SLOPE_CAP_K_PER_SCALE, SLOPE_CAP_K_PER_SCALE);
+                self.slope_k_per_scale = if self.slope_k_per_scale == 0.0 {
+                    sample
+                } else {
+                    SLOPE_FORGETTING * self.slope_k_per_scale + (1.0 - SLOPE_FORGETTING) * sample
+                };
+                refit = true;
+            }
+        }
+        self.last_share = share;
+        self.last_gradient_k = gradient_k;
+        self.observed = true;
+        refit
+    }
+
+    /// The slope the predictor applies: the estimate, re-clamped so even a
+    /// hand-constructed adversarial surrogate cannot push a non-finite or
+    /// unbounded term into the prediction.
+    #[must_use]
+    pub fn effective_slope_k_per_scale(&self) -> f64 {
+        if self.slope_k_per_scale.is_finite() {
+            self.slope_k_per_scale
+                .clamp(-SLOPE_CAP_K_PER_SCALE, SLOPE_CAP_K_PER_SCALE)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The fleet-level sensitivity surrogate: one [`StackSurrogate`] per
+/// stack, refit in lock-step from the allocation/measurement pairs of
+/// every reallocation segment, with fit diagnostics for the bench record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurrogateModel {
+    stacks: Vec<StackSurrogate>,
+    refits: u64,
+}
+
+impl SurrogateModel {
+    /// An uninformative surrogate for `n_stacks` stacks.
+    #[must_use]
+    pub fn new(n_stacks: usize) -> Self {
+        Self {
+            stacks: vec![StackSurrogate::default(); n_stacks],
+            refits: 0,
+        }
+    }
+
+    /// Assembles a model from externally-held per-stack surrogates (the
+    /// serve pool keeps one per session and rebuilds the fleet view each
+    /// batch, in live-session order).
+    #[must_use]
+    pub fn from_stacks(stacks: Vec<StackSurrogate>) -> Self {
+        Self { stacks, refits: 0 }
+    }
+
+    /// Folds one segment's (shares, measured gradients) into the model.
+    /// Entries beyond the shorter of the two slices are ignored; every
+    /// actual slope refit bumps the `allocator.surrogate_refits` counter.
+    pub fn observe(&mut self, shares: &[f64], gradients_k: &[f64]) {
+        for (stack, (&share, &gradient)) in
+            self.stacks.iter_mut().zip(shares.iter().zip(gradients_k))
+        {
+            if stack.observe(share, gradient) {
+                self.refits += 1;
+                obs::add("allocator.surrogate_refits", 1);
+            }
+        }
+    }
+
+    /// Per-stack surrogates, in stack order.
+    #[must_use]
+    pub fn stacks(&self) -> &[StackSurrogate] {
+        &self.stacks
+    }
+
+    /// Slope refits performed so far.
+    #[must_use]
+    pub fn refits(&self) -> u64 {
+        self.refits
+    }
+
+    /// `true` when no stack carries a usable slope — the surrogate has
+    /// nothing to add to the prediction.
+    #[must_use]
+    pub fn is_flat(&self) -> bool {
+        self.stacks
+            .iter()
+            .all(|s| s.effective_slope_k_per_scale() == 0.0)
+    }
+
+    /// Mean |slope| across stacks, K per flow-scale unit (0 when empty) —
+    /// the fit-magnitude diagnostic the bench record carries.
+    #[must_use]
+    pub fn mean_abs_slope_k_per_scale(&self) -> f64 {
+        if self.stacks.is_empty() {
+            return 0.0;
+        }
+        self.stacks
+            .iter()
+            .map(|s| s.effective_slope_k_per_scale().abs())
+            .sum::<f64>()
+            / self.stacks.len() as f64
+    }
+}
+
+/// Everything [`BudgetPolicy::Predictive`] predicts from, beyond the
+/// trailing gradients every policy sees.
+#[derive(Debug, Clone, Copy)]
+pub struct PredictiveContext<'a> {
+    /// The shares the trailing gradients were measured *at* — the base
+    /// point of the surrogate's linear correction.
+    pub last_shares: &'a [f64],
+    /// Per-stack next-segment / current-segment power ratio, when the
+    /// workload is known ahead of time (`None` = no lookahead, e.g. a
+    /// serve session with an empty queue). Non-finite or negative entries
+    /// are treated as 1.0 (no information).
+    pub forecast_ratio: Option<&'a [f64]>,
+    /// The fleet's sensitivity surrogate.
+    pub surrogate: &'a SurrogateModel,
+}
+
+/// `true` when a forecast actually predicts *change*: some stack's power
+/// ratio differs from 1.0 beyond `RATIO_EPS`. Shared with the fleet
+/// loop so the `allocator.forecast_hits` diagnostics count exactly the
+/// boundaries where the forecast steered the allocation.
+#[must_use]
+pub fn forecast_is_informative(ratios: &[f64]) -> bool {
+    ratios
+        .iter()
+        .map(|&r| sanitize_ratio(r))
+        .any(|r| (r - 1.0).abs() > RATIO_EPS)
+}
+
+/// Clamps one forecast ratio to a usable value: non-finite or negative
+/// ratios carry no information and become 1.0.
+fn sanitize_ratio(r: f64) -> f64 {
+    if r.is_finite() && r >= 0.0 {
+        r
+    } else {
+        1.0
     }
 }
 
@@ -183,6 +407,25 @@ pub fn allocate(
     budget: &PumpBudget,
     gradients_k: &[f64],
 ) -> Result<Vec<f64>> {
+    allocate_with(policy, budget, gradients_k, None)
+}
+
+/// [`allocate`] with an optional [`PredictiveContext`]. Only
+/// [`BudgetPolicy::Predictive`] reads the context: with `None` (or a
+/// context that carries no information — no forecast, flat surrogate) it
+/// degrades to [`BudgetPolicy::GradientWaterfill`] *bitwise*, by
+/// structurally taking the same `waterfill` call. The other policies
+/// ignore `context` entirely.
+///
+/// # Errors
+///
+/// As [`allocate`].
+pub fn allocate_with(
+    policy: BudgetPolicy,
+    budget: &PumpBudget,
+    gradients_k: &[f64],
+    context: Option<&PredictiveContext<'_>>,
+) -> Result<Vec<f64>> {
     let n = gradients_k.len();
     budget.validate(n)?;
     if let Some(g) = gradients_k.iter().find(|g| !g.is_finite()) {
@@ -194,8 +437,80 @@ pub fn allocate(
         BudgetPolicy::Uniform => vec![budget.uniform_share(n); n],
         BudgetPolicy::GradientWaterfill => waterfill(budget, gradients_k),
         BudgetPolicy::Greedy => greedy(budget, gradients_k),
+        BudgetPolicy::Predictive => predictive(budget, gradients_k, context),
     };
     Ok(shares)
+}
+
+/// One-step MPC: water-fill on *predicted* next-segment gradients
+/// `ĝ_i = max(0, r_i · max(0, g_i + b_i · (s_i − s_i^last)))` — forecast
+/// ratio `r_i` times the surrogate's linear extrapolation of the trailing
+/// measurement `g_i` from the share it was measured at to the candidate
+/// share `s_i`. Because `ĝ` depends on the allocation and the allocation
+/// on `ĝ`, the loop runs [`PREDICTIVE_SWEEPS`] fixed-point sweeps, each a
+/// plain `waterfill` — so the sum/band invariants hold by construction and
+/// the result stays a pure function of its inputs. When the context
+/// carries no information the function *returns the plain waterfill
+/// call*, making the degradation to [`BudgetPolicy::GradientWaterfill`]
+/// bitwise rather than merely approximate.
+fn predictive(
+    budget: &PumpBudget,
+    gradients_k: &[f64],
+    context: Option<&PredictiveContext<'_>>,
+) -> Vec<f64> {
+    let n = gradients_k.len();
+    let Some(ctx) = context else {
+        return waterfill(budget, gradients_k);
+    };
+    let ratios: Option<Vec<f64>> = ctx
+        .forecast_ratio
+        .filter(|r| forecast_is_informative(r))
+        .map(|r| {
+            let mut v: Vec<f64> = r.iter().map(|&x| sanitize_ratio(x)).collect();
+            v.resize(n, 1.0);
+            v
+        });
+    if ratios.is_some() {
+        obs::add("allocator.forecast_hits", 1);
+    }
+    let slopes: Vec<f64> = {
+        let mut v: Vec<f64> = ctx
+            .surrogate
+            .stacks()
+            .iter()
+            .map(StackSurrogate::effective_slope_k_per_scale)
+            .collect();
+        v.resize(n, 0.0);
+        v
+    };
+    let flat = slopes.iter().all(|&b| b == 0.0);
+    if ratios.is_none() && flat {
+        // No lookahead, nothing learned: the trailing measurement is the
+        // whole prediction — exactly the reactive waterfill.
+        return waterfill(budget, gradients_k);
+    }
+    let mut last: Vec<f64> = ctx.last_shares.to_vec();
+    last.resize(n, budget.uniform_share(n.max(1)));
+    for s in &mut last {
+        if !s.is_finite() {
+            *s = budget.uniform_share(n.max(1));
+        }
+    }
+    let predict = |shares: &[f64]| -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let extrapolated =
+                    (gradients_k[i].max(0.0) + slopes[i] * (shares[i] - last[i])).max(0.0);
+                let r = ratios.as_ref().map_or(1.0, |r| r[i]);
+                r * extrapolated
+            })
+            .collect()
+    };
+    let mut alloc = waterfill(budget, &predict(&last));
+    for _ in 1..PREDICTIVE_SWEEPS {
+        alloc = waterfill(budget, &predict(&alloc));
+    }
+    alloc
 }
 
 /// Water-filling: start every branch at the valve minimum, pour the
@@ -307,6 +622,35 @@ mod tests {
         PumpBudget::per_stack(1.0, 3)
     }
 
+    /// The allocation invariant every policy must uphold, asserted once
+    /// instead of hand-rolled per test: shares sum to the budget total
+    /// within 1e-9 and each share sits inside the valve band (with a
+    /// 1e-12 float slack, matching `PumpBudget::validate`).
+    fn assert_allocation_feasible(budget: &PumpBudget, alloc: &[f64]) {
+        let sum: f64 = alloc.iter().sum();
+        assert!(
+            (sum - budget.total_scale).abs() < 1e-9,
+            "sum {sum} != budget {} for {alloc:?}",
+            budget.total_scale
+        );
+        for &a in alloc {
+            assert!(
+                a >= budget.min_scale - 1e-12 && a <= budget.max_scale + 1e-12,
+                "share {a} outside [{}, {}] in {alloc:?}",
+                budget.min_scale,
+                budget.max_scale
+            );
+        }
+    }
+
+    /// Allocates and asserts feasibility in one step — the parameterized
+    /// scaffolding shared by the per-policy unit tests below.
+    fn allocate_checked(policy: BudgetPolicy, budget: &PumpBudget, gradients: &[f64]) -> Vec<f64> {
+        let alloc = allocate(policy, budget, gradients).unwrap();
+        assert_allocation_feasible(budget, &alloc);
+        alloc
+    }
+
     #[test]
     fn budget_validation() {
         assert!(budget3().validate(3).is_ok());
@@ -368,20 +712,18 @@ mod tests {
 
     #[test]
     fn uniform_splits_evenly() {
-        let alloc = allocate(BudgetPolicy::Uniform, &budget3(), &[5.0, 1.0, 0.0]).unwrap();
+        let alloc = allocate_checked(BudgetPolicy::Uniform, &budget3(), &[5.0, 1.0, 0.0]);
         assert_eq!(alloc, vec![1.0; 3]);
     }
 
     #[test]
     fn waterfill_favors_the_hot_stack_and_conserves() {
-        let b = budget3();
-        let alloc = allocate(BudgetPolicy::GradientWaterfill, &b, &[10.0, 8.0, 6.0]).unwrap();
-        let sum: f64 = alloc.iter().sum();
-        assert!((sum - b.total_scale).abs() < 1e-9, "sum {sum}");
+        let alloc = allocate_checked(
+            BudgetPolicy::GradientWaterfill,
+            &budget3(),
+            &[10.0, 8.0, 6.0],
+        );
         assert!(alloc[0] > alloc[1] && alloc[1] > alloc[2], "{alloc:?}");
-        for &a in &alloc {
-            assert!((b.min_scale..=b.max_scale).contains(&a), "{alloc:?}");
-        }
     }
 
     #[test]
@@ -389,11 +731,9 @@ mod tests {
         let b = budget3();
         // One overwhelming stack: it pins at max_scale, the rest split the
         // remainder in proportion.
-        let alloc = allocate(BudgetPolicy::GradientWaterfill, &b, &[1e6, 1.0, 1.0]).unwrap();
+        let alloc = allocate_checked(BudgetPolicy::GradientWaterfill, &b, &[1e6, 1.0, 1.0]);
         assert!((alloc[0] - b.max_scale).abs() < 1e-12, "{alloc:?}");
         assert!((alloc[1] - alloc[2]).abs() < 1e-12);
-        let sum: f64 = alloc.iter().sum();
-        assert!((sum - b.total_scale).abs() < 1e-9);
     }
 
     #[test]
@@ -406,11 +746,9 @@ mod tests {
             min_scale: 0.5,
             max_scale: 1.5,
         };
-        let alloc = allocate(BudgetPolicy::GradientWaterfill, &b, &[9.0, 9.0, 0.0, 0.0]).unwrap();
+        let alloc = allocate_checked(BudgetPolicy::GradientWaterfill, &b, &[9.0, 9.0, 0.0, 0.0]);
         assert!((alloc[0] - b.max_scale).abs() < 1e-12);
         assert!((alloc[1] - b.max_scale).abs() < 1e-12);
-        let sum: f64 = alloc.iter().sum();
-        assert!((sum - b.total_scale).abs() < 1e-9, "{alloc:?}");
         assert!(
             alloc[2] > b.min_scale && alloc[3] > b.min_scale,
             "{alloc:?}"
@@ -419,25 +757,23 @@ mod tests {
 
     #[test]
     fn waterfill_with_no_measurements_is_uniform() {
-        let alloc = allocate(BudgetPolicy::GradientWaterfill, &budget3(), &[0.0; 3]).unwrap();
+        let alloc = allocate_checked(BudgetPolicy::GradientWaterfill, &budget3(), &[0.0; 3]);
         assert_eq!(alloc, vec![1.0; 3]);
         // Negative (unphysical) measurements clamp to zero.
-        let alloc = allocate(BudgetPolicy::GradientWaterfill, &budget3(), &[-3.0; 3]).unwrap();
+        let alloc = allocate_checked(BudgetPolicy::GradientWaterfill, &budget3(), &[-3.0; 3]);
         assert_eq!(alloc, vec![1.0; 3]);
     }
 
     #[test]
     fn greedy_is_hottest_first_bang_bang() {
         let b = budget3();
-        let alloc = allocate(BudgetPolicy::Greedy, &b, &[1.0, 10.0, 5.0]).unwrap();
+        let alloc = allocate_checked(BudgetPolicy::Greedy, &b, &[1.0, 10.0, 5.0]);
         // Hottest (index 1) grabs the max; the next (index 2) takes what is
         // affordable over the coldest's minimum; the coldest gets the min.
         assert!((alloc[1] - b.max_scale).abs() < 1e-12, "{alloc:?}");
         assert!((alloc[0] - b.min_scale).abs() < 1e-12, "{alloc:?}");
-        let sum: f64 = alloc.iter().sum();
-        assert!((sum - b.total_scale).abs() < 1e-9);
         // Ties resolve by index, deterministically.
-        let tied = allocate(BudgetPolicy::Greedy, &b, &[7.0, 7.0, 7.0]).unwrap();
+        let tied = allocate_checked(BudgetPolicy::Greedy, &b, &[7.0, 7.0, 7.0]);
         assert!((tied[0] - b.max_scale).abs() < 1e-12, "{tied:?}");
         assert!((tied[2] - b.min_scale).abs() < 1e-12, "{tied:?}");
     }
@@ -448,11 +784,21 @@ mod tests {
         // resolves by index, so stack 0 (not the "less negative" stack 1)
         // takes the valve maximum.
         let b = budget3();
-        let alloc = allocate(BudgetPolicy::Greedy, &b, &[-2.0, -1.0, 5.0]).unwrap();
+        let alloc = allocate_checked(BudgetPolicy::Greedy, &b, &[-2.0, -1.0, 5.0]);
         assert!((alloc[2] - b.max_scale).abs() < 1e-12, "{alloc:?}");
         assert!(alloc[0] >= alloc[1], "{alloc:?}");
-        let sum: f64 = alloc.iter().sum();
-        assert!((sum - b.total_scale).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_with_all_negative_gradients_is_an_indexed_split() {
+        // Every measurement clamps to zero, so greedy degenerates to the
+        // pure index order: stack 0 takes the valve maximum, the tail gets
+        // what stays affordable — still summing to the budget inside the
+        // band (the edge case the clamp contract previously left untested).
+        let b = budget3();
+        let alloc = allocate_checked(BudgetPolicy::Greedy, &b, &[-5.0, -0.5, -100.0]);
+        assert!((alloc[0] - b.max_scale).abs() < 1e-12, "{alloc:?}");
+        assert!((alloc[2] - b.min_scale).abs() < 1e-12, "{alloc:?}");
     }
 
     #[test]
@@ -464,5 +810,168 @@ mod tests {
         )
         .is_err());
         assert!(allocate(BudgetPolicy::Greedy, &budget3(), &[f64::INFINITY, 0.0, 0.0]).is_err());
+        assert!(allocate(BudgetPolicy::Predictive, &budget3(), &[f64::NAN, 0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn predictive_without_context_is_waterfill_bitwise() {
+        let b = budget3();
+        let g = [10.0, 3.0, 0.5];
+        let reactive = allocate(BudgetPolicy::GradientWaterfill, &b, &g).unwrap();
+        let predictive = allocate(BudgetPolicy::Predictive, &b, &g).unwrap();
+        assert_eq!(
+            predictive, reactive,
+            "no-context degradation must be bitwise"
+        );
+    }
+
+    #[test]
+    fn predictive_with_uninformative_context_is_waterfill_bitwise() {
+        let b = budget3();
+        let g = [10.0, 3.0, 0.5];
+        let reactive = allocate(BudgetPolicy::GradientWaterfill, &b, &g).unwrap();
+        // Flat surrogate + no forecast.
+        let flat = SurrogateModel::new(3);
+        let ctx = PredictiveContext {
+            last_shares: &[1.0, 1.0, 1.0],
+            forecast_ratio: None,
+            surrogate: &flat,
+        };
+        let predictive = allocate_with(BudgetPolicy::Predictive, &b, &g, Some(&ctx)).unwrap();
+        assert_eq!(predictive, reactive);
+        // A forecast of exactly "no change" (all ratios 1.0) is equally
+        // uninformative and takes the same structural early-return.
+        let ctx = PredictiveContext {
+            last_shares: &[1.0, 1.0, 1.0],
+            forecast_ratio: Some(&[1.0, 1.0, 1.0]),
+            surrogate: &flat,
+        };
+        let predictive = allocate_with(BudgetPolicy::Predictive, &b, &g, Some(&ctx)).unwrap();
+        assert_eq!(predictive, reactive);
+    }
+
+    #[test]
+    fn predictive_forecast_steers_toward_the_upcoming_hot_stack() {
+        // Trailing gradients tie, but stack 2's power is about to double
+        // while stack 0's halves: the forecast must shift flow to stack 2.
+        let b = budget3();
+        let g = [5.0, 5.0, 5.0];
+        let flat = SurrogateModel::new(3);
+        let ctx = PredictiveContext {
+            last_shares: &[1.0, 1.0, 1.0],
+            forecast_ratio: Some(&[0.5, 1.0, 2.0]),
+            surrogate: &flat,
+        };
+        let alloc = allocate_with(BudgetPolicy::Predictive, &b, &g, Some(&ctx)).unwrap();
+        assert_allocation_feasible(&b, &alloc);
+        assert!(alloc[2] > alloc[1] && alloc[1] > alloc[0], "{alloc:?}");
+        let reactive = allocate(BudgetPolicy::GradientWaterfill, &b, &g).unwrap();
+        assert_ne!(alloc, reactive);
+    }
+
+    #[test]
+    fn predictive_sanitizes_adversarial_ratios_and_slopes() {
+        let b = budget3();
+        let g = [5.0, 5.0, 5.0];
+        // NaN/negative/infinite ratios count as 1.0; a hand-built surrogate
+        // with non-finite and absurd slopes is re-clamped. The allocation
+        // must still be finite and feasible.
+        let surrogate = SurrogateModel::from_stacks(vec![
+            StackSurrogate {
+                slope_k_per_scale: f64::NAN,
+                last_share: 1.0,
+                last_gradient_k: 5.0,
+                observed: true,
+            },
+            StackSurrogate {
+                slope_k_per_scale: -1e300,
+                last_share: 1.0,
+                last_gradient_k: 5.0,
+                observed: true,
+            },
+            StackSurrogate {
+                slope_k_per_scale: 1e300,
+                last_share: 1.0,
+                last_gradient_k: 5.0,
+                observed: true,
+            },
+        ]);
+        let ctx = PredictiveContext {
+            last_shares: &[f64::NAN, 1.0, 1.0],
+            forecast_ratio: Some(&[f64::NAN, -3.0, f64::INFINITY]),
+            surrogate: &surrogate,
+        };
+        let alloc = allocate_with(BudgetPolicy::Predictive, &b, &g, Some(&ctx)).unwrap();
+        assert_allocation_feasible(&b, &alloc);
+        assert!(alloc.iter().all(|a| a.is_finite()), "{alloc:?}");
+    }
+
+    #[test]
+    fn predictive_handles_short_context_slices() {
+        // Context slices shorter or longer than the fleet must not panic:
+        // missing entries are padded with "no information".
+        let b = budget3();
+        let g = [5.0, 2.0, 1.0];
+        let surrogate = SurrogateModel::new(1);
+        let ctx = PredictiveContext {
+            last_shares: &[1.0],
+            forecast_ratio: Some(&[2.0]),
+            surrogate: &surrogate,
+        };
+        let alloc = allocate_with(BudgetPolicy::Predictive, &b, &g, Some(&ctx)).unwrap();
+        assert_allocation_feasible(&b, &alloc);
+    }
+
+    #[test]
+    fn surrogate_refits_recursively_and_skips_degenerate_history() {
+        let mut s = StackSurrogate::default();
+        // First observation only seeds the base point.
+        assert!(!s.observe(1.0, 10.0));
+        assert_eq!(s.slope_k_per_scale, 0.0);
+        // A real move refits: slope = (6 - 10) / (1.5 - 1.0) = -8.
+        assert!(s.observe(1.5, 6.0));
+        assert!((s.slope_k_per_scale - (-8.0)).abs() < 1e-12);
+        // Degenerate (constant-share) history: same share again, any
+        // gradient — no refit, no panic, slope untouched.
+        assert!(!s.observe(1.5, 6.0));
+        assert!(!s.observe(1.5, 123.0));
+        assert!((s.slope_k_per_scale - (-8.0)).abs() < 1e-12);
+        // Exponential forgetting: next sample (-4) blends half-and-half.
+        assert!(s.observe(2.0, 121.0)); // (121 - 123) / 0.5 = -4
+        assert!((s.slope_k_per_scale - (-6.0)).abs() < 1e-12);
+        // Non-finite observations are skipped wholesale.
+        assert!(!s.observe(f64::NAN, 1.0));
+        assert!(!s.observe(1.0, f64::INFINITY));
+        assert!((s.slope_k_per_scale - (-6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn surrogate_model_tracks_refits_and_flatness() {
+        let mut m = SurrogateModel::new(2);
+        assert!(m.is_flat());
+        assert_eq!(m.refits(), 0);
+        m.observe(&[1.0, 1.0], &[10.0, 4.0]);
+        assert_eq!(m.refits(), 0); // seeding only
+        m.observe(&[1.2, 0.8], &[8.0, 5.0]);
+        assert_eq!(m.refits(), 2);
+        assert!(!m.is_flat());
+        assert!(m.mean_abs_slope_k_per_scale() > 0.0);
+        // A constant-gradient, constant-share history never panics and
+        // never counts as a refit.
+        let mut flat = SurrogateModel::new(2);
+        for _ in 0..10 {
+            flat.observe(&[1.0, 1.0], &[3.0, 3.0]);
+        }
+        assert_eq!(flat.refits(), 0);
+        assert!(flat.is_flat());
+    }
+
+    #[test]
+    fn forecast_informative_threshold() {
+        assert!(!forecast_is_informative(&[1.0, 1.0]));
+        assert!(!forecast_is_informative(&[]));
+        // Non-finite and negative ratios sanitize to 1.0 — uninformative.
+        assert!(!forecast_is_informative(&[f64::NAN, -2.0, f64::INFINITY]));
+        assert!(forecast_is_informative(&[1.0, 1.5]));
     }
 }

@@ -23,29 +23,39 @@
 //! * [`allocate`] splits a [`PumpBudget`] (flow-scale units) across the
 //!   fleet by a [`BudgetPolicy`]: `Uniform` (the static baseline),
 //!   `GradientWaterfill` (water-filling on each stack's measured
-//!   time-peak inter-layer gradient) or `Greedy` (hottest-first
-//!   bang-bang).
+//!   time-peak inter-layer gradient), `Greedy` (hottest-first bang-bang)
+//!   or `Predictive` (one-step MPC — water-filling on *predicted*
+//!   next-segment gradients, composed from a power-trace forecast and a
+//!   recursively refit [`SurrogateModel`]; [`allocate_with`] carries the
+//!   [`PredictiveContext`]).
 //! * [`run_fleet`] cuts every stack's trace into aligned reallocation
 //!   segments, fans the stacks' modulation-loop segments across worker
 //!   threads (the shared [`crate::sweep`] scheduler), carries each
 //!   stack's thermal state exactly across reallocations
 //!   ([`crate::transient::ResumeState`]) and feeds the measured
-//!   gradients back to the allocator — parallel and serial runs bitwise
-//!   identical.
-//! * [`run_fleet_sweep`] ladders pump budgets and runs the three-policy
+//!   gradients back to the allocator — which for `Predictive` also
+//!   refits the surrogate and reads the next segment's power from the
+//!   materialized trace — parallel and serial runs bitwise identical.
+//! * [`run_fleet_sweep`] ladders pump budgets and runs the four-policy
 //!   head-to-head per variant; the bench `sweep -- fleet` mode gates on
-//!   waterfill strictly beating uniform allocation on the worst stack's
-//!   time-peak gradient.
+//!   waterfill strictly beating uniform allocation *and* predictive
+//!   strictly beating waterfill on the worst stack's time-peak gradient.
 
 mod allocator;
 mod report;
 mod shard;
 
-pub use allocator::{allocate, BudgetPolicy, PumpBudget};
+pub use allocator::{
+    allocate, allocate_with, forecast_is_informative, BudgetPolicy, PredictiveContext, PumpBudget,
+    StackSurrogate, SurrogateModel,
+};
 pub use report::{
     evaluate_fleet_variant, run_fleet_sweep, FleetGrid, FleetReport, FleetRow, FleetSweepOptions,
     FleetVariant,
 };
-pub use shard::{run_fleet, FleetOptions, FleetOutcome, SegmentMetrics, StackRun, StackSpec};
+pub use shard::{
+    run_fleet, FleetOptions, FleetOutcome, PredictiveDiagnostics, SegmentMetrics, StackRun,
+    StackSpec,
+};
 
 pub(crate) use shard::segment_traces;

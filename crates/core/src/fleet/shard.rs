@@ -1,7 +1,10 @@
 //! The shard scheduler: one fleet run — N stacks, one pump, segment-wise
 //! reallocation.
 
-use super::allocator::{allocate, BudgetPolicy, PumpBudget};
+use super::allocator::{
+    allocate, allocate_with, forecast_is_informative, BudgetPolicy, PredictiveContext, PumpBudget,
+    SurrogateModel,
+};
 use crate::mpsoc::{ArchSpec, MpsocModulated, MpsocTraceSpec};
 use crate::obs;
 use crate::sweep::{catch_unit, parallel_map, ExecutionMode};
@@ -142,6 +145,22 @@ impl StackRun {
     }
 }
 
+/// Fit/steering diagnostics of one [`BudgetPolicy::Predictive`] lane —
+/// how much of the run's allocation was forecast-driven versus
+/// surrogate-driven, surfaced into the bench record (BENCH_fleet schema
+/// v5).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PredictiveDiagnostics {
+    /// Reallocation boundaries where the power forecast was informative
+    /// (some stack's next/current power ratio differed from 1).
+    pub forecast_hits: u64,
+    /// Sensitivity-surrogate slope refits performed over the run.
+    pub surrogate_refits: u64,
+    /// Mean |gradient-vs-flow-share slope| across stacks at the end of the
+    /// run, kelvin per flow-scale unit.
+    pub mean_abs_slope_k_per_scale: f64,
+}
+
 /// The collected result of one fleet run.
 #[derive(Debug, Clone)]
 pub struct FleetOutcome {
@@ -165,6 +184,9 @@ pub struct FleetOutcome {
     /// parallel == serial guarantee on the physics stays checkable by plain
     /// equality on `stacks`/`allocations`.
     pub segment_wall_seconds: Vec<f64>,
+    /// Predictive-allocator diagnostics — `Some` exactly when
+    /// [`FleetOutcome::allocation`] is [`BudgetPolicy::Predictive`].
+    pub predictive: Option<PredictiveDiagnostics>,
 }
 
 impl FleetOutcome {
@@ -241,6 +263,67 @@ impl FleetOutcome {
         }
         table
     }
+
+    /// Canonical flat-JSON serialization for the golden fixture
+    /// (`tests/golden/fleet_predictive.json`): the same
+    /// full-precision-number format as
+    /// [`TransientOutcome::golden_json`](crate::transient::TransientOutcome::golden_json),
+    /// parsed by the same comparer at 1e-9.
+    #[must_use]
+    pub fn golden_json(&self, scenario: &str) -> String {
+        fn num_array(values: impl Iterator<Item = f64>) -> String {
+            let items: Vec<String> = values.map(|v| format!("{v:e}")).collect();
+            format!("[{}]", items.join(", "))
+        }
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema_version\": 1,\n");
+        out.push_str(&format!("  \"scenario\": \"{scenario}\",\n"));
+        out.push_str(&format!("  \"policy\": \"{}\",\n", self.allocation.label()));
+        let allocations: Vec<String> = self
+            .allocations
+            .iter()
+            .map(|a| num_array(a.iter().copied()))
+            .collect();
+        out.push_str(&format!(
+            "  \"allocations\": [{}],\n",
+            allocations.join(", ")
+        ));
+        let per_stack = |f: &dyn Fn(&SegmentMetrics) -> f64| -> String {
+            let rows: Vec<String> = self
+                .stacks
+                .iter()
+                .map(|s| num_array(s.segments.iter().map(f)))
+                .collect();
+            format!("[{}]", rows.join(", "))
+        };
+        out.push_str(&format!(
+            "  \"segment_gradient_k\": {},\n",
+            per_stack(&|m| m.peak_gradient_k)
+        ));
+        out.push_str(&format!(
+            "  \"segment_temperature_k\": {},\n",
+            per_stack(&|m| m.peak_temperature_k)
+        ));
+        out.push_str(&format!(
+            "  \"segment_evaluations\": {},\n",
+            per_stack(&|m| m.evaluations as f64)
+        ));
+        let diag = self.predictive.unwrap_or_default();
+        out.push_str(&format!(
+            "  \"forecast_hits\": {:e},\n",
+            diag.forecast_hits as f64
+        ));
+        out.push_str(&format!(
+            "  \"surrogate_refits\": {:e},\n",
+            diag.surrogate_refits as f64
+        ));
+        out.push_str(&format!(
+            "  \"worst_gradient_k\": {:e}\n",
+            self.worst_stack_peak_gradient_k()
+        ));
+        out.push_str("}\n");
+        out
+    }
 }
 
 /// The worker count a fleet of `n_stacks` resolves `mode` to: the
@@ -279,6 +362,25 @@ pub(crate) fn segment_traces(
             })
         })
         .collect()
+}
+
+/// The per-stack workload forecast at a reallocation boundary: the next
+/// segment's total die power over the current segment's — the "trace is
+/// known" lookahead of [`BudgetPolicy::Predictive`]. Segments are
+/// single-phase by construction ([`segment_traces`]), so the first phase's
+/// load *is* the segment's load. Degenerate powers (non-positive or
+/// non-finite) carry no information and yield 1.0.
+fn forecast_power_ratio(
+    current: &PowerTrace<crate::mpsoc::MpsocLoad>,
+    next: &PowerTrace<crate::mpsoc::MpsocLoad>,
+) -> f64 {
+    let cur = current.phases()[0].load.total_power().as_watts();
+    let nxt = next.phases()[0].load.total_power().as_watts();
+    if cur.is_finite() && nxt.is_finite() && cur > 0.0 && nxt > 0.0 {
+        nxt / cur
+    } else {
+        1.0
+    }
 }
 
 /// Runs a fleet of stacks through their traces under one shared pump
@@ -458,6 +560,13 @@ pub(crate) fn run_fleet_lanes(
     let mut per_stack: Vec<Vec<Vec<SegmentMetrics>>> =
         vec![vec![Vec::with_capacity(n_segments); n]; n_lanes];
     let mut segment_walls: Vec<f64> = Vec::with_capacity(n_segments);
+    // Predictive-lane state: the sensitivity surrogate and the count of
+    // forecast-steered boundaries. Both live on the calling thread and are
+    // updated only in the serial between-wavefront joins, so they inherit
+    // the bitwise parallel == serial guarantee for free.
+    let mut surrogates: Vec<SurrogateModel> =
+        lanes.iter().map(|_| SurrogateModel::new(n)).collect();
+    let mut forecast_hits: Vec<u64> = vec![0; n_lanes];
 
     // Indexing by segment and lane spans several per-lane tables
     // (`segmented`, `allocs`, `carries`, `per_stack`), so range loops read
@@ -527,9 +636,43 @@ pub(crate) fn run_fleet_lanes(
                 });
                 carries[l][i] = Some(resume);
             }
+            let is_predictive = lane.options.allocation == BudgetPolicy::Predictive;
+            if is_predictive {
+                // Feed the (shares, measured gradients) pair of the segment
+                // that just ran back into the lane's surrogate.
+                surrogates[l].observe(&allocs[l], &gradients);
+            }
             allocations[l].push(std::mem::take(&mut allocs[l]));
             if seg + 1 < n_segments {
-                allocs[l] = allocate(lane.options.allocation, &lane.options.budget, &gradients)?;
+                let _alloc_span = obs::span("fleet.allocate");
+                allocs[l] = if is_predictive {
+                    let last_shares = allocations[l]
+                        .last()
+                        .expect("the segment's shares were just pushed");
+                    // The trace is materialized, so the next segment's power
+                    // is known: a full one-step lookahead per stack.
+                    let ratios: Vec<f64> = (0..n)
+                        .map(|i| {
+                            forecast_power_ratio(&segmented[l][i][seg], &segmented[l][i][seg + 1])
+                        })
+                        .collect();
+                    if forecast_is_informative(&ratios) {
+                        forecast_hits[l] += 1;
+                    }
+                    let ctx = PredictiveContext {
+                        last_shares,
+                        forecast_ratio: Some(&ratios),
+                        surrogate: &surrogates[l],
+                    };
+                    allocate_with(
+                        lane.options.allocation,
+                        &lane.options.budget,
+                        &gradients,
+                        Some(&ctx),
+                    )?
+                } else {
+                    allocate(lane.options.allocation, &lane.options.budget, &gradients)?
+                };
             }
         }
     }
@@ -537,23 +680,33 @@ pub(crate) fn run_fleet_lanes(
     let wall = start.elapsed();
     Ok(lanes
         .iter()
+        .enumerate()
         .zip(per_stack)
         .zip(allocations)
-        .map(|((lane, lane_stacks), lane_allocations)| FleetOutcome {
-            allocation: lane.options.allocation,
-            stacks: stacks
-                .iter()
-                .zip(lane_stacks)
-                .map(|(spec, segments)| StackRun {
-                    spec: spec.clone(),
-                    segments,
-                })
-                .collect(),
-            allocations: lane_allocations,
-            workers,
-            wall,
-            segment_wall_seconds: segment_walls.clone(),
-        })
+        .map(
+            |(((l, lane), lane_stacks), lane_allocations)| FleetOutcome {
+                allocation: lane.options.allocation,
+                stacks: stacks
+                    .iter()
+                    .zip(lane_stacks)
+                    .map(|(spec, segments)| StackRun {
+                        spec: spec.clone(),
+                        segments,
+                    })
+                    .collect(),
+                allocations: lane_allocations,
+                workers,
+                wall,
+                segment_wall_seconds: segment_walls.clone(),
+                predictive: (lane.options.allocation == BudgetPolicy::Predictive).then(|| {
+                    PredictiveDiagnostics {
+                        forecast_hits: forecast_hits[l],
+                        surrogate_refits: surrogates[l].refits(),
+                        mean_abs_slope_k_per_scale: surrogates[l].mean_abs_slope_k_per_scale(),
+                    }
+                }),
+            },
+        )
         .collect())
 }
 

@@ -69,6 +69,29 @@ impl MpsocTraceSpec {
         }
     }
 
+    /// A single peak burst inside an otherwise-average schedule of
+    /// `phases` phases: `Peak` at `hot_phase` (clamped into range),
+    /// `Average` everywhere else. Staggering `hot_phase` across a fleet's
+    /// stacks makes the hot-spot *migrate* between stacks at phase
+    /// boundaries — the scenario where a reactive allocator is always one
+    /// segment behind and predictive allocation earns its keep.
+    #[must_use]
+    pub fn migrating_peak(hot_phase: usize, phases: usize) -> Self {
+        let phases = phases.max(1);
+        let hot_phase = hot_phase.min(phases - 1);
+        MpsocTraceSpec::LevelSteps {
+            levels: (0..phases)
+                .map(|p| {
+                    if p == hot_phase {
+                        PowerLevel::Peak
+                    } else {
+                        PowerLevel::Average
+                    }
+                })
+                .collect(),
+        }
+    }
+
     /// Short label used in report rows, e.g. `avg-peak`.
     #[must_use]
     pub fn label(&self) -> String {

@@ -17,6 +17,8 @@
 //! | `epoch.rejected` | modulation epochs that kept the incumbent widths |
 //! | `fleet.segments` | (lane × stack × wavefront) segment tasks run |
 //! | `fleet.dedup_hits` | segment-0 results reused across dedup-grouped lanes |
+//! | `allocator.forecast_hits` | predictive allocations steered by an informative power forecast |
+//! | `allocator.surrogate_refits` | sensitivity-surrogate slope refits from fed-back (share, gradient) pairs |
 //! | `serve.decisions` | width decisions served by a pool batch |
 //! | `obs.events` | structured events recorded (degraded-mode stream) |
 //!

@@ -20,7 +20,9 @@ use std::time::Instant;
 use liquamod_floorplan::PowerLevel;
 
 use crate::faults::{DegradedEvent, DegradedKind};
-use crate::fleet::{allocate, BudgetPolicy, PumpBudget};
+use crate::fleet::{
+    allocate, allocate_with, BudgetPolicy, PredictiveContext, PumpBudget, SurrogateModel,
+};
 use crate::mpsoc::{arch_trace, ArchSpec, MpsocConfig, MpsocModulated, MpsocTrace};
 use crate::obs;
 use crate::serve::metrics::{PoolMetrics, SessionMetrics};
@@ -498,7 +500,39 @@ impl ServePool {
             });
         }
         let _batch_span = obs::span("serve.batch");
-        let shares = allocate(self.options.budget_policy, &self.effective, &gradients)?;
+        let shares = if self.options.budget_policy == BudgetPolicy::Predictive {
+            // Predictive serving: the lookahead is *partial* — only the
+            // submitted-but-undrained front of each session's queue is
+            // known — and the per-session surrogates (refit from every
+            // served decision, carried through snapshot/restore) supply
+            // the trace-unknown half.
+            let last_shares: Vec<f64> = live
+                .iter()
+                .map(|id| self.sessions[id].predictor().last_share)
+                .collect();
+            let ratios: Vec<f64> = live
+                .iter()
+                .map(|id| self.sessions[id].forecast_power_ratio())
+                .collect();
+            let surrogate = SurrogateModel::from_stacks(
+                live.iter()
+                    .map(|id| *self.sessions[id].predictor())
+                    .collect(),
+            );
+            let ctx = PredictiveContext {
+                last_shares: &last_shares,
+                forecast_ratio: Some(&ratios),
+                surrogate: &surrogate,
+            };
+            allocate_with(
+                self.options.budget_policy,
+                &self.effective,
+                &gradients,
+                Some(&ctx),
+            )?
+        } else {
+            allocate(self.options.budget_policy, &self.effective, &gradients)?
+        };
         let share_of: BTreeMap<u64, f64> = live.iter().copied().zip(shares).collect();
 
         let started = Instant::now();
@@ -554,6 +588,14 @@ impl ServePool {
                     let epochs = outcome.epochs.len();
                     let evaluations = outcome.total_evaluations();
                     let degraded = outcome.degraded.len();
+                    let gradient_k = outcome.peak_gradient_k();
+                    // The served segment's closing power: the denominator
+                    // of the session's next forecast ratio.
+                    let power_w = task
+                        .trace
+                        .phases()
+                        .last()
+                        .map_or(0.0, |p| p.load.total_power().as_watts());
                     for run_event in &outcome.degraded {
                         let mut event = run_event.clone();
                         event.segment = Some(task.segment);
@@ -583,6 +625,9 @@ impl ServePool {
                         evaluations,
                         degraded,
                     );
+                    if self.options.budget_policy == BudgetPolicy::Predictive {
+                        session.observe_prediction(task.share, gradient_k, power_w);
+                    }
                     self.metrics.latency.record(latency_seconds);
                     self.metrics.decisions += 1;
                     self.metrics.epochs += epochs as u64;

@@ -9,6 +9,7 @@ use std::collections::VecDeque;
 use liquamod_grid_sim::snapshot as snap;
 use liquamod_grid_sim::GridSimError;
 
+use crate::fleet::StackSurrogate;
 use crate::mpsoc::{ArchSpec, MpsocTrace};
 use crate::serve::metrics::SessionMetrics;
 use crate::transient::ResumeState;
@@ -48,6 +49,14 @@ pub(crate) struct ServeSession {
     segments_done: usize,
     clock_seconds: f64,
     metrics: SessionMetrics,
+    /// The session's gradient-vs-flow-share sensitivity surrogate, refit
+    /// from every served decision — the trace-unknown half of the pool's
+    /// predictive allocation.
+    predictor: StackSurrogate,
+    /// Total die power of the last segment served, watts — the
+    /// denominator of the partial-lookahead power forecast (`None` before
+    /// the first decision).
+    last_power_w: Option<f64>,
 }
 
 impl ServeSession {
@@ -61,12 +70,16 @@ impl ServeSession {
             segments_done: 0,
             clock_seconds: 0.0,
             metrics: SessionMetrics::default(),
+            predictor: StackSurrogate::default(),
+            last_power_w: None,
         }
     }
 
     /// Rebuilds a session from a restored snapshot (queue starts empty —
     /// phases submitted but not served when the snapshot was taken were
-    /// never acknowledged, so the client re-submits them).
+    /// never acknowledged, so the client re-submits them). The predictor
+    /// state rides along, so a surrogate fit interrupted by a restart
+    /// continues exactly where it stopped.
     pub(crate) fn from_snapshot(snapshot: &SessionSnapshot) -> Self {
         Self {
             id: snapshot.session_id,
@@ -76,6 +89,8 @@ impl ServeSession {
             segments_done: snapshot.segments_done,
             clock_seconds: snapshot.clock_seconds,
             metrics: SessionMetrics::default(),
+            predictor: snapshot.predictor,
+            last_power_w: snapshot.last_power_w,
         }
     }
 
@@ -124,6 +139,39 @@ impl ServeSession {
         self.queued.push_back(trace);
     }
 
+    pub(crate) fn predictor(&self) -> &StackSurrogate {
+        &self.predictor
+    }
+
+    /// The session's partial-lookahead power forecast: the front-of-queue
+    /// (next to be served) segment's total die power over the last served
+    /// segment's. 1.0 — no information — when either side is unknown
+    /// (empty queue, no decision yet) or degenerate; the submitted-but-
+    /// undrained phase is the *only* lookahead a streaming session has.
+    pub(crate) fn forecast_power_ratio(&self) -> f64 {
+        let (Some(next), Some(last)) = (self.queued.front(), self.last_power_w) else {
+            return 1.0;
+        };
+        let next_w = next.phases()[0].load.total_power().as_watts();
+        if next_w.is_finite() && last.is_finite() && next_w > 0.0 && last > 0.0 {
+            next_w / last
+        } else {
+            1.0
+        }
+    }
+
+    /// Feeds one served decision back into the predictor: the flow share
+    /// it ran at, the gradient it measured, and the segment's total die
+    /// power (the denominator of the next forecast).
+    pub(crate) fn observe_prediction(&mut self, share: f64, gradient_k: f64, power_w: f64) {
+        if self.predictor.observe(share, gradient_k) {
+            crate::obs::add("allocator.surrogate_refits", 1);
+        }
+        if power_w.is_finite() && power_w > 0.0 {
+            self.last_power_w = Some(power_w);
+        }
+    }
+
     pub(crate) fn pop_trace(&mut self) -> Option<MpsocTrace> {
         self.queued.pop_front()
     }
@@ -153,6 +201,8 @@ impl ServeSession {
             arch: self.arch,
             segments_done: self.segments_done,
             clock_seconds: self.clock_seconds,
+            predictor: self.predictor,
+            last_power_w: self.last_power_w,
             resume: self.resume.clone(),
         }
     }
@@ -174,6 +224,11 @@ pub struct SessionSnapshot {
     pub segments_done: usize,
     /// The session clock: total workload seconds served.
     pub clock_seconds: f64,
+    /// The predictive allocator's per-session sensitivity surrogate —
+    /// carried so a fit in progress survives the restart (schema v2).
+    pub predictor: StackSurrogate,
+    /// Total die power of the last served segment, watts (schema v2).
+    pub last_power_w: Option<f64>,
     /// The controller hand-over state (`None` before the first segment).
     pub resume: Option<ResumeState>,
 }
@@ -186,11 +241,51 @@ impl SessionSnapshot {
     #[must_use]
     pub fn to_golden_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"serve_schema_version\": 1,\n");
+        out.push_str("  \"serve_schema_version\": 2,\n");
         snap::push_scalar(&mut out, "session_id", self.session_id as f64, false);
         snap::push_scalar(&mut out, "arch_code", arch_code(self.arch), false);
         snap::push_scalar(&mut out, "segments_done", self.segments_done as f64, false);
         snap::push_scalar(&mut out, "clock_seconds", self.clock_seconds, false);
+        snap::push_scalar(
+            &mut out,
+            "predictor_slope_k_per_scale",
+            self.predictor.slope_k_per_scale,
+            false,
+        );
+        snap::push_scalar(
+            &mut out,
+            "predictor_share",
+            self.predictor.last_share,
+            false,
+        );
+        snap::push_scalar(
+            &mut out,
+            "predictor_gradient_k",
+            self.predictor.last_gradient_k,
+            false,
+        );
+        snap::push_scalar(
+            &mut out,
+            "predictor_observed",
+            if self.predictor.observed { 1.0 } else { 0.0 },
+            false,
+        );
+        snap::push_scalar(
+            &mut out,
+            "last_power_present",
+            if self.last_power_w.is_some() {
+                1.0
+            } else {
+                0.0
+            },
+            false,
+        );
+        snap::push_scalar(
+            &mut out,
+            "last_power_w",
+            self.last_power_w.unwrap_or(0.0),
+            false,
+        );
         match &self.resume {
             None => {
                 snap::push_scalar(&mut out, "resume_present", 0.0, true);
@@ -220,11 +315,40 @@ impl SessionSnapshot {
     pub fn from_golden_json(json: &str) -> Result<Self> {
         let invalid = |what: String| CoreError::GridSim(GridSimError::InvalidSnapshot { what });
         let version = snap::parse_scalar(json, "serve_schema_version")?;
-        if version != 1.0 {
+        if version != 1.0 && version != 2.0 {
             return Err(invalid(format!(
                 "unsupported serve snapshot schema version {version}"
             )));
         }
+        // Pre-predictive (v1) documents restore with an uninformative
+        // predictor — the state they were written without.
+        let (predictor, last_power_w) = if version == 2.0 {
+            let observed = snap::parse_scalar(json, "predictor_observed")?;
+            if observed != 0.0 && observed != 1.0 {
+                return Err(invalid(format!(
+                    "predictor_observed must be 0 or 1, got {observed}"
+                )));
+            }
+            let power_present = snap::parse_scalar(json, "last_power_present")?;
+            if power_present != 0.0 && power_present != 1.0 {
+                return Err(invalid(format!(
+                    "last_power_present must be 0 or 1, got {power_present}"
+                )));
+            }
+            (
+                StackSurrogate {
+                    slope_k_per_scale: snap::parse_scalar(json, "predictor_slope_k_per_scale")?,
+                    last_share: snap::parse_scalar(json, "predictor_share")?,
+                    last_gradient_k: snap::parse_scalar(json, "predictor_gradient_k")?,
+                    observed: observed == 1.0,
+                },
+                (power_present == 1.0)
+                    .then(|| snap::parse_scalar(json, "last_power_w"))
+                    .transpose()?,
+            )
+        } else {
+            (StackSurrogate::default(), None)
+        };
         let id = snap::parse_scalar(json, "session_id")?;
         if !(id.is_finite() && id >= 0.0 && id.fract() == 0.0) {
             return Err(invalid(format!(
@@ -252,6 +376,8 @@ impl SessionSnapshot {
             arch: arch_from_code(snap::parse_scalar(json, "arch_code")?)?,
             segments_done: segments as usize,
             clock_seconds: snap::parse_scalar(json, "clock_seconds")?,
+            predictor,
+            last_power_w,
             resume,
         })
     }
@@ -278,6 +404,15 @@ mod tests {
         }
     }
 
+    fn sample_predictor() -> StackSurrogate {
+        StackSurrogate {
+            slope_k_per_scale: -7.25 + 1e-13,
+            last_share: 1.0 / 3.0,
+            last_gradient_k: 4.25,
+            observed: true,
+        }
+    }
+
     #[test]
     fn snapshot_without_resume_round_trips() {
         let snap = SessionSnapshot {
@@ -285,6 +420,8 @@ mod tests {
             arch: ArchSpec::Arch2,
             segments_done: 0,
             clock_seconds: 0.0,
+            predictor: StackSurrogate::default(),
+            last_power_w: None,
             resume: None,
         };
         let back = SessionSnapshot::from_golden_json(&snap.to_golden_json()).unwrap();
@@ -298,6 +435,8 @@ mod tests {
             arch: ArchSpec::Arch1,
             segments_done: 5,
             clock_seconds: 5.0 * 0.032,
+            predictor: sample_predictor(),
+            last_power_w: Some(123.456789 + 1e-10),
             resume: Some(sample_resume()),
         };
         let doc = snap.to_golden_json();
@@ -306,6 +445,25 @@ mod tests {
         assert_eq!(back.arch, ArchSpec::Arch1);
         assert_eq!(back.segments_done, 5);
         assert_eq!(back.clock_seconds.to_bits(), snap.clock_seconds.to_bits());
+        // Mid-fit predictor state survives the document bitwise: the
+        // restored session continues the surrogate fit exactly.
+        assert_eq!(
+            back.predictor.slope_k_per_scale.to_bits(),
+            snap.predictor.slope_k_per_scale.to_bits()
+        );
+        assert_eq!(
+            back.predictor.last_share.to_bits(),
+            snap.predictor.last_share.to_bits()
+        );
+        assert_eq!(
+            back.predictor.last_gradient_k.to_bits(),
+            snap.predictor.last_gradient_k.to_bits()
+        );
+        assert!(back.predictor.observed);
+        assert_eq!(
+            back.last_power_w.unwrap().to_bits(),
+            snap.last_power_w.unwrap().to_bits()
+        );
         let (a, b) = (back.resume.unwrap(), snap.resume.unwrap());
         assert_eq!(a.last_gradient_k.to_bits(), b.last_gradient_k.to_bits());
         assert_eq!(a.state.len(), b.state.len());
@@ -317,9 +475,20 @@ mod tests {
     }
 
     #[test]
+    fn v1_documents_restore_with_a_cold_predictor() {
+        let doc = "{\n  \"serve_schema_version\": 1,\n  \"session_id\": 4e0,\n  \"arch_code\": 2e0,\n  \"segments_done\": 3e0,\n  \"clock_seconds\": 9.6e-2,\n  \"resume_present\": 0e0\n}\n";
+        let back = SessionSnapshot::from_golden_json(doc).unwrap();
+        assert_eq!(back.session_id, 4);
+        assert_eq!(back.predictor, StackSurrogate::default());
+        assert_eq!(back.last_power_w, None);
+    }
+
+    #[test]
     fn malformed_snapshots_are_typed_errors() {
         for doc in [
             "{\n}\n",
+            "{\n  \"serve_schema_version\": 9,\n  \"session_id\": 0e0\n}\n",
+            // v2 without the predictor keys it declares.
             "{\n  \"serve_schema_version\": 2,\n  \"session_id\": 0e0\n}\n",
             "{\n  \"serve_schema_version\": 1,\n  \"session_id\": -1e0,\n  \"arch_code\": 0e0,\n  \"segments_done\": 0e0,\n  \"clock_seconds\": 0e0,\n  \"resume_present\": 0e0\n}\n",
             "{\n  \"serve_schema_version\": 1,\n  \"session_id\": 1e0,\n  \"arch_code\": 9e0,\n  \"segments_done\": 0e0,\n  \"clock_seconds\": 0e0,\n  \"resume_present\": 0e0\n}\n",
@@ -340,16 +509,29 @@ mod tests {
         let mut s = ServeSession::new(1, ArchSpec::Arch3);
         assert_eq!(s.queued_len(), 0);
         assert_eq!(s.last_gradient_k(), 0.0);
+        assert_eq!(s.forecast_power_ratio(), 1.0, "no history, no lookahead");
         s.apply_decision(sample_resume(), 0.032, 1e-3, 2, 20, 1);
         assert_eq!(s.segments_done(), 1);
         assert_eq!(s.clock_seconds(), 0.032);
         assert_eq!(s.last_gradient_k(), 4.25);
         assert_eq!(s.metrics().segments, 1);
+        // Two decisions at different shares refit the predictor; the state
+        // survives snapshot → restore.
+        s.observe_prediction(1.0, 10.0, 50.0);
+        s.observe_prediction(1.5, 6.0, 80.0);
+        assert!(s.predictor().observed);
+        assert!((s.predictor().slope_k_per_scale - (-8.0)).abs() < 1e-12);
         let restored = ServeSession::from_snapshot(&s.snapshot());
         assert_eq!(restored.id(), 1);
         assert_eq!(restored.arch(), ArchSpec::Arch3);
         assert_eq!(restored.segments_done(), 1);
         assert_eq!(restored.last_gradient_k(), 4.25);
         assert_eq!(restored.label(), "session 1 (arch3)");
+        assert_eq!(restored.predictor(), s.predictor());
+        assert_eq!(
+            restored.forecast_power_ratio(),
+            1.0,
+            "restored queue is empty"
+        );
     }
 }

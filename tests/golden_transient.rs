@@ -21,7 +21,7 @@
 //! diffs.
 
 use liquamod::faults::{run_faulted_fleet, DegradedKind, FaultEvent, FaultSchedule};
-use liquamod::fleet::{FleetOptions, StackSpec};
+use liquamod::fleet::{run_fleet, BudgetPolicy, FleetOptions, PumpBudget, StackSpec};
 use liquamod::floorplan::testcase::TEST_B_DEFAULT_SEED;
 use liquamod::floorplan::{arch, trace, PowerLevel};
 use liquamod::mpsoc::{arch_trace, ArchSpec, MpsocConfig, MpsocModulated, MpsocTraceSpec};
@@ -268,6 +268,88 @@ fn golden_faults_pump_ramp_run() {
     assert_matches_faults_fixture(&expected, &actual);
 }
 
+/// Compares every numeric channel of the predictive-fleet golden schema
+/// (allocator decisions, per-stack segment metrics, the surrogate
+/// diagnostics and the headline worst gradient).
+fn assert_matches_fleet_fixture(expected: &str, actual: &str) {
+    assert_eq!(num_scalar(expected, "schema_version"), 1.0);
+    assert_eq!(num_scalar(actual, "schema_version"), 1.0);
+    for key in [
+        "allocations",
+        "segment_gradient_k",
+        "segment_temperature_k",
+        "segment_evaluations",
+    ] {
+        assert_close(key, &num_array(expected, key), &num_array(actual, key));
+    }
+    for key in ["forecast_hits", "surrogate_refits", "worst_gradient_k"] {
+        assert!(
+            (num_scalar(expected, key) - num_scalar(actual, key)).abs() <= TOLERANCE,
+            "{key}: {} vs {}",
+            num_scalar(expected, key),
+            num_scalar(actual, key)
+        );
+    }
+}
+
+/// The predictive-allocator fixture: a three-stack fleet whose hot spot
+/// migrates between stacks at every phase boundary (`migrating_peak`
+/// staggering — the workload the one-step MPC exists for), under an
+/// under-provisioned shared pump. Pins the forecast-driven allocation
+/// decisions, the surrogate-diagnostics counters and the trajectory
+/// numerics within 1e-9.
+#[test]
+fn golden_fleet_predictive_run() {
+    let config = MpsocConfig {
+        optimizer: OptimizationConfig {
+            segments: 2,
+            mesh_intervals: 32,
+            ..OptimizationConfig::fast()
+        },
+        nx: 20,
+        nz: 11,
+        n_groups: 2,
+        ..MpsocConfig::fast()
+    };
+    let stacks: Vec<StackSpec> = ArchSpec::all()
+        .into_iter()
+        .enumerate()
+        .map(|(i, arch)| StackSpec {
+            arch,
+            trace: MpsocTraceSpec::migrating_peak(i, 3),
+        })
+        .collect();
+    let options = FleetOptions {
+        policy: EpochPolicy::FixedCadence { epoch_steps: 6 },
+        allocation: BudgetPolicy::Predictive,
+        budget: PumpBudget::per_stack(0.9, stacks.len()),
+        phase_seconds: 6.0 * config.dt_seconds,
+        segments_per_phase: 1,
+        config,
+        mode: ExecutionMode::Serial,
+    };
+    let outcome = run_fleet(&stacks, &options).unwrap();
+    // The scenario must actually exercise the machinery it pins: phase
+    // boundaries with a migrating peak make every forecast informative,
+    // and each post-measurement boundary refits the surrogate.
+    let diag = outcome
+        .predictive
+        .expect("predictive run carries diagnostics");
+    assert!(diag.forecast_hits > 0, "no informative forecasts: {diag:?}");
+    assert!(diag.surrogate_refits > 0, "surrogate never refit: {diag:?}");
+    let actual = outcome.golden_json("fleet_predictive");
+    let path = fixture_path("fleet_predictive.json");
+    if std::env::var("LIQUAMOD_REGEN_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()));
+    assert_matches_fleet_fixture(&expected, &actual);
+}
+
 #[test]
 fn golden_test_a_transient_run() {
     check_golden("transient_test_a", &trace::test_a_step(0.024, 1.5));
@@ -355,16 +437,19 @@ fn golden_serialization_roundtrips() {
 /// (the CI bench-smoke comparisons) parse.
 #[test]
 fn bench_records_declare_schema_version() {
-    // BENCH_fleet.json is at v4: v2 added `stepper` and the segment-level
+    // BENCH_fleet.json is at v5: v2 added `stepper` and the segment-level
     // scheduler's `segment_wall_seconds`; v3 added `available_cores`, the
     // detected core count CI's speedup gate judges `parallel_speedup`
     // against (on a 1–2 core box parallel can only match serial); v4 (and
-    // the other records' v2) added the `counters` observability block.
+    // the other records' v2) added the `counters` observability block; v5
+    // added the predictive (one-step-MPC) policy column: per-variant
+    // `worst_gradient_predictive_k`, `predictive_margin` and the surrogate
+    // diagnostics CI's predictive-vs-waterfill gate reads.
     for (name, version) in [
         ("BENCH_sweep.json", 2.0),
         ("BENCH_transient.json", 2.0),
         ("BENCH_mpsoc.json", 2.0),
-        ("BENCH_fleet.json", 4.0),
+        ("BENCH_fleet.json", 5.0),
         ("BENCH_faults.json", 2.0),
         ("BENCH_serve.json", 2.0),
     ] {
@@ -396,4 +481,15 @@ fn bench_records_declare_schema_version() {
         fleet.contains("\"stepper\""),
         "BENCH_fleet.json v2 must name its integrator backend"
     );
+    for key in [
+        "\"worst_gradient_predictive_k\"",
+        "\"predictive_margin\"",
+        "\"predictive_forecast_hits\"",
+        "\"predictive_surrogate_refits\"",
+    ] {
+        assert!(
+            fleet.contains(key),
+            "BENCH_fleet.json v5 must carry the predictive policy column ({key})"
+        );
+    }
 }

@@ -201,6 +201,97 @@ fn live_session_snapshot_with_warm_chain_survives_the_document() {
     assert_eq!(restored.warm.is_some(), resume.warm.is_some());
 }
 
+/// The predictive allocator's per-session surrogate survives a restart
+/// *mid-fit*: a pool under `BudgetPolicy::Predictive` is snapshotted
+/// through the JSON document after two served batches (slope fitted, last
+/// power recorded, one phase still queued), restored into a fresh pool,
+/// and the continuation reproduces the uninterrupted pool's decisions
+/// bitwise.
+#[test]
+fn restore_mid_surrogate_fit_continues_the_predictive_stream_bitwise() {
+    let config = small_config();
+    let phase = 6.0 * config.dt_seconds;
+    let options = || ServeOptions {
+        config: small_config(),
+        policy: ModulationPolicy::every(6),
+        budget_policy: BudgetPolicy::Predictive,
+        avg_scale: 0.9,
+        planned_capacity: 2,
+        workers: 1,
+    };
+    // Alternating peak/average streams, all three phases queued up front,
+    // so every batch allocates with real submitted-but-undrained lookahead.
+    let levels = [PowerLevel::Peak, PowerLevel::Average, PowerLevel::Peak];
+    let open_and_queue = |pool: &mut ServePool| -> Vec<u64> {
+        [ArchSpec::Arch1, ArchSpec::Arch3]
+            .iter()
+            .map(|&arch| {
+                let id = pool.open(arch).unwrap();
+                for &level in &levels {
+                    pool.submit_level(id, level, phase).unwrap();
+                }
+                id
+            })
+            .collect()
+    };
+
+    let mut reference = ServePool::new(options()).unwrap();
+    let ids = open_and_queue(&mut reference);
+    let mut reference_decisions = Vec::new();
+    for _ in 0..3 {
+        reference_decisions.extend(reference.drain_batch().unwrap().decisions);
+    }
+
+    // The interrupted twin: serve two of the three batches, then restart.
+    let mut interrupted = ServePool::new(options()).unwrap();
+    assert_eq!(open_and_queue(&mut interrupted), ids);
+    let mut decisions = Vec::new();
+    for _ in 0..2 {
+        decisions.extend(interrupted.drain_batch().unwrap().decisions);
+    }
+    let mut resumed = ServePool::new(options()).unwrap();
+    for &id in &ids {
+        let snapshot = interrupted.snapshot(id).unwrap();
+        // The fit must genuinely be in progress when the restart hits.
+        assert!(snapshot.predictor.observed, "surrogate never saw feedback");
+        assert!(
+            snapshot.last_power_w.is_some(),
+            "no closing power recorded for the forecast ratio"
+        );
+        let parsed = SessionSnapshot::from_golden_json(&snapshot.to_golden_json()).unwrap();
+        assert_eq!(
+            parsed.predictor.slope_k_per_scale.to_bits(),
+            snapshot.predictor.slope_k_per_scale.to_bits(),
+            "the fitted slope must ride the document bitwise"
+        );
+        resumed.restore(&parsed).unwrap();
+        // Snapshots do not carry the queue: re-submit the undrained phase.
+        resumed.submit_level(id, levels[2], phase).unwrap();
+    }
+    decisions.extend(resumed.drain_batch().unwrap().decisions);
+
+    assert_eq!(decisions.len(), reference_decisions.len());
+    for (a, b) in decisions.iter().zip(&reference_decisions) {
+        assert_eq!(a.session_id, b.session_id);
+        assert_eq!(a.segment, b.segment);
+        assert_eq!(
+            a.flow_scale.to_bits(),
+            b.flow_scale.to_bits(),
+            "segment {} of session {}: share {} vs {}",
+            a.segment,
+            a.session_id,
+            a.flow_scale,
+            b.flow_scale
+        );
+        assert_eq!(a.peak_gradient_k.to_bits(), b.peak_gradient_k.to_bits());
+        assert_eq!(
+            a.peak_temperature_k.to_bits(),
+            b.peak_temperature_k.to_bits()
+        );
+        assert_eq!(a.time_seconds.to_bits(), b.time_seconds.to_bits());
+    }
+}
+
 #[test]
 fn soak_is_bitwise_deterministic_across_worker_counts() {
     let config = small_config();
